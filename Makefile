@@ -1,0 +1,54 @@
+# Seraph — build, test and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro verify examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (writes nothing; see bench-record).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Record deliverable outputs.
+record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate the paper's tables and figures.
+repro:
+	$(GO) run ./cmd/seraph-repro
+
+# Assert the paper reproduction (CI).
+verify:
+	$(GO) run ./cmd/seraph-repro -verify
+
+# Parameter-sweep experiment harness (several minutes).
+experiments:
+	$(GO) run ./cmd/seraph-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/micromobility
+	$(GO) run ./examples/netmon
+	$(GO) run ./examples/crime
+	$(GO) run ./examples/referencedata
+
+fuzz:
+	$(GO) test ./internal/parser -fuzz FuzzParseQuery -fuzztime 30s
+
+clean:
+	rm -f test_output.txt bench_output.txt
+	rm -rf bin

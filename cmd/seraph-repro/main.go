@@ -1,0 +1,280 @@
+// Command seraph-repro regenerates every table of the Seraph paper
+// (EDBT 2024) from this implementation:
+//
+//	Table 2 — the Cypher-only workaround (Listing 1) at 15:40
+//	Table 4 — Table 2 extended with time annotations (win_start/win_end)
+//	Table 5 — Seraph continuous query (Listing 5) output at 15:15
+//	Table 6 — Seraph continuous query output at 15:40
+//
+// plus the Figure 1 stream inventory and the Figure 2 merged graph.
+//
+//	go run ./cmd/seraph-repro            # everything
+//	go run ./cmd/seraph-repro -table 5   # one table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+	"seraph/internal/window"
+	"seraph/internal/workload"
+)
+
+var boundsFlag string
+
+func main() {
+	tableFlag := flag.Int("table", 0, "print a single table (2, 4, 5 or 6); 0 prints everything")
+	verify := flag.Bool("verify", false, "assert the outputs match the paper and exit non-zero on mismatch")
+	flag.StringVar(&boundsFlag, "bounds", "paper", "window bounds mode: paper (reproduces Tables 5/6) or strict (literal Definitions 5.9/5.11)")
+	flag.Parse()
+
+	if *verify {
+		if err := verifyAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "VERIFY FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("VERIFY OK: Tables 2, 4, 5, 6 and Figures 1/2 match the paper")
+		return
+	}
+
+	switch *tableFlag {
+	case 0:
+		printFigures()
+		fmt.Println()
+		printTable2(false)
+		fmt.Println()
+		printTable2(true)
+		fmt.Println()
+		printSeraphTables(0)
+	case 2:
+		printTable2(false)
+	case 4:
+		printTable2(true)
+	case 5, 6:
+		printSeraphTables(*tableFlag)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %d (want 2, 4, 5 or 6)\n", *tableFlag)
+		os.Exit(2)
+	}
+}
+
+func clock(h, m int) time.Time {
+	return workload.FigureOneDay.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute)
+}
+
+// display reformats a result table for printing: datetimes shown as
+// HH:MM, matching the paper's table style.
+func display(t *eval.Table) *eval.Table {
+	out := &eval.Table{Cols: t.Cols}
+	for _, row := range t.Rows {
+		vals := make([]value.Value, len(row))
+		for j, v := range row {
+			if v.Kind() == value.KindDateTime {
+				vals[j] = value.NewString(v.DateTime().Format("15:04"))
+			} else {
+				vals[j] = v
+			}
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out
+}
+
+func printFigures() {
+	elems := workload.Figure1Stream()
+	fmt.Println("Figure 1 — stream of property graphs (RideAnywhere events):")
+	for _, e := range elems {
+		fmt.Printf("  %s: %d nodes, %d relationships\n",
+			e.Time.Format("15:04"), e.Graph.NumNodes(), e.Graph.NumRels())
+	}
+	g, err := stream.Snapshot(elems)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 2 — merged graph 14:45–15:40: %d nodes, %d relationships\n",
+		g.NumNodes(), g.NumRels())
+}
+
+func printTable2(annotated bool) {
+	g, err := stream.Snapshot(workload.Figure1Stream())
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := parser.ParseQuery(workload.StudentTrickCypher + " ORDER BY r.user_id")
+	if err != nil {
+		log.Fatal(err)
+	}
+	at := clock(15, 40)
+	ctx := &eval.Ctx{
+		Store:    graphstore.FromGraph(g),
+		Builtins: map[string]value.Value{"now": value.NewDateTime(at)},
+	}
+	out, err := eval.EvalQuery(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !annotated {
+		fmt.Println("Table 2 — Cypher-only query (Listing 1) evaluated at 15:40:")
+		fmt.Print(display(out))
+		return
+	}
+	// Table 4 extends Table 2 with the window's temporal annotations.
+	ann := &eval.Table{Cols: append(append([]string(nil), out.Cols...), "win_start", "win_end")}
+	ws, we := value.NewDateTime(at.Add(-time.Hour)), value.NewDateTime(at)
+	for _, row := range out.Rows {
+		ann.Rows = append(ann.Rows, append(append([]value.Value(nil), row...), ws, we))
+	}
+	fmt.Println("Table 4 — time-annotated table (Definition 5.6):")
+	fmt.Print(display(ann))
+}
+
+func printSeraphTables(only int) {
+	bounds := window.BoundsPaperExample
+	if boundsFlag == "strict" {
+		bounds = window.BoundsStrict
+		fmt.Println("(strict Definitions 5.9/5.11 bounds: window starts lie on the")
+		fmt.Println(" ω₀+iβ grid and exclude the right endpoint — the outputs below")
+		fmt.Println(" differ from the paper's Tables 5/6; see DESIGN.md)")
+		fmt.Println()
+	}
+	e := engine.New(engine.WithBounds(bounds))
+	col := &engine.Collector{}
+	if _, err := e.RegisterSource(workload.StudentTrickQuery, col.Sink()); err != nil {
+		log.Fatal(err)
+	}
+	for _, el := range workload.Figure1Stream() {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			log.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			log.Fatal(err)
+		}
+	}
+	show := func(h, m, table int) {
+		r := col.At(clock(h, m))
+		if r == nil {
+			log.Fatalf("no evaluation at %02d:%02d", h, m)
+		}
+		fmt.Printf("Table %d — Seraph output (Listing 5, ON ENTERING) at %02d:%02d:\n", table, h, m)
+		if r.Table.Len() == 0 {
+			fmt.Println("(empty)")
+			return
+		}
+		fmt.Print(display(r.Table))
+	}
+	switch only {
+	case 5:
+		show(15, 15, 5)
+	case 6:
+		show(15, 40, 6)
+	default:
+		show(15, 15, 5)
+		fmt.Println()
+		show(15, 40, 6)
+		fmt.Println()
+		fmt.Println("All evaluation instants (empty emissions elided):")
+		for _, r := range col.Results {
+			fmt.Printf("  %s: window %s, %d row(s)\n",
+				r.At.Format("15:04"), r.Window, r.Table.Len())
+		}
+	}
+}
+
+// verifyAll asserts every reproduced artifact against the paper's
+// published values, for CI use.
+func verifyAll() error {
+	// Figure 2.
+	g, err := stream.Snapshot(workload.Figure1Stream())
+	if err != nil {
+		return err
+	}
+	if g.NumNodes() != 8 || g.NumRels() != 8 {
+		return fmt.Errorf("Figure 2: %d nodes / %d rels, want 8/8", g.NumNodes(), g.NumRels())
+	}
+
+	// Table 2 (and 4, which shares the rows).
+	q, err := parser.ParseQuery(workload.StudentTrickCypher + " ORDER BY r.user_id")
+	if err != nil {
+		return err
+	}
+	ctx := &eval.Ctx{
+		Store:    graphstore.FromGraph(g),
+		Builtins: map[string]value.Value{"now": value.NewDateTime(clock(15, 40))},
+	}
+	out, err := eval.EvalQuery(ctx, q)
+	if err != nil {
+		return err
+	}
+	if err := checkTrick(out, 0, 1234, 1, "14:40", "[2, 3]"); err != nil {
+		return fmt.Errorf("Table 2 row 1: %w", err)
+	}
+	if err := checkTrick(out, 1, 5678, 2, "14:58", "[3, 4]"); err != nil {
+		return fmt.Errorf("Table 2 row 2: %w", err)
+	}
+
+	// Tables 5 and 6.
+	e := engine.New()
+	col := &engine.Collector{}
+	if _, err := e.RegisterSource(workload.StudentTrickQuery, col.Sink()); err != nil {
+		return err
+	}
+	for _, el := range workload.Figure1Stream() {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			return err
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			return err
+		}
+	}
+	t5 := col.At(clock(15, 15))
+	if t5 == nil || t5.Table.Len() != 1 {
+		return fmt.Errorf("Table 5: missing or wrong row count")
+	}
+	if err := checkTrick(t5.Table, 0, 1234, 1, "14:40", "[2, 3]"); err != nil {
+		return fmt.Errorf("Table 5: %w", err)
+	}
+	if !t5.Window.Start.Equal(clock(14, 15)) || !t5.Window.End.Equal(clock(15, 15)) {
+		return fmt.Errorf("Table 5 window: %s", t5.Window)
+	}
+	t6 := col.At(clock(15, 40))
+	if t6 == nil || t6.Table.Len() != 1 {
+		return fmt.Errorf("Table 6: missing or wrong row count")
+	}
+	if err := checkTrick(t6.Table, 0, 5678, 2, "14:58", "[3, 4]"); err != nil {
+		return fmt.Errorf("Table 6: %w", err)
+	}
+	for _, r := range col.Results {
+		if !r.At.Equal(clock(15, 15)) && !r.At.Equal(clock(15, 40)) && r.Table.Len() != 0 {
+			return fmt.Errorf("unexpected emission at %s", r.At.Format("15:04"))
+		}
+	}
+	return nil
+}
+
+func checkTrick(t *eval.Table, row int, user, station int64, valTime, hops string) error {
+	if t.Len() <= row {
+		return fmt.Errorf("row %d missing", row)
+	}
+	if got := t.Get(row, "r.user_id").Int(); got != user {
+		return fmt.Errorf("user = %d, want %d", got, user)
+	}
+	if got := t.Get(row, "s.id").Int(); got != station {
+		return fmt.Errorf("station = %d, want %d", got, station)
+	}
+	if got := t.Get(row, "r.val_time").DateTime().Format("15:04"); got != valTime {
+		return fmt.Errorf("val_time = %s, want %s", got, valTime)
+	}
+	if got := t.Get(row, "hops").String(); got != hops {
+		return fmt.Errorf("hops = %s, want %s", got, hops)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Command seraph-server runs the Seraph Graph Stream Processing engine
+// as an HTTP service (the implementation plan of the paper's Section
+// 6).
+//
+//	seraph-server -addr :7687
+//
+//	# register the running-example query
+//	curl -X POST localhost:7687/queries --data-binary @trick.seraph
+//
+//	# ingest events
+//	seraph gen -workload figure1 | curl -X POST localhost:7687/events --data-binary @-
+//
+//	# fetch results
+//	curl localhost:7687/queries/student_trick/results
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"seraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7687", "listen address")
+	restore := flag.String("restore", "", "resume from a checkpoint file (see GET /checkpoint)")
+	flag.Parse()
+
+	var srv *server.Server
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = server.Restore(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("seraph-server restored %d queries from %s", len(srv.Engine().Queries()), *restore)
+	} else {
+		srv = server.New()
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("seraph-server listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

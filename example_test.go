@@ -1,0 +1,133 @@
+package seraph_test
+
+import (
+	"fmt"
+	"time"
+
+	"seraph"
+)
+
+// ExampleGraphDB demonstrates the embedded one-time Cypher engine.
+func ExampleGraphDB() {
+	db := seraph.NewGraphDB()
+	db.MustExec(`CREATE (:City {name: 'Leipzig'})-[:TWINNED]->(:City {name: 'Lyon'})`, nil)
+	out := db.MustExec(`MATCH (a:City)-[:TWINNED]->(b:City) RETURN a.name AS a, b.name AS b`, nil)
+	for _, row := range out.Maps() {
+		fmt.Println(row["a"], "→", row["b"])
+	}
+	// Output: Leipzig → Lyon
+}
+
+// ExampleEngine demonstrates a Seraph continuous query over a property
+// graph stream: a 30-second window evaluated every 10 seconds, emitting
+// only matches that newly entered the window.
+func ExampleEngine() {
+	engine := seraph.NewEngine()
+	_, err := engine.Register(`
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z:Zone)
+  WITHIN PT30S
+  WHERE r.celsius > 40.0
+  EMIT s.name AS sensor, r.celsius AS celsius
+  ON ENTERING EVERY PT10S
+}`, func(r seraph.Result) {
+		for _, row := range r.Table.Maps() {
+			fmt.Printf("%s: %v at %v°C\n", r.At.Format("15:04:05"), row["sensor"], row["celsius"])
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	readings := []struct {
+		offset  time.Duration
+		celsius float64
+	}{{0, 21.0}, {10 * time.Second, 44.5}, {20 * time.Second, 39.0}}
+	for i, rd := range readings {
+		g := seraph.NewGraph()
+		g.AddNode(1, []string{"Sensor"}, map[string]any{"name": "s1"})
+		g.AddNode(2, []string{"Zone"}, map[string]any{"name": "hall"})
+		g.AddRelationship(int64(100+i), 1, 2, "READ", map[string]any{"celsius": rd.celsius})
+		if err := engine.PushAndAdvance(g, start.Add(rd.offset)); err != nil {
+			panic(err)
+		}
+	}
+	// Output: 10:00:10: s1 at 44.5°C
+}
+
+// ExampleEngine_paperRunningExample replays the EDBT 2024 paper's
+// Figure 1 bike-rental stream through the Listing 5 query and prints
+// the Tables 5/6 outputs.
+func ExampleEngine_paperRunningExample() {
+	engine := seraph.NewEngine()
+	_, err := engine.Register(`
+REGISTER QUERY student_trick STARTING AT 2022-10-14T14:45:00
+{
+  MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+        q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+  WITHIN PT1H
+  WITH r, s, q, relationships(q) AS rels,
+       [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops
+  WHERE all(e IN rels WHERE
+        e.user_id = r.user_id AND e.val_time > r.val_time AND
+        (e.duration IS NULL OR e.duration < 20))
+  EMIT r.user_id, s.id, r.val_time, hops
+  ON ENTERING EVERY PT5M
+}`, func(r seraph.Result) {
+		for _, row := range r.Table.Maps() {
+			fmt.Printf("%s: user %v (stations %v)\n",
+				r.At.Format("15:04"), row["r.user_id"], row["hops"])
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	day := time.Date(2022, 10, 14, 0, 0, 0, 0, time.UTC)
+	at := func(h, m int) time.Time {
+		return day.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute)
+	}
+	type rental struct {
+		vehicle, station, user int64
+		ret                    bool
+		t                      time.Time
+		dur                    int64
+	}
+	events := []struct {
+		ts      time.Time
+		rentals []rental
+	}{
+		{at(14, 45), []rental{{5, 1, 1234, false, at(14, 40), 0}}},
+		{at(15, 0), []rental{
+			{5, 2, 1234, true, at(14, 55), 15},
+			{6, 2, 1234, false, at(14, 57), 0},
+			{8, 2, 5678, false, at(14, 58), 0}}},
+		{at(15, 15), []rental{{6, 3, 1234, true, at(15, 13), 16}}},
+		{at(15, 20), []rental{
+			{8, 3, 5678, true, at(15, 15), 17},
+			{7, 3, 5678, false, at(15, 18), 0}}},
+		{at(15, 40), []rental{{7, 4, 5678, true, at(15, 35), 17}}},
+	}
+	for _, ev := range events {
+		g := seraph.NewGraph()
+		for i, r := range ev.rentals {
+			g.AddNode(100+r.station, []string{"Station"}, map[string]any{"id": r.station})
+			g.AddNode(200+r.vehicle, []string{"Bike"}, map[string]any{"id": r.vehicle})
+			typ := "rentedAt"
+			props := map[string]any{"user_id": r.user, "val_time": r.t}
+			if r.ret {
+				typ = "returnedAt"
+				props["duration"] = r.dur
+			}
+			g.AddRelationship(ev.ts.Unix()*10+int64(i), 200+r.vehicle, 100+r.station, typ, props)
+		}
+		if err := engine.PushAndAdvance(g, ev.ts); err != nil {
+			panic(err)
+		}
+	}
+	// Output:
+	// 15:15: user 1234 (stations [2 3])
+	// 15:40: user 5678 (stations [3 4])
+}

@@ -1,0 +1,118 @@
+// Crime investigation: the Section 4.2 use case of the Seraph paper.
+// Surveillance events place persons at locations (POLE model); when a
+// crime is reported at a location, the continuous query emits everyone
+// who passed by the scene within the last 30 minutes — once, as they
+// enter the window (ON ENTERING).
+//
+//	go run ./examples/crime
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seraph"
+)
+
+const (
+	personBase   = 1000
+	locationBase = 2000
+	crimeBase    = 3000
+)
+
+type sighting struct {
+	person   string
+	location string
+}
+
+var (
+	personID   = map[string]int64{}
+	locationID = map[string]int64{}
+	nextRelID  = int64(10_000)
+)
+
+func sightingGraph(ts time.Time, sightings []sighting, crimeAt string, crimeID int64) *seraph.Graph {
+	g := seraph.NewGraph()
+	addPerson := func(name string) int64 {
+		id, ok := personID[name]
+		if !ok {
+			id = personBase + int64(len(personID)) + 1
+			personID[name] = id
+		}
+		must(g.AddNode(id, []string{"Person"}, map[string]any{"name": name}))
+		return id
+	}
+	addLocation := func(name string) int64 {
+		id, ok := locationID[name]
+		if !ok {
+			id = locationBase + int64(len(locationID)) + 1
+			locationID[name] = id
+		}
+		must(g.AddNode(id, []string{"Location"}, map[string]any{"name": name}))
+		return id
+	}
+	for _, s := range sightings {
+		p := addPerson(s.person)
+		l := addLocation(s.location)
+		nextRelID++
+		must(g.AddRelationship(nextRelID, p, l, "PRESENT_AT", map[string]any{"at": ts}))
+	}
+	if crimeAt != "" {
+		l := addLocation(crimeAt)
+		must(g.AddNode(crimeBase+crimeID, []string{"Crime"}, map[string]any{
+			"id": crimeID, "kind": "theft"}))
+		nextRelID++
+		must(g.AddRelationship(nextRelID, crimeBase+crimeID, l, "OCCURRED_AT", map[string]any{"at": ts}))
+	}
+	return g
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	start := time.Date(2026, 7, 6, 22, 0, 0, 0, time.UTC)
+	engine := seraph.NewEngine()
+
+	_, err := engine.Register(fmt.Sprintf(`
+REGISTER QUERY suspects STARTING AT %s
+{
+  MATCH (p:Person)-[pr:PRESENT_AT]->(l:Location)<-[o:OCCURRED_AT]-(c:Crime)
+  WITHIN PT30M
+  EMIT p.name AS person, c.id AS crime, l.name AS location
+  ON ENTERING EVERY PT5M
+}`, start.Format("2006-01-02T15:04:05")), func(r seraph.Result) {
+		for _, row := range r.Table.Maps() {
+			fmt.Printf("[%s] SUSPECT %v was at %v (crime #%v)\n",
+				r.At.Format("15:04"), row["person"], row["location"], row["crime"])
+		}
+	})
+	must(err)
+
+	// Timeline: sightings every 5 minutes; a theft is reported at the
+	// market at 22:15. Everyone seen at the market within ±30 minutes
+	// of being in the window becomes a lead, exactly once.
+	timeline := []struct {
+		offset    time.Duration
+		sightings []sighting
+		crimeAt   string
+		crimeID   int64
+	}{
+		{0, []sighting{{"alice", "market"}, {"bob", "station"}}, "", 0},
+		{5 * time.Minute, []sighting{{"carol", "market"}, {"bob", "market"}}, "", 0},
+		{10 * time.Minute, []sighting{{"alice", "station"}}, "", 0},
+		{15 * time.Minute, []sighting{{"dave", "park"}}, "market", 1}, // theft reported
+		{20 * time.Minute, []sighting{{"erin", "market"}}, "", 0},     // erin passes by after
+		{25 * time.Minute, []sighting{{"bob", "park"}}, "", 0},
+		{40 * time.Minute, []sighting{{"frank", "market"}}, "", 0},
+	}
+	for _, step := range timeline {
+		ts := start.Add(step.offset)
+		must(engine.PushAndAdvance(sightingGraph(ts, step.sightings, step.crimeAt, step.crimeID), ts))
+	}
+	must(engine.AdvanceTo(start.Add(50 * time.Minute)))
+}

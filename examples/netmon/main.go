@@ -1,0 +1,119 @@
+// Network monitoring: the Section 4.1 use case of the Seraph paper.
+// Every minute an arriving property graph describes the configuration
+// of the entire data center network (racks → switches → interfaces →
+// routers → aggregation → egress). The registered query finds, per
+// rack, the shortest route to the egress router and flags routes whose
+// length z-score exceeds 3 (design mean 5 hops, stddev 0.3) — i.e.
+// racks rerouted around a failed uplink.
+//
+//	go run ./examples/netmon
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seraph"
+)
+
+const (
+	racks = 8
+	aggs  = 2
+
+	egressID   = 1
+	aggBase    = 10
+	routerBase = 100
+	rackBase   = 200
+	switchBase = 300
+	ifaceBase  = 400
+)
+
+// configGraph builds one full-network configuration snapshot. downlink
+// lists the racks whose primary router→aggregation uplink is down this
+// minute, forcing a detour over the router ring (5 → 6+ hops).
+func configGraph(down map[int]bool) *seraph.Graph {
+	g := seraph.NewGraph()
+	relID := int64(1000)
+	rel := func(a, b int64, typ string) {
+		relID++
+		// Stable link ids so identical links merge across snapshots.
+		id := a*100_000 + b*10 + int64(len(typ))
+		if err := g.AddRelationship(id, a, b, typ, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(g.AddNode(egressID, []string{"Router"}, map[string]any{"name": "egress", "egress": true}))
+	for a := 0; a < aggs; a++ {
+		must(g.AddNode(aggBase+int64(a), []string{"Router"}, map[string]any{
+			"name": fmt.Sprintf("agg-%d", a), "egress": false}))
+		rel(aggBase+int64(a), egressID, "CONNECTS")
+	}
+	// Nodes first (ring links reference routers of later racks).
+	for i := 0; i < racks; i++ {
+		must(g.AddNode(rackBase+int64(i), []string{"Rack"}, map[string]any{"name": fmt.Sprintf("rack-%d", i)}))
+		must(g.AddNode(switchBase+int64(i), []string{"Switch"}, map[string]any{"name": fmt.Sprintf("sw-%d", i)}))
+		must(g.AddNode(ifaceBase+int64(i), []string{"Interface"}, map[string]any{"name": fmt.Sprintf("eth-%d", i)}))
+		must(g.AddNode(routerBase+int64(i), []string{"Router"}, map[string]any{
+			"name": fmt.Sprintf("tor-%d", i), "egress": false}))
+	}
+	for i := 0; i < racks; i++ {
+		tor := routerBase + int64(i)
+		rel(rackBase+int64(i), switchBase+int64(i), "HOLDS")
+		rel(switchBase+int64(i), ifaceBase+int64(i), "ROUTES")
+		rel(ifaceBase+int64(i), tor, "CONNECTS")
+		if !down[i] {
+			rel(tor, aggBase+int64(i%aggs), "CONNECTS") // primary uplink
+		}
+		rel(tor, routerBase+int64((i+1)%racks), "CONNECTS") // redundancy ring
+	}
+	return g
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	start := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	engine := seraph.NewEngine()
+
+	_, err := engine.Register(fmt.Sprintf(`
+REGISTER QUERY network_anomalies STARTING AT %s
+{
+  MATCH p = shortestPath((rk:Rack)-[*..20]-(egress:Router {egress: true}))
+  WITHIN PT1M
+  WITH rk, p, length(p) AS hops
+  WHERE (hops - 5.0) / 0.3 > 3.0
+  EMIT rk.name AS rack, hops
+  SNAPSHOT EVERY PT1M
+}`, start.Format("2006-01-02T15:04:05")), func(r seraph.Result) {
+		if r.Table.Len() == 0 {
+			fmt.Printf("[%s] all routes nominal\n", r.At.Format("15:04"))
+			return
+		}
+		for _, row := range r.Table.Maps() {
+			fmt.Printf("[%s] ANOMALY %v routed over %v hops (z=%.1f)\n",
+				r.At.Format("15:04"), row["rack"], row["hops"],
+				(float64(row["hops"].(int64))-5.0)/0.3)
+		}
+	})
+	must(err)
+
+	// Minute-by-minute failure scenario: rack 3's uplink flaps, then
+	// racks 3 and 5 fail together.
+	scenario := []map[int]bool{
+		{},                 // 12:00 healthy
+		{3: true},          // 12:01 rack 3 rerouted
+		{},                 // 12:02 recovered
+		{3: true, 5: true}, // 12:03 double failure
+		{5: true},          // 12:04 rack 3 recovered
+		{},                 // 12:05 healthy
+	}
+	for i, down := range scenario {
+		ts := start.Add(time.Duration(i) * time.Minute)
+		must(engine.PushAndAdvance(configGraph(down), ts))
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: register a Seraph continuous query over a property graph
+// stream and print its emitted time-annotated tables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"seraph"
+)
+
+func main() {
+	engine := seraph.NewEngine()
+
+	// Register a continuous query: every 10 seconds, over the sensor
+	// readings of the last 30 seconds, report sensors whose reading
+	// exceeds 40 — but only matches that are new since the previous
+	// evaluation (ON ENTERING).
+	query := `
+REGISTER QUERY hot_sensors STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:REPORTED]->(z:Zone)
+  WITHIN PT30S
+  WHERE r.celsius > 40
+  EMIT s.name AS sensor, z.name AS zone, r.celsius AS celsius
+  ON ENTERING EVERY PT10S
+}`
+	_, err := engine.Register(query, func(r seraph.Result) {
+		if r.Table.Len() == 0 {
+			return
+		}
+		fmt.Printf("[%s] window (%s, %s]\n", r.At.Format("15:04:05"),
+			r.WinStart.Format("15:04:05"), r.WinEnd.Format("15:04:05"))
+		for _, row := range r.Table.Maps() {
+			fmt.Printf("  ALERT sensor=%v zone=%v celsius=%v\n",
+				row["sensor"], row["zone"], row["celsius"])
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream sensor readings: one property graph per event, timestamps
+	// driving the engine's virtual clock.
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	readings := []struct {
+		offset  time.Duration
+		sensor  string
+		zone    string
+		celsius float64
+	}{
+		{0, "s1", "hall", 21.5},
+		{5 * time.Second, "s2", "server-room", 38.0},
+		{10 * time.Second, "s2", "server-room", 42.5}, // hot!
+		{15 * time.Second, "s1", "hall", 22.0},
+		{20 * time.Second, "s3", "server-room", 47.0}, // hot!
+		{40 * time.Second, "s2", "server-room", 39.5}, // cooled down
+		{50 * time.Second, "s2", "server-room", 44.0}, // hot again
+	}
+
+	sensorID := map[string]int64{"s1": 1, "s2": 2, "s3": 3}
+	zoneID := map[string]int64{"hall": 100, "server-room": 101}
+
+	for i, rd := range readings {
+		ts := start.Add(rd.offset)
+		g := seraph.NewGraph()
+		if err := g.AddNode(sensorID[rd.sensor], []string{"Sensor"}, map[string]any{"name": rd.sensor}); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.AddNode(zoneID[rd.zone], []string{"Zone"}, map[string]any{"name": rd.zone}); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.AddRelationship(int64(1000+i), sensorID[rd.sensor], zoneID[rd.zone],
+			"REPORTED", map[string]any{"celsius": rd.celsius, "at": ts}); err != nil {
+			log.Fatal(err)
+		}
+		// Push the event and advance the virtual clock, running all
+		// evaluation instants that became due.
+		if err := engine.PushAndAdvance(g, ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Flush remaining evaluation instants after the last event.
+	if err := engine.AdvanceTo(start.Add(60 * time.Second)); err != nil {
+		log.Fatal(err)
+	}
+}

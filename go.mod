@@ -1,0 +1,3 @@
+module seraph
+
+go 1.22

@@ -1,0 +1,222 @@
+// Package seraph is a Go implementation of Seraph, the Cypher-based
+// continuous query language for property graph streams (Rost et al.,
+// EDBT 2024). It provides:
+//
+//   - a from-scratch openCypher-subset engine over an embedded property
+//     graph store (GraphDB),
+//   - a continuous query engine (Engine) that registers Seraph
+//     REGISTER QUERY statements and evaluates them over property graph
+//     streams under snapshot reducibility, with time-based windows
+//     (WITHIN / EVERY / STARTING AT) and the SNAPSHOT, ON ENTERING and
+//     ON EXITING stream operators,
+//   - an embedded event broker and ingestion pipeline mirroring the
+//     paper's Kafka-based architecture.
+//
+// See the examples directory for runnable end-to-end programs.
+package seraph
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// Node is a property graph node as surfaced by the public API.
+type Node struct {
+	ID     int64
+	Labels []string
+	Props  map[string]any
+}
+
+// Relationship is a property graph relationship.
+type Relationship struct {
+	ID      int64
+	StartID int64
+	EndID   int64
+	Type    string
+	Props   map[string]any
+}
+
+// Path is an alternating node/relationship sequence.
+type Path struct {
+	Nodes []*Node
+	Rels  []*Relationship
+}
+
+// Len returns the number of relationships in the path.
+func (p *Path) Len() int { return len(p.Rels) }
+
+// Graph is a property graph under construction (one stream element, or
+// a static graph for one-time queries). Entity identifiers follow the
+// unique name assumption: pushing two graphs that reuse an id merges
+// the entities.
+type Graph struct {
+	g *pg.Graph
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{g: pg.New()} }
+
+// AddNode adds a node. Props accepts Go scalars (bool, int, int64,
+// float64, string), time.Time, time.Duration, []any and
+// map[string]any.
+func (gr *Graph) AddNode(id int64, labels []string, props map[string]any) error {
+	p, err := toProps(props)
+	if err != nil {
+		return fmt.Errorf("seraph: node %d: %w", id, err)
+	}
+	gr.g.AddNode(&value.Node{ID: id, Labels: labels, Props: p})
+	return nil
+}
+
+// AddRelationship adds a relationship; both endpoints must have been
+// added first.
+func (gr *Graph) AddRelationship(id, startID, endID int64, typ string, props map[string]any) error {
+	p, err := toProps(props)
+	if err != nil {
+		return fmt.Errorf("seraph: relationship %d: %w", id, err)
+	}
+	return gr.g.AddRel(&value.Relationship{ID: id, StartID: startID, EndID: endID, Type: typ, Props: p})
+}
+
+// NumNodes returns the node count.
+func (gr *Graph) NumNodes() int { return gr.g.NumNodes() }
+
+// NumRelationships returns the relationship count.
+func (gr *Graph) NumRelationships() int { return gr.g.NumRels() }
+
+// internalGraph exposes the underlying graph to sibling files.
+func (gr *Graph) internalGraph() *pg.Graph { return gr.g }
+
+// toProps converts user-facing property maps to internal values.
+func toProps(props map[string]any) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(props))
+	for k, v := range props {
+		cv, err := ToValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		if !cv.IsNull() {
+			out[k] = cv
+		}
+	}
+	return out, nil
+}
+
+// ToValue converts a Go value to an internal Cypher value.
+func ToValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(x), nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int32:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float32:
+		return value.NewFloat(float64(x)), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewString(x), nil
+	case time.Time:
+		return value.NewDateTime(x), nil
+	case time.Duration:
+		return value.NewDuration(x), nil
+	case []any:
+		items := make([]value.Value, len(x))
+		for i, e := range x {
+			cv, err := ToValue(e)
+			if err != nil {
+				return value.Null, err
+			}
+			items[i] = cv
+		}
+		return value.NewList(items...), nil
+	case map[string]any:
+		m := make(map[string]value.Value, len(x))
+		for k, e := range x {
+			cv, err := ToValue(e)
+			if err != nil {
+				return value.Null, err
+			}
+			m[k] = cv
+		}
+		return value.NewMap(m), nil
+	case value.Value:
+		return x, nil
+	}
+	return value.Null, fmt.Errorf("unsupported property type %T", v)
+}
+
+// FromValue converts an internal Cypher value to a Go value: nodes,
+// relationships and paths surface as *Node, *Relationship and *Path;
+// temporal values as time.Time / time.Duration; lists and maps as
+// []any / map[string]any; null as nil.
+func FromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindNumber:
+		if v.IsInt() {
+			return v.Int()
+		}
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindDateTime:
+		return v.DateTime()
+	case value.KindDuration:
+		return v.Duration()
+	case value.KindList:
+		out := make([]any, len(v.List()))
+		for i, e := range v.List() {
+			out[i] = FromValue(e)
+		}
+		return out
+	case value.KindMap:
+		out := make(map[string]any, len(v.Map()))
+		for k, e := range v.Map() {
+			out[k] = FromValue(e)
+		}
+		return out
+	case value.KindNode:
+		return fromNode(v.Node())
+	case value.KindRelationship:
+		return fromRel(v.Relationship())
+	case value.KindPath:
+		p := v.Path()
+		out := &Path{}
+		for _, n := range p.Nodes {
+			out.Nodes = append(out.Nodes, fromNode(n))
+		}
+		for _, r := range p.Rels {
+			out.Rels = append(out.Rels, fromRel(r))
+		}
+		return out
+	}
+	return nil
+}
+
+func fromNode(n *value.Node) *Node {
+	props := make(map[string]any, len(n.Props))
+	for k, v := range n.Props {
+		props[k] = FromValue(v)
+	}
+	return &Node{ID: n.ID, Labels: append([]string(nil), n.Labels...), Props: props}
+}
+
+func fromRel(r *value.Relationship) *Relationship {
+	props := make(map[string]any, len(r.Props))
+	for k, v := range r.Props {
+		props[k] = FromValue(v)
+	}
+	return &Relationship{ID: r.ID, StartID: r.StartID, EndID: r.EndID, Type: r.Type, Props: props}
+}

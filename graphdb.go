@@ -1,0 +1,82 @@
+package seraph
+
+import (
+	"time"
+
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// GraphDB is an embedded, in-memory property graph database evaluating
+// one-time Cypher queries — the non-streaming counterpart Q that
+// Seraph's continuous queries reduce to under snapshot reducibility
+// (Definition 5.8). It also serves as the ingestion target of the
+// Cypher-only baseline pipeline.
+//
+// GraphDB is not safe for concurrent mutation; synchronize writes
+// externally or use one GraphDB per goroutine.
+type GraphDB struct {
+	store *graphstore.Store
+	now   time.Time
+}
+
+// NewGraphDB returns an empty database.
+func NewGraphDB() *GraphDB {
+	return &GraphDB{store: graphstore.New()}
+}
+
+// NewGraphDBFrom returns a database initialized with the contents of g.
+// The database takes ownership of the graph.
+func NewGraphDBFrom(g *Graph) *GraphDB {
+	return &GraphDB{store: graphstore.FromGraph(g.internalGraph())}
+}
+
+// SetClock fixes the instant returned by datetime() and timestamp() in
+// queries (useful for reproducible tests). A zero time restores the
+// wall clock.
+func (db *GraphDB) SetClock(t time.Time) { db.now = t }
+
+// NumNodes returns the node count.
+func (db *GraphDB) NumNodes() int { return db.store.NumNodes() }
+
+// NumRelationships returns the relationship count.
+func (db *GraphDB) NumRelationships() int { return db.store.NumRels() }
+
+// Exec parses and evaluates a Cypher query (Figure 3 syntax: MATCH /
+// OPTIONAL MATCH / WHERE / WITH / UNWIND / RETURN / UNION plus the
+// updating clauses CREATE / MERGE / SET / REMOVE / DELETE).
+func (db *GraphDB) Exec(src string, params map[string]any) (*Table, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Params(params)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &eval.Ctx{
+		Store:    db.store,
+		Params:   p,
+		Builtins: map[string]value.Value{},
+	}
+	if !db.now.IsZero() {
+		ctx.Builtins["now"] = value.NewDateTime(db.now)
+	}
+	out, err := eval.EvalQuery(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return fromTable(out), nil
+}
+
+// MustExec is Exec, panicking on error. Intended for examples and
+// tests.
+func (db *GraphDB) MustExec(src string, params map[string]any) *Table {
+	t, err := db.Exec(src, params)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,476 @@
+// Package ast defines the abstract syntax tree for the Cypher core
+// (Figure 3 of the Seraph paper) and the Seraph extensions (Figure 6):
+// REGISTER QUERY, STARTING AT, WITHIN, EMIT, the stream operators
+// SNAPSHOT / ON ENTERING / ON EXITING, and EVERY.
+package ast
+
+import (
+	"time"
+
+	"seraph/internal/value"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is a Cypher expression.
+type Expr interface{ exprNode() }
+
+// Literal is a constant value.
+type Literal struct{ Val value.Value }
+
+// Var references a bound variable.
+type Var struct{ Name string }
+
+// Param references a query parameter ($name).
+type Param struct{ Name string }
+
+// Prop accesses a property: X.Key.
+type Prop struct {
+	X   Expr
+	Key string
+}
+
+// ListLit is a list literal [e1, e2, ...].
+type ListLit struct{ Items []Expr }
+
+// MapLit is a map literal {k1: e1, ...}. Keys preserves source order.
+type MapLit struct {
+	Keys []string
+	Vals []Expr
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota
+	OpNeg
+	OpIsNull
+	OpIsNotNull
+)
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+}
+
+// BinaryOp enumerates binary operators (arithmetic, boolean, string and
+// membership operators; comparisons are represented by Comparison so
+// that chains like a <= b < c work).
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpAnd
+	OpOr
+	OpXor
+	OpIn
+	OpStartsWith
+	OpEndsWith
+	OpContains
+	OpRegex
+)
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Comparison is a (possibly chained) comparison: First Ops[0] Rest[0]
+// Ops[1] Rest[1] ... . A chain a < b < c is the conjunction
+// (a < b) AND (b < c), per Cypher.
+type Comparison struct {
+	First Expr
+	Ops   []CmpOp
+	Rest  []Expr
+}
+
+// Index is a subscript X[I] (list index or dynamic map access).
+type Index struct {
+	X Expr
+	I Expr
+}
+
+// Slice is a list slice X[From..To]; From/To may be nil.
+type Slice struct {
+	X        Expr
+	From, To Expr
+}
+
+// FuncCall invokes a built-in function or aggregation.
+type FuncCall struct {
+	Name     string // lower-cased
+	Args     []Expr
+	Distinct bool // aggregation with DISTINCT
+}
+
+// CountStar is count(*).
+type CountStar struct{}
+
+// CaseWhen is one WHEN ... THEN ... arm.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+// Case is a CASE expression. Test is nil for the searched form.
+type Case struct {
+	Test  Expr
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// ListComp is a list comprehension [v IN list WHERE p | proj]; Where
+// and Proj may be nil.
+type ListComp struct {
+	Var   string
+	List  Expr
+	Where Expr
+	Proj  Expr
+}
+
+// MapProjItem is one item of a map projection: a property selector
+// (.key), all properties (.*), or a computed entry (key: expr / bare
+// variable).
+type MapProjItem struct {
+	Key      string // result key ("" for AllProps)
+	Prop     bool   // .key form: copy the property
+	AllProps bool   // .* form: copy all properties
+	Value    Expr   // computed form (nil for Prop/AllProps)
+}
+
+// MapProjection is v {.a, .*, k: expr, other}: builds a map from an
+// entity or map value.
+type MapProjection struct {
+	X     Expr
+	Items []MapProjItem
+}
+
+// Reduce is reduce(acc = init, v IN list | expr): fold expr over the
+// list with accumulator acc.
+type Reduce struct {
+	Acc  string
+	Init Expr
+	Var  string
+	List Expr
+	Expr Expr
+}
+
+// QuantKind enumerates quantifier predicates.
+type QuantKind int
+
+// Quantifier kinds.
+const (
+	QuantAll QuantKind = iota
+	QuantAny
+	QuantNone
+	QuantSingle
+)
+
+// Quantifier is ALL/ANY/NONE/SINGLE(v IN list WHERE p).
+type Quantifier struct {
+	Kind  QuantKind
+	Var   string
+	List  Expr
+	Where Expr
+}
+
+// PatternPredicate is a pattern used as a boolean predicate in WHERE,
+// e.g. WHERE (a)-[:KNOWS]->(b). EXISTS((a)-->(b)) also lowers to this.
+type PatternPredicate struct{ Part PatternPart }
+
+func (*Literal) exprNode()          {}
+func (*Var) exprNode()              {}
+func (*Param) exprNode()            {}
+func (*Prop) exprNode()             {}
+func (*ListLit) exprNode()          {}
+func (*MapLit) exprNode()           {}
+func (*Unary) exprNode()            {}
+func (*Binary) exprNode()           {}
+func (*Comparison) exprNode()       {}
+func (*Index) exprNode()            {}
+func (*Slice) exprNode()            {}
+func (*FuncCall) exprNode()         {}
+func (*CountStar) exprNode()        {}
+func (*Case) exprNode()             {}
+func (*ListComp) exprNode()         {}
+func (*Quantifier) exprNode()       {}
+func (*Reduce) exprNode()           {}
+func (*MapProjection) exprNode()    {}
+func (*PatternPredicate) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Patterns
+
+// Direction is a relationship pattern direction.
+type Direction int
+
+// Relationship directions.
+const (
+	DirBoth  Direction = iota // -[]-
+	DirRight                  // -[]->
+	DirLeft                   // <-[]-
+)
+
+// ShortestKind marks shortestPath / allShortestPaths pattern parts.
+type ShortestKind int
+
+// Shortest-path pattern kinds.
+const (
+	ShortestNone ShortestKind = iota
+	ShortestSingle
+	ShortestAll
+)
+
+// NodePattern is (v:Label1:Label2 {props}).
+type NodePattern struct {
+	Var    string
+	Labels []string
+	Props  *MapLit
+}
+
+// RelPattern is -[v:T1|T2*min..max {props}]->.
+type RelPattern struct {
+	Var       string
+	Types     []string
+	Props     *MapLit
+	Dir       Direction
+	VarLength bool
+	MinHops   int // valid when VarLength; default 1
+	MaxHops   int // -1 = unbounded
+}
+
+// PatternPart is one comma-separated element of a MATCH pattern: an
+// optional path variable, an optional shortestPath wrapper, and the
+// chain (n0) r0 (n1) r1 (n2) ... with len(Nodes) == len(Rels)+1.
+type PatternPart struct {
+	Var      string
+	Shortest ShortestKind
+	Nodes    []*NodePattern
+	Rels     []*RelPattern
+}
+
+// Pattern is a comma-separated list of pattern parts.
+type Pattern struct{ Parts []PatternPart }
+
+// ---------------------------------------------------------------------------
+// Clauses
+
+// Clause is a query clause.
+type Clause interface{ clauseNode() }
+
+// Match is [OPTIONAL] MATCH pattern [WITHIN d] [WHERE expr]. Within is
+// the Seraph per-pattern window width (0 when absent).
+type Match struct {
+	Optional bool
+	Pattern  Pattern
+	Within   time.Duration
+	Where    Expr
+}
+
+// Unwind is UNWIND expr AS alias.
+type Unwind struct {
+	X     Expr
+	Alias string
+}
+
+// ReturnItem is expr [AS alias].
+type ReturnItem struct {
+	X     Expr
+	Alias string // empty when no alias; evaluator derives a name
+}
+
+// SortItem is an ORDER BY key.
+type SortItem struct {
+	X    Expr
+	Desc bool
+}
+
+// Projection carries the shared shape of WITH and RETURN.
+type Projection struct {
+	Distinct bool
+	Star     bool // RETURN * / WITH *
+	Items    []ReturnItem
+	OrderBy  []SortItem
+	Skip     Expr
+	Limit    Expr
+}
+
+// With is a WITH clause; Where is the optional post-projection filter.
+type With struct {
+	Projection
+	Where Expr
+}
+
+// Return is the final RETURN clause of a Cypher query.
+type Return struct{ Projection }
+
+// StreamOp enumerates Seraph's result stream operators (Section 5.3):
+// SNAPSHOT re-emits the full evaluation result (R-stream), ON ENTERING
+// emits only tuples new since the previous evaluation (I-stream), and
+// ON EXITING emits tuples that left since the previous evaluation
+// (D-stream).
+type StreamOp int
+
+// Stream operators.
+const (
+	OpSnapshot StreamOp = iota
+	OpOnEntering
+	OpOnExiting
+)
+
+func (op StreamOp) String() string {
+	switch op {
+	case OpSnapshot:
+		return "SNAPSHOT"
+	case OpOnEntering:
+		return "ON ENTERING"
+	case OpOnExiting:
+		return "ON EXITING"
+	}
+	return "StreamOp(?)"
+}
+
+// Emit is Seraph's EMIT items <streamop> EVERY duration clause. It
+// terminates the body of a registration instead of RETURN.
+type Emit struct {
+	Projection
+	Op    StreamOp
+	Every time.Duration
+}
+
+// Create is a CREATE clause (used primarily by ingestion).
+type Create struct{ Pattern Pattern }
+
+// Merge is a MERGE clause with optional ON CREATE / ON MATCH actions.
+type Merge struct {
+	Part     PatternPart
+	OnCreate []SetItem
+	OnMatch  []SetItem
+}
+
+// SetItem is one assignment of a SET clause: either a property
+// assignment (Target = Prop expr), a variable replace/merge
+// (v = map / v += map), or a label addition (v:Label).
+type SetItem struct {
+	Target Expr     // *Prop or *Var
+	Labels []string // for v:Label form
+	Value  Expr     // nil for label form
+	Merge  bool     // += instead of =
+}
+
+// Set is a SET clause.
+type Set struct{ Items []SetItem }
+
+// RemoveItem is one item of a REMOVE clause: a property (v.k) or a
+// label (v:Label).
+type RemoveItem struct {
+	Target Expr // *Prop or *Var
+	Labels []string
+}
+
+// Remove is a REMOVE clause.
+type Remove struct{ Items []RemoveItem }
+
+// Delete is [DETACH] DELETE expr, ... .
+type Delete struct {
+	Detach bool
+	Exprs  []Expr
+}
+
+// Foreach is FOREACH (v IN list | updating-clauses): runs the nested
+// updating clauses once per list element.
+type Foreach struct {
+	Var  string
+	List Expr
+	Body []Clause
+}
+
+func (*Match) clauseNode()   {}
+func (*Unwind) clauseNode()  {}
+func (*With) clauseNode()    {}
+func (*Return) clauseNode()  {}
+func (*Emit) clauseNode()    {}
+func (*Create) clauseNode()  {}
+func (*Merge) clauseNode()   {}
+func (*Set) clauseNode()     {}
+func (*Remove) clauseNode()  {}
+func (*Delete) clauseNode()  {}
+func (*Foreach) clauseNode() {}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// SingleQuery is a sequence of clauses ending in RETURN (one-time
+// Cypher), EMIT (inside a Seraph registration), or an updating clause.
+type SingleQuery struct{ Clauses []Clause }
+
+// Query is one or more single queries combined with UNION [ALL].
+// len(UnionAll) == len(Parts)-1.
+type Query struct {
+	Parts    []*SingleQuery
+	UnionAll []bool
+}
+
+// Registration is a Seraph REGISTER QUERY statement (Figure 6):
+//
+//	REGISTER QUERY name STARTING AT <datetime|NOW> { body }
+//
+// The body's final clause is an Emit (stream output) or a Return
+// (single time-annotated table at the first evaluation instant).
+type Registration struct {
+	Name     string
+	StartAt  time.Time
+	StartNow bool
+	Body     *Query
+}
+
+// EmitClause returns the body's Emit clause, or nil if the body ends
+// with RETURN.
+func (r *Registration) EmitClause() *Emit {
+	last := r.Body.Parts[len(r.Body.Parts)-1]
+	if len(last.Clauses) == 0 {
+		return nil
+	}
+	if e, ok := last.Clauses[len(last.Clauses)-1].(*Emit); ok {
+		return e
+	}
+	return nil
+}
+
+// MaxWithin returns the largest WITHIN width in the body (the engine
+// needs at least this much stream history), or 0 if none is declared.
+func (r *Registration) MaxWithin() time.Duration {
+	var max time.Duration
+	for _, p := range r.Body.Parts {
+		for _, c := range p.Clauses {
+			if m, ok := c.(*Match); ok && m.Within > max {
+				max = m.Within
+			}
+		}
+	}
+	return max
+}

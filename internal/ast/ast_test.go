@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/value"
+)
+
+func TestStreamOpString(t *testing.T) {
+	cases := map[StreamOp]string{
+		OpSnapshot:   "SNAPSHOT",
+		OpOnEntering: "ON ENTERING",
+		OpOnExiting:  "ON EXITING",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestRegistrationHelpers(t *testing.T) {
+	emit := &Emit{Op: OpOnEntering, Every: 5 * time.Minute}
+	reg := &Registration{
+		Name: "q",
+		Body: &Query{Parts: []*SingleQuery{{Clauses: []Clause{
+			&Match{Within: 10 * time.Minute},
+			&Match{Within: time.Hour},
+			emit,
+		}}}},
+	}
+	if reg.EmitClause() != emit {
+		t.Error("EmitClause should find the trailing EMIT")
+	}
+	if reg.MaxWithin() != time.Hour {
+		t.Errorf("MaxWithin = %s", reg.MaxWithin())
+	}
+	// RETURN-terminated body has no emit clause.
+	reg2 := &Registration{
+		Name: "r",
+		Body: &Query{Parts: []*SingleQuery{{Clauses: []Clause{
+			&Match{Within: time.Minute},
+			&Return{},
+		}}}},
+	}
+	if reg2.EmitClause() != nil {
+		t.Error("RETURN body must have nil EmitClause")
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		want string
+	}{
+		{&Prop{X: &Var{Name: "r"}, Key: "user_id"}, "r.user_id"},
+		{&CountStar{}, "count(*)"},
+		{&Binary{Op: OpAdd, L: &Var{Name: "a"}, R: &Literal{Val: value.NewInt(1)}}, "a + 1"},
+		{&Binary{Op: OpAnd,
+			L: &Var{Name: "a"},
+			R: &Binary{Op: OpOr, L: &Var{Name: "b"}, R: &Var{Name: "c"}}}, "a AND (b OR c)"},
+		{&Unary{Op: OpIsNull, X: &Var{Name: "x"}}, "x IS NULL"},
+		{&ListComp{Var: "n", List: &Var{Name: "ns"},
+			Where: &Var{Name: "p"}, Proj: &Prop{X: &Var{Name: "n"}, Key: "id"}},
+			"[n IN ns WHERE p | n.id]"},
+		{&Reduce{Acc: "a", Init: &Literal{Val: value.NewInt(0)}, Var: "x",
+			List: &Var{Name: "xs"}, Expr: &Binary{Op: OpAdd, L: &Var{Name: "a"}, R: &Var{Name: "x"}}},
+			"reduce(a = 0, x IN xs | a + x)"},
+		{&MapProjection{X: &Var{Name: "n"}, Items: []MapProjItem{
+			{Key: "name", Prop: true}, {AllProps: true}, {Key: "k", Value: &Literal{Val: value.NewInt(1)}},
+		}}, "n {.name, .*, k: 1}"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.expr); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPatternPartString(t *testing.T) {
+	part := PatternPart{
+		Var:      "p",
+		Shortest: ShortestSingle,
+		Nodes: []*NodePattern{
+			{Var: "a", Labels: []string{"X"}},
+			{Var: "b"},
+		},
+		Rels: []*RelPattern{
+			{Var: "r", Types: []string{"T1", "T2"}, Dir: DirRight, VarLength: true, MinHops: 2, MaxHops: 5},
+		},
+	}
+	want := "p = shortestPath((a:X)-[r:T1|T2*2..5]->(b))"
+	if got := PatternPartString(part); got != want {
+		t.Errorf("PatternPartString = %q, want %q", got, want)
+	}
+}

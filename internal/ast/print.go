@@ -1,0 +1,355 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an expression in Cypher-like surface syntax. It is
+// used to derive default column names for projection items without an
+// explicit alias, mirroring Cypher's behaviour (`RETURN r.user_id`
+// yields a column named "r.user_id").
+func ExprString(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}
+
+var cmpNames = map[CmpOp]string{
+	CmpEq: "=", CmpNeq: "<>", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+}
+
+var binNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%", OpPow: "^",
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpIn: "IN",
+	OpStartsWith: "STARTS WITH", OpEndsWith: "ENDS WITH",
+	OpContains: "CONTAINS", OpRegex: "=~",
+}
+
+var quantNames = map[QuantKind]string{
+	QuantAll: "all", QuantAny: "any", QuantNone: "none", QuantSingle: "single",
+}
+
+// Operator precedence levels for parenthesis insertion (higher binds
+// tighter). Mirrors the parser's grammar.
+const (
+	precOr = iota + 1
+	precXor
+	precAnd
+	precNot
+	precCmp
+	precPredicate // IN, STARTS WITH, IS NULL, ...
+	precAdd
+	precMul
+	precPow
+	precUnary
+	precAtom
+)
+
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case OpOr:
+			return precOr
+		case OpXor:
+			return precXor
+		case OpAnd:
+			return precAnd
+		case OpIn, OpStartsWith, OpEndsWith, OpContains, OpRegex:
+			return precPredicate
+		case OpAdd, OpSub:
+			return precAdd
+		case OpMul, OpDiv, OpMod:
+			return precMul
+		case OpPow:
+			return precPow
+		}
+		return precAtom
+	case *Comparison:
+		return precCmp
+	case *Unary:
+		switch x.Op {
+		case OpNot:
+			return precNot
+		case OpNeg:
+			return precUnary
+		default: // IS NULL / IS NOT NULL are postfix predicates
+			return precPredicate
+		}
+	}
+	return precAtom
+}
+
+// printChild renders a sub-expression, parenthesizing it when its
+// precedence is below the minimum the context requires.
+func printChild(b *strings.Builder, e Expr, minPrec int) {
+	if exprPrec(e) < minPrec {
+		b.WriteByte('(')
+		printExpr(b, e)
+		b.WriteByte(')')
+		return
+	}
+	printExpr(b, e)
+}
+
+func printExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		b.WriteString(x.Val.String())
+	case *Var:
+		b.WriteString(x.Name)
+	case *Param:
+		b.WriteByte('$')
+		b.WriteString(x.Name)
+	case *Prop:
+		printExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Key)
+	case *ListLit:
+		b.WriteByte('[')
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, it)
+		}
+		b.WriteByte(']')
+	case *MapLit:
+		b.WriteByte('{')
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k)
+			b.WriteString(": ")
+			printExpr(b, x.Vals[i])
+		}
+		b.WriteByte('}')
+	case *Unary:
+		switch x.Op {
+		case OpNot:
+			b.WriteString("NOT ")
+			printChild(b, x.X, precNot)
+		case OpNeg:
+			b.WriteByte('-')
+			printChild(b, x.X, precUnary)
+		case OpIsNull:
+			printChild(b, x.X, precPredicate)
+			b.WriteString(" IS NULL")
+		case OpIsNotNull:
+			printChild(b, x.X, precPredicate)
+			b.WriteString(" IS NOT NULL")
+		}
+	case *Binary:
+		prec := exprPrec(x)
+		// Left child may share the level (left associativity); the
+		// right child must bind strictly tighter except for the
+		// right-associative ^ and the symmetric boolean operators.
+		leftMin, rightMin := prec, prec+1
+		switch x.Op {
+		case OpPow:
+			leftMin, rightMin = prec+1, prec
+		case OpAnd, OpOr, OpXor:
+			rightMin = prec
+		}
+		printChild(b, x.L, leftMin)
+		b.WriteByte(' ')
+		b.WriteString(binNames[x.Op])
+		b.WriteByte(' ')
+		printChild(b, x.R, rightMin)
+	case *Comparison:
+		printChild(b, x.First, precCmp+1)
+		for i, op := range x.Ops {
+			b.WriteByte(' ')
+			b.WriteString(cmpNames[op])
+			b.WriteByte(' ')
+			printChild(b, x.Rest[i], precCmp+1)
+		}
+	case *Index:
+		printExpr(b, x.X)
+		b.WriteByte('[')
+		printExpr(b, x.I)
+		b.WriteByte(']')
+	case *Slice:
+		printExpr(b, x.X)
+		b.WriteByte('[')
+		if x.From != nil {
+			printExpr(b, x.From)
+		}
+		b.WriteString("..")
+		if x.To != nil {
+			printExpr(b, x.To)
+		}
+		b.WriteByte(']')
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *CountStar:
+		b.WriteString("count(*)")
+	case *Case:
+		b.WriteString("CASE")
+		if x.Test != nil {
+			b.WriteByte(' ')
+			printExpr(b, x.Test)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			printExpr(b, w.When)
+			b.WriteString(" THEN ")
+			printExpr(b, w.Then)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			printExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *ListComp:
+		b.WriteByte('[')
+		b.WriteString(x.Var)
+		b.WriteString(" IN ")
+		printExpr(b, x.List)
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, x.Where)
+		}
+		if x.Proj != nil {
+			b.WriteString(" | ")
+			printExpr(b, x.Proj)
+		}
+		b.WriteByte(']')
+	case *MapProjection:
+		printExpr(b, x.X)
+		b.WriteString(" {")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			switch {
+			case it.AllProps:
+				b.WriteString(".*")
+			case it.Prop:
+				b.WriteByte('.')
+				b.WriteString(it.Key)
+			default:
+				b.WriteString(it.Key)
+				b.WriteString(": ")
+				printExpr(b, it.Value)
+			}
+		}
+		b.WriteByte('}')
+	case *Reduce:
+		b.WriteString("reduce(")
+		b.WriteString(x.Acc)
+		b.WriteString(" = ")
+		printExpr(b, x.Init)
+		b.WriteString(", ")
+		b.WriteString(x.Var)
+		b.WriteString(" IN ")
+		printExpr(b, x.List)
+		b.WriteString(" | ")
+		printExpr(b, x.Expr)
+		b.WriteByte(')')
+	case *Quantifier:
+		b.WriteString(quantNames[x.Kind])
+		b.WriteByte('(')
+		b.WriteString(x.Var)
+		b.WriteString(" IN ")
+		printExpr(b, x.List)
+		b.WriteString(" WHERE ")
+		printExpr(b, x.Where)
+		b.WriteByte(')')
+	case *PatternPredicate:
+		b.WriteString(PatternPartString(x.Part))
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// PatternPartString renders a pattern part in surface syntax.
+func PatternPartString(p PatternPart) string {
+	var b strings.Builder
+	if p.Var != "" {
+		b.WriteString(p.Var)
+		b.WriteString(" = ")
+	}
+	switch p.Shortest {
+	case ShortestSingle:
+		b.WriteString("shortestPath(")
+	case ShortestAll:
+		b.WriteString("allShortestPaths(")
+	}
+	for i, n := range p.Nodes {
+		if i > 0 {
+			printRel(&b, p.Rels[i-1])
+		}
+		printNode(&b, n)
+	}
+	if p.Shortest != ShortestNone {
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func printNode(b *strings.Builder, n *NodePattern) {
+	b.WriteByte('(')
+	b.WriteString(n.Var)
+	for _, l := range n.Labels {
+		b.WriteByte(':')
+		b.WriteString(l)
+	}
+	if n.Props != nil {
+		if n.Var != "" || len(n.Labels) > 0 {
+			b.WriteByte(' ')
+		}
+		printExpr(b, n.Props)
+	}
+	b.WriteByte(')')
+}
+
+func printRel(b *strings.Builder, r *RelPattern) {
+	if r.Dir == DirLeft {
+		b.WriteString("<-")
+	} else {
+		b.WriteByte('-')
+	}
+	b.WriteByte('[')
+	b.WriteString(r.Var)
+	for i, t := range r.Types {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte('|')
+		}
+		b.WriteString(t)
+	}
+	if r.VarLength {
+		b.WriteByte('*')
+		if r.MinHops != 1 || r.MaxHops != -1 {
+			fmt.Fprintf(b, "%d..", r.MinHops)
+			if r.MaxHops >= 0 {
+				fmt.Fprintf(b, "%d", r.MaxHops)
+			}
+		}
+	}
+	if r.Props != nil {
+		b.WriteByte(' ')
+		printExpr(b, r.Props)
+	}
+	b.WriteByte(']')
+	if r.Dir == DirRight {
+		b.WriteString("->")
+	} else {
+		b.WriteByte('-')
+	}
+}

@@ -1,0 +1,225 @@
+package ast
+
+import (
+	"strings"
+
+	"seraph/internal/value"
+)
+
+// QueryString renders a query back to Cypher surface syntax. Together
+// with the parser this forms a round trip: parse(QueryString(q))
+// produces a query with identical semantics, which the parser tests
+// verify by re-rendering.
+func QueryString(q *Query) string {
+	var b strings.Builder
+	for i, part := range q.Parts {
+		if i > 0 {
+			b.WriteString("\nUNION ")
+			if q.UnionAll[i-1] {
+				b.WriteString("ALL ")
+			}
+			b.WriteByte('\n')
+		}
+		printSingle(&b, part)
+	}
+	return b.String()
+}
+
+// RegistrationString renders a Seraph registration back to Figure 6
+// surface syntax.
+func RegistrationString(r *Registration) string {
+	var b strings.Builder
+	b.WriteString("REGISTER QUERY ")
+	b.WriteString(r.Name)
+	b.WriteString(" STARTING AT ")
+	if r.StartNow {
+		b.WriteString("NOW")
+	} else {
+		b.WriteString(r.StartAt.Format("2006-01-02T15:04:05"))
+	}
+	b.WriteString("\n{\n")
+	body := QueryString(r.Body)
+	for _, line := range strings.Split(body, "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func printSingle(b *strings.Builder, sq *SingleQuery) {
+	for i, c := range sq.Clauses {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClause(b, c)
+	}
+}
+
+func printClause(b *strings.Builder, c Clause) {
+	switch x := c.(type) {
+	case *Match:
+		if x.Optional {
+			b.WriteString("OPTIONAL ")
+		}
+		b.WriteString("MATCH ")
+		printPattern(b, x.Pattern)
+		if x.Within > 0 {
+			b.WriteString(" WITHIN ")
+			b.WriteString(value.FormatDuration(x.Within))
+		}
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, x.Where)
+		}
+	case *Unwind:
+		b.WriteString("UNWIND ")
+		printExpr(b, x.X)
+		b.WriteString(" AS ")
+		b.WriteString(x.Alias)
+	case *With:
+		b.WriteString("WITH ")
+		printProjection(b, &x.Projection)
+		if x.Where != nil {
+			b.WriteString(" WHERE ")
+			printExpr(b, x.Where)
+		}
+	case *Return:
+		b.WriteString("RETURN ")
+		printProjection(b, &x.Projection)
+	case *Emit:
+		b.WriteString("EMIT ")
+		printProjection(b, &x.Projection)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteString(" EVERY ")
+		b.WriteString(value.FormatDuration(x.Every))
+	case *Create:
+		b.WriteString("CREATE ")
+		printPattern(b, x.Pattern)
+	case *Merge:
+		b.WriteString("MERGE ")
+		b.WriteString(PatternPartString(x.Part))
+		for _, it := range x.OnCreate {
+			b.WriteString(" ON CREATE SET ")
+			printSetItem(b, it)
+		}
+		for _, it := range x.OnMatch {
+			b.WriteString(" ON MATCH SET ")
+			printSetItem(b, it)
+		}
+	case *Set:
+		b.WriteString("SET ")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printSetItem(b, it)
+		}
+	case *Remove:
+		b.WriteString("REMOVE ")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, it.Target)
+			for _, l := range it.Labels {
+				b.WriteByte(':')
+				b.WriteString(l)
+			}
+		}
+	case *Delete:
+		if x.Detach {
+			b.WriteString("DETACH ")
+		}
+		b.WriteString("DELETE ")
+		for i, e := range x.Exprs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, e)
+		}
+	case *Foreach:
+		b.WriteString("FOREACH (")
+		b.WriteString(x.Var)
+		b.WriteString(" IN ")
+		printExpr(b, x.List)
+		b.WriteString(" | ")
+		for i, c := range x.Body {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			printClause(b, c)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func printPattern(b *strings.Builder, p Pattern) {
+	for i, part := range p.Parts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(PatternPartString(part))
+	}
+}
+
+func printProjection(b *strings.Builder, p *Projection) {
+	if p.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if p.Star {
+		b.WriteByte('*')
+		if len(p.Items) > 0 {
+			b.WriteString(", ")
+		}
+	}
+	for i, it := range p.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		printExpr(b, it.X)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	if len(p.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, s := range p.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, s.X)
+			if s.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if p.Skip != nil {
+		b.WriteString(" SKIP ")
+		printExpr(b, p.Skip)
+	}
+	if p.Limit != nil {
+		b.WriteString(" LIMIT ")
+		printExpr(b, p.Limit)
+	}
+}
+
+func printSetItem(b *strings.Builder, it SetItem) {
+	printExpr(b, it.Target)
+	if len(it.Labels) > 0 {
+		for _, l := range it.Labels {
+			b.WriteByte(':')
+			b.WriteString(l)
+		}
+		return
+	}
+	if it.Merge {
+		b.WriteString(" += ")
+	} else {
+		b.WriteString(" = ")
+	}
+	printExpr(b, it.Value)
+}

@@ -1,0 +1,118 @@
+// Package baseline implements the Cypher-only workaround that Section
+// 3.3 of the Seraph paper analyzes and rejects: external driver code
+// re-executes a one-time Cypher query on a fixed schedule against a
+// fully merged, ever-growing property graph. The window must be encoded
+// manually as timestamp predicates inside the query, the system has no
+// continuous semantics to optimize for, every poll recomputes from
+// scratch, and results are re-reported in full at every poll (no
+// ON ENTERING / ON EXITING control).
+//
+// It exists as the comparison point for the benchmark suite: the
+// paper's qualitative claim is that this approach degrades with total
+// history size while Seraph's cost is bounded by window content.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/ingest"
+	"seraph/internal/parser"
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// Result is one poll's output.
+type Result struct {
+	At    time.Time
+	Table *eval.Table
+}
+
+// Sink receives poll results.
+type Sink func(Result)
+
+// Poller periodically evaluates a one-time Cypher query over the
+// merged graph.
+type Poller struct {
+	store *graphstore.Store
+	query *ast.Query
+	every time.Duration
+	next  time.Time
+	sink  Sink
+
+	polls int
+}
+
+// New creates a poller for the given Cypher source, running every
+// `every` starting at `start`.
+func New(src string, start time.Time, every time.Duration, sink Sink) (*Poller, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	if every <= 0 {
+		return nil, fmt.Errorf("baseline: poll period must be positive")
+	}
+	return &Poller{
+		store: graphstore.New(),
+		query: q,
+		every: every,
+		next:  start,
+		sink:  sink,
+	}, nil
+}
+
+// Store exposes the merged graph (for inspection and size accounting).
+func (p *Poller) Store() *graphstore.Store { return p.store }
+
+// Polls returns the number of query executions so far.
+func (p *Poller) Polls() int { return p.polls }
+
+// Ingest merges an arriving event graph into the store. Nothing is
+// ever evicted: the Cypher-only pipeline has no notion of windows, so
+// the graph grows monotonically (the paper's core criticism).
+func (p *Poller) Ingest(g *pg.Graph, ts time.Time) error {
+	return ingest.MergeInto(p.store, g)
+}
+
+// AdvanceTo runs every poll that became due at or before ts.
+func (p *Poller) AdvanceTo(ts time.Time) error {
+	for !p.next.After(ts) {
+		if err := p.poll(p.next); err != nil {
+			return err
+		}
+		p.next = p.next.Add(p.every)
+	}
+	return nil
+}
+
+// Poll runs the query once at the given instant, regardless of
+// schedule.
+func (p *Poller) Poll(at time.Time) (*eval.Table, error) {
+	ctx := &eval.Ctx{
+		Store: p.store,
+		Builtins: map[string]value.Value{
+			"now": value.NewDateTime(at),
+		},
+	}
+	out, err := eval.EvalQuery(ctx, p.query)
+	if err != nil {
+		return nil, err
+	}
+	p.polls++
+	return out, nil
+}
+
+func (p *Poller) poll(at time.Time) error {
+	out, err := p.Poll(at)
+	if err != nil {
+		return err
+	}
+	if p.sink != nil {
+		p.sink(Result{At: at, Table: out})
+	}
+	return nil
+}

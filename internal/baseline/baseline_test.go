@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/workload"
+)
+
+// TestPollerReproducesTable2: the Section 3.3 polling baseline over the
+// Figure 1 events reports both trick users at the 15:40 poll.
+func TestPollerReproducesTable2(t *testing.T) {
+	var results []Result
+	start := workload.FigureOneDay.Add(14*time.Hour + 45*time.Minute)
+	p, err := New(workload.StudentTrickCypher, start, 5*time.Minute, func(r Result) {
+		results = append(results, r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range workload.Figure1Stream() {
+		if err := p.Ingest(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Polls() != 12 {
+		t.Errorf("polls = %d, want 12 (every 5m from 14:45 to 15:40)", p.Polls())
+	}
+	last := results[len(results)-1]
+	if !last.At.Equal(start.Add(55 * time.Minute)) {
+		t.Errorf("last poll at %s", last.At.Format("15:04"))
+	}
+	if last.Table.Len() != 2 {
+		t.Fatalf("15:40 poll rows = %d, want 2 (Table 2):\n%s", last.Table.Len(), last.Table)
+	}
+}
+
+// TestPollerReReportsEverything demonstrates the baseline's drawback
+// the paper criticizes: without emission control, every poll re-reports
+// all current matches (no ON ENTERING).
+func TestPollerReReportsEverything(t *testing.T) {
+	var total int
+	start := workload.FigureOneDay.Add(14*time.Hour + 45*time.Minute)
+	p, err := New(workload.StudentTrickCypher, start, 5*time.Minute, func(r Result) {
+		total += r.Table.Len()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range workload.Figure1Stream() {
+		if err := p.Ingest(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seraph's ON ENTERING emits exactly 2 rows over the same stream;
+	// the baseline re-reports matches at every poll they are visible.
+	if total <= 2 {
+		t.Errorf("baseline should over-report, got %d total rows", total)
+	}
+}
+
+// TestStoreGrowsWithoutBound: the baseline never evicts.
+func TestStoreGrowsWithoutBound(t *testing.T) {
+	cfg := workload.DefaultMicroMobilityConfig()
+	gen := workload.NewMicroMobility(cfg)
+	p, err := New(`MATCH (b:Bike)-[r:rentedAt]->(s:Station) RETURN count(*) AS n`,
+		cfg.Start, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for i := 0; i < 30; i++ {
+		el := gen.Next()
+		if err := p.Ingest(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, p.Store().NumRels())
+	}
+	if sizes[len(sizes)-1] <= sizes[0] {
+		t.Error("merged store should grow monotonically")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Error("baseline must never evict")
+		}
+	}
+}
+
+func TestPollerValidation(t *testing.T) {
+	if _, err := New("NOT CYPHER", time.Now(), time.Minute, nil); err == nil {
+		t.Error("bad query must fail")
+	}
+	if _, err := New("MATCH (n) RETURN n", time.Now(), 0, nil); err == nil {
+		t.Error("zero period must fail")
+	}
+}
+
+func TestManualPoll(t *testing.T) {
+	start := workload.FigureOneDay.Add(14*time.Hour + 45*time.Minute)
+	p, err := New(`MATCH (n) RETURN count(*) AS n`, start, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range workload.Figure1Stream() {
+		if err := p.Ingest(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := p.Poll(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].Int() != 8 {
+		t.Errorf("node count = %s", out.Rows[0][0])
+	}
+}

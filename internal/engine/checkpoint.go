@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/ingest"
+	"seraph/internal/parser"
+	"seraph/internal/window"
+)
+
+// Checkpointing serializes the engine's durable state — registrations,
+// window positions and the retained stream history — so a restarted
+// process resumes exactly where it stopped: the next evaluation instant
+// fires on schedule and ON ENTERING / ON EXITING diffs continue against
+// the pre-restart results (rebuilt by a silent warm-up evaluation).
+//
+// Limitations: parameterized registrations (RegisterWithParams) are not
+// checkpointable, and per-query sinks must be re-bound at restore time.
+
+const checkpointVersion = 1
+
+type checkpointFile struct {
+	Version     int               `json:"version"`
+	Bounds      string            `json:"bounds"`
+	Cache       bool              `json:"cache"`
+	Incremental bool              `json:"incremental"`
+	Now         time.Time         `json:"now"`
+	Static      json.RawMessage   `json:"static,omitempty"`
+	Queries     []checkpointQuery `json:"queries"`
+}
+
+type checkpointQuery struct {
+	Source   string            `json:"source"`
+	Stream   string            `json:"stream,omitempty"`
+	Start    time.Time         `json:"start"`
+	Pending  bool              `json:"pending,omitempty"`
+	NextEval time.Time         `json:"next_eval"`
+	Done     bool              `json:"done,omitempty"`
+	Stats    Stats             `json:"stats"`
+	Elements []json.RawMessage `json:"elements"`
+}
+
+// Checkpoint writes the engine's state to w.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := checkpointFile{
+		Version:     checkpointVersion,
+		Bounds:      e.bounds.String(),
+		Cache:       e.cacheSnapshots,
+		Incremental: e.incremental,
+		Now:         e.now,
+	}
+	if e.static != nil {
+		data, err := ingest.Encode(e.static, time.Unix(0, 0))
+		if err != nil {
+			return fmt.Errorf("engine: checkpoint static graph: %w", err)
+		}
+		cp.Static = data
+	}
+	for _, q := range e.queries {
+		if q.params != nil {
+			return fmt.Errorf("engine: checkpoint: query %q has parameters, which are not checkpointable", q.name)
+		}
+		cq := checkpointQuery{
+			Source:   ast.RegistrationString(q.reg),
+			Stream:   q.streamName,
+			Start:    q.cfg.Start,
+			Pending:  q.pendingStart,
+			NextEval: q.nextEval,
+			Done:     q.done,
+			Stats:    q.stats,
+		}
+		for _, el := range q.hist.Elements() {
+			data, err := ingest.Encode(el.Graph, el.Time)
+			if err != nil {
+				return fmt.Errorf("engine: checkpoint query %q: %w", q.name, err)
+			}
+			cq.Elements = append(cq.Elements, data)
+		}
+		cp.Queries = append(cp.Queries, cq)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// Restore reconstructs an engine from a checkpoint. sinkFor is called
+// once per restored query to re-bind its result sink (nil sinks are
+// allowed). The restored engine warms up each query's previous result
+// so ON ENTERING / ON EXITING diffs continue seamlessly.
+func Restore(r io.Reader, sinkFor func(queryName string) Sink) (*Engine, error) {
+	var cp checkpointFile
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d", cp.Version)
+	}
+	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental)}
+	if cp.Bounds == window.BoundsStrict.String() {
+		opts = append(opts, WithBounds(window.BoundsStrict))
+	}
+	if cp.Static != nil {
+		g, _, err := ingest.Decode(cp.Static)
+		if err != nil {
+			return nil, fmt.Errorf("engine: restore static graph: %w", err)
+		}
+		opts = append(opts, WithStaticGraph(g))
+	}
+	e := New(opts...)
+	e.now = cp.Now
+
+	for _, cq := range cp.Queries {
+		reg, err := parser.ParseRegistration(cq.Source)
+		if err != nil {
+			return nil, fmt.Errorf("engine: restore query: %w", err)
+		}
+		var sink Sink
+		if sinkFor != nil {
+			sink = sinkFor(reg.Name)
+		}
+		q, err := e.Register(reg, sink)
+		if err != nil {
+			return nil, err
+		}
+		q.streamName = cq.Stream
+		q.cfg.Start = cq.Start
+		q.pendingStart = cq.Pending
+		q.nextEval = cq.NextEval
+		q.done = cq.Done
+		q.stats = cq.Stats
+		for _, data := range cq.Elements {
+			g, ts, err := ingest.Decode(data)
+			if err != nil {
+				return nil, fmt.Errorf("engine: restore query %q history: %w", reg.Name, err)
+			}
+			if err := q.hist.Append(g, ts); err != nil {
+				return nil, fmt.Errorf("engine: restore query %q history: %w", reg.Name, err)
+			}
+		}
+		// Warm up the previous evaluation's result so emission diffs
+		// continue across the restart.
+		if !q.done && !q.pendingStart && q.nextEval.After(q.cfg.Start) {
+			lastEval := q.nextEval.Add(-q.cfg.Slide)
+			result, _, _, _, ok, err := e.computeResult(q, lastEval)
+			if err != nil {
+				return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+			}
+			if ok {
+				q.prev = result
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,561 @@
+// Package engine implements Seraph's continuous query engine: a
+// registry of REGISTER QUERY statements evaluated under snapshot
+// reducibility (Definition 5.8). The engine is driven by a virtual
+// clock: stream elements are pushed in timestamp order and AdvanceTo
+// triggers every due evaluation time instant (Definition 5.10). At each
+// instant the engine materializes the snapshot graph of the active
+// substream (Definitions 5.5/5.11), runs the compiled Cypher body on
+// it, applies the stream operator (SNAPSHOT / ON ENTERING / ON
+// EXITING), annotates the result with the window bounds, and emits a
+// time-annotated table to the query's sink.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+// Engine hosts registered continuous queries and drives their
+// evaluation. It is safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	queries map[string]*Query
+	bounds  window.Bounds
+	now     time.Time
+
+	// cacheSnapshots enables reuse of an evaluation's result when the
+	// active substream is identical to the previous evaluation's (the
+	// "avoidable re-executions on equal window contents" optimization
+	// the paper sketches in Section 6).
+	cacheSnapshots bool
+
+	// static, when non-nil, is a background property graph unioned
+	// into every snapshot graph — the paper's future-work item (iii):
+	// "incorporate static graph data within the continuous
+	// computation".
+	static *pg.Graph
+
+	// incremental switches snapshot maintenance from rebuild-per-
+	// evaluation to a refcounted rolling graph that applies only the
+	// elements entering and leaving each window (the paper's Section 6
+	// "efficient window maintenance" optimization).
+	incremental bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBounds selects the window bounds mode (default
+// window.BoundsPaperExample; see DESIGN.md).
+func WithBounds(b window.Bounds) Option {
+	return func(e *Engine) { e.bounds = b }
+}
+
+// WithSnapshotCache enables reuse of evaluation results across
+// evaluations whose active substreams are identical.
+func WithSnapshotCache(on bool) Option {
+	return func(e *Engine) { e.cacheSnapshots = on }
+}
+
+// WithStaticGraph unions a static background graph into every snapshot
+// graph, letting continuous queries join streaming data against
+// reference data (the paper's future-work item iii). The engine takes
+// ownership of g.
+func WithStaticGraph(g *pg.Graph) Option {
+	return func(e *Engine) { e.static = g }
+}
+
+// WithIncrementalSnapshots maintains each query's snapshot graph
+// incrementally across evaluations instead of re-unioning the whole
+// window every time — a large win when windows overlap heavily (small
+// EVERY relative to WITHIN). Trade-off: node and relationship values
+// emitted in results view the live rolling graph, so their labels and
+// properties may change as the window slides; queries that emit scalars
+// (the common case) are unaffected.
+func WithIncrementalSnapshots(on bool) Option {
+	return func(e *Engine) { e.incremental = on }
+}
+
+// New returns an engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{queries: make(map[string]*Query)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Stats are per-query evaluation counters.
+type Stats struct {
+	Evaluations    int
+	SkippedByCache int
+	ElementsSeen   int
+	RowsEmitted    int
+}
+
+// Query is a registered continuous query.
+type Query struct {
+	name string
+	reg  *ast.Registration
+	emit *ast.Emit // nil for RETURN-terminated registrations
+	cfg  window.Config
+	hist *stream.Stream
+	sink Sink
+
+	pendingStart bool // STARTING AT NOW: resolve ω₀ on first input
+	nextEval     time.Time
+	prev         *eval.Table // previous full evaluation result
+	prevElems    string      // content key of previous active substream
+	prevCached   *eval.Table
+	done         bool
+	failErr      error
+	stats        Stats
+	params       map[string]value.Value
+	history      TimeVarying
+
+	// streamName binds the query to a named input stream (future-work
+	// item i: querying multiple streams); "" is the default stream.
+	streamName string
+
+	// rollers holds the per-width rolling snapshots when the engine
+	// runs in incremental mode.
+	rollers map[time.Duration]*rolling
+}
+
+// Name returns the registration name.
+func (q *Query) Name() string { return q.name }
+
+// Stats returns a copy of the query's counters.
+func (q *Query) Stats() Stats { return q.stats }
+
+// History returns the time-varying table of everything this query has
+// produced so far (Definition 5.7).
+func (q *Query) History() *TimeVarying { return &q.history }
+
+// BufferedElements returns the number of stream elements currently
+// retained for this query (bounded by the window width plus one slide;
+// the engine prunes older history).
+func (q *Query) BufferedElements() int { return q.hist.Len() }
+
+// Registration returns the parsed registration.
+func (q *Query) Registration() *ast.Registration { return q.reg }
+
+// Stream returns the input stream name the query is bound to ("" is
+// the default stream).
+func (q *Query) Stream() string { return q.streamName }
+
+// Err returns the evaluation error that permanently stopped this
+// query, or nil while it is healthy. A failed query stops evaluating
+// but does not affect other registered queries.
+func (q *Query) Err() error { return q.failErr }
+
+// Register adds a parsed registration with the given result sink.
+func (e *Engine) Register(reg *ast.Registration, sink Sink) (*Query, error) {
+	return e.RegisterWithParams(reg, sink, nil)
+}
+
+// RegisterWithParams is Register with query parameters ($name values).
+func (e *Engine) RegisterWithParams(reg *ast.Registration, sink Sink, params map[string]value.Value) (*Query, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.queries[reg.Name]; dup {
+		return nil, fmt.Errorf("engine: query %q already registered", reg.Name)
+	}
+	width := reg.MaxWithin()
+	if width <= 0 {
+		return nil, fmt.Errorf("engine: registration %q declares no WITHIN window", reg.Name)
+	}
+	slide := width // RETURN registrations: grid defaults to tumbling
+	if em := reg.EmitClause(); em != nil {
+		if em.Every <= 0 {
+			return nil, fmt.Errorf("engine: registration %q: EVERY must be positive", reg.Name)
+		}
+		slide = em.Every
+	}
+	q := &Query{
+		name: reg.Name,
+		reg:  reg,
+		emit: reg.EmitClause(),
+		cfg: window.Config{
+			Start:  reg.StartAt,
+			Width:  width,
+			Slide:  slide,
+			Bounds: e.bounds,
+		},
+		hist:   stream.New(),
+		sink:   sink,
+		params: params,
+	}
+	if reg.StartNow {
+		q.pendingStart = true
+		if !e.now.IsZero() {
+			q.cfg.Start = e.now
+			q.pendingStart = false
+			q.nextEval = q.cfg.Start
+		}
+	} else {
+		if err := q.cfg.Validate(); err != nil {
+			return nil, err
+		}
+		q.nextEval = q.cfg.Start
+	}
+	e.queries[reg.Name] = q
+	return q, nil
+}
+
+// RegisterSource parses src as a REGISTER QUERY statement and registers
+// it.
+func (e *Engine) RegisterSource(src string, sink Sink) (*Query, error) {
+	reg, err := parser.ParseRegistration(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Register(reg, sink)
+}
+
+// RegisterSourceOn registers src bound to a named input stream: the
+// query only consumes elements pushed via PushStream with the same
+// name. This implements the paper's future-work item (i), querying
+// multiple logical streams with one engine.
+func (e *Engine) RegisterSourceOn(streamName, src string, sink Sink) (*Query, error) {
+	q, err := e.RegisterSource(src, sink)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	q.streamName = streamName
+	e.mu.Unlock()
+	return q, nil
+}
+
+// Deregister removes a query by name (the paper's registry allows
+// editing and deleting registered queries).
+func (e *Engine) Deregister(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.queries[name]; !ok {
+		return fmt.Errorf("engine: query %q not registered", name)
+	}
+	delete(e.queries, name)
+	return nil
+}
+
+// Queries returns the registered queries sorted by name.
+func (e *Engine) Queries() []*Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Push appends a stream element (G, ω) to the default stream. Elements
+// must arrive in non-decreasing timestamp order per stream. Push does
+// not trigger evaluations; call AdvanceTo.
+func (e *Engine) Push(g *pg.Graph, ts time.Time) error {
+	return e.PushStream("", g, ts)
+}
+
+// PushStream appends a stream element to the named logical stream,
+// reaching only the queries registered on it.
+func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ts.After(e.now) {
+		e.now = ts
+	}
+	for _, q := range e.queries {
+		if q.streamName != streamName {
+			continue
+		}
+		if q.pendingStart {
+			q.cfg.Start = ts
+			q.nextEval = ts
+			q.pendingStart = false
+		}
+		if err := q.hist.Append(g, ts); err != nil {
+			return err
+		}
+		q.stats.ElementsSeen++
+	}
+	return nil
+}
+
+// Now returns the engine's virtual clock (the latest timestamp seen).
+func (e *Engine) Now() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// AdvanceTo moves the virtual clock to ts, running every evaluation
+// time instant that became due, in order, across all queries.
+func (e *Engine) AdvanceTo(ts time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ts.After(e.now) {
+		e.now = ts
+	}
+	// Interleave evaluations of all queries in global timestamp order
+	// so multi-query sinks observe a coherent timeline. A query whose
+	// evaluation fails is marked failed and stops evaluating; the
+	// others continue, and the collected failures are returned.
+	var errs []error
+	for {
+		var next *Query
+		for _, q := range e.queries {
+			if q.done || q.pendingStart || q.nextEval.After(ts) {
+				continue
+			}
+			if next == nil || q.nextEval.Before(next.nextEval) ||
+				(q.nextEval.Equal(next.nextEval) && q.name < next.name) {
+				next = q
+			}
+		}
+		if next == nil {
+			return errors.Join(errs...)
+		}
+		if err := e.evaluate(next, next.nextEval); err != nil {
+			err = fmt.Errorf("engine: query %q at %s: %w",
+				next.name, next.nextEval.Format(time.RFC3339), err)
+			next.failErr = err
+			next.done = true
+			errs = append(errs, err)
+			continue
+		}
+		next.nextEval = next.nextEval.Add(next.cfg.Slide)
+		next.hist.DropBefore(next.cfg.RetentionHorizon(next.nextEval))
+	}
+}
+
+// evaluate runs one evaluation of q at instant ω, per Figure 5 of the
+// paper: window → snapshot graph → Cypher evaluation → stream operator
+// → time-annotated table.
+func (e *Engine) evaluate(q *Query, ω time.Time) error {
+	result, iv, nodes, rels, ok, err := e.computeResult(q, ω)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// No window contains ω (strict mode with β > α): skip.
+		return nil
+	}
+
+	// Stream operator (Section 5.3): SNAPSHOT re-emits everything; ON
+	// ENTERING / ON EXITING are bag differences against the previous
+	// evaluation's result.
+	op := ast.OpSnapshot
+	if q.emit != nil {
+		op = q.emit.Op
+	}
+	out := result
+	switch op {
+	case ast.OpOnEntering:
+		prev := q.prev
+		if prev == nil {
+			prev = &eval.Table{Cols: result.Cols}
+		}
+		out, err = eval.BagDifference(result, prev)
+	case ast.OpOnExiting:
+		prev := q.prev
+		if prev == nil {
+			prev = &eval.Table{Cols: result.Cols}
+		}
+		out, err = eval.BagDifference(prev, result)
+	}
+	if err != nil {
+		return err
+	}
+	q.prev = result
+
+	annotated := annotate(out, iv)
+	q.stats.Evaluations++
+	q.stats.RowsEmitted += annotated.Len()
+	res := Result{
+		Query:         q.name,
+		At:            ω,
+		Window:        iv,
+		Op:            op,
+		Table:         annotated,
+		SnapshotNodes: nodes,
+		SnapshotRels:  rels,
+	}
+	if err := q.history.Append(TimeAnnotated{Interval: iv, Table: annotated}); err != nil {
+		return err
+	}
+	if q.sink != nil {
+		q.sink(res)
+	}
+	if q.emit == nil {
+		// RETURN-terminated registration: single result then done.
+		q.done = true
+	}
+	return nil
+}
+
+// computeResult evaluates q's body over the snapshot graph(s) at ω
+// without applying the stream operator or emitting: the full result
+// table, the active window, and the default snapshot's size. ok is
+// false when no window contains ω.
+func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv stream.Interval, nodes, rels int, ok bool, err error) {
+	iv, ok = q.cfg.ActiveWindow(ω)
+	if !ok {
+		return nil, iv, 0, 0, false, nil
+	}
+
+	// Snapshot graphs, one per distinct WITHIN width, built lazily.
+	type snap struct {
+		store *graphstore.Store
+		n, m  int
+	}
+	snaps := map[time.Duration]*snap{}
+	var snapErr error
+	getSnap := func(width time.Duration) *graphstore.Store {
+		if width == 0 {
+			width = q.cfg.Width
+		}
+		if s, ok := snaps[width]; ok {
+			return s.store
+		}
+		wiv, ok := window.ActiveWindowWidth(q.cfg, width, ω)
+		var elems []stream.Element
+		if ok {
+			elems = q.hist.Substream(wiv)
+		}
+		var s *snap
+		if e.incremental {
+			roller, err := q.roller(width, e.static)
+			if err == nil {
+				err = roller.advance(elems)
+			}
+			if err != nil {
+				snapErr = err
+				s = &snap{store: graphstore.New()}
+			} else {
+				s = &snap{store: roller.store, n: roller.store.NumNodes(), m: roller.store.NumRels()}
+			}
+		} else {
+			g, err := stream.Snapshot(elems)
+			if err == nil && e.static != nil {
+				err = g.UnionInPlace(e.static)
+			}
+			if err != nil {
+				snapErr = err
+				g = pg.New()
+			}
+			s = &snap{store: graphstore.FromGraph(g), n: g.NumNodes(), m: g.NumRels()}
+		}
+		snaps[width] = s
+		return s.store
+	}
+
+	// The "equal window contents" optimization: when enabled and the
+	// active substream of the default window is unchanged, reuse the
+	// previous evaluation's table.
+	var contentKey string
+	if e.cacheSnapshots {
+		contentKey = substreamKey(q.hist.Substream(iv))
+		if q.prevCached != nil && contentKey == q.prevElems {
+			result = q.prevCached
+			q.stats.SkippedByCache++
+		}
+	}
+
+	if result == nil {
+		ctx := &eval.Ctx{
+			GraphFor: getSnap,
+			Params:   q.params,
+			Builtins: map[string]value.Value{
+				"win_start": value.NewDateTime(iv.Start),
+				"win_end":   value.NewDateTime(iv.End),
+				"now":       value.NewDateTime(ω),
+			},
+		}
+		ctx.Store = getSnap(q.cfg.Width)
+		if snapErr != nil {
+			return nil, iv, 0, 0, true, snapErr
+		}
+		result, err = eval.EvalQuery(ctx, q.reg.Body)
+		if err != nil {
+			return nil, iv, 0, 0, true, err
+		}
+		if snapErr != nil {
+			return nil, iv, 0, 0, true, snapErr
+		}
+	}
+	if e.cacheSnapshots {
+		q.prevElems = contentKey
+		q.prevCached = result
+	}
+	if def := snaps[q.cfg.Width]; def != nil {
+		nodes, rels = def.n, def.m
+	}
+	return result, iv, nodes, rels, true, nil
+}
+
+// roller returns (creating on first use) the query's rolling snapshot
+// for a window width. A static background graph is added once as a
+// permanent contribution.
+func (q *Query) roller(width time.Duration, static *pg.Graph) (*rolling, error) {
+	if q.rollers == nil {
+		q.rollers = map[time.Duration]*rolling{}
+	}
+	if r, ok := q.rollers[width]; ok {
+		return r, nil
+	}
+	r := newRolling()
+	if static != nil {
+		if err := r.add(static); err != nil {
+			return nil, err
+		}
+	}
+	q.rollers[width] = r
+	return r, nil
+}
+
+// annotate appends the reserved win_start / win_end columns
+// (Definition 5.6) to a projection result.
+func annotate(t *eval.Table, iv stream.Interval) *eval.Table {
+	out := &eval.Table{Cols: append(append([]string(nil), t.Cols...), "win_start", "win_end")}
+	ws, we := value.NewDateTime(iv.Start), value.NewDateTime(iv.End)
+	for _, row := range t.Rows {
+		out.Rows = append(out.Rows, append(append([]value.Value(nil), row...), ws, we))
+	}
+	return out
+}
+
+// substreamKey builds a cheap content identity for an active substream:
+// element timestamps plus graph sizes. Pushing distinct graphs with
+// identical timestamps and sizes is possible but the engine only uses
+// the key when the caller opted in to snapshot caching.
+func substreamKey(elems []stream.Element) string {
+	var b []byte
+	for _, e := range elems {
+		b = appendInt(b, e.Time.UnixNano())
+		b = appendInt(b, int64(e.Graph.NumNodes()))
+		b = appendInt(b, int64(e.Graph.NumRels()))
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return append(b, ';')
+}

@@ -1,0 +1,607 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+var base = time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+
+func tick(sec int) time.Time { return base.Add(time.Duration(sec) * time.Second) }
+
+// sensorGraph builds one event carrying a single reading relationship
+// (s:Sensor {name})-[:READ {v}]->(z:Zone).
+func sensorGraph(relID int64, sensor string, v int64) *pg.Graph {
+	g := pg.New()
+	sid := int64(1)
+	if sensor == "s2" {
+		sid = 2
+	}
+	g.AddNode(&value.Node{ID: sid, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+		"name": value.NewString(sensor)}})
+	g.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{}})
+	if err := g.AddRel(&value.Relationship{ID: relID, StartID: sid, EndID: 100, Type: "READ",
+		Props: map[string]value.Value{"v": value.NewInt(v)}}); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+const sensorQuery = `
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z:Zone)
+  WITHIN PT10S
+  WHERE r.v > 40
+  EMIT s.name AS sensor, r.v AS v
+  %s EVERY PT5S
+}`
+
+func driveSensors(t *testing.T, e *Engine, op string) *Collector {
+	t.Helper()
+	col := &Collector{}
+	src := strings.Replace(sensorQuery, "%s", op, 1)
+	if _, err := e.RegisterSource(src, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	// Readings: hot at t=0 (41), t=5 (50), cool at t=10, hot at t=15.
+	events := []struct {
+		at  int
+		val int64
+	}{{0, 41}, {5, 50}, {10, 20}, {15, 60}}
+	for i, ev := range events {
+		if err := e.Push(sensorGraph(int64(1000+i), "s1", ev.val), tick(ev.at)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(tick(ev.at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(tick(30)); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// rowsAt returns the (sensor, v) pairs emitted at the given instant.
+func rowsAt(col *Collector, at time.Time) []int64 {
+	r := col.At(at)
+	if r == nil {
+		return nil
+	}
+	var out []int64
+	for i := range r.Table.Rows {
+		out = append(out, r.Table.Get(i, "v").Int())
+	}
+	return out
+}
+
+func TestSnapshotOperatorReEmits(t *testing.T) {
+	col := driveSensors(t, New(), "SNAPSHOT")
+	// Window 10s, slide 5s. Reading 41 at t=0 is visible at evals t=0,
+	// t=5 and t=10 ((t-10, t] contains 0 for t in {0, 5, 10}).
+	if got := rowsAt(col, tick(0)); len(got) != 1 || got[0] != 41 {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := rowsAt(col, tick(5)); len(got) != 2 {
+		t.Errorf("t=5 should re-emit 41 and 50: %v", got)
+	}
+	// Window (0, 10] excludes the t=0 reading: only 50 remains.
+	if got := rowsAt(col, tick(10)); len(got) != 1 || got[0] != 50 {
+		t.Errorf("t=10: %v", got)
+	}
+	// Window (5, 15]: readings at 10 (cool) and 15 (60) → one hot row.
+	if got := rowsAt(col, tick(15)); len(got) != 1 || got[0] != 60 {
+		t.Errorf("t=15: %v", got)
+	}
+}
+
+func TestOnEnteringEmitsOnlyNew(t *testing.T) {
+	col := driveSensors(t, New(), "ON ENTERING")
+	if got := rowsAt(col, tick(0)); len(got) != 1 || got[0] != 41 {
+		t.Errorf("t=0: %v", got)
+	}
+	// t=5: 41 already seen, only 50 is new.
+	if got := rowsAt(col, tick(5)); len(got) != 1 || got[0] != 50 {
+		t.Errorf("t=5: %v", got)
+	}
+	// t=10: nothing new.
+	if got := rowsAt(col, tick(10)); len(got) != 0 {
+		t.Errorf("t=10: %v", got)
+	}
+	// t=15: 60 is new.
+	if got := rowsAt(col, tick(15)); len(got) != 1 || got[0] != 60 {
+		t.Errorf("t=15: %v", got)
+	}
+	// t=20, t=25, t=30: nothing new.
+	for _, s := range []int{20, 25, 30} {
+		if got := rowsAt(col, tick(s)); len(got) != 0 {
+			t.Errorf("t=%d: %v", s, got)
+		}
+	}
+}
+
+func TestOnExitingEmitsDepartures(t *testing.T) {
+	col := driveSensors(t, New(), "ON EXITING")
+	// t=0, t=5: nothing left yet.
+	if got := rowsAt(col, tick(0)); len(got) != 0 {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := rowsAt(col, tick(5)); len(got) != 0 {
+		t.Errorf("t=5: %v", got)
+	}
+	// t=10: previous eval (t=5) had {41, 50}; the (0, 10] window drops
+	// the t=0 reading → exits {41}.
+	if got := rowsAt(col, tick(10)); len(got) != 1 || got[0] != 41 {
+		t.Errorf("t=10 exits: %v", got)
+	}
+	// t=15: previous eval had {50}; now {60} → exits {50}.
+	got := rowsAt(col, tick(15))
+	if len(got) != 1 || got[0] != 50 {
+		t.Errorf("t=15 exits: %v", got)
+	}
+	// t=25: 60 (t=15) exits the (15, 25] window.
+	got = rowsAt(col, tick(25))
+	if len(got) != 1 || got[0] != 60 {
+		t.Errorf("t=25 exits: %v", got)
+	}
+}
+
+func TestWinStartEndBuiltins(t *testing.T) {
+	e := New()
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY w STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT s.name AS sensor, win_end - win_start AS width
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	r := col.At(tick(0))
+	if r == nil || r.Table.Len() != 1 {
+		t.Fatalf("result: %+v", r)
+	}
+	if got := r.Table.Get(0, "width"); got.Duration() != 10*time.Second {
+		t.Errorf("win_end - win_start = %s", got)
+	}
+	// The annotated columns are present and correct.
+	if ws := r.Table.Get(0, "win_start"); !ws.DateTime().Equal(tick(-10)) {
+		t.Errorf("win_start = %s", ws)
+	}
+	if we := r.Table.Get(0, "win_end"); !we.DateTime().Equal(tick(0)) {
+		t.Errorf("win_end = %s", we)
+	}
+}
+
+func TestReturnRegistrationRunsOnce(t *testing.T) {
+	e := New()
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY once STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  RETURN count(*) AS readings
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(60)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Results) != 1 {
+		t.Fatalf("RETURN registration emitted %d results, want 1", len(col.Results))
+	}
+	if col.Results[0].Table.Get(0, "readings").Int() != 1 {
+		t.Errorf("count = %s", col.Results[0].Table.Get(0, "readings"))
+	}
+}
+
+func TestStartNowResolvesOnFirstPush(t *testing.T) {
+	e := New()
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY nowq STARTING AT NOW
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT s.name AS sensor
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No evaluations before any input.
+	if err := e.AdvanceTo(tick(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Results) != 0 {
+		t.Fatal("no evaluations expected before first element")
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(120)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(130)); err != nil {
+		t.Fatal(err)
+	}
+	// ω₀ = first element time (t=120): evals at 120, 125, 130.
+	if len(col.Results) != 3 {
+		t.Fatalf("evaluations = %d, want 3", len(col.Results))
+	}
+	if !col.Results[0].At.Equal(tick(120)) {
+		t.Errorf("first eval at %s", col.Results[0].At)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	e := New()
+	if _, err := e.RegisterSource(`
+REGISTER QUERY bad STARTING AT NOW
+{ MATCH (a) RETURN a }`, nil); err == nil {
+		t.Error("missing WITHIN must fail")
+	}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY ok STARTING AT NOW
+{ MATCH (a) WITHIN PT1S EMIT a EVERY PT1S }`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY ok STARTING AT NOW
+{ MATCH (a) WITHIN PT1S EMIT a EVERY PT1S }`, nil); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := e.Deregister("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deregister("ok"); err == nil {
+		t.Error("double deregister must fail")
+	}
+	if len(e.Queries()) != 0 {
+		t.Error("registry should be empty")
+	}
+}
+
+func TestHistoryPruning(t *testing.T) {
+	e := New()
+	q, err := e.RegisterSource(`
+REGISTER QUERY p STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT s.name AS sensor
+  SNAPSHOT EVERY PT5S
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.Push(sensorGraph(int64(i+1), "s1", 1), tick(i*5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(tick(i * 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Stats().ElementsSeen != 100 {
+		t.Errorf("elements seen = %d", q.Stats().ElementsSeen)
+	}
+	// Retention = width (10s) + slide (5s) → at most ~4 elements at 5s
+	// spacing.
+	if n := q.BufferedElements(); n > 6 {
+		t.Errorf("history not pruned: %d elements buffered", n)
+	}
+}
+
+func TestSnapshotCacheSkipsEqualWindows(t *testing.T) {
+	run := func(cache bool) (*Collector, Stats) {
+		e := New(WithSnapshotCache(cache))
+		col := &Collector{}
+		q, err := e.RegisterSource(`
+REGISTER QUERY c STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT1M
+  EMIT s.name AS sensor, r.v AS v
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One element, then a long quiet period: window contents stay
+		// identical for several evaluations.
+		if err := e.Push(sensorGraph(1, "s1", 7), tick(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(tick(30)); err != nil {
+			t.Fatal(err)
+		}
+		return col, q.Stats()
+	}
+	colOff, statsOff := run(false)
+	colOn, statsOn := run(true)
+	if statsOff.SkippedByCache != 0 {
+		t.Error("cache disabled should never skip")
+	}
+	if statsOn.SkippedByCache == 0 {
+		t.Error("cache enabled should skip equal windows")
+	}
+	// Results identical either way.
+	if len(colOff.Results) != len(colOn.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(colOff.Results), len(colOn.Results))
+	}
+	for i := range colOff.Results {
+		a, b := colOff.Results[i], colOn.Results[i]
+		if a.Table.Len() != b.Table.Len() || !a.At.Equal(b.At) {
+			t.Errorf("result %d differs with cache", i)
+		}
+	}
+}
+
+func TestPerPatternWindows(t *testing.T) {
+	// Two MATCH clauses with different WITHIN widths: the long window
+	// sees old sensors, the short window only fresh zones.
+	e := New()
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY two STARTING AT 2026-07-06T10:01:00
+{
+  MATCH (s:Sensor) WITHIN PT2M
+  MATCH (z:Zone) WITHIN PT10S
+  EMIT s.name AS sensor, count(z) AS freshZones
+  SNAPSHOT EVERY PT1M
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sensor event at t=0 (old); zone-only event at t=60 (fresh).
+	g1 := pg.New()
+	g1.AddNode(&value.Node{ID: 1, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+		"name": value.NewString("s1")}})
+	if err := e.Push(g1, tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	g2 := pg.New()
+	g2.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{}})
+	if err := e.Push(g2, tick(60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(60)); err != nil {
+		t.Fatal(err)
+	}
+	r := col.At(tick(60))
+	if r == nil || r.Table.Len() != 1 {
+		t.Fatalf("result: %+v", r)
+	}
+	// The sensor (t=0) is inside the 2m window; the zone (t=60) is
+	// inside the 10s window.
+	if got := r.Table.Get(0, "freshZones").Int(); got != 1 {
+		t.Errorf("freshZones = %d", got)
+	}
+	if got := r.Table.Get(0, "sensor").Str(); got != "s1" {
+		t.Errorf("sensor = %s", got)
+	}
+}
+
+func TestStrictBoundsMode(t *testing.T) {
+	e := New(WithBounds(window.BoundsStrict))
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY s STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT r.v AS v
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element exactly at an evaluation instant: in strict close-open
+	// windows, [t, t+10) starting at the instant itself contains it.
+	if err := e.Push(sensorGraph(1, "s1", 7), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	r := col.At(tick(0))
+	if r == nil {
+		t.Fatal("no result at t=0")
+	}
+	// Strict active window at t=0: earliest [s, s+10) containing 0 with
+	// s on the 5s grid is [-5, 5).
+	if !r.Window.Start.Equal(tick(-5)) || !r.Window.End.Equal(tick(5)) {
+		t.Errorf("strict window = %s", r.Window)
+	}
+	if r.Table.Len() != 1 {
+		t.Errorf("element at instant should match in strict mode: %d rows", r.Table.Len())
+	}
+}
+
+func TestMultiQueryInterleaving(t *testing.T) {
+	e := New()
+	var order []string
+	mkSink := func(name string) Sink {
+		return func(r Result) { order = append(order, name+"@"+r.At.Format("05")) }
+	}
+	for _, spec := range []struct{ name, every string }{
+		{"fast", "PT5S"}, {"slow", "PT10S"},
+	} {
+		_, err := e.RegisterSource(strings.NewReplacer("NAME", spec.name, "EVERY_D", spec.every).Replace(`
+REGISTER QUERY NAME STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT30S
+  EMIT s.name AS n
+  SNAPSHOT EVERY EVERY_D
+}`), mkSink(spec.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fast@00", "slow@00", "fast@05", "fast@10", "slow@10"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPushOutOfOrderRejected(t *testing.T) {
+	e := New()
+	if _, err := e.RegisterSource(`
+REGISTER QUERY q STARTING AT 2026-07-06T10:00:00
+{ MATCH (a) WITHIN PT10S EMIT a EVERY PT5S }`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(2, "s1", 1), tick(5)); err == nil {
+		t.Error("out-of-order push must fail")
+	}
+}
+
+// TestQueryFailureIsolation: a query whose evaluation errors stops
+// permanently with its error recorded, while other queries keep
+// running.
+func TestQueryFailureIsolation(t *testing.T) {
+	e := New()
+	okCol := &Collector{}
+	bad, err := e.RegisterSource(`
+REGISTER QUERY bad STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT sum(s.name) AS boom
+  SNAPSHOT EVERY PT5S
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY good STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT5S
+}`, okCol.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 7), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	err = e.AdvanceTo(tick(10))
+	if err == nil {
+		t.Fatal("AdvanceTo should surface the failed query's error")
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Errorf("error should name the query: %v", err)
+	}
+	if bad.Err() == nil {
+		t.Error("failed query should record its error")
+	}
+	// The good query ran all three instants.
+	if len(okCol.Results) != 3 {
+		t.Errorf("good query evaluations = %d, want 3", len(okCol.Results))
+	}
+	// Further advances are clean: the failed query is dormant.
+	if err := e.AdvanceTo(tick(20)); err != nil {
+		t.Errorf("post-failure advance: %v", err)
+	}
+}
+
+// TestStrictModeGapSkipsEvaluation: in strict bounds mode with slide
+// greater than width, evaluation instants falling into window gaps are
+// skipped (Definition 5.11 finds no containing window).
+func TestStrictModeGapSkipsEvaluation(t *testing.T) {
+	e := New(WithBounds(window.BoundsStrict))
+	col := &Collector{}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY gap STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT2S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT10S
+}`, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	// Instants on the ω₀+10s grid: [10:00:00, 10:00:02) windows exist
+	// at grid starts, so evaluations AT grid starts land inside their
+	// own [start, start+2s) windows and do run; an instant like
+	// 10:00:10 is in [10:00:10, 10:00:12) → runs too. All ET instants
+	// are themselves window starts here, so none are skipped — but an
+	// element arriving between windows is invisible.
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(5)); err != nil {
+		t.Fatal(err) // t=5 lies in the gap (10:00:02..10:00:10)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range col.Results {
+		if r.Table.Get(0, "n").Int() != 0 {
+			t.Errorf("element in window gap must be invisible at %s", r.At)
+		}
+	}
+	if len(col.Results) == 0 {
+		t.Fatal("evaluations expected")
+	}
+}
+
+// TestIncrementalPlusCache: the two optimizations compose.
+func TestIncrementalPlusCache(t *testing.T) {
+	e := New(WithIncrementalSnapshots(true), WithSnapshotCache(true))
+	col := &Collector{}
+	q, err := e.RegisterSource(`
+REGISTER QUERY both STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT1M
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(30)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats().SkippedByCache == 0 {
+		t.Error("cache should fire")
+	}
+	for _, r := range col.Results {
+		if r.Table.Get(0, "n").Int() != 1 {
+			t.Errorf("wrong count at %s", r.At)
+		}
+	}
+}

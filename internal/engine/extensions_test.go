@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+// TestStaticGraphExtension covers the paper's future-work item (iii):
+// a static reference graph participates in every snapshot. Sensors
+// stream readings; the static graph provides the zone→building
+// hierarchy they join against.
+func TestStaticGraphExtension(t *testing.T) {
+	static := pg.New()
+	static.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{
+		"name": value.NewString("hall")}})
+	static.AddNode(&value.Node{ID: 500, Labels: []string{"Building"}, Props: map[string]value.Value{
+		"name": value.NewString("HQ")}})
+	if err := static.AddRel(&value.Relationship{ID: 900, StartID: 100, EndID: 500, Type: "PART_OF",
+		Props: map[string]value.Value{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(WithStaticGraph(static))
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY located STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z:Zone)-[:PART_OF]->(b:Building)
+  WITHIN PT10S
+  EMIT s.name AS sensor, b.name AS building
+  SNAPSHOT EVERY PT5S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream element only carries the sensor, the zone node stub
+	// and the reading; the PART_OF edge lives in the static graph.
+	g := pg.New()
+	g.AddNode(&value.Node{ID: 1, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+		"name": value.NewString("s1")}})
+	g.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{}})
+	if err := g.AddRel(&value.Relationship{ID: 10, StartID: 1, EndID: 100, Type: "READ",
+		Props: map[string]value.Value{"v": value.NewInt(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(g, tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	r := col.At(tick(0))
+	if r == nil || r.Table.Len() != 1 {
+		t.Fatalf("join against static graph failed: %+v", r)
+	}
+	if got := r.Table.Get(0, "building").Str(); got != "HQ" {
+		t.Errorf("building = %s", got)
+	}
+}
+
+// TestMultiStreamExtension covers future-work item (i): two logical
+// streams feed two queries independently; elements on one stream are
+// invisible to queries bound to the other.
+func TestMultiStreamExtension(t *testing.T) {
+	e := New()
+	colA, colB := &Collector{}, &Collector{}
+	srcFor := func(name string) string {
+		return `
+REGISTER QUERY ` + name + ` STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT5S
+}`
+	}
+	qa, err := e.RegisterSourceOn("plant-a", srcFor("qa"), colA.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterSourceOn("plant-b", srcFor("qb"), colB.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	if qa.Stream() != "plant-a" {
+		t.Errorf("stream name = %q", qa.Stream())
+	}
+
+	// Two elements on stream A, one on stream B.
+	if err := e.PushStream("plant-a", sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushStream("plant-a", sensorGraph(2, "s1", 2), tick(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushStream("plant-b", sensorGraph(3, "s2", 3), tick(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	ra := colA.At(tick(5))
+	rb := colB.At(tick(5))
+	if ra == nil || rb == nil {
+		t.Fatal("both queries must evaluate")
+	}
+	if got := ra.Table.Get(0, "n").Int(); got != 2 {
+		t.Errorf("stream A count = %d, want 2", got)
+	}
+	if got := rb.Table.Get(0, "n").Int(); got != 1 {
+		t.Errorf("stream B count = %d, want 1", got)
+	}
+
+	// Per-stream ordering: a later push on A doesn't constrain B.
+	if err := e.PushStream("plant-a", sensorGraph(4, "s1", 4), tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushStream("plant-b", sensorGraph(5, "s2", 5), tick(8)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticGraphWithStrictBounds: extensions compose with the strict
+// window mode.
+func TestStaticGraphWithStrictBounds(t *testing.T) {
+	static := pg.New()
+	static.AddNode(&value.Node{ID: 999, Labels: []string{"Anchor"}, Props: map[string]value.Value{}})
+	e := New(WithStaticGraph(static), WithBounds(window.BoundsStrict))
+	col := &Collector{}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY a STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (x:Anchor) WITHIN PT10S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT5S
+}`, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if r := col.At(tick(0)); r == nil || r.Table.Get(0, "n").Int() != 1 {
+		t.Fatal("static anchor must be visible in every window")
+	}
+}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// rolling maintains a snapshot graph incrementally across evaluations:
+// instead of re-unioning the whole active substream at every instant,
+// it applies only the elements entering and leaving the window. This
+// implements the paper's first planned optimization ("efficient window
+// maintenance", Section 6).
+//
+// Union under the unique name assumption is additive, so removal needs
+// reference counting: every entity, label and property value tracks how
+// many window elements currently contribute it, and disappears when the
+// count reaches zero. A property key contributed with two different
+// values is an inconsistency, exactly as in pg.Union.
+type rolling struct {
+	store *graphstore.Store
+
+	nodeRef  map[int64]int
+	relRef   map[int64]int
+	labelRef map[int64]map[string]int
+	propRef  map[propSite]*propEntry
+
+	// included tracks the elements currently inside the window, keyed
+	// by graph identity.
+	included map[*pg.Graph]stream.Element
+}
+
+// propSite identifies one property slot on a node or relationship.
+type propSite struct {
+	rel bool
+	id  int64
+	key string
+}
+
+type propEntry struct {
+	count  int
+	valKey string
+	val    value.Value
+}
+
+func newRolling() *rolling {
+	return &rolling{
+		store:    graphstore.New(),
+		nodeRef:  map[int64]int{},
+		relRef:   map[int64]int{},
+		labelRef: map[int64]map[string]int{},
+		propRef:  map[propSite]*propEntry{},
+		included: map[*pg.Graph]stream.Element{},
+	}
+}
+
+// advance brings the rolling snapshot to the given active substream,
+// applying removals first (freeing slots for consistent re-adds) and
+// then additions.
+func (r *rolling) advance(elems []stream.Element) error {
+	current := make(map[*pg.Graph]bool, len(elems))
+	for _, e := range elems {
+		current[e.Graph] = true
+	}
+	for g, e := range r.included {
+		if !current[g] {
+			r.remove(e.Graph)
+			delete(r.included, g)
+		}
+	}
+	for _, e := range elems {
+		if _, ok := r.included[e.Graph]; ok {
+			continue
+		}
+		if err := r.add(e.Graph); err != nil {
+			return err
+		}
+		r.included[e.Graph] = e
+	}
+	return nil
+}
+
+func (r *rolling) add(g *pg.Graph) error {
+	// Nodes first (relationships need endpoints present).
+	for _, n := range g.Nodes() {
+		if r.nodeRef[n.ID] == 0 {
+			r.store.AddNode(&value.Node{ID: n.ID, Props: map[string]value.Value{}})
+		}
+		r.nodeRef[n.ID]++
+		lr := r.labelRef[n.ID]
+		if lr == nil {
+			lr = map[string]int{}
+			r.labelRef[n.ID] = lr
+		}
+		sn := r.store.Node(n.ID)
+		for _, l := range n.Labels {
+			if lr[l] == 0 {
+				r.store.AddLabel(sn, l)
+			}
+			lr[l]++
+		}
+		for k, v := range n.Props {
+			if err := r.addProp(propSite{id: n.ID, key: k}, v, sn.Props); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rel := range g.Rels() {
+		if r.relRef[rel.ID] == 0 {
+			if err := r.store.AddRel(&value.Relationship{
+				ID: rel.ID, StartID: rel.StartID, EndID: rel.EndID,
+				Type: rel.Type, Props: map[string]value.Value{},
+			}); err != nil {
+				return err
+			}
+		} else {
+			existing := r.store.Rel(rel.ID)
+			if existing.StartID != rel.StartID || existing.EndID != rel.EndID || existing.Type != rel.Type {
+				return &pg.Inconsistency{Entity: "relationship", ID: rel.ID, Reason: "differing topology"}
+			}
+		}
+		r.relRef[rel.ID]++
+		sr := r.store.Rel(rel.ID)
+		for k, v := range rel.Props {
+			if err := r.addProp(propSite{rel: true, id: rel.ID, key: k}, v, sr.Props); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *rolling) addProp(site propSite, v value.Value, props map[string]value.Value) error {
+	pe := r.propRef[site]
+	vk := value.Key(v)
+	if pe == nil || pe.count == 0 {
+		r.propRef[site] = &propEntry{count: 1, valKey: vk, val: v}
+		props[site.key] = v
+		return nil
+	}
+	if pe.valKey != vk {
+		entity := "node"
+		if site.rel {
+			entity = "relationship"
+		}
+		return &pg.Inconsistency{Entity: entity, ID: site.id,
+			Reason: fmt.Sprintf("property %q: %s vs %s", site.key, pe.val, v)}
+	}
+	pe.count++
+	return nil
+}
+
+// remove undoes one element's contribution. Relationships go first so
+// nodes are free to disappear afterwards.
+func (r *rolling) remove(g *pg.Graph) {
+	for _, rel := range g.Rels() {
+		sr := r.store.Rel(rel.ID)
+		for k := range rel.Props {
+			r.removeProp(propSite{rel: true, id: rel.ID, key: k}, sr.Props)
+		}
+		r.relRef[rel.ID]--
+		if r.relRef[rel.ID] == 0 {
+			r.store.DeleteRel(sr)
+			delete(r.relRef, rel.ID)
+		}
+	}
+	for _, n := range g.Nodes() {
+		sn := r.store.Node(n.ID)
+		for k := range n.Props {
+			r.removeProp(propSite{id: n.ID, key: k}, sn.Props)
+		}
+		lr := r.labelRef[n.ID]
+		for _, l := range n.Labels {
+			lr[l]--
+			if lr[l] == 0 {
+				r.store.RemoveLabel(sn, l)
+				delete(lr, l)
+			}
+		}
+		r.nodeRef[n.ID]--
+		if r.nodeRef[n.ID] == 0 {
+			// All relationships referencing the node are gone: every
+			// element carries its relationships' endpoints, so their
+			// refcounts cannot outlive the node's.
+			_ = r.store.DeleteNode(sn, false)
+			delete(r.nodeRef, n.ID)
+			delete(r.labelRef, n.ID)
+		}
+	}
+}
+
+func (r *rolling) removeProp(site propSite, props map[string]value.Value) {
+	pe := r.propRef[site]
+	if pe == nil {
+		return
+	}
+	pe.count--
+	if pe.count == 0 {
+		delete(props, site.key)
+		delete(r.propRef, site)
+	}
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+	"seraph/internal/workload"
+)
+
+// feedFigure1 pushes the paper's Figure 1 stream into the engine,
+// advancing the clock after each event.
+func feedFigure1(t *testing.T, e *Engine) {
+	t.Helper()
+	for _, el := range workload.Figure1Stream() {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatalf("advance: %v", err)
+		}
+	}
+}
+
+func clock(hour, min int) time.Time {
+	return workload.FigureOneDay.Add(time.Duration(hour)*time.Hour + time.Duration(min)*time.Minute)
+}
+
+// TestTable5And6 reproduces Tables 5 and 6 of the paper: the Seraph
+// student-trick query (Listing 5) over the Figure 1 stream emits user
+// 1234 at 15:15 with window [14:15, 15:15] and user 5678 at 15:40 with
+// window [14:40, 15:40] — and nothing else.
+func TestTable5And6(t *testing.T) {
+	e := New()
+	col := &Collector{}
+	if _, err := e.RegisterSource(workload.StudentTrickQuery, col.Sink()); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	feedFigure1(t, e)
+
+	// Evaluations run every 5 minutes from 14:45 through 15:40.
+	if want := 12; len(col.Results) != want {
+		t.Fatalf("evaluations = %d, want %d", len(col.Results), want)
+	}
+
+	nonEmpty := col.NonEmpty()
+	if len(nonEmpty) != 2 {
+		for _, r := range nonEmpty {
+			t.Logf("at %s:\n%s", r.At.Format("15:04"), r.Table)
+		}
+		t.Fatalf("non-empty results = %d, want 2", len(nonEmpty))
+	}
+
+	// Table 5: output at 15:15.
+	r5 := col.At(clock(15, 15))
+	if r5 == nil || r5.Table.Len() != 1 {
+		t.Fatalf("15:15 result: %+v", r5)
+	}
+	checkTrickRow(t, r5.Table, 0, 1234, 1, clock(14, 40), []int64{2, 3})
+	if !r5.Window.Start.Equal(clock(14, 15)) || !r5.Window.End.Equal(clock(15, 15)) {
+		t.Errorf("15:15 window = %s, want (14:15, 15:15]", r5.Window)
+	}
+
+	// Table 6: output at 15:40 — only the new match (ON ENTERING).
+	r6 := col.At(clock(15, 40))
+	if r6 == nil || r6.Table.Len() != 1 {
+		t.Fatalf("15:40 result: %+v table:\n%s", r6, r6.Table)
+	}
+	checkTrickRow(t, r6.Table, 0, 5678, 2, clock(14, 58), []int64{3, 4})
+	if !r6.Window.Start.Equal(clock(14, 40)) || !r6.Window.End.Equal(clock(15, 40)) {
+		t.Errorf("15:40 window = %s, want (14:40, 15:40]", r6.Window)
+	}
+}
+
+func checkTrickRow(t *testing.T, tab *eval.Table, row int, user, station int64, valTime time.Time, hops []int64) {
+	t.Helper()
+	if got := tab.Get(row, "r.user_id"); !got.IsInt() || got.Int() != user {
+		t.Errorf("r.user_id = %s, want %d", got, user)
+	}
+	if got := tab.Get(row, "s.id"); !got.IsInt() || got.Int() != station {
+		t.Errorf("s.id = %s, want %d", got, station)
+	}
+	if got := tab.Get(row, "r.val_time"); got.Kind() != value.KindDateTime || !got.DateTime().Equal(valTime) {
+		t.Errorf("r.val_time = %s, want %s", got, valTime.Format("15:04"))
+	}
+	got := tab.Get(row, "hops")
+	if !got.IsList() || len(got.List()) != len(hops) {
+		t.Fatalf("hops = %s, want %v", got, hops)
+	}
+	for i, h := range hops {
+		if got.List()[i].Int() != h {
+			t.Errorf("hops[%d] = %s, want %d", i, got.List()[i], h)
+		}
+	}
+}
+
+// TestTable2 reproduces Table 2: the Cypher-only workaround (Listing 1)
+// evaluated once at 15:40 over the merged graph of Figure 2 reports
+// both users.
+func TestTable2(t *testing.T) {
+	g, err := stream.Snapshot(workload.Figure1Stream())
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	q, err := parser.ParseQuery(workload.StudentTrickCypher)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ctx := &eval.Ctx{
+		Store: graphstore.FromGraph(g),
+		Builtins: map[string]value.Value{
+			"now": value.NewDateTime(clock(15, 40)),
+		},
+	}
+	out, err := eval.EvalQuery(ctx, q)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", out.Len(), out)
+	}
+	// Deterministic order check: sort by user id via the table itself.
+	users := map[int64]int{}
+	for i := range out.Rows {
+		users[out.Get(i, "r.user_id").Int()] = i
+	}
+	i1234, ok1 := users[1234]
+	i5678, ok2 := users[5678]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing expected users:\n%s", out)
+	}
+	checkTrickRow(t, out, i1234, 1234, 1, clock(14, 40), []int64{2, 3})
+	checkTrickRow(t, out, i5678, 5678, 2, clock(14, 58), []int64{3, 4})
+}
+
+// TestFigure2Merge reproduces Figure 2: merging the five Figure 1
+// events yields 4 stations, 4 vehicles and 8 relationships.
+func TestFigure2Merge(t *testing.T) {
+	g, err := stream.Snapshot(workload.Figure1Stream())
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if g.NumNodes() != 8 {
+		t.Errorf("nodes = %d, want 8", g.NumNodes())
+	}
+	if g.NumRels() != 8 {
+		t.Errorf("relationships = %d, want 8", g.NumRels())
+	}
+	stations, bikes, ebikes := 0, 0, 0
+	for _, n := range g.Nodes() {
+		if n.HasLabel("Station") {
+			stations++
+		}
+		if n.HasLabel("Bike") {
+			bikes++
+		}
+		if n.HasLabel("EBike") {
+			ebikes++
+		}
+	}
+	if stations != 4 || bikes != 4 || ebikes != 2 {
+		t.Errorf("stations=%d bikes=%d ebikes=%d, want 4/4/2", stations, bikes, ebikes)
+	}
+	rented, returned := 0, 0
+	for _, r := range g.Rels() {
+		switch r.Type {
+		case "rentedAt":
+			rented++
+		case "returnedAt":
+			returned++
+		}
+	}
+	if rented != 4 || returned != 4 {
+		t.Errorf("rentedAt=%d returnedAt=%d, want 4/4", rented, returned)
+	}
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/stream"
+	"seraph/internal/window"
+	"seraph/internal/workload"
+)
+
+// TestSnapshotReducibility verifies Definition 5.8 (the heart of
+// Figure 7's continuous semantics): for every evaluation time instant
+// ω, the continuous query's SNAPSHOT result equals the one-time Cypher
+// counterpart Q evaluated over the snapshot graph of the active
+// substream: CQ(S)_ω = Q(S_ω).
+func TestSnapshotReducibility(t *testing.T) {
+	elems := workload.Figure1Stream()
+
+	// Continuous evaluation (SNAPSHOT so every instant reports fully).
+	continuous := `
+REGISTER QUERY cq STARTING AT 2022-10-14T14:45:00
+{
+  MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+        q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+  WITHIN PT1H
+  WITH r, s, q, relationships(q) AS rels,
+       [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops
+  WHERE all(e IN rels WHERE
+        e.user_id = r.user_id AND e.val_time > r.val_time AND
+        (e.duration IS NULL OR e.duration < 20))
+  EMIT r.user_id, s.id, r.val_time, hops
+  SNAPSHOT EVERY PT5M
+}`
+	e := New()
+	col := &Collector{}
+	if _, err := e.RegisterSource(continuous, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	s := stream.New()
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One-time counterpart Q (same body, RETURN instead of EMIT).
+	oneTime, err := parser.ParseQuery(`
+  MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+        q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+  WITH r, s, q, relationships(q) AS rels,
+       [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops
+  WHERE all(e IN rels WHERE
+        e.user_id = r.user_id AND e.val_time > r.val_time AND
+        (e.duration IS NULL OR e.duration < 20))
+  RETURN r.user_id, s.id, r.val_time, hops`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := window.Config{
+		Start: workload.FigureOneDay.Add(14*time.Hour + 45*time.Minute),
+		Width: time.Hour, Slide: 5 * time.Minute,
+		Bounds: window.BoundsPaperExample,
+	}
+	for _, res := range col.Results {
+		sub, _, ok := cfg.ActiveSubstream(s, res.At)
+		if !ok {
+			t.Fatalf("no window at %s", res.At)
+		}
+		g, err := stream.Snapshot(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval.EvalQuery(&eval.Ctx{Store: graphstore.FromGraph(g)}, oneTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare as bags, ignoring the win_start/win_end annotations.
+		got := &eval.Table{Cols: res.Table.Cols[:len(res.Table.Cols)-2]}
+		for _, row := range res.Table.Rows {
+			got.Rows = append(got.Rows, row[:len(row)-2])
+		}
+		if !sameBag(got, want) {
+			t.Errorf("at %s: CQ(S)_ω ≠ Q(S_ω)\ncontinuous:\n%s\none-time:\n%s",
+				res.At.Format("15:04"), got, want)
+		}
+	}
+}
+
+func sameBag(a, b *eval.Table) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	counts := map[string]int{}
+	for i := range a.Rows {
+		counts[a.RowKey(i)]++
+	}
+	for i := range b.Rows {
+		counts[b.RowKey(i)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSnapshotReducibility is the property-based version over
+// random event streams and a simple counting query: at every instant,
+// the continuous count equals a direct count over the active window's
+// union graph.
+func TestQuickSnapshotReducibility(t *testing.T) {
+	oneTime, err := parser.ParseQuery(`MATCH (s:Sensor)-[r:READ]->(z) RETURN count(*) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		col := &Collector{}
+		if _, err := e.RegisterSource(`
+REGISTER QUERY q STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[rd:READ]->(z)
+  WITHIN PT30S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT7S
+}`, col.Sink()); err != nil {
+			return false
+		}
+		s := stream.New()
+		now := base
+		for i := 0; i < 20; i++ {
+			now = now.Add(time.Duration(1+r.Intn(10)) * time.Second)
+			g := sensorGraph(int64(1000+i), "s1", int64(r.Intn(100)))
+			if err := e.Push(g, now); err != nil {
+				return false
+			}
+			if err := s.Append(g, now); err != nil {
+				return false
+			}
+			if err := e.AdvanceTo(now); err != nil {
+				return false
+			}
+		}
+		cfg := window.Config{Start: base, Width: 30 * time.Second, Slide: 7 * time.Second,
+			Bounds: window.BoundsPaperExample}
+		for _, res := range col.Results {
+			sub, _, _ := cfg.ActiveSubstream(s, res.At)
+			g, err := stream.Snapshot(sub)
+			if err != nil {
+				return false
+			}
+			want, err := eval.EvalQuery(&eval.Ctx{Store: graphstore.FromGraph(g)}, oneTime)
+			if err != nil {
+				return false
+			}
+			if res.Table.Get(0, "n").Int() != want.Rows[0][0].Int() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineFigure5 is the Figure 5 integration test: window →
+// snapshot graph → MATCH → WHERE → WITH → MATCH → EMIT, exercising the
+// full data/query model interaction including clause chaining over
+// time-varying tables.
+func TestPipelineFigure5(t *testing.T) {
+	e := New()
+	col := &Collector{}
+	_, err := e.RegisterSource(`
+REGISTER QUERY pipeline STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z:Zone)
+  WITHIN PT20S
+  WHERE r.v >= 10
+  WITH s, max(r.v) AS peak
+  MATCH (s)-[r2:READ]->(z2:Zone)
+  WITHIN PT20S
+  WHERE r2.v = peak
+  EMIT s.name AS sensor, peak, z2.name AS zone
+  SNAPSHOT EVERY PT10S
+}`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []int64{15, 90, 40} {
+		ts := tick(i * 5)
+		if err := e.Push(sensorGraph(int64(100+i), "s1", v), ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := col.At(tick(10))
+	if r == nil || r.Table.Len() != 1 {
+		t.Fatalf("pipeline result at t=10: %+v", r)
+	}
+	if got := r.Table.Get(0, "peak").Int(); got != 90 {
+		t.Errorf("peak = %d", got)
+	}
+	if got := r.Table.Get(0, "sensor").Str(); got != "s1" {
+		t.Errorf("sensor = %s", got)
+	}
+}

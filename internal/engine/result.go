@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/stream"
+)
+
+// Result is one output of a registered continuous query: a
+// time-annotated table (Definition 5.6) produced at evaluation instant
+// At, after applying the query's stream operator. The Table includes
+// the reserved win_start and win_end columns.
+type Result struct {
+	// Query is the registration name.
+	Query string
+	// At is the evaluation time instant ω ∈ ET.
+	At time.Time
+	// Window is the active window the snapshot graph was built from.
+	Window stream.Interval
+	// Op is the stream operator that produced this result.
+	Op ast.StreamOp
+	// Table is the emitted time-annotated table.
+	Table *eval.Table
+	// SnapshotNodes/SnapshotRels describe the snapshot graph size
+	// (useful for monitoring and benchmarks).
+	SnapshotNodes int
+	SnapshotRels  int
+}
+
+// Sink receives results from the engine. Implementations must be fast
+// or hand off to their own goroutine; the engine calls sinks
+// synchronously from its evaluation loop to preserve result order.
+type Sink func(Result)
+
+// Collector is a Sink that accumulates all results, useful in tests
+// and batch experiments.
+type Collector struct {
+	Results []Result
+}
+
+// Sink returns a Sink that appends to the collector.
+func (c *Collector) Sink() Sink {
+	return func(r Result) { c.Results = append(c.Results, r) }
+}
+
+// NonEmpty returns only the results whose tables contain rows.
+func (c *Collector) NonEmpty() []Result {
+	var out []Result
+	for _, r := range c.Results {
+		if r.Table.Len() > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent result, or nil.
+func (c *Collector) Last() *Result {
+	if len(c.Results) == 0 {
+		return nil
+	}
+	return &c.Results[len(c.Results)-1]
+}
+
+// At returns the result produced at instant t, or nil.
+func (c *Collector) At(t time.Time) *Result {
+	for i := range c.Results {
+		if c.Results[i].At.Equal(t) {
+			return &c.Results[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/eval"
+	"seraph/internal/stream"
+)
+
+// TimeAnnotated is a time-annotated table T̃_τ (Definition 5.6): a
+// table whose records are annotated with the bounds of the window they
+// were produced from.
+type TimeAnnotated struct {
+	Interval stream.Interval
+	Table    *eval.Table
+}
+
+// TimeVarying is a time-varying table Ψ (Definition 5.7): a function
+// from time instants to time-annotated tables, materialized as the
+// ordered sequence of tables a continuous query has produced. Append
+// enforces the definition's constraints; At implements Ψ(ω) with the
+// chronologicality rule (earliest interval containing ω wins).
+type TimeVarying struct {
+	entries []TimeAnnotated
+}
+
+// Append adds a time-annotated table. Entries must arrive in
+// chronological order of their interval start (monotonicity: subsequent
+// time instants map to subsequent tables).
+func (tv *TimeVarying) Append(ta TimeAnnotated) error {
+	if n := len(tv.entries); n > 0 {
+		prev := tv.entries[n-1].Interval
+		if ta.Interval.Start.Before(prev.Start) {
+			return fmt.Errorf("engine: time-varying table violates monotonicity: window starting %s after %s",
+				ta.Interval.Start.Format(time.RFC3339), prev.Start.Format(time.RFC3339))
+		}
+	}
+	tv.entries = append(tv.entries, ta)
+	return nil
+}
+
+// Len returns the number of materialized tables.
+func (tv *TimeVarying) Len() int { return len(tv.entries) }
+
+// Entries returns all materialized tables in order.
+func (tv *TimeVarying) Entries() []TimeAnnotated { return tv.entries }
+
+// At implements Ψ(ω): the time-annotated table with the earliest
+// (minimal) opening timestamp whose interval contains ω (consistency +
+// chronologicality constraints of Definition 5.7). ok is false when no
+// table is defined at ω.
+func (tv *TimeVarying) At(ω time.Time) (TimeAnnotated, bool) {
+	for _, ta := range tv.entries {
+		if ta.Interval.Contains(ω) {
+			return ta, true
+		}
+	}
+	return TimeAnnotated{}, false
+}

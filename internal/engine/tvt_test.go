@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"testing"
+
+	"seraph/internal/eval"
+	"seraph/internal/stream"
+)
+
+func iv(startSec, endSec int) stream.Interval {
+	return stream.Interval{Start: tick(startSec), End: tick(endSec), IncludeStart: false, IncludeEnd: true}
+}
+
+func ta(startSec, endSec int) TimeAnnotated {
+	return TimeAnnotated{
+		Interval: iv(startSec, endSec),
+		Table:    &eval.Table{Cols: []string{"m"}, Rows: nil},
+	}
+}
+
+// TestTimeVaryingConstraints exercises Definition 5.7: consistency (At
+// returns a table whose interval contains ω), chronologicality (the
+// earliest-opening table wins) and monotonicity (Append rejects
+// regressions).
+func TestTimeVaryingConstraints(t *testing.T) {
+	var tv TimeVarying
+	if err := tv.Append(ta(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.Append(ta(5, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tv.Append(ta(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Len() != 3 {
+		t.Fatalf("len = %d", tv.Len())
+	}
+
+	// Monotonicity: an earlier window cannot follow a later one.
+	if err := tv.Append(ta(-5, 5)); err == nil {
+		t.Error("monotonicity violation must be rejected")
+	}
+
+	// Consistency + chronologicality: ω = 7s is inside (0,10] and
+	// (5,15]; the earliest opening wins.
+	got, ok := tv.At(tick(7))
+	if !ok {
+		t.Fatal("Ψ(7s) undefined")
+	}
+	if !got.Interval.Start.Equal(tick(0)) {
+		t.Errorf("Ψ(7s) interval starts %s, want 0s", got.Interval.Start)
+	}
+	// ω = 12s: only (5,15] and (10,20] contain it; earliest start 5.
+	got, ok = tv.At(tick(12))
+	if !ok || !got.Interval.Start.Equal(tick(5)) {
+		t.Errorf("Ψ(12s): %v %v", got.Interval, ok)
+	}
+	// ω outside every interval.
+	if _, ok := tv.At(tick(100)); ok {
+		t.Error("Ψ(100s) should be undefined")
+	}
+	if _, ok := tv.At(tick(-100)); ok {
+		t.Error("Ψ(-100s) should be undefined")
+	}
+}
+
+// TestQueryHistoryIsTimeVarying checks that the engine materializes
+// each query's outputs as a Definition 5.7 time-varying table.
+func TestQueryHistoryIsTimeVarying(t *testing.T) {
+	e := New()
+	q, err := e.RegisterSource(`
+REGISTER QUERY h STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT r.v AS v
+  SNAPSHOT EVERY PT5S
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	tv := q.History()
+	if tv.Len() != 3 {
+		t.Fatalf("history length = %d", tv.Len())
+	}
+	// Ψ(ω) for ω just after the first window opened.
+	got, ok := tv.At(tick(-1))
+	if !ok {
+		t.Fatal("Ψ(-1s) undefined")
+	}
+	if got.Table.Len() != 1 || got.Table.Get(0, "v").Int() != 42 {
+		t.Errorf("Ψ(-1s) table:\n%s", got.Table)
+	}
+}

@@ -1,0 +1,333 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"seraph/internal/value"
+)
+
+// aggregator accumulates one aggregate function over the rows of a
+// group. Null arguments are skipped, per Cypher semantics.
+type aggregator interface {
+	add(ctx *Ctx, e *env, sp *aggSpec) error
+	result() value.Value
+}
+
+func newAggregator(sp *aggSpec) aggregator {
+	base := baseAgg{}
+	if sp.distinct {
+		base.seen = map[string]struct{}{}
+	}
+	switch sp.fn {
+	case "count":
+		return &countAgg{baseAgg: base}
+	case "sum":
+		return &sumAgg{baseAgg: base}
+	case "avg":
+		return &avgAgg{baseAgg: base}
+	case "min":
+		return &minAgg{baseAgg: base}
+	case "max":
+		return &maxAgg{baseAgg: base}
+	case "collect":
+		return &collectAgg{baseAgg: base}
+	case "stdev":
+		return &stdevAgg{baseAgg: base, sample: true}
+	case "stdevp":
+		return &stdevAgg{baseAgg: base}
+	case "percentilecont":
+		return &percentileAgg{baseAgg: base, cont: true}
+	case "percentiledisc":
+		return &percentileAgg{baseAgg: base}
+	default:
+		return &countAgg{baseAgg: base}
+	}
+}
+
+// baseAgg provides argument evaluation, null skipping and DISTINCT
+// handling shared by all aggregators.
+type baseAgg struct {
+	seen map[string]struct{}
+}
+
+// value evaluates the aggregate argument, returning skip=true for null
+// arguments and DISTINCT duplicates.
+func (b *baseAgg) value(ctx *Ctx, e *env, sp *aggSpec) (v value.Value, skip bool, err error) {
+	if sp.star {
+		return value.Null, false, nil
+	}
+	if sp.arg == nil {
+		return value.Null, true, evalErrf("%s() requires an argument", sp.fn)
+	}
+	v, err = evalExpr(ctx, e, sp.arg)
+	if err != nil {
+		return value.Null, true, err
+	}
+	if v.IsNull() {
+		return v, true, nil
+	}
+	if b.seen != nil {
+		k := value.Key(v)
+		if _, dup := b.seen[k]; dup {
+			return v, true, nil
+		}
+		b.seen[k] = struct{}{}
+	}
+	return v, false, nil
+}
+
+type countAgg struct {
+	baseAgg
+	n int64
+}
+
+func (a *countAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	if sp.star {
+		a.n++
+		return nil
+	}
+	_, skip, err := a.value(ctx, e, sp)
+	if err != nil {
+		return err
+	}
+	if !skip {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAgg) result() value.Value { return value.NewInt(a.n) }
+
+type sumAgg struct {
+	baseAgg
+	intSum   int64
+	floatSum float64
+	isFloat  bool
+	any      bool
+}
+
+func (a *sumAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	if !v.IsNumber() {
+		return evalErrf("sum() over non-numeric value %s", v.Kind())
+	}
+	a.any = true
+	if v.IsFloat() || a.isFloat {
+		if !a.isFloat {
+			a.floatSum = float64(a.intSum)
+			a.isFloat = true
+		}
+		a.floatSum += v.Float()
+		return nil
+	}
+	a.intSum += v.Int()
+	return nil
+}
+
+func (a *sumAgg) result() value.Value {
+	if a.isFloat {
+		return value.NewFloat(a.floatSum)
+	}
+	return value.NewInt(a.intSum)
+}
+
+type avgAgg struct {
+	baseAgg
+	sum float64
+	n   int64
+}
+
+func (a *avgAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	if !v.IsNumber() {
+		return evalErrf("avg() over non-numeric value %s", v.Kind())
+	}
+	a.sum += v.Float()
+	a.n++
+	return nil
+}
+
+func (a *avgAgg) result() value.Value {
+	if a.n == 0 {
+		return value.Null
+	}
+	return value.NewFloat(a.sum / float64(a.n))
+}
+
+type minAgg struct {
+	baseAgg
+	best value.Value
+	any  bool
+}
+
+func (a *minAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	if !a.any || value.Compare(v, a.best) < 0 {
+		a.best = v
+		a.any = true
+	}
+	return nil
+}
+
+func (a *minAgg) result() value.Value {
+	if !a.any {
+		return value.Null
+	}
+	return a.best
+}
+
+type maxAgg struct {
+	baseAgg
+	best value.Value
+	any  bool
+}
+
+func (a *maxAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	if !a.any || value.Compare(v, a.best) > 0 {
+		a.best = v
+		a.any = true
+	}
+	return nil
+}
+
+func (a *maxAgg) result() value.Value {
+	if !a.any {
+		return value.Null
+	}
+	return a.best
+}
+
+type collectAgg struct {
+	baseAgg
+	items []value.Value
+}
+
+func (a *collectAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	a.items = append(a.items, v)
+	return nil
+}
+
+func (a *collectAgg) result() value.Value { return value.NewList(a.items...) }
+
+// stdevAgg implements stDev (sample) and stDevP (population) using
+// Welford's online algorithm for numerical stability.
+type stdevAgg struct {
+	baseAgg
+	sample bool
+	n      int64
+	mean   float64
+	m2     float64
+}
+
+func (a *stdevAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil || skip {
+		return err
+	}
+	if !v.IsNumber() {
+		return evalErrf("stDev() over non-numeric value %s", v.Kind())
+	}
+	x := v.Float()
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	return nil
+}
+
+func (a *stdevAgg) result() value.Value {
+	if a.n == 0 {
+		return value.NewFloat(0)
+	}
+	div := float64(a.n)
+	if a.sample {
+		if a.n < 2 {
+			return value.NewFloat(0)
+		}
+		div = float64(a.n - 1)
+	}
+	return value.NewFloat(math.Sqrt(a.m2 / div))
+}
+
+// percentileAgg implements percentileCont (linear interpolation) and
+// percentileDisc (nearest-rank).
+type percentileAgg struct {
+	baseAgg
+	cont bool
+	vals []float64
+	p    float64
+	pSet bool
+}
+
+func (a *percentileAgg) add(ctx *Ctx, e *env, sp *aggSpec) error {
+	v, skip, err := a.value(ctx, e, sp)
+	if err != nil {
+		return err
+	}
+	if !a.pSet {
+		if sp.arg2 == nil {
+			return evalErrf("percentile requires a percentile argument")
+		}
+		pv, err := evalExpr(ctx, e, sp.arg2)
+		if err != nil {
+			return err
+		}
+		if !pv.IsNumber() {
+			return evalErrf("percentile argument must be numeric")
+		}
+		a.p = pv.Float()
+		if a.p < 0 || a.p > 1 {
+			return evalErrf("percentile argument must be in [0, 1]")
+		}
+		a.pSet = true
+	}
+	if skip {
+		return nil
+	}
+	if !v.IsNumber() {
+		return evalErrf("percentile over non-numeric value %s", v.Kind())
+	}
+	a.vals = append(a.vals, v.Float())
+	return nil
+}
+
+func (a *percentileAgg) result() value.Value {
+	if len(a.vals) == 0 {
+		return value.Null
+	}
+	sort.Float64s(a.vals)
+	n := len(a.vals)
+	if a.cont {
+		pos := a.p * float64(n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return value.NewFloat(a.vals[lo])
+		}
+		frac := pos - float64(lo)
+		return value.NewFloat(a.vals[lo]*(1-frac) + a.vals[hi]*frac)
+	}
+	idx := int(math.Ceil(a.p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return value.NewFloat(a.vals[idx])
+}

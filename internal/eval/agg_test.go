@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+func evalTable(t *testing.T, src string) *Table {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out, err := EvalQuery(&Ctx{Store: graphstore.New()}, q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return out
+}
+
+func TestCountSumAvg(t *testing.T) {
+	out := evalTable(t, "UNWIND [1, 2, 3, 4] AS x RETURN count(*) AS n, count(x) AS c, sum(x) AS s, avg(x) AS a")
+	row := out.Rows[0]
+	if row[0].Int() != 4 || row[1].Int() != 4 || row[2].Int() != 10 || row[3].Float() != 2.5 {
+		t.Errorf("row = %v", row)
+	}
+	// Nulls are skipped by count(x)/sum/avg but counted by count(*).
+	out = evalTable(t, "UNWIND [1, null, 3] AS x RETURN count(*) AS n, count(x) AS c, sum(x) AS s, avg(x) AS a")
+	row = out.Rows[0]
+	if row[0].Int() != 3 || row[1].Int() != 2 || row[2].Int() != 4 || row[3].Float() != 2 {
+		t.Errorf("null handling: %v", row)
+	}
+}
+
+func TestMinMaxCollect(t *testing.T) {
+	out := evalTable(t, "UNWIND [3, 1, 2] AS x RETURN min(x) AS lo, max(x) AS hi, collect(x) AS xs")
+	row := out.Rows[0]
+	if row[0].Int() != 1 || row[1].Int() != 3 {
+		t.Errorf("min/max: %v", row)
+	}
+	xs := row[2].List()
+	if len(xs) != 3 || xs[0].Int() != 3 {
+		t.Errorf("collect preserves order: %s", row[2])
+	}
+	// collect skips nulls.
+	out = evalTable(t, "UNWIND [1, null, 2] AS x RETURN collect(x) AS xs")
+	if len(out.Rows[0][0].List()) != 2 {
+		t.Errorf("collect with nulls: %s", out.Rows[0][0])
+	}
+}
+
+func TestEmptyAggregation(t *testing.T) {
+	out := evalTable(t, "UNWIND [] AS x RETURN count(*) AS n, count(x) AS c, sum(x) AS s, avg(x) AS a, min(x) AS lo, collect(x) AS xs")
+	row := out.Rows[0]
+	if row[0].Int() != 0 || row[1].Int() != 0 {
+		t.Errorf("counts on empty: %v", row)
+	}
+	if row[2].Int() != 0 {
+		t.Errorf("sum on empty should be 0: %s", row[2])
+	}
+	if !row[3].IsNull() || !row[4].IsNull() {
+		t.Errorf("avg/min on empty should be null: %v", row)
+	}
+	if len(row[5].List()) != 0 {
+		t.Errorf("collect on empty: %s", row[5])
+	}
+}
+
+func TestGrouping(t *testing.T) {
+	out := evalTable(t, `UNWIND [['a', 1], ['b', 2], ['a', 3]] AS pair
+		RETURN pair[0] AS k, sum(pair[1]) AS total ORDER BY k`)
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	if out.Rows[0][0].Str() != "a" || out.Rows[0][1].Int() != 4 {
+		t.Errorf("group a: %v", out.Rows[0])
+	}
+	if out.Rows[1][0].Str() != "b" || out.Rows[1][1].Int() != 2 {
+		t.Errorf("group b: %v", out.Rows[1])
+	}
+	// Grouping on empty input with keys yields no rows.
+	out = evalTable(t, "UNWIND [] AS x RETURN x AS k, count(*) AS n")
+	if out.Len() != 0 {
+		t.Errorf("keyed aggregation over empty input: %d rows", out.Len())
+	}
+	// Null is a valid grouping key.
+	out = evalTable(t, "UNWIND [null, null, 1] AS x RETURN x AS k, count(*) AS n ORDER BY n DESC")
+	if out.Len() != 2 || out.Rows[0][1].Int() != 2 {
+		t.Errorf("null grouping: %v", out.Rows)
+	}
+}
+
+func TestDistinctAggregation(t *testing.T) {
+	out := evalTable(t, "UNWIND [1, 1, 2, 2, 3] AS x RETURN count(DISTINCT x) AS c, sum(DISTINCT x) AS s, collect(DISTINCT x) AS xs")
+	row := out.Rows[0]
+	if row[0].Int() != 3 || row[1].Int() != 6 || len(row[2].List()) != 3 {
+		t.Errorf("distinct agg: %v", row)
+	}
+}
+
+func TestStDev(t *testing.T) {
+	out := evalTable(t, "UNWIND [2, 4, 4, 4, 5, 5, 7, 9] AS x RETURN stDevP(x) AS p, stDev(x) AS s")
+	if got := out.Rows[0][0].Float(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("stDevP = %v, want 2", got)
+	}
+	if got := out.Rows[0][1].Float(); math.Abs(got-2.138089935299395) > 1e-9 {
+		t.Errorf("stDev = %v", got)
+	}
+	out = evalTable(t, "UNWIND [5] AS x RETURN stDev(x) AS s")
+	if out.Rows[0][0].Float() != 0 {
+		t.Error("stDev of singleton should be 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	out := evalTable(t, "UNWIND [1, 2, 3, 4, 5] AS x RETURN percentileCont(x, 0.5) AS med, percentileDisc(x, 0.5) AS dmed")
+	if out.Rows[0][0].Float() != 3 || out.Rows[0][1].Float() != 3 {
+		t.Errorf("medians: %v", out.Rows[0])
+	}
+	out = evalTable(t, "UNWIND [1, 2, 3, 4] AS x RETURN percentileCont(x, 0.5) AS med")
+	if out.Rows[0][0].Float() != 2.5 {
+		t.Errorf("interpolated median: %s", out.Rows[0][0])
+	}
+	out = evalTable(t, "UNWIND [10, 20, 30] AS x RETURN percentileCont(x, 0.0) AS lo, percentileCont(x, 1.0) AS hi")
+	if out.Rows[0][0].Float() != 10 || out.Rows[0][1].Float() != 30 {
+		t.Errorf("extremes: %v", out.Rows[0])
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	// Aggregates can be nested inside arithmetic in a projection item.
+	out := evalTable(t, "UNWIND [1, 2, 3] AS x RETURN sum(x) * 2 + count(*) AS v")
+	if out.Rows[0][0].Int() != 15 {
+		t.Errorf("sum(x)*2+count(*) = %s", out.Rows[0][0])
+	}
+	// Grouping key used inside the same projection.
+	out = evalTable(t, `UNWIND [['a', 1], ['a', 2], ['b', 5]] AS p
+		RETURN p[0] AS k, sum(p[1]) / count(*) AS mean ORDER BY k`)
+	if out.Rows[0][1].Int() != 1 || out.Rows[1][1].Int() != 5 {
+		t.Errorf("per-group mean: %v", out.Rows)
+	}
+}
+
+func TestSumTypeError(t *testing.T) {
+	q, err := parser.ParseQuery("UNWIND ['a'] AS x RETURN sum(x) AS s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: graphstore.New()}, q); err == nil {
+		t.Error("sum over strings must fail")
+	}
+}
+
+func TestSumIntFloatPromotion(t *testing.T) {
+	out := evalTable(t, "UNWIND [1, 2.5] AS x RETURN sum(x) AS s")
+	if !out.Rows[0][0].IsFloat() || out.Rows[0][0].Float() != 3.5 {
+		t.Errorf("promoted sum: %s", out.Rows[0][0])
+	}
+	out = evalTable(t, "UNWIND [1, 2] AS x RETURN sum(x) AS s")
+	if !out.Rows[0][0].IsInt() {
+		t.Error("all-int sum should stay integral")
+	}
+}
+
+func TestMinMaxOrderability(t *testing.T) {
+	// min/max use orderability, so mixed types are ordered, not errors.
+	out := evalTable(t, "UNWIND [1, 'a', true] AS x RETURN min(x) AS lo, max(x) AS hi")
+	if !out.Rows[0][0].IsString() {
+		t.Errorf("min of mixed kinds: %s", out.Rows[0][0])
+	}
+	if !out.Rows[0][1].IsNumber() {
+		t.Errorf("max of mixed kinds: %s", out.Rows[0][1])
+	}
+	_ = value.Null
+}

@@ -1,0 +1,639 @@
+package eval
+
+import (
+	"fmt"
+
+	"seraph/internal/ast"
+	"seraph/internal/value"
+)
+
+// EvalQuery evaluates a one-time query against the context's graph:
+// output(Q, G) = [[Q]]_G(T(())), Section 3.2 of the paper. Inside the
+// continuous engine the same function is applied to each snapshot graph
+// (snapshot reducibility, Definition 5.8).
+func EvalQuery(ctx *Ctx, q *ast.Query) (*Table, error) {
+	var out *Table
+	for i, part := range q.Parts {
+		t, err := evalSingle(ctx, part)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out = t
+			continue
+		}
+		if q.UnionAll[i-1] {
+			out, err = BagUnion(out, t)
+		} else {
+			out, err = SetUnion(out, t)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(q.Parts) > 1 {
+		// A plain UNION dedupes across all parts, including the first.
+		allBag := true
+		for _, a := range q.UnionAll {
+			allBag = allBag && a
+		}
+		if !allBag {
+			out = Distinct(out)
+		}
+	}
+	return out, nil
+}
+
+func evalSingle(ctx *Ctx, sq *ast.SingleQuery) (*Table, error) {
+	t := Unit()
+	for _, c := range sq.Clauses {
+		var err error
+		t, err = applyClause(ctx, c, t)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func applyClause(ctx *Ctx, c ast.Clause, t *Table) (*Table, error) {
+	switch x := c.(type) {
+	case *ast.Match:
+		return applyMatch(ctx, x, t)
+	case *ast.Unwind:
+		return applyUnwind(ctx, x, t)
+	case *ast.With:
+		out, err := applyProjection(ctx, &x.Projection, t)
+		if err != nil {
+			return nil, err
+		}
+		if x.Where == nil {
+			return out, nil
+		}
+		return filterRows(ctx, out, x.Where)
+	case *ast.Return:
+		return applyProjection(ctx, &x.Projection, t)
+	case *ast.Emit:
+		return applyProjection(ctx, &x.Projection, t)
+	case *ast.Create:
+		return applyCreate(ctx, x, t)
+	case *ast.Merge:
+		return applyMerge(ctx, x, t)
+	case *ast.Set:
+		return applySet(ctx, x, t)
+	case *ast.Remove:
+		return applyRemove(ctx, x, t)
+	case *ast.Delete:
+		return applyDelete(ctx, x, t)
+	case *ast.Foreach:
+		return applyForeach(ctx, x, t)
+	}
+	return nil, evalErrf("unsupported clause %T", c)
+}
+
+// applyMatch implements MATCH π [WITHIN d] [WHERE p]: each input record
+// u is extended with every assignment u' ∈ match(π, G, u) that
+// satisfies p; OPTIONAL MATCH keeps unmatched records padded with
+// nulls. The graph G is the snapshot graph for the clause's WITHIN
+// width when running under the continuous engine.
+func applyMatch(ctx *Ctx, m *ast.Match, t *Table) (*Table, error) {
+	store := ctx.storeFor(m.Within)
+	if store == nil {
+		return nil, evalErrf("no graph bound for MATCH")
+	}
+	vars := patternVars(m.Pattern)
+	var newVars []string
+	for _, v := range vars {
+		if t.Col(v) < 0 {
+			newVars = append(newVars, v)
+		}
+	}
+	out := &Table{Cols: append(append([]string(nil), t.Cols...), newVars...)}
+	matchCtx := *ctx
+	matchCtx.Store = store
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		matched := false
+		err := forEachMatch(&matchCtx, store, e, m.Pattern, func() error {
+			if m.Where != nil {
+				keep, err := evalExpr(&matchCtx, e, m.Where)
+				if err != nil {
+					return err
+				}
+				if !(keep.IsBool() && keep.Bool()) {
+					return nil
+				}
+			}
+			matched = true
+			ext := make([]value.Value, 0, len(row)+len(newVars))
+			ext = append(ext, row...)
+			for _, v := range newVars {
+				val, _ := e.lookup(v)
+				ext = append(ext, val)
+			}
+			out.Rows = append(out.Rows, ext)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !matched && m.Optional {
+			ext := make([]value.Value, 0, len(row)+len(newVars))
+			ext = append(ext, row...)
+			for range newVars {
+				ext = append(ext, value.Null)
+			}
+			out.Rows = append(out.Rows, ext)
+		}
+	}
+	return out, nil
+}
+
+// applyUnwind expands a list into one record per element. A null or
+// empty list yields no records; a non-list value unwinds to itself.
+func applyUnwind(ctx *Ctx, u *ast.Unwind, t *Table) (*Table, error) {
+	if t.Col(u.Alias) >= 0 {
+		return nil, evalErrf("variable `%s` already declared", u.Alias)
+	}
+	out := &Table{Cols: append(append([]string(nil), t.Cols...), u.Alias)}
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		v, err := evalExpr(ctx, e, u.X)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind() {
+		case value.KindNull:
+			// no rows
+		case value.KindList:
+			for _, item := range v.List() {
+				out.Rows = append(out.Rows, append(append([]value.Value(nil), row...), item))
+			}
+		default:
+			out.Rows = append(out.Rows, append(append([]value.Value(nil), row...), v))
+		}
+	}
+	return out, nil
+}
+
+func filterRows(ctx *Ctx, t *Table, where ast.Expr) (*Table, error) {
+	out := &Table{Cols: t.Cols}
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		keep, err := evalExpr(ctx, e, where)
+		if err != nil {
+			return nil, err
+		}
+		if keep.IsBool() && keep.Bool() {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Projections (WITH / RETURN / EMIT)
+
+func applyProjection(ctx *Ctx, proj *ast.Projection, t *Table) (*Table, error) {
+	items := make([]ast.ReturnItem, 0, len(proj.Items)+len(t.Cols))
+	if proj.Star {
+		for _, c := range t.Cols {
+			items = append(items, ast.ReturnItem{X: &ast.Var{Name: c}, Alias: c})
+		}
+	}
+	items = append(items, proj.Items...)
+	if len(items) == 0 {
+		return nil, evalErrf("projection requires at least one item")
+	}
+
+	names := make([]string, len(items))
+	for i, it := range items {
+		if it.Alias != "" {
+			names[i] = it.Alias
+		} else {
+			names[i] = ast.ExprString(it.X)
+		}
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, evalErrf("duplicate column name %q in projection", n)
+		}
+		seen[n] = true
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if containsAgg(it.X) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var out *Table
+	var origRows [][]value.Value // input row per output row (nil when aggregated)
+	var err error
+	if hasAgg {
+		out, err = projectAggregated(ctx, items, names, t)
+	} else {
+		out, origRows, err = projectSimple(ctx, items, names, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if proj.Distinct {
+		out = Distinct(out)
+		origRows = nil
+	}
+
+	if len(proj.OrderBy) > 0 {
+		if err := orderBy(ctx, out, origRows, t.Cols, proj.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+
+	if proj.Skip != nil {
+		n, err := constInt(ctx, proj.Skip, "SKIP")
+		if err != nil {
+			return nil, err
+		}
+		if n > int64(len(out.Rows)) {
+			n = int64(len(out.Rows))
+		}
+		if n < 0 {
+			return nil, evalErrf("SKIP must be non-negative")
+		}
+		out.Rows = out.Rows[n:]
+	}
+	if proj.Limit != nil {
+		n, err := constInt(ctx, proj.Limit, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, evalErrf("LIMIT must be non-negative")
+		}
+		if n < int64(len(out.Rows)) {
+			out.Rows = out.Rows[:n]
+		}
+	}
+	return out, nil
+}
+
+func constInt(ctx *Ctx, e ast.Expr, what string) (int64, error) {
+	v, err := evalExpr(ctx, newEnv(nil, nil), e)
+	if err != nil {
+		return 0, err
+	}
+	if !v.IsInt() {
+		return 0, evalErrf("%s requires an integer", what)
+	}
+	return v.Int(), nil
+}
+
+func projectSimple(ctx *Ctx, items []ast.ReturnItem, names []string, t *Table) (*Table, [][]value.Value, error) {
+	out := &Table{Cols: names}
+	orig := make([][]value.Value, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		vals := make([]value.Value, len(items))
+		for i, it := range items {
+			v, err := evalExpr(ctx, e, it.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals[i] = v
+		}
+		out.Rows = append(out.Rows, vals)
+		orig = append(orig, row)
+	}
+	return out, orig, nil
+}
+
+// orderBy sorts out. Sort keys may reference the projected columns
+// (including aliases) and, for row-preserving projections, the
+// pre-projection variables.
+func orderBy(ctx *Ctx, out *Table, origRows [][]value.Value, origCols []string, keys []ast.SortItem) error {
+	type sortRow struct {
+		row  []value.Value
+		keys []value.Value
+	}
+	rows := make([]sortRow, len(out.Rows))
+	for i, row := range out.Rows {
+		e := newEnv(out.Cols, row)
+		if origRows != nil {
+			// Expose original variables underneath the projected ones.
+			e = newEnv(origCols, origRows[i])
+			for j, c := range out.Cols {
+				e.push(c, row[j])
+			}
+		}
+		ks := make([]value.Value, len(keys))
+		for k, it := range keys {
+			v, err := evalExpr(ctx, e, it.X)
+			if err != nil {
+				return err
+			}
+			ks[k] = v
+		}
+		rows[i] = sortRow{row: row, keys: ks}
+	}
+	desc := make([]bool, len(keys))
+	for i, k := range keys {
+		desc[i] = k.Desc
+	}
+	stableSort(rows, func(a, b sortRow) int {
+		for k := range keys {
+			c := value.Compare(a.keys[k], b.keys[k])
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return -c
+			}
+			return c
+		}
+		return 0
+	})
+	for i := range rows {
+		out.Rows[i] = rows[i].row
+	}
+	return nil
+}
+
+func stableSort[T any](s []T, cmp func(a, b T) int) {
+	// Insertion sort is stable and the row counts here are modest; the
+	// standard library sort.SliceStable would need an extra closure
+	// allocation per call site. Switch to merge sort if profiles say so.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && cmp(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+// projectAggregated implements grouped projection: non-aggregate items
+// are grouping keys; aggregate expressions accumulate per group.
+func projectAggregated(ctx *Ctx, items []ast.ReturnItem, names []string, t *Table) (*Table, error) {
+	// Rewrite each item, extracting aggregate calls.
+	rewritten := make([]ast.Expr, len(items))
+	isKey := make([]bool, len(items))
+	var specs []*aggSpec
+	for i, it := range items {
+		ex, sp := rewriteAgg(it.X, len(specs))
+		rewritten[i] = ex
+		specs = append(specs, sp...)
+		isKey[i] = len(sp) == 0
+	}
+
+	type group struct {
+		keyVals []value.Value // values of grouping items (by item index)
+		accs    []aggregator
+		rows    int
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		keyVals := make([]value.Value, len(items))
+		var keyParts []value.Value
+		for i := range items {
+			if !isKey[i] {
+				continue
+			}
+			v, err := evalExpr(ctx, e, items[i].X)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			keyParts = append(keyParts, v)
+		}
+		k := value.KeyOf(keyParts...)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyVals: keyVals, accs: make([]aggregator, len(specs))}
+			for si, sp := range specs {
+				g.accs[si] = newAggregator(sp)
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows++
+		for si, sp := range specs {
+			if err := g.accs[si].add(ctx, e, sp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// With no grouping keys, aggregation over an empty input yields a
+	// single group (count(*) = 0 etc.), per Cypher.
+	hasKeys := false
+	for _, k := range isKey {
+		hasKeys = hasKeys || k
+	}
+	if len(groups) == 0 && !hasKeys {
+		g := &group{keyVals: make([]value.Value, len(items)), accs: make([]aggregator, len(specs))}
+		for si, sp := range specs {
+			g.accs[si] = newAggregator(sp)
+		}
+		groups["\x00empty"] = g
+		order = append(order, "\x00empty")
+	}
+
+	out := &Table{Cols: names}
+	for _, k := range order {
+		g := groups[k]
+		e := newEnv(nil, nil)
+		for si := range specs {
+			e.push(specs[si].name, g.accs[si].result())
+		}
+		vals := make([]value.Value, len(items))
+		for i := range items {
+			if isKey[i] {
+				vals[i] = g.keyVals[i]
+				continue
+			}
+			v, err := evalExpr(ctx, e, rewritten[i])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out, nil
+}
+
+type aggSpec struct {
+	name     string // synthetic variable name bound to the result
+	fn       string // count/sum/avg/min/max/collect/stdev/stdevp/percentile*
+	arg      ast.Expr
+	arg2     ast.Expr // percentile argument
+	distinct bool
+	star     bool // count(*)
+}
+
+// containsAgg reports whether e contains an aggregation call.
+func containsAgg(e ast.Expr) bool {
+	found := false
+	walkExpr(e, func(x ast.Expr) {
+		switch c := x.(type) {
+		case *ast.FuncCall:
+			if isAggregate(c.Name) {
+				found = true
+			}
+		case *ast.CountStar:
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits e and all sub-expressions.
+func walkExpr(e ast.Expr, f func(ast.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *ast.Prop:
+		walkExpr(x.X, f)
+	case *ast.ListLit:
+		for _, it := range x.Items {
+			walkExpr(it, f)
+		}
+	case *ast.MapLit:
+		for _, v := range x.Vals {
+			walkExpr(v, f)
+		}
+	case *ast.Unary:
+		walkExpr(x.X, f)
+	case *ast.Binary:
+		walkExpr(x.L, f)
+		walkExpr(x.R, f)
+	case *ast.Comparison:
+		walkExpr(x.First, f)
+		for _, r := range x.Rest {
+			walkExpr(r, f)
+		}
+	case *ast.Index:
+		walkExpr(x.X, f)
+		walkExpr(x.I, f)
+	case *ast.Slice:
+		walkExpr(x.X, f)
+		walkExpr(x.From, f)
+		walkExpr(x.To, f)
+	case *ast.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, f)
+		}
+	case *ast.Case:
+		walkExpr(x.Test, f)
+		for _, w := range x.Whens {
+			walkExpr(w.When, f)
+			walkExpr(w.Then, f)
+		}
+		walkExpr(x.Else, f)
+	case *ast.ListComp:
+		walkExpr(x.List, f)
+		walkExpr(x.Where, f)
+		walkExpr(x.Proj, f)
+	case *ast.Quantifier:
+		walkExpr(x.List, f)
+		walkExpr(x.Where, f)
+	case *ast.Reduce:
+		walkExpr(x.Init, f)
+		walkExpr(x.List, f)
+		walkExpr(x.Expr, f)
+	case *ast.MapProjection:
+		walkExpr(x.X, f)
+		for _, it := range x.Items {
+			walkExpr(it.Value, f)
+		}
+	}
+}
+
+// rewriteAgg returns e with aggregate calls replaced by synthetic
+// variables, plus the specs describing each extracted aggregate.
+func rewriteAgg(e ast.Expr, offset int) (ast.Expr, []*aggSpec) {
+	var specs []*aggSpec
+	var rw func(ast.Expr) ast.Expr
+	rw = func(e ast.Expr) ast.Expr {
+		switch x := e.(type) {
+		case *ast.CountStar:
+			sp := &aggSpec{name: syntheticAggName(offset + len(specs)), fn: "count", star: true}
+			specs = append(specs, sp)
+			return &ast.Var{Name: sp.name}
+		case *ast.FuncCall:
+			if isAggregate(x.Name) {
+				sp := &aggSpec{name: syntheticAggName(offset + len(specs)), fn: x.Name, distinct: x.Distinct}
+				if len(x.Args) > 0 {
+					sp.arg = x.Args[0]
+				}
+				if len(x.Args) > 1 {
+					sp.arg2 = x.Args[1]
+				}
+				specs = append(specs, sp)
+				return &ast.Var{Name: sp.name}
+			}
+			args := make([]ast.Expr, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = rw(a)
+			}
+			return &ast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}
+		case *ast.Unary:
+			return &ast.Unary{Op: x.Op, X: rw(x.X)}
+		case *ast.Binary:
+			return &ast.Binary{Op: x.Op, L: rw(x.L), R: rw(x.R)}
+		case *ast.Comparison:
+			rest := make([]ast.Expr, len(x.Rest))
+			for i, r := range x.Rest {
+				rest[i] = rw(r)
+			}
+			return &ast.Comparison{First: rw(x.First), Ops: x.Ops, Rest: rest}
+		case *ast.Prop:
+			return &ast.Prop{X: rw(x.X), Key: x.Key}
+		case *ast.Index:
+			return &ast.Index{X: rw(x.X), I: rw(x.I)}
+		case *ast.Slice:
+			s := &ast.Slice{X: rw(x.X)}
+			if x.From != nil {
+				s.From = rw(x.From)
+			}
+			if x.To != nil {
+				s.To = rw(x.To)
+			}
+			return s
+		case *ast.ListLit:
+			items := make([]ast.Expr, len(x.Items))
+			for i, it := range x.Items {
+				items[i] = rw(it)
+			}
+			return &ast.ListLit{Items: items}
+		case *ast.Case:
+			c := &ast.Case{}
+			if x.Test != nil {
+				c.Test = rw(x.Test)
+			}
+			for _, w := range x.Whens {
+				c.Whens = append(c.Whens, ast.CaseWhen{When: rw(w.When), Then: rw(w.Then)})
+			}
+			if x.Else != nil {
+				c.Else = rw(x.Else)
+			}
+			return c
+		default:
+			return e
+		}
+	}
+	out := rw(e)
+	return out, specs
+}
+
+func syntheticAggName(i int) string { return fmt.Sprintf("\x00agg%d", i) }

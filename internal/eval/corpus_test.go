@@ -1,0 +1,424 @@
+package eval
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+)
+
+// The semantics corpus: a TCK-style table of query/result golden cases
+// covering the openCypher core this engine implements. Each case runs
+// its setup statements on a fresh store, evaluates the query, renders
+// every result value with value.String(), and compares row sets
+// (order-sensitively when the query ends with ORDER BY).
+
+type corpusCase struct {
+	name    string
+	setup   []string
+	query   string
+	cols    []string
+	rows    [][]string // rendered values
+	ordered bool
+}
+
+var corpus = []corpusCase{
+	// --- literals and arithmetic ------------------------------------------
+	{name: "integer literal", query: "RETURN 1 AS x", cols: []string{"x"}, rows: [][]string{{"1"}}},
+	{name: "float literal", query: "RETURN 1.5 AS x", rows: [][]string{{"1.5"}}},
+	{name: "string literal", query: "RETURN 'a' AS x", rows: [][]string{{"'a'"}}},
+	{name: "bool literals", query: "RETURN true AS t, false AS f", rows: [][]string{{"true", "false"}}},
+	{name: "null literal", query: "RETURN null AS x", rows: [][]string{{"null"}}},
+	{name: "list literal", query: "RETURN [1, 'a', null] AS x", rows: [][]string{{"[1, 'a', null]"}}},
+	{name: "map literal", query: "RETURN {b: 2, a: 1} AS x", rows: [][]string{{"{a: 1, b: 2}"}}},
+	{name: "nested arithmetic", query: "RETURN (2 + 3) * 4 - 10 / 2 AS x", rows: [][]string{{"15"}}},
+	{name: "integer division truncates", query: "RETURN 7 / 2 AS x", rows: [][]string{{"3"}}},
+	{name: "mixed arithmetic is float", query: "RETURN 1 + 0.5 AS x", rows: [][]string{{"1.5"}}},
+	{name: "modulo", query: "RETURN 10 % 3 AS x", rows: [][]string{{"1"}}},
+	{name: "exponent is float", query: "RETURN 3 ^ 2 AS x", rows: [][]string{{"9.0"}}},
+	{name: "unary minus", query: "RETURN -(1 + 2) AS x", rows: [][]string{{"-3"}}},
+	{name: "string concat", query: "RETURN 'a' + 'b' AS x", rows: [][]string{{"'ab'"}}},
+	{name: "list concat", query: "RETURN [1] + [2] AS x", rows: [][]string{{"[1, 2]"}}},
+
+	// --- null semantics ----------------------------------------------------
+	{name: "null propagation add", query: "RETURN 1 + null AS x", rows: [][]string{{"null"}}},
+	{name: "null equality is null", query: "RETURN null = null AS x", rows: [][]string{{"null"}}},
+	{name: "is null", query: "RETURN null IS NULL AS a, 1 IS NULL AS b", rows: [][]string{{"true", "false"}}},
+	{name: "and false dominates null", query: "RETURN null AND false AS x", rows: [][]string{{"false"}}},
+	{name: "or true dominates null", query: "RETURN null OR true AS x", rows: [][]string{{"true"}}},
+	{name: "coalesce picks first non-null", query: "RETURN coalesce(null, 2, 3) AS x", rows: [][]string{{"2"}}},
+
+	// --- comparisons --------------------------------------------------------
+	{name: "int float equality", query: "RETURN 1 = 1.0 AS x", rows: [][]string{{"true"}}},
+	{name: "chained comparison", query: "RETURN 1 < 2 < 3 AS x", rows: [][]string{{"true"}}},
+	{name: "incomparable types yield null", query: "RETURN 1 < 'a' AS x", rows: [][]string{{"null"}}},
+	{name: "string comparison", query: "RETURN 'apple' < 'banana' AS x", rows: [][]string{{"true"}}},
+
+	// --- lists and indexing --------------------------------------------------
+	{name: "list index", query: "RETURN [10, 20][0] AS a, [10, 20][-1] AS b", rows: [][]string{{"10", "20"}}},
+	{name: "index out of range", query: "RETURN [1][5] AS x", rows: [][]string{{"null"}}},
+	{name: "slice", query: "RETURN [1, 2, 3, 4][1..3] AS x", rows: [][]string{{"[2, 3]"}}},
+	{name: "range fn", query: "RETURN range(1, 3) AS x", rows: [][]string{{"[1, 2, 3]"}}},
+	{name: "size and head and last", query: "RETURN size([1, 2]) AS s, head([1, 2]) AS h, last([1, 2]) AS l",
+		rows: [][]string{{"2", "1", "2"}}},
+	{name: "in operator", query: "RETURN 2 IN [1, 2] AS a, 3 IN [1, 2] AS b", rows: [][]string{{"true", "false"}}},
+	{name: "comprehension", query: "RETURN [x IN range(1, 4) WHERE x % 2 = 0 | x * 10] AS x",
+		rows: [][]string{{"[20, 40]"}}},
+	{name: "reduce", query: "RETURN reduce(a = 0, x IN [1, 2, 3] | a + x) AS x", rows: [][]string{{"6"}}},
+	{name: "quantifiers", query: "RETURN all(x IN [1, 2] WHERE x > 0) AS a, none(x IN [1] WHERE x > 5) AS n",
+		rows: [][]string{{"true", "true"}}},
+
+	// --- CASE ---------------------------------------------------------------
+	{name: "simple case", query: "RETURN CASE 1 WHEN 1 THEN 'a' ELSE 'b' END AS x", rows: [][]string{{"'a'"}}},
+	{name: "searched case", query: "RETURN CASE WHEN false THEN 1 WHEN true THEN 2 END AS x", rows: [][]string{{"2"}}},
+	{name: "case no match no else", query: "RETURN CASE 9 WHEN 1 THEN 'a' END AS x", rows: [][]string{{"null"}}},
+
+	// --- string functions and predicates -------------------------------------
+	{name: "string predicates", query: "RETURN 'abc' STARTS WITH 'a' AS s, 'abc' ENDS WITH 'c' AS e, 'abc' CONTAINS 'b' AS c",
+		rows: [][]string{{"true", "true", "true"}}},
+	{name: "regex", query: "RETURN 'a1b' =~ 'a[0-9]b' AS x", rows: [][]string{{"true"}}},
+	{name: "string functions", query: "RETURN toUpper('ab') AS u, substring('hello', 1, 2) AS s, split('a,b', ',') AS p",
+		rows: [][]string{{"'AB'", "'el'", "['a', 'b']"}}},
+	{name: "toString toInteger", query: "RETURN toString(4) AS s, toInteger('17') AS i, toFloat('1.5') AS f",
+		rows: [][]string{{"'4'", "17", "1.5"}}},
+
+	// --- UNWIND ---------------------------------------------------------------
+	{name: "unwind list", query: "UNWIND [1, 2] AS x RETURN x", rows: [][]string{{"1"}, {"2"}}},
+	{name: "unwind null yields nothing", query: "UNWIND null AS x RETURN x", rows: [][]string{}},
+	{name: "unwind empty yields nothing", query: "UNWIND [] AS x RETURN x", rows: [][]string{}},
+	{name: "unwind scalar yields itself", query: "UNWIND 5 AS x RETURN x", rows: [][]string{{"5"}}},
+	{name: "nested unwind", query: "UNWIND [1, 2] AS x UNWIND [10, 20] AS y RETURN x * y",
+		rows: [][]string{{"10"}, {"20"}, {"20"}, {"40"}}},
+
+	// --- projections ------------------------------------------------------------
+	{name: "distinct", query: "UNWIND [1, 1, 2] AS x RETURN DISTINCT x", rows: [][]string{{"1"}, {"2"}}},
+	{name: "order by desc", query: "UNWIND [1, 3, 2] AS x RETURN x ORDER BY x DESC",
+		rows: [][]string{{"3"}, {"2"}, {"1"}}, ordered: true},
+	{name: "order by with nulls last", query: "UNWIND [null, 1] AS x RETURN x ORDER BY x",
+		rows: [][]string{{"1"}, {"null"}}, ordered: true},
+	{name: "skip limit", query: "UNWIND range(1, 9) AS x RETURN x ORDER BY x SKIP 2 LIMIT 3",
+		rows: [][]string{{"3"}, {"4"}, {"5"}}, ordered: true},
+	{name: "with chaining", query: "UNWIND [1, 2, 3] AS x WITH x * 2 AS y WHERE y > 2 RETURN y",
+		rows: [][]string{{"4"}, {"6"}}},
+
+	// --- aggregation ---------------------------------------------------------------
+	{name: "count star on empty", query: "UNWIND [] AS x RETURN count(*) AS n", rows: [][]string{{"0"}}},
+	{name: "basic aggregates", query: "UNWIND [1, 2, 3] AS x RETURN count(*) AS c, sum(x) AS s, min(x) AS lo, max(x) AS hi",
+		rows: [][]string{{"3", "6", "1", "3"}}},
+	{name: "avg is float", query: "UNWIND [1, 2] AS x RETURN avg(x) AS a", rows: [][]string{{"1.5"}}},
+	{name: "collect", query: "UNWIND [1, 2] AS x RETURN collect(x) AS xs", rows: [][]string{{"[1, 2]"}}},
+	{name: "count distinct", query: "UNWIND [1, 1, 2] AS x RETURN count(DISTINCT x) AS n", rows: [][]string{{"2"}}},
+	{name: "grouping", query: "UNWIND [[1, 'a'], [2, 'a'], [3, 'b']] AS p RETURN p[1] AS k, sum(p[0]) AS s ORDER BY k",
+		rows: [][]string{{"'a'", "3"}, {"'b'", "3"}}, ordered: true},
+	{name: "aggregates skip nulls", query: "UNWIND [1, null] AS x RETURN count(x) AS c, count(*) AS all",
+		rows: [][]string{{"1", "2"}}},
+
+	// --- UNION -----------------------------------------------------------------------
+	{name: "union dedupes", query: "RETURN 1 AS x UNION RETURN 1 AS x", rows: [][]string{{"1"}}},
+	{name: "union all keeps", query: "RETURN 1 AS x UNION ALL RETURN 1 AS x", rows: [][]string{{"1"}, {"1"}}},
+
+	// --- graph matching -----------------------------------------------------------------
+	{
+		name:  "basic match",
+		setup: []string{"CREATE (:P {name: 'a'})-[:R]->(:P {name: 'b'})"},
+		query: "MATCH (x:P)-[:R]->(y:P) RETURN x.name, y.name",
+		rows:  [][]string{{"'a'", "'b'"}},
+	},
+	{
+		name:  "match respects direction",
+		setup: []string{"CREATE (:P {name: 'a'})-[:R]->(:P {name: 'b'})"},
+		query: "MATCH (x {name: 'b'})-[:R]->(y) RETURN y",
+		rows:  [][]string{},
+	},
+	{
+		name:  "undirected match",
+		setup: []string{"CREATE (:P {name: 'a'})-[:R]->(:P {name: 'b'})"},
+		query: "MATCH (x {name: 'b'})--(y) RETURN y.name",
+		rows:  [][]string{{"'a'"}},
+	},
+	{
+		name:  "label filter",
+		setup: []string{"CREATE (:A {v: 1}), (:B {v: 2}), (:A:B {v: 3})"},
+		query: "MATCH (x:A) RETURN x.v ORDER BY x.v",
+		rows:  [][]string{{"1"}, {"3"}}, ordered: true,
+	},
+	{
+		name:  "property map filter",
+		setup: []string{"CREATE (:A {v: 1}), (:A {v: 2})"},
+		query: "MATCH (x:A {v: 2}) RETURN x.v",
+		rows:  [][]string{{"2"}},
+	},
+	{
+		name:  "missing property access is null",
+		setup: []string{"CREATE (:A)"},
+		query: "MATCH (x:A) RETURN x.nope AS v",
+		rows:  [][]string{{"null"}},
+	},
+	{
+		name:  "var length exact",
+		setup: []string{"CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})"},
+		query: "MATCH (a {i: 0})-[:R*2]->(b) RETURN b.i",
+		rows:  [][]string{{"2"}},
+	},
+	{
+		name:  "var length range",
+		setup: []string{"CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})"},
+		query: "MATCH (a {i: 0})-[:R*1..2]->(b) RETURN b.i ORDER BY b.i",
+		rows:  [][]string{{"1"}, {"2"}}, ordered: true,
+	},
+	{
+		name:  "zero length var match",
+		setup: []string{"CREATE (:N {i: 0})"},
+		query: "MATCH (a:N)-[:R*0..1]->(b) RETURN b.i",
+		rows:  [][]string{{"0"}},
+	},
+	{
+		name:  "relationship uniqueness",
+		setup: []string{"CREATE (:N {i: 0})-[:R]->(:N {i: 1})"},
+		query: "MATCH (a)-[:R]-(b)-[:R]-(c) RETURN c",
+		rows:  [][]string{},
+	},
+	{
+		name:  "optional match pads with null",
+		setup: []string{"CREATE (:A {v: 1})"},
+		query: "MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b) RETURN a.v, b",
+		rows:  [][]string{{"1", "null"}},
+	},
+	{
+		name: "shortest path length",
+		setup: []string{
+			"CREATE (a:N {i: 0})-[:R]->(b:N {i: 1})-[:R]->(c:N {i: 2})",
+			"MATCH (a {i: 0}), (c {i: 2}) CREATE (a)-[:R]->(c)",
+		},
+		query: "MATCH p = shortestPath((a {i: 0})-[:R*..5]->(c {i: 2})) RETURN length(p)",
+		rows:  [][]string{{"1"}},
+	},
+	{
+		name:  "path functions",
+		setup: []string{"CREATE (:N {i: 0})-[:R {w: 5}]->(:N {i: 1})"},
+		query: "MATCH p = (:N {i: 0})-[:R]->(:N) RETURN length(p), [n IN nodes(p) | n.i], [r IN relationships(p) | r.w]",
+		rows:  [][]string{{"1", "[0, 1]", "[5]"}},
+	},
+	{
+		name:  "labels and type functions",
+		setup: []string{"CREATE (:A:B {v: 1})-[:T]->(:C)"},
+		query: "MATCH (x:A)-[r]->() RETURN labels(x), type(r)",
+		rows:  [][]string{{"['A', 'B']", "'T'"}},
+	},
+	{
+		name:  "pattern predicate",
+		setup: []string{"CREATE (:A {v: 1})-[:R]->(:A {v: 2})"},
+		query: "MATCH (x:A) WHERE (x)-[:R]->() RETURN x.v",
+		rows:  [][]string{{"1"}},
+	},
+	{
+		name:  "exists property",
+		setup: []string{"CREATE (:A {v: 1}), (:A)"},
+		query: "MATCH (x:A) WHERE exists(x.v) RETURN x.v",
+		rows:  [][]string{{"1"}},
+	},
+	{
+		name:  "multiple match join",
+		setup: []string{"CREATE (:A {v: 1})-[:R]->(:B {w: 2})"},
+		query: "MATCH (a:A) MATCH (a)-[:R]->(b:B) RETURN a.v + b.w AS s",
+		rows:  [][]string{{"3"}},
+	},
+	{
+		name:  "type alternation",
+		setup: []string{"CREATE (:N {i: 1})-[:X]->(:M), (:N {i: 2})-[:Y]->(:M), (:N {i: 3})-[:Z]->(:M)"},
+		query: "MATCH (n:N)-[:X|Y]->() RETURN n.i ORDER BY n.i",
+		rows:  [][]string{{"1"}, {"2"}}, ordered: true,
+	},
+
+	// --- updating ---------------------------------------------------------------------
+	{
+		name:  "create returns bindings",
+		query: "CREATE (a:A {v: 1}) RETURN a.v",
+		rows:  [][]string{{"1"}},
+	},
+	{
+		name:  "set then read",
+		setup: []string{"CREATE (:A {v: 1})"},
+		query: "MATCH (a:A) SET a.v = 9 RETURN a.v",
+		rows:  [][]string{{"9"}},
+	},
+	{
+		name:  "merge dedupes",
+		setup: []string{"MERGE (:C {k: 1})", "MERGE (:C {k: 1})"},
+		query: "MATCH (c:C) RETURN count(*) AS n",
+		rows:  [][]string{{"1"}},
+	},
+	{
+		name:  "delete removes",
+		setup: []string{"CREATE (:A {v: 1}), (:A {v: 2})", "MATCH (a:A {v: 1}) DELETE a"},
+		query: "MATCH (a:A) RETURN count(*) AS n",
+		rows:  [][]string{{"1"}},
+	},
+
+	// --- parameters handled separately (see TestCorpusParams) ---------------------------
+}
+
+func TestCorpus(t *testing.T) {
+	for _, c := range corpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			store := graphstore.New()
+			for _, s := range c.setup {
+				q, err := parser.ParseQuery(s)
+				if err != nil {
+					t.Fatalf("setup parse %q: %v", s, err)
+				}
+				if _, err := EvalQuery(&Ctx{Store: store}, q); err != nil {
+					t.Fatalf("setup eval %q: %v", s, err)
+				}
+			}
+			q, err := parser.ParseQuery(c.query)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			out, err := EvalQuery(&Ctx{Store: store}, q)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			if c.cols != nil {
+				if len(out.Cols) != len(c.cols) {
+					t.Fatalf("cols = %v, want %v", out.Cols, c.cols)
+				}
+				for i := range c.cols {
+					if out.Cols[i] != c.cols[i] {
+						t.Errorf("col %d = %q, want %q", i, out.Cols[i], c.cols[i])
+					}
+				}
+			}
+			got := renderRows(out)
+			want := make([][]string, len(c.rows))
+			copy(want, c.rows)
+			if !c.ordered {
+				sortRows(got)
+				sortRows(want)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rows = %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+			}
+			for i := range want {
+				if strings.Join(got[i], "|") != strings.Join(want[i], "|") {
+					t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func renderRows(t *Table) [][]string {
+	out := make([][]string, 0, t.Len())
+	for _, row := range t.Rows {
+		r := make([]string, len(row))
+		for j, v := range row {
+			r[j] = v.String()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], "|") < strings.Join(rows[j], "|")
+	})
+}
+
+// errorCorpus: queries that must fail at evaluation time with a
+// diagnosable error (never a panic, never a silent wrong answer).
+var errorCorpus = []struct {
+	name  string
+	setup []string
+	query string
+}{
+	{name: "unbound variable", query: "RETURN ghost"},
+	{name: "unknown function", query: "RETURN spoon(1)"},
+	{name: "division by zero", query: "RETURN 1 / 0"},
+	{name: "modulo by zero", query: "RETURN 1 % 0"},
+	{name: "type error addition", query: "RETURN true + 1"},
+	{name: "aggregate in where", query: "WITH 1 AS x WHERE count(*) > 0 RETURN x"},
+	{name: "duplicate columns", query: "RETURN 1 AS x, 2 AS x"},
+	{name: "negative limit", query: "RETURN 1 AS x LIMIT -1"},
+	{name: "negative skip", query: "RETURN 1 AS x SKIP -2"},
+	{name: "non-integer limit", query: "RETURN 1 AS x LIMIT 'ten'"},
+	{name: "union column mismatch", query: "RETURN 1 AS x UNION RETURN 2 AS y"},
+	{name: "sum over strings", query: "UNWIND ['a'] AS x RETURN sum(x)"},
+	{name: "labels of non-node", query: "RETURN labels(1)"},
+	{name: "type of non-rel", query: "RETURN type(1)"},
+	{name: "nodes of non-path", query: "RETURN nodes([1])"},
+	{name: "bad regex", query: "RETURN 'x' =~ '['"},
+	{name: "bad datetime string", query: "RETURN datetime('whenever')"},
+	{name: "bad duration string", query: "RETURN duration('sometime')"},
+	{name: "reduce over scalar", query: "RETURN reduce(a = 0, x IN 3 | a + x)"},
+	{name: "map projection on scalar", query: "WITH 1 AS n RETURN n {.x}"},
+	{name: "missing parameter", query: "RETURN $nope"},
+	{name: "percentile out of range", query: "UNWIND [1] AS x RETURN percentileCont(x, 2.0)"},
+	{
+		name:  "delete connected without detach",
+		setup: []string{"CREATE (:A)-[:R]->(:B)"},
+		query: "MATCH (a:A) DELETE a",
+	},
+	{name: "unwind alias collision", query: "UNWIND [1] AS x UNWIND [2] AS x RETURN x"},
+}
+
+func TestErrorCorpus(t *testing.T) {
+	for _, c := range errorCorpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			store := graphstore.New()
+			for _, s := range c.setup {
+				q, err := parser.ParseQuery(s)
+				if err != nil {
+					t.Fatalf("setup parse: %v", err)
+				}
+				if _, err := EvalQuery(&Ctx{Store: store}, q); err != nil {
+					t.Fatalf("setup eval: %v", err)
+				}
+			}
+			q, err := parser.ParseQuery(c.query)
+			if err != nil {
+				t.Fatalf("parse (should be an eval error, not parse): %v", err)
+			}
+			if _, err := EvalQuery(&Ctx{Store: store}, q); err == nil {
+				t.Fatalf("%s must fail at evaluation", c.query)
+			}
+		})
+	}
+}
+
+// temporalCorpus: datetime/duration semantics.
+var temporalCorpus = []corpusCase{
+	{name: "datetime parse and component",
+		query: "RETURN datetime('2022-10-14T14:45:00').minute AS m", rows: [][]string{{"45"}}},
+	{name: "datetime plus duration",
+		query: "RETURN datetime('2022-10-14T14:00:00') + duration('PT45M') = datetime('2022-10-14T14:45:00') AS eq",
+		rows:  [][]string{{"true"}}},
+	{name: "datetime difference",
+		query: "RETURN datetime('2022-10-14T15:00:00') - datetime('2022-10-14T14:00:00') AS d",
+		rows:  [][]string{{"PT1H"}}},
+	{name: "duration scaling",
+		query: "RETURN duration('PT10M') * 3 AS d", rows: [][]string{{"PT30M"}}},
+	{name: "datetime comparison",
+		query: "RETURN datetime('2022-10-14T14:00:00') < datetime('2022-10-14T15:00:00') AS lt",
+		rows:  [][]string{{"true"}}},
+	{name: "datetime literal token",
+		query: "RETURN 2022-10-14T14:45:00 = datetime('2022-10-14T14:45:00') AS eq",
+		rows:  [][]string{{"true"}}},
+	{name: "duration ordering",
+		query: "RETURN duration('PT1M') < duration('PT1H') AS lt", rows: [][]string{{"true"}}},
+	{name: "min over datetimes",
+		query: "UNWIND [datetime('2022-10-14T15:00:00'), datetime('2022-10-14T14:00:00')] AS t RETURN min(t).hour AS h",
+		rows:  [][]string{{"14"}}},
+}
+
+func TestTemporalCorpus(t *testing.T) {
+	saved := corpus
+	defer func() { corpus = saved }()
+	corpus = temporalCorpus
+	TestCorpus(t)
+}

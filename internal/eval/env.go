@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Ctx carries everything a query evaluation needs besides the input
+// table: the graph (or, for Seraph, a provider of per-window snapshot
+// graphs), query parameters, and engine-injected bindings such as the
+// reserved win_start / win_end names of Definition 5.6.
+type Ctx struct {
+	// Store is the default graph to match against.
+	Store *graphstore.Store
+
+	// GraphFor, when non-nil, resolves the snapshot graph for a MATCH
+	// clause with the given WITHIN width (Seraph allows every pattern
+	// its own window width). A zero width selects the default store.
+	GraphFor func(within time.Duration) *graphstore.Store
+
+	// Params are query parameters ($name).
+	Params map[string]value.Value
+
+	// Builtins are engine-injected named values, looked up when a
+	// variable is not bound in the record; Seraph binds win_start and
+	// win_end here.
+	Builtins map[string]value.Value
+}
+
+// storeFor resolves the graph for a MATCH with the given WITHIN width.
+func (c *Ctx) storeFor(within time.Duration) *graphstore.Store {
+	if within != 0 && c.GraphFor != nil {
+		return c.GraphFor(within)
+	}
+	if c.Store == nil && c.GraphFor != nil {
+		return c.GraphFor(0)
+	}
+	return c.Store
+}
+
+// env is the variable scope for expression evaluation: the current
+// record's columns plus any locals introduced by list comprehensions
+// and quantifiers (which shadow outer names).
+type env struct {
+	cols []string
+	row  []value.Value
+
+	localNames []string
+	localVals  []value.Value
+}
+
+func newEnv(cols []string, row []value.Value) *env {
+	return &env{cols: cols, row: row}
+}
+
+// lookup resolves a name: locals (innermost first), then record
+// columns.
+func (e *env) lookup(name string) (value.Value, bool) {
+	for i := len(e.localNames) - 1; i >= 0; i-- {
+		if e.localNames[i] == name {
+			return e.localVals[i], true
+		}
+	}
+	for i, c := range e.cols {
+		if c == name {
+			return e.row[i], true
+		}
+	}
+	return value.Null, false
+}
+
+func (e *env) push(name string, v value.Value) {
+	e.localNames = append(e.localNames, name)
+	e.localVals = append(e.localVals, v)
+}
+
+func (e *env) pop() {
+	e.localNames = e.localNames[:len(e.localNames)-1]
+	e.localVals = e.localVals[:len(e.localVals)-1]
+}
+
+func (e *env) setTop(v value.Value) {
+	e.localVals[len(e.localVals)-1] = v
+}
+
+// Error is a runtime evaluation error.
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return "eval error: " + e.Msg }
+
+func evalErrf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}

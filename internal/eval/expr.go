@@ -1,0 +1,665 @@
+package eval
+
+import (
+	"regexp"
+	"strings"
+
+	"seraph/internal/ast"
+	"seraph/internal/value"
+)
+
+// evalExpr evaluates e in the given context and scope. Aggregation
+// functions are rejected here; they are handled by projections.
+func evalExpr(ctx *Ctx, env *env, e ast.Expr) (value.Value, error) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		return x.Val, nil
+
+	case *ast.Var:
+		if v, ok := env.lookup(x.Name); ok {
+			return v, nil
+		}
+		if v, ok := ctx.Builtins[x.Name]; ok {
+			return v, nil
+		}
+		return value.Null, evalErrf("variable `%s` not defined", x.Name)
+
+	case *ast.Param:
+		if v, ok := ctx.Params[x.Name]; ok {
+			return v, nil
+		}
+		return value.Null, evalErrf("parameter $%s not provided", x.Name)
+
+	case *ast.Prop:
+		base, err := evalExpr(ctx, env, x.X)
+		if err != nil {
+			return value.Null, err
+		}
+		return propAccess(base, x.Key)
+
+	case *ast.ListLit:
+		items := make([]value.Value, len(x.Items))
+		for i, it := range x.Items {
+			v, err := evalExpr(ctx, env, it)
+			if err != nil {
+				return value.Null, err
+			}
+			items[i] = v
+		}
+		return value.NewList(items...), nil
+
+	case *ast.MapLit:
+		m := make(map[string]value.Value, len(x.Keys))
+		for i, k := range x.Keys {
+			v, err := evalExpr(ctx, env, x.Vals[i])
+			if err != nil {
+				return value.Null, err
+			}
+			m[k] = v
+		}
+		return value.NewMap(m), nil
+
+	case *ast.Unary:
+		return evalUnary(ctx, env, x)
+
+	case *ast.Binary:
+		return evalBinary(ctx, env, x)
+
+	case *ast.Comparison:
+		return evalComparison(ctx, env, x)
+
+	case *ast.Index:
+		return evalIndex(ctx, env, x)
+
+	case *ast.Slice:
+		return evalSlice(ctx, env, x)
+
+	case *ast.FuncCall:
+		if isAggregate(x.Name) {
+			return value.Null, evalErrf("aggregation %s(...) is only allowed in WITH, RETURN or EMIT projections", x.Name)
+		}
+		return evalFunc(ctx, env, x)
+
+	case *ast.CountStar:
+		return value.Null, evalErrf("count(*) is only allowed in WITH, RETURN or EMIT projections")
+
+	case *ast.Case:
+		return evalCase(ctx, env, x)
+
+	case *ast.ListComp:
+		return evalListComp(ctx, env, x)
+
+	case *ast.Quantifier:
+		return evalQuantifier(ctx, env, x)
+
+	case *ast.Reduce:
+		return evalReduce(ctx, env, x)
+
+	case *ast.MapProjection:
+		return evalMapProjection(ctx, env, x)
+
+	case *ast.PatternPredicate:
+		return evalPatternPredicate(ctx, env, x)
+	}
+	return value.Null, evalErrf("unsupported expression %T", e)
+}
+
+// propAccess implements X.key for nodes, relationships, maps and
+// temporal values. Property access on null yields null.
+func propAccess(base value.Value, key string) (value.Value, error) {
+	switch base.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNode:
+		return base.Node().Prop(key), nil
+	case value.KindRelationship:
+		return base.Relationship().Prop(key), nil
+	case value.KindMap:
+		if v, ok := base.Map()[key]; ok {
+			return v, nil
+		}
+		return value.Null, nil
+	case value.KindDateTime:
+		t := base.DateTime()
+		switch key {
+		case "year":
+			return value.NewInt(int64(t.Year())), nil
+		case "month":
+			return value.NewInt(int64(t.Month())), nil
+		case "day":
+			return value.NewInt(int64(t.Day())), nil
+		case "hour":
+			return value.NewInt(int64(t.Hour())), nil
+		case "minute":
+			return value.NewInt(int64(t.Minute())), nil
+		case "second":
+			return value.NewInt(int64(t.Second())), nil
+		case "epochSeconds":
+			return value.NewInt(t.Unix()), nil
+		case "epochMillis":
+			return value.NewInt(t.UnixMilli()), nil
+		}
+		return value.Null, evalErrf("unknown datetime component .%s", key)
+	}
+	return value.Null, evalErrf("type error: cannot access property .%s on %s", key, base.Kind())
+}
+
+func evalUnary(ctx *Ctx, env *env, x *ast.Unary) (value.Value, error) {
+	v, err := evalExpr(ctx, env, x.X)
+	if err != nil {
+		return value.Null, err
+	}
+	switch x.Op {
+	case ast.OpNot:
+		return value.Not(v), nil
+	case ast.OpNeg:
+		return value.Neg(v)
+	case ast.OpIsNull:
+		return value.NewBool(v.IsNull()), nil
+	case ast.OpIsNotNull:
+		return value.NewBool(!v.IsNull()), nil
+	}
+	return value.Null, evalErrf("unsupported unary operator")
+}
+
+func evalBinary(ctx *Ctx, env *env, x *ast.Binary) (value.Value, error) {
+	// AND/OR/XOR need both sides for ternary logic but may
+	// short-circuit on definite results.
+	switch x.Op {
+	case ast.OpAnd:
+		l, err := evalExpr(ctx, env, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		if l.IsBool() && !l.Bool() {
+			return value.False, nil
+		}
+		r, err := evalExpr(ctx, env, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.And(l, r), nil
+	case ast.OpOr:
+		l, err := evalExpr(ctx, env, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		if l.IsBool() && l.Bool() {
+			return value.True, nil
+		}
+		r, err := evalExpr(ctx, env, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Or(l, r), nil
+	case ast.OpXor:
+		l, err := evalExpr(ctx, env, x.L)
+		if err != nil {
+			return value.Null, err
+		}
+		r, err := evalExpr(ctx, env, x.R)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Xor(l, r), nil
+	}
+
+	l, err := evalExpr(ctx, env, x.L)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := evalExpr(ctx, env, x.R)
+	if err != nil {
+		return value.Null, err
+	}
+	switch x.Op {
+	case ast.OpAdd:
+		return value.Add(l, r)
+	case ast.OpSub:
+		return value.Sub(l, r)
+	case ast.OpMul:
+		return value.Mul(l, r)
+	case ast.OpDiv:
+		return value.Div(l, r)
+	case ast.OpMod:
+		return value.Mod(l, r)
+	case ast.OpPow:
+		return value.Pow(l, r)
+	case ast.OpIn:
+		return evalIn(l, r)
+	case ast.OpStartsWith, ast.OpEndsWith, ast.OpContains:
+		if l.IsNull() || r.IsNull() {
+			return value.Null, nil
+		}
+		if !l.IsString() || !r.IsString() {
+			return value.Null, evalErrf("type error: string operator on %s and %s", l.Kind(), r.Kind())
+		}
+		switch x.Op {
+		case ast.OpStartsWith:
+			return value.NewBool(strings.HasPrefix(l.Str(), r.Str())), nil
+		case ast.OpEndsWith:
+			return value.NewBool(strings.HasSuffix(l.Str(), r.Str())), nil
+		default:
+			return value.NewBool(strings.Contains(l.Str(), r.Str())), nil
+		}
+	case ast.OpRegex:
+		if l.IsNull() || r.IsNull() {
+			return value.Null, nil
+		}
+		if !l.IsString() || !r.IsString() {
+			return value.Null, evalErrf("type error: =~ on %s and %s", l.Kind(), r.Kind())
+		}
+		re, err := regexp.Compile(r.Str())
+		if err != nil {
+			return value.Null, evalErrf("invalid regular expression %q: %v", r.Str(), err)
+		}
+		return value.NewBool(re.MatchString(l.Str())), nil
+	}
+	return value.Null, evalErrf("unsupported binary operator")
+}
+
+// evalIn implements `x IN list` with ternary semantics: null if the
+// list is null, or if no element equals x but some comparison was
+// undefined.
+func evalIn(x, list value.Value) (value.Value, error) {
+	if list.IsNull() {
+		return value.Null, nil
+	}
+	if !list.IsList() {
+		return value.Null, evalErrf("type error: IN requires a list, got %s", list.Kind())
+	}
+	sawNull := false
+	for _, e := range list.List() {
+		eq := value.Equal(x, e)
+		switch {
+		case eq.IsNull():
+			sawNull = true
+		case eq.Bool():
+			return value.True, nil
+		}
+	}
+	if sawNull {
+		return value.Null, nil
+	}
+	return value.False, nil
+}
+
+func evalComparison(ctx *Ctx, env *env, x *ast.Comparison) (value.Value, error) {
+	prev, err := evalExpr(ctx, env, x.First)
+	if err != nil {
+		return value.Null, err
+	}
+	result := value.True
+	for i, op := range x.Ops {
+		cur, err := evalExpr(ctx, env, x.Rest[i])
+		if err != nil {
+			return value.Null, err
+		}
+		var step value.Value
+		switch op {
+		case ast.CmpEq:
+			step = value.Equal(prev, cur)
+		case ast.CmpNeq:
+			step = value.Not(value.Equal(prev, cur))
+		default:
+			c, defined := value.CompareTernary(prev, cur)
+			if !defined {
+				step = value.Null
+			} else {
+				switch op {
+				case ast.CmpLt:
+					step = value.NewBool(c < 0)
+				case ast.CmpLe:
+					step = value.NewBool(c <= 0)
+				case ast.CmpGt:
+					step = value.NewBool(c > 0)
+				case ast.CmpGe:
+					step = value.NewBool(c >= 0)
+				}
+			}
+		}
+		result = value.And(result, step)
+		if result.IsBool() && !result.Bool() {
+			return value.False, nil
+		}
+		prev = cur
+	}
+	return result, nil
+}
+
+func evalIndex(ctx *Ctx, env *env, x *ast.Index) (value.Value, error) {
+	base, err := evalExpr(ctx, env, x.X)
+	if err != nil {
+		return value.Null, err
+	}
+	idx, err := evalExpr(ctx, env, x.I)
+	if err != nil {
+		return value.Null, err
+	}
+	if base.IsNull() || idx.IsNull() {
+		return value.Null, nil
+	}
+	switch base.Kind() {
+	case value.KindList:
+		if !idx.IsInt() {
+			return value.Null, evalErrf("type error: list index must be an integer, got %s", idx.Kind())
+		}
+		lst := base.List()
+		i := idx.Int()
+		if i < 0 {
+			i += int64(len(lst))
+		}
+		if i < 0 || i >= int64(len(lst)) {
+			return value.Null, nil
+		}
+		return lst[i], nil
+	case value.KindMap:
+		if !idx.IsString() {
+			return value.Null, evalErrf("type error: map key must be a string, got %s", idx.Kind())
+		}
+		if v, ok := base.Map()[idx.Str()]; ok {
+			return v, nil
+		}
+		return value.Null, nil
+	case value.KindNode:
+		if idx.IsString() {
+			return base.Node().Prop(idx.Str()), nil
+		}
+	case value.KindRelationship:
+		if idx.IsString() {
+			return base.Relationship().Prop(idx.Str()), nil
+		}
+	}
+	return value.Null, evalErrf("type error: cannot index %s", base.Kind())
+}
+
+func evalSlice(ctx *Ctx, env *env, x *ast.Slice) (value.Value, error) {
+	base, err := evalExpr(ctx, env, x.X)
+	if err != nil {
+		return value.Null, err
+	}
+	if base.IsNull() {
+		return value.Null, nil
+	}
+	if !base.IsList() {
+		return value.Null, evalErrf("type error: cannot slice %s", base.Kind())
+	}
+	lst := base.List()
+	from, to := int64(0), int64(len(lst))
+	if x.From != nil {
+		v, err := evalExpr(ctx, env, x.From)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if !v.IsInt() {
+			return value.Null, evalErrf("type error: slice bound must be an integer")
+		}
+		from = v.Int()
+	}
+	if x.To != nil {
+		v, err := evalExpr(ctx, env, x.To)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if !v.IsInt() {
+			return value.Null, evalErrf("type error: slice bound must be an integer")
+		}
+		to = v.Int()
+	}
+	n := int64(len(lst))
+	if from < 0 {
+		from += n
+	}
+	if to < 0 {
+		to += n
+	}
+	from = clamp(from, 0, n)
+	to = clamp(to, 0, n)
+	if from >= to {
+		return value.NewList(), nil
+	}
+	return value.NewList(lst[from:to]...), nil
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func evalCase(ctx *Ctx, env *env, x *ast.Case) (value.Value, error) {
+	if x.Test != nil {
+		test, err := evalExpr(ctx, env, x.Test)
+		if err != nil {
+			return value.Null, err
+		}
+		for _, w := range x.Whens {
+			wv, err := evalExpr(ctx, env, w.When)
+			if err != nil {
+				return value.Null, err
+			}
+			if eq := value.Equal(test, wv); eq.IsBool() && eq.Bool() {
+				return evalExpr(ctx, env, w.Then)
+			}
+		}
+	} else {
+		for _, w := range x.Whens {
+			wv, err := evalExpr(ctx, env, w.When)
+			if err != nil {
+				return value.Null, err
+			}
+			if wv.IsBool() && wv.Bool() {
+				return evalExpr(ctx, env, w.Then)
+			}
+		}
+	}
+	if x.Else != nil {
+		return evalExpr(ctx, env, x.Else)
+	}
+	return value.Null, nil
+}
+
+func evalListComp(ctx *Ctx, env *env, x *ast.ListComp) (value.Value, error) {
+	list, err := evalExpr(ctx, env, x.List)
+	if err != nil {
+		return value.Null, err
+	}
+	if list.IsNull() {
+		return value.Null, nil
+	}
+	if !list.IsList() {
+		return value.Null, evalErrf("type error: list comprehension over %s", list.Kind())
+	}
+	var out []value.Value
+	env.push(x.Var, value.Null)
+	defer env.pop()
+	for _, e := range list.List() {
+		env.setTop(e)
+		if x.Where != nil {
+			keep, err := evalExpr(ctx, env, x.Where)
+			if err != nil {
+				return value.Null, err
+			}
+			if !(keep.IsBool() && keep.Bool()) {
+				continue
+			}
+		}
+		item := e
+		if x.Proj != nil {
+			item, err = evalExpr(ctx, env, x.Proj)
+			if err != nil {
+				return value.Null, err
+			}
+		}
+		out = append(out, item)
+	}
+	return value.NewList(out...), nil
+}
+
+// evalMapProjection implements v {.key, .*, k: expr, other}.
+func evalMapProjection(ctx *Ctx, env *env, x *ast.MapProjection) (value.Value, error) {
+	base, err := evalExpr(ctx, env, x.X)
+	if err != nil {
+		return value.Null, err
+	}
+	if base.IsNull() {
+		return value.Null, nil
+	}
+	var props map[string]value.Value
+	switch base.Kind() {
+	case value.KindNode:
+		props = base.Node().Props
+	case value.KindRelationship:
+		props = base.Relationship().Props
+	case value.KindMap:
+		props = base.Map()
+	default:
+		return value.Null, evalErrf("type error: map projection on %s", base.Kind())
+	}
+	out := make(map[string]value.Value, len(x.Items))
+	for _, it := range x.Items {
+		switch {
+		case it.AllProps:
+			for k, v := range props {
+				out[k] = v
+			}
+		case it.Prop:
+			if v, ok := props[it.Key]; ok {
+				out[it.Key] = v
+			} else {
+				out[it.Key] = value.Null
+			}
+		default:
+			v, err := evalExpr(ctx, env, it.Value)
+			if err != nil {
+				return value.Null, err
+			}
+			out[it.Key] = v
+		}
+	}
+	return value.NewMap(out), nil
+}
+
+// evalReduce implements reduce(acc = init, v IN list | expr).
+func evalReduce(ctx *Ctx, env *env, x *ast.Reduce) (value.Value, error) {
+	list, err := evalExpr(ctx, env, x.List)
+	if err != nil {
+		return value.Null, err
+	}
+	if list.IsNull() {
+		return value.Null, nil
+	}
+	if !list.IsList() {
+		return value.Null, evalErrf("type error: reduce over %s", list.Kind())
+	}
+	acc, err := evalExpr(ctx, env, x.Init)
+	if err != nil {
+		return value.Null, err
+	}
+	env.push(x.Acc, acc)
+	env.push(x.Var, value.Null)
+	defer func() { env.pop(); env.pop() }()
+	for _, e := range list.List() {
+		env.setTop(e)
+		next, err := evalExpr(ctx, env, x.Expr)
+		if err != nil {
+			return value.Null, err
+		}
+		acc = next
+		// Rebind the accumulator (it sits below the loop variable).
+		env.localVals[len(env.localVals)-2] = acc
+	}
+	return acc, nil
+}
+
+// evalQuantifier implements ALL/ANY/NONE/SINGLE with ternary logic:
+// unknown predicate outcomes make the quantifier unknown unless
+// decided by a definite outcome.
+func evalQuantifier(ctx *Ctx, env *env, x *ast.Quantifier) (value.Value, error) {
+	list, err := evalExpr(ctx, env, x.List)
+	if err != nil {
+		return value.Null, err
+	}
+	if list.IsNull() {
+		return value.Null, nil
+	}
+	if !list.IsList() {
+		return value.Null, evalErrf("type error: %s over %s", quantName(x.Kind), list.Kind())
+	}
+	env.push(x.Var, value.Null)
+	defer env.pop()
+	trues, nulls := 0, 0
+	for _, e := range list.List() {
+		env.setTop(e)
+		p, err := evalExpr(ctx, env, x.Where)
+		if err != nil {
+			return value.Null, err
+		}
+		switch {
+		case p.IsNull():
+			nulls++
+		case p.Bool():
+			trues++
+		}
+	}
+	n := len(list.List())
+	falses := n - trues - nulls
+	switch x.Kind {
+	case ast.QuantAll:
+		if falses > 0 {
+			return value.False, nil
+		}
+		if nulls > 0 {
+			return value.Null, nil
+		}
+		return value.True, nil
+	case ast.QuantAny:
+		if trues > 0 {
+			return value.True, nil
+		}
+		if nulls > 0 {
+			return value.Null, nil
+		}
+		return value.False, nil
+	case ast.QuantNone:
+		if trues > 0 {
+			return value.False, nil
+		}
+		if nulls > 0 {
+			return value.Null, nil
+		}
+		return value.True, nil
+	case ast.QuantSingle:
+		if trues > 1 {
+			return value.False, nil
+		}
+		if nulls > 0 {
+			return value.Null, nil
+		}
+		return value.NewBool(trues == 1), nil
+	}
+	return value.Null, evalErrf("unsupported quantifier")
+}
+
+func quantName(k ast.QuantKind) string {
+	switch k {
+	case ast.QuantAll:
+		return "all"
+	case ast.QuantAny:
+		return "any"
+	case ast.QuantNone:
+		return "none"
+	default:
+		return "single"
+	}
+}

@@ -1,0 +1,289 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// evalOne evaluates `RETURN <expr> AS v` on an empty graph and returns
+// the single value.
+func evalOne(t *testing.T, expr string) value.Value {
+	t.Helper()
+	return evalOneCtx(t, &Ctx{Store: graphstore.New()}, expr)
+}
+
+func evalOneCtx(t *testing.T, ctx *Ctx, expr string) value.Value {
+	t.Helper()
+	q, err := parser.ParseQuery("RETURN " + expr + " AS v")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	out, err := EvalQuery(ctx, q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("eval %q: %d rows", expr, out.Len())
+	}
+	return out.Rows[0][0]
+}
+
+func evalErr(t *testing.T, expr string) error {
+	t.Helper()
+	q, err := parser.ParseQuery("RETURN " + expr + " AS v")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	_, err = EvalQuery(&Ctx{Store: graphstore.New()}, q)
+	if err == nil {
+		t.Fatalf("eval %q should fail", expr)
+	}
+	return err
+}
+
+func wantVal(t *testing.T, expr string, want value.Value) {
+	t.Helper()
+	got := evalOne(t, expr)
+	if !value.Equivalent(got, want) {
+		t.Errorf("%s = %s, want %s", expr, got, want)
+	}
+}
+
+func TestArithmeticExprs(t *testing.T) {
+	wantVal(t, "1 + 2 * 3", value.NewInt(7))
+	wantVal(t, "(1 + 2) * 3", value.NewInt(9))
+	wantVal(t, "7 / 2", value.NewInt(3))
+	wantVal(t, "7.0 / 2", value.NewFloat(3.5))
+	wantVal(t, "7 % 3", value.NewInt(1))
+	wantVal(t, "2 ^ 10", value.NewFloat(1024))
+	wantVal(t, "-(3 + 4)", value.NewInt(-7))
+	wantVal(t, "1 + null", value.Null)
+	wantVal(t, "'a' + 'b' + 'c'", value.NewString("abc"))
+	wantVal(t, "[1] + [2, 3]", value.NewList(value.NewInt(1), value.NewInt(2), value.NewInt(3)))
+	evalErr(t, "1 / 0")
+	evalErr(t, "true + 1")
+}
+
+func TestComparisonExprs(t *testing.T) {
+	wantVal(t, "1 < 2", value.True)
+	wantVal(t, "2 <= 2", value.True)
+	wantVal(t, "3 > 4", value.False)
+	wantVal(t, "1 = 1.0", value.True)
+	wantVal(t, "1 <> 2", value.True)
+	wantVal(t, "null = null", value.Null)
+	wantVal(t, "null <> 1", value.Null)
+	wantVal(t, "1 < null", value.Null)
+	wantVal(t, "1 < 'a'", value.Null) // incomparable
+	wantVal(t, "'a' < 'b'", value.True)
+	// Chained comparisons.
+	wantVal(t, "1 <= 2 <= 3", value.True)
+	wantVal(t, "1 <= 5 <= 3", value.False)
+	wantVal(t, "1 < 2 < null", value.Null)
+	wantVal(t, "3 < 2 < null", value.False) // short-circuits to false
+}
+
+func TestBooleanExprs(t *testing.T) {
+	wantVal(t, "true AND false", value.False)
+	wantVal(t, "true OR false", value.True)
+	wantVal(t, "true XOR true", value.False)
+	wantVal(t, "NOT false", value.True)
+	wantVal(t, "null AND true", value.Null)
+	wantVal(t, "null AND false", value.False)
+	wantVal(t, "null OR true", value.True)
+	wantVal(t, "NOT null", value.Null)
+	wantVal(t, "1 < 2 AND 2 < 3 OR false", value.True)
+}
+
+func TestStringPredicates(t *testing.T) {
+	wantVal(t, "'hello' STARTS WITH 'he'", value.True)
+	wantVal(t, "'hello' ENDS WITH 'lo'", value.True)
+	wantVal(t, "'hello' CONTAINS 'ell'", value.True)
+	wantVal(t, "'hello' CONTAINS 'xyz'", value.False)
+	wantVal(t, "null STARTS WITH 'a'", value.Null)
+	wantVal(t, "'hello' =~ 'h.*o'", value.True)
+	wantVal(t, "'hello' =~ 'H.*'", value.False)
+	evalErr(t, "'x' =~ '('") // invalid regex
+}
+
+func TestInOperator(t *testing.T) {
+	wantVal(t, "2 IN [1, 2, 3]", value.True)
+	wantVal(t, "5 IN [1, 2, 3]", value.False)
+	wantVal(t, "2 IN null", value.Null)
+	wantVal(t, "null IN [1, 2]", value.Null)
+	wantVal(t, "2 IN [1, null, 2]", value.True)
+	wantVal(t, "5 IN [1, null, 2]", value.Null) // unknown due to null
+	wantVal(t, "'Station' IN ['Bike', 'Station']", value.True)
+}
+
+func TestNullPredicates(t *testing.T) {
+	wantVal(t, "null IS NULL", value.True)
+	wantVal(t, "1 IS NULL", value.False)
+	wantVal(t, "null IS NOT NULL", value.False)
+	wantVal(t, "1 IS NOT NULL", value.True)
+}
+
+func TestIndexAndSlice(t *testing.T) {
+	wantVal(t, "[10, 20, 30][1]", value.NewInt(20))
+	wantVal(t, "[10, 20, 30][-1]", value.NewInt(30))
+	wantVal(t, "[10, 20, 30][99]", value.Null)
+	wantVal(t, "[10, 20, 30][1..3]", value.NewList(value.NewInt(20), value.NewInt(30)))
+	wantVal(t, "[10, 20, 30][..2]", value.NewList(value.NewInt(10), value.NewInt(20)))
+	wantVal(t, "[10, 20, 30][-2..]", value.NewList(value.NewInt(20), value.NewInt(30)))
+	wantVal(t, "[10, 20, 30][2..1]", value.NewList())
+	wantVal(t, "{a: 1}['a']", value.NewInt(1))
+	wantVal(t, "{a: 1}['b']", value.Null)
+	wantVal(t, "{a: 1}.a", value.NewInt(1))
+	wantVal(t, "null[0]", value.Null)
+	evalErr(t, "[1][true]")
+	evalErr(t, "1[0]")
+}
+
+func TestCaseExprs(t *testing.T) {
+	wantVal(t, "CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END", value.NewString("two"))
+	wantVal(t, "CASE 9 WHEN 1 THEN 'one' ELSE 'many' END", value.NewString("many"))
+	wantVal(t, "CASE 9 WHEN 1 THEN 'one' END", value.Null)
+	wantVal(t, "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' END", value.NewString("b"))
+	wantVal(t, "CASE WHEN null THEN 'a' ELSE 'b' END", value.NewString("b"))
+}
+
+func TestQuantifierExprs(t *testing.T) {
+	wantVal(t, "all(x IN [1, 2] WHERE x > 0)", value.True)
+	wantVal(t, "all(x IN [1, -2] WHERE x > 0)", value.False)
+	wantVal(t, "all(x IN [] WHERE x > 0)", value.True)
+	wantVal(t, "all(x IN [1, null] WHERE x > 0)", value.Null)
+	wantVal(t, "all(x IN [-1, null] WHERE x > 0)", value.False)
+	wantVal(t, "any(x IN [-1, 2] WHERE x > 0)", value.True)
+	wantVal(t, "any(x IN [] WHERE x > 0)", value.False)
+	wantVal(t, "any(x IN [-1, null] WHERE x > 0)", value.Null)
+	wantVal(t, "none(x IN [-1, -2] WHERE x > 0)", value.True)
+	wantVal(t, "none(x IN [1] WHERE x > 0)", value.False)
+	wantVal(t, "single(x IN [1, -2] WHERE x > 0)", value.True)
+	wantVal(t, "single(x IN [1, 2] WHERE x > 0)", value.False)
+	wantVal(t, "all(x IN null WHERE x > 0)", value.Null)
+}
+
+func TestListComprehension(t *testing.T) {
+	wantVal(t, "[x IN [1, 2, 3] | x * 2]",
+		value.NewList(value.NewInt(2), value.NewInt(4), value.NewInt(6)))
+	wantVal(t, "[x IN [1, 2, 3] WHERE x % 2 = 1]",
+		value.NewList(value.NewInt(1), value.NewInt(3)))
+	wantVal(t, "[x IN [1, 2, 3] WHERE x > 1 | x + 10]",
+		value.NewList(value.NewInt(12), value.NewInt(13)))
+	wantVal(t, "[x IN [] | x]", value.NewList())
+	wantVal(t, "[x IN null | x]", value.Null)
+	// Shadowing: inner variable hides outer.
+	q, err := parser.ParseQuery("WITH 5 AS x RETURN [x IN [1] | x] AS v, x AS outer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EvalQuery(&Ctx{Store: graphstore.New()}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][1].Int() != 5 {
+		t.Error("outer variable clobbered by comprehension")
+	}
+}
+
+func TestParams(t *testing.T) {
+	ctx := &Ctx{
+		Store:  graphstore.New(),
+		Params: map[string]value.Value{"limit": value.NewInt(42)},
+	}
+	if got := evalOneCtx(t, ctx, "$limit"); got.Int() != 42 {
+		t.Errorf("$limit = %s", got)
+	}
+	err := evalErr(t, "$missing")
+	if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("error: %v", err)
+	}
+}
+
+func TestUnknownVariable(t *testing.T) {
+	err := evalErr(t, "nosuchvar")
+	if !strings.Contains(err.Error(), "nosuchvar") {
+		t.Errorf("error: %v", err)
+	}
+}
+
+func TestAggregateOutsideProjection(t *testing.T) {
+	q, err := parser.ParseQuery("WITH 1 AS x WHERE count(*) > 1 RETURN x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: graphstore.New()}, q); err == nil {
+		t.Error("aggregate in WHERE must fail")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	wantVal(t, "reduce(acc = 0, x IN [1, 2, 3] | acc + x)", value.NewInt(6))
+	wantVal(t, "reduce(acc = 1, x IN [2, 3, 4] | acc * x)", value.NewInt(24))
+	wantVal(t, "reduce(s = '', w IN ['a', 'b'] | s + w)", value.NewString("ab"))
+	wantVal(t, "reduce(acc = 0, x IN [] | acc + x)", value.NewInt(0))
+	wantVal(t, "reduce(acc = 0, x IN null | acc + x)", value.Null)
+	// Nested: accumulator visible inside inner expressions.
+	wantVal(t, "reduce(acc = 0, x IN [1, 2] | acc + reduce(b = 0, y IN [10] | b + y))", value.NewInt(20))
+	evalErr(t, "reduce(acc = 0, x IN 5 | acc + x)")
+}
+
+func TestMapProjection(t *testing.T) {
+	s := graphstore.New()
+	q, err := parser.ParseQuery(`CREATE (:P {name: 'Ann', age: 30})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: s}, q); err != nil {
+		t.Fatal(err)
+	}
+	eval1 := func(src string) value.Value {
+		t.Helper()
+		q, err := parser.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		out, err := EvalQuery(&Ctx{Store: s}, q)
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		return out.Rows[0][0]
+	}
+
+	v := eval1(`MATCH (p:P) RETURN p {.name} AS m`)
+	if v.Map()["name"].Str() != "Ann" || len(v.Map()) != 1 {
+		t.Errorf("prop selector: %s", v)
+	}
+	v = eval1(`MATCH (p:P) RETURN p {.*} AS m`)
+	if len(v.Map()) != 2 || v.Map()["age"].Int() != 30 {
+		t.Errorf("all props: %s", v)
+	}
+	v = eval1(`MATCH (p:P) RETURN p {.name, senior: p.age >= 30, .missing} AS m`)
+	m := v.Map()
+	if !m["senior"].Bool() || !m["missing"].IsNull() || m["name"].Str() != "Ann" {
+		t.Errorf("mixed projection: %s", v)
+	}
+	// Bare variable entry.
+	v = eval1(`MATCH (p:P) WITH p, 7 AS lucky RETURN p {.name, lucky} AS m`)
+	if v.Map()["lucky"].Int() != 7 {
+		t.Errorf("bare variable entry: %s", v)
+	}
+	// On maps.
+	v = eval1(`WITH {a: 1, b: 2} AS mp RETURN mp {.a, c: 3} AS m`)
+	if v.Map()["a"].Int() != 1 || v.Map()["c"].Int() != 3 {
+		t.Errorf("map base: %s", v)
+	}
+	// Null base propagates.
+	v = eval1(`OPTIONAL MATCH (x:Missing) RETURN x {.name} AS m`)
+	if !v.IsNull() {
+		t.Errorf("null base: %s", v)
+	}
+	// Parenthesized expressions are NOT projections.
+	v = eval1(`WITH 1 AS one RETURN (one) AS m`)
+	if v.Int() != 1 {
+		t.Errorf("paren: %s", v)
+	}
+}

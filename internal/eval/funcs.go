@@ -1,0 +1,771 @@
+package eval
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/value"
+)
+
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"collect": true, "stdev": true, "stdevp": true,
+	"percentilecont": true, "percentiledisc": true,
+}
+
+// isAggregate reports whether name is an aggregation function.
+func isAggregate(name string) bool { return aggregateNames[name] }
+
+// evalFunc evaluates a non-aggregate builtin function call.
+func evalFunc(ctx *Ctx, env *env, x *ast.FuncCall) (value.Value, error) {
+	args := make([]value.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := evalExpr(ctx, env, a)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	fn, ok := builtins[x.Name]
+	if !ok {
+		return value.Null, evalErrf("unknown function %s(...)", x.Name)
+	}
+	return fn(ctx, args)
+}
+
+type builtinFn func(ctx *Ctx, args []value.Value) (value.Value, error)
+
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"id":            fnID,
+		"labels":        fnLabels,
+		"type":          fnType,
+		"properties":    fnProperties,
+		"keys":          fnKeys,
+		"exists":        fnExists,
+		"startnode":     fnStartNode,
+		"endnode":       fnEndNode,
+		"nodes":         fnNodes,
+		"relationships": fnRelationships,
+		"rels":          fnRelationships,
+		"length":        fnLength,
+		"size":          fnSize,
+		"head":          fnHead,
+		"last":          fnLast,
+		"tail":          fnTail,
+		"reverse":       fnReverse,
+		"range":         fnRange,
+		"coalesce":      fnCoalesce,
+		"abs": numeric1("abs", math.Abs, func(i int64) (int64, bool) {
+			if i < 0 {
+				return -i, true
+			}
+			return i, true
+		}),
+		"ceil":      float1("ceil", math.Ceil),
+		"floor":     float1("floor", math.Floor),
+		"round":     float1("round", math.Round),
+		"sqrt":      float1("sqrt", math.Sqrt),
+		"exp":       float1("exp", math.Exp),
+		"log":       float1("log", math.Log),
+		"log10":     float1("log10", math.Log10),
+		"sign":      fnSign,
+		"tointeger": fnToInteger,
+		"tofloat":   fnToFloat,
+		"tostring":  fnToString,
+		"toboolean": fnToBoolean,
+		"toupper":   str1("toUpper", strings.ToUpper),
+		"tolower":   str1("toLower", strings.ToLower),
+		"trim":      str1("trim", strings.TrimSpace),
+		"ltrim":     str1("lTrim", func(s string) string { return strings.TrimLeft(s, " \t\r\n") }),
+		"rtrim":     str1("rTrim", func(s string) string { return strings.TrimRight(s, " \t\r\n") }),
+		"split":     fnSplit,
+		"replace":   fnReplace,
+		"substring": fnSubstring,
+		"left":      fnLeft,
+		"right":     fnRight,
+		"datetime":  fnDateTime,
+		"duration":  fnDuration,
+		"timestamp": fnTimestamp,
+	}
+}
+
+func arity(name string, args []value.Value, n int) error {
+	if len(args) != n {
+		return evalErrf("%s() expects %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func fnID(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("id", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNode:
+		return value.NewInt(v.Node().ID), nil
+	case value.KindRelationship:
+		return value.NewInt(v.Relationship().ID), nil
+	}
+	return value.Null, evalErrf("id() requires a node or relationship")
+}
+
+func fnLabels(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("labels", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindNode {
+		return value.Null, evalErrf("labels() requires a node")
+	}
+	labels := v.Node().Labels
+	out := make([]value.Value, len(labels))
+	for i, l := range labels {
+		out[i] = value.NewString(l)
+	}
+	return value.NewList(out...), nil
+}
+
+func fnType(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("type", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindRelationship {
+		return value.Null, evalErrf("type() requires a relationship")
+	}
+	return value.NewString(v.Relationship().Type), nil
+}
+
+func fnProperties(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("properties", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNode:
+		return value.NewMap(copyProps(v.Node().Props)), nil
+	case value.KindRelationship:
+		return value.NewMap(copyProps(v.Relationship().Props)), nil
+	case value.KindMap:
+		return v, nil
+	}
+	return value.Null, evalErrf("properties() requires a node, relationship or map")
+}
+
+func copyProps(in map[string]value.Value) map[string]value.Value {
+	out := make(map[string]value.Value, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func fnKeys(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("keys", args, 1); err != nil {
+		return value.Null, err
+	}
+	var m map[string]value.Value
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNode:
+		m = v.Node().Props
+	case value.KindRelationship:
+		m = v.Relationship().Props
+	case value.KindMap:
+		m = v.Map()
+	default:
+		return value.Null, evalErrf("keys() requires a node, relationship or map")
+	}
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Deterministic order.
+	sortStrings(ks)
+	out := make([]value.Value, len(ks))
+	for i, k := range ks {
+		out[i] = value.NewString(k)
+	}
+	return value.NewList(out...), nil
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// fnExists implements exists(n.prop): true iff the property access
+// yields a non-null value.
+func fnExists(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("exists", args, 1); err != nil {
+		return value.Null, err
+	}
+	return value.NewBool(!args[0].IsNull()), nil
+}
+
+func fnStartNode(ctx *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("startNode", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindRelationship {
+		return value.Null, evalErrf("startNode() requires a relationship")
+	}
+	if n := ctx.storeFor(0).Node(v.Relationship().StartID); n != nil {
+		return value.NewNode(n), nil
+	}
+	return value.Null, nil
+}
+
+func fnEndNode(ctx *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("endNode", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindRelationship {
+		return value.Null, evalErrf("endNode() requires a relationship")
+	}
+	if n := ctx.storeFor(0).Node(v.Relationship().EndID); n != nil {
+		return value.NewNode(n), nil
+	}
+	return value.Null, nil
+}
+
+func fnNodes(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("nodes", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindPath {
+		return value.Null, evalErrf("nodes() requires a path")
+	}
+	p := v.Path()
+	out := make([]value.Value, len(p.Nodes))
+	for i, n := range p.Nodes {
+		out[i] = value.NewNode(n)
+	}
+	return value.NewList(out...), nil
+}
+
+func fnRelationships(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("relationships", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.Kind() != value.KindPath {
+		return value.Null, evalErrf("relationships() requires a path")
+	}
+	p := v.Path()
+	out := make([]value.Value, len(p.Rels))
+	for i, r := range p.Rels {
+		out[i] = value.NewRelationship(r)
+	}
+	return value.NewList(out...), nil
+}
+
+// fnLength implements length(path); for backwards compatibility it
+// also accepts lists and strings (like size()).
+func fnLength(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("length", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindPath:
+		return value.NewInt(int64(v.Path().Len())), nil
+	case value.KindList:
+		return value.NewInt(int64(len(v.List()))), nil
+	case value.KindString:
+		return value.NewInt(int64(len(v.Str()))), nil
+	}
+	return value.Null, evalErrf("length() requires a path, list or string")
+}
+
+func fnSize(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("size", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindList:
+		return value.NewInt(int64(len(v.List()))), nil
+	case value.KindString:
+		return value.NewInt(int64(len(v.Str()))), nil
+	case value.KindMap:
+		return value.NewInt(int64(len(v.Map()))), nil
+	}
+	return value.Null, evalErrf("size() requires a list, string or map")
+}
+
+func fnHead(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("head", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if !v.IsList() {
+		return value.Null, evalErrf("head() requires a list")
+	}
+	if len(v.List()) == 0 {
+		return value.Null, nil
+	}
+	return v.List()[0], nil
+}
+
+func fnLast(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("last", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if !v.IsList() {
+		return value.Null, evalErrf("last() requires a list")
+	}
+	lst := v.List()
+	if len(lst) == 0 {
+		return value.Null, nil
+	}
+	return lst[len(lst)-1], nil
+}
+
+func fnTail(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("tail", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if !v.IsList() {
+		return value.Null, evalErrf("tail() requires a list")
+	}
+	lst := v.List()
+	if len(lst) == 0 {
+		return value.NewList(), nil
+	}
+	return value.NewList(lst[1:]...), nil
+}
+
+func fnReverse(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("reverse", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindList:
+		lst := v.List()
+		out := make([]value.Value, len(lst))
+		for i, e := range lst {
+			out[len(lst)-1-i] = e
+		}
+		return value.NewList(out...), nil
+	case value.KindString:
+		s := []rune(v.Str())
+		for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+			s[i], s[j] = s[j], s[i]
+		}
+		return value.NewString(string(s)), nil
+	}
+	return value.Null, evalErrf("reverse() requires a list or string")
+}
+
+func fnRange(_ *Ctx, args []value.Value) (value.Value, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return value.Null, evalErrf("range() expects 2 or 3 arguments, got %d", len(args))
+	}
+	for _, a := range args {
+		if !a.IsInt() {
+			return value.Null, evalErrf("range() requires integer arguments")
+		}
+	}
+	from, to := args[0].Int(), args[1].Int()
+	step := int64(1)
+	if len(args) == 3 {
+		step = args[2].Int()
+		if step == 0 {
+			return value.Null, evalErrf("range() step must not be zero")
+		}
+	}
+	var out []value.Value
+	if step > 0 {
+		for i := from; i <= to; i += step {
+			out = append(out, value.NewInt(i))
+		}
+	} else {
+		for i := from; i >= to; i += step {
+			out = append(out, value.NewInt(i))
+		}
+	}
+	return value.NewList(out...), nil
+}
+
+func fnCoalesce(_ *Ctx, args []value.Value) (value.Value, error) {
+	for _, a := range args {
+		if !a.IsNull() {
+			return a, nil
+		}
+	}
+	return value.Null, nil
+}
+
+func numeric1(name string, ff func(float64) float64, fi func(int64) (int64, bool)) builtinFn {
+	return func(_ *Ctx, args []value.Value) (value.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if v.IsInt() {
+			if r, ok := fi(v.Int()); ok {
+				return value.NewInt(r), nil
+			}
+		}
+		if !v.IsNumber() {
+			return value.Null, evalErrf("%s() requires a number", name)
+		}
+		return value.NewFloat(ff(v.Float())), nil
+	}
+}
+
+func float1(name string, f func(float64) float64) builtinFn {
+	return func(_ *Ctx, args []value.Value) (value.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if !v.IsNumber() {
+			return value.Null, evalErrf("%s() requires a number", name)
+		}
+		return value.NewFloat(f(v.Float())), nil
+	}
+}
+
+func str1(name string, f func(string) string) builtinFn {
+	return func(_ *Ctx, args []value.Value) (value.Value, error) {
+		if err := arity(name, args, 1); err != nil {
+			return value.Null, err
+		}
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		if !v.IsString() {
+			return value.Null, evalErrf("%s() requires a string", name)
+		}
+		return value.NewString(f(v.Str())), nil
+	}
+}
+
+func fnSign(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("sign", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if !v.IsNumber() {
+		return value.Null, evalErrf("sign() requires a number")
+	}
+	f := v.Float()
+	switch {
+	case f > 0:
+		return value.NewInt(1), nil
+	case f < 0:
+		return value.NewInt(-1), nil
+	default:
+		return value.NewInt(0), nil
+	}
+}
+
+func fnToInteger(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("toInteger", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNumber:
+		if v.IsInt() {
+			return v, nil
+		}
+		return value.NewInt(int64(v.Float())), nil
+	case value.KindString:
+		s := strings.TrimSpace(v.Str())
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return value.NewInt(n), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return value.NewInt(int64(f)), nil
+		}
+		return value.Null, nil
+	case value.KindBool:
+		if v.Bool() {
+			return value.NewInt(1), nil
+		}
+		return value.NewInt(0), nil
+	}
+	return value.Null, evalErrf("toInteger() requires a number, string or boolean")
+}
+
+func fnToFloat(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("toFloat", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindNumber:
+		return value.NewFloat(v.Float()), nil
+	case value.KindString:
+		if f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64); err == nil {
+			return value.NewFloat(f), nil
+		}
+		return value.Null, nil
+	}
+	return value.Null, evalErrf("toFloat() requires a number or string")
+}
+
+func fnToString(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("toString", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	if v.IsString() {
+		return v, nil
+	}
+	return value.NewString(v.String()), nil
+}
+
+func fnToBoolean(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("toBoolean", args, 1); err != nil {
+		return value.Null, err
+	}
+	switch v := args[0]; v.Kind() {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindBool:
+		return v, nil
+	case value.KindString:
+		switch strings.ToLower(v.Str()) {
+		case "true":
+			return value.True, nil
+		case "false":
+			return value.False, nil
+		}
+		return value.Null, nil
+	}
+	return value.Null, evalErrf("toBoolean() requires a boolean or string")
+}
+
+func fnSplit(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("split", args, 2); err != nil {
+		return value.Null, err
+	}
+	if args[0].IsNull() || args[1].IsNull() {
+		return value.Null, nil
+	}
+	if !args[0].IsString() || !args[1].IsString() {
+		return value.Null, evalErrf("split() requires strings")
+	}
+	parts := strings.Split(args[0].Str(), args[1].Str())
+	out := make([]value.Value, len(parts))
+	for i, p := range parts {
+		out[i] = value.NewString(p)
+	}
+	return value.NewList(out...), nil
+}
+
+func fnReplace(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("replace", args, 3); err != nil {
+		return value.Null, err
+	}
+	for _, a := range args {
+		if a.IsNull() {
+			return value.Null, nil
+		}
+		if !a.IsString() {
+			return value.Null, evalErrf("replace() requires strings")
+		}
+	}
+	return value.NewString(strings.ReplaceAll(args[0].Str(), args[1].Str(), args[2].Str())), nil
+}
+
+func fnSubstring(_ *Ctx, args []value.Value) (value.Value, error) {
+	if len(args) != 2 && len(args) != 3 {
+		return value.Null, evalErrf("substring() expects 2 or 3 arguments")
+	}
+	if args[0].IsNull() {
+		return value.Null, nil
+	}
+	if !args[0].IsString() || !args[1].IsInt() {
+		return value.Null, evalErrf("substring() requires (string, int[, int])")
+	}
+	s := args[0].Str()
+	start := args[1].Int()
+	if start < 0 || start > int64(len(s)) {
+		return value.NewString(""), nil
+	}
+	end := int64(len(s))
+	if len(args) == 3 {
+		if !args[2].IsInt() {
+			return value.Null, evalErrf("substring() requires (string, int[, int])")
+		}
+		end = start + args[2].Int()
+		if end > int64(len(s)) {
+			end = int64(len(s))
+		}
+	}
+	if end < start {
+		end = start
+	}
+	return value.NewString(s[start:end]), nil
+}
+
+func fnLeft(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("left", args, 2); err != nil {
+		return value.Null, err
+	}
+	if args[0].IsNull() {
+		return value.Null, nil
+	}
+	if !args[0].IsString() || !args[1].IsInt() {
+		return value.Null, evalErrf("left() requires (string, int)")
+	}
+	s, n := args[0].Str(), args[1].Int()
+	if n > int64(len(s)) {
+		n = int64(len(s))
+	}
+	if n < 0 {
+		n = 0
+	}
+	return value.NewString(s[:n]), nil
+}
+
+func fnRight(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("right", args, 2); err != nil {
+		return value.Null, err
+	}
+	if args[0].IsNull() {
+		return value.Null, nil
+	}
+	if !args[0].IsString() || !args[1].IsInt() {
+		return value.Null, evalErrf("right() requires (string, int)")
+	}
+	s, n := args[0].Str(), args[1].Int()
+	if n > int64(len(s)) {
+		n = int64(len(s))
+	}
+	if n < 0 {
+		n = 0
+	}
+	return value.NewString(s[int64(len(s))-n:]), nil
+}
+
+// fnDateTime implements datetime() (current evaluation time, which the
+// engine injects as the builtin `now`) and datetime(string).
+func fnDateTime(ctx *Ctx, args []value.Value) (value.Value, error) {
+	switch len(args) {
+	case 0:
+		if now, ok := ctx.Builtins["now"]; ok {
+			return now, nil
+		}
+		return value.NewDateTime(time.Now()), nil
+	case 1:
+		v := args[0]
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		switch v.Kind() {
+		case value.KindString:
+			t, err := value.ParseDateTime(v.Str())
+			if err != nil {
+				return value.Null, evalErrf("%v", err)
+			}
+			return value.NewDateTime(t), nil
+		case value.KindDateTime:
+			return v, nil
+		}
+		return value.Null, evalErrf("datetime() requires a string")
+	}
+	return value.Null, evalErrf("datetime() expects 0 or 1 argument")
+}
+
+// fnDuration implements duration(string) for ISO 8601 durations.
+func fnDuration(_ *Ctx, args []value.Value) (value.Value, error) {
+	if err := arity("duration", args, 1); err != nil {
+		return value.Null, err
+	}
+	v := args[0]
+	if v.IsNull() {
+		return value.Null, nil
+	}
+	switch v.Kind() {
+	case value.KindString:
+		d, err := value.ParseDuration(v.Str())
+		if err != nil {
+			return value.Null, evalErrf("%v", err)
+		}
+		return value.NewDuration(d), nil
+	case value.KindDuration:
+		return v, nil
+	}
+	return value.Null, evalErrf("duration() requires an ISO 8601 string")
+}
+
+// fnTimestamp returns the evaluation time as epoch milliseconds.
+func fnTimestamp(ctx *Ctx, args []value.Value) (value.Value, error) {
+	if len(args) != 0 {
+		return value.Null, evalErrf("timestamp() expects no arguments")
+	}
+	if now, ok := ctx.Builtins["now"]; ok && now.Kind() == value.KindDateTime {
+		return value.NewInt(now.DateTime().UnixMilli()), nil
+	}
+	return value.NewInt(time.Now().UnixMilli()), nil
+}

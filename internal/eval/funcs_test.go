@@ -1,0 +1,194 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// fixtureStore builds a small graph for entity-function tests:
+// (a:Person {name:'Ann'})-[:KNOWS {since:2020}]->(b:Person:Admin {name:'Bob'}).
+func fixtureStore(t *testing.T) *graphstore.Store {
+	t.Helper()
+	s := graphstore.New()
+	q, err := parser.ParseQuery(
+		`CREATE (a:Person {name: 'Ann', age: 30})-[:KNOWS {since: 2020}]->(b:Person:Admin {name: 'Bob'})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: s}, q); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fixtureEval(t *testing.T, store *graphstore.Store, src string) value.Value {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out, err := EvalQuery(&Ctx{Store: store}, q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("eval %q: %d rows", src, out.Len())
+	}
+	return out.Rows[0][0]
+}
+
+func TestEntityFunctions(t *testing.T) {
+	s := fixtureStore(t)
+	v := fixtureEval(t, s, `MATCH (a {name: 'Ann'}) RETURN labels(a)`)
+	if len(v.List()) != 1 || v.List()[0].Str() != "Person" {
+		t.Errorf("labels = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH ()-[r]->() RETURN type(r)`)
+	if v.Str() != "KNOWS" {
+		t.Errorf("type = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH (a {name: 'Ann'}) RETURN id(a) >= 0`)
+	if !v.Bool() {
+		t.Error("id should be non-negative")
+	}
+	v = fixtureEval(t, s, `MATCH (a {name: 'Ann'}) RETURN properties(a).age`)
+	if v.Int() != 30 {
+		t.Errorf("properties().age = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH (a {name: 'Ann'}) RETURN keys(a)`)
+	if len(v.List()) != 2 || v.List()[0].Str() != "age" {
+		t.Errorf("keys = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH ()-[r]->() RETURN startNode(r).name + '->' + endNode(r).name`)
+	if v.Str() != "Ann->Bob" {
+		t.Errorf("startNode/endNode = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH (a {name: 'Ann'}) RETURN exists(a.age) AND NOT exists(a.missing)`)
+	if !v.Bool() {
+		t.Error("exists()")
+	}
+}
+
+func TestPathFunctions(t *testing.T) {
+	s := fixtureStore(t)
+	v := fixtureEval(t, s, `MATCH p = (a {name: 'Ann'})-[:KNOWS]->(b) RETURN length(p)`)
+	if v.Int() != 1 {
+		t.Errorf("length(p) = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH p = (a {name: 'Ann'})-[:KNOWS]->(b) RETURN [n IN nodes(p) | n.name]`)
+	if got := v.List(); len(got) != 2 || got[0].Str() != "Ann" || got[1].Str() != "Bob" {
+		t.Errorf("nodes(p) names = %s", v)
+	}
+	v = fixtureEval(t, s, `MATCH p = (a {name: 'Ann'})-[:KNOWS]->(b) RETURN size(relationships(p))`)
+	if v.Int() != 1 {
+		t.Errorf("relationships(p) = %s", v)
+	}
+}
+
+func TestListFunctions(t *testing.T) {
+	wantVal(t, "size([1, 2, 3])", value.NewInt(3))
+	wantVal(t, "size('hello')", value.NewInt(5))
+	wantVal(t, "size({a: 1})", value.NewInt(1))
+	wantVal(t, "head([1, 2])", value.NewInt(1))
+	wantVal(t, "head([])", value.Null)
+	wantVal(t, "last([1, 2])", value.NewInt(2))
+	wantVal(t, "tail([1, 2, 3])", value.NewList(value.NewInt(2), value.NewInt(3)))
+	wantVal(t, "tail([])", value.NewList())
+	wantVal(t, "reverse([1, 2])", value.NewList(value.NewInt(2), value.NewInt(1)))
+	wantVal(t, "reverse('abc')", value.NewString("cba"))
+	wantVal(t, "range(1, 4)", value.NewList(value.NewInt(1), value.NewInt(2), value.NewInt(3), value.NewInt(4)))
+	wantVal(t, "range(0, 10, 5)", value.NewList(value.NewInt(0), value.NewInt(5), value.NewInt(10)))
+	wantVal(t, "range(3, 1, -1)", value.NewList(value.NewInt(3), value.NewInt(2), value.NewInt(1)))
+	wantVal(t, "coalesce(null, null, 7, 8)", value.NewInt(7))
+	wantVal(t, "coalesce(null)", value.Null)
+	evalErr(t, "range(1, 5, 0)")
+}
+
+func TestNumericFunctions(t *testing.T) {
+	wantVal(t, "abs(-5)", value.NewInt(5))
+	wantVal(t, "abs(-5.5)", value.NewFloat(5.5))
+	wantVal(t, "ceil(1.2)", value.NewFloat(2))
+	wantVal(t, "floor(1.8)", value.NewFloat(1))
+	wantVal(t, "round(1.5)", value.NewFloat(2))
+	wantVal(t, "sqrt(16)", value.NewFloat(4))
+	wantVal(t, "sign(-3)", value.NewInt(-1))
+	wantVal(t, "sign(0)", value.NewInt(0))
+	wantVal(t, "abs(null)", value.Null)
+	evalErr(t, "abs('x')")
+}
+
+func TestConversionFunctions(t *testing.T) {
+	wantVal(t, "toInteger('42')", value.NewInt(42))
+	wantVal(t, "toInteger('4.9')", value.NewInt(4))
+	wantVal(t, "toInteger('nope')", value.Null)
+	wantVal(t, "toInteger(3.7)", value.NewInt(3))
+	wantVal(t, "toInteger(true)", value.NewInt(1))
+	wantVal(t, "toFloat('2.5')", value.NewFloat(2.5))
+	wantVal(t, "toFloat(3)", value.NewFloat(3))
+	wantVal(t, "toString(42)", value.NewString("42"))
+	wantVal(t, "toString('x')", value.NewString("x"))
+	wantVal(t, "toBoolean('TRUE')", value.True)
+	wantVal(t, "toBoolean('maybe')", value.Null)
+}
+
+func TestStringFunctions(t *testing.T) {
+	wantVal(t, "toUpper('abc')", value.NewString("ABC"))
+	wantVal(t, "toLower('ABC')", value.NewString("abc"))
+	wantVal(t, "trim('  x  ')", value.NewString("x"))
+	wantVal(t, "lTrim('  x')", value.NewString("x"))
+	wantVal(t, "rTrim('x  ')", value.NewString("x"))
+	wantVal(t, "split('a,b,c', ',')", value.NewList(
+		value.NewString("a"), value.NewString("b"), value.NewString("c")))
+	wantVal(t, "replace('aaa', 'a', 'b')", value.NewString("bbb"))
+	wantVal(t, "substring('hello', 1, 3)", value.NewString("ell"))
+	wantVal(t, "substring('hello', 2)", value.NewString("llo"))
+	wantVal(t, "left('hello', 2)", value.NewString("he"))
+	wantVal(t, "right('hello', 2)", value.NewString("lo"))
+	wantVal(t, "toUpper(null)", value.Null)
+}
+
+func TestTemporalFunctions(t *testing.T) {
+	v := evalOne(t, "datetime('2022-10-14T14:45:00')")
+	want := time.Date(2022, 10, 14, 14, 45, 0, 0, time.UTC)
+	if v.Kind() != value.KindDateTime || !v.DateTime().Equal(want) {
+		t.Errorf("datetime() = %s", v)
+	}
+	v = evalOne(t, "duration('PT90M')")
+	if v.Duration() != 90*time.Minute {
+		t.Errorf("duration() = %s", v)
+	}
+	wantVal(t, "datetime('2022-10-14T14:00:00') + duration('PT45M') = datetime('2022-10-14T14:45:00')", value.True)
+	wantVal(t, "datetime('2022-10-14T14:45:00').hour", value.NewInt(14))
+	wantVal(t, "datetime('2022-10-14T14:45:00').minute", value.NewInt(45))
+	wantVal(t, "datetime('2022-10-14T14:45:00').year", value.NewInt(2022))
+
+	// datetime() with an injected evaluation clock.
+	ctx := &Ctx{
+		Store:    graphstore.New(),
+		Builtins: map[string]value.Value{"now": value.NewDateTime(want)},
+	}
+	if got := evalOneCtx(t, ctx, "datetime()"); !got.DateTime().Equal(want) {
+		t.Errorf("datetime() with clock = %s", got)
+	}
+	if got := evalOneCtx(t, ctx, "timestamp()"); got.Int() != want.UnixMilli() {
+		t.Errorf("timestamp() = %s", got)
+	}
+	evalErr(t, "datetime('garbage')")
+	evalErr(t, "duration('garbage')")
+}
+
+func TestUnknownFunction(t *testing.T) {
+	evalErr(t, "frobnicate(1)")
+}
+
+func TestArityErrors(t *testing.T) {
+	for _, expr := range []string{
+		"labels()", "labels(1, 2)", "size()", "head(1, 2)", "range(1)",
+	} {
+		evalErr(t, expr)
+	}
+}

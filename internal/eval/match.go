@@ -1,0 +1,626 @@
+package eval
+
+import (
+	"errors"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// The pattern matcher implements match(π, G, u) of the Cypher core
+// semantics (Section 3.2 / Section 5.3 of the paper): given a graph, a
+// partial assignment u (the env) and a pattern π, it enumerates every
+// assignment u' to the free variables of π such that the pattern holds.
+// Variable-length patterns are matched by trail expansion, which is the
+// operational equivalent of the paper's rigid(π) expansion: every trail
+// of length n corresponds to the rigid pattern with n relationships.
+//
+// Relationship uniqueness (trail semantics) holds across all pattern
+// parts of one MATCH clause: no relationship is used twice within a
+// single match, which is what bounds the `*3..` pattern of the paper's
+// running example.
+
+type patternMatcher struct {
+	ctx   *Ctx
+	store *graphstore.Store
+	env   *env
+	used  map[int64]bool
+}
+
+// forEachMatch enumerates matches of pattern under the bindings in e,
+// invoking emit once per complete match with all pattern variables
+// bound in e (as locals). Bindings are popped after emit returns.
+func forEachMatch(ctx *Ctx, store *graphstore.Store, e *env, pattern ast.Pattern, emit func() error) error {
+	m := &patternMatcher{ctx: ctx, store: store, env: e, used: make(map[int64]bool)}
+	return m.matchParts(pattern.Parts, 0, emit)
+}
+
+func (m *patternMatcher) matchParts(parts []ast.PatternPart, _ int, cont func() error) error {
+	done := make([]bool, len(parts))
+	return m.matchRemaining(parts, done, len(parts), cont)
+}
+
+// matchRemaining greedily picks the next pattern part to match: parts
+// anchored by an already-bound variable first (turning cross products
+// into index joins), then labelled parts, then anything. The choice
+// only affects evaluation order, never the result bag.
+func (m *patternMatcher) matchRemaining(parts []ast.PatternPart, done []bool, remaining int, cont func() error) error {
+	if remaining == 0 {
+		return cont()
+	}
+	idx := m.choosePart(parts, done)
+	done[idx] = true
+	next := func() error { return m.matchRemaining(parts, done, remaining-1, cont) }
+	var err error
+	if parts[idx].Shortest != ast.ShortestNone {
+		err = m.matchShortest(&parts[idx], next)
+	} else {
+		err = m.matchChain(&parts[idx], next)
+	}
+	done[idx] = false
+	return err
+}
+
+func (m *patternMatcher) choosePart(parts []ast.PatternPart, done []bool) int {
+	first, labelled := -1, -1
+	for i := range parts {
+		if done[i] {
+			continue
+		}
+		if first == -1 {
+			first = i
+		}
+		for _, np := range parts[i].Nodes {
+			if np.Var != "" {
+				if _, bound := m.env.lookup(np.Var); bound {
+					return i
+				}
+			}
+			if labelled == -1 && len(np.Labels) > 0 {
+				labelled = i
+			}
+		}
+	}
+	if labelled >= 0 {
+		return labelled
+	}
+	return first
+}
+
+// bindVar binds name to v for the duration of cont. If name is already
+// bound, the branch continues only when the existing value is
+// equivalent to v. Anonymous elements (empty name) bind nothing.
+func (m *patternMatcher) bindVar(name string, v value.Value, cont func() error) error {
+	if name == "" {
+		return cont()
+	}
+	if existing, ok := m.env.lookup(name); ok {
+		if !value.Equivalent(existing, v) {
+			return nil
+		}
+		return cont()
+	}
+	m.env.push(name, v)
+	err := cont()
+	m.env.pop()
+	return err
+}
+
+// checkNode reports whether node n satisfies node pattern np (labels
+// and property map).
+func (m *patternMatcher) checkNode(n *value.Node, np *ast.NodePattern) (bool, error) {
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	return m.checkProps(np.Props, func(k string) value.Value { return n.Prop(k) })
+}
+
+func (m *patternMatcher) checkRel(r *value.Relationship, rp *ast.RelPattern) (bool, error) {
+	if len(rp.Types) > 0 {
+		ok := false
+		for _, t := range rp.Types {
+			if r.Type == t {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return m.checkProps(rp.Props, func(k string) value.Value { return r.Prop(k) })
+}
+
+func (m *patternMatcher) checkProps(props *ast.MapLit, get func(string) value.Value) (bool, error) {
+	if props == nil {
+		return true, nil
+	}
+	for i, k := range props.Keys {
+		want, err := evalExpr(m.ctx, m.env, props.Vals[i])
+		if err != nil {
+			return false, err
+		}
+		eq := value.Equal(get(k), want)
+		if !(eq.IsBool() && eq.Bool()) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// chainState carries the per-part matching state.
+type chainState struct {
+	part  *ast.PatternPart
+	nodes []*value.Node
+	rels  [][]*value.Relationship
+}
+
+func (m *patternMatcher) matchChain(part *ast.PatternPart, cont func() error) error {
+	st := &chainState{
+		part:  part,
+		nodes: make([]*value.Node, len(part.Nodes)),
+		rels:  make([][]*value.Relationship, len(part.Rels)),
+	}
+	start := m.chooseStart(part)
+	return m.matchNodeAt(st, start, func() error {
+		return m.expand(st, start, start, cont)
+	})
+}
+
+// chooseStart picks the pattern node to anchor the search: a node whose
+// variable is already bound if one exists, otherwise the first labelled
+// node, otherwise node 0.
+func (m *patternMatcher) chooseStart(part *ast.PatternPart) int {
+	for i, np := range part.Nodes {
+		if np.Var != "" {
+			if _, ok := m.env.lookup(np.Var); ok {
+				return i
+			}
+		}
+	}
+	best, bestCount := -1, 0
+	for i, np := range part.Nodes {
+		if len(np.Labels) == 0 {
+			continue
+		}
+		count := len(m.store.NodesByLabel(np.Labels[0]))
+		for _, l := range np.Labels[1:] {
+			if c := len(m.store.NodesByLabel(l)); c < count {
+				count = c
+			}
+		}
+		if best == -1 || count < bestCount {
+			best, bestCount = i, count
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return 0
+}
+
+// matchNodeAt binds pattern node idx to every candidate graph node.
+func (m *patternMatcher) matchNodeAt(st *chainState, idx int, cont func() error) error {
+	np := st.part.Nodes[idx]
+	try := func(n *value.Node) error {
+		ok, err := m.checkNode(n, np)
+		if err != nil || !ok {
+			return err
+		}
+		st.nodes[idx] = n
+		return m.bindVar(np.Var, value.NewNode(n), cont)
+	}
+	if np.Var != "" {
+		if existing, ok := m.env.lookup(np.Var); ok {
+			if existing.Kind() != value.KindNode {
+				return nil
+			}
+			return try(existing.Node())
+		}
+	}
+	for _, n := range m.candidates(np) {
+		if err := try(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidates enumerates graph nodes possibly matching np, using the
+// smallest applicable label index.
+func (m *patternMatcher) candidates(np *ast.NodePattern) []*value.Node {
+	if len(np.Labels) == 0 {
+		return m.store.AllNodes()
+	}
+	best := m.store.NodesByLabel(np.Labels[0])
+	for _, l := range np.Labels[1:] {
+		if c := m.store.NodesByLabel(l); len(c) < len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// expand grows the matched chain rightward from hi to the end, then
+// leftward from lo to the beginning, then finalizes the part.
+func (m *patternMatcher) expand(st *chainState, lo, hi int, cont func() error) error {
+	switch {
+	case hi < len(st.part.Nodes)-1:
+		return m.matchStep(st, hi, true, func() error {
+			return m.expand(st, lo, hi+1, cont)
+		})
+	case lo > 0:
+		return m.matchStep(st, lo-1, false, func() error {
+			return m.expand(st, lo-1, hi, cont)
+		})
+	default:
+		return m.finishPart(st, cont)
+	}
+}
+
+// matchStep matches relationship pattern st.part.Rels[j] between
+// pattern nodes j and j+1. When forward is true the walk starts at
+// matched node j and targets pattern node j+1; otherwise it starts at
+// matched node j+1 and targets pattern node j.
+func (m *patternMatcher) matchStep(st *chainState, j int, forward bool, cont func() error) error {
+	rp := st.part.Rels[j]
+	var from *value.Node
+	var targetIdx int
+	if forward {
+		from, targetIdx = st.nodes[j], j+1
+	} else {
+		from, targetIdx = st.nodes[j+1], j
+	}
+	if rp.VarLength {
+		return m.trails(from, rp, forward, func(rels []*value.Relationship, end *value.Node) error {
+			return m.acceptStep(st, j, targetIdx, rels, end, cont)
+		})
+	}
+	for _, r := range m.relCandidates(from.ID, rp.Dir, forward) {
+		if m.used[r.ID] {
+			continue
+		}
+		ok, err := m.checkRel(r, rp)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		end := m.store.Node(r.Other(from.ID))
+		if end == nil {
+			continue
+		}
+		// Self-loops traversed via the undirected candidate list can
+		// appear twice; Other() handles ids, but for DirBoth with
+		// StartID == EndID the two directions coincide and uniqueness
+		// (m.used) already prevents double counting.
+		m.used[r.ID] = true
+		err = m.acceptStep(st, j, targetIdx, []*value.Relationship{r}, end, cont)
+		delete(m.used, r.ID)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptStep checks the far node against its pattern, binds the
+// relationship variable (a single relationship for fixed patterns, a
+// list for variable-length ones) and the node variable, then continues.
+func (m *patternMatcher) acceptStep(st *chainState, j, targetIdx int, rels []*value.Relationship, end *value.Node, cont func() error) error {
+	np := st.part.Nodes[targetIdx]
+	ok, err := m.checkNode(end, np)
+	if err != nil || !ok {
+		return err
+	}
+	rp := st.part.Rels[j]
+	var relVal value.Value
+	if rp.VarLength {
+		vs := make([]value.Value, len(rels))
+		for i, r := range rels {
+			vs[i] = value.NewRelationship(r)
+		}
+		relVal = value.NewList(vs...)
+	} else {
+		relVal = value.NewRelationship(rels[0])
+	}
+	st.rels[j] = rels
+	st.nodes[targetIdx] = end
+	return m.bindVar(rp.Var, relVal, func() error {
+		return m.bindVar(np.Var, value.NewNode(end), cont)
+	})
+}
+
+// relCandidates returns relationships incident to node id that can
+// implement a pattern with direction dir when walking in the given
+// orientation.
+func (m *patternMatcher) relCandidates(id int64, dir ast.Direction, forward bool) []*value.Relationship {
+	effDir := dir
+	if !forward {
+		switch dir {
+		case ast.DirRight:
+			effDir = ast.DirLeft
+		case ast.DirLeft:
+			effDir = ast.DirRight
+		}
+	}
+	switch effDir {
+	case ast.DirRight:
+		return m.store.Outgoing(id)
+	case ast.DirLeft:
+		return m.store.Incoming(id)
+	default:
+		out := m.store.Outgoing(id)
+		in := m.store.Incoming(id)
+		all := make([]*value.Relationship, 0, len(out)+len(in))
+		all = append(all, out...)
+		for _, r := range in {
+			if r.StartID == r.EndID {
+				continue // self-loop already in out
+			}
+			all = append(all, r)
+		}
+		return all
+	}
+}
+
+// trails enumerates relationship trails (no repeated relationships)
+// starting at from, of length within [MinHops, MaxHops], walking in the
+// given orientation. fn receives the trail in pattern (left-to-right)
+// order together with the far end node.
+func (m *patternMatcher) trails(from *value.Node, rp *ast.RelPattern, forward bool, fn func([]*value.Relationship, *value.Node) error) error {
+	var trail []*value.Relationship
+	var rec func(cur *value.Node, depth int) error
+	rec = func(cur *value.Node, depth int) error {
+		if depth >= rp.MinHops {
+			ordered := trail
+			if !forward {
+				ordered = reverseRels(trail)
+			} else {
+				ordered = append([]*value.Relationship(nil), trail...)
+			}
+			if err := fn(ordered, cur); err != nil {
+				return err
+			}
+		}
+		if rp.MaxHops >= 0 && depth >= rp.MaxHops {
+			return nil
+		}
+		for _, r := range m.relCandidates(cur.ID, rp.Dir, forward) {
+			if m.used[r.ID] {
+				continue
+			}
+			ok, err := m.checkRel(r, rp)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			next := m.store.Node(r.Other(cur.ID))
+			if next == nil {
+				continue
+			}
+			m.used[r.ID] = true
+			trail = append(trail, r)
+			err = rec(next, depth+1)
+			trail = trail[:len(trail)-1]
+			delete(m.used, r.ID)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(from, 0)
+}
+
+func reverseRels(rels []*value.Relationship) []*value.Relationship {
+	out := make([]*value.Relationship, len(rels))
+	for i, r := range rels {
+		out[len(rels)-1-i] = r
+	}
+	return out
+}
+
+// finishPart binds the part's path variable (if any) and proceeds. The
+// path value includes intermediate nodes of variable-length segments,
+// reconstructed by walking the matched relationships.
+func (m *patternMatcher) finishPart(st *chainState, cont func() error) error {
+	if st.part.Var == "" {
+		return cont()
+	}
+	path, err := m.buildPath(st)
+	if err != nil {
+		return err
+	}
+	return m.bindVar(st.part.Var, value.NewPath(path), cont)
+}
+
+func (m *patternMatcher) buildPath(st *chainState) (*value.Path, error) {
+	p := &value.Path{Nodes: []*value.Node{st.nodes[0]}}
+	cur := st.nodes[0]
+	for _, seg := range st.rels {
+		for _, r := range seg {
+			next := m.store.Node(r.Other(cur.ID))
+			if next == nil {
+				return nil, evalErrf("internal: path references missing node %d", r.Other(cur.ID))
+			}
+			p.Rels = append(p.Rels, r)
+			p.Nodes = append(p.Nodes, next)
+			cur = next
+		}
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------------
+// shortestPath / allShortestPaths
+
+func (m *patternMatcher) matchShortest(part *ast.PatternPart, cont func() error) error {
+	if len(part.Rels) != 1 || len(part.Nodes) != 2 {
+		return evalErrf("shortestPath requires a single relationship pattern")
+	}
+	st := &chainState{part: part, nodes: make([]*value.Node, 2), rels: make([][]*value.Relationship, 1)}
+	// Bind both endpoints first, then search.
+	return m.matchNodeAt(st, 0, func() error {
+		return m.matchNodeAt(st, 1, func() error {
+			return m.shortestBetween(st, cont)
+		})
+	})
+}
+
+func (m *patternMatcher) shortestBetween(st *chainState, cont func() error) error {
+	rp := st.part.Rels[0]
+	minHops, maxHops := 1, -1
+	if rp.VarLength {
+		minHops, maxHops = rp.MinHops, rp.MaxHops
+	}
+	src, dst := st.nodes[0], st.nodes[1]
+	if src.ID == dst.ID && minHops == 0 {
+		return m.acceptShortest(st, nil, cont)
+	}
+	// BFS over nodes, recording all shortest predecessors.
+	type pred struct {
+		rel  *value.Relationship
+		prev int64
+	}
+	dist := map[int64]int{src.ID: 0}
+	preds := map[int64][]pred{}
+	frontier := []int64{src.ID}
+	found := -1
+	for depth := 0; len(frontier) > 0 && (maxHops < 0 || depth < maxHops); depth++ {
+		if found >= 0 {
+			break
+		}
+		var next []int64
+		for _, id := range frontier {
+			for _, r := range m.relCandidates(id, rp.Dir, true) {
+				if m.used[r.ID] {
+					continue
+				}
+				ok, err := m.checkRel(r, rp)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				other := r.Other(id)
+				if d, seen := dist[other]; seen {
+					if d == depth+1 {
+						preds[other] = append(preds[other], pred{rel: r, prev: id})
+					}
+					continue
+				}
+				dist[other] = depth + 1
+				preds[other] = []pred{{rel: r, prev: id}}
+				next = append(next, other)
+				if other == dst.ID {
+					found = depth + 1
+				}
+			}
+		}
+		frontier = next
+	}
+	d, ok := dist[dst.ID]
+	if !ok || d < minHops || d == 0 {
+		return nil
+	}
+	// Enumerate shortest paths by walking predecessors backwards; by
+	// construction every predecessor of a node at distance k is at
+	// distance k-1, so the walk only visits shortest paths.
+	var walk func(id int64, suffix []*value.Relationship) error
+	walk = func(id int64, suffix []*value.Relationship) error {
+		if id == src.ID {
+			rels := reverseRels(suffix) // suffix collected dst→src
+			if err := m.acceptShortest(st, rels, cont); err != nil {
+				return err
+			}
+			if st.part.Shortest == ast.ShortestSingle {
+				return errStopEnum
+			}
+			return nil
+		}
+		for _, p := range preds[id] {
+			if err := walk(p.prev, append(suffix, p.rel)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := walk(dst.ID, nil)
+	if err == errStopEnum {
+		return nil
+	}
+	return err
+}
+
+var errStopEnum = errors.New("eval: stop enumeration")
+
+func (m *patternMatcher) acceptShortest(st *chainState, rels []*value.Relationship, cont func() error) error {
+	rp := st.part.Rels[0]
+	st.rels[0] = rels
+	vs := make([]value.Value, len(rels))
+	for i, r := range rels {
+		vs[i] = value.NewRelationship(r)
+	}
+	for _, r := range rels {
+		m.used[r.ID] = true
+	}
+	err := m.bindVar(rp.Var, value.NewList(vs...), func() error {
+		return m.finishPart(st, cont)
+	})
+	for _, r := range rels {
+		delete(m.used, r.ID)
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Pattern predicates and free variables
+
+// evalPatternPredicate evaluates a pattern used as a WHERE predicate:
+// true iff at least one match exists under the current bindings.
+func evalPatternPredicate(ctx *Ctx, e *env, x *ast.PatternPredicate) (value.Value, error) {
+	store := ctx.storeFor(0)
+	if store == nil {
+		return value.Null, evalErrf("no graph bound for pattern predicate")
+	}
+	found := false
+	err := forEachMatch(ctx, store, e, ast.Pattern{Parts: []ast.PatternPart{x.Part}}, func() error {
+		found = true
+		return errStopEnum
+	})
+	if err != nil && !errors.Is(err, errStopEnum) {
+		return value.Null, err
+	}
+	return value.NewBool(found), nil
+}
+
+// patternVars returns the variables a pattern binds, in first
+// occurrence order (node vars, relationship vars, and path vars).
+func patternVars(pattern ast.Pattern) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, part := range pattern.Parts {
+		add(part.Var)
+		for i, np := range part.Nodes {
+			add(np.Var)
+			if i < len(part.Rels) {
+				add(part.Rels[i].Var)
+			}
+		}
+	}
+	return out
+}

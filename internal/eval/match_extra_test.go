@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"testing"
+
+	"seraph/internal/graphstore"
+)
+
+// TestPropertyMapReferencesEarlierBinding: property maps inside a
+// pattern may reference variables bound earlier in the same pattern.
+func TestPropertyMapReferencesEarlierBinding(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A {v: 1})-[:R]->(:B {v: 1}), (:A {v: 2})-[:R]->(:B {v: 99})`)
+	got := run(t, s, `MATCH (a:A)-[:R]->(b:B {v: a.v}) RETURN a.v`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 1 {
+		t.Fatalf("dependent property map: %s", got)
+	}
+}
+
+// TestWhereSeesAllPatternBindings: WHERE on a MATCH can reference every
+// variable of the pattern, including path variables.
+func TestWhereSeesAllPatternBindings(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})`)
+	got := run(t, s, `MATCH p = (a)-[:R*1..2]->(b) WHERE length(p) = 2 AND a.i = 0 RETURN b.i`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 2 {
+		t.Fatalf("where over path: %s", got)
+	}
+}
+
+// TestMultiPartSharedVariable: a variable shared between two parts of
+// one MATCH joins them.
+func TestMultiPartSharedVariable(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (h:Hub {name: 'hub'}) CREATE (:X {name: 'x1'})-[:TO]->(h) CREATE (h)-[:TO]->(:Y {name: 'y1'})`)
+	got := run(t, s, `MATCH (x:X)-[:TO]->(h), (h)-[:TO]->(y:Y) RETURN x.name, h.name, y.name`)
+	if got.Len() != 1 {
+		t.Fatalf("shared var join: %s", got)
+	}
+	if got.Rows[0][1].Str() != "hub" {
+		t.Errorf("hub binding: %s", got.Rows[0][1])
+	}
+}
+
+// TestReorderedPartsEquivalence: writing pattern parts in either order
+// yields the same bag (the matcher's greedy part selection must not
+// change semantics).
+func TestReorderedPartsEquivalence(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A {v: 1}), (:A {v: 2}), (:B {w: 10}), (:B {w: 20})`)
+	a := run(t, s, `MATCH (x:A), (y:B) RETURN x.v, y.w`)
+	b := run(t, s, `MATCH (y:B), (x:A) RETURN x.v, y.w`)
+	if a.Len() != 4 || b.Len() != 4 {
+		t.Fatalf("cross products: %d, %d", a.Len(), b.Len())
+	}
+	counts := map[string]int{}
+	for i := range a.Rows {
+		counts[a.RowKey(i)]++
+	}
+	for i := range b.Rows {
+		counts[b.RowKey(i)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("part order changed the result bag")
+		}
+	}
+}
+
+// TestAnchorOnRelVarBoundPart: when a later MATCH shares only a
+// relationship variable... Cypher forbids rebinding rel vars in
+// patterns; sharing a rel var across MATCH clauses constrains identity.
+func TestRelVarIdentityAcrossClauses(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A {v: 1})-[:R {k: 7}]->(:B)`)
+	got := run(t, s, `MATCH (a)-[r:R]->(b) MATCH (x)-[r]->(y) RETURN x.v`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 1 {
+		t.Fatalf("rel identity: %s", got)
+	}
+}
+
+// TestLongChainPattern: a five-element chain matches end to end.
+func TestLongChainPattern(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:N {i: 0})-[:R]->(:N {i: 1})-[:R]->(:N {i: 2})-[:R]->(:N {i: 3})-[:R]->(:N {i: 4})`)
+	got := run(t, s, `MATCH (a {i: 0})-->(b)-->(c)-->(d)-->(e) RETURN e.i`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 4 {
+		t.Fatalf("long chain: %s", got)
+	}
+	// Middle-anchored: bind c first via a second clause ordering.
+	got = run(t, s, `MATCH (c {i: 2}) MATCH (a)-->(b)-->(c)-->(d) RETURN a.i, d.i`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 0 || got.Rows[0][1].Int() != 3 {
+		t.Fatalf("middle anchor: %s", got)
+	}
+}
+
+// TestOrderByEntityValues: entities order by id under orderability, so
+// sorting on nodes is stable and deterministic.
+func TestOrderByEntityValues(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:N {i: 2}), (:N {i: 1})`)
+	got := run(t, s, `MATCH (n:N) RETURN n ORDER BY n`)
+	if got.Len() != 2 {
+		t.Fatal("rows")
+	}
+	if got.Rows[0][0].Node().ID > got.Rows[1][0].Node().ID {
+		t.Error("nodes should order by id")
+	}
+}
+
+// TestZeroLengthVarPathRespectsEndLabel: (a:A)-[*0..1]->(b:B) — the
+// zero-length expansion only matches when a itself satisfies b's
+// pattern.
+func TestZeroLengthVarPathRespectsEndLabel(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A {v: 1})-[:R]->(:B {v: 2})`)
+	got := run(t, s, `MATCH (a:A)-[:R*0..1]->(b:B) RETURN b.v`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 2 {
+		t.Fatalf("zero-length with end label: %s", got)
+	}
+	got = run(t, s, `MATCH (a:A)-[:R*0..1]->(b:A) RETURN b.v`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 1 {
+		t.Fatalf("zero-length self match: %s", got)
+	}
+}
+
+// TestOptionalMatchAllBound: OPTIONAL MATCH whose variables are all
+// already bound acts as a row filter that keeps unmatched rows.
+func TestOptionalMatchAllBound(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A {v: 1}), (:A {v: 2})-[:R]->(:B {w: 9})`)
+	got := run(t, s, `MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(:B) RETURN a.v ORDER BY a.v`)
+	if got.Len() != 2 {
+		t.Fatalf("rows: %s", got)
+	}
+	// Fully-bound optional: both endpoints fixed.
+	got = run(t, s, `MATCH (a:A {v: 1}), (b:B) OPTIONAL MATCH (a)-[:R]->(b) RETURN a.v, b.w`)
+	if got.Len() != 1 {
+		t.Fatalf("fully bound optional: %s", got)
+	}
+}
+
+// TestWithStarPlusAggregate: WITH *, count(*) groups by all existing
+// columns.
+func TestWithStarPlusAggregate(t *testing.T) {
+	s := graphstore.New()
+	got := run(t, s, `UNWIND ['a', 'a', 'b'] AS k WITH *, count(*) AS n RETURN k, n ORDER BY k`)
+	if got.Len() != 2 {
+		t.Fatalf("groups: %s", got)
+	}
+	if got.Rows[0][1].Int() != 2 || got.Rows[1][1].Int() != 1 {
+		t.Errorf("counts: %s", got)
+	}
+}
+
+// TestOrderByAggregateAlias: sorting on an aggregated column via its
+// alias.
+func TestOrderByAggregateAlias(t *testing.T) {
+	s := graphstore.New()
+	got := run(t, s, `UNWIND ['a', 'b', 'b'] AS k RETURN k, count(*) AS n ORDER BY n DESC, k`)
+	if got.Rows[0][0].Str() != "b" || got.Rows[0][1].Int() != 2 {
+		t.Fatalf("order by agg alias: %s", got)
+	}
+}

@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// chainStore builds a simple chain a->b->c->d with typed edges, plus a
+// triangle x<->y<->z<->x for trail tests.
+func chainStore(t *testing.T) *graphstore.Store {
+	t.Helper()
+	s := graphstore.New()
+	run(t, s, `CREATE (a:N {name: 'a'})-[:E {w: 1}]->(b:N {name: 'b'})-[:E {w: 2}]->(c:N {name: 'c'})-[:E {w: 3}]->(d:N {name: 'd'})`)
+	return s
+}
+
+func TestMatchDirections(t *testing.T) {
+	s := chainStore(t)
+	if got := run(t, s, `MATCH (x {name: 'b'})-->(y) RETURN y.name`); got.Len() != 1 || got.Rows[0][0].Str() != "c" {
+		t.Errorf("outgoing: %s", got)
+	}
+	if got := run(t, s, `MATCH (x {name: 'b'})<--(y) RETURN y.name`); got.Len() != 1 || got.Rows[0][0].Str() != "a" {
+		t.Errorf("incoming: %s", got)
+	}
+	if got := run(t, s, `MATCH (x {name: 'b'})--(y) RETURN y.name ORDER BY y.name`); got.Len() != 2 {
+		t.Errorf("undirected: %s", got)
+	}
+}
+
+func TestMatchPropertyFilters(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH ()-[r:E {w: 2}]->(y) RETURN y.name`)
+	if got.Len() != 1 || got.Rows[0][0].Str() != "c" {
+		t.Errorf("rel props: %s", got)
+	}
+	got = run(t, s, `MATCH (x:N {name: 'a'}) RETURN x.name`)
+	if got.Len() != 1 {
+		t.Errorf("node props: %s", got)
+	}
+	got = run(t, s, `MATCH (x:Missing) RETURN x`)
+	if got.Len() != 0 {
+		t.Errorf("missing label: %s", got)
+	}
+}
+
+func TestMatchCrossProduct(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH (x {name: 'a'}), (y {name: 'd'}) RETURN x.name, y.name`)
+	if got.Len() != 1 {
+		t.Fatalf("cross product: %s", got)
+	}
+	// Two unbound parts multiply.
+	got = run(t, s, `MATCH (x:N), (y:N) RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 16 {
+		t.Errorf("4x4 cross product = %s", got.Rows[0][0])
+	}
+}
+
+// TestRelationshipUniqueness checks Cypher trail semantics: one
+// relationship cannot be matched twice within a single MATCH, across
+// pattern parts and within variable-length expansions.
+func TestRelationshipUniqueness(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:N {name: 'a'})-[:E]->(b:N {name: 'b'})`)
+	// Within one pattern: a-b-a would need to reuse the only edge.
+	got := run(t, s, `MATCH (x {name: 'a'})--(y)--(z) RETURN z`)
+	if got.Len() != 0 {
+		t.Errorf("edge reuse within pattern: %s", got)
+	}
+	// Across pattern parts of one MATCH.
+	got = run(t, s, `MATCH (x)-[r1:E]->(y), (p)-[r2:E]->(q) RETURN r1, r2`)
+	if got.Len() != 0 {
+		t.Errorf("edge reuse across parts: %s", got)
+	}
+	// But separate MATCH clauses may reuse relationships.
+	got = run(t, s, `MATCH (x)-[r1:E]->(y) MATCH (p)-[r2:E]->(q) RETURN r1, r2`)
+	if got.Len() != 1 {
+		t.Errorf("separate MATCH clauses: %s", got)
+	}
+}
+
+func TestVarLength(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH (x {name: 'a'})-[:E*1..3]->(y) RETURN y.name ORDER BY y.name`)
+	if got.Len() != 3 {
+		t.Fatalf("*1..3 matches: %s", got)
+	}
+	got = run(t, s, `MATCH (x {name: 'a'})-[:E*2]->(y) RETURN y.name`)
+	if got.Len() != 1 || got.Rows[0][0].Str() != "c" {
+		t.Errorf("*2 exact: %s", got)
+	}
+	got = run(t, s, `MATCH (x {name: 'a'})-[:E*0..]->(y) RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 4 {
+		t.Errorf("*0.. includes zero-length: %s", got.Rows[0][0])
+	}
+	// Variable binds the relationship list.
+	got = run(t, s, `MATCH (x {name: 'a'})-[rs:E*2]->(y) RETURN size(rs), [r IN rs | r.w]`)
+	if got.Rows[0][0].Int() != 2 {
+		t.Errorf("rel list size: %s", got)
+	}
+	ws := got.Rows[0][1].List()
+	if ws[0].Int() != 1 || ws[1].Int() != 2 {
+		t.Errorf("rel list order: %s", got.Rows[0][1])
+	}
+	// A leftward pattern binds the list in path order, which starts at
+	// the pattern part's first node (y): nearest edge first.
+	got = run(t, s, `MATCH (y {name: 'c'})<-[rs:E*2]-(x) RETURN [r IN rs | r.w]`)
+	ws = got.Rows[0][0].List()
+	if ws[0].Int() != 2 || ws[1].Int() != 1 {
+		t.Errorf("backward rel list order: %s", got.Rows[0][0])
+	}
+}
+
+func TestVarLengthPropertyFilter(t *testing.T) {
+	s := chainStore(t)
+	// Property map applies to every relationship of the expansion.
+	got := run(t, s, `MATCH (x {name: 'a'})-[:E* {w: 1}]->(y) RETURN y.name`)
+	if got.Len() != 1 || got.Rows[0][0].Str() != "b" {
+		t.Errorf("filtered var length: %s", got)
+	}
+}
+
+func TestPathBinding(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH p = (x {name: 'a'})-[:E*3]->(y) RETURN length(p), [n IN nodes(p) | n.name]`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 3 {
+		t.Fatalf("path: %s", got)
+	}
+	names := got.Rows[0][1].List()
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		if names[i].Str() != w {
+			t.Errorf("path node %d = %s, want %s", i, names[i], w)
+		}
+	}
+	// Path over a leftward pattern keeps pattern order.
+	got = run(t, s, `MATCH p = (y {name: 'd'})<-[:E*3]-(x) RETURN [n IN nodes(p) | n.name]`)
+	names = got.Rows[0][0].List()
+	if names[0].Str() != "d" || names[3].Str() != "a" {
+		t.Errorf("left path order: %s", got.Rows[0][0])
+	}
+}
+
+func TestBoundVariableJoin(t *testing.T) {
+	s := chainStore(t)
+	// Second MATCH starts from the bound variable.
+	got := run(t, s, `MATCH (x {name: 'b'}) MATCH (x)-[:E]->(y) RETURN y.name`)
+	if got.Len() != 1 || got.Rows[0][0].Str() != "c" {
+		t.Errorf("bound join: %s", got)
+	}
+	// Repeating a variable inside one pattern forces node identity.
+	run(t, s, `MATCH (a {name: 'd'}), (b {name: 'b'}) CREATE (a)-[:E]->(b)`) // d->b closes a cycle b->c->d->b
+	got = run(t, s, `MATCH (x {name: 'b'})-[:E*3]->(x) RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 1 {
+		t.Errorf("cycle via repeated var: %s", got.Rows[0][0])
+	}
+}
+
+func TestTypeAlternation(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:N)-[:A]->(b:N), (c:N)-[:B]->(d:N), (e:N)-[:C]->(f:N)`)
+	got := run(t, s, `MATCH ()-[r:A|B]->() RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 2 {
+		t.Errorf("alternation: %s", got.Rows[0][0])
+	}
+}
+
+func TestOptionalMatchSemantics(t *testing.T) {
+	s := chainStore(t)
+	// WHERE belongs to the OPTIONAL MATCH: unmatched rows stay, padded
+	// with nulls.
+	got := run(t, s, `MATCH (x:N) OPTIONAL MATCH (x)-[:E]->(y) WHERE y.name = 'c' RETURN x.name, y.name ORDER BY x.name`)
+	if got.Len() != 4 {
+		t.Fatalf("optional rows: %s", got)
+	}
+	for i := range got.Rows {
+		xName := got.Rows[i][0].Str()
+		y := got.Rows[i][1]
+		if xName == "b" {
+			if y.IsNull() || y.Str() != "c" {
+				t.Errorf("b should reach c: %s", y)
+			}
+		} else if !y.IsNull() {
+			t.Errorf("%s should have null y, got %s", xName, y)
+		}
+	}
+}
+
+func TestPatternPredicateInWhere(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH (x:N) WHERE (x)-[:E]->() RETURN x.name ORDER BY x.name`)
+	if got.Len() != 3 { // a, b, c have outgoing edges
+		t.Fatalf("pattern predicate: %s", got)
+	}
+	got = run(t, s, `MATCH (x:N) WHERE NOT (x)-[:E]->() RETURN x.name`)
+	if got.Len() != 1 || got.Rows[0][0].Str() != "d" {
+		t.Errorf("negated pattern predicate: %s", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:N {name: 'a'}) CREATE (a)-[:E]->(a)`)
+	got := run(t, s, `MATCH (x)-[:E]->(y) RETURN x.name, y.name`)
+	if got.Len() != 1 {
+		t.Fatalf("self loop directed: %s", got)
+	}
+	// Undirected matching must not double-count the loop.
+	got = run(t, s, `MATCH (x)-[r:E]-(y) RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 1 {
+		t.Errorf("self loop undirected count = %s", got.Rows[0][0])
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	s := graphstore.New()
+	// Diamond: a->b->d, a->c->d, plus long way a->e->f->d.
+	run(t, s, `CREATE (a:N {name: 'a'}), (b:N {name: 'b'}), (c:N {name: 'c'}), (d:N {name: 'd'}), (e:N {name: 'e'}), (f:N {name: 'f'})`)
+	run(t, s, `MATCH (a {name: 'a'}), (b {name: 'b'}), (c {name: 'c'}), (d {name: 'd'}), (e {name: 'e'}), (f {name: 'f'})
+		CREATE (a)-[:E]->(b), (b)-[:E]->(d), (a)-[:E]->(c), (c)-[:E]->(d), (a)-[:E]->(e), (e)-[:E]->(f), (f)-[:E]->(d)`)
+
+	got := run(t, s, `MATCH p = shortestPath((x {name: 'a'})-[:E*..5]->(y {name: 'd'})) RETURN length(p)`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 2 {
+		t.Fatalf("shortestPath: %s", got)
+	}
+	got = run(t, s, `MATCH p = allShortestPaths((x {name: 'a'})-[:E*..5]->(y {name: 'd'})) RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 2 {
+		t.Errorf("allShortestPaths count = %s", got.Rows[0][0])
+	}
+	// Unreachable pairs yield no rows.
+	got = run(t, s, `MATCH p = shortestPath((x {name: 'd'})-[:E*..5]->(y {name: 'a'})) RETURN p`)
+	if got.Len() != 0 {
+		t.Errorf("unreachable shortest: %s", got)
+	}
+	// Undirected search reaches backwards.
+	got = run(t, s, `MATCH p = shortestPath((x {name: 'd'})-[:E*..5]-(y {name: 'a'})) RETURN length(p)`)
+	if got.Len() != 1 || got.Rows[0][0].Int() != 2 {
+		t.Errorf("undirected shortest: %s", got)
+	}
+	// Max hops bound cuts off the search.
+	got = run(t, s, `MATCH p = shortestPath((x {name: 'a'})-[:E*..1]->(y {name: 'd'})) RETURN p`)
+	if got.Len() != 0 {
+		t.Errorf("hop-bounded shortest: %s", got)
+	}
+}
+
+func TestMatchAnonymousElements(t *testing.T) {
+	s := chainStore(t)
+	got := run(t, s, `MATCH ()-[:E]->() RETURN count(*) AS n`)
+	if got.Rows[0][0].Int() != 3 {
+		t.Errorf("anonymous pattern count = %s", got.Rows[0][0])
+	}
+}
+
+func TestMatchDeterministicOrderWithOrderBy(t *testing.T) {
+	s := chainStore(t)
+	a := run(t, s, `MATCH (x:N) RETURN x.name ORDER BY x.name`)
+	b := run(t, s, `MATCH (x:N) RETURN x.name ORDER BY x.name`)
+	for i := range a.Rows {
+		if !value.Equivalent(a.Rows[i][0], b.Rows[i][0]) {
+			t.Fatal("non-deterministic ordered result")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"testing"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// run parses and evaluates a one-time query against store.
+func run(t *testing.T, store *graphstore.Store, src string) *Table {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	out, err := EvalQuery(&Ctx{Store: store}, q)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return out
+}
+
+func TestSmokeCreateAndMatch(t *testing.T) {
+	store := graphstore.New()
+	run(t, store, `CREATE (a:Person {name: 'Ann', age: 30})-[:KNOWS {since: 2020}]->(b:Person {name: 'Bob', age: 25})`)
+	run(t, store, `CREATE (c:Person {name: 'Cid', age: 40})`)
+	run(t, store, `MATCH (a:Person {name: 'Ann'}), (c:Person {name: 'Cid'}) CREATE (a)-[:KNOWS {since: 2021}]->(c)`)
+
+	out := run(t, store, `MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN a.name, b.name ORDER BY b.name`)
+	if out.Len() != 2 {
+		t.Fatalf("want 2 rows, got %d:\n%s", out.Len(), out)
+	}
+	if got := out.Rows[0][1].Str(); got != "Bob" {
+		t.Errorf("row 0 b.name = %q, want Bob", got)
+	}
+	if got := out.Rows[1][1].Str(); got != "Cid" {
+		t.Errorf("row 1 b.name = %q, want Cid", got)
+	}
+
+	out = run(t, store, `MATCH (a:Person) RETURN count(*) AS n, avg(a.age) AS avgAge`)
+	if out.Len() != 1 || out.Rows[0][0].Int() != 3 {
+		t.Fatalf("count = %s, want 3", out.Rows[0][0])
+	}
+	if avg := out.Rows[0][1].Float(); avg < 31.6 || avg > 31.7 {
+		t.Errorf("avg age = %v", avg)
+	}
+
+	out = run(t, store, `MATCH p = (a {name: 'Bob'})<-[:KNOWS*1..2]-(root) RETURN length(p) AS len, root.name`)
+	if out.Len() != 1 || out.Rows[0][0].Int() != 1 {
+		t.Fatalf("var length match: %s", out)
+	}
+
+	out = run(t, store, `MATCH (a:Person) WHERE a.age > 26 WITH a ORDER BY a.age DESC RETURN collect(a.name) AS names`)
+	names := out.Rows[0][0].List()
+	if len(names) != 2 || names[0].Str() != "Cid" || names[1].Str() != "Ann" {
+		t.Fatalf("names = %s", value.NewList(names...))
+	}
+}
+
+func TestSmokeOptionalAndUnwind(t *testing.T) {
+	store := graphstore.New()
+	run(t, store, `CREATE (:City {name: 'Leipzig'}), (:City {name: 'Lyon'})`)
+	out := run(t, store, `MATCH (c:City) OPTIONAL MATCH (c)-[:TWINNED]->(d) RETURN c.name, d`)
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	for i := range out.Rows {
+		if !out.Rows[i][1].IsNull() {
+			t.Errorf("row %d: d = %s, want null", i, out.Rows[i][1])
+		}
+	}
+
+	out = run(t, store, `UNWIND [1, 2, 3] AS x RETURN x * 10 AS y ORDER BY y DESC LIMIT 2`)
+	if out.Len() != 2 || out.Rows[0][0].Int() != 30 || out.Rows[1][0].Int() != 20 {
+		t.Fatalf("unwind result:\n%s", out)
+	}
+}
+
+func TestSmokeQuantifierAndComprehension(t *testing.T) {
+	store := graphstore.New()
+	out := run(t, store, `WITH [1, 2, 3, 4] AS xs RETURN all(x IN xs WHERE x > 0) AS allPos, [x IN xs WHERE x % 2 = 0 | x * x] AS sq`)
+	if !out.Rows[0][0].Bool() {
+		t.Error("allPos = false")
+	}
+	sq := out.Rows[0][1].List()
+	if len(sq) != 2 || sq[0].Int() != 4 || sq[1].Int() != 16 {
+		t.Errorf("sq = %s", out.Rows[0][1])
+	}
+}
+
+// parseFor is a helper for tests that need the raw parsed query.
+func parseFor(t *testing.T, src string) (*ast.Query, error) {
+	t.Helper()
+	return parser.ParseQuery(src)
+}

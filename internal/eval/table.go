@@ -1,0 +1,214 @@
+// Package eval implements the evaluation semantics of the Cypher core
+// ([[Q]]_G as in Section 3.2 of the Seraph paper, after Francis et
+// al.): clauses are functions from tables to tables, where a table is a
+// bag of records over a fixed set of field names. The continuous engine
+// reuses this evaluator at every evaluation time instant under snapshot
+// reducibility (Definition 5.8).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"seraph/internal/value"
+)
+
+// Table is a bag of records with fields Cols. Rows[i][j] is the value
+// of column Cols[j] in record i. The unit table (one empty record, no
+// columns) is the starting point of query evaluation.
+type Table struct {
+	Cols []string
+	Rows [][]value.Value
+}
+
+// Unit returns T(()): the table containing a single empty record.
+func Unit() *Table {
+	return &Table{Rows: [][]value.Value{{}}}
+}
+
+// Empty returns a table with the given columns and no rows.
+func Empty(cols ...string) *Table {
+	return &Table{Cols: cols}
+}
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Col returns the index of column name, or -1.
+func (t *Table) Col(name string) int {
+	for i, c := range t.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the value of column name in row i, or null.
+func (t *Table) Get(i int, name string) value.Value {
+	if j := t.Col(name); j >= 0 {
+		return t.Rows[i][j]
+	}
+	return value.Null
+}
+
+// Clone returns a deep copy of the table structure (values shared).
+func (t *Table) Clone() *Table {
+	out := &Table{Cols: append([]string(nil), t.Cols...)}
+	out.Rows = make([][]value.Value, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = append([]value.Value(nil), r...)
+	}
+	return out
+}
+
+// RowKey returns a canonical encoding of row i for bag operations.
+func (t *Table) RowKey(i int) string {
+	return value.KeyOf(t.Rows[i]...)
+}
+
+// SameCols reports whether t and u have identical column lists.
+func (t *Table) SameCols(u *Table) bool {
+	if len(t.Cols) != len(u.Cols) {
+		return false
+	}
+	for i := range t.Cols {
+		if t.Cols[i] != u.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BagUnion returns t ⊎ u (all records of both). Columns must match.
+func BagUnion(t, u *Table) (*Table, error) {
+	if err := alignCheck(t, u); err != nil {
+		return nil, err
+	}
+	out := &Table{Cols: append([]string(nil), t.Cols...)}
+	out.Rows = append(out.Rows, t.Rows...)
+	out.Rows = append(out.Rows, u.Rows...)
+	return out, nil
+}
+
+// SetUnion returns t ∪ u with duplicates removed (UNION semantics).
+func SetUnion(t, u *Table) (*Table, error) {
+	all, err := BagUnion(t, u)
+	if err != nil {
+		return nil, err
+	}
+	return Distinct(all), nil
+}
+
+// BagDifference returns t ∖ u under bag semantics: each record of t is
+// kept as many times as it occurs in t minus its multiplicity in u.
+// This implements the record-level difference that Seraph's ON
+// ENTERING / ON EXITING stream operators are defined by.
+func BagDifference(t, u *Table) (*Table, error) {
+	if err := alignCheck(t, u); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(u.Rows))
+	for i := range u.Rows {
+		counts[u.RowKey(i)]++
+	}
+	out := &Table{Cols: append([]string(nil), t.Cols...)}
+	for i, r := range t.Rows {
+		k := t.RowKey(i)
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// Distinct returns t with duplicate records removed (first occurrence
+// kept, order preserved).
+func Distinct(t *Table) *Table {
+	seen := make(map[string]struct{}, len(t.Rows))
+	out := &Table{Cols: append([]string(nil), t.Cols...)}
+	for i, r := range t.Rows {
+		k := t.RowKey(i)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, r)
+	}
+	return out
+}
+
+// SortBy stably sorts the table's rows by the given key function and
+// descending flags. keys[i] must return the i-th sort key for a row.
+func (t *Table) SortBy(numKeys int, desc []bool, keyFn func(row []value.Value, k int) value.Value) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		for k := 0; k < numKeys; k++ {
+			c := value.Compare(keyFn(t.Rows[i], k), keyFn(t.Rows[j], k))
+			if c == 0 {
+				continue
+			}
+			if desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func alignCheck(t, u *Table) error {
+	if !t.SameCols(u) {
+		return fmt.Errorf("eval: incompatible tables: columns [%s] vs [%s]",
+			strings.Join(t.Cols, ", "), strings.Join(u.Cols, ", "))
+	}
+	return nil
+}
+
+// String renders the table in a simple aligned text format with a
+// header row, used by the repro and bench tools.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	cells := make([][]string, len(t.Rows))
+	for j, c := range t.Cols {
+		widths[j] = len(c)
+	}
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r))
+		for j, v := range r {
+			s := v.String()
+			if v.IsString() {
+				s = v.Str() // render strings unquoted in tables
+			}
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for j, s := range vals {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(s)
+			for k := len(s); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Cols)
+	sep := make([]string, len(t.Cols))
+	for j := range sep {
+		sep[j] = strings.Repeat("-", widths[j])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+func intsTable(cols []string, rows ...[]int64) *Table {
+	t := &Table{Cols: cols}
+	for _, r := range rows {
+		vals := make([]value.Value, len(r))
+		for i, v := range r {
+			vals[i] = value.NewInt(v)
+		}
+		t.Rows = append(t.Rows, vals)
+	}
+	return t
+}
+
+func TestBagOps(t *testing.T) {
+	a := intsTable([]string{"x"}, []int64{1}, []int64{2}, []int64{2})
+	b := intsTable([]string{"x"}, []int64{2}, []int64{3})
+
+	u, err := BagUnion(a, b)
+	if err != nil || u.Len() != 5 {
+		t.Fatalf("bag union: %v len=%d", err, u.Len())
+	}
+	su, err := SetUnion(a, b)
+	if err != nil || su.Len() != 3 {
+		t.Fatalf("set union: %v len=%d", err, su.Len())
+	}
+	d, err := BagDifference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {1, 2, 2} ∖ {2, 3} = {1, 2}: multiplicity-aware.
+	if d.Len() != 2 {
+		t.Fatalf("bag difference len = %d:\n%s", d.Len(), d)
+	}
+	counts := map[int64]int{}
+	for i := range d.Rows {
+		counts[d.Rows[i][0].Int()]++
+	}
+	if counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("difference contents: %v", counts)
+	}
+
+	// Mismatched columns error.
+	c := intsTable([]string{"y"}, []int64{1})
+	if _, err := BagUnion(a, c); err == nil {
+		t.Error("column mismatch must fail")
+	}
+}
+
+func TestDistinctKeepsFirstOccurrence(t *testing.T) {
+	a := intsTable([]string{"x"}, []int64{3}, []int64{1}, []int64{3}, []int64{1})
+	d := Distinct(a)
+	if d.Len() != 2 || d.Rows[0][0].Int() != 3 || d.Rows[1][0].Int() != 1 {
+		t.Errorf("distinct: %s", d)
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	a := intsTable([]string{"x", "y"}, []int64{1, 2})
+	if a.Col("y") != 1 || a.Col("z") != -1 {
+		t.Error("Col")
+	}
+	if a.Get(0, "y").Int() != 2 || !a.Get(0, "z").IsNull() {
+		t.Error("Get")
+	}
+	c := a.Clone()
+	c.Rows[0][0] = value.NewInt(99)
+	if a.Rows[0][0].Int() != 1 {
+		t.Error("Clone must not share rows")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	a := intsTable([]string{"x"}, []int64{42})
+	s := a.String()
+	if !strings.Contains(s, "x") || !strings.Contains(s, "42") {
+		t.Errorf("render: %q", s)
+	}
+}
+
+// TestQuickBagLaws: |A ∖ B| + |A ∩ B| = |A| with multiset intersection,
+// and (A ∖ B) ⊎ (A ∩ B) ≡ A as bags.
+func TestQuickBagDifferenceLaws(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a := &Table{Cols: []string{"x"}}
+		for _, v := range av {
+			a.Rows = append(a.Rows, []value.Value{value.NewInt(int64(v % 4))})
+		}
+		b := &Table{Cols: []string{"x"}}
+		for _, v := range bv {
+			b.Rows = append(b.Rows, []value.Value{value.NewInt(int64(v % 4))})
+		}
+		d, err := BagDifference(a, b)
+		if err != nil {
+			return false
+		}
+		// Multiset law: count_d(x) = max(0, count_a(x) - count_b(x)).
+		ca, cb, cd := counts(a), counts(b), counts(d)
+		for k, n := range ca {
+			want := n - cb[k]
+			if want < 0 {
+				want = 0
+			}
+			if cd[k] != want {
+				return false
+			}
+		}
+		for k := range cd {
+			if ca[k] == 0 {
+				return false // difference invented rows
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func counts(t *Table) map[string]int {
+	out := map[string]int{}
+	for i := range t.Rows {
+		out[t.RowKey(i)]++
+	}
+	return out
+}
+
+func TestProjectionPipeline(t *testing.T) {
+	s := graphstore.New()
+	out := run(t, s, `UNWIND [3, 1, 2, 2] AS x
+		WITH x ORDER BY x
+		RETURN collect(x) AS sorted`)
+	xs := out.Rows[0][0].List()
+	if xs[0].Int() != 1 || xs[3].Int() != 3 {
+		t.Errorf("with-order-by pipeline: %s", out.Rows[0][0])
+	}
+
+	out = run(t, s, `UNWIND [3, 1, 2, 2] AS x RETURN DISTINCT x ORDER BY x`)
+	if out.Len() != 3 || out.Rows[0][0].Int() != 1 {
+		t.Errorf("distinct+order: %s", out)
+	}
+
+	out = run(t, s, `UNWIND range(1, 10) AS x RETURN x SKIP 3 LIMIT 4`)
+	if out.Len() != 4 || out.Rows[0][0].Int() != 4 {
+		t.Errorf("skip/limit: %s", out)
+	}
+
+	out = run(t, s, `UNWIND [1, 2] AS x WITH x AS y RETURN y * 10 AS z ORDER BY z DESC`)
+	if out.Rows[0][0].Int() != 20 {
+		t.Errorf("aliasing: %s", out)
+	}
+
+	// RETURN * keeps all columns.
+	out = run(t, s, `UNWIND [1] AS a UNWIND [2] AS b RETURN *`)
+	if len(out.Cols) != 2 || out.Get(0, "a").Int() != 1 || out.Get(0, "b").Int() != 2 {
+		t.Errorf("star: %s", out)
+	}
+
+	// ORDER BY can reference pre-projection variables.
+	out = run(t, s, `UNWIND [[1, 'b'], [2, 'a']] AS p WITH p[1] AS name ORDER BY p[0] DESC RETURN name`)
+	if out.Rows[0][0].Str() != "a" {
+		t.Errorf("order by original vars: %s", out)
+	}
+}
+
+func TestUnionSemantics(t *testing.T) {
+	s := graphstore.New()
+	out := run(t, s, `RETURN 1 AS x UNION RETURN 1 AS x`)
+	if out.Len() != 1 {
+		t.Errorf("UNION dedupes: %s", out)
+	}
+	out = run(t, s, `RETURN 1 AS x UNION ALL RETURN 1 AS x`)
+	if out.Len() != 2 {
+		t.Errorf("UNION ALL keeps: %s", out)
+	}
+	// Mixed: any non-ALL union dedupes globally.
+	out = run(t, s, `RETURN 1 AS x UNION ALL RETURN 1 AS x UNION RETURN 1 AS x`)
+	if out.Len() != 1 {
+		t.Errorf("mixed union: %s", out)
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	s := graphstore.New()
+	q := `UNWIND [1] AS x RETURN x, x`
+	p, err := parseFor(t, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: s}, p); err == nil {
+		t.Error("duplicate column names must fail")
+	}
+}
+
+func TestSkipLimitValidation(t *testing.T) {
+	s := graphstore.New()
+	for _, src := range []string{
+		`UNWIND [1] AS x RETURN x LIMIT -1`,
+		`UNWIND [1] AS x RETURN x SKIP -1`,
+		`UNWIND [1] AS x RETURN x LIMIT 'a'`,
+	} {
+		p, err := parseFor(t, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EvalQuery(&Ctx{Store: s}, p); err == nil {
+			t.Errorf("%s must fail", src)
+		}
+	}
+}

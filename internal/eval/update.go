@@ -1,0 +1,453 @@
+package eval
+
+import (
+	"errors"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Updating clauses (CREATE, MERGE, SET, REMOVE, DELETE) mutate the
+// context's default store. In the Seraph pipeline they are used by the
+// ingestion path (the paper's Listing 4 style event → graph mapping);
+// the continuous query bodies themselves are read-only.
+
+// applyCreate creates the pattern once per input record, binding any
+// previously unbound variables.
+func applyCreate(ctx *Ctx, c *ast.Create, t *Table) (*Table, error) {
+	store := ctx.storeFor(0)
+	if store == nil {
+		return nil, evalErrf("no graph bound for CREATE")
+	}
+	newVars := newPatternVars(c.Pattern, t)
+	out := &Table{Cols: append(append([]string(nil), t.Cols...), newVars...)}
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		created := map[string]value.Value{}
+		for _, part := range c.Pattern.Parts {
+			if err := createPart(ctx, store, e, &part, created); err != nil {
+				return nil, err
+			}
+		}
+		ext := append([]value.Value(nil), row...)
+		for _, v := range newVars {
+			if val, ok := created[v]; ok {
+				ext = append(ext, val)
+			} else {
+				ext = append(ext, value.Null)
+			}
+		}
+		out.Rows = append(out.Rows, ext)
+	}
+	return out, nil
+}
+
+func newPatternVars(p ast.Pattern, t *Table) []string {
+	var out []string
+	for _, v := range patternVars(p) {
+		if t.Col(v) < 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// createPart creates the nodes and relationships of one pattern part.
+// Bound node variables are reused; everything else is created fresh.
+func createPart(ctx *Ctx, store *graphstore.Store, e *env, part *ast.PatternPart, created map[string]value.Value) error {
+	if part.Shortest != ast.ShortestNone {
+		return evalErrf("cannot CREATE a shortestPath pattern")
+	}
+	resolve := func(np *ast.NodePattern) (*value.Node, error) {
+		if np.Var != "" {
+			if v, ok := created[np.Var]; ok {
+				if v.Kind() != value.KindNode {
+					return nil, evalErrf("variable `%s` is not a node", np.Var)
+				}
+				return v.Node(), nil
+			}
+			if v, ok := e.lookup(np.Var); ok {
+				if v.Kind() != value.KindNode {
+					return nil, evalErrf("variable `%s` is not a node", np.Var)
+				}
+				return v.Node(), nil
+			}
+		}
+		props, err := evalProps(ctx, e, np.Props)
+		if err != nil {
+			return nil, err
+		}
+		n := store.CreateNode(append([]string(nil), np.Labels...), props)
+		if np.Var != "" {
+			created[np.Var] = value.NewNode(n)
+			e.push(np.Var, value.NewNode(n))
+		}
+		return n, nil
+	}
+	prev, err := resolve(part.Nodes[0])
+	if err != nil {
+		return err
+	}
+	var pathNodes []*value.Node
+	var pathRels []*value.Relationship
+	pathNodes = append(pathNodes, prev)
+	for i, rp := range part.Rels {
+		if rp.VarLength {
+			return evalErrf("cannot CREATE a variable length relationship")
+		}
+		if len(rp.Types) != 1 {
+			return evalErrf("CREATE requires exactly one relationship type")
+		}
+		if rp.Dir == ast.DirBoth {
+			return evalErrf("CREATE requires a directed relationship")
+		}
+		next, err := resolve(part.Nodes[i+1])
+		if err != nil {
+			return err
+		}
+		props, err := evalProps(ctx, e, rp.Props)
+		if err != nil {
+			return err
+		}
+		start, end := prev, next
+		if rp.Dir == ast.DirLeft {
+			start, end = next, prev
+		}
+		r, err := store.CreateRel(start.ID, end.ID, rp.Types[0], props)
+		if err != nil {
+			return err
+		}
+		if rp.Var != "" {
+			created[rp.Var] = value.NewRelationship(r)
+			e.push(rp.Var, value.NewRelationship(r))
+		}
+		pathRels = append(pathRels, r)
+		pathNodes = append(pathNodes, next)
+		prev = next
+	}
+	if part.Var != "" {
+		created[part.Var] = value.NewPath(&value.Path{Nodes: pathNodes, Rels: pathRels})
+	}
+	return nil
+}
+
+func evalProps(ctx *Ctx, e *env, m *ast.MapLit) (map[string]value.Value, error) {
+	props := map[string]value.Value{}
+	if m == nil {
+		return props, nil
+	}
+	for i, k := range m.Keys {
+		v, err := evalExpr(ctx, e, m.Vals[i])
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() {
+			props[k] = v
+		}
+	}
+	return props, nil
+}
+
+// applyMerge implements MERGE: for each record, the whole pattern part
+// is matched; when no match exists the entire unbound portion is
+// created (Cypher semantics). ON CREATE / ON MATCH SET items run
+// accordingly.
+func applyMerge(ctx *Ctx, m *ast.Merge, t *Table) (*Table, error) {
+	store := ctx.storeFor(0)
+	if store == nil {
+		return nil, evalErrf("no graph bound for MERGE")
+	}
+	pat := ast.Pattern{Parts: []ast.PatternPart{m.Part}}
+	newVars := newPatternVars(pat, t)
+	out := &Table{Cols: append(append([]string(nil), t.Cols...), newVars...)}
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		matched := false
+		err := forEachMatch(ctx, store, e, pat, func() error {
+			matched = true
+			ext := append([]value.Value(nil), row...)
+			for _, v := range newVars {
+				val, _ := e.lookup(v)
+				ext = append(ext, val)
+			}
+			if err := runSetItems(ctx, newEnv(out.Cols, ext), m.OnMatch); err != nil {
+				return err
+			}
+			out.Rows = append(out.Rows, ext)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if matched {
+			continue
+		}
+		created := map[string]value.Value{}
+		if err := createPart(ctx, store, e, &m.Part, created); err != nil {
+			return nil, err
+		}
+		ext := append([]value.Value(nil), row...)
+		for _, v := range newVars {
+			if val, ok := created[v]; ok {
+				ext = append(ext, val)
+			} else {
+				ext = append(ext, value.Null)
+			}
+		}
+		if err := runSetItems(ctx, newEnv(out.Cols, ext), m.OnCreate); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, ext)
+	}
+	return out, nil
+}
+
+func applySet(ctx *Ctx, s *ast.Set, t *Table) (*Table, error) {
+	for _, row := range t.Rows {
+		if err := runSetItems(ctx, newEnv(t.Cols, row), s.Items); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func runSetItems(ctx *Ctx, e *env, items []ast.SetItem) error {
+	store := ctx.storeFor(0)
+	for _, item := range items {
+		if len(item.Labels) > 0 {
+			v, err := evalExpr(ctx, e, item.Target)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if v.Kind() != value.KindNode {
+				return evalErrf("SET label requires a node")
+			}
+			for _, l := range item.Labels {
+				store.AddLabel(v.Node(), l)
+			}
+			continue
+		}
+		switch target := item.Target.(type) {
+		case *ast.Prop:
+			base, err := evalExpr(ctx, e, target.X)
+			if err != nil {
+				return err
+			}
+			if base.IsNull() {
+				continue
+			}
+			v, err := evalExpr(ctx, e, item.Value)
+			if err != nil {
+				return err
+			}
+			if err := setProp(base, target.Key, v); err != nil {
+				return err
+			}
+		case *ast.Var:
+			base, err := evalExpr(ctx, e, target)
+			if err != nil {
+				return err
+			}
+			if base.IsNull() {
+				continue
+			}
+			v, err := evalExpr(ctx, e, item.Value)
+			if err != nil {
+				return err
+			}
+			if err := setAllProps(base, v, item.Merge); err != nil {
+				return err
+			}
+		default:
+			return evalErrf("unsupported SET target")
+		}
+	}
+	return nil
+}
+
+func entityProps(v value.Value) (map[string]value.Value, error) {
+	switch v.Kind() {
+	case value.KindNode:
+		return v.Node().Props, nil
+	case value.KindRelationship:
+		return v.Relationship().Props, nil
+	}
+	return nil, evalErrf("SET requires a node or relationship, got %s", v.Kind())
+}
+
+func setProp(base value.Value, key string, v value.Value) error {
+	props, err := entityProps(base)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		delete(props, key)
+		return nil
+	}
+	props[key] = v
+	return nil
+}
+
+func setAllProps(base, v value.Value, merge bool) error {
+	props, err := entityProps(base)
+	if err != nil {
+		return err
+	}
+	var src map[string]value.Value
+	switch v.Kind() {
+	case value.KindMap:
+		src = v.Map()
+	case value.KindNode:
+		src = v.Node().Props
+	case value.KindRelationship:
+		src = v.Relationship().Props
+	default:
+		return evalErrf("SET %s requires a map, got %s", map[bool]string{true: "+=", false: "="}[merge], v.Kind())
+	}
+	if !merge {
+		for k := range props {
+			delete(props, k)
+		}
+	}
+	for k, val := range src {
+		if val.IsNull() {
+			delete(props, k)
+			continue
+		}
+		props[k] = val
+	}
+	return nil
+}
+
+func applyRemove(ctx *Ctx, r *ast.Remove, t *Table) (*Table, error) {
+	store := ctx.storeFor(0)
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		for _, item := range r.Items {
+			if len(item.Labels) > 0 {
+				v, err := evalExpr(ctx, e, item.Target)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if v.Kind() != value.KindNode {
+					return nil, evalErrf("REMOVE label requires a node")
+				}
+				for _, l := range item.Labels {
+					store.RemoveLabel(v.Node(), l)
+				}
+				continue
+			}
+			prop, ok := item.Target.(*ast.Prop)
+			if !ok {
+				return nil, evalErrf("unsupported REMOVE target")
+			}
+			base, err := evalExpr(ctx, e, prop.X)
+			if err != nil {
+				return nil, err
+			}
+			if base.IsNull() {
+				continue
+			}
+			if err := setProp(base, prop.Key, value.Null); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func applyDelete(ctx *Ctx, d *ast.Delete, t *Table) (*Table, error) {
+	store := ctx.storeFor(0)
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		for _, x := range d.Exprs {
+			v, err := evalExpr(ctx, e, x)
+			if err != nil {
+				return nil, err
+			}
+			if err := deleteValue(store, v, d.Detach); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// applyForeach implements FOREACH (v IN list | body): the nested
+// updating clauses run once per list element and per input record;
+// bindings created inside are not visible outside.
+func applyForeach(ctx *Ctx, f *ast.Foreach, t *Table) (*Table, error) {
+	for _, row := range t.Rows {
+		e := newEnv(t.Cols, row)
+		list, err := evalExpr(ctx, e, f.List)
+		if err != nil {
+			return nil, err
+		}
+		if list.IsNull() {
+			continue
+		}
+		if !list.IsList() {
+			return nil, evalErrf("type error: FOREACH over %s", list.Kind())
+		}
+		for _, elem := range list.List() {
+			sub := &Table{
+				Cols: append(append([]string(nil), t.Cols...), f.Var),
+				Rows: [][]value.Value{append(append([]value.Value(nil), row...), elem)},
+			}
+			for _, c := range f.Body {
+				sub, err = applyClause(ctx, c, sub)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func deleteValue(store *graphstore.Store, v value.Value, detach bool) error {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindNode:
+		// Deleting an already-deleted entity is a no-op.
+		if store.Node(v.Node().ID) == nil {
+			return nil
+		}
+		err := store.DeleteNode(v.Node(), detach)
+		var nd *graphstore.NotDetachedError
+		if errors.As(err, &nd) {
+			return evalErrf("cannot delete node %d: it still has %d relationship(s); use DETACH DELETE", nd.NodeID, nd.Rels)
+		}
+		return err
+	case value.KindRelationship:
+		if store.Rel(v.Relationship().ID) == nil {
+			return nil
+		}
+		store.DeleteRel(v.Relationship())
+		return nil
+	case value.KindPath:
+		p := v.Path()
+		for _, r := range p.Rels {
+			if store.Rel(r.ID) != nil {
+				store.DeleteRel(r)
+			}
+		}
+		for _, n := range p.Nodes {
+			if store.Node(n.ID) != nil {
+				if err := store.DeleteNode(n, detach); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return evalErrf("DELETE requires a node, relationship or path, got %s", v.Kind())
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+)
+
+func TestCreateNodesAndRels(t *testing.T) {
+	s := graphstore.New()
+	out := run(t, s, `CREATE (a:X {v: 1})-[r:R {w: 2}]->(b:Y) RETURN a.v, r.w, b`)
+	if out.Len() != 1 || out.Rows[0][0].Int() != 1 || out.Rows[0][1].Int() != 2 {
+		t.Fatalf("create bindings: %s", out)
+	}
+	if s.NumNodes() != 2 || s.NumRels() != 1 {
+		t.Errorf("store sizes %d/%d", s.NumNodes(), s.NumRels())
+	}
+	// CREATE with a bound variable reuses the node.
+	run(t, s, `MATCH (a:X) CREATE (a)-[:R]->(c:Z)`)
+	if s.NumNodes() != 3 || s.NumRels() != 2 {
+		t.Errorf("after bound create: %d/%d", s.NumNodes(), s.NumRels())
+	}
+	// One creation per input row.
+	run(t, s, `UNWIND [1, 2, 3] AS i CREATE (:Row {i: i})`)
+	if len(s.NodesByLabel("Row")) != 3 {
+		t.Error("per-row creation")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	s := graphstore.New()
+	for _, src := range []string{
+		`CREATE (a)-[:R*2]->(b)`, // var length
+		`CREATE (a)-[:A|B]->(b)`, // multiple types
+		`CREATE (a)-[r]->(b)`,    // no type
+		`CREATE (a)-[:R]-(b)`,    // undirected
+		`CREATE shortestPath((a)-[:R]->(b))`,
+	} {
+		q, err := parser.ParseQuery(src)
+		if err != nil {
+			continue // some are parse errors, equally fine
+		}
+		if _, err := EvalQuery(&Ctx{Store: s}, q); err == nil {
+			t.Errorf("%s should fail", src)
+		}
+	}
+}
+
+func TestMergeFindsOrCreates(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `MERGE (a:City {name: 'Leipzig'})`)
+	run(t, s, `MERGE (a:City {name: 'Leipzig'})`)
+	if n := len(s.NodesByLabel("City")); n != 1 {
+		t.Fatalf("cities = %d, want 1 (merge must not duplicate)", n)
+	}
+	run(t, s, `MERGE (a:City {name: 'Lyon'})`)
+	if n := len(s.NodesByLabel("City")); n != 2 {
+		t.Fatalf("cities = %d, want 2", n)
+	}
+	// MERGE of a relationship pattern with bound endpoints.
+	run(t, s, `MATCH (a:City {name: 'Leipzig'}), (b:City {name: 'Lyon'}) MERGE (a)-[:TWINNED]->(b)`)
+	run(t, s, `MATCH (a:City {name: 'Leipzig'}), (b:City {name: 'Lyon'}) MERGE (a)-[:TWINNED]->(b)`)
+	if s.NumRels() != 1 {
+		t.Errorf("rels = %d, want 1", s.NumRels())
+	}
+}
+
+func TestMergeOnCreateOnMatch(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `MERGE (a:K {id: 1}) ON CREATE SET a.created = true ON MATCH SET a.matched = true`)
+	out := run(t, s, `MATCH (a:K {id: 1}) RETURN a.created, a.matched`)
+	if !out.Rows[0][0].Bool() || !out.Rows[0][1].IsNull() {
+		t.Errorf("after first merge: %v", out.Rows[0])
+	}
+	run(t, s, `MERGE (a:K {id: 1}) ON CREATE SET a.created = true ON MATCH SET a.matched = true`)
+	out = run(t, s, `MATCH (a:K {id: 1}) RETURN a.matched`)
+	if !out.Rows[0][0].Bool() {
+		t.Error("ON MATCH should have run on second merge")
+	}
+}
+
+func TestSetProperties(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:P {x: 1})`)
+	run(t, s, `MATCH (a:P) SET a.x = 10, a.y = 'new'`)
+	out := run(t, s, `MATCH (a:P) RETURN a.x, a.y`)
+	if out.Rows[0][0].Int() != 10 || out.Rows[0][1].Str() != "new" {
+		t.Errorf("set props: %v", out.Rows[0])
+	}
+	// SET to null removes the property.
+	run(t, s, `MATCH (a:P) SET a.y = null`)
+	out = run(t, s, `MATCH (a:P) RETURN a.y`)
+	if !out.Rows[0][0].IsNull() {
+		t.Error("set null should remove")
+	}
+	// SET label.
+	run(t, s, `MATCH (a:P) SET a:Extra:More`)
+	if len(s.NodesByLabel("Extra")) != 1 || len(s.NodesByLabel("More")) != 1 {
+		t.Error("set labels")
+	}
+	// SET += merges, SET = replaces.
+	run(t, s, `MATCH (a:P) SET a += {z: 3}`)
+	out = run(t, s, `MATCH (a:P) RETURN a.x, a.z`)
+	if out.Rows[0][0].Int() != 10 || out.Rows[0][1].Int() != 3 {
+		t.Errorf("+=: %v", out.Rows[0])
+	}
+	run(t, s, `MATCH (a:P) SET a = {only: 1}`)
+	out = run(t, s, `MATCH (a:P) RETURN a.x, a.only`)
+	if !out.Rows[0][0].IsNull() || out.Rows[0][1].Int() != 1 {
+		t.Errorf("= replace: %v", out.Rows[0])
+	}
+}
+
+func TestRemoveClause(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:P:Q {x: 1, y: 2})`)
+	run(t, s, `MATCH (a:P) REMOVE a.x, a:Q`)
+	out := run(t, s, `MATCH (a:P) RETURN a.x, a.y`)
+	if !out.Rows[0][0].IsNull() || out.Rows[0][1].Int() != 2 {
+		t.Errorf("remove: %v", out.Rows[0])
+	}
+	if len(s.NodesByLabel("Q")) != 0 {
+		t.Error("label removed from index")
+	}
+}
+
+func TestDeleteClause(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (a:X)-[:R]->(b:Y)`)
+	// Plain DELETE of a connected node fails.
+	q, err := parser.ParseQuery(`MATCH (a:X) DELETE a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: s}, q); err == nil {
+		t.Fatal("delete of connected node must fail")
+	}
+	// DETACH DELETE succeeds.
+	run(t, s, `MATCH (a:X) DETACH DELETE a`)
+	if s.NumNodes() != 1 || s.NumRels() != 0 {
+		t.Errorf("after detach delete: %d/%d", s.NumNodes(), s.NumRels())
+	}
+	// Deleting a relationship directly.
+	run(t, s, `MATCH (b:Y) CREATE (b)-[:S]->(c:Z)`)
+	run(t, s, `MATCH ()-[r:S]->() DELETE r`)
+	if s.NumRels() != 0 {
+		t.Error("rel delete")
+	}
+	// DELETE null is a no-op.
+	run(t, s, `MATCH (b:Y) OPTIONAL MATCH (b)-[:NONE]->(x) DELETE x`)
+}
+
+func TestSetOnRelationship(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:A)-[:R {w: 1}]->(:B)`)
+	run(t, s, `MATCH ()-[r:R]->() SET r.w = 9`)
+	out := run(t, s, `MATCH ()-[r:R]->() RETURN r.w`)
+	if out.Rows[0][0].Int() != 9 {
+		t.Errorf("set rel prop: %s", out.Rows[0][0])
+	}
+}
+
+func TestMergeChainCreatesWholePattern(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `CREATE (:U {id: 1})`)
+	// Pattern does not fully match → whole unbound portion created.
+	run(t, s, `MATCH (u:U {id: 1}) MERGE (u)-[:OWNS]->(v:V {id: 2})`)
+	if s.NumNodes() != 2 || s.NumRels() != 1 {
+		t.Fatalf("first merge: %d/%d", s.NumNodes(), s.NumRels())
+	}
+	// Second time it matches; nothing new.
+	run(t, s, `MATCH (u:U {id: 1}) MERGE (u)-[:OWNS]->(v:V {id: 2})`)
+	if s.NumNodes() != 2 || s.NumRels() != 1 {
+		t.Errorf("second merge: %d/%d", s.NumNodes(), s.NumRels())
+	}
+}
+
+func TestForeach(t *testing.T) {
+	s := graphstore.New()
+	run(t, s, `FOREACH (i IN range(1, 3) | CREATE (:Row {i: i}))`)
+	out := run(t, s, `MATCH (r:Row) RETURN count(*) AS n, sum(r.i) AS total`)
+	if out.Rows[0][0].Int() != 3 || out.Rows[0][1].Int() != 6 {
+		t.Fatalf("foreach create: %s", out)
+	}
+	// FOREACH sees outer bindings; SET per element.
+	run(t, s, `MATCH (r:Row) WITH collect(r) AS rows FOREACH (x IN rows | SET x.seen = true)`)
+	out = run(t, s, `MATCH (r:Row) WHERE r.seen RETURN count(*) AS n`)
+	if out.Rows[0][0].Int() != 3 {
+		t.Fatalf("foreach set: %s", out)
+	}
+	// Nested FOREACH.
+	run(t, s, `FOREACH (a IN [1, 2] | FOREACH (b IN [10, 20] | CREATE (:Pair {v: a * b})))`)
+	out = run(t, s, `MATCH (p:Pair) RETURN count(*) AS n`)
+	if out.Rows[0][0].Int() != 4 {
+		t.Fatalf("nested foreach: %s", out)
+	}
+	// Null list is a no-op; non-list errors.
+	run(t, s, `FOREACH (x IN null | CREATE (:Never))`)
+	if len(s.NodesByLabel("Never")) != 0 {
+		t.Error("foreach over null must be a no-op")
+	}
+	q, err := parser.ParseQuery(`FOREACH (x IN 5 | CREATE (:Never))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalQuery(&Ctx{Store: s}, q); err == nil {
+		t.Error("foreach over scalar must fail")
+	}
+	// Parse error: empty body.
+	if _, err := parser.ParseQuery(`FOREACH (x IN [1] | )`); err == nil {
+		t.Error("empty foreach body must fail")
+	}
+	// Reading clauses are not allowed inside.
+	if _, err := parser.ParseQuery(`FOREACH (x IN [1] | MATCH (n) RETURN n)`); err == nil {
+		t.Error("reading clause inside foreach must fail")
+	}
+}

@@ -1,0 +1,253 @@
+// Package graphstore provides an indexed, mutable view over a property
+// graph: adjacency lists per node, a label index, and id allocation for
+// updating clauses. The Cypher evaluator matches patterns against a
+// Store; the continuous engine builds one Store per snapshot graph.
+package graphstore
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// Store is an indexed property graph. It is not safe for concurrent
+// mutation; concurrent reads are safe once construction is complete.
+type Store struct {
+	graph *pg.Graph
+	// out/in map node id → relationships sorted by id.
+	out   map[int64][]*value.Relationship
+	in    map[int64][]*value.Relationship
+	label map[string][]*value.Node
+
+	nextNodeID atomic.Int64
+	nextRelID  atomic.Int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return FromGraph(pg.New())
+}
+
+// FromGraph builds an indexed store over g. The store takes ownership
+// of g; callers must not mutate g afterwards.
+func FromGraph(g *pg.Graph) *Store {
+	s := &Store{
+		graph: g,
+		out:   make(map[int64][]*value.Relationship),
+		in:    make(map[int64][]*value.Relationship),
+		label: make(map[string][]*value.Node),
+	}
+	var maxN, maxR int64
+	g.EachNode(func(n *value.Node) {
+		s.indexNode(n)
+		if n.ID > maxN {
+			maxN = n.ID
+		}
+	})
+	g.EachRel(func(r *value.Relationship) {
+		s.indexRel(r)
+		if r.ID > maxR {
+			maxR = r.ID
+		}
+	})
+	for _, rels := range s.out {
+		sortRels(rels)
+	}
+	for _, rels := range s.in {
+		sortRels(rels)
+	}
+	for _, ns := range s.label {
+		sortNodes(ns)
+	}
+	s.nextNodeID.Store(maxN + 1)
+	s.nextRelID.Store(maxR + 1)
+	return s
+}
+
+func sortRels(rels []*value.Relationship) {
+	sort.Slice(rels, func(i, j int) bool { return rels[i].ID < rels[j].ID })
+}
+
+func sortNodes(ns []*value.Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+func (s *Store) indexNode(n *value.Node) {
+	for _, l := range n.Labels {
+		s.label[l] = append(s.label[l], n)
+	}
+}
+
+func (s *Store) indexRel(r *value.Relationship) {
+	s.out[r.StartID] = append(s.out[r.StartID], r)
+	s.in[r.EndID] = append(s.in[r.EndID], r)
+}
+
+// Graph returns the underlying property graph.
+func (s *Store) Graph() *pg.Graph { return s.graph }
+
+// Node returns the node with id, or nil.
+func (s *Store) Node(id int64) *value.Node { return s.graph.Node(id) }
+
+// Rel returns the relationship with id, or nil.
+func (s *Store) Rel(id int64) *value.Relationship { return s.graph.Rel(id) }
+
+// NumNodes returns the node count.
+func (s *Store) NumNodes() int { return s.graph.NumNodes() }
+
+// NumRels returns the relationship count.
+func (s *Store) NumRels() int { return s.graph.NumRels() }
+
+// AllNodes returns all nodes sorted by id.
+func (s *Store) AllNodes() []*value.Node { return s.graph.Nodes() }
+
+// AllRels returns all relationships sorted by id.
+func (s *Store) AllRels() []*value.Relationship { return s.graph.Rels() }
+
+// NodesByLabel returns the nodes carrying label l, sorted by id.
+// The returned slice must not be mutated.
+func (s *Store) NodesByLabel(l string) []*value.Node { return s.label[l] }
+
+// Outgoing returns relationships with src = id, sorted by id.
+func (s *Store) Outgoing(id int64) []*value.Relationship { return s.out[id] }
+
+// Incoming returns relationships with trg = id, sorted by id.
+func (s *Store) Incoming(id int64) []*value.Relationship { return s.in[id] }
+
+// Degree returns the total degree of node id.
+func (s *Store) Degree(id int64) int { return len(s.out[id]) + len(s.in[id]) }
+
+// CreateNode allocates a fresh node with the given labels and
+// properties and inserts it.
+func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value.Node {
+	if props == nil {
+		props = map[string]value.Value{}
+	}
+	n := &value.Node{ID: s.nextNodeID.Add(1) - 1, Labels: labels, Props: props}
+	s.graph.AddNode(n)
+	s.indexNode(n)
+	return n
+}
+
+// AddNode inserts a node with a caller-chosen id (used by ingestion
+// under the unique name assumption). It replaces nothing: callers must
+// check existence first.
+func (s *Store) AddNode(n *value.Node) {
+	s.graph.AddNode(n)
+	s.indexNode(n)
+	if n.ID >= s.nextNodeID.Load() {
+		s.nextNodeID.Store(n.ID + 1)
+	}
+}
+
+// CreateRel allocates a fresh relationship and inserts it. Both
+// endpoints must exist.
+func (s *Store) CreateRel(startID, endID int64, typ string, props map[string]value.Value) (*value.Relationship, error) {
+	if props == nil {
+		props = map[string]value.Value{}
+	}
+	r := &value.Relationship{
+		ID:      s.nextRelID.Add(1) - 1,
+		StartID: startID,
+		EndID:   endID,
+		Type:    typ,
+		Props:   props,
+	}
+	if err := s.graph.AddRel(r); err != nil {
+		return nil, err
+	}
+	s.indexRel(r)
+	return r, nil
+}
+
+// AddRel inserts a relationship with a caller-chosen id.
+func (s *Store) AddRel(r *value.Relationship) error {
+	if err := s.graph.AddRel(r); err != nil {
+		return err
+	}
+	s.indexRel(r)
+	if r.ID >= s.nextRelID.Load() {
+		s.nextRelID.Store(r.ID + 1)
+	}
+	return nil
+}
+
+// AddLabel adds label l to node n, maintaining the label index.
+func (s *Store) AddLabel(n *value.Node, l string) {
+	if n.HasLabel(l) {
+		return
+	}
+	n.Labels = append(n.Labels, l)
+	s.label[l] = append(s.label[l], n)
+	sortNodes(s.label[l])
+}
+
+// RemoveLabel removes label l from node n.
+func (s *Store) RemoveLabel(n *value.Node, l string) {
+	for i, x := range n.Labels {
+		if x == l {
+			n.Labels = append(n.Labels[:i], n.Labels[i+1:]...)
+			break
+		}
+	}
+	ns := s.label[l]
+	for i, x := range ns {
+		if x.ID == n.ID {
+			s.label[l] = append(ns[:i], ns[i+1:]...)
+			break
+		}
+	}
+}
+
+// DeleteRel removes relationship r.
+func (s *Store) DeleteRel(r *value.Relationship) {
+	s.out[r.StartID] = removeRel(s.out[r.StartID], r.ID)
+	s.in[r.EndID] = removeRel(s.in[r.EndID], r.ID)
+	s.graph.RemoveRel(r.ID)
+}
+
+// DeleteNode removes node n. If detach is true its relationships are
+// removed first; otherwise deleting a node with relationships is an
+// error, matching Cypher's DELETE vs DETACH DELETE.
+func (s *Store) DeleteNode(n *value.Node, detach bool) error {
+	rels := append(append([]*value.Relationship(nil), s.out[n.ID]...), s.in[n.ID]...)
+	if len(rels) > 0 && !detach {
+		return &NotDetachedError{NodeID: n.ID, Rels: len(rels)}
+	}
+	for _, r := range rels {
+		s.DeleteRel(r)
+	}
+	for _, l := range n.Labels {
+		ns := s.label[l]
+		for i, x := range ns {
+			if x.ID == n.ID {
+				s.label[l] = append(ns[:i], ns[i+1:]...)
+				break
+			}
+		}
+	}
+	s.graph.RemoveNode(n.ID)
+	return nil
+}
+
+// NotDetachedError is returned when DELETE targets a node that still
+// has relationships and DETACH was not specified.
+type NotDetachedError struct {
+	NodeID int64
+	Rels   int
+}
+
+func (e *NotDetachedError) Error() string {
+	return "graphstore: cannot delete node with relationships (use DETACH DELETE)"
+}
+
+func removeRel(rels []*value.Relationship, id int64) []*value.Relationship {
+	for i, r := range rels {
+		if r.ID == id {
+			return append(rels[:i], rels[i+1:]...)
+		}
+	}
+	return rels
+}

@@ -1,0 +1,150 @@
+package graphstore
+
+import (
+	"testing"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+func buildStore(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	a := s.CreateNode([]string{"A"}, map[string]value.Value{"name": value.NewString("a")})
+	b := s.CreateNode([]string{"A", "B"}, nil)
+	c := s.CreateNode([]string{"C"}, nil)
+	if _, err := s.CreateRel(a.ID, b.ID, "R", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateRel(b.ID, c.ID, "S", nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateAndIndex(t *testing.T) {
+	s := buildStore(t)
+	if s.NumNodes() != 3 || s.NumRels() != 2 {
+		t.Fatalf("sizes %d/%d", s.NumNodes(), s.NumRels())
+	}
+	if n := len(s.NodesByLabel("A")); n != 2 {
+		t.Errorf("label A count = %d", n)
+	}
+	if n := len(s.NodesByLabel("Missing")); n != 0 {
+		t.Errorf("missing label count = %d", n)
+	}
+	a := s.NodesByLabel("A")[0]
+	if len(s.Outgoing(a.ID)) != 1 || len(s.Incoming(a.ID)) != 0 {
+		t.Error("adjacency of a")
+	}
+	b := s.NodesByLabel("B")[0]
+	if s.Degree(b.ID) != 2 {
+		t.Errorf("degree of b = %d", s.Degree(b.ID))
+	}
+}
+
+func TestFromGraphIndexes(t *testing.T) {
+	g := pg.New()
+	g.AddNode(&value.Node{ID: 10, Labels: []string{"X"}, Props: map[string]value.Value{}})
+	g.AddNode(&value.Node{ID: 20, Labels: []string{"X"}, Props: map[string]value.Value{}})
+	if err := g.AddRel(&value.Relationship{ID: 7, StartID: 10, EndID: 20, Type: "T", Props: map[string]value.Value{}}); err != nil {
+		t.Fatal(err)
+	}
+	s := FromGraph(g)
+	if len(s.NodesByLabel("X")) != 2 {
+		t.Error("label index from graph")
+	}
+	if len(s.Outgoing(10)) != 1 || s.Outgoing(10)[0].ID != 7 {
+		t.Error("out index from graph")
+	}
+	if len(s.Incoming(20)) != 1 {
+		t.Error("in index from graph")
+	}
+	// Fresh ids must not collide with existing ones.
+	n := s.CreateNode(nil, nil)
+	if n.ID <= 20 {
+		t.Errorf("fresh node id %d collides", n.ID)
+	}
+	r, err := s.CreateRel(10, 20, "U", nil)
+	if err != nil || r.ID <= 7 {
+		t.Errorf("fresh rel id %v %v", r, err)
+	}
+}
+
+func TestCreateRelMissingEndpoint(t *testing.T) {
+	s := New()
+	n := s.CreateNode(nil, nil)
+	if _, err := s.CreateRel(n.ID, 999, "T", nil); err == nil {
+		t.Error("missing endpoint must fail")
+	}
+}
+
+func TestLabelMutation(t *testing.T) {
+	s := New()
+	n := s.CreateNode([]string{"A"}, nil)
+	s.AddLabel(n, "B")
+	s.AddLabel(n, "B") // idempotent
+	if len(n.Labels) != 2 || len(s.NodesByLabel("B")) != 1 {
+		t.Errorf("labels after add: %v", n.Labels)
+	}
+	s.RemoveLabel(n, "A")
+	if n.HasLabel("A") || len(s.NodesByLabel("A")) != 0 {
+		t.Error("label removal")
+	}
+	s.RemoveLabel(n, "Missing") // no-op
+}
+
+func TestDelete(t *testing.T) {
+	s := buildStore(t)
+	b := s.NodesByLabel("B")[0]
+	if err := s.DeleteNode(b, false); err == nil {
+		t.Fatal("deleting connected node without detach must fail")
+	}
+	if err := s.DeleteNode(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumNodes() != 2 || s.NumRels() != 0 {
+		t.Errorf("after detach delete: %d/%d", s.NumNodes(), s.NumRels())
+	}
+	if len(s.NodesByLabel("B")) != 0 {
+		t.Error("label index not maintained on delete")
+	}
+	a := s.NodesByLabel("A")[0]
+	if len(s.Outgoing(a.ID)) != 0 {
+		t.Error("adjacency not maintained on delete")
+	}
+}
+
+func TestDeleteRel(t *testing.T) {
+	s := New()
+	a := s.CreateNode(nil, nil)
+	b := s.CreateNode(nil, nil)
+	r, err := s.CreateRel(a.ID, b.ID, "T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DeleteRel(r)
+	if s.NumRels() != 0 || len(s.Outgoing(a.ID)) != 0 || len(s.Incoming(b.ID)) != 0 {
+		t.Error("rel deletion")
+	}
+	// Node can now be deleted without detach.
+	if err := s.DeleteNode(a, false); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddNodeAddRelExplicitIDs(t *testing.T) {
+	s := New()
+	s.AddNode(&value.Node{ID: 100, Labels: []string{"L"}, Props: map[string]value.Value{}})
+	s.AddNode(&value.Node{ID: 200, Props: map[string]value.Value{}})
+	if err := s.AddRel(&value.Relationship{ID: 300, StartID: 100, EndID: 200, Type: "T", Props: map[string]value.Value{}}); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh allocations skip past explicit ids.
+	if n := s.CreateNode(nil, nil); n.ID <= 200 {
+		t.Errorf("fresh node id %d", n.ID)
+	}
+	if r, _ := s.CreateRel(100, 200, "U", nil); r.ID <= 300 {
+		t.Errorf("fresh rel id %d", r.ID)
+	}
+}

@@ -1,0 +1,231 @@
+// Package ingest implements the event → property graph mapping of the
+// paper's Section 2 pipeline: rental stations publish events to the
+// queue; a connector (the stand-in for the Neo4j Kafka Connector)
+// decodes each event into a property graph and either streams it into
+// the continuous engine or merges it into a persistent store under the
+// unique name assumption.
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// GraphEvent is the wire format of one stream element: a property
+// graph (nodes and relationships) with its event timestamp.
+type GraphEvent struct {
+	TS    time.Time   `json:"ts"`
+	Nodes []NodeEvent `json:"nodes,omitempty"`
+	Rels  []RelEvent  `json:"rels,omitempty"`
+}
+
+// NodeEvent is a node in the wire format.
+type NodeEvent struct {
+	ID     int64          `json:"id"`
+	Labels []string       `json:"labels,omitempty"`
+	Props  map[string]any `json:"props,omitempty"`
+}
+
+// RelEvent is a relationship in the wire format.
+type RelEvent struct {
+	ID    int64          `json:"id"`
+	Start int64          `json:"start"`
+	End   int64          `json:"end"`
+	Type  string         `json:"type"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+// Encode serializes a stream element to JSON.
+func Encode(g *pg.Graph, ts time.Time) ([]byte, error) {
+	ev := GraphEvent{TS: ts.UTC()}
+	for _, n := range g.Nodes() {
+		ev.Nodes = append(ev.Nodes, NodeEvent{
+			ID:     n.ID,
+			Labels: n.Labels,
+			Props:  encodeProps(n.Props),
+		})
+	}
+	for _, r := range g.Rels() {
+		ev.Rels = append(ev.Rels, RelEvent{
+			ID:    r.ID,
+			Start: r.StartID,
+			End:   r.EndID,
+			Type:  r.Type,
+			Props: encodeProps(r.Props),
+		})
+	}
+	return json.Marshal(ev)
+}
+
+// Decode parses a JSON event into a property graph and its timestamp.
+func Decode(data []byte) (*pg.Graph, time.Time, error) {
+	var ev GraphEvent
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return nil, time.Time{}, fmt.Errorf("ingest: invalid event: %w", err)
+	}
+	g := pg.New()
+	for _, n := range ev.Nodes {
+		props, err := decodeProps(n.Props)
+		if err != nil {
+			return nil, time.Time{}, fmt.Errorf("ingest: node %d: %w", n.ID, err)
+		}
+		g.AddNode(&value.Node{ID: n.ID, Labels: n.Labels, Props: props})
+	}
+	for _, r := range ev.Rels {
+		props, err := decodeProps(r.Props)
+		if err != nil {
+			return nil, time.Time{}, fmt.Errorf("ingest: relationship %d: %w", r.ID, err)
+		}
+		rel := &value.Relationship{ID: r.ID, StartID: r.Start, EndID: r.End, Type: r.Type, Props: props}
+		if err := g.AddRel(rel); err != nil {
+			return nil, time.Time{}, err
+		}
+	}
+	return g, ev.TS, nil
+}
+
+// Typed value encoding: temporal values and maps/lists round-trip via
+// a {"$t": kind, "v": payload} wrapper; plain JSON scalars map
+// directly.
+
+func encodeProps(props map[string]value.Value) map[string]any {
+	if len(props) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(props))
+	for k, v := range props {
+		out[k] = encodeValue(v)
+	}
+	return out
+}
+
+func encodeValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindNumber:
+		if v.IsInt() {
+			return v.Int()
+		}
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindDateTime:
+		return map[string]any{"$t": "dt", "v": v.DateTime().Format(time.RFC3339Nano)}
+	case value.KindDuration:
+		return map[string]any{"$t": "dur", "v": v.Duration().Nanoseconds()}
+	case value.KindList:
+		items := make([]any, len(v.List()))
+		for i, e := range v.List() {
+			items[i] = encodeValue(e)
+		}
+		return items
+	case value.KindMap:
+		m := make(map[string]any, len(v.Map()))
+		for k, e := range v.Map() {
+			m[k] = encodeValue(e)
+		}
+		return map[string]any{"$t": "map", "v": m}
+	}
+	return nil
+}
+
+func decodeProps(raw map[string]any) (map[string]value.Value, error) {
+	props := make(map[string]value.Value, len(raw))
+	for k, v := range raw {
+		dv, err := decodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		if !dv.IsNull() {
+			props[k] = dv
+		}
+	}
+	return props, nil
+}
+
+func decodeValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(x), nil
+	case string:
+		return value.NewString(x), nil
+	case float64:
+		if x == float64(int64(x)) {
+			return value.NewInt(int64(x)), nil
+		}
+		return value.NewFloat(x), nil
+	case json.Number:
+		if n, err := x.Int64(); err == nil {
+			return value.NewInt(n), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case []any:
+		items := make([]value.Value, len(x))
+		for i, e := range x {
+			dv, err := decodeValue(e)
+			if err != nil {
+				return value.Null, err
+			}
+			items[i] = dv
+		}
+		return value.NewList(items...), nil
+	case map[string]any:
+		tag, _ := x["$t"].(string)
+		switch tag {
+		case "dt":
+			s, _ := x["v"].(string)
+			t, err := time.Parse(time.RFC3339Nano, s)
+			if err != nil {
+				return value.Null, fmt.Errorf("invalid datetime %q", s)
+			}
+			return value.NewDateTime(t), nil
+		case "dur":
+			f, ok := x["v"].(float64)
+			if !ok {
+				return value.Null, fmt.Errorf("invalid duration payload")
+			}
+			return value.NewDuration(time.Duration(int64(f))), nil
+		case "map":
+			inner, ok := x["v"].(map[string]any)
+			if !ok {
+				return value.Null, fmt.Errorf("invalid map payload")
+			}
+			m := make(map[string]value.Value, len(inner))
+			for k, e := range inner {
+				dv, err := decodeValue(e)
+				if err != nil {
+					return value.Null, err
+				}
+				m[k] = dv
+			}
+			return value.NewMap(m), nil
+		case "":
+			// Untagged object: decode as a plain map.
+			m := make(map[string]value.Value, len(x))
+			for k, e := range x {
+				dv, err := decodeValue(e)
+				if err != nil {
+					return value.Null, err
+				}
+				m[k] = dv
+			}
+			return value.NewMap(m), nil
+		default:
+			return value.Null, fmt.Errorf("unknown value tag %q", tag)
+		}
+	}
+	return value.Null, fmt.Errorf("unsupported JSON value %T", v)
+}

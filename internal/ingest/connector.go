@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+	"seraph/internal/value"
+)
+
+// StreamSink receives decoded stream elements in timestamp order.
+// engine.Engine's Push method satisfies this signature through a small
+// adapter at the call site.
+type StreamSink func(g *pg.Graph, ts time.Time) error
+
+// Connector pumps events from a broker topic into a stream sink
+// (continuous engine) and, optionally, merges every event into a
+// persistent store under the unique name assumption — mirroring the
+// paper's dual pipeline where the Kafka connector also populates a
+// Neo4j database (Figure 2).
+type Connector struct {
+	consumer *queue.Consumer
+	sink     StreamSink
+	store    *graphstore.Store // optional merged store
+
+	eventsDelivered int
+}
+
+// NewConnector creates a connector consuming topic from b.
+func NewConnector(b *queue.Broker, topic string, sink StreamSink) (*Connector, error) {
+	c, err := queue.NewConsumer(b, "seraph-connector", topic)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{consumer: c, sink: sink}, nil
+}
+
+// WithMergedStore also maintains a fully merged graph (no windowing),
+// as the Cypher-only baseline requires.
+func (c *Connector) WithMergedStore(s *graphstore.Store) *Connector {
+	c.store = s
+	return c
+}
+
+// Poll consumes up to max pending events, delivering each to the sink
+// and merging into the store if configured. It returns the number of
+// events delivered.
+func (c *Connector) Poll(max int) (int, error) {
+	recs, err := c.consumer.Poll(max)
+	if err != nil {
+		return 0, err
+	}
+	return c.deliver(recs)
+}
+
+// deliver decodes and dispatches fetched records.
+func (c *Connector) deliver(recs []queue.Record) (int, error) {
+	for _, rec := range recs {
+		g, ts, err := Decode(rec.Value)
+		if err != nil {
+			return 0, fmt.Errorf("ingest: record %s[%d]@%d: %w", rec.Topic, rec.Partition, rec.Offset, err)
+		}
+		if c.store != nil {
+			if err := MergeInto(c.store, g); err != nil {
+				return 0, err
+			}
+		}
+		if c.sink != nil {
+			if err := c.sink(g, ts); err != nil {
+				return 0, err
+			}
+		}
+		c.eventsDelivered++
+	}
+	return len(recs), nil
+}
+
+// Drain polls until the topic is exhausted.
+func (c *Connector) Drain() (int, error) {
+	total := 0
+	for {
+		n, err := c.Poll(1024)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += n
+	}
+}
+
+// EventsDelivered returns the number of events delivered so far.
+func (c *Connector) EventsDelivered() int { return c.eventsDelivered }
+
+// MergeInto merges event graph g into store under the unique name
+// assumption: vertices and relationships sharing an identifier are
+// merged into single entities (labels union, properties union), the
+// MERGE behaviour described in Section 2.
+func MergeInto(store *graphstore.Store, g *pg.Graph) error {
+	for _, n := range g.Nodes() {
+		existing := store.Node(n.ID)
+		if existing == nil {
+			props := make(map[string]value.Value, len(n.Props))
+			for k, v := range n.Props {
+				props[k] = v
+			}
+			store.AddNode(&value.Node{ID: n.ID, Labels: append([]string(nil), n.Labels...), Props: props})
+			continue
+		}
+		for _, l := range n.Labels {
+			if !existing.HasLabel(l) {
+				store.AddLabel(existing, l)
+			}
+		}
+		for k, v := range n.Props {
+			existing.Props[k] = v
+		}
+	}
+	for _, r := range g.Rels() {
+		existing := store.Rel(r.ID)
+		if existing == nil {
+			props := make(map[string]value.Value, len(r.Props))
+			for k, v := range r.Props {
+				props[k] = v
+			}
+			if err := store.AddRel(&value.Relationship{
+				ID: r.ID, StartID: r.StartID, EndID: r.EndID, Type: r.Type, Props: props,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if existing.StartID != r.StartID || existing.EndID != r.EndID || existing.Type != r.Type {
+			return fmt.Errorf("ingest: relationship %d conflicts with existing topology", r.ID)
+		}
+		for k, v := range r.Props {
+			existing.Props[k] = v
+		}
+	}
+	return nil
+}

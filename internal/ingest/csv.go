@@ -1,0 +1,347 @@
+package ingest
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// CSV ingestion: the paper notes (Section 5.2) that Cypher-style
+// ingestion maps elements of an input source such as CSV into property
+// graphs, one event at a time. CSVMapping declares how rows become
+// nodes and relationships; rows sharing an event timestamp are grouped
+// into one property graph stream element.
+
+// ColType names a property column type in a CSV mapping.
+type ColType string
+
+// Column types.
+const (
+	ColString   ColType = "string"
+	ColInt      ColType = "int"
+	ColFloat    ColType = "float"
+	ColBool     ColType = "bool"
+	ColDateTime ColType = "datetime"
+	ColDuration ColType = "duration"
+)
+
+// PropSpec maps a CSV column to a typed property.
+type PropSpec struct {
+	Column string
+	Type   ColType
+	// Optional renames the property; empty keeps the column name.
+	As string
+	// Optional: empty cells yield no property instead of an error.
+	Optional bool
+}
+
+// NodeSpec maps columns to one node per row.
+type NodeSpec struct {
+	// Var names the node within the row for relationship endpoints.
+	Var string
+	// IDColumn holds the node's external integer id.
+	IDColumn string
+	// IDOffset displaces the id space so multiple node kinds coexist
+	// under the unique name assumption.
+	IDOffset int64
+	// Labels are fixed labels.
+	Labels []string
+	// LabelColumn optionally adds a per-row label when non-empty.
+	LabelColumn string
+	Props       []PropSpec
+}
+
+// RelSpec maps columns to one relationship per row.
+type RelSpec struct {
+	// Start and End reference NodeSpec.Var names.
+	Start, End string
+	// Type is the fixed relationship type; TypeColumn overrides it per
+	// row when set.
+	Type       string
+	TypeColumn string
+	// IDColumn optionally holds an explicit relationship id; when
+	// empty a deterministic id is derived from the row content.
+	IDColumn string
+	IDOffset int64
+	Props    []PropSpec
+}
+
+// Mapping declares how a CSV file becomes a property graph stream.
+type Mapping struct {
+	// TimeColumn holds the event timestamp (ISO 8601); consecutive rows
+	// with equal timestamps form one stream element.
+	TimeColumn string
+	Nodes      []NodeSpec
+	Rels       []RelSpec
+}
+
+// ReadCSV decodes CSV content (with a header row) into stream elements
+// per the mapping. Rows must be ordered by the time column.
+func ReadCSV(r io.Reader, m Mapping) ([]stream.Element, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("ingest: csv header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.TrimSpace(h)] = i
+	}
+	need := func(name string) (int, error) {
+		i, ok := col[name]
+		if !ok {
+			return 0, fmt.Errorf("ingest: csv column %q not found (header: %v)", name, header)
+		}
+		return i, nil
+	}
+	timeIdx, err := need(m.TimeColumn)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []stream.Element
+	var cur *pg.Graph
+	var curTS time.Time
+	rowNum := 1
+	flush := func() {
+		if cur != nil {
+			out = append(out, stream.Element{Graph: cur, Time: curTS})
+			cur = nil
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: csv row %d: %w", rowNum+1, err)
+		}
+		rowNum++
+		ts, err := value.ParseDateTime(strings.TrimSpace(rec[timeIdx]))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: csv row %d: time: %w", rowNum, err)
+		}
+		if cur == nil || !ts.Equal(curTS) {
+			if cur != nil && ts.Before(curTS) {
+				return nil, fmt.Errorf("ingest: csv row %d: out-of-order timestamp %s", rowNum, ts)
+			}
+			flush()
+			cur = pg.New()
+			curTS = ts
+		}
+		if err := applyRow(cur, m, col, rec, rowNum); err != nil {
+			return nil, err
+		}
+	}
+	flush()
+	return out, nil
+}
+
+func applyRow(g *pg.Graph, m Mapping, col map[string]int, rec []string, rowNum int) error {
+	cell := func(name string) (string, error) {
+		i, ok := col[name]
+		if !ok {
+			return "", fmt.Errorf("ingest: csv row %d: column %q not found", rowNum, name)
+		}
+		if i >= len(rec) {
+			return "", fmt.Errorf("ingest: csv row %d: short record", rowNum)
+		}
+		return strings.TrimSpace(rec[i]), nil
+	}
+
+	nodeIDs := map[string]int64{}
+	for _, ns := range m.Nodes {
+		raw, err := cell(ns.IDColumn)
+		if err != nil {
+			return err
+		}
+		id, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return fmt.Errorf("ingest: csv row %d: node id %q: %v", rowNum, raw, err)
+		}
+		id += ns.IDOffset
+		labels := append([]string(nil), ns.Labels...)
+		if ns.LabelColumn != "" {
+			l, err := cell(ns.LabelColumn)
+			if err != nil {
+				return err
+			}
+			if l != "" {
+				labels = append(labels, l)
+			}
+		}
+		props, err := buildProps(ns.Props, cell, rowNum)
+		if err != nil {
+			return err
+		}
+		g.AddNode(&value.Node{ID: id, Labels: labels, Props: props})
+		nodeIDs[ns.Var] = id
+	}
+
+	for _, rs := range m.Rels {
+		start, ok := nodeIDs[rs.Start]
+		if !ok {
+			return fmt.Errorf("ingest: csv mapping: unknown start node %q", rs.Start)
+		}
+		end, ok := nodeIDs[rs.End]
+		if !ok {
+			return fmt.Errorf("ingest: csv mapping: unknown end node %q", rs.End)
+		}
+		typ := rs.Type
+		if rs.TypeColumn != "" {
+			t, err := cell(rs.TypeColumn)
+			if err != nil {
+				return err
+			}
+			typ = t
+		}
+		if typ == "" {
+			return fmt.Errorf("ingest: csv row %d: empty relationship type", rowNum)
+		}
+		props, err := buildProps(rs.Props, cell, rowNum)
+		if err != nil {
+			return err
+		}
+		var id int64
+		if rs.IDColumn != "" {
+			raw, err := cell(rs.IDColumn)
+			if err != nil {
+				return err
+			}
+			id, err = strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return fmt.Errorf("ingest: csv row %d: rel id %q: %v", rowNum, raw, err)
+			}
+			id += rs.IDOffset
+		} else {
+			id = rowHash(typ, start, end, props) + rs.IDOffset
+		}
+		if err := g.AddRel(&value.Relationship{
+			ID: id, StartID: start, EndID: end, Type: typ, Props: props,
+		}); err != nil {
+			return fmt.Errorf("ingest: csv row %d: %w", rowNum, err)
+		}
+	}
+	return nil
+}
+
+func buildProps(specs []PropSpec, cell func(string) (string, error), rowNum int) (map[string]value.Value, error) {
+	props := map[string]value.Value{}
+	for _, ps := range specs {
+		raw, err := cell(ps.Column)
+		if err != nil {
+			return nil, err
+		}
+		if raw == "" {
+			if ps.Optional {
+				continue
+			}
+			return nil, fmt.Errorf("ingest: csv row %d: empty required column %q", rowNum, ps.Column)
+		}
+		v, err := parseCell(raw, ps.Type)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: csv row %d: column %q: %w", rowNum, ps.Column, err)
+		}
+		name := ps.As
+		if name == "" {
+			name = ps.Column
+		}
+		props[name] = v
+	}
+	return props, nil
+}
+
+func parseCell(raw string, t ColType) (value.Value, error) {
+	switch t {
+	case ColString, "":
+		return value.NewString(raw), nil
+	case ColInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(n), nil
+	case ColFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case ColBool:
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b), nil
+	case ColDateTime:
+		ts, err := value.ParseDateTime(raw)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewDateTime(ts), nil
+	case ColDuration:
+		d, err := value.ParseDuration(raw)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewDuration(d), nil
+	}
+	return value.Null, fmt.Errorf("unknown column type %q", t)
+}
+
+// rowHash derives a deterministic relationship id from the row content
+// so re-ingesting the same file merges under UNA.
+func rowHash(typ string, start, end int64, props map[string]value.Value) int64 {
+	h := uint64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(typ)
+	mix(strconv.FormatInt(start, 10))
+	mix(strconv.FormatInt(end, 10))
+	mix(value.Key(value.NewMap(props)))
+	return int64(h >> 1)
+}
+
+// RentalCSVMapping is the ready-made mapping for the micro-mobility
+// scenario: columns ts, vehicle, electric, station, user, kind
+// (rent|return), at, duration.
+func RentalCSVMapping() Mapping {
+	return Mapping{
+		TimeColumn: "ts",
+		Nodes: []NodeSpec{
+			{
+				Var: "v", IDColumn: "vehicle", IDOffset: 1_000_000,
+				Labels: []string{"Bike"}, LabelColumn: "extra_label",
+				Props: []PropSpec{{Column: "vehicle", Type: ColInt, As: "id"}},
+			},
+			{
+				Var: "s", IDColumn: "station",
+				Labels: []string{"Station"},
+				Props:  []PropSpec{{Column: "station", Type: ColInt, As: "id"}},
+			},
+		},
+		Rels: []RelSpec{
+			{
+				Start: "v", End: "s", TypeColumn: "kind",
+				Props: []PropSpec{
+					{Column: "user", Type: ColInt, As: "user_id"},
+					{Column: "at", Type: ColDateTime, As: "val_time"},
+					{Column: "duration", Type: ColInt, Optional: true},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,15 @@
+package ingest
+
+// PollBlocking consumes up to max pending events like Poll, but blocks
+// waiting for new records when the topic is drained. It returns 0 only
+// when the broker has been closed and everything was delivered.
+func (c *Connector) PollBlocking(max int) (int, error) {
+	recs, err := c.consumer.PollBlocking(max)
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	return c.deliver(recs)
+}

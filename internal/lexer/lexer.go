@@ -1,0 +1,482 @@
+// Package lexer tokenizes Cypher and Seraph query text (the grammars of
+// Figures 3 and 6 in the paper). Keywords are not reserved at the lexer
+// level: they are emitted as identifier tokens and matched
+// case-insensitively by the parser, which keeps property keys such as
+// `duration` usable.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Type enumerates token types.
+type Type int
+
+// Token types.
+const (
+	EOF Type = iota
+	Ident
+	Int
+	Float
+	String
+	Param    // $name
+	DateTime // ISO 8601 literal, e.g. 2022-10-14T14:45:00
+
+	LParen
+	RParen
+	LBracket
+	RBracket
+	LBrace
+	RBrace
+	Comma
+	Semicolon
+	Colon
+	Pipe
+	Dot
+	DotDot
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Caret
+	Eq
+	Neq // <>
+	Lt
+	Le
+	Gt
+	Ge
+	RegexEq // =~
+	PlusEq  // +=
+)
+
+var typeNames = map[Type]string{
+	EOF: "end of input", Ident: "identifier", Int: "integer", Float: "float",
+	String: "string", Param: "parameter", DateTime: "datetime",
+	LParen: "'('", RParen: "')'", LBracket: "'['", RBracket: "']'",
+	LBrace: "'{'", RBrace: "'}'", Comma: "','", Semicolon: "';'",
+	Colon: "':'", Pipe: "'|'", Dot: "'.'", DotDot: "'..'",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'", Percent: "'%'",
+	Caret: "'^'", Eq: "'='", Neq: "'<>'", Lt: "'<'", Le: "'<='",
+	Gt: "'>'", Ge: "'>='", RegexEq: "'=~'", PlusEq: "'+='",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Type Type
+	Text string
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is an identifier equal to kw,
+// case-insensitively. Used for keyword matching.
+func (t Token) Is(kw string) bool {
+	return t.Type == Ident && strings.EqualFold(t.Text, kw)
+}
+
+func (t Token) String() string {
+	if t.Type == EOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src, returning the token stream (terminated by an EOF
+// token) or a positioned error.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Type == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return &Error{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+				}
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(t Type, text string) Token {
+		return Token{Type: t, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(EOF, ""), nil
+	}
+	c := l.peek()
+	switch {
+	case isDigit(c):
+		return l.lexNumber(line, col)
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		return l.lexIdent(line, col)
+	}
+	switch c {
+	case '\'', '"':
+		return l.lexString(line, col)
+	case '`':
+		return l.lexBacktickIdent(line, col)
+	case '$':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.peek())) {
+			l.advance()
+		}
+		if l.pos == start {
+			return Token{}, l.errf("expected parameter name after '$'")
+		}
+		return mk(Param, l.src[start:l.pos]), nil
+	case '(':
+		l.advance()
+		return mk(LParen, "("), nil
+	case ')':
+		l.advance()
+		return mk(RParen, ")"), nil
+	case '[':
+		l.advance()
+		return mk(LBracket, "["), nil
+	case ']':
+		l.advance()
+		return mk(RBracket, "]"), nil
+	case '{':
+		l.advance()
+		return mk(LBrace, "{"), nil
+	case '}':
+		l.advance()
+		return mk(RBrace, "}"), nil
+	case ',':
+		l.advance()
+		return mk(Comma, ","), nil
+	case ';':
+		l.advance()
+		return mk(Semicolon, ";"), nil
+	case ':':
+		l.advance()
+		return mk(Colon, ":"), nil
+	case '|':
+		l.advance()
+		return mk(Pipe, "|"), nil
+	case '.':
+		l.advance()
+		if l.peek() == '.' {
+			l.advance()
+			return mk(DotDot, ".."), nil
+		}
+		return mk(Dot, "."), nil
+	case '+':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return mk(PlusEq, "+="), nil
+		}
+		return mk(Plus, "+"), nil
+	case '-':
+		l.advance()
+		return mk(Minus, "-"), nil
+	case '*':
+		l.advance()
+		return mk(Star, "*"), nil
+	case '/':
+		l.advance()
+		return mk(Slash, "/"), nil
+	case '%':
+		l.advance()
+		return mk(Percent, "%"), nil
+	case '^':
+		l.advance()
+		return mk(Caret, "^"), nil
+	case '=':
+		l.advance()
+		if l.peek() == '~' {
+			l.advance()
+			return mk(RegexEq, "=~"), nil
+		}
+		return mk(Eq, "="), nil
+	case '<':
+		l.advance()
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(Le, "<="), nil
+		case '>':
+			l.advance()
+			return mk(Neq, "<>"), nil
+		}
+		return mk(Lt, "<"), nil
+	case '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Ge, ">="), nil
+		}
+		return mk(Gt, ">"), nil
+	}
+	return Token{}, l.errf("unexpected character %q", string(rune(c)))
+}
+
+func (l *lexer) lexNumber(line, col int) (Token, error) {
+	// An ISO 8601 datetime literal starts like an integer; detect
+	// YYYY-MM-DD prefixes and lex the full datetime in one token.
+	if dt, ok := l.tryDateTime(); ok {
+		return Token{Type: DateTime, Text: dt, Line: line, Col: col}, nil
+	}
+	start := l.pos
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	// A '.' starts a fraction only if followed by a digit ('1..3' is
+	// Int DotDot Int).
+	if l.peek() == '.' && isDigit(l.peekAt(1)) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		return Token{Type: Float, Text: text, Line: line, Col: col}, nil
+	}
+	return Token{Type: Int, Text: text, Line: line, Col: col}, nil
+}
+
+// tryDateTime greedily matches an ISO 8601 datetime at the current
+// position: YYYY-MM-DD[THH:MM[:SS][Z|±HH:MM]]. It returns the matched
+// text and advances past it on success.
+func (l *lexer) tryDateTime() (string, bool) {
+	s := l.src[l.pos:]
+	n := matchDateTime(s)
+	if n == 0 {
+		return "", false
+	}
+	text := s[:n]
+	for i := 0; i < n; i++ {
+		l.advance()
+	}
+	return text, true
+}
+
+func matchDateTime(s string) int {
+	digits := func(s string, n int) bool {
+		if len(s) < n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !isDigit(s[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// date part: YYYY-MM-DD
+	if !digits(s, 4) || len(s) < 10 || s[4] != '-' || !digits(s[5:], 2) || s[7] != '-' || !digits(s[8:], 2) {
+		return 0
+	}
+	n := 10
+	// optional time part
+	if len(s) > n && (s[n] == 'T') && digits(s[n+1:], 2) && len(s) > n+3 && s[n+3] == ':' && digits(s[n+4:], 2) {
+		n += 6
+		if len(s) > n && s[n] == ':' && digits(s[n+1:], 2) {
+			n += 3
+		}
+		// optional zone
+		if len(s) > n && s[n] == 'Z' {
+			n++
+		} else if len(s) > n+5 && (s[n] == '+' || s[n] == '-') &&
+			digits(s[n+1:], 2) && s[n+3] == ':' && digits(s[n+4:], 2) {
+			n += 6
+		}
+	}
+	return n
+}
+
+func (l *lexer) lexIdent(line, col int) (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+	}
+	if l.pos == start {
+		// A byte ≥ utf8.RuneSelf that is not a valid identifier rune
+		// (e.g. a stray continuation byte): reject it rather than
+		// emitting an empty token and looping forever.
+		return Token{}, l.errf("unexpected character %q", l.src[l.pos:l.pos+1])
+	}
+	return Token{Type: Ident, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+}
+
+func (l *lexer) lexBacktickIdent(line, col int) (Token, error) {
+	l.advance() // opening backtick
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, &Error{Line: line, Col: col, Msg: "unterminated backtick identifier"}
+		}
+		c := l.advance()
+		if c == '`' {
+			return Token{Type: Ident, Text: b.String(), Line: line, Col: col}, nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (l *lexer) lexString(line, col int) (Token, error) {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, &Error{Line: line, Col: col, Msg: "unterminated string literal"}
+		}
+		c := l.advance()
+		if c == quote {
+			return Token{Type: String, Text: b.String(), Line: line, Col: col}, nil
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, &Error{Line: line, Col: col, Msg: "unterminated string escape"}
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '\\', '\'', '"':
+			b.WriteByte(e)
+		default:
+			return Token{}, l.errf("unknown string escape \\%s", string(rune(e)))
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

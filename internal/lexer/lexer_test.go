@@ -1,0 +1,190 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func types(toks []Token) []Type {
+	out := make([]Type, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Type)
+	}
+	return out
+}
+
+func checkTypes(t *testing.T, src string, want ...Type) {
+	t.Helper()
+	got := types(lex(t, src))
+	want = append(want, EOF)
+	if len(got) != len(want) {
+		t.Fatalf("Lex(%q): got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Lex(%q)[%d] = %s, want %s", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	checkTypes(t, "MATCH (n:Person) RETURN n",
+		Ident, LParen, Ident, Colon, Ident, RParen, Ident, Ident)
+	checkTypes(t, "a + b - c * d / e % f ^ g",
+		Ident, Plus, Ident, Minus, Ident, Star, Ident, Slash, Ident, Percent, Ident, Caret, Ident)
+	checkTypes(t, "a = b <> c < d <= e > f >= g",
+		Ident, Eq, Ident, Neq, Ident, Lt, Ident, Le, Ident, Gt, Ident, Ge, Ident)
+	checkTypes(t, "x =~ 'a.*' += y", Ident, RegexEq, String, PlusEq, Ident)
+	checkTypes(t, "[1..2]", LBracket, Int, DotDot, Int, RBracket)
+	checkTypes(t, "a.b..c", Ident, Dot, Ident, DotDot, Ident)
+	checkTypes(t, "$param", Param)
+	checkTypes(t, "{x: 1}", LBrace, Ident, Colon, Int, RBrace)
+	checkTypes(t, "a|b;", Ident, Pipe, Ident, Semicolon)
+}
+
+func TestNumbers(t *testing.T) {
+	checkTypes(t, "42", Int)
+	checkTypes(t, "4.5", Float)
+	checkTypes(t, "4.5e3", Float)
+	checkTypes(t, "4e-2", Float)
+	checkTypes(t, "1..3", Int, DotDot, Int) // range, not float
+	toks := lex(t, "3.25")
+	if toks[0].Text != "3.25" {
+		t.Errorf("float text = %q", toks[0].Text)
+	}
+}
+
+func TestArrowSequences(t *testing.T) {
+	// Relationship arrows lex as separate punctuation the parser
+	// reassembles.
+	checkTypes(t, "(a)-[r]->(b)",
+		LParen, Ident, RParen, Minus, LBracket, Ident, RBracket, Minus, Gt, LParen, Ident, RParen)
+	checkTypes(t, "(a)<-[r]-(b)",
+		LParen, Ident, RParen, Lt, Minus, LBracket, Ident, RBracket, Minus, LParen, Ident, RParen)
+	checkTypes(t, "(a)--(b)", LParen, Ident, RParen, Minus, Minus, LParen, Ident, RParen)
+}
+
+func TestStrings(t *testing.T) {
+	toks := lex(t, `'it\'s' "two\nlines"`)
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped quote: %q", toks[0].Text)
+	}
+	if toks[1].Text != "two\nlines" {
+		t.Errorf("escaped newline: %q", toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string must fail")
+	}
+	if _, err := Lex(`'bad \q escape'`); err == nil {
+		t.Error("unknown escape must fail")
+	}
+}
+
+func TestBacktickIdent(t *testing.T) {
+	toks := lex(t, "`E-Bike`")
+	if toks[0].Type != Ident || toks[0].Text != "E-Bike" {
+		t.Errorf("backtick ident: %+v", toks[0])
+	}
+	if _, err := Lex("`oops"); err == nil {
+		t.Error("unterminated backtick must fail")
+	}
+}
+
+func TestDateTimeLiterals(t *testing.T) {
+	cases := []string{
+		"2022-10-14",
+		"2022-10-14T14:45",
+		"2022-10-14T14:45:00",
+		"2022-10-14T14:45:00Z",
+		"2022-10-14T14:45:00+02:00",
+	}
+	for _, src := range cases {
+		toks := lex(t, src)
+		if toks[0].Type != DateTime || toks[0].Text != src {
+			t.Errorf("Lex(%q) = %v %q, want DateTime", src, toks[0].Type, toks[0].Text)
+		}
+	}
+	// Arithmetic stays arithmetic.
+	checkTypes(t, "20 - 10 - 14", Int, Minus, Int, Minus, Int)
+}
+
+func TestComments(t *testing.T) {
+	checkTypes(t, "a // comment\nb", Ident, Ident)
+	checkTypes(t, "a /* multi\nline */ b", Ident, Ident)
+	if _, err := Lex("a /* unterminated"); err == nil {
+		t.Error("unterminated block comment must fail")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d", toks[1].Line, toks[1].Col)
+	}
+	_, err := Lex("a ~ b")
+	if err == nil || !strings.Contains(err.Error(), "1:3") {
+		t.Errorf("error should carry position, got %v", err)
+	}
+}
+
+func TestKeywordMatching(t *testing.T) {
+	toks := lex(t, "match MATCH Match")
+	for _, tok := range toks[:3] {
+		if !tok.Is("MATCH") || !tok.Is("match") {
+			t.Errorf("Is() must be case-insensitive: %+v", tok)
+		}
+	}
+	if toks[0].Is("RETURN") {
+		t.Error("Is() false positive")
+	}
+}
+
+// TestTable3Keywords checks that every keyword of the Seraph surface
+// syntax (the paper's syntax additions plus the Cypher core) lexes as a
+// plain identifier, keeping them usable as property names.
+func TestTable3Keywords(t *testing.T) {
+	keywords := []string{
+		"REGISTER", "QUERY", "STARTING", "AT", "WITHIN", "EMIT",
+		"SNAPSHOT", "ON", "ENTERING", "EXITING", "EVERY",
+		"MATCH", "OPTIONAL", "WHERE", "WITH", "RETURN", "UNWIND",
+		"UNION", "ALL", "AND", "OR", "XOR", "NOT", "IN", "AS",
+		"ORDER", "BY", "SKIP", "LIMIT", "DISTINCT",
+		"CREATE", "MERGE", "SET", "DELETE", "DETACH", "REMOVE",
+	}
+	for _, kw := range keywords {
+		toks := lex(t, kw)
+		if toks[0].Type != Ident || !toks[0].Is(kw) {
+			t.Errorf("keyword %s must lex as identifier", kw)
+		}
+	}
+}
+
+func TestUnicodeIdent(t *testing.T) {
+	toks := lex(t, "größe")
+	if toks[0].Type != Ident || toks[0].Text != "größe" {
+		t.Errorf("unicode ident: %+v", toks[0])
+	}
+}
+
+func TestInvalidUTF8Rejected(t *testing.T) {
+	// A stray continuation byte must be a lex error, not an empty
+	// identifier (regression found by FuzzParseQuery).
+	if _, err := Lex("RETURN a AS \x82\x82"); err == nil {
+		t.Fatal("invalid UTF-8 must be rejected")
+	}
+	if _, err := Lex("\x82"); err == nil {
+		t.Fatal("lone continuation byte must be rejected")
+	}
+}

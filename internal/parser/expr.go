@@ -1,0 +1,682 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"seraph/internal/ast"
+	"seraph/internal/lexer"
+	"seraph/internal/value"
+)
+
+// parseExpr parses a full expression (lowest precedence: OR).
+func (p *parser) parseExpr() (ast.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("XOR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpXor, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: ast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: ast.OpNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var cmpTokens = map[lexer.Type]ast.CmpOp{
+	lexer.Eq:  ast.CmpEq,
+	lexer.Neq: ast.CmpNeq,
+	lexer.Lt:  ast.CmpLt,
+	lexer.Le:  ast.CmpLe,
+	lexer.Gt:  ast.CmpGt,
+	lexer.Ge:  ast.CmpGe,
+}
+
+// parseComparison parses chained comparisons: a <= b < c desugars to
+// (a <= b) AND (b < c) at evaluation time.
+func (p *parser) parseComparison() (ast.Expr, error) {
+	first, err := p.parsePredicated()
+	if err != nil {
+		return nil, err
+	}
+	cmp := &ast.Comparison{First: first}
+	for {
+		op, ok := cmpTokens[p.peek().Type]
+		if !ok {
+			break
+		}
+		p.next()
+		r, err := p.parsePredicated()
+		if err != nil {
+			return nil, err
+		}
+		cmp.Ops = append(cmp.Ops, op)
+		cmp.Rest = append(cmp.Rest, r)
+	}
+	if len(cmp.Ops) == 0 {
+		return first, nil
+	}
+	return cmp, nil
+}
+
+// parsePredicated parses an additive expression followed by postfix
+// predicates: IN, STARTS WITH, ENDS WITH, CONTAINS, =~, IS [NOT] NULL.
+func (p *parser) parsePredicated() (ast.Expr, error) {
+	x, err := p.parseAddSub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch t := p.peek(); {
+		case t.Is("IN"):
+			p.next()
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Binary{Op: ast.OpIn, L: x, R: r}
+		case t.Is("STARTS"):
+			p.next()
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Binary{Op: ast.OpStartsWith, L: x, R: r}
+		case t.Is("ENDS"):
+			p.next()
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Binary{Op: ast.OpEndsWith, L: x, R: r}
+		case t.Is("CONTAINS"):
+			p.next()
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Binary{Op: ast.OpContains, L: x, R: r}
+		case t.Type == lexer.RegexEq:
+			p.next()
+			r, err := p.parseAddSub()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Binary{Op: ast.OpRegex, L: x, R: r}
+		case t.Is("IS"):
+			p.next()
+			notNull := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			if notNull {
+				x = &ast.Unary{Op: ast.OpIsNotNull, X: x}
+			} else {
+				x = &ast.Unary{Op: ast.OpIsNull, X: x}
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseAddSub() (ast.Expr, error) {
+	l, err := p.parseMulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Type {
+		case lexer.Plus:
+			p.next()
+			r, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.Binary{Op: ast.OpAdd, L: l, R: r}
+		case lexer.Minus:
+			p.next()
+			r, err := p.parseMulDiv()
+			if err != nil {
+				return nil, err
+			}
+			l = &ast.Binary{Op: ast.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMulDiv() (ast.Expr, error) {
+	l, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ast.BinaryOp
+		switch p.peek().Type {
+		case lexer.Star:
+			op = ast.OpMul
+		case lexer.Slash:
+			op = ast.OpDiv
+		case lexer.Percent:
+			op = ast.OpMod
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parsePow() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(lexer.Caret) {
+		r, err := p.parsePow() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Binary{Op: ast.OpPow, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	switch p.peek().Type {
+	case lexer.Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of numeric literals for cleaner ASTs.
+		if lit, ok := x.(*ast.Literal); ok && lit.Val.IsNumber() {
+			if lit.Val.IsInt() {
+				return &ast.Literal{Val: value.NewInt(-lit.Val.Int())}, nil
+			}
+			return &ast.Literal{Val: value.NewFloat(-lit.Val.Float())}, nil
+		}
+		return &ast.Unary{Op: ast.OpNeg, X: x}, nil
+	case lexer.Plus:
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Type {
+		case lexer.Dot:
+			p.next()
+			key, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Prop{X: x, Key: key}
+		case lexer.LBrace:
+			// Map projection: only valid directly on a variable
+			// (Cypher's `n {.name, total: x}` form).
+			if _, ok := x.(*ast.Var); !ok {
+				return x, nil
+			}
+			proj, err := p.parseMapProjection(x)
+			if err != nil {
+				return nil, err
+			}
+			x = proj
+		case lexer.LBracket:
+			p.next()
+			var from ast.Expr
+			if p.peek().Type != lexer.DotDot {
+				from, err = p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(lexer.DotDot) {
+				var to ast.Expr
+				if p.peek().Type != lexer.RBracket {
+					to, err = p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+				}
+				if _, err := p.expect(lexer.RBracket); err != nil {
+					return nil, err
+				}
+				x = &ast.Slice{X: x, From: from, To: to}
+			} else {
+				if _, err := p.expect(lexer.RBracket); err != nil {
+					return nil, err
+				}
+				x = &ast.Index{X: x, I: from}
+			}
+		default:
+			return x, nil
+		}
+	}
+}
+
+var quantKinds = map[string]ast.QuantKind{
+	"all": ast.QuantAll, "any": ast.QuantAny, "none": ast.QuantNone, "single": ast.QuantSingle,
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Type {
+	case lexer.Int:
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "invalid integer literal %q", t.Text)
+		}
+		return &ast.Literal{Val: value.NewInt(n)}, nil
+	case lexer.Float:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf(t, "invalid float literal %q", t.Text)
+		}
+		return &ast.Literal{Val: value.NewFloat(f)}, nil
+	case lexer.String:
+		p.next()
+		return &ast.Literal{Val: value.NewString(t.Text)}, nil
+	case lexer.DateTime:
+		p.next()
+		dt, err := value.ParseDateTime(t.Text)
+		if err != nil {
+			return nil, p.errf(t, "%v", err)
+		}
+		return &ast.Literal{Val: value.NewDateTime(dt)}, nil
+	case lexer.Param:
+		p.next()
+		return &ast.Param{Name: t.Text}, nil
+	case lexer.LBracket:
+		return p.parseListOrComprehension()
+	case lexer.LBrace:
+		m, err := p.parseMapLit()
+		if err != nil {
+			return nil, err
+		}
+		return m, nil
+	case lexer.LParen:
+		// Either a parenthesized expression or a pattern predicate
+		// such as WHERE (a)-[:KNOWS]->(b). Speculate on the pattern.
+		if pp, ok := p.tryPatternPredicate(); ok {
+			return pp, nil
+		}
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case lexer.Ident:
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf(t, "expected an expression, found %s", t)
+}
+
+func (p *parser) parseIdentExpr() (ast.Expr, error) {
+	t := p.next()
+	lower := strings.ToLower(t.Text)
+	switch lower {
+	case "true":
+		return &ast.Literal{Val: value.True}, nil
+	case "false":
+		return &ast.Literal{Val: value.False}, nil
+	case "null":
+		return &ast.Literal{Val: value.Null}, nil
+	case "case":
+		return p.parseCase()
+	}
+	if p.peek().Type != lexer.LParen {
+		return &ast.Var{Name: t.Text}, nil
+	}
+	// Function-like forms.
+	if k, ok := quantKinds[lower]; ok {
+		return p.parseQuantifier(k)
+	}
+	switch lower {
+	case "reduce":
+		return p.parseReduce()
+	case "exists":
+		// EXISTS((a)-[..]-(b)) is a pattern predicate; exists(expr) is
+		// a property-existence function.
+		if p.peekAt(1).Type == lexer.LParen {
+			p.next() // outer '('
+			if pp, ok := p.tryPatternPredicate(); ok {
+				if _, err := p.expect(lexer.RParen); err != nil {
+					return nil, err
+				}
+				return pp, nil
+			}
+			// Fall through: parenthesized expression argument.
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.FuncCall{Name: "exists", Args: []ast.Expr{x}}, nil
+		}
+	case "count":
+		if p.peekAt(1).Type == lexer.Star {
+			p.next() // '('
+			p.next() // '*'
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.CountStar{}, nil
+		}
+	}
+	p.next() // '('
+	call := &ast.FuncCall{Name: lower}
+	if p.acceptKeyword("DISTINCT") {
+		call.Distinct = true
+	}
+	if p.accept(lexer.RParen) {
+		return call, nil
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, a)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+// parseMapProjection parses v {.key, .*, k: expr, other} with the
+// opening brace pending.
+func (p *parser) parseMapProjection(base ast.Expr) (ast.Expr, error) {
+	p.next() // '{'
+	mp := &ast.MapProjection{X: base}
+	if p.accept(lexer.RBrace) {
+		return mp, nil
+	}
+	for {
+		switch {
+		case p.accept(lexer.Dot):
+			if p.accept(lexer.Star) {
+				mp.Items = append(mp.Items, ast.MapProjItem{AllProps: true})
+				break
+			}
+			key, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			mp.Items = append(mp.Items, ast.MapProjItem{Key: key, Prop: true})
+		default:
+			key, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(lexer.Colon) {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				mp.Items = append(mp.Items, ast.MapProjItem{Key: key, Value: v})
+			} else {
+				// Bare variable: key and value share the name.
+				mp.Items = append(mp.Items, ast.MapProjItem{Key: key, Value: &ast.Var{Name: key}})
+			}
+		}
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+// parseReduce parses reduce(acc = init, v IN list | expr).
+func (p *parser) parseReduce() (ast.Expr, error) {
+	p.next() // '('
+	acc, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Eq); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Comma); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Pipe); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return &ast.Reduce{Acc: acc, Init: init, Var: v, List: list, Expr: body}, nil
+}
+
+func (p *parser) parseQuantifier(kind ast.QuantKind) (ast.Expr, error) {
+	p.next() // '('
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	where, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return &ast.Quantifier{Kind: kind, Var: v, List: list, Where: where}, nil
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	c := &ast.Case{}
+	if !p.peek().Is("WHEN") {
+		test, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Test = test
+	}
+	for p.acceptKeyword("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.CaseWhen{When: w, Then: th})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf(p.peek(), "CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseListOrComprehension parses [e1, e2, ...] or
+// [v IN list WHERE pred | proj].
+func (p *parser) parseListOrComprehension() (ast.Expr, error) {
+	p.next() // '['
+	if p.accept(lexer.RBracket) {
+		return &ast.ListLit{}, nil
+	}
+	// Lookahead: ident IN means comprehension.
+	if p.peek().Type == lexer.Ident && p.peekAt(1).Is("IN") {
+		v := p.next().Text
+		p.next() // IN
+		list, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		lc := &ast.ListComp{Var: v, List: list}
+		if p.acceptKeyword("WHERE") {
+			w, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lc.Where = w
+		}
+		if p.accept(lexer.Pipe) {
+			proj, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			lc.Proj = proj
+		}
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		return lc, nil
+	}
+	lst := &ast.ListLit{}
+	for {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		lst.Items = append(lst.Items, x)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RBracket); err != nil {
+		return nil, err
+	}
+	return lst, nil
+}
+
+// tryPatternPredicate speculatively parses a relationship pattern used
+// as a boolean predicate. It requires at least one relationship in the
+// chain (a bare parenthesized variable is an expression, not a
+// pattern). On failure the token position is restored.
+func (p *parser) tryPatternPredicate() (ast.Expr, bool) {
+	save := p.pos
+	var part ast.PatternPart
+	if err := p.parsePatternChain(&part); err != nil || len(part.Rels) == 0 {
+		p.pos = save
+		return nil, false
+	}
+	return &ast.PatternPredicate{Part: part}, true
+}

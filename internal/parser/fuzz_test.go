@@ -1,0 +1,61 @@
+package parser
+
+import (
+	"testing"
+
+	"seraph/internal/ast"
+)
+
+// FuzzParseQuery checks the parser never panics and that anything it
+// accepts survives a print → re-parse round trip.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"MATCH (n) RETURN n",
+		"MATCH (a)-[r:K*1..3]->(b) WHERE a.x > 1 RETURN a, count(*) AS n ORDER BY n DESC LIMIT 3",
+		"UNWIND [1, 2] AS x WITH x WHERE x > 1 RETURN x",
+		"RETURN reduce(a = 0, v IN [1] | a + v) AS t, [y IN [1] WHERE y > 0 | y] AS c",
+		"CREATE (a:X {v: 1})-[:R]->(b)",
+		"MERGE (a:K {id: 1}) ON CREATE SET a.n = true",
+		"MATCH p = shortestPath((a)-[*..5]-(b)) RETURN p",
+		"RETURN CASE x WHEN 1 THEN 'a' ELSE 'b' END",
+		"RETURN {a: 1, b: [2, 3]}.a",
+		"RETURN n {.x, .*, k: 1 + 2}",
+		"MATCH (a) WHERE (a)-->(b) RETURN 1 UNION ALL RETURN 2",
+		"RETURN 'x' =~ 'y' AND 1 <= 2 <= 3 XOR false",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := ast.QueryString(q)
+		if _, err := ParseQuery(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, printed, err)
+		}
+	})
+}
+
+// FuzzParseRegistration does the same for Seraph registrations.
+func FuzzParseRegistration(f *testing.F) {
+	seeds := []string{
+		"REGISTER QUERY q STARTING AT NOW { MATCH (a) WITHIN PT1S EMIT a EVERY PT1S }",
+		"REGISTER QUERY q STARTING AT 2022-10-14T14:45:00 { MATCH (a:X)-[r]->(b) WITHIN PT1H WHERE r.v > 0 EMIT a.id ON ENTERING EVERY PT5M }",
+		"REGISTER QUERY q STARTING AT NOW { MATCH (a) WITHIN PT10S RETURN count(*) AS n }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := ParseRegistration(src)
+		if err != nil {
+			return
+		}
+		printed := ast.RegistrationString(r)
+		if _, err := ParseRegistration(printed); err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, printed, err)
+		}
+	})
+}

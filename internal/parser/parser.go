@@ -1,0 +1,771 @@
+// Package parser implements a recursive-descent parser for the Cypher
+// core grammar (Figure 3 of the Seraph paper) extended with Seraph's
+// continuous-query syntax (Figure 6): REGISTER QUERY ... STARTING AT
+// ... { MATCH ... WITHIN ... EMIT ... SNAPSHOT | ON ENTERING | ON
+// EXITING ... EVERY ... }.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/lexer"
+	"seraph/internal/value"
+)
+
+// Error is a parse error with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// ParseQuery parses a one-time Cypher query (possibly a UNION of
+// single queries).
+func ParseQuery(src string) (*ast.Query, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	if err := validateTerminators(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// validateTerminators enforces the Figure 3 grammar's closing rule:
+// every single query ends with RETURN or an updating clause — a query
+// cannot trail off after MATCH, WITH or UNWIND.
+func validateTerminators(q *ast.Query) error {
+	for _, part := range q.Parts {
+		last := part.Clauses[len(part.Clauses)-1]
+		switch last.(type) {
+		case *ast.Return, *ast.Create, *ast.Merge, *ast.Set, *ast.Remove, *ast.Delete, *ast.Foreach:
+		default:
+			return fmt.Errorf("parse error: query must end with RETURN or an updating clause, not %s", clauseName(last))
+		}
+	}
+	return nil
+}
+
+func clauseName(c ast.Clause) string {
+	switch c.(type) {
+	case *ast.Match:
+		return "MATCH"
+	case *ast.Unwind:
+		return "UNWIND"
+	case *ast.With:
+		return "WITH"
+	case *ast.Emit:
+		return "EMIT"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// ParseRegistration parses a Seraph REGISTER QUERY statement.
+func ParseRegistration(src string) (*ast.Registration, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.parseRegistration()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Parse parses either a Seraph registration (starting with REGISTER)
+// or a one-time Cypher query, returning *ast.Registration or
+// *ast.Query.
+func Parse(src string) (any, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Is("REGISTER") {
+		r, err := p.parseRegistration()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEOF(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	q, err := p.parseQuery(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) lexer.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Type != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t lexer.Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(tt lexer.Type) (lexer.Token, error) {
+	t := p.peek()
+	if t.Type != tt {
+		return t, p.errf(t, "expected %s, found %s", tt, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if !t.Is(kw) {
+		return p.errf(t, "expected %s, found %s", strings.ToUpper(kw), t)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().Is(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) accept(tt lexer.Type) bool {
+	if p.peek().Type == tt {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectEOF() error {
+	p.accept(lexer.Semicolon)
+	if t := p.peek(); t.Type != lexer.EOF {
+		return p.errf(t, "unexpected trailing input %s", t)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t, err := p.expect(lexer.Ident)
+	if err != nil {
+		return "", err
+	}
+	return t.Text, nil
+}
+
+// ---------------------------------------------------------------------------
+// Registrations (Figure 6)
+
+func (p *parser) parseRegistration() (*ast.Registration, error) {
+	if err := p.expectKeyword("REGISTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("QUERY"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	reg := &ast.Registration{Name: name}
+	if err := p.expectKeyword("STARTING"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AT"); err != nil {
+		return nil, err
+	}
+	switch t := p.peek(); {
+	case t.Is("NOW"):
+		p.next()
+		reg.StartNow = true
+	case t.Type == lexer.DateTime:
+		p.next()
+		at, err := value.ParseDateTime(t.Text)
+		if err != nil {
+			return nil, p.errf(t, "%v", err)
+		}
+		reg.StartAt = at
+	case t.Type == lexer.String:
+		p.next()
+		at, err := value.ParseDateTime(t.Text)
+		if err != nil {
+			return nil, p.errf(t, "%v", err)
+		}
+		reg.StartAt = at
+	default:
+		return nil, p.errf(t, "expected datetime or NOW after STARTING AT, found %s", t)
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery(true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return nil, err
+	}
+	reg.Body = q
+	// Validate the body terminator: Seraph registrations end in EMIT
+	// (streaming output) or RETURN (single result), per Figure 6.
+	last := q.Parts[len(q.Parts)-1]
+	if len(last.Clauses) == 0 {
+		return nil, fmt.Errorf("parse error: empty registration body")
+	}
+	switch last.Clauses[len(last.Clauses)-1].(type) {
+	case *ast.Emit, *ast.Return:
+	default:
+		return nil, fmt.Errorf("parse error: registration body must end with EMIT or RETURN")
+	}
+	return reg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Queries and clauses
+
+func (p *parser) parseQuery(seraph bool) (*ast.Query, error) {
+	q := &ast.Query{}
+	for {
+		sq, err := p.parseSingleQuery(seraph)
+		if err != nil {
+			return nil, err
+		}
+		q.Parts = append(q.Parts, sq)
+		if p.peek().Is("UNION") {
+			p.next()
+			q.UnionAll = append(q.UnionAll, p.acceptKeyword("ALL"))
+			continue
+		}
+		return q, nil
+	}
+}
+
+func (p *parser) parseSingleQuery(seraph bool) (*ast.SingleQuery, error) {
+	sq := &ast.SingleQuery{}
+	for {
+		t := p.peek()
+		var (
+			c   ast.Clause
+			err error
+		)
+		switch {
+		case t.Is("MATCH"):
+			c, err = p.parseMatch(false, seraph)
+		case t.Is("OPTIONAL"):
+			p.next()
+			if err := p.expectKeyword("MATCH"); err != nil {
+				return nil, err
+			}
+			c, err = p.parseMatch(true, seraph)
+		case t.Is("UNWIND"):
+			c, err = p.parseUnwind()
+		case t.Is("WITH"):
+			c, err = p.parseWith()
+		case t.Is("RETURN"):
+			c, err = p.parseReturn()
+		case t.Is("EMIT") && seraph:
+			c, err = p.parseEmit()
+		case t.Is("CREATE"):
+			c, err = p.parseCreate()
+		case t.Is("MERGE"):
+			c, err = p.parseMerge()
+		case t.Is("SET"):
+			c, err = p.parseSet()
+		case t.Is("REMOVE"):
+			c, err = p.parseRemove()
+		case t.Is("DELETE"):
+			c, err = p.parseDelete(false)
+		case t.Is("DETACH"):
+			p.next()
+			if !p.peek().Is("DELETE") {
+				return nil, p.errf(p.peek(), "expected DELETE after DETACH, found %s", p.peek())
+			}
+			c, err = p.parseDelete(true)
+		case t.Is("FOREACH"):
+			c, err = p.parseForeach()
+		default:
+			if len(sq.Clauses) == 0 {
+				return nil, p.errf(t, "expected a clause (MATCH, UNWIND, WITH, RETURN, ...), found %s", t)
+			}
+			return sq, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		sq.Clauses = append(sq.Clauses, c)
+		switch c.(type) {
+		case *ast.Return, *ast.Emit:
+			return sq, nil
+		}
+	}
+}
+
+func (p *parser) parseMatch(optional, seraph bool) (*ast.Match, error) {
+	// MATCH keyword already consumed by caller? No: consumed here for
+	// the non-optional path.
+	if p.peek().Is("MATCH") {
+		p.next()
+	}
+	m := &ast.Match{Optional: optional}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	m.Pattern = pat
+	if seraph && p.peek().Is("WITHIN") {
+		p.next()
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		m.Within = d
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		m.Where = w
+	}
+	return m, nil
+}
+
+func (p *parser) parseDuration() (time.Duration, error) {
+	t := p.peek()
+	var text string
+	switch t.Type {
+	case lexer.Ident, lexer.String:
+		text = t.Text
+	default:
+		return 0, p.errf(t, "expected ISO 8601 duration (e.g. PT5M), found %s", t)
+	}
+	d, err := value.ParseDuration(text)
+	if err != nil {
+		return 0, p.errf(t, "%v", err)
+	}
+	p.next()
+	return d, nil
+}
+
+func (p *parser) parseUnwind() (*ast.Unwind, error) {
+	p.next() // UNWIND
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	alias, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Unwind{X: x, Alias: alias}, nil
+}
+
+func (p *parser) parseProjection() (ast.Projection, error) {
+	var proj ast.Projection
+	if p.acceptKeyword("DISTINCT") {
+		proj.Distinct = true
+	}
+	if p.accept(lexer.Star) {
+		proj.Star = true
+		// RETURN *, extra, ... is allowed.
+		if !p.accept(lexer.Comma) {
+			goto tail
+		}
+	}
+	for {
+		x, err := p.parseExpr()
+		if err != nil {
+			return proj, err
+		}
+		item := ast.ReturnItem{X: x}
+		if p.acceptKeyword("AS") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return proj, err
+			}
+			item.Alias = alias
+		}
+		proj.Items = append(proj.Items, item)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+tail:
+	if p.peek().Is("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return proj, err
+		}
+		for {
+			x, err := p.parseExpr()
+			if err != nil {
+				return proj, err
+			}
+			item := ast.SortItem{X: x}
+			switch {
+			case p.acceptKeyword("DESC"), p.acceptKeyword("DESCENDING"):
+				item.Desc = true
+			case p.acceptKeyword("ASC"), p.acceptKeyword("ASCENDING"):
+			}
+			proj.OrderBy = append(proj.OrderBy, item)
+			if !p.accept(lexer.Comma) {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("SKIP") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return proj, err
+		}
+		proj.Skip = x
+	}
+	if p.acceptKeyword("LIMIT") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return proj, err
+		}
+		proj.Limit = x
+	}
+	return proj, nil
+}
+
+func (p *parser) parseWith() (*ast.With, error) {
+	p.next() // WITH
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	w := &ast.With{Projection: proj}
+	if p.acceptKeyword("WHERE") {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		w.Where = x
+	}
+	return w, nil
+}
+
+func (p *parser) parseReturn() (*ast.Return, error) {
+	p.next() // RETURN
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Return{Projection: proj}, nil
+}
+
+// parseEmit parses EMIT items [SNAPSHOT | ON ENTERING | ON EXITING]
+// EVERY duration (Figure 6). The stream operator defaults to SNAPSHOT.
+func (p *parser) parseEmit() (*ast.Emit, error) {
+	p.next() // EMIT
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	e := &ast.Emit{Projection: proj, Op: ast.OpSnapshot}
+	switch t := p.peek(); {
+	case t.Is("SNAPSHOT"):
+		p.next()
+		e.Op = ast.OpSnapshot
+	case t.Is("ON"):
+		p.next()
+		switch t2 := p.peek(); {
+		case t2.Is("ENTERING"):
+			p.next()
+			e.Op = ast.OpOnEntering
+		case t2.Is("EXITING"):
+			p.next()
+			e.Op = ast.OpOnExiting
+		default:
+			return nil, p.errf(t2, "expected ENTERING or EXITING after ON, found %s", t2)
+		}
+	}
+	if err := p.expectKeyword("EVERY"); err != nil {
+		return nil, err
+	}
+	d, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	e.Every = d
+	return e, nil
+}
+
+func (p *parser) parseCreate() (*ast.Create, error) {
+	p.next() // CREATE
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Create{Pattern: pat}, nil
+}
+
+func (p *parser) parseMerge() (*ast.Merge, error) {
+	p.next() // MERGE
+	part, err := p.parsePatternPart()
+	if err != nil {
+		return nil, err
+	}
+	m := &ast.Merge{Part: part}
+	for p.peek().Is("ON") {
+		p.next()
+		switch t := p.peek(); {
+		case t.Is("CREATE"):
+			p.next()
+			if err := p.expectKeyword("SET"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseSetItems()
+			if err != nil {
+				return nil, err
+			}
+			m.OnCreate = append(m.OnCreate, items...)
+		case t.Is("MATCH"):
+			p.next()
+			if err := p.expectKeyword("SET"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseSetItems()
+			if err != nil {
+				return nil, err
+			}
+			m.OnMatch = append(m.OnMatch, items...)
+		default:
+			return nil, p.errf(t, "expected CREATE or MATCH after ON, found %s", t)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseSet() (*ast.Set, error) {
+	p.next() // SET
+	items, err := p.parseSetItems()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Set{Items: items}, nil
+}
+
+func (p *parser) parseSetItems() ([]ast.SetItem, error) {
+	var items []ast.SetItem
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var item ast.SetItem
+		switch {
+		case p.peek().Type == lexer.Dot:
+			var target ast.Expr = &ast.Var{Name: name}
+			for p.accept(lexer.Dot) {
+				key, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				target = &ast.Prop{X: target, Key: key}
+			}
+			if _, err := p.expect(lexer.Eq); err != nil {
+				return nil, err
+			}
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item = ast.SetItem{Target: target, Value: v}
+		case p.peek().Type == lexer.Colon:
+			var labels []string
+			for p.accept(lexer.Colon) {
+				l, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, l)
+			}
+			item = ast.SetItem{Target: &ast.Var{Name: name}, Labels: labels}
+		case p.accept(lexer.PlusEq):
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item = ast.SetItem{Target: &ast.Var{Name: name}, Value: v, Merge: true}
+		case p.accept(lexer.Eq):
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item = ast.SetItem{Target: &ast.Var{Name: name}, Value: v}
+		default:
+			return nil, p.errf(p.peek(), "expected '.', ':', '=' or '+=' in SET item, found %s", p.peek())
+		}
+		items = append(items, item)
+		if !p.accept(lexer.Comma) {
+			return items, nil
+		}
+	}
+}
+
+func (p *parser) parseRemove() (*ast.Remove, error) {
+	p.next() // REMOVE
+	var items []ast.RemoveItem
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.peek().Type == lexer.Dot:
+			var target ast.Expr = &ast.Var{Name: name}
+			for p.accept(lexer.Dot) {
+				key, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				target = &ast.Prop{X: target, Key: key}
+			}
+			items = append(items, ast.RemoveItem{Target: target})
+		case p.peek().Type == lexer.Colon:
+			var labels []string
+			for p.accept(lexer.Colon) {
+				l, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, l)
+			}
+			items = append(items, ast.RemoveItem{Target: &ast.Var{Name: name}, Labels: labels})
+		default:
+			return nil, p.errf(p.peek(), "expected '.' or ':' in REMOVE item, found %s", p.peek())
+		}
+		if !p.accept(lexer.Comma) {
+			return &ast.Remove{Items: items}, nil
+		}
+	}
+}
+
+// parseForeach parses FOREACH (v IN list | updating-clauses).
+func (p *parser) parseForeach() (*ast.Foreach, error) {
+	p.next() // FOREACH
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Pipe); err != nil {
+		return nil, err
+	}
+	f := &ast.Foreach{Var: v, List: list}
+	for {
+		t := p.peek()
+		var c ast.Clause
+		switch {
+		case t.Is("CREATE"):
+			c, err = p.parseCreate()
+		case t.Is("MERGE"):
+			c, err = p.parseMerge()
+		case t.Is("SET"):
+			c, err = p.parseSet()
+		case t.Is("REMOVE"):
+			c, err = p.parseRemove()
+		case t.Is("DELETE"):
+			c, err = p.parseDelete(false)
+		case t.Is("DETACH"):
+			p.next()
+			if !p.peek().Is("DELETE") {
+				return nil, p.errf(p.peek(), "expected DELETE after DETACH, found %s", p.peek())
+			}
+			c, err = p.parseDelete(true)
+		case t.Is("FOREACH"):
+			c, err = p.parseForeach()
+		default:
+			if len(f.Body) == 0 {
+				return nil, p.errf(t, "FOREACH body requires updating clauses, found %s", t)
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return f, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.Body = append(f.Body, c)
+	}
+}
+
+func (p *parser) parseDelete(detach bool) (*ast.Delete, error) {
+	p.next() // DELETE
+	d := &ast.Delete{Detach: detach}
+	for {
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Exprs = append(d.Exprs, x)
+		if !p.accept(lexer.Comma) {
+			return d, nil
+		}
+	}
+}

@@ -1,0 +1,665 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/value"
+)
+
+func parseQ(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return q
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := ParseQuery(src)
+	if err == nil {
+		t.Fatalf("ParseQuery(%q) should fail", src)
+	}
+	return err
+}
+
+func firstMatch(t *testing.T, q *ast.Query) *ast.Match {
+	t.Helper()
+	m, ok := q.Parts[0].Clauses[0].(*ast.Match)
+	if !ok {
+		t.Fatalf("first clause is %T, want *ast.Match", q.Parts[0].Clauses[0])
+	}
+	return m
+}
+
+func TestParseSimpleMatch(t *testing.T) {
+	q := parseQ(t, "MATCH (n:Person) RETURN n")
+	m := firstMatch(t, q)
+	if len(m.Pattern.Parts) != 1 {
+		t.Fatal("one pattern part expected")
+	}
+	np := m.Pattern.Parts[0].Nodes[0]
+	if np.Var != "n" || len(np.Labels) != 1 || np.Labels[0] != "Person" {
+		t.Errorf("node pattern: %+v", np)
+	}
+	ret, ok := q.Parts[0].Clauses[1].(*ast.Return)
+	if !ok || len(ret.Items) != 1 {
+		t.Fatalf("return clause: %+v", q.Parts[0].Clauses[1])
+	}
+}
+
+func TestParseRelPatterns(t *testing.T) {
+	cases := []struct {
+		src  string
+		dir  ast.Direction
+		varL bool
+		min  int
+		max  int
+		typs []string
+	}{
+		{"MATCH (a)-[r:KNOWS]->(b) RETURN a", ast.DirRight, false, 1, -1, []string{"KNOWS"}},
+		{"MATCH (a)<-[r:KNOWS]-(b) RETURN a", ast.DirLeft, false, 1, -1, []string{"KNOWS"}},
+		{"MATCH (a)-[r:KNOWS]-(b) RETURN a", ast.DirBoth, false, 1, -1, []string{"KNOWS"}},
+		{"MATCH (a)-[:A|B]->(b) RETURN a", ast.DirRight, false, 1, -1, []string{"A", "B"}},
+		{"MATCH (a)-[:A|:B]->(b) RETURN a", ast.DirRight, false, 1, -1, []string{"A", "B"}},
+		{"MATCH (a)-[*]->(b) RETURN a", ast.DirRight, true, 1, -1, nil},
+		{"MATCH (a)-[*2]->(b) RETURN a", ast.DirRight, true, 2, 2, nil},
+		{"MATCH (a)-[*2..5]->(b) RETURN a", ast.DirRight, true, 2, 5, nil},
+		{"MATCH (a)-[*..5]->(b) RETURN a", ast.DirRight, true, 1, 5, nil},
+		{"MATCH (a)-[*3..]->(b) RETURN a", ast.DirRight, true, 3, -1, nil},
+		{"MATCH (a)-->(b) RETURN a", ast.DirRight, false, 1, -1, nil},
+		{"MATCH (a)<--(b) RETURN a", ast.DirLeft, false, 1, -1, nil},
+		{"MATCH (a)--(b) RETURN a", ast.DirBoth, false, 1, -1, nil},
+	}
+	for _, c := range cases {
+		q := parseQ(t, c.src)
+		rp := firstMatch(t, q).Pattern.Parts[0].Rels[0]
+		if rp.Dir != c.dir {
+			t.Errorf("%s: dir = %v, want %v", c.src, rp.Dir, c.dir)
+		}
+		if rp.VarLength != c.varL {
+			t.Errorf("%s: varLength = %v", c.src, rp.VarLength)
+		}
+		if c.varL && (rp.MinHops != c.min || rp.MaxHops != c.max) {
+			t.Errorf("%s: hops = %d..%d, want %d..%d", c.src, rp.MinHops, rp.MaxHops, c.min, c.max)
+		}
+		if len(rp.Types) != len(c.typs) {
+			t.Errorf("%s: types = %v, want %v", c.src, rp.Types, c.typs)
+		}
+	}
+	parseErr(t, "MATCH (a)-[*5..2]->(b) RETURN a") // inverted bounds
+	parseErr(t, "MATCH (a)<-[r]->(b) RETURN a")    // both-ways arrow
+}
+
+func TestParsePathAndShortest(t *testing.T) {
+	q := parseQ(t, "MATCH p = (a)-[:R*]->(b) RETURN p")
+	part := firstMatch(t, q).Pattern.Parts[0]
+	if part.Var != "p" || part.Shortest != ast.ShortestNone {
+		t.Errorf("path part: %+v", part)
+	}
+
+	q = parseQ(t, "MATCH p = shortestPath((a:X)-[*..5]-(b:Y)) RETURN p")
+	part = firstMatch(t, q).Pattern.Parts[0]
+	if part.Shortest != ast.ShortestSingle || part.Var != "p" {
+		t.Errorf("shortest part: %+v", part)
+	}
+	q = parseQ(t, "MATCH allShortestPaths((a)-[*]-(b)) RETURN 1")
+	part = firstMatch(t, q).Pattern.Parts[0]
+	if part.Shortest != ast.ShortestAll {
+		t.Errorf("allShortest part: %+v", part)
+	}
+	parseErr(t, "MATCH shortestPath((a)-[*]-(b)-[*]-(c)) RETURN 1")
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	q := parseQ(t, "RETURN 1 + 2 * 3 AS x")
+	item := q.Parts[0].Clauses[0].(*ast.Return).Items[0]
+	bin, ok := item.X.(*ast.Binary)
+	if !ok || bin.Op != ast.OpAdd {
+		t.Fatalf("top op: %+v", item.X)
+	}
+	if inner, ok := bin.R.(*ast.Binary); !ok || inner.Op != ast.OpMul {
+		t.Fatalf("* must bind tighter: %+v", bin.R)
+	}
+
+	// ^ is right-associative.
+	q = parseQ(t, "RETURN 2 ^ 3 ^ 2 AS x")
+	pow := q.Parts[0].Clauses[0].(*ast.Return).Items[0].X.(*ast.Binary)
+	if _, ok := pow.R.(*ast.Binary); !ok {
+		t.Error("^ should nest rightward")
+	}
+
+	// Boolean precedence: OR lowest.
+	q = parseQ(t, "RETURN a AND b OR c AS x")
+	or := q.Parts[0].Clauses[0].(*ast.Return).Items[0].X.(*ast.Binary)
+	if or.Op != ast.OpOr {
+		t.Fatalf("top should be OR: %v", or.Op)
+	}
+	if and, ok := or.L.(*ast.Binary); !ok || and.Op != ast.OpAnd {
+		t.Error("AND should bind tighter than OR")
+	}
+}
+
+func TestParseChainedComparison(t *testing.T) {
+	q := parseQ(t, "RETURN 1 <= x <= 10 AS inRange")
+	cmp, ok := q.Parts[0].Clauses[0].(*ast.Return).Items[0].X.(*ast.Comparison)
+	if !ok || len(cmp.Ops) != 2 {
+		t.Fatalf("chained comparison: %+v", q.Parts[0].Clauses[0].(*ast.Return).Items[0].X)
+	}
+	if cmp.Ops[0] != ast.CmpLe || cmp.Ops[1] != ast.CmpLe {
+		t.Errorf("ops: %v", cmp.Ops)
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	q := parseQ(t, "MATCH (n) WHERE n.x IS NULL AND n.y IS NOT NULL AND n.z IN [1,2] RETURN n")
+	m := firstMatch(t, q)
+	if m.Where == nil {
+		t.Fatal("where missing")
+	}
+	q = parseQ(t, "RETURN 'abc' STARTS WITH 'a' AND 'abc' ENDS WITH 'c' AND 'abc' CONTAINS 'b' AS x")
+	_ = q
+	q = parseQ(t, "RETURN 'abc' =~ 'a.*' AS x")
+	_ = q
+}
+
+func TestParseQuantifiersAndComprehension(t *testing.T) {
+	q := parseQ(t, "RETURN all(x IN xs WHERE x > 0) AS a, any(x IN xs WHERE x > 0) AS b, none(x IN xs WHERE x > 0) AS c, single(x IN xs WHERE x > 0) AS d")
+	items := q.Parts[0].Clauses[0].(*ast.Return).Items
+	kinds := []ast.QuantKind{ast.QuantAll, ast.QuantAny, ast.QuantNone, ast.QuantSingle}
+	for i, want := range kinds {
+		qt, ok := items[i].X.(*ast.Quantifier)
+		if !ok || qt.Kind != want {
+			t.Errorf("item %d: %+v", i, items[i].X)
+		}
+	}
+
+	q = parseQ(t, "RETURN [x IN xs WHERE x > 0 | x * 2] AS doubled, [x IN xs | x] AS id, [x IN xs WHERE x > 0] AS filtered")
+	items = q.Parts[0].Clauses[0].(*ast.Return).Items
+	lc := items[0].X.(*ast.ListComp)
+	if lc.Var != "x" || lc.Where == nil || lc.Proj == nil {
+		t.Errorf("full comprehension: %+v", lc)
+	}
+	if items[1].X.(*ast.ListComp).Where != nil {
+		t.Error("projection-only comprehension should have nil Where")
+	}
+	if items[2].X.(*ast.ListComp).Proj != nil {
+		t.Error("filter-only comprehension should have nil Proj")
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	q := parseQ(t, "RETURN CASE x WHEN 1 THEN 'one' ELSE 'many' END AS s, CASE WHEN x > 0 THEN 'pos' END AS t")
+	items := q.Parts[0].Clauses[0].(*ast.Return).Items
+	c1 := items[0].X.(*ast.Case)
+	if c1.Test == nil || len(c1.Whens) != 1 || c1.Else == nil {
+		t.Errorf("simple case: %+v", c1)
+	}
+	c2 := items[1].X.(*ast.Case)
+	if c2.Test != nil || c2.Else != nil {
+		t.Errorf("searched case: %+v", c2)
+	}
+	parseErr(t, "RETURN CASE END AS x")
+}
+
+func TestParseProjectionExtras(t *testing.T) {
+	q := parseQ(t, "MATCH (n) RETURN DISTINCT n.x AS x ORDER BY x DESC, n.y ASC SKIP 2 LIMIT 10")
+	ret := q.Parts[0].Clauses[1].(*ast.Return)
+	if !ret.Distinct || len(ret.OrderBy) != 2 || ret.Skip == nil || ret.Limit == nil {
+		t.Errorf("projection: %+v", ret.Projection)
+	}
+	if !ret.OrderBy[0].Desc || ret.OrderBy[1].Desc {
+		t.Error("order directions")
+	}
+
+	q = parseQ(t, "MATCH (n) RETURN *")
+	if !q.Parts[0].Clauses[1].(*ast.Return).Star {
+		t.Error("star projection")
+	}
+
+	q = parseQ(t, "MATCH (n) WITH n.x AS x WHERE x > 1 RETURN x")
+	w := q.Parts[0].Clauses[1].(*ast.With)
+	if w.Where == nil || len(w.Items) != 1 {
+		t.Errorf("with: %+v", w)
+	}
+}
+
+func TestParseCountStarAndDistinctAgg(t *testing.T) {
+	q := parseQ(t, "MATCH (n) RETURN count(*) AS n1, count(DISTINCT n.x) AS n2")
+	items := q.Parts[0].Clauses[1].(*ast.Return).Items
+	if _, ok := items[0].X.(*ast.CountStar); !ok {
+		t.Error("count(*)")
+	}
+	fc := items[1].X.(*ast.FuncCall)
+	if fc.Name != "count" || !fc.Distinct {
+		t.Errorf("count(DISTINCT): %+v", fc)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := parseQ(t, "RETURN 1 AS x UNION RETURN 2 AS x UNION ALL RETURN 3 AS x")
+	if len(q.Parts) != 3 || q.UnionAll[0] || !q.UnionAll[1] {
+		t.Errorf("union: parts=%d all=%v", len(q.Parts), q.UnionAll)
+	}
+}
+
+func TestParseUnwind(t *testing.T) {
+	q := parseQ(t, "UNWIND [1,2,3] AS x RETURN x")
+	u := q.Parts[0].Clauses[0].(*ast.Unwind)
+	if u.Alias != "x" {
+		t.Errorf("unwind: %+v", u)
+	}
+	parseErr(t, "UNWIND [1,2,3] RETURN x")
+}
+
+func TestParseUpdating(t *testing.T) {
+	q := parseQ(t, "CREATE (a:X {v: 1})-[:R]->(b:Y)")
+	if _, ok := q.Parts[0].Clauses[0].(*ast.Create); !ok {
+		t.Fatal("create clause")
+	}
+	q = parseQ(t, "MERGE (a:X {k: 1}) ON CREATE SET a.new = true ON MATCH SET a.seen = true")
+	m := q.Parts[0].Clauses[0].(*ast.Merge)
+	if len(m.OnCreate) != 1 || len(m.OnMatch) != 1 {
+		t.Errorf("merge actions: %+v", m)
+	}
+	q = parseQ(t, "MATCH (a) SET a.x = 1, a:Label, a += {y: 2}")
+	s := q.Parts[0].Clauses[1].(*ast.Set)
+	if len(s.Items) != 3 || !s.Items[2].Merge || len(s.Items[1].Labels) != 1 {
+		t.Errorf("set items: %+v", s.Items)
+	}
+	q = parseQ(t, "MATCH (a) REMOVE a.x, a:L")
+	r := q.Parts[0].Clauses[1].(*ast.Remove)
+	if len(r.Items) != 2 {
+		t.Errorf("remove items: %+v", r.Items)
+	}
+	q = parseQ(t, "MATCH (a) DETACH DELETE a")
+	d := q.Parts[0].Clauses[1].(*ast.Delete)
+	if !d.Detach || len(d.Exprs) != 1 {
+		t.Errorf("delete: %+v", d)
+	}
+}
+
+func TestParsePatternPredicate(t *testing.T) {
+	q := parseQ(t, "MATCH (a), (b) WHERE (a)-[:KNOWS]->(b) RETURN a")
+	m := firstMatch(t, q)
+	if _, ok := m.Where.(*ast.PatternPredicate); !ok {
+		t.Fatalf("where should be a pattern predicate: %T", m.Where)
+	}
+	// A parenthesized expression must not be mistaken for a pattern.
+	q = parseQ(t, "MATCH (a) WHERE (a.x + 1) > 2 RETURN a")
+	if _, ok := firstMatch(t, q).Where.(*ast.Comparison); !ok {
+		t.Fatalf("where should be a comparison: %T", firstMatch(t, q).Where)
+	}
+	// EXISTS(pattern).
+	q = parseQ(t, "MATCH (a) WHERE exists((a)-->()) RETURN a")
+	if _, ok := firstMatch(t, q).Where.(*ast.PatternPredicate); !ok {
+		t.Fatalf("exists(pattern): %T", firstMatch(t, q).Where)
+	}
+	// exists(property).
+	q = parseQ(t, "MATCH (a) WHERE exists(a.x) RETURN a")
+	if fc, ok := firstMatch(t, q).Where.(*ast.FuncCall); !ok || fc.Name != "exists" {
+		t.Fatalf("exists(prop): %T", firstMatch(t, q).Where)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"MATCH",
+		"MATCH (a RETURN a",
+		"RETURN",
+		"MATCH (a) RETURN a extra",
+		"FOO (a)",
+		"MATCH (a) WHERE RETURN a",
+		"RETURN 1 AS",
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+	err := parseErr(t, "MATCH (a\n:B RETURN a")
+	if !strings.Contains(err.Error(), "parse error") {
+		t.Errorf("error text: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Seraph registrations (Figure 6)
+
+func TestParseRegistration(t *testing.T) {
+	reg, err := ParseRegistration(`
+REGISTER QUERY my_query STARTING AT 2022-10-14T14:45:00
+{
+  MATCH (a:X)-[r:R]->(b:Y) WITHIN PT1H
+  WHERE r.v > 0
+  EMIT a.id, b.id ON ENTERING EVERY PT5M
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Name != "my_query" || reg.StartNow {
+		t.Errorf("registration header: %+v", reg)
+	}
+	want := time.Date(2022, 10, 14, 14, 45, 0, 0, time.UTC)
+	if !reg.StartAt.Equal(want) {
+		t.Errorf("start at = %s", reg.StartAt)
+	}
+	if reg.MaxWithin() != time.Hour {
+		t.Errorf("max within = %s", reg.MaxWithin())
+	}
+	em := reg.EmitClause()
+	if em == nil || em.Op != ast.OpOnEntering || em.Every != 5*time.Minute {
+		t.Fatalf("emit clause: %+v", em)
+	}
+}
+
+func TestParseRegistrationVariants(t *testing.T) {
+	reg, err := ParseRegistration(`REGISTER QUERY q STARTING AT NOW
+{ MATCH (a) WITHIN PT10S EMIT a SNAPSHOT EVERY PT1S }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.StartNow {
+		t.Error("NOW start")
+	}
+	if reg.EmitClause().Op != ast.OpSnapshot {
+		t.Error("snapshot op")
+	}
+
+	// Default operator is SNAPSHOT when omitted.
+	reg, err = ParseRegistration(`REGISTER QUERY q STARTING AT NOW
+{ MATCH (a) WITHIN PT10S EMIT a EVERY PT1S }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.EmitClause().Op != ast.OpSnapshot {
+		t.Error("default op should be SNAPSHOT")
+	}
+
+	// ON EXITING.
+	reg, err = ParseRegistration(`REGISTER QUERY q STARTING AT NOW
+{ MATCH (a) WITHIN PT10S EMIT a ON EXITING EVERY PT1S }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.EmitClause().Op != ast.OpOnExiting {
+		t.Error("exiting op")
+	}
+
+	// RETURN-terminated registration (single result).
+	reg, err = ParseRegistration(`REGISTER QUERY q STARTING AT NOW
+{ MATCH (a) WITHIN PT10S RETURN a }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.EmitClause() != nil {
+		t.Error("RETURN body should have no emit clause")
+	}
+
+	// Per-pattern WITHIN: two MATCH clauses with different widths.
+	reg, err = ParseRegistration(`REGISTER QUERY q STARTING AT NOW
+{ MATCH (a:X) WITHIN PT10M MATCH (b:Y) WITHIN PT1H EMIT a, b EVERY PT1M }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.MaxWithin() != time.Hour {
+		t.Errorf("max within across clauses = %s", reg.MaxWithin())
+	}
+}
+
+func TestParseRegistrationErrors(t *testing.T) {
+	for _, src := range []string{
+		"REGISTER QUERY q { MATCH (a) EMIT a EVERY PT1S }",        // no STARTING AT
+		"REGISTER QUERY STARTING AT NOW { MATCH (a) RETURN a }",   // no name
+		"REGISTER QUERY q STARTING AT NOW { MATCH (a) }",          // no terminator
+		"REGISTER QUERY q STARTING AT NOW { MATCH (a) EMIT a }",   // no EVERY
+		"REGISTER QUERY q STARTING AT xyz { MATCH (a) RETURN a }", // bad datetime
+		"REGISTER QUERY q STARTING AT NOW { MATCH (a) EMIT a ON FOO EVERY PT1S }",
+	} {
+		if _, err := ParseRegistration(src); err == nil {
+			t.Errorf("ParseRegistration(%q) should fail", src)
+		}
+	}
+	// EMIT is Seraph-only: a plain Cypher query must reject it.
+	if _, err := ParseQuery("MATCH (a) EMIT a EVERY PT1S"); err == nil {
+		t.Error("EMIT outside a registration should fail")
+	}
+}
+
+func TestParseDispatch(t *testing.T) {
+	v, err := Parse("MATCH (a) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*ast.Query); !ok {
+		t.Errorf("Parse of Cypher: %T", v)
+	}
+	v, err = Parse("REGISTER QUERY q STARTING AT NOW { MATCH (a) WITHIN PT1S RETURN a }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*ast.Registration); !ok {
+		t.Errorf("Parse of registration: %T", v)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := parseQ(t, `RETURN true AS t, false AS f, null AS n, 'str' AS s, 3.5 AS fl, {a: 1, b: [2, 3]} AS m`)
+	items := q.Parts[0].Clauses[0].(*ast.Return).Items
+	if v := items[0].X.(*ast.Literal).Val; !v.IsBool() || !v.Bool() {
+		t.Error("true literal")
+	}
+	if v := items[2].X.(*ast.Literal).Val; !v.IsNull() {
+		t.Error("null literal")
+	}
+	if m, ok := items[5].X.(*ast.MapLit); !ok || len(m.Keys) != 2 {
+		t.Error("map literal")
+	}
+	// Negative literal folding.
+	q = parseQ(t, "RETURN -5 AS x, -2.5 AS y")
+	if v := q.Parts[0].Clauses[0].(*ast.Return).Items[0].X.(*ast.Literal).Val; v.Int() != -5 {
+		t.Error("negative int folding")
+	}
+}
+
+// TestTable1QueriesParse checks that the three motivating continuous
+// queries of the paper's Table 1 (expressed in Seraph syntax) parse.
+func TestTable1QueriesParse(t *testing.T) {
+	queries := []string{
+		// Network monitoring.
+		`REGISTER QUERY anomalies STARTING AT NOW {
+		   MATCH p = shortestPath((rk:Rack)-[*..20]-(e:Router {egress: true}))
+		   WITHIN PT10M
+		   WITH rk, p, length(p) AS hops
+		   WHERE (hops - 5.0) / 0.3 > 3.0
+		   EMIT p SNAPSHOT EVERY PT1M
+		 }`,
+		// Real-time surveillance.
+		`REGISTER QUERY suspects STARTING AT NOW {
+		   MATCH (p:Person)-[:PRESENT_AT]->(l:Location)<-[:OCCURRED_AT]-(c:Crime)
+		   WITHIN PT30M
+		   EMIT p.name, c.id ON ENTERING EVERY PT1M
+		 }`,
+		// Micro mobility (Listing 5).
+		`REGISTER QUERY student_trick STARTING AT 2022-10-14T14:45:00 {
+		   MATCH (b:Bike)-[r:rentedAt]->(s:Station),
+		         q = (b)-[:returnedAt|rentedAt*3..]-(o:Station)
+		   WITHIN PT1H
+		   WITH r, s, q, relationships(q) AS rels,
+		        [n IN nodes(q) WHERE 'Station' IN labels(n) | n.id] AS hops
+		   WHERE all(e IN rels WHERE
+		         e.user_id = r.user_id AND e.val_time > r.val_time AND
+		         (e.duration IS NULL OR e.duration < 20))
+		   EMIT r.user_id, s.id, r.val_time, hops
+		   ON ENTERING EVERY PT5M
+		 }`,
+	}
+	for i, src := range queries {
+		if _, err := ParseRegistration(src); err != nil {
+			t.Errorf("Table 1 query %d: %v", i+1, err)
+		}
+	}
+}
+
+// TestExprStringNames verifies the default column name derivation used
+// by projections (e.g. `RETURN r.user_id` names its column
+// "r.user_id", matching the paper's tables).
+func TestExprStringNames(t *testing.T) {
+	q := parseQ(t, "MATCH (r) RETURN r.user_id, count(*), r.a + 1")
+	items := q.Parts[0].Clauses[1].(*ast.Return).Items
+	want := []string{"r.user_id", "count(*)", "r.a + 1"}
+	for i, w := range want {
+		if got := ast.ExprString(items[i].X); got != w {
+			t.Errorf("ExprString[%d] = %q, want %q", i, got, w)
+		}
+	}
+	_ = value.Null
+}
+
+// TestRoundTrip: parse → print → parse produces an identical rendering
+// (the printer is a normal form, so a second round trip is a fixpoint).
+func TestRoundTrip(t *testing.T) {
+	queries := []string{
+		"MATCH (n:Person) RETURN n",
+		"MATCH (a)-[r:KNOWS*2..5]->(b) WHERE r IS NOT NULL RETURN a, b ORDER BY a.name DESC SKIP 1 LIMIT 5",
+		"MATCH p = shortestPath((a:X)-[*..9]-(b)) RETURN length(p) AS len",
+		"OPTIONAL MATCH (a)<-[:R]-(b) RETURN DISTINCT a.x + 1 AS y",
+		"UNWIND [1, 2, 3] AS x WITH x WHERE x > 1 RETURN collect(x) AS xs",
+		"MATCH (a), (b) WHERE (a)-[:R]->(b) RETURN count(*)",
+		"RETURN CASE x WHEN 1 THEN 'one' ELSE 'many' END AS s",
+		"RETURN [v IN xs WHERE v > 0 | v * 2] AS out, all(v IN xs WHERE v < 9) AS ok",
+		"RETURN reduce(acc = 0, v IN xs | acc + v) AS total",
+		"CREATE (a:X {v: 1})-[:R {w: 2}]->(b:Y)",
+		"MERGE (a:K {id: 1}) ON CREATE SET a.new = true ON MATCH SET a.seen = true",
+		"MATCH (a) SET a.x = 1, a:L, a += {y: 2}",
+		"MATCH (a) REMOVE a.x, a:L",
+		"MATCH (a) DETACH DELETE a",
+		"FOREACH (x IN [1, 2] | CREATE (:R {v: x}) SET x.y = 1)",
+		"RETURN 1 AS x UNION ALL RETURN 2 AS x",
+		"MATCH (a {k: 'v'})-[:T1|T2]-(b) RETURN *",
+	}
+	for _, src := range queries {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.QueryString(q1)
+		q2, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q → %q: %v", src, printed, err)
+		}
+		printed2 := ast.QueryString(q2)
+		if printed != printed2 {
+			t.Errorf("round trip not a fixpoint:\n%q\n%q", printed, printed2)
+		}
+	}
+}
+
+// TestRegistrationRoundTrip does the same for Seraph registrations.
+func TestRegistrationRoundTrip(t *testing.T) {
+	srcs := []string{
+		`REGISTER QUERY q STARTING AT 2022-10-14T14:45:00
+		 { MATCH (a:X)-[r:R]->(b) WITHIN PT1H WHERE r.v > 0
+		   EMIT a.id, count(*) AS n ON ENTERING EVERY PT5M }`,
+		`REGISTER QUERY w STARTING AT NOW
+		 { MATCH (a) WITHIN PT30S EMIT a SNAPSHOT EVERY PT10S }`,
+		`REGISTER QUERY ret STARTING AT NOW
+		 { MATCH (a) WITHIN PT30S RETURN count(*) AS n }`,
+	}
+	for _, src := range srcs {
+		r1, err := ParseRegistration(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		printed := ast.RegistrationString(r1)
+		r2, err := ParseRegistration(printed)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", printed, err)
+		}
+		if ast.RegistrationString(r2) != printed {
+			t.Errorf("registration round trip not a fixpoint:\n%s", printed)
+		}
+	}
+}
+
+// TestRoundTripSemantic: parse → print → parse yields a deeply equal
+// AST, i.e. the printer preserves semantics (including operator
+// precedence via parenthesization).
+func TestRoundTripSemantic(t *testing.T) {
+	queries := []string{
+		"RETURN a AND (b OR c) AS x",
+		"RETURN (a AND b) OR c AS x",
+		"RETURN NOT (a OR b) AS x",
+		"RETURN -(1 + x) AS v",
+		"RETURN (a + b) * c AS v",
+		"RETURN a - (b - c) AS v",
+		"RETURN a / (b * c) AS v",
+		"RETURN (2 ^ 3) ^ 2 AS v",
+		"RETURN 2 ^ (3 ^ 2) AS v",
+		"RETURN (a OR b) IS NULL AS v",
+		"RETURN x IN ([1] + [2]) AS v",
+		"RETURN (1 < 2) = (3 < 4) AS v",
+		"MATCH (n) WHERE all(e IN xs WHERE e.a = 1 AND (e.b IS NULL OR e.b < 20)) RETURN n",
+		"MATCH (p:P) RETURN p {.name, flag: (a OR b)} AS m",
+	}
+	for _, src := range queries {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := ast.QueryString(q1)
+		q2, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("re-parse %q → %q: %v", src, printed, err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Errorf("semantic drift:\n source:  %q\n printed: %q", src, printed)
+		}
+	}
+	// The paper's Listing 5 predicate keeps its grouping.
+	reg, err := ParseRegistration(`REGISTER QUERY q STARTING AT NOW {
+	  MATCH (b)-[r:rentedAt]->(s) WITHIN PT1H
+	  WHERE all(e IN rels WHERE e.user_id = r.user_id AND (e.duration IS NULL OR e.duration < 20))
+	  EMIT r.user_id EVERY PT5M }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.RegistrationString(reg)
+	reg2, err := ParseRegistration(printed)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, printed)
+	}
+	if !reflect.DeepEqual(reg.Body, reg2.Body) {
+		t.Errorf("registration semantic drift:\n%s", printed)
+	}
+}
+
+// TestQueryMustTerminate: one-time queries cannot trail off after a
+// reading clause.
+func TestQueryMustTerminate(t *testing.T) {
+	for _, src := range []string{
+		"MATCH (n)",
+		"MATCH (n) WITH n",
+		"UNWIND [1] AS x",
+		"MATCH (n) RETURN n UNION MATCH (m) WITH m",
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+	// Updating terminators are fine.
+	for _, src := range []string{
+		"CREATE (n)",
+		"MATCH (n) SET n.x = 1",
+		"MATCH (n) DETACH DELETE n",
+	} {
+		if _, err := ParseQuery(src); err != nil {
+			t.Errorf("ParseQuery(%q): %v", src, err)
+		}
+	}
+}

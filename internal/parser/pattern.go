@@ -1,0 +1,246 @@
+package parser
+
+import (
+	"strconv"
+
+	"seraph/internal/ast"
+	"seraph/internal/lexer"
+)
+
+func (p *parser) parsePattern() (ast.Pattern, error) {
+	var pat ast.Pattern
+	for {
+		part, err := p.parsePatternPart()
+		if err != nil {
+			return pat, err
+		}
+		pat.Parts = append(pat.Parts, part)
+		if !p.accept(lexer.Comma) {
+			return pat, nil
+		}
+	}
+}
+
+// parsePatternPart parses [v =] [shortestPath(] (n)-[r]->(m)... [)].
+func (p *parser) parsePatternPart() (ast.PatternPart, error) {
+	var part ast.PatternPart
+	// Optional path variable binding: ident '='. Distinguish from a
+	// node pattern by lookahead.
+	if p.peek().Type == lexer.Ident && p.peekAt(1).Type == lexer.Eq &&
+		!p.peek().Is("shortestPath") && !p.peek().Is("allShortestPaths") {
+		part.Var = p.next().Text
+		p.next() // '='
+	}
+	switch {
+	case p.peek().Is("shortestPath") && p.peekAt(1).Type == lexer.LParen:
+		p.next()
+		part.Shortest = ast.ShortestSingle
+	case p.peek().Is("allShortestPaths") && p.peekAt(1).Type == lexer.LParen:
+		p.next()
+		part.Shortest = ast.ShortestAll
+	}
+	wrapped := part.Shortest != ast.ShortestNone
+	if wrapped {
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return part, err
+		}
+	}
+	if err := p.parsePatternChain(&part); err != nil {
+		return part, err
+	}
+	if wrapped {
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return part, err
+		}
+		if len(part.Rels) != 1 {
+			return part, p.errf(p.peek(), "shortestPath requires a single relationship pattern")
+		}
+	}
+	return part, nil
+}
+
+func (p *parser) parsePatternChain(part *ast.PatternPart) error {
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return err
+	}
+	part.Nodes = append(part.Nodes, n)
+	for {
+		t := p.peek()
+		if t.Type != lexer.Minus && t.Type != lexer.Lt {
+			return nil
+		}
+		r, err := p.parseRelPattern()
+		if err != nil {
+			return err
+		}
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return err
+		}
+		part.Rels = append(part.Rels, r)
+		part.Nodes = append(part.Nodes, n)
+	}
+}
+
+func (p *parser) parseNodePattern() (*ast.NodePattern, error) {
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	n := &ast.NodePattern{}
+	if p.peek().Type == lexer.Ident {
+		n.Var = p.next().Text
+	}
+	for p.accept(lexer.Colon) {
+		l, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		n.Labels = append(n.Labels, l)
+	}
+	if p.peek().Type == lexer.LBrace {
+		m, err := p.parseMapLit()
+		if err != nil {
+			return nil, err
+		}
+		n.Props = m
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseRelPattern parses the relationship between two node patterns:
+//
+//	-[detail]->   -[detail]-   <-[detail]-   -->   --   <--
+func (p *parser) parseRelPattern() (*ast.RelPattern, error) {
+	r := &ast.RelPattern{Dir: ast.DirBoth, MinHops: 1, MaxHops: -1}
+	leftArrow := false
+	if p.accept(lexer.Lt) {
+		leftArrow = true
+	}
+	if _, err := p.expect(lexer.Minus); err != nil {
+		return nil, err
+	}
+	if p.accept(lexer.LBracket) {
+		if err := p.parseRelDetail(r); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.Minus); err != nil {
+		return nil, err
+	}
+	rightArrow := p.accept(lexer.Gt)
+	switch {
+	case leftArrow && rightArrow:
+		return nil, p.errf(p.peek(), "relationship pattern cannot point both ways")
+	case leftArrow:
+		r.Dir = ast.DirLeft
+	case rightArrow:
+		r.Dir = ast.DirRight
+	}
+	return r, nil
+}
+
+// parseRelDetail parses the bracketed portion of a relationship
+// pattern: [var] [:T1|T2|:T3] [*[min][..[max]]] [{props}].
+func (p *parser) parseRelDetail(r *ast.RelPattern) error {
+	if p.peek().Type == lexer.Ident {
+		r.Var = p.next().Text
+	}
+	if p.accept(lexer.Colon) {
+		for {
+			t, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			r.Types = append(r.Types, t)
+			if !p.accept(lexer.Pipe) {
+				break
+			}
+			// Both :A|B and :A|:B are accepted.
+			p.accept(lexer.Colon)
+		}
+	}
+	if p.accept(lexer.Star) {
+		r.VarLength = true
+		r.MinHops, r.MaxHops = 1, -1
+		if p.peek().Type == lexer.Int {
+			n, err := strconv.Atoi(p.next().Text)
+			if err != nil {
+				return err
+			}
+			r.MinHops = n
+			if p.accept(lexer.DotDot) {
+				if p.peek().Type == lexer.Int {
+					m, err := strconv.Atoi(p.next().Text)
+					if err != nil {
+						return err
+					}
+					r.MaxHops = m
+				}
+			} else {
+				// *n means exactly n hops.
+				r.MaxHops = n
+			}
+		} else if p.accept(lexer.DotDot) {
+			if p.peek().Type == lexer.Int {
+				m, err := strconv.Atoi(p.next().Text)
+				if err != nil {
+					return err
+				}
+				r.MaxHops = m
+			}
+		}
+		if r.MaxHops >= 0 && r.MaxHops < r.MinHops {
+			return p.errf(p.peek(), "variable length upper bound %d below lower bound %d", r.MaxHops, r.MinHops)
+		}
+	}
+	if p.peek().Type == lexer.LBrace {
+		m, err := p.parseMapLit()
+		if err != nil {
+			return err
+		}
+		r.Props = m
+	}
+	return nil
+}
+
+func (p *parser) parseMapLit() (*ast.MapLit, error) {
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	m := &ast.MapLit{}
+	if p.accept(lexer.RBrace) {
+		return m, nil
+	}
+	for {
+		var key string
+		switch t := p.peek(); t.Type {
+		case lexer.Ident, lexer.String:
+			key = p.next().Text
+		default:
+			return nil, p.errf(t, "expected map key, found %s", t)
+		}
+		if _, err := p.expect(lexer.Colon); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		m.Keys = append(m.Keys, key)
+		m.Vals = append(m.Vals, v)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,233 @@
+// Package pg implements the property graph data model of Definition
+// 3.1 in the Seraph paper: Γ = (N, R, src, trg, ι, λ, κ), together with
+// the union of property graphs under the unique name assumption
+// (Definition 5.4) that snapshot graphs (Definition 5.5) are built from.
+package pg
+
+import (
+	"fmt"
+	"sort"
+
+	"seraph/internal/value"
+)
+
+// Graph is a property graph. Nodes and relationships are identified by
+// int64 ids drawn from the countable sets 𝒩 and ℛ; labels λ, types κ
+// and properties ι live on the entities themselves (value.Node /
+// value.Relationship).
+type Graph struct {
+	nodes map[int64]*value.Node
+	rels  map[int64]*value.Relationship
+}
+
+// New returns an empty property graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[int64]*value.Node),
+		rels:  make(map[int64]*value.Relationship),
+	}
+}
+
+// AddNode inserts n into the graph, replacing any node with the same id.
+func (g *Graph) AddNode(n *value.Node) { g.nodes[n.ID] = n }
+
+// AddRel inserts r into the graph, replacing any relationship with the
+// same id. Both endpoints must already be present.
+func (g *Graph) AddRel(r *value.Relationship) error {
+	if _, ok := g.nodes[r.StartID]; !ok {
+		return fmt.Errorf("pg: relationship %d references missing source node %d", r.ID, r.StartID)
+	}
+	if _, ok := g.nodes[r.EndID]; !ok {
+		return fmt.Errorf("pg: relationship %d references missing target node %d", r.ID, r.EndID)
+	}
+	g.rels[r.ID] = r
+	return nil
+}
+
+// RemoveNode deletes the node with the given id, if present.
+func (g *Graph) RemoveNode(id int64) { delete(g.nodes, id) }
+
+// RemoveRel deletes the relationship with the given id, if present.
+func (g *Graph) RemoveRel(id int64) { delete(g.rels, id) }
+
+// Node returns the node with the given id, or nil.
+func (g *Graph) Node(id int64) *value.Node { return g.nodes[id] }
+
+// Rel returns the relationship with the given id, or nil.
+func (g *Graph) Rel(id int64) *value.Relationship { return g.rels[id] }
+
+// NumNodes returns |N|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumRels returns |R|.
+func (g *Graph) NumRels() int { return len(g.rels) }
+
+// Nodes returns all nodes, sorted by id for determinism.
+func (g *Graph) Nodes() []*value.Node {
+	out := make([]*value.Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Rels returns all relationships, sorted by id for determinism.
+func (g *Graph) Rels() []*value.Relationship {
+	out := make([]*value.Relationship, 0, len(g.rels))
+	for _, r := range g.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EachNode calls f for every node (unordered).
+func (g *Graph) EachNode(f func(*value.Node)) {
+	for _, n := range g.nodes {
+		f(n)
+	}
+}
+
+// EachRel calls f for every relationship (unordered).
+func (g *Graph) EachRel(f func(*value.Relationship)) {
+	for _, r := range g.rels {
+		f(r)
+	}
+}
+
+// Validate checks the structural invariants of Definition 3.1: every
+// relationship's src and trg map to nodes of the graph.
+func (g *Graph) Validate() error {
+	for _, r := range g.rels {
+		if _, ok := g.nodes[r.StartID]; !ok {
+			return fmt.Errorf("pg: dangling src %d on relationship %d", r.StartID, r.ID)
+		}
+		if _, ok := g.nodes[r.EndID]; !ok {
+			return fmt.Errorf("pg: dangling trg %d on relationship %d", r.EndID, r.ID)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph structure. Entity structs are
+// copied; property maps are copied shallowly (values are immutable).
+func (g *Graph) Clone() *Graph {
+	out := New()
+	for id, n := range g.nodes {
+		out.nodes[id] = cloneNode(n)
+	}
+	for id, r := range g.rels {
+		out.rels[id] = cloneRel(r)
+	}
+	return out
+}
+
+func cloneNode(n *value.Node) *value.Node {
+	labels := append([]string(nil), n.Labels...)
+	props := make(map[string]value.Value, len(n.Props))
+	for k, v := range n.Props {
+		props[k] = v
+	}
+	return &value.Node{ID: n.ID, Labels: labels, Props: props}
+}
+
+func cloneRel(r *value.Relationship) *value.Relationship {
+	props := make(map[string]value.Value, len(r.Props))
+	for k, v := range r.Props {
+		props[k] = v
+	}
+	return &value.Relationship{ID: r.ID, StartID: r.StartID, EndID: r.EndID, Type: r.Type, Props: props}
+}
+
+// Inconsistency describes why two graphs could not be unioned under
+// the unique name assumption (Definition 5.4 declares the union of
+// inconsistent graphs to be ∅).
+type Inconsistency struct {
+	Entity string // "node" or "relationship"
+	ID     int64
+	Reason string
+}
+
+func (e *Inconsistency) Error() string {
+	return fmt.Sprintf("pg: inconsistent union: %s %d: %s", e.Entity, e.ID, e.Reason)
+}
+
+// Union implements Definition 5.4: the union of two property graphs
+// under the unique name assumption. Entities sharing an id are merged;
+// labels union, property maps union. If the same property key carries
+// different values on the two sides, or a shared relationship id has
+// differing endpoints or type, the graphs are inconsistent and an
+// *Inconsistency error is returned (the paper defines the union as ∅
+// in that case).
+func Union(g1, g2 *Graph) (*Graph, error) {
+	out := g1.Clone()
+	if err := out.UnionInPlace(g2); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// UnionInPlace merges g2 into g, with the same semantics as Union.
+// On inconsistency g is left partially merged and the error returned;
+// callers that need atomicity should use Union.
+func (g *Graph) UnionInPlace(g2 *Graph) error {
+	for id, n2 := range g2.nodes {
+		n1, ok := g.nodes[id]
+		if !ok {
+			g.nodes[id] = cloneNode(n2)
+			continue
+		}
+		for _, l := range n2.Labels {
+			if !n1.HasLabel(l) {
+				n1.Labels = append(n1.Labels, l)
+			}
+		}
+		for k, v2 := range n2.Props {
+			if v1, ok := n1.Props[k]; ok {
+				if !value.Equivalent(v1, v2) {
+					return &Inconsistency{Entity: "node", ID: id,
+						Reason: fmt.Sprintf("property %q: %s vs %s", k, v1, v2)}
+				}
+				continue
+			}
+			n1.Props[k] = v2
+		}
+	}
+	for id, r2 := range g2.rels {
+		r1, ok := g.rels[id]
+		if !ok {
+			g.rels[id] = cloneRel(r2)
+			continue
+		}
+		if r1.StartID != r2.StartID || r1.EndID != r2.EndID {
+			return &Inconsistency{Entity: "relationship", ID: id, Reason: "differing endpoints"}
+		}
+		if r1.Type != r2.Type {
+			return &Inconsistency{Entity: "relationship", ID: id, Reason: "differing type"}
+		}
+		for k, v2 := range r2.Props {
+			if v1, ok := r1.Props[k]; ok {
+				if !value.Equivalent(v1, v2) {
+					return &Inconsistency{Entity: "relationship", ID: id,
+						Reason: fmt.Sprintf("property %q: %s vs %s", k, v1, v2)}
+				}
+				continue
+			}
+			r1.Props[k] = v2
+		}
+	}
+	return g.Validate()
+}
+
+// UnionAll folds Union over a slice of graphs, implementing the
+// snapshot graph construction of Definition 5.5 (G_τ = ⋃ G ∈ S̃_τ).
+func UnionAll(graphs []*Graph) (*Graph, error) {
+	out := New()
+	for _, g := range graphs {
+		if err := out.UnionInPlace(g); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package pg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seraph/internal/value"
+)
+
+func node(id int64, labels []string, props map[string]value.Value) *value.Node {
+	if props == nil {
+		props = map[string]value.Value{}
+	}
+	return &value.Node{ID: id, Labels: labels, Props: props}
+}
+
+func rel(id, start, end int64, typ string) *value.Relationship {
+	return &value.Relationship{ID: id, StartID: start, EndID: end, Type: typ, Props: map[string]value.Value{}}
+}
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	g.AddNode(node(1, []string{"A"}, nil))
+	g.AddNode(node(2, []string{"B"}, map[string]value.Value{"x": value.NewInt(1)}))
+	if err := g.AddRel(rel(10, 1, 2, "R")); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddAndLookup(t *testing.T) {
+	g := smallGraph(t)
+	if g.NumNodes() != 2 || g.NumRels() != 1 {
+		t.Fatalf("sizes: %d nodes, %d rels", g.NumNodes(), g.NumRels())
+	}
+	if g.Node(1) == nil || g.Node(3) != nil {
+		t.Error("Node lookup")
+	}
+	if g.Rel(10) == nil || g.Rel(11) != nil {
+		t.Error("Rel lookup")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddRelMissingEndpoint(t *testing.T) {
+	g := New()
+	g.AddNode(node(1, nil, nil))
+	if err := g.AddRel(rel(10, 1, 99, "R")); err == nil {
+		t.Error("dangling target should fail")
+	}
+	if err := g.AddRel(rel(10, 99, 1, "R")); err == nil {
+		t.Error("dangling source should fail")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := smallGraph(t)
+	g.RemoveRel(10)
+	if g.NumRels() != 0 {
+		t.Error("RemoveRel")
+	}
+	g.RemoveNode(1)
+	if g.NumNodes() != 1 {
+		t.Error("RemoveNode")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := smallGraph(t)
+	c := g.Clone()
+	c.Node(2).Props["x"] = value.NewInt(99)
+	c.Node(1).Labels = append(c.Node(1).Labels, "Extra")
+	if g.Node(2).Props["x"].Int() != 1 {
+		t.Error("clone shares property maps")
+	}
+	if g.Node(1).HasLabel("Extra") {
+		t.Error("clone shares label slices")
+	}
+}
+
+func TestUnionDisjoint(t *testing.T) {
+	g1 := smallGraph(t)
+	g2 := New()
+	g2.AddNode(node(3, []string{"C"}, nil))
+	u, err := Union(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumNodes() != 3 || u.NumRels() != 1 {
+		t.Errorf("union sizes: %d/%d", u.NumNodes(), u.NumRels())
+	}
+	// Inputs untouched.
+	if g1.NumNodes() != 2 || g2.NumNodes() != 1 {
+		t.Error("union mutated its inputs")
+	}
+}
+
+func TestUnionMergesUnderUNA(t *testing.T) {
+	g1 := New()
+	g1.AddNode(node(1, []string{"A"}, map[string]value.Value{"x": value.NewInt(1)}))
+	g2 := New()
+	g2.AddNode(node(1, []string{"B"}, map[string]value.Value{"y": value.NewInt(2)}))
+	u, err := Union(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := u.Node(1)
+	if !n.HasLabel("A") || !n.HasLabel("B") {
+		t.Error("labels must union")
+	}
+	if n.Prop("x").Int() != 1 || n.Prop("y").Int() != 2 {
+		t.Error("properties must union")
+	}
+}
+
+func TestUnionInconsistentProps(t *testing.T) {
+	g1 := New()
+	g1.AddNode(node(1, nil, map[string]value.Value{"x": value.NewInt(1)}))
+	g2 := New()
+	g2.AddNode(node(1, nil, map[string]value.Value{"x": value.NewInt(2)}))
+	_, err := Union(g1, g2)
+	var inc *Inconsistency
+	if !errors.As(err, &inc) {
+		t.Fatalf("want Inconsistency, got %v", err)
+	}
+	if inc.Entity != "node" || inc.ID != 1 {
+		t.Errorf("inconsistency detail: %+v", inc)
+	}
+}
+
+func TestUnionInconsistentRel(t *testing.T) {
+	mk := func(end int64, typ string) *Graph {
+		g := New()
+		g.AddNode(node(1, nil, nil))
+		g.AddNode(node(2, nil, nil))
+		g.AddNode(node(3, nil, nil))
+		if err := g.AddRel(rel(10, 1, end, typ)); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if _, err := Union(mk(2, "R"), mk(3, "R")); err == nil {
+		t.Error("differing endpoints must be inconsistent")
+	}
+	if _, err := Union(mk(2, "R"), mk(2, "S")); err == nil {
+		t.Error("differing type must be inconsistent")
+	}
+	if _, err := Union(mk(2, "R"), mk(2, "R")); err != nil {
+		t.Errorf("identical relationships must union: %v", err)
+	}
+}
+
+func TestUnionAllEmpty(t *testing.T) {
+	u, err := UnionAll(nil)
+	if err != nil || u.NumNodes() != 0 {
+		t.Errorf("empty UnionAll: %v %d", err, u.NumNodes())
+	}
+}
+
+func TestNodesRelsSorted(t *testing.T) {
+	g := New()
+	for _, id := range []int64{5, 3, 9, 1} {
+		g.AddNode(node(id, nil, nil))
+	}
+	ns := g.Nodes()
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1].ID >= ns[i].ID {
+			t.Fatal("Nodes() not sorted")
+		}
+	}
+}
+
+// randGraph builds a random graph whose node ids are drawn from a
+// small space (to force overlaps under union).
+func randGraph(r *rand.Rand) *Graph {
+	g := New()
+	nNodes := 1 + r.Intn(6)
+	ids := make([]int64, 0, nNodes)
+	for i := 0; i < nNodes; i++ {
+		id := int64(r.Intn(10))
+		if g.Node(id) != nil {
+			continue
+		}
+		g.AddNode(node(id, []string{"L"}, map[string]value.Value{"seed": value.NewInt(id)}))
+		ids = append(ids, id)
+	}
+	nRels := r.Intn(4)
+	for i := 0; i < nRels; i++ {
+		a := ids[r.Intn(len(ids))]
+		b := ids[r.Intn(len(ids))]
+		// Deterministic rel identity from endpoints, so overlapping
+		// graphs stay consistent.
+		id := 1000 + a*10 + b
+		if g.Rel(id) != nil {
+			continue
+		}
+		if err := g.AddRel(rel(id, a, b, "R")); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// TestQuickUnionCommutativeAndIdempotent checks the algebraic laws of
+// Definition 5.4 on random consistent graphs: G ∪ G = G,
+// G1 ∪ G2 = G2 ∪ G1 (sizes), and |G1 ∪ G2| ≤ |G1| + |G2|.
+func TestQuickUnionLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g1, g2 := randGraph(r), randGraph(r)
+		u12, err1 := Union(g1, g2)
+		u21, err2 := Union(g2, g1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if u12.NumNodes() != u21.NumNodes() || u12.NumRels() != u21.NumRels() {
+			return false
+		}
+		self, err := Union(g1, g1)
+		if err != nil || self.NumNodes() != g1.NumNodes() || self.NumRels() != g1.NumRels() {
+			return false
+		}
+		return u12.NumNodes() <= g1.NumNodes()+g2.NumNodes() &&
+			u12.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

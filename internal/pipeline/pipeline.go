@@ -1,0 +1,44 @@
+// Package pipeline wires the full Section 2 architecture together:
+// event producers publish to the embedded broker, a connector decodes
+// events into property graphs, and the continuous engine evaluates the
+// registered Seraph queries as the virtual clock advances.
+package pipeline
+
+import (
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/ingest"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+)
+
+// Run consumes events from the broker topic, pushes each decoded graph
+// into the engine and advances the engine's virtual clock to the
+// event's timestamp — continuously, until the broker is closed. It
+// returns the number of events processed.
+//
+// Producers terminate the pipeline by closing the broker; the pipeline
+// drains everything produced before the close.
+func Run(b *queue.Broker, topic string, e *engine.Engine) (int, error) {
+	conn, err := ingest.NewConnector(b, topic, func(g *pg.Graph, ts time.Time) error {
+		if err := e.Push(g, ts); err != nil {
+			return err
+		}
+		return e.AdvanceTo(ts)
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for {
+		n, err := conn.PollBlocking(1024)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += n
+	}
+}

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/ingest"
+	"seraph/internal/queue"
+	"seraph/internal/workload"
+)
+
+// TestRunPipeline drives the full Section 2 architecture with a
+// concurrent producer: producer → broker → connector → engine → sink.
+func TestRun(t *testing.T) {
+	broker := queue.NewBroker()
+	if err := broker.CreateTopic("rentals", 1); err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New()
+	col := &engine.Collector{}
+	if _, err := eng.RegisterSource(workload.StudentTrickQuery, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer publishes Figure 1 with pauses, then closes the broker.
+	go func() {
+		for _, el := range workload.Figure1Stream() {
+			data, err := ingest.Encode(el.Graph, el.Time)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := broker.Produce("rentals", "", data, el.Time); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		broker.Close()
+	}()
+
+	n, err := Run(broker, "rentals", eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("events processed = %d", n)
+	}
+	if got := len(col.NonEmpty()); got != 2 {
+		t.Errorf("non-empty results = %d, want 2 (Tables 5 and 6)", got)
+	}
+}
+
+// figure1CSV is the Figure 1 stream in the rental CSV format.
+const figure1CSV = `ts,vehicle,electric,station,user,kind,at,duration,extra_label
+2022-10-14T14:45:00,5,true,1,1234,rentedAt,2022-10-14T14:40:00,,EBike
+2022-10-14T15:00:00,5,true,2,1234,returnedAt,2022-10-14T14:55:00,15,EBike
+2022-10-14T15:00:00,6,false,2,1234,rentedAt,2022-10-14T14:57:00,,
+2022-10-14T15:00:00,8,false,2,5678,rentedAt,2022-10-14T14:58:00,,
+2022-10-14T15:15:00,6,false,3,1234,returnedAt,2022-10-14T15:13:00,16,
+2022-10-14T15:20:00,8,false,3,5678,returnedAt,2022-10-14T15:15:00,17,
+2022-10-14T15:20:00,7,true,3,5678,rentedAt,2022-10-14T15:18:00,,EBike
+2022-10-14T15:40:00,7,true,4,5678,returnedAt,2022-10-14T15:35:00,17,EBike
+`
+
+// TestCSVDrivesRunningExample replays the CSV-decoded Figure 1 stream
+// through the Listing 5 query and reproduces the Tables 5/6 outputs.
+func TestCSVDrivesRunningExample(t *testing.T) {
+	elems, err := ingest.ReadCSV(strings.NewReader(figure1CSV), ingest.RentalCSVMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.New()
+	col := &engine.Collector{}
+	if _, err := e.RegisterSource(workload.StudentTrickQuery, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonEmpty := col.NonEmpty()
+	if len(nonEmpty) != 2 {
+		t.Fatalf("non-empty emissions = %d, want 2", len(nonEmpty))
+	}
+	if u := nonEmpty[0].Table.Get(0, "r.user_id").Int(); u != 1234 {
+		t.Errorf("first match user = %d", u)
+	}
+	if u := nonEmpty[1].Table.Get(0, "r.user_id").Int(); u != 5678 {
+		t.Errorf("second match user = %d", u)
+	}
+}

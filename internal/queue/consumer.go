@@ -1,0 +1,131 @@
+package queue
+
+import (
+	"sort"
+	"sync"
+)
+
+// Consumer reads a topic's partitions in offset order with a committed
+// position per partition, mimicking a single-member consumer group.
+// Poll merges partitions by record timestamp so downstream stream
+// processing sees a time-ordered feed.
+type Consumer struct {
+	mu      sync.Mutex
+	broker  *Broker
+	group   string
+	topic   string
+	offsets []int64
+}
+
+// NewConsumer creates a consumer group member for a topic, starting at
+// the earliest offsets.
+func NewConsumer(b *Broker, group, topicName string) (*Consumer, error) {
+	n, err := b.Partitions(topicName)
+	if err != nil {
+		return nil, err
+	}
+	return &Consumer{
+		broker:  b,
+		group:   group,
+		topic:   topicName,
+		offsets: make([]int64, n),
+	}, nil
+}
+
+// Poll returns up to max pending records across all partitions, merged
+// in timestamp order, advancing the consumer's positions. An empty
+// result means the consumer is caught up.
+func (c *Consumer) Poll(max int) ([]Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Record
+	for p := range c.offsets {
+		recs, err := c.broker.Fetch(c.topic, p, c.offsets[p], max)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Partition != out[j].Partition {
+			return out[i].Partition < out[j].Partition
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	if len(out) > max {
+		out = out[:max]
+	}
+	for _, r := range out {
+		if r.Offset+1 > c.offsets[r.Partition] {
+			c.offsets[r.Partition] = r.Offset + 1
+		}
+	}
+	return out, nil
+}
+
+// PollBlocking polls, waiting for new records when caught up. It
+// returns nil records when the broker is closed.
+func (c *Consumer) PollBlocking(max int) ([]Record, error) {
+	for {
+		recs, err := c.Poll(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		ch, err := c.broker.notify(c.topic)
+		if err != nil {
+			if err == ErrClosed {
+				return nil, nil
+			}
+			return nil, err
+		}
+		// Re-check before sleeping: a produce may have raced with the
+		// registration above (Poll → notify window).
+		recs, err = c.Poll(max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		<-ch
+		if c.broker.isClosed() {
+			// Drain anything produced before close.
+			recs, err := c.Poll(max)
+			if err != nil || len(recs) > 0 {
+				return recs, err
+			}
+			return nil, nil
+		}
+	}
+}
+
+// Lag returns the total number of unconsumed records.
+func (c *Consumer) Lag() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lag int64
+	for p := range c.offsets {
+		end, err := c.broker.EndOffset(c.topic, p)
+		if err != nil {
+			return 0, err
+		}
+		lag += end - c.offsets[p]
+	}
+	return lag, nil
+}
+
+// Offsets returns a copy of the committed offsets per partition.
+func (c *Consumer) Offsets() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.offsets...)
+}
+
+// Seek resets the position of a partition (replay support).
+func (c *Consumer) Seek(partition int, offset int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if partition >= 0 && partition < len(c.offsets) && offset >= 0 {
+		c.offsets[partition] = offset
+	}
+}

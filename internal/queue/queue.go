@@ -1,0 +1,229 @@
+// Package queue implements an embedded, in-memory event broker that
+// stands in for the Kafka queue of the paper's Section 2 pipeline
+// (rental stations → Kafka → Neo4j connector). It provides the same
+// abstractions the pipeline relies on — named topics with ordered,
+// replayable, offset-addressed records and consumer groups with
+// committed offsets — without a network dependency, so the ingestion
+// code path (produce → consume → merge into graph) is exercised
+// end-to-end.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("queue: broker closed")
+
+// Record is one event: an opaque payload with a timestamp and an
+// optional key (used for partition routing).
+type Record struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       string
+	Value     []byte
+	Time      time.Time
+}
+
+// Broker is an in-memory multi-topic event log. All methods are safe
+// for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+	closed bool
+}
+
+type topic struct {
+	name       string
+	partitions []*partition
+	waiters    []chan struct{}
+}
+
+type partition struct {
+	records []Record
+}
+
+// groupKey identifies a consumer group's committed offset.
+type groupKey struct {
+	group     string
+	topic     string
+	partition int
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: map[string]*topic{}}
+}
+
+// CreateTopic creates a topic with the given partition count. Creating
+// an existing topic with the same partition count is a no-op.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions <= 0 {
+		return fmt.Errorf("queue: topic %q: partitions must be positive", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if t, ok := b.topics[name]; ok {
+		if len(t.partitions) != partitions {
+			return fmt.Errorf("queue: topic %q already exists with %d partitions", name, len(t.partitions))
+		}
+		return nil
+	}
+	t := &topic{name: name}
+	for i := 0; i < partitions; i++ {
+		t.partitions = append(t.partitions, &partition{})
+	}
+	b.topics[name] = t
+	return nil
+}
+
+// Topics returns the topic names.
+func (b *Broker) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Produce appends a record to the topic, routing by key hash (or
+// round-robin offset 0 when the key is empty and the topic has one
+// partition). It returns the record with partition and offset filled.
+func (b *Broker) Produce(topicName, key string, val []byte, ts time.Time) (Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Record{}, ErrClosed
+	}
+	t, ok := b.topics[topicName]
+	if !ok {
+		return Record{}, fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	p := 0
+	if len(t.partitions) > 1 {
+		p = int(fnv32(key)) % len(t.partitions)
+	}
+	part := t.partitions[p]
+	rec := Record{
+		Topic:     topicName,
+		Partition: p,
+		Offset:    int64(len(part.records)),
+		Key:       key,
+		Value:     val,
+		Time:      ts,
+	}
+	part.records = append(part.records, rec)
+	for _, w := range t.waiters {
+		close(w)
+	}
+	t.waiters = nil
+	return rec, nil
+}
+
+// Fetch returns up to max records of a topic partition starting at
+// offset. It never blocks; an empty slice means the consumer caught up.
+func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return nil, fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return nil, fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
+	}
+	part := t.partitions[partitionIdx]
+	if offset < 0 {
+		return nil, fmt.Errorf("queue: negative offset %d", offset)
+	}
+	if offset >= int64(len(part.records)) {
+		return nil, nil
+	}
+	end := offset + int64(max)
+	if end > int64(len(part.records)) {
+		end = int64(len(part.records))
+	}
+	return append([]Record(nil), part.records[offset:end]...), nil
+}
+
+// EndOffset returns the next offset to be written for a partition (the
+// "high watermark").
+func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return 0, fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
+	}
+	return int64(len(t.partitions[partitionIdx].records)), nil
+}
+
+// Partitions returns the number of partitions of a topic.
+func (b *Broker) Partitions(topicName string) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return 0, fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	return len(t.partitions), nil
+}
+
+// notify returns a channel closed at the next produce to the topic.
+func (b *Broker) notify(topicName string) (<-chan struct{}, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	t, ok := b.topics[topicName]
+	if !ok {
+		return nil, fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	ch := make(chan struct{})
+	t.waiters = append(t.waiters, ch)
+	return ch, nil
+}
+
+// Close shuts the broker down; blocked consumers are released.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, t := range b.topics {
+		for _, w := range t.waiters {
+			close(w)
+		}
+		t.waiters = nil
+	}
+}
+
+func (b *Broker) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,247 @@
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ts(i int) time.Time {
+	return time.Date(2022, 10, 14, 14, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Second)
+}
+
+func TestProduceFetch(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rec, err := b.Produce("t", "", []byte(fmt.Sprintf("m%d", i)), ts(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Offset != int64(i) {
+			t.Errorf("offset = %d, want %d", rec.Offset, i)
+		}
+	}
+	recs, err := b.Fetch("t", 0, 0, 3)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("fetch: %v len=%d", err, len(recs))
+	}
+	if string(recs[2].Value) != "m2" {
+		t.Errorf("payload: %q", recs[2].Value)
+	}
+	recs, err = b.Fetch("t", 0, 3, 100)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("tail fetch: %v len=%d", err, len(recs))
+	}
+	recs, err = b.Fetch("t", 0, 5, 10)
+	if err != nil || recs != nil {
+		t.Errorf("caught-up fetch: %v %v", err, recs)
+	}
+	end, err := b.EndOffset("t", 0)
+	if err != nil || end != 5 {
+		t.Errorf("end offset = %d", end)
+	}
+}
+
+func TestTopicManagement(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateTopic("t", 3); err != nil {
+		t.Error("idempotent create should succeed")
+	}
+	if err := b.CreateTopic("t", 5); err == nil {
+		t.Error("partition change must fail")
+	}
+	if err := b.CreateTopic("u", 0); err == nil {
+		t.Error("zero partitions must fail")
+	}
+	if n, _ := b.Partitions("t"); n != 3 {
+		t.Errorf("partitions = %d", n)
+	}
+	if _, err := b.Produce("missing", "", nil, ts(0)); err == nil {
+		t.Error("unknown topic must fail")
+	}
+	if _, err := b.Fetch("t", 9, 0, 1); err == nil {
+		t.Error("unknown partition must fail")
+	}
+}
+
+func TestKeyRouting(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := b.Produce("t", "alpha", nil, ts(0))
+	r2, _ := b.Produce("t", "alpha", nil, ts(1))
+	if r1.Partition != r2.Partition {
+		t.Error("same key must route to same partition")
+	}
+}
+
+func TestConsumerPollMergesByTime(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave timestamps across partitions via chosen keys.
+	keys := []string{"a", "b"}
+	for i := 0; i < 6; i++ {
+		if _, err := b.Produce("t", keys[i%2], []byte{byte(i)}, ts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewConsumer(b, "g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.Poll(100)
+	if err != nil || len(recs) != 6 {
+		t.Fatalf("poll: %v len=%d", err, len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatal("poll must merge by timestamp")
+		}
+	}
+	// Caught up now.
+	recs, _ = c.Poll(100)
+	if len(recs) != 0 {
+		t.Errorf("second poll: %d", len(recs))
+	}
+	if lag, _ := c.Lag(); lag != 0 {
+		t.Errorf("lag = %d", lag)
+	}
+}
+
+func TestConsumerMaxAndResume(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.Produce("t", "", []byte{byte(i)}, ts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := NewConsumer(b, "g", "t")
+	first, _ := c.Poll(4)
+	second, _ := c.Poll(100)
+	if len(first) != 4 || len(second) != 6 {
+		t.Fatalf("split polls: %d + %d", len(first), len(second))
+	}
+	if second[0].Offset != 4 {
+		t.Errorf("resume offset = %d", second[0].Offset)
+	}
+}
+
+func TestConsumerSeekReplay(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.Produce("t", "", []byte{byte(i)}, ts(i))
+	}
+	c, _ := NewConsumer(b, "g", "t")
+	c.Poll(100)
+	c.Seek(0, 1)
+	recs, _ := c.Poll(100)
+	if len(recs) != 2 || recs[0].Offset != 1 {
+		t.Errorf("replay after seek: %v", recs)
+	}
+	if off := c.Offsets(); off[0] != 3 {
+		t.Errorf("offsets = %v", off)
+	}
+}
+
+func TestPollBlockingWakesOnProduce(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewConsumer(b, "g", "t")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []Record
+	go func() {
+		defer wg.Done()
+		got, _ = c.PollBlocking(10)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := b.Produce("t", "", []byte("x"), ts(0)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(got) != 1 || string(got[0].Value) != "x" {
+		t.Errorf("blocking poll: %v", got)
+	}
+}
+
+func TestPollBlockingReleasedOnClose(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewConsumer(b, "g", "t")
+	done := make(chan struct{})
+	go func() {
+		recs, err := c.PollBlocking(10)
+		if err != nil || recs != nil {
+			t.Errorf("after close: %v %v", recs, err)
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("PollBlocking did not release on Close")
+	}
+	if _, err := b.Produce("t", "", nil, ts(0)); err != ErrClosed {
+		t.Errorf("produce after close: %v", err)
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const producers, per = 8, 100
+	base := ts(0)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := b.Produce("t", fmt.Sprintf("k%d", p), []byte{1}, base); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	c, _ := NewConsumer(b, "g", "t")
+	total := 0
+	for {
+		recs, err := c.Poll(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		total += len(recs)
+	}
+	if total != producers*per {
+		t.Errorf("consumed %d, want %d", total, producers*per)
+	}
+}

@@ -1,0 +1,482 @@
+// Package server exposes the Seraph continuous query engine as an HTTP
+// service — the "Graph Stream Processing engine with Seraph language
+// support" the paper sketches as its implementation plan (Section 6).
+//
+// Endpoints:
+//
+//	POST   /queries             register a Seraph query (body: text)
+//	GET    /queries             list registered queries with stats
+//	GET    /queries/{name}      one query's stats
+//	DELETE /queries/{name}      deregister
+//	GET    /queries/{name}/results?since=N   buffered results after seq N
+//	POST   /events              ingest NDJSON graph events
+//	POST   /cypher              one-time query over the merged graph
+//	GET    /checkpoint          download an engine checkpoint
+//	GET    /healthz             liveness
+//
+// Results are buffered per query in a bounded ring; clients poll with
+// the last sequence number they saw.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/ingest"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+func parseQuery(src string) (*ast.Query, error) { return parser.ParseQuery(src) }
+
+// resultBufferSize bounds the per-query result ring.
+const resultBufferSize = 1024
+
+// Server is the HTTP facade over an engine.
+type Server struct {
+	mu      sync.Mutex
+	engine  *engine.Engine
+	merged  *graphstore.Store // merged graph for one-time /cypher queries
+	buffers map[string]*resultRing
+	events  int
+}
+
+// New returns a server wrapping a fresh engine.
+func New() *Server {
+	return &Server{
+		engine:  engine.New(),
+		merged:  graphstore.New(),
+		buffers: map[string]*resultRing{},
+	}
+}
+
+// Restore returns a server whose engine resumes from a checkpoint
+// (see /checkpoint). Each restored query gets a fresh result buffer.
+// The merged /cypher graph is not part of engine checkpoints and starts
+// empty.
+func Restore(r io.Reader) (*Server, error) {
+	s := &Server{
+		merged:  graphstore.New(),
+		buffers: map[string]*resultRing{},
+	}
+	eng, err := engine.Restore(r, func(name string) engine.Sink {
+		ring := &resultRing{}
+		s.buffers[name] = ring
+		return ring.add
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+	return s, nil
+}
+
+// Engine exposes the wrapped engine (tests, embedding).
+func (s *Server) Engine() *engine.Engine { return s.engine }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/queries", s.handleQueries)
+	mux.HandleFunc("/queries/", s.handleQuery)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/cypher", s.handleCypher)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+type resultRing struct {
+	mu    sync.Mutex
+	seq   int64
+	items []storedResult
+}
+
+type storedResult struct {
+	Seq      int64            `json:"seq"`
+	At       time.Time        `json:"at"`
+	WinStart time.Time        `json:"win_start"`
+	WinEnd   time.Time        `json:"win_end"`
+	Op       string           `json:"op"`
+	Columns  []string         `json:"columns"`
+	Rows     []map[string]any `json:"rows"`
+}
+
+func (r *resultRing) add(res engine.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	sr := storedResult{
+		Seq:      r.seq,
+		At:       res.At,
+		WinStart: res.Window.Start,
+		WinEnd:   res.Window.End,
+		Op:       res.Op.String(),
+		Columns:  res.Table.Cols,
+		Rows:     tableRows(res.Table),
+	}
+	r.items = append(r.items, sr)
+	if len(r.items) > resultBufferSize {
+		r.items = r.items[len(r.items)-resultBufferSize:]
+	}
+}
+
+func (r *resultRing) after(seq int64) []storedResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []storedResult
+	for _, it := range r.items {
+		if it.Seq > seq {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func tableRows(t *eval.Table) []map[string]any {
+	rows := make([]map[string]any, 0, t.Len())
+	for i := range t.Rows {
+		m := make(map[string]any, len(t.Cols))
+		for j, c := range t.Cols {
+			m[c] = jsonValue(t.Rows[i][j])
+		}
+		rows = append(rows, m)
+	}
+	return rows
+}
+
+// jsonValue converts an internal value to a JSON-friendly form.
+func jsonValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindNumber:
+		if v.IsInt() {
+			return v.Int()
+		}
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindDateTime:
+		return v.DateTime().Format(time.RFC3339Nano)
+	case value.KindDuration:
+		return value.FormatDuration(v.Duration())
+	case value.KindList:
+		out := make([]any, len(v.List()))
+		for i, e := range v.List() {
+			out[i] = jsonValue(e)
+		}
+		return out
+	case value.KindMap:
+		out := make(map[string]any, len(v.Map()))
+		for k, e := range v.Map() {
+			out[k] = jsonValue(e)
+		}
+		return out
+	case value.KindNode:
+		n := v.Node()
+		props := make(map[string]any, len(n.Props))
+		for k, p := range n.Props {
+			props[k] = jsonValue(p)
+		}
+		return map[string]any{"id": n.ID, "labels": n.Labels, "props": props}
+	case value.KindRelationship:
+		r := v.Relationship()
+		props := make(map[string]any, len(r.Props))
+		for k, p := range r.Props {
+			props[k] = jsonValue(p)
+		}
+		return map[string]any{"id": r.ID, "start": r.StartID, "end": r.EndID, "type": r.Type, "props": props}
+	case value.KindPath:
+		p := v.Path()
+		nodes := make([]any, len(p.Nodes))
+		for i, n := range p.Nodes {
+			nodes[i] = jsonValue(value.NewNode(n))
+		}
+		rels := make([]any, len(p.Rels))
+		for i, r := range p.Rels {
+			rels[i] = jsonValue(value.NewRelationship(r))
+		}
+		return map[string]any{"nodes": nodes, "rels": rels}
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleCheckpoint streams a checkpoint of the engine's durable state.
+// Restore a server from it with server.Restore.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.engine.Checkpoint(w); err != nil {
+		// Headers are already out; the body carries the error.
+		fmt.Fprintf(w, "\n{\"error\": %q}\n", err.Error())
+	}
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		type item struct {
+			Name  string       `json:"name"`
+			Stats engine.Stats `json:"stats"`
+		}
+		var out []item
+		for _, q := range s.engine.Queries() {
+			out = append(out, item{Name: q.Name(), Stats: q.Stats()})
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		body := new(strings.Builder)
+		if _, err := copyBody(body, r); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ring := &resultRing{}
+		q, err := s.engine.RegisterSource(body.String(), ring.add)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.mu.Lock()
+		s.buffers[q.Name()] = ring
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, map[string]any{"name": q.Name()})
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/queries/")
+	parts := strings.Split(rest, "/")
+	name := parts[0]
+	if name == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing query name"))
+		return
+	}
+	switch {
+	case len(parts) == 2 && parts[1] == "results" && r.Method == http.MethodGet:
+		s.mu.Lock()
+		ring, ok := s.buffers[name]
+		s.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("query %q not registered", name))
+			return
+		}
+		since := int64(0)
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("invalid since: %v", err))
+				return
+			}
+			since = n
+		}
+		results := ring.after(since)
+		if results == nil {
+			results = []storedResult{}
+		}
+		writeJSON(w, http.StatusOK, results)
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		for _, q := range s.engine.Queries() {
+			if q.Name() == name {
+				writeJSON(w, http.StatusOK, map[string]any{"name": name, "stats": q.Stats()})
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("query %q not registered", name))
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		if err := s.engine.Deregister(name); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		s.mu.Lock()
+		delete(s.buffers, name)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// handleEvents ingests NDJSON events: each line one graph event. Events
+// are pushed to the engine (advancing the virtual clock) and merged
+// into the one-time store.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		g, ts, err := ingest.Decode([]byte(line))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: %w", n+1, err))
+			return
+		}
+		s.mu.Lock()
+		err = ingest.MergeInto(s.merged, g)
+		s.mu.Unlock()
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		if err := s.engine.Push(g, ts); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		if err := s.engine.AdvanceTo(ts); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.events += n
+	total := s.events
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": n, "total": total})
+}
+
+type cypherRequest struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params"`
+}
+
+// handleCypher evaluates a one-time Cypher query against the merged
+// graph (the Figure 2 style Neo4j-equivalent store).
+func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var req cypherRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	params := map[string]value.Value{}
+	for k, v := range req.Params {
+		cv, err := jsonToValue(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("param %q: %w", k, err))
+			return
+		}
+		params[k] = cv
+	}
+	out, err := s.execCypher(req.Query, params)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": out.Cols,
+		"rows":    tableRows(out),
+	})
+}
+
+func (s *Server) execCypher(src string, params map[string]value.Value) (*eval.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, err := parseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &eval.Ctx{
+		Store:  s.merged,
+		Params: params,
+		Builtins: map[string]value.Value{
+			"now": value.NewDateTime(s.engine.Now()),
+		},
+	}
+	return eval.EvalQuery(ctx, q)
+}
+
+func jsonToValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(x), nil
+	case string:
+		return value.NewString(x), nil
+	case float64:
+		if x == float64(int64(x)) {
+			return value.NewInt(int64(x)), nil
+		}
+		return value.NewFloat(x), nil
+	case []any:
+		items := make([]value.Value, len(x))
+		for i, e := range x {
+			cv, err := jsonToValue(e)
+			if err != nil {
+				return value.Null, err
+			}
+			items[i] = cv
+		}
+		return value.NewList(items...), nil
+	case map[string]any:
+		m := make(map[string]value.Value, len(x))
+		for k, e := range x {
+			cv, err := jsonToValue(e)
+			if err != nil {
+				return value.Null, err
+			}
+			m[k] = cv
+		}
+		return value.NewMap(m), nil
+	}
+	return value.Null, fmt.Errorf("unsupported parameter type %T", v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func copyBody(dst *strings.Builder, r *http.Request) (int64, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	var n int64
+	for sc.Scan() {
+		dst.WriteString(sc.Text())
+		dst.WriteByte('\n')
+		n += int64(len(sc.Text())) + 1
+	}
+	return n, sc.Err()
+}

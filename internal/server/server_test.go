@@ -1,0 +1,274 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seraph/internal/ingest"
+	"seraph/internal/workload"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&m)
+	return resp, m
+}
+
+func get(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func figure1NDJSON(t *testing.T) string {
+	t.Helper()
+	var b bytes.Buffer
+	for _, el := range workload.Figure1Stream() {
+		data, err := ingest.Encode(el.Graph, el.Time)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestHealth(t *testing.T) {
+	ts := newTestServer(t)
+	var m map[string]any
+	resp := get(t, ts.URL+"/healthz", &m)
+	if resp.StatusCode != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("health: %d %v", resp.StatusCode, m)
+	}
+}
+
+func TestFullPipelineOverHTTP(t *testing.T) {
+	ts := newTestServer(t)
+
+	// Register the running-example query.
+	resp, m := post(t, ts.URL+"/queries", workload.StudentTrickQuery)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %v", resp.StatusCode, m)
+	}
+	if m["name"] != "student_trick" {
+		t.Fatalf("name: %v", m)
+	}
+
+	// Ingest the Figure 1 events.
+	resp, m = post(t, ts.URL+"/events", figure1NDJSON(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d %v", resp.StatusCode, m)
+	}
+	if m["ingested"].(float64) != 5 {
+		t.Fatalf("ingested: %v", m)
+	}
+
+	// Fetch results: 12 evaluations, 2 with rows (Tables 5 and 6).
+	var results []map[string]any
+	get(t, ts.URL+"/queries/student_trick/results", &results)
+	if len(results) != 12 {
+		t.Fatalf("results = %d", len(results))
+	}
+	nonEmpty := 0
+	var lastSeq float64
+	for _, r := range results {
+		rows := r["rows"].([]any)
+		if len(rows) > 0 {
+			nonEmpty++
+		}
+		lastSeq = r["seq"].(float64)
+	}
+	if nonEmpty != 2 {
+		t.Errorf("non-empty results = %d, want 2", nonEmpty)
+	}
+
+	// Incremental polling with since=.
+	var newer []map[string]any
+	get(t, fmt.Sprintf("%s/queries/student_trick/results?since=%d", ts.URL, int(lastSeq)), &newer)
+	if len(newer) != 0 {
+		t.Errorf("nothing newer expected, got %d", len(newer))
+	}
+
+	// Stats endpoint.
+	var stat map[string]any
+	get(t, ts.URL+"/queries/student_trick", &stat)
+	if stat["name"] != "student_trick" {
+		t.Errorf("stats: %v", stat)
+	}
+
+	// One-time Cypher over the merged graph (Figure 2).
+	body, _ := json.Marshal(map[string]any{
+		"query": "MATCH (n) RETURN count(*) AS n",
+	})
+	resp2, err := http.Post(ts.URL+"/cypher", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var cy map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&cy); err != nil {
+		t.Fatal(err)
+	}
+	rows := cy["rows"].([]any)
+	if n := rows[0].(map[string]any)["n"].(float64); n != 8 {
+		t.Errorf("merged node count = %v", n)
+	}
+
+	// List queries.
+	var list []map[string]any
+	get(t, ts.URL+"/queries", &list)
+	if len(list) != 1 {
+		t.Errorf("list: %v", list)
+	}
+
+	// Deregister.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/queries/student_trick", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNoContent {
+		t.Errorf("delete: %d", resp3.StatusCode)
+	}
+	if resp := get(t, ts.URL+"/queries/student_trick", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	ts := newTestServer(t)
+	resp, m := post(t, ts.URL+"/queries", "THIS IS NOT SERAPH")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("bad query: %d %v", resp.StatusCode, m)
+	}
+	if _, ok := m["error"]; !ok {
+		t.Error("error body expected")
+	}
+	// Unknown query results.
+	if resp := get(t, ts.URL+"/queries/nosuch/results", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown results: %d", resp.StatusCode)
+	}
+}
+
+func TestEventErrors(t *testing.T) {
+	ts := newTestServer(t)
+	resp, m := post(t, ts.URL+"/events", "garbage\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad event: %d %v", resp.StatusCode, m)
+	}
+	// Out-of-order events are rejected once a query is registered.
+	if resp, _ := post(t, ts.URL+"/queries", `REGISTER QUERY q STARTING AT NOW { MATCH (a) WITHIN PT1M EMIT a EVERY PT1M }`); resp.StatusCode != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	lines := strings.Split(strings.TrimSpace(figure1NDJSON(t)), "\n")
+	if resp, _ := post(t, ts.URL+"/events", lines[2]+"\n"); resp.StatusCode != http.StatusOK {
+		t.Fatal("first event failed")
+	}
+	resp, m = post(t, ts.URL+"/events", lines[0]+"\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("out-of-order event: %d %v", resp.StatusCode, m)
+	}
+}
+
+func TestCypherParams(t *testing.T) {
+	ts := newTestServer(t)
+	post(t, ts.URL+"/events", figure1NDJSON(t))
+	body, _ := json.Marshal(map[string]any{
+		"query":  "MATCH (s:Station) WHERE s.id >= $min RETURN count(*) AS n",
+		"params": map[string]any{"min": 3},
+	})
+	resp, err := http.Post(ts.URL+"/cypher", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	rows := out["rows"].([]any)
+	if n := rows[0].(map[string]any)["n"].(float64); n != 2 {
+		t.Errorf("stations ≥ 3: %v", n)
+	}
+}
+
+// TestCheckpointEndpointAndRestore: a server restored from the
+// /checkpoint download continues evaluating its queries.
+func TestCheckpointEndpointAndRestore(t *testing.T) {
+	srv := New()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, m := post(t, ts.URL+"/queries", workload.StudentTrickQuery); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v", m)
+	}
+	lines := strings.Split(strings.TrimSpace(figure1NDJSON(t)), "\n")
+	// Feed the first three events (through Table 5).
+	post(t, ts.URL+"/events", strings.Join(lines[:3], "\n")+"\n")
+
+	resp, err := http.Get(ts.URL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Restore(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(restored.Handler())
+	defer ts2.Close()
+	// Continue with the remaining events on the restored server.
+	post(t, ts2.URL+"/events", strings.Join(lines[3:], "\n")+"\n")
+	var results []map[string]any
+	get(t, ts2.URL+"/queries/student_trick/results", &results)
+	// Post-restore evaluations: 15:20 through 15:40 (5 instants); the
+	// last one carries the Table 6 row for user 5678 only.
+	nonEmpty := 0
+	for _, r := range results {
+		if rows := r["rows"].([]any); len(rows) > 0 {
+			nonEmpty++
+			row := rows[0].(map[string]any)
+			if row["r.user_id"].(float64) != 5678 {
+				t.Errorf("post-restore match: %v", row)
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("post-restore non-empty results = %d, want 1", nonEmpty)
+	}
+}

@@ -1,0 +1,154 @@
+// Package stream implements the property graph stream model of
+// Definitions 5.1–5.3 in the Seraph paper: an unbounded sequence of
+// (property graph, timestamp) pairs with non-decreasing timestamps,
+// finite substreams over time intervals, and the helpers that snapshot
+// graphs (Definition 5.5) are built from.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"seraph/internal/pg"
+)
+
+// Element is one stream item (G, ω): a property graph with its
+// timestamp.
+type Element struct {
+	Graph *pg.Graph
+	Time  time.Time
+}
+
+// Interval is a time interval with configurable bound inclusivity.
+// Definition 5.1 uses left-closed right-open intervals; the engine also
+// supports the left-open right-closed windows that the paper's worked
+// example (Tables 5 and 6) exhibits.
+type Interval struct {
+	Start, End               time.Time
+	IncludeStart, IncludeEnd bool
+}
+
+// Contains reports whether t lies within the interval.
+func (iv Interval) Contains(t time.Time) bool {
+	switch {
+	case t.Before(iv.Start), t.After(iv.End):
+		return false
+	case t.Equal(iv.Start):
+		return iv.IncludeStart || (iv.IncludeEnd && iv.Start.Equal(iv.End))
+	case t.Equal(iv.End):
+		return iv.IncludeEnd
+	default:
+		return true
+	}
+}
+
+func (iv Interval) String() string {
+	l, r := "(", ")"
+	if iv.IncludeStart {
+		l = "["
+	}
+	if iv.IncludeEnd {
+		r = "]"
+	}
+	return fmt.Sprintf("%s%s, %s%s", l,
+		iv.Start.Format("2006-01-02T15:04:05"), iv.End.Format("2006-01-02T15:04:05"), r)
+}
+
+// Stream is an in-memory, append-only property graph stream. Elements
+// must be appended with non-decreasing timestamps (Definition 5.2).
+// Stream is safe for concurrent use.
+type Stream struct {
+	mu    sync.RWMutex
+	elems []Element
+}
+
+// New returns an empty stream.
+func New() *Stream { return &Stream{} }
+
+// Of returns a stream of the given elements (which must be ordered).
+func Of(elems ...Element) (*Stream, error) {
+	s := New()
+	for _, e := range elems {
+		if err := s.Append(e.Graph, e.Time); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Append adds (g, ω) to the stream. Timestamps must be non-decreasing.
+func (s *Stream) Append(g *pg.Graph, ts time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.elems); n > 0 && ts.Before(s.elems[n-1].Time) {
+		return fmt.Errorf("stream: out-of-order element %s before %s",
+			ts.Format(time.RFC3339), s.elems[n-1].Time.Format(time.RFC3339))
+	}
+	s.elems = append(s.elems, Element{Graph: g, Time: ts})
+	return nil
+}
+
+// Len returns the number of elements currently in the stream.
+func (s *Stream) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.elems)
+}
+
+// Elements returns a copy of all elements.
+func (s *Stream) Elements() []Element {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Element(nil), s.elems...)
+}
+
+// Substream returns S̃_τ (Definition 5.3): the finite subsequence of
+// elements whose timestamps lie in the interval.
+func (s *Stream) Substream(iv Interval) []Element {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Timestamps are sorted; find the window by binary search on the
+	// earliest possibly-included instant.
+	lo := sort.Search(len(s.elems), func(i int) bool {
+		return !s.elems[i].Time.Before(iv.Start)
+	})
+	var out []Element
+	for _, e := range s.elems[lo:] {
+		if e.Time.After(iv.End) {
+			break
+		}
+		if iv.Contains(e.Time) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DropBefore removes all elements with timestamps strictly before t,
+// returning the number removed. The engine uses this to bound memory to
+// the largest window width (the paper's unboundedness requirement).
+func (s *Stream) DropBefore(t time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := sort.Search(len(s.elems), func(i int) bool {
+		return !s.elems[i].Time.Before(t)
+	})
+	if lo == 0 {
+		return 0
+	}
+	s.elems = append([]Element(nil), s.elems[lo:]...)
+	return lo
+}
+
+// Snapshot builds the snapshot graph G_τ (Definition 5.5): the union of
+// all property graphs of the substream under the unique name
+// assumption.
+func Snapshot(elems []Element) (*pg.Graph, error) {
+	graphs := make([]*pg.Graph, len(elems))
+	for i, e := range elems {
+		graphs[i] = e.Graph
+	}
+	return pg.UnionAll(graphs)
+}

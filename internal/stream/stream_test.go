@@ -1,0 +1,138 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+func tAt(min int) time.Time {
+	return time.Date(2022, 10, 14, 14, 0, 0, 0, time.UTC).Add(time.Duration(min) * time.Minute)
+}
+
+func graphWithNode(id int64) *pg.Graph {
+	g := pg.New()
+	g.AddNode(&value.Node{ID: id, Props: map[string]value.Value{}})
+	return g
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := New()
+	if err := s.Append(graphWithNode(1), tAt(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(graphWithNode(2), tAt(0)); err != nil {
+		t.Fatal(err) // equal timestamps allowed (non-decreasing)
+	}
+	if err := s.Append(graphWithNode(3), tAt(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(graphWithNode(4), tAt(1)); err == nil {
+		t.Fatal("out-of-order append must fail")
+	}
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Start: tAt(0), End: tAt(10), IncludeStart: true, IncludeEnd: false}
+	cases := []struct {
+		at   time.Time
+		want bool
+	}{
+		{tAt(-1), false}, {tAt(0), true}, {tAt(5), true}, {tAt(10), false}, {tAt(11), false},
+	}
+	for _, c := range cases {
+		if iv.Contains(c.at) != c.want {
+			t.Errorf("[%s) contains %s = %v, want %v", iv, c.at.Format("15:04"), !c.want, c.want)
+		}
+	}
+	oc := Interval{Start: tAt(0), End: tAt(10), IncludeStart: false, IncludeEnd: true}
+	if oc.Contains(tAt(0)) || !oc.Contains(tAt(10)) {
+		t.Error("open-close bounds")
+	}
+	if got := iv.String(); got != "[2022-10-14T14:00:00, 2022-10-14T14:10:00)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSubstream(t *testing.T) {
+	s := New()
+	for i := 0; i <= 50; i += 10 {
+		if err := s.Append(graphWithNode(int64(i)), tAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Definition 5.3 with close-open bounds [10, 30).
+	got := s.Substream(Interval{Start: tAt(10), End: tAt(30), IncludeStart: true})
+	if len(got) != 2 || !got[0].Time.Equal(tAt(10)) || !got[1].Time.Equal(tAt(20)) {
+		t.Fatalf("substream [10,30): %d elements", len(got))
+	}
+	// Open-close (10, 30].
+	got = s.Substream(Interval{Start: tAt(10), End: tAt(30), IncludeEnd: true})
+	if len(got) != 2 || !got[0].Time.Equal(tAt(20)) || !got[1].Time.Equal(tAt(30)) {
+		t.Fatalf("substream (10,30]: %d elements", len(got))
+	}
+	// Empty interval.
+	if got := s.Substream(Interval{Start: tAt(100), End: tAt(200), IncludeStart: true}); len(got) != 0 {
+		t.Errorf("future substream: %d", len(got))
+	}
+}
+
+func TestDropBefore(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(graphWithNode(int64(i)), tAt(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.DropBefore(tAt(20)); n != 2 {
+		t.Errorf("dropped %d, want 2", n)
+	}
+	if s.Len() != 3 {
+		t.Errorf("len after drop = %d", s.Len())
+	}
+	if n := s.DropBefore(tAt(0)); n != 0 {
+		t.Errorf("second drop removed %d", n)
+	}
+}
+
+func TestSnapshotUnion(t *testing.T) {
+	mk := func(nodeID int64, relID int64, other int64) Element {
+		g := pg.New()
+		g.AddNode(&value.Node{ID: nodeID, Props: map[string]value.Value{}})
+		g.AddNode(&value.Node{ID: other, Props: map[string]value.Value{}})
+		if err := g.AddRel(&value.Relationship{ID: relID, StartID: nodeID, EndID: other, Type: "T", Props: map[string]value.Value{}}); err != nil {
+			t.Fatal(err)
+		}
+		return Element{Graph: g, Time: tAt(0)}
+	}
+	// Shared node 1 merges; distinct rels accumulate.
+	g, err := Snapshot([]Element{mk(1, 100, 2), mk(1, 101, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumRels() != 2 {
+		t.Errorf("snapshot sizes %d/%d", g.NumNodes(), g.NumRels())
+	}
+	// Empty snapshot.
+	g, err = Snapshot(nil)
+	if err != nil || g.NumNodes() != 0 {
+		t.Errorf("empty snapshot: %v %d", err, g.NumNodes())
+	}
+}
+
+func TestOf(t *testing.T) {
+	s, err := Of(Element{Graph: graphWithNode(1), Time: tAt(0)},
+		Element{Graph: graphWithNode(2), Time: tAt(5)})
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("Of: %v", err)
+	}
+	if _, err := Of(Element{Graph: graphWithNode(1), Time: tAt(5)},
+		Element{Graph: graphWithNode(2), Time: tAt(0)}); err == nil {
+		t.Error("Of with disorder must fail")
+	}
+}

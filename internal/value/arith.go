@@ -1,0 +1,220 @@
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrType is returned when an operator is applied to operands of
+// unsupported types. Per Cypher semantics this is a runtime error, not
+// a null result.
+var ErrType = errors.New("type error")
+
+func typeErr(op string, a, b Value) error {
+	return fmt.Errorf("%w: cannot apply %s to %s and %s", ErrType, op, a.kind, b.kind)
+}
+
+// Add implements the Cypher + operator: numeric addition, string and
+// list concatenation, and temporal arithmetic. Null propagates.
+func Add(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.kind == KindNumber && b.kind == KindNumber:
+		if !a.isFloat && !b.isFloat {
+			return NewInt(a.num + b.num), nil
+		}
+		return NewFloat(a.Float() + b.Float()), nil
+	case a.kind == KindString && b.kind == KindString:
+		return NewString(a.str + b.str), nil
+	case a.kind == KindList:
+		if b.kind == KindList {
+			out := make([]Value, 0, len(a.list)+len(b.list))
+			out = append(out, a.list...)
+			out = append(out, b.list...)
+			return NewList(out...), nil
+		}
+		out := make([]Value, 0, len(a.list)+1)
+		out = append(out, a.list...)
+		out = append(out, b)
+		return NewList(out...), nil
+	case b.kind == KindList:
+		out := make([]Value, 0, len(b.list)+1)
+		out = append(out, a)
+		out = append(out, b.list...)
+		return NewList(out...), nil
+	case a.kind == KindDateTime && b.kind == KindDuration:
+		return NewDateTime(a.t.Add(time.Duration(b.num))), nil
+	case a.kind == KindDuration && b.kind == KindDateTime:
+		return NewDateTime(b.t.Add(time.Duration(a.num))), nil
+	case a.kind == KindDuration && b.kind == KindDuration:
+		return NewDuration(time.Duration(a.num + b.num)), nil
+	}
+	return Null, typeErr("+", a, b)
+}
+
+// Sub implements the Cypher - operator.
+func Sub(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.kind == KindNumber && b.kind == KindNumber:
+		if !a.isFloat && !b.isFloat {
+			return NewInt(a.num - b.num), nil
+		}
+		return NewFloat(a.Float() - b.Float()), nil
+	case a.kind == KindDateTime && b.kind == KindDuration:
+		return NewDateTime(a.t.Add(-time.Duration(b.num))), nil
+	case a.kind == KindDateTime && b.kind == KindDateTime:
+		return NewDuration(a.t.Sub(b.t)), nil
+	case a.kind == KindDuration && b.kind == KindDuration:
+		return NewDuration(time.Duration(a.num - b.num)), nil
+	}
+	return Null, typeErr("-", a, b)
+}
+
+// Mul implements the Cypher * operator.
+func Mul(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.kind == KindNumber && b.kind == KindNumber:
+		if !a.isFloat && !b.isFloat {
+			return NewInt(a.num * b.num), nil
+		}
+		return NewFloat(a.Float() * b.Float()), nil
+	case a.kind == KindDuration && b.kind == KindNumber:
+		return NewDuration(time.Duration(float64(a.num) * b.Float())), nil
+	case a.kind == KindNumber && b.kind == KindDuration:
+		return NewDuration(time.Duration(a.Float() * float64(b.num))), nil
+	}
+	return Null, typeErr("*", a, b)
+}
+
+// Div implements the Cypher / operator. Integer division truncates;
+// division by integer zero is an error, by float zero yields ±Inf.
+func Div(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	switch {
+	case a.kind == KindNumber && b.kind == KindNumber:
+		if !a.isFloat && !b.isFloat {
+			if b.num == 0 {
+				return Null, fmt.Errorf("%w: integer division by zero", ErrType)
+			}
+			return NewInt(a.num / b.num), nil
+		}
+		return NewFloat(a.Float() / b.Float()), nil
+	case a.kind == KindDuration && b.kind == KindNumber:
+		if b.Float() == 0 {
+			return Null, fmt.Errorf("%w: duration division by zero", ErrType)
+		}
+		return NewDuration(time.Duration(float64(a.num) / b.Float())), nil
+	}
+	return Null, typeErr("/", a, b)
+}
+
+// Mod implements the Cypher % operator.
+func Mod(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.kind == KindNumber && b.kind == KindNumber {
+		if !a.isFloat && !b.isFloat {
+			if b.num == 0 {
+				return Null, fmt.Errorf("%w: integer modulo by zero", ErrType)
+			}
+			return NewInt(a.num % b.num), nil
+		}
+		return NewFloat(math.Mod(a.Float(), b.Float())), nil
+	}
+	return Null, typeErr("%", a, b)
+}
+
+// Pow implements the Cypher ^ operator (always returns a float).
+func Pow(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.kind == KindNumber && b.kind == KindNumber {
+		return NewFloat(math.Pow(a.Float(), b.Float())), nil
+	}
+	return Null, typeErr("^", a, b)
+}
+
+// Neg implements unary minus.
+func Neg(a Value) (Value, error) {
+	if a.IsNull() {
+		return Null, nil
+	}
+	switch a.kind {
+	case KindNumber:
+		if a.isFloat {
+			return NewFloat(-a.Float()), nil
+		}
+		return NewInt(-a.num), nil
+	case KindDuration:
+		return NewDuration(-time.Duration(a.num)), nil
+	}
+	return Null, typeErr("-", a, a)
+}
+
+// And implements ternary-logic conjunction.
+func And(a, b Value) Value {
+	af, aok := boolOf(a)
+	bf, bok := boolOf(b)
+	switch {
+	case aok && !af, bok && !bf:
+		return False
+	case aok && bok:
+		return True
+	default:
+		return Null
+	}
+}
+
+// Or implements ternary-logic disjunction.
+func Or(a, b Value) Value {
+	af, aok := boolOf(a)
+	bf, bok := boolOf(b)
+	switch {
+	case aok && af, bok && bf:
+		return True
+	case aok && bok:
+		return False
+	default:
+		return Null
+	}
+}
+
+// Xor implements ternary-logic exclusive disjunction.
+func Xor(a, b Value) Value {
+	af, aok := boolOf(a)
+	bf, bok := boolOf(b)
+	if !aok || !bok {
+		return Null
+	}
+	return NewBool(af != bf)
+}
+
+// Not implements ternary-logic negation.
+func Not(a Value) Value {
+	f, ok := boolOf(a)
+	if !ok {
+		return Null
+	}
+	return NewBool(!f)
+}
+
+func boolOf(v Value) (val, ok bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.num != 0, true
+}

@@ -1,0 +1,290 @@
+package value
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// Equal implements Cypher value equality with ternary logic: the result
+// is True, False, or Null (when either operand is null, or when the
+// operands are of incomparable types in a context where Cypher defines
+// the comparison as undefined).
+func Equal(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.kind == KindList && b.kind == KindList {
+		if len(a.list) != len(b.list) {
+			return False
+		}
+		sawNull := false
+		for i := range a.list {
+			e := Equal(a.list[i], b.list[i])
+			switch {
+			case e.IsNull():
+				sawNull = true
+			case !e.Bool():
+				return False
+			}
+		}
+		if sawNull {
+			return Null
+		}
+		return True
+	}
+	if a.kind == KindMap && b.kind == KindMap {
+		if len(a.mp) != len(b.mp) {
+			return False
+		}
+		sawNull := false
+		for k, av := range a.mp {
+			bv, ok := b.mp[k]
+			if !ok {
+				return False
+			}
+			e := Equal(av, bv)
+			switch {
+			case e.IsNull():
+				sawNull = true
+			case !e.Bool():
+				return False
+			}
+		}
+		if sawNull {
+			return Null
+		}
+		return True
+	}
+	if a.kind != b.kind {
+		// Numbers compare across int/float; everything else of
+		// differing kinds is simply not equal.
+		return False
+	}
+	switch a.kind {
+	case KindBool:
+		return NewBool(a.num == b.num)
+	case KindNumber:
+		return NewBool(numEq(a, b))
+	case KindString:
+		return NewBool(a.str == b.str)
+	case KindNode:
+		return NewBool(a.node.ID == b.node.ID)
+	case KindRelationship:
+		return NewBool(a.rel.ID == b.rel.ID)
+	case KindPath:
+		return NewBool(pathEq(a.path, b.path))
+	case KindDateTime:
+		return NewBool(a.t.Equal(b.t))
+	case KindDuration:
+		return NewBool(a.num == b.num)
+	}
+	return False
+}
+
+func numEq(a, b Value) bool {
+	if !a.isFloat && !b.isFloat {
+		return a.num == b.num
+	}
+	return a.Float() == b.Float()
+}
+
+func pathEq(a, b *Path) bool {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Rels) != len(b.Rels) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].ID != b.Nodes[i].ID {
+			return false
+		}
+	}
+	for i := range a.Rels {
+		if a.Rels[i].ID != b.Rels[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareTernary implements the Cypher comparison operators (<, <=, >,
+// >=). It returns an integer result wrapped in ok semantics: when the
+// comparison is defined, cmp is -1/0/+1 and defined is true; otherwise
+// defined is false and the comparison expression evaluates to null.
+func CompareTernary(a, b Value) (cmp int, defined bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch {
+	case a.kind == KindNumber && b.kind == KindNumber:
+		return numCmp(a, b), true
+	case a.kind == KindString && b.kind == KindString:
+		return strings.Compare(a.str, b.str), true
+	case a.kind == KindBool && b.kind == KindBool:
+		return int(a.num - b.num), true
+	case a.kind == KindDateTime && b.kind == KindDateTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1, true
+		case a.t.After(b.t):
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.kind == KindDuration && b.kind == KindDuration:
+		switch {
+		case a.num < b.num:
+			return -1, true
+		case a.num > b.num:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case a.kind == KindList && b.kind == KindList:
+		for i := 0; i < len(a.list) && i < len(b.list); i++ {
+			c, ok := CompareTernary(a.list[i], b.list[i])
+			if !ok {
+				return 0, false
+			}
+			if c != 0 {
+				return c, true
+			}
+		}
+		return len(a.list) - len(b.list), true
+	}
+	return 0, false
+}
+
+func numCmp(a, b Value) int {
+	if !a.isFloat && !b.isFloat {
+		switch {
+		case a.num < b.num:
+			return -1
+		case a.num > b.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	af, bf := a.Float(), b.Float()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Compare implements Cypher *orderability*: a total order over all
+// values used by ORDER BY, grouping and bag operations. The order of
+// kinds follows the openCypher orderability spec (maps < nodes <
+// relationships < lists < paths < datetimes < durations < strings <
+// booleans < numbers < null); NaN sorts above all other numbers.
+func Compare(a, b Value) int {
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return int(a.num - b.num)
+	case KindNumber:
+		af, bf := a.Float(), b.Float()
+		an, bn := math.IsNaN(af), math.IsNaN(bf)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return 1
+		case bn:
+			return -1
+		}
+		return numCmp(a, b)
+	case KindString:
+		return strings.Compare(a.str, b.str)
+	case KindDateTime:
+		switch {
+		case a.t.Before(b.t):
+			return -1
+		case a.t.After(b.t):
+			return 1
+		default:
+			return 0
+		}
+	case KindDuration:
+		switch {
+		case a.num < b.num:
+			return -1
+		case a.num > b.num:
+			return 1
+		default:
+			return 0
+		}
+	case KindList:
+		for i := 0; i < len(a.list) && i < len(b.list); i++ {
+			if c := Compare(a.list[i], b.list[i]); c != 0 {
+				return c
+			}
+		}
+		return len(a.list) - len(b.list)
+	case KindMap:
+		ak, bk := sortedKeys(a.mp), sortedKeys(b.mp)
+		for i := 0; i < len(ak) && i < len(bk); i++ {
+			if c := strings.Compare(ak[i], bk[i]); c != 0 {
+				return c
+			}
+			if c := Compare(a.mp[ak[i]], b.mp[bk[i]]); c != 0 {
+				return c
+			}
+		}
+		return len(ak) - len(bk)
+	case KindNode:
+		return cmpInt64(a.node.ID, b.node.ID)
+	case KindRelationship:
+		return cmpInt64(a.rel.ID, b.rel.ID)
+	case KindPath:
+		an, bn := a.path, b.path
+		for i := 0; i < len(an.Nodes) && i < len(bn.Nodes); i++ {
+			if c := cmpInt64(an.Nodes[i].ID, bn.Nodes[i].ID); c != 0 {
+				return c
+			}
+		}
+		if c := len(an.Nodes) - len(bn.Nodes); c != 0 {
+			return c
+		}
+		for i := 0; i < len(an.Rels) && i < len(bn.Rels); i++ {
+			if c := cmpInt64(an.Rels[i].ID, bn.Rels[i].ID); c != 0 {
+				return c
+			}
+		}
+		return len(an.Rels) - len(bn.Rels)
+	}
+	return 0
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sortedKeys(m map[string]Value) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Equivalent reports whether a and b are the same value under
+// orderability (used for DISTINCT, grouping and bag difference, where
+// null is equivalent to null).
+func Equivalent(a, b Value) bool { return Compare(a, b) == 0 }

@@ -1,0 +1,103 @@
+package value
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Key returns a canonical encoding of v suitable for use as a Go map
+// key in grouping, DISTINCT, and bag-difference operations. Two values
+// have the same key iff they are Equivalent (orderability-equal); in
+// particular null == null and 1 == 1.0 under Key, matching grouping
+// semantics.
+func Key(v Value) string {
+	var b strings.Builder
+	writeKey(&b, v)
+	return b.String()
+}
+
+// KeyOf returns the canonical encoding of a tuple of values, used as a
+// grouping key for multi-expression GROUP BY.
+func KeyOf(vs ...Value) string {
+	var b strings.Builder
+	for _, v := range vs {
+		writeKey(&b, v)
+		b.WriteByte(0x1f) // unit separator between tuple positions
+	}
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, v Value) {
+	switch v.kind {
+	case KindNull:
+		b.WriteString("\x00")
+	case KindBool:
+		if v.Bool() {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case KindNumber:
+		// Encode via float64 so 1 and 1.0 share a key; int64 values
+		// beyond 2^53 fall back to exact integer encoding (they can
+		// never equal a float that is also beyond 2^53 exactly unless
+		// identical).
+		if !v.isFloat && (v.num > 1<<53 || v.num < -(1<<53)) {
+			b.WriteString("i")
+			b.WriteString(strconv.FormatInt(v.num, 10))
+			return
+		}
+		f := v.Float()
+		if math.IsNaN(f) {
+			b.WriteString("fNaN")
+			return
+		}
+		b.WriteString("f")
+		b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+	case KindString:
+		b.WriteString("s")
+		b.WriteString(strconv.Itoa(len(v.str)))
+		b.WriteString(":")
+		b.WriteString(v.str)
+	case KindList:
+		b.WriteString("[")
+		for _, e := range v.list {
+			writeKey(b, e)
+			b.WriteByte(',')
+		}
+		b.WriteString("]")
+	case KindMap:
+		b.WriteString("{")
+		for _, k := range sortedKeys(v.mp) {
+			b.WriteString(k)
+			b.WriteByte('=')
+			writeKey(b, v.mp[k])
+			b.WriteByte(',')
+		}
+		b.WriteString("}")
+	case KindNode:
+		b.WriteString("n")
+		b.WriteString(strconv.FormatInt(v.node.ID, 10))
+	case KindRelationship:
+		b.WriteString("r")
+		b.WriteString(strconv.FormatInt(v.rel.ID, 10))
+	case KindPath:
+		b.WriteString("p")
+		for _, n := range v.path.Nodes {
+			b.WriteString(strconv.FormatInt(n.ID, 10))
+			b.WriteByte('.')
+		}
+		b.WriteByte('/')
+		for _, r := range v.path.Rels {
+			b.WriteString(strconv.FormatInt(r.ID, 10))
+			b.WriteByte('.')
+		}
+	case KindDateTime:
+		b.WriteString("t")
+		b.WriteString(strconv.FormatInt(v.t.UnixNano(), 10))
+	case KindDuration:
+		b.WriteString("d")
+		b.WriteString(strconv.FormatInt(v.num, 10))
+	}
+}

@@ -1,0 +1,163 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randValue generates a random value of bounded depth for
+// property-based tests.
+func randValue(r *rand.Rand, depth int) Value {
+	kinds := 7
+	if depth > 0 {
+		kinds = 9
+	}
+	switch r.Intn(kinds) {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(int64(r.Intn(2001) - 1000))
+	case 3:
+		return NewFloat(float64(r.Intn(2001)-1000) / 4)
+	case 4:
+		return NewString(randString(r))
+	case 5:
+		return NewDateTime(time.Unix(int64(r.Intn(100000)), 0))
+	case 6:
+		return NewDuration(time.Duration(r.Intn(100000)) * time.Second)
+	case 7:
+		n := r.Intn(4)
+		items := make([]Value, n)
+		for i := range items {
+			items[i] = randValue(r, depth-1)
+		}
+		return NewList(items...)
+	default:
+		n := r.Intn(4)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[randString(r)] = randValue(r, depth-1)
+		}
+		return NewMap(m)
+	}
+}
+
+func randString(r *rand.Rand) string {
+	letters := "abcxyz"
+	n := r.Intn(5)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestQuickCompareAntisymmetric checks Compare(a,b) == -Compare(b,a) in
+// sign for arbitrary values (orderability is a total order).
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r, 2), randValue(r, 2)
+		return sign(Compare(a, b)) == -sign(Compare(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareTransitive checks transitivity of orderability on
+// random triples.
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randValue(r, 2), randValue(r, 2), randValue(r, 2)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCompareReflexive checks Compare(a,a) == 0.
+func TestQuickCompareReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randValue(r, 3)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyConsistentWithEquivalence checks that two values share a
+// canonical key iff they are orderability-equivalent.
+func TestQuickKeyConsistentWithEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r, 2), randValue(r, 2)
+		return (Key(a) == Key(b)) == Equivalent(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEqualSymmetric checks ternary equality is symmetric.
+func TestQuickEqualSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randValue(r, 2), randValue(r, 2)
+		x, y := Equal(a, b), Equal(b, a)
+		if x.IsNull() != y.IsNull() {
+			return false
+		}
+		return x.IsNull() || x.Bool() == y.Bool()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddCommutative checks numeric addition commutes.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Add(NewInt(int64(a)), NewInt(int64(b)))
+		y, err2 := Add(NewInt(int64(b)), NewInt(int64(a)))
+		return err1 == nil && err2 == nil && Equivalent(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDurationRoundTrip checks FormatDuration/ParseDuration on
+// second-granular durations.
+func TestQuickDurationRoundTrip(t *testing.T) {
+	f := func(secs int32) bool {
+		d := time.Duration(secs) * time.Second
+		back, err := ParseDuration(FormatDuration(d))
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

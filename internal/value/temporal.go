@@ -1,0 +1,154 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Calendar-unit lengths used when converting the Y/M/W/D components of
+// an ISO 8601 duration to a fixed time.Duration. Seraph windows are
+// time intervals over a discrete time domain (Definition 5.1), so a
+// fixed-length interpretation is both sufficient and deterministic.
+const (
+	Day   = 24 * time.Hour
+	Week  = 7 * Day
+	Month = 30 * Day
+	Year  = 365 * Day
+)
+
+// ParseDateTime parses an ISO 8601 datetime in any of the accepted
+// layouts (date only, minute precision, second precision, with or
+// without zone). The paper's listings use forms like
+// "2022-10-14T14:45" and "2022-10-14T14:45:00".
+func ParseDateTime(s string) (time.Time, error) {
+	layouts := []string{
+		time.RFC3339,
+		"2006-01-02T15:04:05",
+		"2006-01-02T15:04",
+		"2006-01-02 15:04:05",
+		"2006-01-02 15:04",
+		"2006-01-02",
+	}
+	// The paper's narrative sometimes writes "14:45h"-style instants;
+	// accept a trailing 'h'.
+	s = strings.TrimSuffix(s, "h")
+	for _, l := range layouts {
+		if t, err := time.Parse(l, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("invalid ISO 8601 datetime %q", s)
+}
+
+// ParseDuration parses an ISO 8601 duration such as PT5M, PT1H, P1D,
+// P1Y2M3DT4H5M6.5S, or -PT30S. It returns an error for malformed or
+// empty durations.
+func ParseDuration(s string) (time.Duration, error) {
+	orig := s
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	} else if strings.HasPrefix(s, "+") {
+		s = s[1:]
+	}
+	if len(s) == 0 || (s[0] != 'P' && s[0] != 'p') {
+		return 0, fmt.Errorf("invalid ISO 8601 duration %q", orig)
+	}
+	s = s[1:]
+	var total time.Duration
+	inTime := false
+	sawComponent := false
+	for len(s) > 0 {
+		if s[0] == 'T' || s[0] == 't' {
+			if inTime {
+				return 0, fmt.Errorf("invalid ISO 8601 duration %q: repeated T", orig)
+			}
+			inTime = true
+			s = s[1:]
+			continue
+		}
+		i := 0
+		for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.' || s[i] == ',') {
+			i++
+		}
+		if i == 0 || i == len(s) {
+			return 0, fmt.Errorf("invalid ISO 8601 duration %q", orig)
+		}
+		numStr := strings.ReplaceAll(s[:i], ",", ".")
+		n, err := strconv.ParseFloat(numStr, 64)
+		if err != nil {
+			return 0, fmt.Errorf("invalid ISO 8601 duration %q: %v", orig, err)
+		}
+		unit := s[i]
+		s = s[i+1:]
+		var d time.Duration
+		switch {
+		case !inTime && (unit == 'Y' || unit == 'y'):
+			d = Year
+		case !inTime && (unit == 'M' || unit == 'm'):
+			d = Month
+		case !inTime && (unit == 'W' || unit == 'w'):
+			d = Week
+		case !inTime && (unit == 'D' || unit == 'd'):
+			d = Day
+		case inTime && (unit == 'H' || unit == 'h'):
+			d = time.Hour
+		case inTime && (unit == 'M' || unit == 'm'):
+			d = time.Minute
+		case inTime && (unit == 'S' || unit == 's'):
+			d = time.Second
+		default:
+			return 0, fmt.Errorf("invalid ISO 8601 duration %q: unit %q", orig, string(unit))
+		}
+		total += time.Duration(n * float64(d))
+		sawComponent = true
+	}
+	if !sawComponent {
+		return 0, fmt.Errorf("invalid ISO 8601 duration %q: no components", orig)
+	}
+	if neg {
+		total = -total
+	}
+	return total, nil
+}
+
+// FormatDuration renders d in ISO 8601 style (PT..H..M..S with days
+// folded out), the inverse of ParseDuration for H/M/S durations.
+func FormatDuration(d time.Duration) string {
+	if d == 0 {
+		return "PT0S"
+	}
+	var b strings.Builder
+	if d < 0 {
+		b.WriteByte('-')
+		d = -d
+	}
+	b.WriteByte('P')
+	if days := d / Day; days > 0 {
+		fmt.Fprintf(&b, "%dD", days)
+		d -= days * Day
+	}
+	if d > 0 {
+		b.WriteByte('T')
+		if h := d / time.Hour; h > 0 {
+			fmt.Fprintf(&b, "%dH", h)
+			d -= h * time.Hour
+		}
+		if m := d / time.Minute; m > 0 {
+			fmt.Fprintf(&b, "%dM", m)
+			d -= m * time.Minute
+		}
+		if d > 0 {
+			secs := float64(d) / float64(time.Second)
+			if secs == float64(int64(secs)) {
+				fmt.Fprintf(&b, "%dS", int64(secs))
+			} else {
+				fmt.Fprintf(&b, "%gS", secs)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package value
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"PT5M", 5 * time.Minute},
+		{"PT1H", time.Hour},
+		{"PT30S", 30 * time.Second},
+		{"PT1H30M", 90 * time.Minute},
+		{"P1D", 24 * time.Hour},
+		{"P1DT2H", 26 * time.Hour},
+		{"P1W", 7 * 24 * time.Hour},
+		{"PT0.5S", 500 * time.Millisecond},
+		{"PT0,5S", 500 * time.Millisecond},
+		{"-PT30S", -30 * time.Second},
+		{"pt10m", 10 * time.Minute},
+		{"P1Y", 365 * 24 * time.Hour},
+		{"P2M", 60 * 24 * time.Hour},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Errorf("ParseDuration(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDuration(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "P", "PT", "5M", "PT5", "PTxM", "P5", "PT5M3", "PT1H2H"[0:4] + "Q"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) should fail", bad)
+		}
+	}
+	// M means months before T, minutes after.
+	mo, _ := ParseDuration("P1M")
+	mi, _ := ParseDuration("PT1M")
+	if mo == mi {
+		t.Error("P1M and PT1M must differ")
+	}
+}
+
+func TestFormatDurationRoundTrip(t *testing.T) {
+	cases := []time.Duration{
+		0, time.Second, 90 * time.Minute, 26 * time.Hour, -30 * time.Second,
+		500 * time.Millisecond, 36*time.Hour + 15*time.Minute + 10*time.Second,
+	}
+	for _, d := range cases {
+		s := FormatDuration(d)
+		back, err := ParseDuration(s)
+		if err != nil {
+			t.Errorf("FormatDuration(%s) = %q does not re-parse: %v", d, s, err)
+			continue
+		}
+		if back != d {
+			t.Errorf("round trip %s -> %q -> %s", d, s, back)
+		}
+	}
+}
+
+func TestParseDateTime(t *testing.T) {
+	want := time.Date(2022, 10, 14, 14, 45, 0, 0, time.UTC)
+	for _, in := range []string{
+		"2022-10-14T14:45:00",
+		"2022-10-14T14:45",
+		"2022-10-14 14:45",
+		"2022-10-14T14:45:00Z",
+		"2022-10-14T14:45h", // paper narrative style
+	} {
+		got, err := ParseDateTime(in)
+		if err != nil {
+			t.Errorf("ParseDateTime(%q): %v", in, err)
+			continue
+		}
+		if !got.Equal(want) {
+			t.Errorf("ParseDateTime(%q) = %s, want %s", in, got, want)
+		}
+	}
+	if d, err := ParseDateTime("2022-10-14"); err != nil || d.Hour() != 0 {
+		t.Errorf("date-only parse failed: %v %v", d, err)
+	}
+	for _, bad := range []string{"", "14:45", "2022-13-01T00:00", "not a date"} {
+		if _, err := ParseDateTime(bad); err == nil {
+			t.Errorf("ParseDateTime(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package value implements the Cypher value system 𝒱 used throughout
+// Seraph: null, booleans, 64-bit integers, floats, strings, lists, maps,
+// graph entities (nodes, relationships, paths) and the temporal types
+// (datetime, duration) that Seraph's window clauses rely on.
+//
+// The semantics follow the openCypher formal core (Francis et al.,
+// SIGMOD 2018), which the Seraph paper builds on: SQL-style ternary
+// logic for comparisons involving null, incomparability producing null,
+// and a separate total "orderability" relation used by ORDER BY,
+// DISTINCT and grouping.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind int
+
+// The value kinds, in orderability order (see Compare).
+const (
+	KindMap Kind = iota
+	KindNode
+	KindRelationship
+	KindList
+	KindPath
+	KindDateTime
+	KindDuration
+	KindString
+	KindBool
+	KindNumber // integers and floats share one orderability class
+	KindNull
+)
+
+var kindNames = map[Kind]string{
+	KindMap:          "MAP",
+	KindNode:         "NODE",
+	KindRelationship: "RELATIONSHIP",
+	KindList:         "LIST",
+	KindPath:         "PATH",
+	KindDateTime:     "DATETIME",
+	KindDuration:     "DURATION",
+	KindString:       "STRING",
+	KindBool:         "BOOLEAN",
+	KindNumber:       "NUMBER",
+	KindNull:         "NULL",
+}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a Cypher value. The zero Value is null.
+//
+// Value is implemented as a small tagged struct rather than an
+// interface: queries manipulate very large numbers of values and the
+// struct representation avoids one allocation per integer/bool and
+// keeps records cache-friendly.
+type Value struct {
+	kind Kind
+	// num holds ints (bit-cast), floats (bit-cast), bools (0/1) and
+	// durations (nanoseconds).
+	num int64
+	// isFloat distinguishes floats from ints within KindNumber.
+	isFloat bool
+	str     string
+	list    []Value
+	mp      map[string]Value
+	node    *Node
+	rel     *Relationship
+	path    *Path
+	t       time.Time
+}
+
+// Null is the null value.
+var Null = Value{kind: KindNull}
+
+// True and False are the boolean constants.
+var (
+	True  = Value{kind: KindBool, num: 1}
+	False = Value{kind: KindBool, num: 0}
+)
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindNumber, num: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value {
+	return Value{kind: KindNumber, num: int64(math.Float64bits(f)), isFloat: true}
+}
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, str: s} }
+
+// NewList returns a list value wrapping vs (not copied).
+func NewList(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// NewMap returns a map value wrapping m (not copied).
+func NewMap(m map[string]Value) Value { return Value{kind: KindMap, mp: m} }
+
+// NewNode returns a node value.
+func NewNode(n *Node) Value { return Value{kind: KindNode, node: n} }
+
+// NewRelationship returns a relationship value.
+func NewRelationship(r *Relationship) Value { return Value{kind: KindRelationship, rel: r} }
+
+// NewPath returns a path value.
+func NewPath(p *Path) Value { return Value{kind: KindPath, path: p} }
+
+// NewDateTime returns a datetime value.
+func NewDateTime(t time.Time) Value { return Value{kind: KindDateTime, t: t.UTC()} }
+
+// NewDuration returns a duration value.
+func NewDuration(d time.Duration) Value { return Value{kind: KindDuration, num: int64(d)} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsBool reports whether v is a boolean.
+func (v Value) IsBool() bool { return v.kind == KindBool }
+
+// IsInt reports whether v is an integer.
+func (v Value) IsInt() bool { return v.kind == KindNumber && !v.isFloat }
+
+// IsFloat reports whether v is a float.
+func (v Value) IsFloat() bool { return v.kind == KindNumber && v.isFloat }
+
+// IsNumber reports whether v is an integer or float.
+func (v Value) IsNumber() bool { return v.kind == KindNumber }
+
+// IsString reports whether v is a string.
+func (v Value) IsString() bool { return v.kind == KindString }
+
+// IsList reports whether v is a list.
+func (v Value) IsList() bool { return v.kind == KindList }
+
+// IsMap reports whether v is a map.
+func (v Value) IsMap() bool { return v.kind == KindMap }
+
+// Bool returns the boolean payload; v must be a boolean.
+func (v Value) Bool() bool { return v.num != 0 }
+
+// Int returns the integer payload; v must be an integer.
+func (v Value) Int() int64 { return v.num }
+
+// Float returns the float payload, converting integers; v must be numeric.
+func (v Value) Float() float64 {
+	if v.isFloat {
+		return math.Float64frombits(uint64(v.num))
+	}
+	return float64(v.num)
+}
+
+// Str returns the string payload; v must be a string.
+func (v Value) Str() string { return v.str }
+
+// List returns the list payload; v must be a list.
+func (v Value) List() []Value { return v.list }
+
+// Map returns the map payload; v must be a map.
+func (v Value) Map() map[string]Value { return v.mp }
+
+// Node returns the node payload; v must be a node.
+func (v Value) Node() *Node { return v.node }
+
+// Relationship returns the relationship payload; v must be a relationship.
+func (v Value) Relationship() *Relationship { return v.rel }
+
+// Path returns the path payload; v must be a path.
+func (v Value) Path() *Path { return v.path }
+
+// DateTime returns the datetime payload; v must be a datetime.
+func (v Value) DateTime() time.Time { return v.t }
+
+// Duration returns the duration payload; v must be a duration.
+func (v Value) Duration() time.Duration { return time.Duration(v.num) }
+
+// Node is a property graph node (vertex). Identifier set 𝒩 is int64.
+type Node struct {
+	ID     int64
+	Labels []string
+	Props  map[string]Value
+}
+
+// HasLabel reports whether the node carries label l.
+func (n *Node) HasLabel(l string) bool {
+	for _, x := range n.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns the property value for key k, or null.
+func (n *Node) Prop(k string) Value {
+	if v, ok := n.Props[k]; ok {
+		return v
+	}
+	return Null
+}
+
+// Relationship is a property graph relationship (edge). Identifier set
+// ℛ is int64. StartID/EndID are src/trg per Definition 3.1.
+type Relationship struct {
+	ID      int64
+	StartID int64
+	EndID   int64
+	Type    string
+	Props   map[string]Value
+}
+
+// Prop returns the property value for key k, or null.
+func (r *Relationship) Prop(k string) Value {
+	if v, ok := r.Props[k]; ok {
+		return v
+	}
+	return Null
+}
+
+// Other returns the node id at the far end of r from node id n.
+func (r *Relationship) Other(n int64) int64 {
+	if r.StartID == n {
+		return r.EndID
+	}
+	return r.StartID
+}
+
+// Path is an alternating sequence of nodes and relationships:
+// len(Nodes) == len(Rels)+1. A single node is a zero-length path.
+type Path struct {
+	Nodes []*Node
+	Rels  []*Relationship
+}
+
+// Len returns the number of relationships in the path.
+func (p *Path) Len() int { return len(p.Rels) }
+
+// format.go-style rendering -----------------------------------------------
+
+// String renders v in Cypher literal style. Maps render with sorted
+// keys so output is deterministic.
+func (v Value) String() string {
+	var b strings.Builder
+	v.format(&b)
+	return b.String()
+}
+
+func (v Value) format(b *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		b.WriteString("null")
+	case KindBool:
+		if v.Bool() {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case KindNumber:
+		if v.isFloat {
+			f := v.Float()
+			if f == math.Trunc(f) && !math.IsInf(f, 0) && math.Abs(f) < 1e15 {
+				fmt.Fprintf(b, "%.1f", f)
+			} else {
+				b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		} else {
+			b.WriteString(strconv.FormatInt(v.num, 10))
+		}
+	case KindString:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.str, "'", "\\'"))
+		b.WriteByte('\'')
+	case KindList:
+		b.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			e.format(b)
+		}
+		b.WriteByte(']')
+	case KindMap:
+		b.WriteByte('{')
+		keys := make([]string, 0, len(v.mp))
+		for k := range v.mp {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k)
+			b.WriteString(": ")
+			v.mp[k].format(b)
+		}
+		b.WriteByte('}')
+	case KindNode:
+		n := v.node
+		b.WriteByte('(')
+		for _, l := range n.Labels {
+			b.WriteByte(':')
+			b.WriteString(l)
+		}
+		if len(n.Props) > 0 {
+			if len(n.Labels) > 0 {
+				b.WriteByte(' ')
+			}
+			NewMap(n.Props).format(b)
+		}
+		b.WriteByte(')')
+	case KindRelationship:
+		r := v.rel
+		b.WriteString("-[:")
+		b.WriteString(r.Type)
+		if len(r.Props) > 0 {
+			b.WriteByte(' ')
+			NewMap(r.Props).format(b)
+		}
+		b.WriteString("]-")
+	case KindPath:
+		p := v.path
+		for i, n := range p.Nodes {
+			if i > 0 {
+				r := p.Rels[i-1]
+				if r.StartID == p.Nodes[i-1].ID {
+					b.WriteString("-[:" + r.Type + "]->")
+				} else {
+					b.WriteString("<-[:" + r.Type + "]-")
+				}
+			}
+			NewNode(n).format(b)
+		}
+	case KindDateTime:
+		b.WriteString(v.t.Format("2006-01-02T15:04:05Z07:00"))
+	case KindDuration:
+		b.WriteString(FormatDuration(time.Duration(v.num)))
+	}
+}

@@ -1,0 +1,300 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{True, KindBool},
+		{NewInt(7), KindNumber},
+		{NewFloat(1.5), KindNumber},
+		{NewString("x"), KindString},
+		{NewList(NewInt(1)), KindList},
+		{NewMap(map[string]Value{"a": True}), KindMap},
+		{NewDateTime(time.Unix(0, 0)), KindDateTime},
+		{NewDuration(time.Second), KindDuration},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%s: kind = %s, want %s", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !NewInt(3).IsInt() || NewInt(3).IsFloat() {
+		t.Error("int kind flags wrong")
+	}
+	if NewFloat(3).IsInt() || !NewFloat(3).IsFloat() {
+		t.Error("float kind flags wrong")
+	}
+}
+
+func TestNumericAccessors(t *testing.T) {
+	if NewInt(-5).Int() != -5 {
+		t.Error("Int roundtrip")
+	}
+	if NewInt(2).Float() != 2.0 {
+		t.Error("int-as-float")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float roundtrip")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{True, "true"},
+		{False, "false"},
+		{NewInt(42), "42"},
+		{NewFloat(2.5), "2.5"},
+		{NewFloat(2), "2.0"},
+		{NewString("hi"), "'hi'"},
+		{NewList(NewInt(1), NewInt(2)), "[1, 2]"},
+		{NewMap(map[string]Value{"b": NewInt(2), "a": NewInt(1)}), "{a: 1, b: 2}"},
+		{NewDuration(90 * time.Minute), "PT1H30M"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	n := &Node{ID: 1, Labels: []string{"A", "B"}, Props: map[string]Value{"x": NewInt(1)}}
+	if !n.HasLabel("A") || !n.HasLabel("B") || n.HasLabel("C") {
+		t.Error("HasLabel")
+	}
+	if n.Prop("x").Int() != 1 || !n.Prop("missing").IsNull() {
+		t.Error("Prop")
+	}
+	r := &Relationship{ID: 5, StartID: 1, EndID: 2}
+	if r.Other(1) != 2 || r.Other(2) != 1 {
+		t.Error("Other")
+	}
+}
+
+func TestEqualTernary(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want Value
+	}{
+		{NewInt(1), NewInt(1), True},
+		{NewInt(1), NewFloat(1.0), True},
+		{NewInt(1), NewInt(2), False},
+		{Null, NewInt(1), Null},
+		{NewInt(1), Null, Null},
+		{Null, Null, Null},
+		{NewString("a"), NewString("a"), True},
+		{NewString("a"), NewInt(1), False},
+		{True, True, True},
+		{NewList(NewInt(1), Null), NewList(NewInt(1), Null), Null},
+		{NewList(NewInt(1)), NewList(NewInt(1), NewInt(2)), False},
+		{NewList(NewInt(1), NewInt(2)), NewList(NewInt(1), NewInt(2)), True},
+		{NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"a": NewInt(1)}), True},
+		{NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"b": NewInt(1)}), False},
+		{NewMap(map[string]Value{"a": Null}), NewMap(map[string]Value{"a": Null}), Null},
+	}
+	for _, c := range cases {
+		got := Equal(c.a, c.b)
+		if got.Kind() != c.want.Kind() || (got.IsBool() && got.Bool() != c.want.Bool()) {
+			t.Errorf("Equal(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTernary(t *testing.T) {
+	if c, ok := CompareTernary(NewInt(1), NewFloat(1.5)); !ok || c >= 0 {
+		t.Error("1 < 1.5 failed")
+	}
+	if _, ok := CompareTernary(NewInt(1), NewString("a")); ok {
+		t.Error("int vs string should be undefined")
+	}
+	if _, ok := CompareTernary(Null, NewInt(1)); ok {
+		t.Error("null comparison should be undefined")
+	}
+	if c, ok := CompareTernary(NewString("a"), NewString("b")); !ok || c >= 0 {
+		t.Error("'a' < 'b' failed")
+	}
+	t0, t1 := time.Unix(100, 0), time.Unix(200, 0)
+	if c, ok := CompareTernary(NewDateTime(t0), NewDateTime(t1)); !ok || c >= 0 {
+		t.Error("datetime comparison failed")
+	}
+	if c, ok := CompareTernary(NewDuration(time.Second), NewDuration(time.Minute)); !ok || c >= 0 {
+		t.Error("duration comparison failed")
+	}
+	if c, ok := CompareTernary(NewList(NewInt(1)), NewList(NewInt(1), NewInt(2))); !ok || c >= 0 {
+		t.Error("list prefix comparison failed")
+	}
+}
+
+func TestOrderabilityTotalOrder(t *testing.T) {
+	// Orderability must order across kinds and place null last.
+	vals := []Value{
+		NewMap(map[string]Value{}),
+		NewList(NewInt(1)),
+		NewDateTime(time.Unix(0, 0)),
+		NewDuration(time.Second),
+		NewString("a"),
+		True,
+		NewInt(1),
+		Null,
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if Compare(vals[i], vals[j]) >= 0 {
+				t.Errorf("Compare(%s, %s) should be < 0", vals[i], vals[j])
+			}
+		}
+	}
+	if Compare(Null, Null) != 0 {
+		t.Error("null should equal null under orderability")
+	}
+	// NaN sorts above all other numbers.
+	if Compare(NewFloat(math.NaN()), NewFloat(math.Inf(1))) <= 0 {
+		t.Error("NaN should sort after +Inf")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Equivalent(got, want) {
+			t.Errorf("got %s, want %s", got, want)
+		}
+	}
+	v, err := Add(NewInt(2), NewInt(3))
+	check(v, err, NewInt(5))
+	v, err = Add(NewInt(2), NewFloat(0.5))
+	check(v, err, NewFloat(2.5))
+	v, err = Add(NewString("a"), NewString("b"))
+	check(v, err, NewString("ab"))
+	v, err = Add(NewList(NewInt(1)), NewList(NewInt(2)))
+	check(v, err, NewList(NewInt(1), NewInt(2)))
+	v, err = Add(NewList(NewInt(1)), NewInt(2))
+	check(v, err, NewList(NewInt(1), NewInt(2)))
+	v, err = Add(Null, NewInt(1))
+	check(v, err, Null)
+
+	v, err = Sub(NewInt(5), NewInt(3))
+	check(v, err, NewInt(2))
+	v, err = Mul(NewInt(4), NewFloat(0.5))
+	check(v, err, NewFloat(2))
+	v, err = Div(NewInt(7), NewInt(2))
+	check(v, err, NewInt(3))
+	v, err = Div(NewFloat(7), NewInt(2))
+	check(v, err, NewFloat(3.5))
+	v, err = Mod(NewInt(7), NewInt(3))
+	check(v, err, NewInt(1))
+	v, err = Pow(NewInt(2), NewInt(10))
+	check(v, err, NewFloat(1024))
+	v, err = Neg(NewInt(3))
+	check(v, err, NewInt(-3))
+
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero should error")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer modulo by zero should error")
+	}
+	if _, err := Add(True, NewInt(1)); err == nil {
+		t.Error("bool + int should be a type error")
+	}
+}
+
+func TestTemporalArithmetic(t *testing.T) {
+	base := time.Date(2022, 10, 14, 14, 40, 0, 0, time.UTC)
+	v, err := Add(NewDateTime(base), NewDuration(time.Hour))
+	if err != nil || !v.DateTime().Equal(base.Add(time.Hour)) {
+		t.Fatalf("datetime + duration: %s, %v", v, err)
+	}
+	v, err = Sub(NewDateTime(base.Add(time.Hour)), NewDateTime(base))
+	if err != nil || v.Duration() != time.Hour {
+		t.Fatalf("datetime - datetime: %s, %v", v, err)
+	}
+	v, err = Sub(NewDateTime(base), NewDuration(30*time.Minute))
+	if err != nil || !v.DateTime().Equal(base.Add(-30*time.Minute)) {
+		t.Fatalf("datetime - duration: %s, %v", v, err)
+	}
+	v, err = Mul(NewDuration(time.Minute), NewInt(3))
+	if err != nil || v.Duration() != 3*time.Minute {
+		t.Fatalf("duration * int: %s, %v", v, err)
+	}
+}
+
+func TestTernaryLogic(t *testing.T) {
+	tri := []Value{True, False, Null}
+	andTable := [3][3]Value{
+		{True, False, Null},
+		{False, False, False},
+		{Null, False, Null},
+	}
+	orTable := [3][3]Value{
+		{True, True, True},
+		{True, False, Null},
+		{True, Null, Null},
+	}
+	xorTable := [3][3]Value{
+		{False, True, Null},
+		{True, False, Null},
+		{Null, Null, Null},
+	}
+	for i, a := range tri {
+		for j, b := range tri {
+			if got := And(a, b); !sameTri(got, andTable[i][j]) {
+				t.Errorf("And(%s, %s) = %s, want %s", a, b, got, andTable[i][j])
+			}
+			if got := Or(a, b); !sameTri(got, orTable[i][j]) {
+				t.Errorf("Or(%s, %s) = %s, want %s", a, b, got, orTable[i][j])
+			}
+			if got := Xor(a, b); !sameTri(got, xorTable[i][j]) {
+				t.Errorf("Xor(%s, %s) = %s, want %s", a, b, got, xorTable[i][j])
+			}
+		}
+	}
+	if !sameTri(Not(True), False) || !sameTri(Not(False), True) || !sameTri(Not(Null), Null) {
+		t.Error("Not truth table")
+	}
+}
+
+func sameTri(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Bool() == b.Bool()
+}
+
+func TestKeyEquivalence(t *testing.T) {
+	if Key(NewInt(1)) != Key(NewFloat(1.0)) {
+		t.Error("1 and 1.0 must share a grouping key")
+	}
+	if Key(NewInt(1)) == Key(NewInt(2)) {
+		t.Error("distinct ints must differ")
+	}
+	if Key(Null) != Key(Null) {
+		t.Error("null keys must match")
+	}
+	if Key(NewString("1")) == Key(NewInt(1)) {
+		t.Error("string '1' must differ from int 1")
+	}
+	a := NewList(NewInt(1), NewString("x"))
+	b := NewList(NewInt(1), NewString("x"))
+	if Key(a) != Key(b) {
+		t.Error("equal lists must share keys")
+	}
+	if KeyOf(NewInt(1), NewInt(23)) == KeyOf(NewInt(12), NewInt(3)) {
+		t.Error("tuple keys must not be ambiguous across positions")
+	}
+}

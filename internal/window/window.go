@@ -1,0 +1,158 @@
+// Package window implements Seraph's time-based window operators
+// (Definition 5.9), the evaluation time instants ET (Definition 5.10)
+// and the active substream selection (Definition 5.11 / Figure 4).
+//
+// Two bounds modes are provided because the paper's formal definitions
+// and its worked example disagree slightly (see DESIGN.md): BoundsStrict
+// follows Definitions 5.9/5.11 literally (left-closed right-open
+// windows [ω_o, ω_c), earliest window containing the evaluation
+// instant), while BoundsPaperExample reproduces Tables 5 and 6 (the
+// active window at evaluation instant ω is (ω−α, ω], ending exactly at
+// ω and including elements arriving at ω).
+package window
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/stream"
+)
+
+// Bounds selects the window bounds interpretation.
+type Bounds int
+
+// Bounds modes.
+const (
+	// BoundsPaperExample: active window at ω is (ω−α, ω].
+	BoundsPaperExample Bounds = iota
+	// BoundsStrict: windows are [ω₀+iβ, ω₀+iβ+α) for i ∈ ℤ; the active
+	// window at ω is the one with the earliest start containing ω.
+	BoundsStrict
+)
+
+func (b Bounds) String() string {
+	switch b {
+	case BoundsPaperExample:
+		return "paper-example"
+	case BoundsStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("Bounds(%d)", int(b))
+	}
+}
+
+// Config is a window configuration (ω₀, α, β) per Definition 5.9: the
+// first evaluation instant, the window width, and the slide.
+type Config struct {
+	Start  time.Time     // ω₀, set by STARTING AT
+	Width  time.Duration // α, set by WITHIN
+	Slide  time.Duration // β, set by EVERY
+	Bounds Bounds
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.Width <= 0 {
+		return fmt.Errorf("window: width must be positive, got %s", c.Width)
+	}
+	if c.Slide <= 0 {
+		return fmt.Errorf("window: slide must be positive, got %s", c.Slide)
+	}
+	if c.Start.IsZero() {
+		return fmt.Errorf("window: start instant not set")
+	}
+	return nil
+}
+
+// EvalInstants returns the evaluation time instants ET ∩ [from, to]
+// (Definition 5.10): every ω with (ω − ω₀) mod β = 0 and ω ≥ ω₀.
+func (c Config) EvalInstants(from, to time.Time) []time.Time {
+	var out []time.Time
+	for ω := c.FirstEvalAtOrAfter(from); !ω.After(to); ω = ω.Add(c.Slide) {
+		out = append(out, ω)
+	}
+	return out
+}
+
+// FirstEvalAtOrAfter returns the earliest evaluation instant ≥ t.
+func (c Config) FirstEvalAtOrAfter(t time.Time) time.Time {
+	if !t.After(c.Start) {
+		return c.Start
+	}
+	d := t.Sub(c.Start)
+	k := d / c.Slide
+	if c.Start.Add(k * c.Slide).Before(t) {
+		k++
+	}
+	return c.Start.Add(k * c.Slide)
+}
+
+// IsEvalInstant reports whether ω ∈ ET.
+func (c Config) IsEvalInstant(ω time.Time) bool {
+	if ω.Before(c.Start) {
+		return false
+	}
+	return ω.Sub(c.Start)%c.Slide == 0
+}
+
+// ActiveWindow returns the active window interval at evaluation instant
+// ω (Definition 5.11), with bounds per the configured mode. ok is false
+// when no window contains ω (possible in strict mode when β > α).
+func (c Config) ActiveWindow(ω time.Time) (iv stream.Interval, ok bool) {
+	return ActiveWindowWidth(c, c.Width, ω)
+}
+
+// ActiveWindowWidth computes the active window at ω for an explicit
+// width, allowing Seraph's per-MATCH WITHIN widths to share one
+// (ω₀, β) configuration.
+func ActiveWindowWidth(c Config, width time.Duration, ω time.Time) (stream.Interval, bool) {
+	switch c.Bounds {
+	case BoundsStrict:
+		// Starts are ω₀ + iβ, i ∈ ℤ. The active window's start is the
+		// smallest start s with s > ω − width and s ≤ ω.
+		low := ω.Add(-width) // need s > low
+		d := low.Sub(c.Start)
+		i := d / c.Slide
+		s := c.Start.Add(i * c.Slide)
+		for !s.After(low) {
+			s = s.Add(c.Slide)
+		}
+		for s.Add(-c.Slide).After(low) {
+			s = s.Add(-c.Slide)
+		}
+		if s.After(ω) {
+			return stream.Interval{}, false
+		}
+		return stream.Interval{
+			Start:        s,
+			End:          s.Add(width),
+			IncludeStart: true,
+			IncludeEnd:   false,
+		}, true
+	default: // BoundsPaperExample
+		return stream.Interval{
+			Start:        ω.Add(-width),
+			End:          ω,
+			IncludeStart: false,
+			IncludeEnd:   true,
+		}, true
+	}
+}
+
+// ActiveSubstream selects the active substream S_ω at evaluation
+// instant ω from s (Definition 5.11): the elements of the active
+// window.
+func (c Config) ActiveSubstream(s *stream.Stream, ω time.Time) ([]stream.Element, stream.Interval, bool) {
+	iv, ok := c.ActiveWindow(ω)
+	if !ok {
+		return nil, iv, false
+	}
+	return s.Substream(iv), iv, true
+}
+
+// RetentionHorizon returns the earliest timestamp that any evaluation
+// at or after ω could still need, used to prune stream history. A
+// slide-sized safety margin covers the strict mode's window grid.
+func (c Config) RetentionHorizon(ω time.Time) time.Time {
+	return ω.Add(-c.Width).Add(-c.Slide)
+}

@@ -1,0 +1,232 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+var ω0 = time.Date(2022, 10, 14, 14, 45, 0, 0, time.UTC)
+
+func at(min int) time.Time { return ω0.Add(time.Duration(min) * time.Minute) }
+
+func cfg(bounds Bounds) Config {
+	return Config{Start: ω0, Width: time.Hour, Slide: 5 * time.Minute, Bounds: bounds}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cfg(BoundsPaperExample).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := cfg(BoundsPaperExample)
+	bad.Width = 0
+	if bad.Validate() == nil {
+		t.Error("zero width must fail")
+	}
+	bad = cfg(BoundsPaperExample)
+	bad.Slide = -time.Second
+	if bad.Validate() == nil {
+		t.Error("negative slide must fail")
+	}
+	bad = cfg(BoundsPaperExample)
+	bad.Start = time.Time{}
+	if bad.Validate() == nil {
+		t.Error("zero start must fail")
+	}
+}
+
+// TestEvalInstants checks Definition 5.10: ET = {ω | (ω−ω₀) mod β = 0}.
+func TestEvalInstants(t *testing.T) {
+	c := cfg(BoundsPaperExample)
+	ets := c.EvalInstants(ω0, at(15))
+	if len(ets) != 4 {
+		t.Fatalf("ET count = %d, want 4", len(ets))
+	}
+	for i, want := range []int{0, 5, 10, 15} {
+		if !ets[i].Equal(at(want)) {
+			t.Errorf("ET[%d] = %s", i, ets[i].Format("15:04"))
+		}
+	}
+	// Instants before ω₀ are not in ET.
+	if got := c.EvalInstants(at(-30), at(-1)); len(got) != 0 {
+		t.Errorf("pre-start instants: %d", len(got))
+	}
+	if !c.IsEvalInstant(at(25)) || c.IsEvalInstant(at(7)) || c.IsEvalInstant(at(-5)) {
+		t.Error("IsEvalInstant")
+	}
+	if got := c.FirstEvalAtOrAfter(at(7)); !got.Equal(at(10)) {
+		t.Errorf("FirstEvalAtOrAfter(+7m) = %s", got.Format("15:04"))
+	}
+	if got := c.FirstEvalAtOrAfter(at(10)); !got.Equal(at(10)) {
+		t.Errorf("FirstEvalAtOrAfter(+10m) = %s", got.Format("15:04"))
+	}
+}
+
+// TestActiveWindowPaperExample reproduces the windows of Tables 5 and
+// 6: (ω−α, ω].
+func TestActiveWindowPaperExample(t *testing.T) {
+	c := cfg(BoundsPaperExample)
+	iv, ok := c.ActiveWindow(at(30)) // 15:15
+	if !ok {
+		t.Fatal("window expected")
+	}
+	if !iv.Start.Equal(at(-30)) || !iv.End.Equal(at(30)) {
+		t.Errorf("window at 15:15 = %s, want (14:15, 15:15]", iv)
+	}
+	if iv.IncludeStart || !iv.IncludeEnd {
+		t.Error("paper-example bounds must be open-close")
+	}
+	// The 15:40 event must be contained in the 15:40 window.
+	iv, _ = c.ActiveWindow(at(55))
+	if !iv.Contains(at(55)) {
+		t.Error("element at evaluation instant must be included")
+	}
+	if iv.Contains(at(-5)) {
+		t.Error("element exactly at window start must be excluded")
+	}
+}
+
+// TestActiveWindowStrict checks the literal Definitions 5.9/5.11:
+// left-closed right-open windows on the ω₀+iβ grid, earliest
+// containing window.
+func TestActiveWindowStrict(t *testing.T) {
+	c := cfg(BoundsStrict)
+	iv, ok := c.ActiveWindow(at(30)) // 15:15
+	if !ok {
+		t.Fatal("window expected")
+	}
+	// Starts on the grid: ..., 14:15, 14:20, ... The earliest start s
+	// with s > 14:15 and s ≤ 15:15 is 14:20.
+	if !iv.Start.Equal(at(-25)) || !iv.End.Equal(at(35)) {
+		t.Errorf("strict window at 15:15 = %s, want [14:20, 15:20)", iv)
+	}
+	if !iv.IncludeStart || iv.IncludeEnd {
+		t.Error("strict bounds must be close-open")
+	}
+	// Evaluation instant exactly on a window start.
+	iv, _ = c.ActiveWindow(at(0))
+	if !iv.Start.Equal(at(-55)) {
+		t.Errorf("strict window at ω₀ starts %s, want 13:50", iv.Start.Format("15:04"))
+	}
+	if !iv.Contains(at(0)) {
+		t.Error("strict window must contain its evaluation instant")
+	}
+}
+
+// TestStrictGapWhenSlideExceedsWidth: with β > α some instants lie in
+// no window.
+func TestStrictGapWhenSlideExceedsWidth(t *testing.T) {
+	c := Config{Start: ω0, Width: 2 * time.Minute, Slide: 10 * time.Minute, Bounds: BoundsStrict}
+	if _, ok := c.ActiveWindow(at(5)); ok {
+		t.Error("instant between windows should have no active window")
+	}
+	if iv, ok := c.ActiveWindow(at(11)); !ok || !iv.Start.Equal(at(10)) {
+		t.Errorf("instant inside window: ok=%v iv=%s", ok, iv)
+	}
+}
+
+// TestPaperDiscrepancy documents the difference between the two modes
+// on the running example (see DESIGN.md).
+func TestPaperDiscrepancy(t *testing.T) {
+	ω := at(30) // 15:15
+	pe, _ := cfg(BoundsPaperExample).ActiveWindow(ω)
+	st, _ := cfg(BoundsStrict).ActiveWindow(ω)
+	if pe.Start.Equal(st.Start) && pe.End.Equal(st.End) {
+		t.Error("modes should disagree on the running example")
+	}
+	// Paper-example matches Table 5's [14:15, 15:15].
+	if !pe.Start.Equal(at(-30)) || !pe.End.Equal(at(30)) {
+		t.Error("paper-example must match Table 5")
+	}
+}
+
+func TestActiveWindowWidthPerPattern(t *testing.T) {
+	c := cfg(BoundsPaperExample)
+	iv, ok := ActiveWindowWidth(c, 10*time.Minute, at(30))
+	if !ok || !iv.Start.Equal(at(20)) || !iv.End.Equal(at(30)) {
+		t.Errorf("10m window at 15:15 = %s", iv)
+	}
+}
+
+func TestActiveSubstream(t *testing.T) {
+	s := stream.New()
+	for i := -120; i <= 60; i += 15 {
+		g := pg.New()
+		g.AddNode(&value.Node{ID: int64(i + 1000), Props: map[string]value.Value{}})
+		if err := s.Append(g, at(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := cfg(BoundsPaperExample)
+	elems, iv, ok := c.ActiveSubstream(s, at(30))
+	if !ok {
+		t.Fatal("substream expected")
+	}
+	// (14:15, 15:15] over elements at -120..60 step 15 → -15, 0, 15, 30.
+	if len(elems) != 4 {
+		t.Fatalf("active substream size = %d (window %s)", len(elems), iv)
+	}
+	for _, e := range elems {
+		if !iv.Contains(e.Time) {
+			t.Errorf("element at %s outside window %s", e.Time.Format("15:04"), iv)
+		}
+	}
+}
+
+func TestRetentionHorizon(t *testing.T) {
+	c := cfg(BoundsPaperExample)
+	h := c.RetentionHorizon(at(30))
+	// No future window evaluated at or after 15:15 can reach elements
+	// before horizon.
+	for _, mode := range []Bounds{BoundsPaperExample, BoundsStrict} {
+		c.Bounds = mode
+		for m := 30; m <= 120; m += 5 {
+			iv, ok := c.ActiveWindow(at(m))
+			if ok && iv.Start.Before(h) {
+				t.Errorf("%s: window at +%dm starts %s before horizon %s",
+					mode, m, iv.Start.Format("15:04"), h.Format("15:04"))
+			}
+		}
+	}
+}
+
+// TestQuickActiveWindowContainsInstant: in paper-example mode the
+// active window always exists and contains the evaluation instant; in
+// strict mode, whenever a window exists it contains the instant and
+// starts on the ω₀+iβ grid.
+func TestQuickActiveWindowProperties(t *testing.T) {
+	f := func(widthMin, slideMin uint8, offsetMin int16) bool {
+		width := time.Duration(widthMin%120+1) * time.Minute
+		slide := time.Duration(slideMin%60+1) * time.Minute
+		ω := ω0.Add(time.Duration(offsetMin) * time.Minute)
+		for _, mode := range []Bounds{BoundsPaperExample, BoundsStrict} {
+			c := Config{Start: ω0, Width: width, Slide: slide, Bounds: mode}
+			iv, ok := c.ActiveWindow(ω)
+			if mode == BoundsPaperExample && !ok {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if !iv.Contains(ω) {
+				return false
+			}
+			if iv.End.Sub(iv.Start) != width {
+				return false
+			}
+			if mode == BoundsStrict {
+				if iv.Start.Sub(ω0)%slide != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

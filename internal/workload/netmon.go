@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// Network monitoring use case (Section 4.1 of the paper): the data
+// center is modelled as racks HOLDing switches that ROUTE interfaces
+// CONNECTed to routers, which connect through aggregation routers to a
+// single egress router. At each time instant an arriving property graph
+// represents the configuration of the entire network; link failures
+// force redundant, longer routes, which the continuous query flags via
+// the z-score of the shortest path length.
+
+// Node id spaces for the network model.
+const (
+	egressID   = 10_000_000
+	aggIDBase  = 10_100_000
+	routerBase = 10_200_000
+	rackBase   = 10_300_000
+	switchBase = 10_400_000
+	ifaceBase  = 10_500_000
+	netRelBase = 20_000_000
+)
+
+// NetworkConfig parameterizes the synthetic network.
+type NetworkConfig struct {
+	Seed int64
+	// Racks is the number of racks (each holds one switch with one
+	// uplink interface).
+	Racks int
+	// Aggs is the number of aggregation routers; rack routers are
+	// distributed round-robin across them.
+	Aggs int
+	// Start is the first configuration timestamp.
+	Start time.Time
+	// Tick is the configuration reporting period.
+	Tick time.Duration
+	// FailureRate is the per-tick probability that a rack's primary
+	// router→aggregation link is down, forcing a detour via the router
+	// ring.
+	FailureRate float64
+}
+
+// DefaultNetworkConfig returns a small data center.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		Seed:        7,
+		Racks:       20,
+		Aggs:        4,
+		Start:       FigureOneDay.Add(12 * time.Hour),
+		Tick:        time.Minute,
+		FailureRate: 0.05,
+	}
+}
+
+// Network generates per-tick full-configuration graphs.
+type Network struct {
+	cfg  NetworkConfig
+	rng  *rand.Rand
+	tick int
+
+	// Failed tracks which rack uplinks were down in the most recent
+	// tick (exported for test assertions via LastFailed).
+	failed map[int]bool
+}
+
+// NewNetwork returns a generator.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.Racks < 2 || cfg.Aggs < 1 {
+		panic(fmt.Sprintf("workload: invalid network config %+v", cfg))
+	}
+	return &Network{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), failed: map[int]bool{}}
+}
+
+// LastFailed reports whether rack i's primary link was down in the most
+// recently generated tick.
+func (n *Network) LastFailed(rack int) bool { return n.failed[rack] }
+
+// Next produces the next full-network configuration event. The healthy
+// shortest route from a rack to the egress router is 5 hops
+// (rack→switch→iface→router→agg→egress); when the primary router→agg
+// link is down the best route detours through the router ring, adding
+// hops.
+func (n *Network) Next() stream.Element {
+	ts := n.cfg.Start.Add(time.Duration(n.tick) * n.cfg.Tick)
+	n.tick++
+	for i := 0; i < n.cfg.Racks; i++ {
+		n.failed[i] = n.rng.Float64() < n.cfg.FailureRate
+	}
+
+	g := pg.New()
+	node := func(id int64, label string, props map[string]value.Value) *value.Node {
+		nd := &value.Node{ID: id, Labels: []string{label}, Props: props}
+		g.AddNode(nd)
+		return nd
+	}
+	rel := func(start, end int64, typ string) {
+		r := &value.Relationship{
+			ID:      linkID(typ, start, end),
+			StartID: start, EndID: end, Type: typ,
+			Props: map[string]value.Value{},
+		}
+		if err := g.AddRel(r); err != nil {
+			panic(err)
+		}
+	}
+
+	egress := node(egressID, "Router", map[string]value.Value{
+		"name": value.NewString("egress"), "egress": value.True,
+	})
+	for a := 0; a < n.cfg.Aggs; a++ {
+		node(aggIDBase+int64(a), "Router", map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("agg-%d", a)), "egress": value.False,
+		})
+		rel(aggIDBase+int64(a), egress.ID, "CONNECTS")
+	}
+	// Nodes first: ring links reference the routers of later racks.
+	for i := 0; i < n.cfg.Racks; i++ {
+		node(rackBase+int64(i), "Rack", map[string]value.Value{
+			"id": value.NewInt(int64(i)), "name": value.NewString(fmt.Sprintf("rack-%d", i)),
+		})
+		node(switchBase+int64(i), "Switch", map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("sw-%d", i)),
+		})
+		node(ifaceBase+int64(i), "Interface", map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("eth-%d", i)),
+		})
+		node(routerBase+int64(i), "Router", map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("tor-%d", i)), "egress": value.False,
+		})
+	}
+	for i := 0; i < n.cfg.Racks; i++ {
+		rid := routerBase + int64(i)
+		rel(rackBase+int64(i), switchBase+int64(i), "HOLDS")
+		rel(switchBase+int64(i), ifaceBase+int64(i), "ROUTES")
+		rel(ifaceBase+int64(i), rid, "CONNECTS")
+		// Primary uplink to the aggregation layer, unless failed.
+		if !n.failed[i] {
+			rel(rid, aggIDBase+int64(i%n.cfg.Aggs), "CONNECTS")
+		}
+		// Redundant router ring.
+		rel(rid, routerBase+int64((i+1)%n.cfg.Racks), "CONNECTS")
+	}
+	return stream.Element{Time: ts, Graph: g}
+}
+
+// Batches produces k consecutive configuration events.
+func (n *Network) Batches(k int) []stream.Element {
+	out := make([]stream.Element, k)
+	for i := range out {
+		out[i] = n.Next()
+	}
+	return out
+}
+
+// linkID builds a deterministic relationship id from the link's type
+// and endpoints so the same physical link keeps the same id across
+// ticks (required for union under UNA). The hash spans the full id
+// space above netRelBase, making collisions negligible.
+func linkID(typ string, a, b int64) int64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for i := 0; i < len(typ); i++ {
+		mix(uint64(typ[i]))
+	}
+	mix(uint64(a))
+	mix(uint64(b))
+	return netRelBase + int64(h&0x3fffffffffff)
+}
+
+// NetworkAnomalyQuery is the Seraph query of the Section 4.1 use case
+// (Listing 2): every minute, over the latest configuration, report
+// racks whose shortest route to the egress router has a length z-score
+// above 3 (mean 5 hops, stddev 0.3 from the network's design).
+func NetworkAnomalyQuery(start time.Time) string {
+	return fmt.Sprintf(`
+REGISTER QUERY network_anomalies STARTING AT %s
+{
+  MATCH p = shortestPath((rk:Rack)-[*..20]-(egress:Router {egress: true}))
+  WITHIN PT1M
+  WITH rk, p, length(p) AS hops
+  WHERE (hops - 5.0) / 0.3 > 3.0
+  EMIT rk.name AS rack, hops
+  SNAPSHOT EVERY PT1M
+}`, start.Format("2006-01-02T15:04:05"))
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// Crime investigation use case (Section 4.2 of the paper): the POLE
+// (Person-Object-Location-Event) model. Surveillance events place
+// persons at locations; crime events attach crimes to locations. The
+// continuous query reports persons who passed by a crime scene within a
+// 30-minute window.
+
+// Node id spaces for the POLE model.
+const (
+	personBase   = 30_000_000
+	locationBase = 30_100_000
+	crimeBase    = 30_200_000
+	objectBase   = 30_300_000
+	poleRelBase  = 40_000_000
+)
+
+// POLEConfig parameterizes the surveillance workload.
+type POLEConfig struct {
+	Seed      int64
+	Persons   int
+	Locations int
+	Start     time.Time
+	// Tick is the surveillance reporting period.
+	Tick time.Duration
+	// SightingsPerTick is the number of person sightings per event.
+	SightingsPerTick int
+	// CrimeRate is the per-tick probability that a crime occurs.
+	CrimeRate float64
+}
+
+// DefaultPOLEConfig returns a mid-size configuration.
+func DefaultPOLEConfig() POLEConfig {
+	return POLEConfig{
+		Seed:             99,
+		Persons:          100,
+		Locations:        20,
+		Start:            FigureOneDay.Add(20 * time.Hour),
+		Tick:             5 * time.Minute,
+		SightingsPerTick: 15,
+		CrimeRate:        0.3,
+	}
+}
+
+// POLE generates surveillance event batches.
+type POLE struct {
+	cfg    POLEConfig
+	rng    *rand.Rand
+	tick   int
+	crimes int
+}
+
+// NewPOLE returns a generator.
+func NewPOLE(cfg POLEConfig) *POLE {
+	return &POLE{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// CrimeCount returns the number of crimes generated so far.
+func (p *POLE) CrimeCount() int { return p.crimes }
+
+// Next produces the next surveillance event batch.
+func (p *POLE) Next() stream.Element {
+	ts := p.cfg.Start.Add(time.Duration(p.tick) * p.cfg.Tick)
+	p.tick++
+	g := pg.New()
+
+	addPerson := func(id int) *value.Node {
+		n := &value.Node{
+			ID:     personBase + int64(id),
+			Labels: []string{"Person"},
+			Props: map[string]value.Value{
+				"id":   value.NewInt(int64(id)),
+				"name": value.NewString(fmt.Sprintf("person-%d", id)),
+			},
+		}
+		g.AddNode(n)
+		return n
+	}
+	addLocation := func(id int) *value.Node {
+		n := &value.Node{
+			ID:     locationBase + int64(id),
+			Labels: []string{"Location"},
+			Props: map[string]value.Value{
+				"id":   value.NewInt(int64(id)),
+				"name": value.NewString(fmt.Sprintf("location-%d", id)),
+			},
+		}
+		g.AddNode(n)
+		return n
+	}
+
+	for i := 0; i < p.cfg.SightingsPerTick; i++ {
+		person := addPerson(1 + p.rng.Intn(p.cfg.Persons))
+		loc := addLocation(1 + p.rng.Intn(p.cfg.Locations))
+		at := ts.Add(-time.Duration(p.rng.Intn(int(p.cfg.Tick/time.Second))) * time.Second)
+		r := &value.Relationship{
+			ID:      poleRelBase + int64(p.tick)*100_000 + int64(i),
+			StartID: person.ID,
+			EndID:   loc.ID,
+			Type:    "PRESENT_AT",
+			Props:   map[string]value.Value{"at": value.NewDateTime(at)},
+		}
+		if err := g.AddRel(r); err != nil {
+			panic(err)
+		}
+	}
+
+	if p.rng.Float64() < p.cfg.CrimeRate {
+		p.crimes++
+		kind := []string{"theft", "assault", "burglary"}[p.rng.Intn(3)]
+		loc := addLocation(1 + p.rng.Intn(p.cfg.Locations))
+		crime := &value.Node{
+			ID:     crimeBase + int64(p.crimes),
+			Labels: []string{"Crime"},
+			Props: map[string]value.Value{
+				"id":   value.NewInt(int64(p.crimes)),
+				"kind": value.NewString(kind),
+			},
+		}
+		g.AddNode(crime)
+		r := &value.Relationship{
+			ID:      poleRelBase + 50_000_000 + int64(p.crimes),
+			StartID: crime.ID,
+			EndID:   loc.ID,
+			Type:    "OCCURRED_AT",
+			Props:   map[string]value.Value{"at": value.NewDateTime(ts)},
+		}
+		if err := g.AddRel(r); err != nil {
+			panic(err)
+		}
+		// Thefts involve an Object (the POLE "O"): the stolen item,
+		// linked to the crime.
+		if kind == "theft" {
+			obj := &value.Node{
+				ID:     objectBase + int64(p.crimes),
+				Labels: []string{"Object"},
+				Props: map[string]value.Value{
+					"id":   value.NewInt(int64(p.crimes)),
+					"kind": value.NewString([]string{"bike", "phone", "wallet"}[p.rng.Intn(3)]),
+				},
+			}
+			g.AddNode(obj)
+			or := &value.Relationship{
+				ID:      poleRelBase + 60_000_000 + int64(p.crimes),
+				StartID: obj.ID,
+				EndID:   crime.ID,
+				Type:    "INVOLVED_IN",
+				Props:   map[string]value.Value{},
+			}
+			if err := g.AddRel(or); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	return stream.Element{Time: ts, Graph: g}
+}
+
+// Batches produces k consecutive surveillance events.
+func (p *POLE) Batches(k int) []stream.Element {
+	out := make([]stream.Element, k)
+	for i := range out {
+		out[i] = p.Next()
+	}
+	return out
+}
+
+// StolenObjectsQuery reports, every 5 minutes, the kinds of objects
+// involved in thefts of the last 30 minutes together with where they
+// were stolen — exercising the full Person-Object-Location-Event model.
+func StolenObjectsQuery(start time.Time) string {
+	return fmt.Sprintf(`
+REGISTER QUERY stolen_objects STARTING AT %s
+{
+  MATCH (o:Object)-[:INVOLVED_IN]->(c:Crime {kind: 'theft'})-[:OCCURRED_AT]->(l:Location)
+  WITHIN PT30M
+  EMIT o.kind AS object, l.name AS location, c.id AS crime
+  ON ENTERING EVERY PT5M
+}`, start.Format("2006-01-02T15:04:05"))
+}
+
+// SuspectsQuery is the Seraph query of the Section 4.2 use case
+// (Listing 3): every 5 minutes, report persons who were present at a
+// location where a crime occurred within the last 30 minutes.
+func SuspectsQuery(start time.Time) string {
+	return fmt.Sprintf(`
+REGISTER QUERY suspects STARTING AT %s
+{
+  MATCH (p:Person)-[pr:PRESENT_AT]->(l:Location)<-[o:OCCURRED_AT]-(c:Crime)
+  WITHIN PT30M
+  EMIT p.name AS person, c.id AS crime, l.name AS location
+  ON ENTERING EVERY PT5M
+}`, start.Format("2006-01-02T15:04:05"))
+}

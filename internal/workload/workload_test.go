@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/parser"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// TestFigure1Stream checks the fixture against the paper's Figure 1:
+// five events at 14:45, 15:00, 15:15, 15:20, 15:40 with the exact
+// rentals and returns described in Section 2.
+func TestFigure1Stream(t *testing.T) {
+	elems := Figure1Stream()
+	if len(elems) != 5 {
+		t.Fatalf("events = %d", len(elems))
+	}
+	wantTimes := []string{"14:45", "15:00", "15:15", "15:20", "15:40"}
+	wantRels := []int{1, 3, 1, 2, 1}
+	for i, e := range elems {
+		if got := e.Time.Format("15:04"); got != wantTimes[i] {
+			t.Errorf("event %d at %s, want %s", i, got, wantTimes[i])
+		}
+		if e.Graph.NumRels() != wantRels[i] {
+			t.Errorf("event %d rels = %d, want %d", i, e.Graph.NumRels(), wantRels[i])
+		}
+		if err := e.Graph.Validate(); err != nil {
+			t.Errorf("event %d: %v", i, err)
+		}
+	}
+	// First event: the 14:40 rental of e-bike 5 by user 1234.
+	rels := elems[0].Graph.Rels()
+	r := rels[0]
+	if r.Type != "rentedAt" {
+		t.Errorf("first event type = %s", r.Type)
+	}
+	if r.Prop("user_id").Int() != 1234 {
+		t.Errorf("user = %s", r.Prop("user_id"))
+	}
+	if got := r.Prop("val_time").DateTime().Format("15:04"); got != "14:40" {
+		t.Errorf("val_time = %s", got)
+	}
+	if !r.Prop("duration").IsNull() {
+		t.Error("rentals carry no duration")
+	}
+	// Returns carry durations below the free period.
+	last := elems[4].Graph.Rels()[0]
+	if last.Type != "returnedAt" || last.Prop("duration").Int() != 17 {
+		t.Errorf("last event: %s %s", last.Type, last.Prop("duration"))
+	}
+	// E-bikes carry both labels (paper's superclass:subclass note).
+	for _, n := range elems[0].Graph.Nodes() {
+		if n.HasLabel("EBike") && !n.HasLabel("Bike") {
+			t.Error("EBike must subtype Bike")
+		}
+	}
+}
+
+func TestStudentTrickQueriesParse(t *testing.T) {
+	if _, err := parser.ParseRegistration(StudentTrickQuery); err != nil {
+		t.Errorf("StudentTrickQuery: %v", err)
+	}
+	if _, err := parser.ParseQuery(StudentTrickCypher); err != nil {
+		t.Errorf("StudentTrickCypher: %v", err)
+	}
+}
+
+func TestMicroMobilityGenerator(t *testing.T) {
+	cfg := DefaultMicroMobilityConfig()
+	gen := NewMicroMobility(cfg)
+	elems := gen.Batches(20)
+	if len(elems) != 20 {
+		t.Fatal("batch count")
+	}
+	prev := time.Time{}
+	totalRentals, totalReturns := 0, 0
+	for i, e := range elems {
+		if !prev.IsZero() && !e.Time.After(prev) {
+			t.Fatal("timestamps must increase")
+		}
+		prev = e.Time
+		if err := e.Graph.Validate(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		for _, r := range e.Graph.Rels() {
+			switch r.Type {
+			case "rentedAt":
+				totalRentals++
+				if !r.Prop("duration").IsNull() {
+					t.Error("rental with duration")
+				}
+			case "returnedAt":
+				totalReturns++
+				if r.Prop("duration").IsNull() {
+					t.Error("return without duration")
+				}
+			default:
+				t.Errorf("unexpected type %s", r.Type)
+			}
+			if r.Prop("user_id").IsNull() || r.Prop("val_time").Kind() != value.KindDateTime {
+				t.Error("missing rental properties")
+			}
+		}
+	}
+	if totalRentals == 0 || totalReturns == 0 {
+		t.Errorf("rentals=%d returns=%d", totalRentals, totalReturns)
+	}
+	// Determinism: same seed, same stream.
+	gen2 := NewMicroMobility(cfg)
+	elems2 := gen2.Batches(20)
+	for i := range elems {
+		if elems[i].Graph.NumRels() != elems2[i].Graph.NumRels() {
+			t.Fatal("generator must be deterministic")
+		}
+	}
+	// Snapshot of the whole stream unions cleanly (consistent ids).
+	if _, err := stream.Snapshot(elems); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+}
+
+// TestFraudDetectable: the generator's fraudulent users produce chains
+// the student-trick query detects.
+func TestFraudDetectable(t *testing.T) {
+	cfg := DefaultMicroMobilityConfig()
+	cfg.FraudRatio = 0.5
+	cfg.RentalsPerBatch = 10
+	cfg.Stations = 60 // keep station degree low: trail fan-out is O(deg^hops)
+	gen := NewMicroMobility(cfg)
+	elems := gen.Batches(24) // 2 hours
+
+	e := engine.New()
+	rows := 0
+	if _, err := e.RegisterSource(StudentTrickQueryAt(cfg.Start), func(r engine.Result) {
+		rows += r.Table.Len()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows == 0 {
+		t.Error("fraud chains should be detected")
+	}
+}
+
+func TestNetworkGenerator(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.FailureRate = 1.0 // every uplink down
+	gen := NewNetwork(cfg)
+	el := gen.Next()
+	if err := el.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// racks×4 nodes + aggs + egress.
+	wantNodes := cfg.Racks*4 + cfg.Aggs + 1
+	if el.Graph.NumNodes() != wantNodes {
+		t.Errorf("nodes = %d, want %d", el.Graph.NumNodes(), wantNodes)
+	}
+	// With all uplinks failed: racks×4 links (HOLDS, ROUTES, CONNECTS,
+	// ring) + aggs uplinks.
+	wantRels := cfg.Racks*4 + cfg.Aggs
+	if el.Graph.NumRels() != wantRels {
+		t.Errorf("rels = %d, want %d", el.Graph.NumRels(), wantRels)
+	}
+	for i := 0; i < cfg.Racks; i++ {
+		if !gen.LastFailed(i) {
+			t.Error("all racks should be failed at rate 1.0")
+		}
+	}
+
+	// Healthy network has racks extra uplink links.
+	cfg.FailureRate = 0
+	gen = NewNetwork(cfg)
+	el = gen.Next()
+	if el.Graph.NumRels() != cfg.Racks*5+cfg.Aggs {
+		t.Errorf("healthy rels = %d", el.Graph.NumRels())
+	}
+	// Link ids stable across ticks (UNA).
+	el2 := gen.Next()
+	if _, err := stream.Snapshot([]stream.Element{el, el2}); err != nil {
+		t.Fatalf("cross-tick union: %v", err)
+	}
+}
+
+// TestNetworkAnomalyEndToEnd: failed uplinks produce ≥6-hop routes the
+// anomaly query flags; healthy ticks produce none.
+func TestNetworkAnomalyEndToEnd(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Racks = 6
+	cfg.FailureRate = 0
+	gen := NewNetwork(cfg)
+
+	e := engine.New()
+	var perEval []int
+	if _, err := e.RegisterSource(NetworkAnomalyQuery(cfg.Start), func(r engine.Result) {
+		perEval = append(perEval, r.Table.Len())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Tick 1: healthy. Tick 2: force failures by swapping the rate.
+	el := gen.Next()
+	if err := e.Push(el.Graph, el.Time); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(el.Time); err != nil {
+		t.Fatal(err)
+	}
+	// Partial failure: rerouted racks detour over the ring (6+ hops)
+	// while healthy neighbors keep their 5-hop uplink. (A total outage
+	// would disconnect the network entirely — no path, no anomaly.)
+	gen.cfg.FailureRate = 0.5
+	el = gen.Next()
+	failed := 0
+	for i := 0; i < cfg.Racks; i++ {
+		if gen.LastFailed(i) {
+			failed++
+		}
+	}
+	if failed == 0 || failed == cfg.Racks {
+		t.Fatalf("seeded failure mix degenerate: %d/%d", failed, cfg.Racks)
+	}
+	if err := e.Push(el.Graph, el.Time); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(el.Time); err != nil {
+		t.Fatal(err)
+	}
+	if len(perEval) != 2 {
+		t.Fatalf("evals = %d", len(perEval))
+	}
+	if perEval[0] != 0 {
+		t.Errorf("healthy tick flagged %d anomalies", perEval[0])
+	}
+	if perEval[1] == 0 {
+		t.Error("partially failed tick should flag anomalies")
+	}
+}
+
+func TestPOLEGenerator(t *testing.T) {
+	cfg := DefaultPOLEConfig()
+	cfg.CrimeRate = 1.0
+	gen := NewPOLE(cfg)
+	elems := gen.Batches(10)
+	if gen.CrimeCount() != 10 {
+		t.Errorf("crimes = %d", gen.CrimeCount())
+	}
+	for i, e := range elems {
+		if err := e.Graph.Validate(); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if _, err := stream.Snapshot(elems); err != nil {
+		t.Fatalf("union: %v", err)
+	}
+
+	// End to end: suspects emitted.
+	e := engine.New()
+	rows := 0
+	if _, err := e.RegisterSource(SuspectsQuery(cfg.Start), func(r engine.Result) {
+		rows += r.Table.Len()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows == 0 {
+		t.Error("suspects expected with crime rate 1.0")
+	}
+}
+
+// TestStolenObjectsEndToEnd exercises the Object side of the POLE
+// model: theft crimes carry an INVOLVED_IN object, and the
+// stolen-objects query reports them.
+func TestStolenObjectsEndToEnd(t *testing.T) {
+	cfg := DefaultPOLEConfig()
+	cfg.CrimeRate = 1.0
+	gen := NewPOLE(cfg)
+	elems := gen.Batches(12)
+
+	e := engine.New()
+	rows := 0
+	if _, err := e.RegisterSource(StolenObjectsQuery(cfg.Start), func(r engine.Result) {
+		for i := 0; i < r.Table.Len(); i++ {
+			rows++
+			if r.Table.Get(i, "object").IsNull() {
+				t.Error("object kind missing")
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rows == 0 {
+		t.Error("thefts with objects expected at crime rate 1.0")
+	}
+}

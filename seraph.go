@@ -1,0 +1,329 @@
+package seraph
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+// Table is a query result: named columns over rows of Go values (see
+// FromValue for the type mapping).
+type Table struct {
+	Columns []string
+	Rows    [][]any
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Get returns the value of the named column in row i, or nil.
+func (t *Table) Get(i int, col string) any {
+	for j, c := range t.Columns {
+		if c == col {
+			return t.Rows[i][j]
+		}
+	}
+	return nil
+}
+
+// Maps returns the rows as column→value maps.
+func (t *Table) Maps() []map[string]any {
+	out := make([]map[string]any, len(t.Rows))
+	for i, row := range t.Rows {
+		m := make(map[string]any, len(t.Columns))
+		for j, c := range t.Columns {
+			m[c] = row[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func fromTable(t *eval.Table) *Table {
+	out := &Table{Columns: append([]string(nil), t.Cols...)}
+	for _, row := range t.Rows {
+		vals := make([]any, len(row))
+		for j, v := range row {
+			vals[j] = FromValue(v)
+		}
+		out.Rows = append(out.Rows, vals)
+	}
+	return out
+}
+
+// StreamOp identifies the stream operator that produced a result.
+type StreamOp string
+
+// Stream operators.
+const (
+	Snapshot   StreamOp = "SNAPSHOT"
+	OnEntering StreamOp = "ON ENTERING"
+	OnExiting  StreamOp = "ON EXITING"
+)
+
+// Result is one output of a registered continuous query: a
+// time-annotated table produced at evaluation instant At. The table
+// includes the reserved win_start and win_end columns.
+type Result struct {
+	Query    string
+	At       time.Time
+	WinStart time.Time
+	WinEnd   time.Time
+	Op       StreamOp
+	Table    *Table
+}
+
+// WindowBounds selects how window bounds are interpreted; see DESIGN.md
+// for why two modes exist.
+type WindowBounds int
+
+// Window bounds modes.
+const (
+	// BoundsPaperExample (default) reproduces the paper's worked
+	// example: the active window at evaluation instant ω is (ω−α, ω].
+	BoundsPaperExample WindowBounds = iota
+	// BoundsStrict follows Definitions 5.9/5.11 literally.
+	BoundsStrict
+)
+
+// Option configures an Engine.
+type Option func(*options)
+
+type options struct {
+	bounds      window.Bounds
+	cache       bool
+	static      *Graph
+	incremental bool
+}
+
+// WithWindowBounds selects the bounds mode.
+func WithWindowBounds(b WindowBounds) Option {
+	return func(o *options) {
+		if b == BoundsStrict {
+			o.bounds = window.BoundsStrict
+		} else {
+			o.bounds = window.BoundsPaperExample
+		}
+	}
+}
+
+// WithSnapshotCache reuses evaluation results across evaluations whose
+// window contents did not change (the re-execution-avoidance
+// optimization sketched in the paper's Section 6).
+func WithSnapshotCache(on bool) Option {
+	return func(o *options) { o.cache = on }
+}
+
+// WithStaticGraph unions a static background graph into every snapshot
+// graph, so continuous queries can join streaming data against
+// reference data (e.g. a topology or a POLE knowledge base). The
+// engine takes ownership of g.
+func WithStaticGraph(g *Graph) Option {
+	return func(o *options) { o.static = g }
+}
+
+// WithIncrementalSnapshots maintains each query's snapshot graph
+// incrementally (refcounted rolling window) instead of re-unioning the
+// whole window at every evaluation — typically several times faster
+// when windows overlap heavily. Queries that emit nodes/relationships
+// (rather than scalars) observe live views that change as the window
+// slides.
+func WithIncrementalSnapshots(on bool) Option {
+	return func(o *options) { o.incremental = on }
+}
+
+// Engine hosts registered Seraph continuous queries and evaluates them
+// over a property graph stream driven by a virtual clock. It is safe
+// for concurrent use.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine returns a continuous query engine.
+func NewEngine(opts ...Option) *Engine {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	opts2 := []engine.Option{
+		engine.WithBounds(o.bounds),
+		engine.WithSnapshotCache(o.cache),
+	}
+	if o.static != nil {
+		opts2 = append(opts2, engine.WithStaticGraph(o.static.internalGraph()))
+	}
+	if o.incremental {
+		opts2 = append(opts2, engine.WithIncrementalSnapshots(true))
+	}
+	return &Engine{e: engine.New(opts2...)}
+}
+
+// Query is a handle to a registered continuous query.
+type Query struct {
+	q *engine.Query
+}
+
+// Name returns the registration name.
+func (q *Query) Name() string { return q.q.Name() }
+
+// Stats summarizes a query's activity.
+type Stats struct {
+	Evaluations    int
+	SkippedByCache int
+	ElementsSeen   int
+	RowsEmitted    int
+}
+
+// Stats returns the query's counters.
+func (q *Query) Stats() Stats {
+	s := q.q.Stats()
+	return Stats{
+		Evaluations:    s.Evaluations,
+		SkippedByCache: s.SkippedByCache,
+		ElementsSeen:   s.ElementsSeen,
+		RowsEmitted:    s.RowsEmitted,
+	}
+}
+
+// Register parses a REGISTER QUERY statement (Figure 6 syntax) and
+// registers it. sink is invoked synchronously, in evaluation order,
+// once per evaluation time instant.
+func (e *Engine) Register(src string, sink func(Result)) (*Query, error) {
+	var s engine.Sink
+	if sink != nil {
+		s = func(r engine.Result) { sink(convertResult(r)) }
+	}
+	q, err := e.e.RegisterSource(src, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Subscribe registers a query and returns a channel of results with
+// the given buffer size. The channel is closed when the engine's
+// stream ends (Close) — callers driving the engine manually should
+// simply stop reading instead.
+func (e *Engine) Subscribe(src string, buffer int) (*Query, <-chan Result, error) {
+	ch := make(chan Result, buffer)
+	q, err := e.Register(src, func(r Result) {
+		ch <- r
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, ch, nil
+}
+
+func convertResult(r engine.Result) Result {
+	op := Snapshot
+	switch r.Op.String() {
+	case "ON ENTERING":
+		op = OnEntering
+	case "ON EXITING":
+		op = OnExiting
+	}
+	return Result{
+		Query:    r.Query,
+		At:       r.At,
+		WinStart: r.Window.Start,
+		WinEnd:   r.Window.End,
+		Op:       op,
+		Table:    fromTable(r.Table),
+	}
+}
+
+// Deregister removes a registered query by name.
+func (e *Engine) Deregister(name string) error { return e.e.Deregister(name) }
+
+// Push appends a stream element (G, ω) to the engine's input stream.
+// Elements must arrive in non-decreasing timestamp order. Push does not
+// trigger evaluations; call AdvanceTo (or PushAndAdvance).
+func (e *Engine) Push(g *Graph, ts time.Time) error {
+	return e.e.Push(g.internalGraph(), ts)
+}
+
+// PushAndAdvance pushes an element and advances the virtual clock to
+// its timestamp, running all due evaluations.
+func (e *Engine) PushAndAdvance(g *Graph, ts time.Time) error {
+	if err := e.Push(g, ts); err != nil {
+		return err
+	}
+	return e.AdvanceTo(ts)
+}
+
+// AdvanceTo moves the virtual clock to ts, running every evaluation
+// time instant that became due across all registered queries, in
+// timestamp order.
+func (e *Engine) AdvanceTo(ts time.Time) error { return e.e.AdvanceTo(ts) }
+
+// RegisterOn registers a query bound to a named logical stream: it only
+// consumes elements pushed via PushTo with the same stream name.
+func (e *Engine) RegisterOn(streamName, src string, sink func(Result)) (*Query, error) {
+	var s engine.Sink
+	if sink != nil {
+		s = func(r engine.Result) { sink(convertResult(r)) }
+	}
+	q, err := e.e.RegisterSourceOn(streamName, src, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// PushTo appends a stream element to a named logical stream.
+func (e *Engine) PushTo(streamName string, g *Graph, ts time.Time) error {
+	return e.e.PushStream(streamName, g.internalGraph(), ts)
+}
+
+// Now returns the engine's virtual clock.
+func (e *Engine) Now() time.Time { return e.e.Now() }
+
+// ---------------------------------------------------------------------------
+// Parameters
+
+// Params converts a Go map to query parameters.
+func Params(m map[string]any) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(m))
+	for k, v := range m {
+		cv, err := ToValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("seraph: parameter $%s: %w", k, err)
+		}
+		out[k] = cv
+	}
+	return out, nil
+}
+
+// Checkpoint serializes the engine's durable state (registrations,
+// window positions, retained stream history) so a restarted process can
+// resume with RestoreEngine exactly where it stopped — including
+// ON ENTERING / ON EXITING continuity across the restart.
+// Parameterized registrations are not checkpointable.
+func (e *Engine) Checkpoint(w io.Writer) error { return e.e.Checkpoint(w) }
+
+// RestoreEngine reconstructs an engine from a checkpoint written by
+// Checkpoint. sinkFor is called once per restored query to re-bind its
+// result sink; it may return nil.
+func RestoreEngine(r io.Reader, sinkFor func(queryName string) func(Result)) (*Engine, error) {
+	var adapt func(string) engine.Sink
+	if sinkFor != nil {
+		adapt = func(name string) engine.Sink {
+			sink := sinkFor(name)
+			if sink == nil {
+				return nil
+			}
+			return func(res engine.Result) { sink(convertResult(res)) }
+		}
+	}
+	inner, err := engine.Restore(r, adapt)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: inner}, nil
+}

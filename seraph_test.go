@@ -1,0 +1,285 @@
+package seraph
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+
+func sensorEvent(t *testing.T, relID int64, reading float64, at time.Time) *Graph {
+	t.Helper()
+	g := NewGraph()
+	if err := g.AddNode(1, []string{"Sensor"}, map[string]any{"name": "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(2, []string{"Zone"}, map[string]any{"name": "hall"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddRelationship(relID, 1, 2, "READ", map[string]any{"v": reading, "at": at}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	e := NewEngine()
+	var results []Result
+	q, err := e.Register(`
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z:Zone)
+  WITHIN PT10S
+  WHERE r.v > 40.0
+  EMIT s.name AS sensor, r.v AS v
+  ON ENTERING EVERY PT5S
+}`, func(r Result) { results = append(results, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "hot" {
+		t.Errorf("name = %s", q.Name())
+	}
+
+	for i, v := range []float64{10, 55, 20} {
+		ts := t0.Add(time.Duration(i*5) * time.Second)
+		if err := e.PushAndAdvance(sensorEvent(t, int64(100+i), v, ts), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(results) != 3 {
+		t.Fatalf("evaluations = %d", len(results))
+	}
+	hot := results[1]
+	if hot.Op != OnEntering {
+		t.Errorf("op = %s", hot.Op)
+	}
+	if hot.Table.Len() != 1 {
+		t.Fatalf("hot rows = %d", hot.Table.Len())
+	}
+	if got := hot.Table.Get(0, "sensor"); got != "s1" {
+		t.Errorf("sensor = %v", got)
+	}
+	if got := hot.Table.Get(0, "v"); got != 55.0 {
+		t.Errorf("v = %v (%T)", got, got)
+	}
+	// win_start / win_end surface as time.Time.
+	if ws, ok := hot.Table.Get(0, "win_start").(time.Time); !ok || !ws.Equal(hot.WinStart) {
+		t.Errorf("win_start = %v", hot.Table.Get(0, "win_start"))
+	}
+	st := q.Stats()
+	if st.Evaluations != 3 || st.ElementsSeen != 3 || st.RowsEmitted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := e.Deregister("hot"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeChannel(t *testing.T) {
+	e := NewEngine()
+	_, ch, err := e.Subscribe(`
+REGISTER QUERY sub STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT10S
+  EMIT s.name AS n
+  SNAPSHOT EVERY PT5S
+}`, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushAndAdvance(sensorEvent(t, 1, 1, t0), t0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-ch:
+		if r.Table.Len() != 1 {
+			t.Errorf("rows = %d", r.Table.Len())
+		}
+	default:
+		t.Fatal("no result on channel")
+	}
+}
+
+func TestGraphDBExec(t *testing.T) {
+	db := NewGraphDB()
+	if _, err := db.Exec(`CREATE (:City {name: 'Leipzig', pop: 600000})-[:IN]->(:Country {name: 'DE'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumNodes() != 2 || db.NumRelationships() != 1 {
+		t.Errorf("sizes %d/%d", db.NumNodes(), db.NumRelationships())
+	}
+	out, err := db.Exec(`MATCH (c:City)-[:IN]->(x) RETURN c.name AS city, x.name AS country`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Maps()[0]
+	if m["city"] != "Leipzig" || m["country"] != "DE" {
+		t.Errorf("row = %v", m)
+	}
+	// Parameters.
+	out, err = db.Exec(`MATCH (c:City) WHERE c.pop > $min RETURN count(*) AS n`,
+		map[string]any{"min": 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Get(0, "n") != int64(1) {
+		t.Errorf("param query: %v", out.Get(0, "n"))
+	}
+	// Parse errors surface.
+	if _, err := db.Exec("MATCH OOPS", nil); err == nil {
+		t.Error("parse error expected")
+	}
+	// Entity conversion.
+	out = db.MustExec(`MATCH (c:City) RETURN c`, nil)
+	node, ok := out.Get(0, "c").(*Node)
+	if !ok || node.Props["name"] != "Leipzig" || node.Labels[0] != "City" {
+		t.Errorf("node conversion: %#v", out.Get(0, "c"))
+	}
+	// Path conversion.
+	out = db.MustExec(`MATCH p = (:City)-[:IN]->(:Country) RETURN p`, nil)
+	path, ok := out.Get(0, "p").(*Path)
+	if !ok || path.Len() != 1 || len(path.Nodes) != 2 {
+		t.Errorf("path conversion: %#v", out.Get(0, "p"))
+	}
+}
+
+func TestGraphDBClock(t *testing.T) {
+	db := NewGraphDB()
+	fixed := time.Date(2022, 10, 14, 15, 40, 0, 0, time.UTC)
+	db.SetClock(fixed)
+	out := db.MustExec(`RETURN datetime() AS now`, nil)
+	if got, ok := out.Get(0, "now").(time.Time); !ok || !got.Equal(fixed) {
+		t.Errorf("datetime() = %v", out.Get(0, "now"))
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	db := NewGraphDB()
+	in := map[string]any{
+		"i": 42, "f": 2.5, "s": "x", "b": true,
+		"list": []any{1, "two"},
+		"map":  map[string]any{"k": 1},
+		"t":    t0,
+		"d":    90 * time.Minute,
+	}
+	if _, err := db.Exec(`CREATE (:T {i: $i, f: $f, s: $s, b: $b, list: $list, map: $map, t: $t, d: $d})`, in); err != nil {
+		t.Fatal(err)
+	}
+	out := db.MustExec(`MATCH (n:T) RETURN n.i, n.f, n.s, n.b, n.list, n.map, n.t, n.d`, nil)
+	row := out.Maps()[0]
+	if row["n.i"] != int64(42) || row["n.f"] != 2.5 || row["n.s"] != "x" || row["n.b"] != true {
+		t.Errorf("scalars: %v", row)
+	}
+	if lst, ok := row["n.list"].([]any); !ok || len(lst) != 2 || lst[0] != int64(1) {
+		t.Errorf("list: %#v", row["n.list"])
+	}
+	if m, ok := row["n.map"].(map[string]any); !ok || m["k"] != int64(1) {
+		t.Errorf("map: %#v", row["n.map"])
+	}
+	if tm, ok := row["n.t"].(time.Time); !ok || !tm.Equal(t0) {
+		t.Errorf("time: %#v", row["n.t"])
+	}
+	if d, ok := row["n.d"].(time.Duration); !ok || d != 90*time.Minute {
+		t.Errorf("duration: %#v", row["n.d"])
+	}
+	// Unsupported property types error.
+	g := NewGraph()
+	if err := g.AddNode(1, nil, map[string]any{"bad": struct{}{}}); err == nil {
+		t.Error("unsupported type must fail")
+	}
+}
+
+func TestWindowBoundsOption(t *testing.T) {
+	for _, b := range []WindowBounds{BoundsPaperExample, BoundsStrict} {
+		e := NewEngine(WithWindowBounds(b))
+		var got []Result
+		_, err := e.Register(`
+REGISTER QUERY w STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT10S
+  EMIT s.name AS n
+  SNAPSHOT EVERY PT5S
+}`, func(r Result) { got = append(got, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.PushAndAdvance(sensorEvent(t, 1, 1, t0), t0); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatal("one evaluation expected")
+		}
+		switch b {
+		case BoundsPaperExample:
+			if !got[0].WinStart.Equal(t0.Add(-10*time.Second)) || !got[0].WinEnd.Equal(t0) {
+				t.Errorf("paper bounds: %s – %s", got[0].WinStart, got[0].WinEnd)
+			}
+		case BoundsStrict:
+			if !got[0].WinStart.Equal(t0.Add(-5 * time.Second)) {
+				t.Errorf("strict bounds: %s", got[0].WinStart)
+			}
+		}
+	}
+}
+
+func TestSnapshotCacheOption(t *testing.T) {
+	e := NewEngine(WithSnapshotCache(true))
+	q, err := e.Register(`
+REGISTER QUERY c STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT1M
+  EMIT s.name AS n
+  SNAPSHOT EVERY PT5S
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushAndAdvance(sensorEvent(t, 1, 1, t0), t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(t0.Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats().SkippedByCache == 0 {
+		t.Error("cache should have skipped re-evaluations")
+	}
+}
+
+func TestCheckpointRestorePublicAPI(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Register(`
+REGISTER QUERY cp STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor) WITHIN PT30S
+  EMIT count(*) AS n
+  SNAPSHOT EVERY PT10S
+}`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushAndAdvance(sensorEvent(t, 1, 5, t0), t0); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	e2, err := RestoreEngine(strings.NewReader(buf.String()), func(name string) func(Result) {
+		return func(r Result) { got = append(got, r) }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.AdvanceTo(t0.Add(20 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("post-restore evaluations = %d", len(got))
+	}
+	if got[0].Table.Get(0, "n") != int64(1) {
+		t.Errorf("restored history lost: %v", got[0].Table.Rows)
+	}
+}
