@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"seraph/internal/ast"
@@ -60,7 +62,7 @@ func main() {
 		{"B6", "variable-length pattern matching", b6VarLength},
 		{"B7", "snapshot graph construction", b7Snapshot},
 		{"B8", "shortestPath (network monitoring)", b8ShortestPath},
-		{"B9", "concurrent registered queries", b9Concurrent},
+		{"B9", "concurrent registered queries (sequential vs parallel scheduler)", b9Concurrent},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -376,15 +378,40 @@ func b8ShortestPath() {
 	}
 }
 
+// b9Concurrent measures hosting many registered queries on one engine,
+// sequentially (parallelism 1) and with the parallel evaluation
+// scheduler (parallelism GOMAXPROCS), on both the micro-mobility and
+// the network-monitoring workloads. On multi-core hardware the
+// parallel column should approach a GOMAXPROCS-fold speedup once the
+// query count exceeds the core count.
 func b9Concurrent() {
 	batches := scaled(48, 12)
-	header("queries", "wall_ms", "ms_per_eval")
+	pars := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		pars = append(pars, g)
+	}
+	header("workload", "queries", "parallelism", "wall_ms", "ms_per_eval")
 	for _, nq := range []int{1, 4, 16, 64} {
-		elems := mmElems(batches, 20)
-		e := engine.New()
-		evals := 0
-		for i := 0; i < nq; i++ {
-			src := fmt.Sprintf(`
+		for _, par := range pars {
+			d, evals := b9Micromobility(batches, nq, par)
+			fmt.Printf("micromobility\t%d\t%d\t%.1f\t%.2f\n", nq, par, ms(d), ms(d)/float64(evals))
+		}
+	}
+	for _, nq := range []int{1, 4, 16} {
+		for _, par := range pars {
+			d, evals := b9Netmon(nq, par)
+			fmt.Printf("netmon\t%d\t%d\t%.1f\t%.2f\n", nq, par, ms(d), ms(d)/float64(evals))
+		}
+	}
+}
+
+func b9Micromobility(batches, nq, par int) (time.Duration, int) {
+	elems := mmElems(batches, 20)
+	e := engine.New(engine.WithParallelism(par))
+	var mu sync.Mutex
+	evals := 0
+	for i := 0; i < nq; i++ {
+		src := fmt.Sprintf(`
 REGISTER QUERY q%d STARTING AT %s
 {
   MATCH (b:Bike)-[r:rentedAt]->(s:Station)
@@ -393,22 +420,50 @@ REGISTER QUERY q%d STARTING AT %s
   EMIT r.user_id, s.id
   ON ENTERING EVERY PT5M
 }`, i, elems[0].Time.Format("2006-01-02T15:04:05"), nq, i)
-			if _, err := e.RegisterSource(src, func(r engine.Result) { evals++ }); err != nil {
-				log.Fatal(err)
-			}
+		if _, err := e.RegisterSource(src, func(r engine.Result) {
+			mu.Lock()
+			evals++
+			mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
 		}
-		start := time.Now()
-		for _, el := range elems {
-			if err := e.Push(el.Graph, el.Time); err != nil {
-				log.Fatal(err)
-			}
-			if err := e.AdvanceTo(el.Time); err != nil {
-				log.Fatal(err)
-			}
-		}
-		d := time.Since(start)
-		fmt.Printf("%d\t%.1f\t%.2f\n", nq, ms(d), ms(d)/float64(evals))
 	}
+	return replayTimed(e, elems), evals
+}
+
+func b9Netmon(nq, par int) (time.Duration, int) {
+	cfg := workload.DefaultNetworkConfig()
+	cfg.Racks = scaled(50, 20)
+	cfg.FailureRate = 0.05
+	elems := workload.NewNetwork(cfg).Batches(scaled(8, 4))
+	e := engine.New(engine.WithParallelism(par))
+	var mu sync.Mutex
+	evals := 0
+	for i := 0; i < nq; i++ {
+		src := strings.Replace(workload.NetworkAnomalyQuery(cfg.Start),
+			"network_anomalies", fmt.Sprintf("network_anomalies_%d", i), 1)
+		if _, err := e.RegisterSource(src, func(r engine.Result) {
+			mu.Lock()
+			evals++
+			mu.Unlock()
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return replayTimed(e, elems), evals
+}
+
+func replayTimed(e *engine.Engine, elems []stream.Element) time.Duration {
+	start := time.Now()
+	for _, el := range elems {
+		if err := e.Push(el.Graph, el.Time); err != nil {
+			log.Fatal(err)
+		}
+		if err := e.AdvanceTo(el.Time); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return time.Since(start)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

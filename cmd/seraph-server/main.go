@@ -21,12 +21,14 @@ import (
 	"os"
 	"time"
 
+	"seraph/internal/engine"
 	"seraph/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":7687", "listen address")
 	restore := flag.String("restore", "", "resume from a checkpoint file (see GET /checkpoint)")
+	parallelism := flag.Int("parallelism", 0, "max queries evaluated concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var srv *server.Server
@@ -42,7 +44,7 @@ func main() {
 		}
 		log.Printf("seraph-server restored %d queries from %s", len(srv.Engine().Queries()), *restore)
 	} else {
-		srv = server.New()
+		srv = server.New(engine.WithParallelism(*parallelism))
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

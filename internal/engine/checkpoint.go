@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"seraph/internal/ast"
@@ -62,10 +63,17 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		}
 		cp.Static = data
 	}
-	for _, q := range e.queries {
+	names := make([]string, 0, len(e.queries))
+	for name := range e.queries {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic checkpoint contents
+	for _, name := range names {
+		q := e.queries[name]
 		if q.params != nil {
 			return fmt.Errorf("engine: checkpoint: query %q has parameters, which are not checkpointable", q.name)
 		}
+		q.mu.Lock()
 		cq := checkpointQuery{
 			Source:   ast.RegistrationString(q.reg),
 			Stream:   q.streamName,
@@ -75,7 +83,9 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			Done:     q.done,
 			Stats:    q.stats,
 		}
-		for _, el := range q.hist.Elements() {
+		elems := q.hist.Elements()
+		q.mu.Unlock()
+		for _, el := range elems {
 			data, err := ingest.Encode(el.Graph, el.Time)
 			if err != nil {
 				return fmt.Errorf("engine: checkpoint query %q: %w", q.name, err)
@@ -124,11 +134,10 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink) (*Engine, error) 
 		if sinkFor != nil {
 			sink = sinkFor(reg.Name)
 		}
-		q, err := e.Register(reg, sink)
+		q, err := e.register(reg, sink, nil, cq.Stream)
 		if err != nil {
 			return nil, err
 		}
-		q.streamName = cq.Stream
 		q.cfg.Start = cq.Start
 		q.pendingStart = cq.Pending
 		q.nextEval = cq.NextEval

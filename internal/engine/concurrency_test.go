@@ -10,11 +10,21 @@ import (
 	"seraph/internal/value"
 )
 
-// TestConcurrentUse exercises the engine's mutex under the race
+// TestConcurrentUse exercises the engine's locking under the race
 // detector: one goroutine streams elements, others register, inspect
-// and deregister queries concurrently.
+// and deregister queries concurrently, while the base query's sink
+// re-enters the engine from inside the evaluation path.
 func TestConcurrentUse(t *testing.T) {
 	e := New()
+	reentrant := func(r Result) {
+		// Re-enter the engine from the sink: the evaluation path must
+		// hold no lock that these calls need.
+		for _, q := range e.Queries() {
+			_ = q.Stats()
+			_ = q.Err()
+		}
+		_ = e.Now()
+	}
 	if _, err := e.RegisterSource(`
 REGISTER QUERY base STARTING AT 2026-07-06T10:00:00
 {
@@ -22,7 +32,7 @@ REGISTER QUERY base STARTING AT 2026-07-06T10:00:00
   WITHIN PT30S
   EMIT count(*) AS n
   SNAPSHOT EVERY PT5S
-}`, nil); err != nil {
+}`, reentrant); err != nil {
 		t.Fatal(err)
 	}
 
@@ -69,13 +79,24 @@ REGISTER QUERY %s STARTING AT NOW
 		}
 	}()
 
-	// Inspector: reads stats and listings.
+	// Inspector: reads stats, errors, histories and listings while the
+	// producer evaluates.
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
 			for _, q := range e.Queries() {
 				_ = q.Stats()
 				_ = q.Name()
+				_ = q.Err()
+				_ = q.BufferedElements()
+				h := q.History()
+				_ = h.Len()
+				for _, ta := range h.Entries() {
+					_ = ta.Table.Len()
+				}
+				if ta, ok := h.At(tick(i)); ok {
+					_ = ta.Interval
+				}
 			}
 			_ = e.Now()
 		}

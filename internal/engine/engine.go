@@ -11,7 +11,6 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,11 +28,24 @@ import (
 
 // Engine hosts registered continuous queries and drives their
 // evaluation. It is safe for concurrent use.
+//
+// Concurrency model (see DESIGN.md "Concurrency model"): the engine
+// lock e.mu guards only the registry map and the virtual clock; every
+// Query carries its own lock for its mutable evaluation state. Sinks
+// are always invoked with no engine- or query-state lock held, so a
+// sink may safely call back into the engine (Push, Queries, Stats,
+// Register, Deregister, even AdvanceTo). The lock acquisition order is
+// q.evalMu → e.mu → q.mu; no code path takes e.mu while holding q.mu.
 type Engine struct {
 	mu      sync.Mutex
 	queries map[string]*Query
 	bounds  window.Bounds
 	now     time.Time
+
+	// parallelism bounds how many queries AdvanceTo evaluates
+	// concurrently; <= 0 means runtime.GOMAXPROCS(0). See
+	// WithParallelism in scheduler.go.
+	parallelism int
 
 	// cacheSnapshots enables reuse of an evaluation's result when the
 	// active substream is identical to the previous evaluation's (the
@@ -107,13 +119,24 @@ type Stats struct {
 
 // Query is a registered continuous query.
 type Query struct {
-	name string
-	reg  *ast.Registration
-	emit *ast.Emit // nil for RETURN-terminated registrations
-	cfg  window.Config
-	hist *stream.Stream
-	sink Sink
+	// Immutable after registration.
+	name   string
+	reg    *ast.Registration
+	emit   *ast.Emit // nil for RETURN-terminated registrations
+	hist   *stream.Stream
+	sink   Sink
+	params map[string]value.Value
 
+	// streamName binds the query to a named input stream (future-work
+	// item i: querying multiple streams); "" is the default stream. It
+	// is fixed atomically at registration time.
+	streamName string
+
+	// mu guards the mutable evaluation state below. It is held only
+	// for short state transitions, never across a sink invocation.
+	mu sync.Mutex
+
+	cfg          window.Config
 	pendingStart bool // STARTING AT NOW: resolve ω₀ on first input
 	nextEval     time.Time
 	prev         *eval.Table // previous full evaluation result
@@ -122,26 +145,35 @@ type Query struct {
 	done         bool
 	failErr      error
 	stats        Stats
-	params       map[string]value.Value
 	history      TimeVarying
-
-	// streamName binds the query to a named input stream (future-work
-	// item i: querying multiple streams); "" is the default stream.
-	streamName string
 
 	// rollers holds the per-width rolling snapshots when the engine
 	// runs in incremental mode.
 	rollers map[time.Duration]*rolling
+
+	// evalMu serializes this query's evaluation chain: whoever holds it
+	// owns the right to run evaluations, in instant order, until
+	// nextEval passes evalTarget. evalTarget (guarded by mu) is the
+	// high-water mark of AdvanceTo requests; the chain owner re-reads
+	// it after every instant, so a concurrent AdvanceTo that fails to
+	// acquire evalMu may simply raise the target and move on.
+	evalMu     sync.Mutex
+	evalTarget time.Time
 }
 
 // Name returns the registration name.
 func (q *Query) Name() string { return q.name }
 
 // Stats returns a copy of the query's counters.
-func (q *Query) Stats() Stats { return q.stats }
+func (q *Query) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
 
 // History returns the time-varying table of everything this query has
-// produced so far (Definition 5.7).
+// produced so far (Definition 5.7). The returned table is safe for
+// concurrent use with an ongoing AdvanceTo.
 func (q *Query) History() *TimeVarying { return &q.history }
 
 // BufferedElements returns the number of stream elements currently
@@ -159,15 +191,27 @@ func (q *Query) Stream() string { return q.streamName }
 // Err returns the evaluation error that permanently stopped this
 // query, or nil while it is healthy. A failed query stops evaluating
 // but does not affect other registered queries.
-func (q *Query) Err() error { return q.failErr }
+func (q *Query) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failErr
+}
 
 // Register adds a parsed registration with the given result sink.
 func (e *Engine) Register(reg *ast.Registration, sink Sink) (*Query, error) {
-	return e.RegisterWithParams(reg, sink, nil)
+	return e.register(reg, sink, nil, "")
 }
 
 // RegisterWithParams is Register with query parameters ($name values).
 func (e *Engine) RegisterWithParams(reg *ast.Registration, sink Sink, params map[string]value.Value) (*Query, error) {
+	return e.register(reg, sink, params, "")
+}
+
+// register is the single registration path: the stream binding happens
+// under the same critical section that publishes the query, so a
+// concurrent Push can never observe a query bound to the wrong stream
+// (or resolve a STARTING AT NOW ω₀ from the wrong stream's elements).
+func (e *Engine) register(reg *ast.Registration, sink Sink, params map[string]value.Value, streamName string) (*Query, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.queries[reg.Name]; dup {
@@ -194,9 +238,10 @@ func (e *Engine) RegisterWithParams(reg *ast.Registration, sink Sink, params map
 			Slide:  slide,
 			Bounds: e.bounds,
 		},
-		hist:   stream.New(),
-		sink:   sink,
-		params: params,
+		hist:       stream.New(),
+		sink:       sink,
+		params:     params,
+		streamName: streamName,
 	}
 	if reg.StartNow {
 		q.pendingStart = true
@@ -204,6 +249,16 @@ func (e *Engine) RegisterWithParams(reg *ast.Registration, sink Sink, params map
 			q.cfg.Start = e.now
 			q.pendingStart = false
 			q.nextEval = q.cfg.Start
+		}
+		// Validate width/slide now even though ω₀ may still be pending:
+		// an invalid combination must fail at registration, not at the
+		// first evaluation.
+		c := q.cfg
+		if c.Start.IsZero() {
+			c.Start = time.Unix(0, 0) // placeholder until ω₀ resolves
+		}
+		if err := c.Validate(); err != nil {
+			return nil, err
 		}
 	} else {
 		if err := q.cfg.Validate(); err != nil {
@@ -230,14 +285,11 @@ func (e *Engine) RegisterSource(src string, sink Sink) (*Query, error) {
 // name. This implements the paper's future-work item (i), querying
 // multiple logical streams with one engine.
 func (e *Engine) RegisterSourceOn(streamName, src string, sink Sink) (*Query, error) {
-	q, err := e.RegisterSource(src, sink)
+	reg, err := parser.ParseRegistration(src)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	q.streamName = streamName
-	e.mu.Unlock()
-	return q, nil
+	return e.register(reg, sink, nil, streamName)
 }
 
 // Deregister removes a query by name (the paper's registry allows
@@ -272,26 +324,47 @@ func (e *Engine) Push(g *pg.Graph, ts time.Time) error {
 }
 
 // PushStream appends a stream element to the named logical stream,
-// reaching only the queries registered on it.
+// reaching only the queries registered on it. Per-stream timestamp
+// monotonicity is validated against every receiving query before any
+// state is mutated, so a rejected push leaves all queries untouched.
 func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	var targets []*Query
+	for _, q := range e.queries {
+		if q.streamName == streamName {
+			targets = append(targets, q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
+	// Validation pass: e.mu serializes appends, so a violation found
+	// here cannot appear between this check and the mutation pass
+	// (evaluation workers only ever drop old elements, which relaxes
+	// the constraint).
+	for _, q := range targets {
+		if last, ok := q.hist.Last(); ok && ts.Before(last) {
+			return fmt.Errorf("engine: out-of-order element %s before %s on stream %q",
+				ts.Format(time.RFC3339), last.Format(time.RFC3339), streamName)
+		}
+	}
 	if ts.After(e.now) {
 		e.now = ts
 	}
-	for _, q := range e.queries {
-		if q.streamName != streamName {
-			continue
-		}
+	for _, q := range targets {
+		q.mu.Lock()
 		if q.pendingStart {
 			q.cfg.Start = ts
 			q.nextEval = ts
 			q.pendingStart = false
 		}
-		if err := q.hist.Append(g, ts); err != nil {
-			return err
+		err := q.hist.Append(g, ts)
+		if err == nil {
+			q.stats.ElementsSeen++
 		}
-		q.stats.ElementsSeen++
+		q.mu.Unlock()
+		if err != nil {
+			return err // unreachable after validation; kept as a safety net
+		}
 	}
 	return nil
 }
@@ -303,57 +376,20 @@ func (e *Engine) Now() time.Time {
 	return e.now
 }
 
-// AdvanceTo moves the virtual clock to ts, running every evaluation
-// time instant that became due, in order, across all queries.
-func (e *Engine) AdvanceTo(ts time.Time) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ts.After(e.now) {
-		e.now = ts
-	}
-	// Interleave evaluations of all queries in global timestamp order
-	// so multi-query sinks observe a coherent timeline. A query whose
-	// evaluation fails is marked failed and stops evaluating; the
-	// others continue, and the collected failures are returned.
-	var errs []error
-	for {
-		var next *Query
-		for _, q := range e.queries {
-			if q.done || q.pendingStart || q.nextEval.After(ts) {
-				continue
-			}
-			if next == nil || q.nextEval.Before(next.nextEval) ||
-				(q.nextEval.Equal(next.nextEval) && q.name < next.name) {
-				next = q
-			}
-		}
-		if next == nil {
-			return errors.Join(errs...)
-		}
-		if err := e.evaluate(next, next.nextEval); err != nil {
-			err = fmt.Errorf("engine: query %q at %s: %w",
-				next.name, next.nextEval.Format(time.RFC3339), err)
-			next.failErr = err
-			next.done = true
-			errs = append(errs, err)
-			continue
-		}
-		next.nextEval = next.nextEval.Add(next.cfg.Slide)
-		next.hist.DropBefore(next.cfg.RetentionHorizon(next.nextEval))
-	}
-}
-
 // evaluate runs one evaluation of q at instant ω, per Figure 5 of the
 // paper: window → snapshot graph → Cypher evaluation → stream operator
-// → time-annotated table.
-func (e *Engine) evaluate(q *Query, ω time.Time) error {
+// → time-annotated table. The caller must hold q.mu; the produced
+// Result (nil when no window contains ω) is emitted to the sink by the
+// caller after releasing the lock, so re-entrant sinks cannot
+// deadlock. AdvanceTo itself lives in scheduler.go.
+func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 	result, iv, nodes, rels, ok, err := e.computeResult(q, ω)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if !ok {
 		// No window contains ω (strict mode with β > α): skip.
-		return nil
+		return nil, nil
 	}
 
 	// Stream operator (Section 5.3): SNAPSHOT re-emits everything; ON
@@ -379,14 +415,14 @@ func (e *Engine) evaluate(q *Query, ω time.Time) error {
 		out, err = eval.BagDifference(prev, result)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	q.prev = result
 
 	annotated := annotate(out, iv)
 	q.stats.Evaluations++
 	q.stats.RowsEmitted += annotated.Len()
-	res := Result{
+	res := &Result{
 		Query:         q.name,
 		At:            ω,
 		Window:        iv,
@@ -396,16 +432,9 @@ func (e *Engine) evaluate(q *Query, ω time.Time) error {
 		SnapshotRels:  rels,
 	}
 	if err := q.history.Append(TimeAnnotated{Interval: iv, Table: annotated}); err != nil {
-		return err
+		return nil, err
 	}
-	if q.sink != nil {
-		q.sink(res)
-	}
-	if q.emit == nil {
-		// RETURN-terminated registration: single result then done.
-		q.done = true
-	}
-	return nil
+	return res, nil
 }
 
 // computeResult evaluates q's body over the snapshot graph(s) at ω

@@ -437,7 +437,10 @@ REGISTER QUERY s STARTING AT 2026-07-06T10:00:00
 }
 
 func TestMultiQueryInterleaving(t *testing.T) {
-	e := New()
+	// Global timestamp-order interleaving across queries is guaranteed
+	// at parallelism 1 (at higher parallelism only each query's own
+	// order is fixed).
+	e := New(WithParallelism(1))
 	var order []string
 	mkSink := func(name string) Sink {
 		return func(r Result) { order = append(order, name+"@"+r.At.Format("05")) }

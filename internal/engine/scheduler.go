@@ -1,0 +1,233 @@
+package engine
+
+// scheduler.go is the parallel multi-query evaluation scheduler.
+//
+// The paper's registry model (Section 5, Definition 5.10) only orders
+// the evaluation time instants of a single query; distinct registered
+// queries are independent and may evaluate concurrently. AdvanceTo
+// therefore collects the queries with due instants and dispatches them
+// to a bounded worker pool: each worker owns one query's evaluation
+// chain and runs its instants strictly in order, so every sink still
+// observes its query's results as a deterministic sequence, while
+// distinct queries proceed in parallel.
+//
+// With parallelism 1 the scheduler instead interleaves all due
+// instants in global timestamp order (ties broken by query name),
+// preserving the engine's historical coherent multi-query timeline for
+// sinks shared across queries.
+//
+// In both modes, sinks are invoked with no engine- or query-state lock
+// held: a sink may call Push, Queries, Stats, Register, Deregister or
+// even AdvanceTo re-entrantly without deadlocking. Chain ownership is
+// handed out through each query's evalMu with a try-lock: an AdvanceTo
+// that finds a chain already owned raises the query's evaluation
+// target (evalTarget) and moves on — the owner re-reads the target
+// after every instant, so no due instant is lost.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WithParallelism bounds the number of queries AdvanceTo evaluates
+// concurrently. n <= 0 selects runtime.GOMAXPROCS(0), which is also
+// the default. Parallelism 1 evaluates sequentially in global
+// timestamp order across queries; higher values evaluate distinct
+// queries concurrently while keeping each query's own instants (and
+// hence each per-query sink's result sequence) in order.
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+func (e *Engine) effectiveParallelism() int {
+	if e.parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.parallelism
+}
+
+// AdvanceTo moves the virtual clock to ts, running every evaluation
+// time instant that became due across all registered queries. A query
+// whose evaluation fails is marked failed and stops evaluating; the
+// others continue, and the collected failures are returned. When two
+// AdvanceTo calls race, evaluation errors surface on whichever call
+// performs the evaluation.
+func (e *Engine) AdvanceTo(ts time.Time) error {
+	e.mu.Lock()
+	if ts.After(e.now) {
+		e.now = ts
+	}
+	par := e.effectiveParallelism()
+	qs := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		qs = append(qs, q)
+	}
+	e.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].name < qs[j].name })
+
+	// Collect the due queries and raise their evaluation targets.
+	var due []*Query
+	for _, q := range qs {
+		q.mu.Lock()
+		if !q.done && !q.pendingStart && !q.nextEval.After(ts) {
+			if ts.After(q.evalTarget) {
+				q.evalTarget = ts
+			}
+			due = append(due, q)
+		}
+		q.mu.Unlock()
+	}
+	switch {
+	case len(due) == 0:
+		return nil
+	case par <= 1 || len(due) == 1:
+		return e.advanceSequential(due)
+	default:
+		return e.advanceParallel(due, par)
+	}
+}
+
+// advanceSequential interleaves all due instants in global timestamp
+// order, ties broken by query name — the engine's historical
+// deterministic ordering, kept for parallelism 1 so multi-query sinks
+// observe a coherent timeline.
+func (e *Engine) advanceSequential(due []*Query) error {
+	var errs []error
+	active := append([]*Query(nil), due...)
+	for {
+		var next *Query
+		var nextAt time.Time
+		for _, q := range active {
+			q.mu.Lock()
+			ok := !q.done && !q.pendingStart && !q.nextEval.After(q.evalTarget)
+			at := q.nextEval
+			q.mu.Unlock()
+			if !ok {
+				continue
+			}
+			if next == nil || at.Before(nextAt) ||
+				(at.Equal(nextAt) && q.name < next.name) {
+				next, nextAt = q, at
+			}
+		}
+		if next == nil {
+			return errors.Join(errs...)
+		}
+		if !e.registered(next) {
+			active = removeQuery(active, next)
+			continue
+		}
+		if !next.evalMu.TryLock() {
+			// Another AdvanceTo owns this query's chain; it re-reads
+			// evalTarget (which we raised) after every instant, so our
+			// due instants are covered.
+			active = removeQuery(active, next)
+			continue
+		}
+		err := e.evalNext(next)
+		next.evalMu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+}
+
+// advanceParallel dispatches each due query's evaluation chain to a
+// worker pool of at most par goroutines. Failures are joined in query
+// name order so the aggregate error is deterministic.
+func (e *Engine) advanceParallel(due []*Query, par int) error {
+	if par > len(due) {
+		par = len(due)
+	}
+	errs := make([]error, len(due))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, q := range due {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, q *Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = e.drain(q)
+		}(i, q)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// drain evaluates q's due instants, in order, until its next instant
+// passes the evaluation target. Returns the joined evaluation errors.
+func (e *Engine) drain(q *Query) error {
+	if !q.evalMu.TryLock() {
+		// Another AdvanceTo owns the chain and will honor the raised
+		// target.
+		return nil
+	}
+	defer q.evalMu.Unlock()
+	var errs []error
+	for {
+		q.mu.Lock()
+		dueNow := !q.done && !q.pendingStart && !q.nextEval.After(q.evalTarget)
+		q.mu.Unlock()
+		if !dueNow || !e.registered(q) {
+			return errors.Join(errs...)
+		}
+		if err := e.evalNext(q); err != nil {
+			errs = append(errs, err)
+		}
+	}
+}
+
+// evalNext runs the single earliest due instant of q, then invokes the
+// sink with all locks released. The caller must hold q.evalMu.
+func (e *Engine) evalNext(q *Query) error {
+	q.mu.Lock()
+	if q.done || q.pendingStart || q.nextEval.After(q.evalTarget) {
+		q.mu.Unlock()
+		return nil
+	}
+	ω := q.nextEval
+	res, err := e.evaluate(q, ω)
+	if err != nil {
+		err = fmt.Errorf("engine: query %q at %s: %w",
+			q.name, ω.Format(time.RFC3339), err)
+		q.failErr = err
+		q.done = true
+		q.mu.Unlock()
+		return err
+	}
+	if q.emit == nil {
+		// RETURN-terminated registration: single result then done.
+		q.done = true
+	}
+	q.nextEval = ω.Add(q.cfg.Slide)
+	q.hist.DropBefore(q.cfg.RetentionHorizon(q.nextEval))
+	q.mu.Unlock()
+	if q.sink != nil && res != nil {
+		q.sink(*res)
+	}
+	return nil
+}
+
+// registered reports whether q is still the query registered under its
+// name, so a sink that deregisters a query stops its remaining due
+// evaluations.
+func (e *Engine) registered(q *Query) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queries[q.name] == q
+}
+
+func removeQuery(qs []*Query, q *Query) []*Query {
+	out := qs[:0]
+	for _, x := range qs {
+		if x != q {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seraph/internal/workload"
+)
+
+// renderResult serializes a Result to a comparable string: evaluation
+// instant, window, operator, columns and every row value.
+func renderResult(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s cols=%v", r.At.Format(time.RFC3339), r.Window, r.Op, r.Table.Cols)
+	for _, row := range r.Table.Rows {
+		fmt.Fprintf(&b, " |")
+		for _, v := range row {
+			fmt.Fprintf(&b, " %s", v)
+		}
+	}
+	return b.String()
+}
+
+// TestParallelismDeterminism runs N copies of the paper's worked
+// example (Listing 5 over the Figure 1 stream) at parallelism 1 and 8
+// and asserts byte-identical per-sink result sequences: the scheduler
+// may reorder evaluations across queries but never within one.
+func TestParallelismDeterminism(t *testing.T) {
+	const n = 8
+	run := func(par int) []string {
+		e := New(WithParallelism(par))
+		var mu sync.Mutex
+		sinks := make([][]string, n)
+		for i := 0; i < n; i++ {
+			i := i
+			src := strings.Replace(workload.StudentTrickQuery,
+				"student_trick", fmt.Sprintf("student_trick_%02d", i), 1)
+			_, err := e.RegisterSource(src, func(r Result) {
+				mu.Lock()
+				sinks[i] = append(sinks[i], renderResult(r))
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, el := range workload.Figure1Stream() {
+			if err := e.Push(el.Graph, el.Time); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(el.Time); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]string, n)
+		for i := range sinks {
+			out[i] = strings.Join(sinks[i], "\n")
+		}
+		return out
+	}
+	seq := run(1)
+	parl := run(8)
+	for i := range seq {
+		if !strings.Contains(seq[i], "1234") {
+			t.Fatalf("query %d produced no Table 5 output:\n%s", i, seq[i])
+		}
+		if seq[i] != parl[i] {
+			t.Errorf("query %d: per-sink sequences differ between parallelism 1 and 8:\n-- sequential --\n%s\n-- parallel --\n%s",
+				i, seq[i], parl[i])
+		}
+	}
+}
+
+// TestReentrantSinkNoDeadlock: a sink that calls back into the engine
+// (Push, Queries, Stats, Err, History, Deregister, RegisterSource and
+// even AdvanceTo) must never deadlock, at any parallelism. Before the
+// scheduler split the engine held one global mutex across sink
+// invocations and every one of these calls hung.
+func TestReentrantSinkNoDeadlock(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			e := New(WithParallelism(par))
+			if _, err := e.RegisterSource(`
+REGISTER QUERY victim STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor) WITHIN PT30S EMIT count(*) AS n SNAPSHOT EVERY PT5S }`, nil); err != nil {
+				t.Fatal(err)
+			}
+			calls := 0
+			registered := 0
+			sink := func(r Result) {
+				calls++
+				// Inspect the registry and per-query state.
+				for _, q := range e.Queries() {
+					_ = q.Stats()
+					_ = q.Err()
+					_ = q.History().Len()
+					_ = q.BufferedElements()
+				}
+				_ = e.Now()
+				switch calls {
+				case 1:
+					// Feed the engine from inside the sink.
+					if err := e.Push(sensorGraph(9000, "s1", 1), e.Now()); err != nil {
+						t.Errorf("re-entrant push: %v", err)
+					}
+					if err := e.AdvanceTo(e.Now()); err != nil {
+						t.Errorf("re-entrant advance: %v", err)
+					}
+				case 2:
+					// Register a follow-up query.
+					if _, err := e.RegisterSource(`
+REGISTER QUERY followup STARTING AT NOW
+{ MATCH (s:Sensor) WITHIN PT10S EMIT count(*) AS n SNAPSHOT EVERY PT5S }`, nil); err != nil {
+						t.Errorf("re-entrant register: %v", err)
+					}
+					registered++
+				case 3:
+					if err := e.Deregister("victim"); err != nil {
+						t.Errorf("re-entrant deregister: %v", err)
+					}
+				}
+			}
+			if _, err := e.RegisterSource(`
+REGISTER QUERY reentrant STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor) WITHIN PT30S EMIT count(*) AS n SNAPSHOT EVERY PT5S }`, sink); err != nil {
+				t.Fatal(err)
+			}
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 30; i++ {
+					ts := tick(i * 5)
+					if err := e.Push(sensorGraph(int64(100+i), "s1", int64(i)), ts); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := e.AdvanceTo(ts); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("engine deadlocked with a re-entrant sink")
+			}
+			if calls == 0 {
+				t.Fatal("re-entrant sink never invoked")
+			}
+			if registered == 0 {
+				t.Error("follow-up registration never happened")
+			}
+			// The deregistered query stopped evaluating; the follow-up
+			// query is live.
+			names := map[string]bool{}
+			for _, q := range e.Queries() {
+				names[q.Name()] = true
+			}
+			if names["victim"] {
+				t.Error("victim still registered after re-entrant Deregister")
+			}
+			if !names["followup"] {
+				t.Error("follow-up query missing from registry")
+			}
+		})
+	}
+}
+
+// TestRegisterSourceOnAtomicBinding: a query registered on a named
+// stream must never observe default-stream elements, even when pushes
+// race with registration (the old two-step bind left a window where
+// the query was live on the default stream).
+func TestRegisterSourceOnAtomicBinding(t *testing.T) {
+	e := New()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if err := e.Push(sensorGraph(int64(i+1), "s1", int64(i)), tick(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var queries []*Query
+	for i := 0; i < 40; i++ {
+		src := fmt.Sprintf(`
+REGISTER QUERY bound%d STARTING AT NOW
+{ MATCH (s:Sensor) WITHIN PT10S EMIT count(*) AS n SNAPSHOT EVERY PT5S }`, i)
+		q, err := e.RegisterSourceOn("isolated", src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	wg.Wait()
+	for _, q := range queries {
+		if n := q.Stats().ElementsSeen; n != 0 {
+			t.Errorf("%s saw %d default-stream elements", q.Name(), n)
+		}
+		if n := q.BufferedElements(); n != 0 {
+			t.Errorf("%s buffered %d default-stream elements", q.Name(), n)
+		}
+	}
+	// The named stream still reaches them.
+	if err := e.PushStream("isolated", sensorGraph(9999, "iso", 1), tick(500)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if n := q.Stats().ElementsSeen; n != 1 {
+			t.Errorf("%s saw %d isolated-stream elements, want 1", q.Name(), n)
+		}
+	}
+}
+
+// TestPushStreamAtomicRejection: a push that violates per-stream
+// timestamp monotonicity must mutate nothing — before validation moved
+// up front, map-order iteration left some queries with the element and
+// others without.
+func TestPushStreamAtomicRejection(t *testing.T) {
+	e := New()
+	var qs []*Query
+	for _, name := range []string{"qa", "qb", "qc"} {
+		q, err := e.RegisterSourceOn("s", fmt.Sprintf(`
+REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00
+{ MATCH (x:Sensor) WITHIN PT30S EMIT count(*) AS n SNAPSHOT EVERY PT5S }`, name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, q)
+	}
+	if err := e.PushStream("s", sensorGraph(1, "s1", 1), tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PushStream("s", sensorGraph(2, "s2", 2), tick(5)); err == nil {
+		t.Fatal("out-of-order push must be rejected")
+	}
+	for _, q := range qs {
+		if n := q.Stats().ElementsSeen; n != 1 {
+			t.Errorf("%s: ElementsSeen = %d after rejected push, want 1", q.Name(), n)
+		}
+		if n := q.BufferedElements(); n != 1 {
+			t.Errorf("%s: BufferedElements = %d after rejected push, want 1", q.Name(), n)
+		}
+	}
+	// The stream remains usable at or after the high-water mark.
+	if err := e.PushStream("s", sensorGraph(3, "s3", 3), tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if n := q.Stats().ElementsSeen; n != 2 {
+			t.Errorf("%s: ElementsSeen = %d after recovery push, want 2", q.Name(), n)
+		}
+	}
+}
+
+// TestParallelAdvanceMatchesSequential drives a larger multi-query
+// micro-mobility workload at parallelism 1 and 8 and compares every
+// query's full emission history — the scheduler must not change any
+// query's results, only their wall-clock overlap.
+func TestParallelAdvanceMatchesSequential(t *testing.T) {
+	elems := workload.NewMicroMobility(workload.DefaultMicroMobilityConfig()).Batches(24)
+	const n = 6
+	run := func(par int) []string {
+		e := New(WithParallelism(par))
+		var mu sync.Mutex
+		sinks := make([][]string, n)
+		for i := 0; i < n; i++ {
+			i := i
+			src := fmt.Sprintf(`
+REGISTER QUERY mm%d STARTING AT %s
+{
+  MATCH (b:Bike)-[r:rentedAt]->(s:Station)
+  WITHIN PT30M
+  WHERE r.user_id %% %d = %d
+  EMIT r.user_id AS user, s.id AS station
+  ON ENTERING EVERY PT5M
+}`, i, elems[0].Time.Format("2006-01-02T15:04:05"), n, i)
+			if _, err := e.RegisterSource(src, func(r Result) {
+				mu.Lock()
+				sinks[i] = append(sinks[i], renderResult(r))
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, el := range elems {
+			if err := e.Push(el.Graph, el.Time); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(el.Time); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]string, n)
+		for i := range sinks {
+			out[i] = strings.Join(sinks[i], "\n")
+		}
+		return out
+	}
+	seq := run(1)
+	parl := run(8)
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Errorf("query %d result sequence differs between parallelism 1 and 8", i)
+		}
+	}
+}

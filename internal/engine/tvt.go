@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"seraph/internal/eval"
@@ -21,7 +22,10 @@ type TimeAnnotated struct {
 // ordered sequence of tables a continuous query has produced. Append
 // enforces the definition's constraints; At implements Ψ(ω) with the
 // chronologicality rule (earliest interval containing ω wins).
+// TimeVarying is safe for concurrent use: Query.History hands the live
+// table to callers that may race with an ongoing AdvanceTo.
 type TimeVarying struct {
+	mu      sync.RWMutex
 	entries []TimeAnnotated
 }
 
@@ -29,6 +33,8 @@ type TimeVarying struct {
 // chronological order of their interval start (monotonicity: subsequent
 // time instants map to subsequent tables).
 func (tv *TimeVarying) Append(ta TimeAnnotated) error {
+	tv.mu.Lock()
+	defer tv.mu.Unlock()
 	if n := len(tv.entries); n > 0 {
 		prev := tv.entries[n-1].Interval
 		if ta.Interval.Start.Before(prev.Start) {
@@ -41,16 +47,26 @@ func (tv *TimeVarying) Append(ta TimeAnnotated) error {
 }
 
 // Len returns the number of materialized tables.
-func (tv *TimeVarying) Len() int { return len(tv.entries) }
+func (tv *TimeVarying) Len() int {
+	tv.mu.RLock()
+	defer tv.mu.RUnlock()
+	return len(tv.entries)
+}
 
-// Entries returns all materialized tables in order.
-func (tv *TimeVarying) Entries() []TimeAnnotated { return tv.entries }
+// Entries returns a copy of all materialized tables in order.
+func (tv *TimeVarying) Entries() []TimeAnnotated {
+	tv.mu.RLock()
+	defer tv.mu.RUnlock()
+	return append([]TimeAnnotated(nil), tv.entries...)
+}
 
 // At implements Ψ(ω): the time-annotated table with the earliest
 // (minimal) opening timestamp whose interval contains ω (consistency +
 // chronologicality constraints of Definition 5.7). ok is false when no
 // table is defined at ω.
 func (tv *TimeVarying) At(ω time.Time) (TimeAnnotated, bool) {
+	tv.mu.RLock()
+	defer tv.mu.RUnlock()
 	for _, ta := range tv.entries {
 		if ta.Interval.Contains(ω) {
 			return ta, true

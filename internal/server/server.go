@@ -52,10 +52,12 @@ type Server struct {
 	events  int
 }
 
-// New returns a server wrapping a fresh engine.
-func New() *Server {
+// New returns a server wrapping a fresh engine configured with the
+// given options (e.g. engine.WithParallelism to bound how many
+// registered queries evaluate concurrently per ingested event batch).
+func New(opts ...engine.Option) *Server {
 	return &Server{
-		engine:  engine.New(),
+		engine:  engine.New(opts...),
 		merged:  graphstore.New(),
 		buffers: map[string]*resultRing{},
 	}

@@ -90,6 +90,17 @@ func (s *Stream) Append(g *pg.Graph, ts time.Time) error {
 	return nil
 }
 
+// Last returns the timestamp of the most recent element; ok is false
+// when the stream is empty.
+func (s *Stream) Last() (ts time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.elems) == 0 {
+		return time.Time{}, false
+	}
+	return s.elems[len(s.elems)-1].Time, true
+}
+
 // Len returns the number of elements currently in the stream.
 func (s *Stream) Len() int {
 	s.mu.RLock()

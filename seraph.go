@@ -99,6 +99,7 @@ type options struct {
 	cache       bool
 	static      *Graph
 	incremental bool
+	parallelism int
 }
 
 // WithWindowBounds selects the bounds mode.
@@ -137,9 +138,19 @@ func WithIncrementalSnapshots(on bool) Option {
 	return func(o *options) { o.incremental = on }
 }
 
+// WithParallelism bounds how many registered queries AdvanceTo
+// evaluates concurrently; n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0). Each query's own results stay in evaluation
+// order regardless of parallelism, so per-query sinks observe the same
+// sequence at any setting; with parallelism 1 all queries additionally
+// interleave in global timestamp order.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
 // Engine hosts registered Seraph continuous queries and evaluates them
 // over a property graph stream driven by a virtual clock. It is safe
-// for concurrent use.
+// for concurrent use, and sinks may call back into the engine.
 type Engine struct {
 	e *engine.Engine
 }
@@ -153,6 +164,7 @@ func NewEngine(opts ...Option) *Engine {
 	opts2 := []engine.Option{
 		engine.WithBounds(o.bounds),
 		engine.WithSnapshotCache(o.cache),
+		engine.WithParallelism(o.parallelism),
 	}
 	if o.static != nil {
 		opts2 = append(opts2, engine.WithStaticGraph(o.static.internalGraph()))
