@@ -8,6 +8,7 @@ package seraph
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -299,12 +300,18 @@ func BenchmarkAdvanceParallelQueries(b *testing.B) {
 	if g := runtime.GOMAXPROCS(0); g > 1 {
 		pars = append(pars, g)
 	}
+	// SERAPH_METRICS=off disables instrumentation so CI can smoke-check
+	// the metrics overhead (run once with, once without).
+	opts := []engine.Option{}
+	if os.Getenv("SERAPH_METRICS") == "off" {
+		opts = append(opts, engine.WithMetrics(nil))
+	}
 	for _, nq := range []int{1, 4, 16, 64} {
 		for _, par := range pars {
 			b.Run(fmt.Sprintf("queries=%d/parallelism=%d", nq, par), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					e := engine.New(engine.WithParallelism(par))
+					e := engine.New(append([]engine.Option{engine.WithParallelism(par)}, opts...)...)
 					for j := 0; j < nq; j++ {
 						src := fmt.Sprintf(`
 REGISTER QUERY q%d STARTING AT %s

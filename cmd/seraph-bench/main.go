@@ -42,11 +42,15 @@ import (
 	"seraph/internal/workload"
 )
 
-var quick bool
+var (
+	quick       bool
+	showMetrics bool
+)
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment id (B1..B9) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
+	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Parse()
 
 	experiments := []struct {
@@ -91,6 +95,42 @@ func header(cols ...string) {
 	fmt.Println(strings.Join(cols, "\t"))
 }
 
+// dumpMetrics prints a per-query snapshot of the engine's latency
+// histograms and counters (enabled with -metrics): the same figures the
+// server exposes on /metrics, condensed for experiment logs. With more
+// than four queries only the aggregate line is printed.
+func dumpMetrics(e *engine.Engine) {
+	if !showMetrics {
+		return
+	}
+	qs := e.Queries()
+	var (
+		evals, rows, hits int
+		evalNS            int64
+		snapNS, cypherNS  int64
+	)
+	for _, q := range qs {
+		st := q.Stats()
+		evals += st.Evaluations
+		rows += st.RowsEmitted
+		hits += st.SkippedByCache
+		evalNS += st.EvalNanos
+		snapNS += st.SnapshotNanos
+		cypherNS += st.CypherNanos
+		if len(qs) <= 4 {
+			lat := q.EvalLatency()
+			fmt.Printf("  [metrics] %s: evals=%d rows=%d window_elems=%d p50=%.2fms p95=%.2fms p99=%.2fms snapshot_ms=%.1f cypher_ms=%.1f cache_hits=%d\n",
+				q.Name(), st.Evaluations, st.RowsEmitted, st.WindowElements,
+				ms(lat.P50), ms(lat.P95), ms(lat.P99),
+				ms(time.Duration(st.SnapshotNanos)), ms(time.Duration(st.CypherNanos)),
+				st.SkippedByCache)
+		}
+	}
+	fmt.Printf("  [metrics] total: queries=%d evals=%d rows=%d eval_ms=%.1f snapshot_ms=%.1f cypher_ms=%.1f cache_hits=%d\n",
+		len(qs), evals, rows,
+		ms(time.Duration(evalNS)), ms(time.Duration(snapNS)), ms(time.Duration(cypherNS)), hits)
+}
+
 // driveSeraph replays elems through an engine running the student-trick
 // query with the given width/slide/op, returning total wall time and
 // emitted rows.
@@ -130,7 +170,9 @@ REGISTER QUERY trick STARTING AT %s
 			return 0, 0, err
 		}
 	}
-	return time.Since(start), rows, nil
+	d := time.Since(start)
+	dumpMetrics(e)
+	return d, rows, nil
 }
 
 // mmElems generates micro-mobility batches. Stations scale with the
@@ -225,7 +267,9 @@ REGISTER QUERY trick STARTING AT %s
 			return 0, 0, err
 		}
 	}
-	return time.Since(start), rows, nil
+	d := time.Since(start)
+	dumpMetrics(e)
+	return d, rows, nil
 }
 
 func b4Emission() {
@@ -463,7 +507,9 @@ func replayTimed(e *engine.Engine, elems []stream.Element) time.Duration {
 			log.Fatal(err)
 		}
 	}
-	return time.Since(start)
+	d := time.Since(start)
+	dumpMetrics(e)
+	return d
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

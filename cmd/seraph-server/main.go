@@ -12,13 +12,26 @@
 //
 //	# fetch results
 //	curl localhost:7687/queries/student_trick/results
+//
+//	# observe: Prometheus metrics, per-query latency, profiling
+//	curl localhost:7687/metrics
+//	curl localhost:7687/queries/student_trick
+//	seraph-server -pprof &  # then: go tool pprof localhost:7687/debug/pprof/profile
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests (including streaming /events batches) drain for up to
+// -shutdown-timeout before the listener is torn down.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"seraph/internal/engine"
@@ -29,30 +42,89 @@ func main() {
 	addr := flag.String("addr", ":7687", "listen address")
 	restore := flag.String("restore", "", "resume from a checkpoint file (see GET /checkpoint)")
 	parallelism := flag.Int("parallelism", 0, "max queries evaluated concurrently (0 = GOMAXPROCS)")
+	historyRetention := flag.Int("history-retention", 0, "materialized result tables kept per query (0 = unlimited)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
+	log := newLogger(*logFormat, *logLevel)
+	slog.SetDefault(log)
+
+	opts := []engine.Option{
+		engine.WithParallelism(*parallelism),
+		engine.WithHistoryRetention(*historyRetention),
+	}
 	var srv *server.Server
 	if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {
-			log.Fatal(err)
+			fatal(log, "open checkpoint", err)
 		}
-		srv, err = server.Restore(f)
+		srv, err = server.Restore(f, opts...)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			fatal(log, "restore checkpoint", err)
 		}
-		log.Printf("seraph-server restored %d queries from %s", len(srv.Engine().Queries()), *restore)
+		log.Info("restored from checkpoint",
+			"path", *restore, "queries", len(srv.Engine().Queries()))
 	} else {
-		srv = server.New(engine.WithParallelism(*parallelism))
+		srv = server.New(opts...)
 	}
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	srv.SetLogger(log)
+	if *pprofFlag {
+		srv.EnablePprof()
+		log.Info("pprof enabled", "path", "/debug/pprof/")
 	}
-	log.Printf("seraph-server listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+
+	httpSrv := srv.HTTPServer(*addr)
+
+	// Serve until a termination signal, then drain in-flight requests:
+	// killing the listener mid-/events would lose the tail of a batch
+	// the client believes it delivered.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Info("seraph-server listening", "addr", *addr, "parallelism", *parallelism)
+		done <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(log, "serve", err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Info("shutting down", "grace", *shutdownTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Error("shutdown incomplete, closing", "err", err)
+			_ = httpSrv.Close()
+			os.Exit(1)
+		}
+		log.Info("shutdown complete")
 	}
+}
+
+func newLogger(format, level string) *slog.Logger {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h)
+}
+
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
 }

@@ -102,8 +102,10 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 // Restore reconstructs an engine from a checkpoint. sinkFor is called
 // once per restored query to re-bind its result sink (nil sinks are
 // allowed). The restored engine warms up each query's previous result
-// so ON ENTERING / ON EXITING diffs continue seamlessly.
-func Restore(r io.Reader, sinkFor func(queryName string) Sink) (*Engine, error) {
+// so ON ENTERING / ON EXITING diffs continue seamlessly. Extra options
+// (e.g. WithMetrics, WithLogger, WithParallelism — state a checkpoint
+// does not carry) are applied after the checkpoint-derived ones.
+func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) (*Engine, error) {
 	var cp checkpointFile
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("engine: restore: %w", err)
@@ -122,6 +124,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink) (*Engine, error) 
 		}
 		opts = append(opts, WithStaticGraph(g))
 	}
+	opts = append(opts, extra...)
 	e := New(opts...)
 	e.now = cp.Now
 

@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"seraph/internal/ast"
 	"seraph/internal/eval"
 	"seraph/internal/graphstore"
+	"seraph/internal/metrics"
 	"seraph/internal/parser"
 	"seraph/internal/pg"
 	"seraph/internal/stream"
@@ -64,6 +66,23 @@ type Engine struct {
 	// elements entering and leaving each window (the paper's Section 6
 	// "efficient window maintenance" optimization).
 	incremental bool
+
+	// metrics is the instrumentation registry; nil disables all
+	// recording (see WithMetrics and metrics.go). metricsSet records
+	// whether WithMetrics was supplied, so New can default to a fresh
+	// registry without clobbering an explicit nil.
+	metrics    *metrics.Registry
+	metricsSet bool
+	sched      schedMetrics
+
+	// logger, when non-nil, receives structured evaluation events
+	// (query name, ω, window bounds as attrs). Libraries stay quiet by
+	// default; servers opt in with WithLogger.
+	logger *slog.Logger
+
+	// historyRetention bounds each query's materialized time-varying
+	// table; 0 keeps unlimited history (Definition 5.7 semantics).
+	historyRetention int
 }
 
 // Option configures an Engine.
@@ -100,21 +119,72 @@ func WithIncrementalSnapshots(on bool) Option {
 	return func(e *Engine) { e.incremental = on }
 }
 
+// WithMetrics selects the instrumentation registry the engine records
+// into (per-query latency histograms, cache and scheduler counters; see
+// metrics.go for the taxonomy). The default is a fresh private registry
+// per engine, exposed via Metrics. Passing nil disables instrumentation
+// entirely — every recording call degrades to a nil check.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(e *Engine) { e.metrics = reg; e.metricsSet = true }
+}
+
+// WithLogger attaches a structured logger: evaluations log at Debug
+// with query name, ω, and window bounds as attrs; failures log at
+// Error. The default is no logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Engine) { e.logger = l }
+}
+
+// WithHistoryRetention bounds the number of materialized result tables
+// each query keeps in its time-varying table (Definition 5.7). Older
+// tables are evicted and Ψ(ω) becomes undefined before the retained
+// horizon; TimeVarying.Dropped reports how many were evicted. n = 0
+// keeps unlimited history, preserving the original semantics.
+func WithHistoryRetention(n int) Option {
+	return func(e *Engine) { e.historyRetention = n }
+}
+
 // New returns an engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{queries: make(map[string]*Query)}
 	for _, o := range opts {
 		o(e)
 	}
+	if !e.metricsSet {
+		e.metrics = metrics.NewRegistry()
+	}
+	e.sched = newSchedMetrics(e.metrics)
 	return e
 }
 
-// Stats are per-query evaluation counters.
+// Metrics returns the engine's instrumentation registry (nil when built
+// with WithMetrics(nil)).
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
+
+// Stats are per-query evaluation counters. The duration fields are
+// cumulative nanoseconds; divide by Evaluations for per-instant
+// figures, or use Query.EvalLatency for quantiles.
 type Stats struct {
 	Evaluations    int
 	SkippedByCache int
 	ElementsSeen   int
 	RowsEmitted    int
+
+	// WindowElements is the number of stream elements inside the
+	// active window at the most recent evaluation.
+	WindowElements int
+	// EvalNanos is the total time spent evaluating instants, including
+	// snapshot construction and the stream operator.
+	EvalNanos int64
+	// SnapshotNanos is the portion of EvalNanos spent building (or
+	// incrementally rolling) snapshot graphs.
+	SnapshotNanos int64
+	// CypherNanos is the portion of EvalNanos spent in the Cypher body.
+	CypherNanos int64
+	// IncrementalAdds/IncrementalRemoves count elements applied to
+	// rolling snapshots in incremental mode.
+	IncrementalAdds    int
+	IncrementalRemoves int
 }
 
 // Query is a registered continuous query.
@@ -146,6 +216,7 @@ type Query struct {
 	failErr      error
 	stats        Stats
 	history      TimeVarying
+	qm           queryMetrics
 
 	// rollers holds the per-width rolling snapshots when the engine
 	// runs in incremental mode.
@@ -169,6 +240,13 @@ func (q *Query) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.stats
+}
+
+// EvalLatency returns a snapshot of the query's evaluation latency
+// histogram (count, sum, p50/p95/p99). Zero when the engine was built
+// with WithMetrics(nil).
+func (q *Query) EvalLatency() metrics.HistogramSnapshot {
+	return q.qm.evalLatency.Snapshot()
 }
 
 // History returns the time-varying table of everything this query has
@@ -242,7 +320,9 @@ func (e *Engine) register(reg *ast.Registration, sink Sink, params map[string]va
 		sink:       sink,
 		params:     params,
 		streamName: streamName,
+		qm:         newQueryMetrics(e.metrics, reg.Name),
 	}
+	q.history.setLimit(e.historyRetention)
 	if reg.StartNow {
 		q.pendingStart = true
 		if !e.now.IsZero() {
@@ -383,6 +463,7 @@ func (e *Engine) Now() time.Time {
 // caller after releasing the lock, so re-entrant sinks cannot
 // deadlock. AdvanceTo itself lives in scheduler.go.
 func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
+	start := time.Now()
 	result, iv, nodes, rels, ok, err := e.computeResult(q, ω)
 	if err != nil {
 		return nil, err
@@ -420,8 +501,19 @@ func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 	q.prev = result
 
 	annotated := annotate(out, iv)
+	d := time.Since(start)
 	q.stats.Evaluations++
 	q.stats.RowsEmitted += annotated.Len()
+	q.stats.EvalNanos += int64(d)
+	q.qm.evalLatency.Observe(d)
+	q.qm.evals.Inc()
+	q.qm.rows.Add(int64(annotated.Len()))
+	if e.logger != nil {
+		e.logger.Debug("seraph: evaluated",
+			"query", q.name, "at", ω,
+			"win_start", iv.Start, "win_end", iv.End,
+			"rows", annotated.Len(), "dur", d)
+	}
 	res := &Result{
 		Query:         q.name,
 		At:            ω,
@@ -448,12 +540,16 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 	}
 
 	// Snapshot graphs, one per distinct WITHIN width, built lazily.
+	// Construction time accumulates into snapNanos so the snapshot-build
+	// vs Cypher-eval split is observable per query.
 	type snap struct {
 		store *graphstore.Store
 		n, m  int
+		elems int
 	}
 	snaps := map[time.Duration]*snap{}
 	var snapErr error
+	var snapNanos int64
 	getSnap := func(width time.Duration) *graphstore.Store {
 		if width == 0 {
 			width = q.cfg.Width
@@ -461,6 +557,7 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 		if s, ok := snaps[width]; ok {
 			return s.store
 		}
+		t0 := time.Now()
 		wiv, ok := window.ActiveWindowWidth(q.cfg, width, ω)
 		var elems []stream.Element
 		if ok {
@@ -469,9 +566,14 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 		var s *snap
 		if e.incremental {
 			roller, err := q.roller(width, e.static)
+			var added, removed int
 			if err == nil {
-				err = roller.advance(elems)
+				added, removed, err = roller.advance(elems)
 			}
+			q.stats.IncrementalAdds += added
+			q.stats.IncrementalRemoves += removed
+			q.qm.incAdds.Add(int64(added))
+			q.qm.incRemoves.Add(int64(removed))
 			if err != nil {
 				snapErr = err
 				s = &snap{store: graphstore.New()}
@@ -489,7 +591,9 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 			}
 			s = &snap{store: graphstore.FromGraph(g), n: g.NumNodes(), m: g.NumRels()}
 		}
+		s.elems = len(elems)
 		snaps[width] = s
+		snapNanos += int64(time.Since(t0))
 		return s.store
 	}
 
@@ -498,10 +602,16 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 	// previous evaluation's table.
 	var contentKey string
 	if e.cacheSnapshots {
-		contentKey = substreamKey(q.hist.Substream(iv))
+		elems := q.hist.Substream(iv)
+		contentKey = substreamKey(elems)
+		q.stats.WindowElements = len(elems)
+		q.qm.windowElems.Set(int64(len(elems)))
 		if q.prevCached != nil && contentKey == q.prevElems {
 			result = q.prevCached
 			q.stats.SkippedByCache++
+			q.qm.cacheHits.Inc()
+		} else {
+			q.qm.cacheMisses.Inc()
 		}
 	}
 
@@ -519,7 +629,18 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 		if snapErr != nil {
 			return nil, iv, 0, 0, true, snapErr
 		}
+		// EvalQuery may build further snapshots through ctx.GraphFor
+		// (multi-width queries); subtract that share so CypherNanos is
+		// pure Cypher time.
+		snapBefore := snapNanos
+		t0 := time.Now()
 		result, err = eval.EvalQuery(ctx, q.reg.Body)
+		cypher := int64(time.Since(t0)) - (snapNanos - snapBefore)
+		if cypher < 0 {
+			cypher = 0
+		}
+		q.stats.CypherNanos += cypher
+		q.qm.cypherEval.Observe(time.Duration(cypher))
 		if err != nil {
 			return nil, iv, 0, 0, true, err
 		}
@@ -531,8 +652,14 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 		q.prevElems = contentKey
 		q.prevCached = result
 	}
+	if snapNanos > 0 {
+		q.stats.SnapshotNanos += snapNanos
+		q.qm.snapshotBuild.Observe(time.Duration(snapNanos))
+	}
 	if def := snaps[q.cfg.Width]; def != nil {
 		nodes, rels = def.n, def.m
+		q.stats.WindowElements = def.elems
+		q.qm.windowElems.Set(int64(def.elems))
 	}
 	return result, iv, nodes, rels, true, nil
 }

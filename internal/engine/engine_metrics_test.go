@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+const sensorQuerySrc = `
+REGISTER QUERY m STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT r.v AS v
+  SNAPSHOT EVERY PT5S
+}`
+
+// TestEngineRecordsMetrics drives a query and checks the instrumented
+// figures: latency histogram counts, rows, the snapshot/Cypher time
+// split in Stats, and the Prometheus exposition of the engine registry.
+func TestEngineRecordsMetrics(t *testing.T) {
+	e := New()
+	q, err := e.RegisterSource(sensorQuerySrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	// At ω=5s the window (−5s,5s] holds the element pushed at 0s.
+	if err := e.AdvanceTo(tick(5)); err != nil {
+		t.Fatal(err)
+	}
+	if we := q.Stats().WindowElements; we != 1 {
+		t.Errorf("WindowElements = %d, want 1", we)
+	}
+	// At ω=10s the window (0s,10s] no longer contains it.
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := q.Stats()
+	if st.Evaluations != 3 {
+		t.Fatalf("evaluations = %d", st.Evaluations)
+	}
+	if st.EvalNanos <= 0 {
+		t.Error("EvalNanos not recorded")
+	}
+	if st.SnapshotNanos <= 0 {
+		t.Error("SnapshotNanos not recorded")
+	}
+	if st.EvalNanos < st.SnapshotNanos {
+		t.Errorf("eval %dns < snapshot %dns", st.EvalNanos, st.SnapshotNanos)
+	}
+	if st.WindowElements != 0 {
+		t.Errorf("WindowElements = %d at ω=10s, want 0", st.WindowElements)
+	}
+
+	lat := q.EvalLatency()
+	if lat.Count != int64(st.Evaluations) {
+		t.Errorf("histogram count %d != evaluations %d", lat.Count, st.Evaluations)
+	}
+	if lat.P50 <= 0 || lat.P99 < lat.P50 {
+		t.Errorf("quantiles p50=%v p99=%v", lat.P50, lat.P99)
+	}
+
+	var buf strings.Builder
+	if err := e.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`seraph_query_eval_seconds_count{query="m"} 3`,
+		`seraph_query_evaluations_total{query="m"} 3`,
+		`seraph_query_rows_emitted_total{query="m"}`,
+		`seraph_query_window_elements{query="m"} 0`,
+		"seraph_scheduler_queue_depth",
+		"seraph_scheduler_instants_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestSnapshotCacheMetrics: hit/miss counters must mirror
+// Stats.SkippedByCache under WithSnapshotCache.
+func TestSnapshotCacheMetrics(t *testing.T) {
+	e := New(WithSnapshotCache(true))
+	q, err := e.RegisterSource(sensorQuerySrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Instants 0s and 5s share the window content {elem@0s}; 10s drops it.
+	if err := e.AdvanceTo(tick(5)); err != nil {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.SkippedByCache == 0 {
+		t.Fatal("expected a cache hit")
+	}
+	var buf strings.Builder
+	if err := e.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `seraph_snapshot_cache_hits_total{query="m"} 1`) {
+		t.Errorf("cache hits missing:\n%s", out)
+	}
+	if !strings.Contains(out, `seraph_snapshot_cache_misses_total{query="m"} 1`) {
+		t.Errorf("cache misses missing:\n%s", out)
+	}
+}
+
+// TestIncrementalApplyMetrics: rolling snapshot maintenance reports how
+// many elements entered and left each window.
+func TestIncrementalApplyMetrics(t *testing.T) {
+	e := New(WithIncrementalSnapshots(true))
+	q, err := e.RegisterSource(sensorQuerySrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s <= 20; s += 5 {
+		if err := e.Push(sensorGraph(int64(s+1), "s1", 42), tick(s)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(tick(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.Stats()
+	if st.IncrementalAdds == 0 {
+		t.Error("IncrementalAdds not recorded")
+	}
+	if st.IncrementalRemoves == 0 {
+		t.Error("IncrementalRemoves not recorded: 10s window over 20s of stream must evict")
+	}
+}
+
+// TestWithMetricsNil: instrumentation off must not change behavior.
+func TestWithMetricsNil(t *testing.T) {
+	e := New(WithMetrics(nil))
+	if e.Metrics() != nil {
+		t.Fatal("registry should be nil")
+	}
+	q, err := e.RegisterSource(sensorQuerySrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats().Evaluations != 3 {
+		t.Fatalf("evaluations = %d", q.Stats().Evaluations)
+	}
+	if lat := q.EvalLatency(); lat.Count != 0 {
+		t.Fatalf("histogram should be inert, count = %d", lat.Count)
+	}
+	// Stats-level timings still accumulate; only the registry is off.
+	if q.Stats().EvalNanos <= 0 {
+		t.Error("EvalNanos should accumulate regardless of registry")
+	}
+}
+
+// TestParallelSchedulerMetrics: the worker-pool path records dispatch
+// latency and instants for every due query.
+func TestParallelSchedulerMetrics(t *testing.T) {
+	e := New(WithParallelism(4))
+	for _, name := range []string{"a", "b", "c", "d"} {
+		src := strings.Replace(sensorQuerySrc, "QUERY m", "QUERY "+name, 1)
+		if _, err := e.RegisterSource(src, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := e.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "seraph_scheduler_instants_total 12") {
+		t.Errorf("want 12 instants (4 queries × 3):\n%s", out)
+	}
+	if !strings.Contains(out, "seraph_scheduler_dispatch_seconds_count 4") {
+		t.Errorf("want 4 dispatch observations:\n%s", out)
+	}
+	// Transient gauges settle back to zero.
+	if !strings.Contains(out, "seraph_scheduler_queue_depth 0") ||
+		!strings.Contains(out, "seraph_scheduler_workers_busy 0") {
+		t.Errorf("gauges should be back at zero:\n%s", out)
+	}
+}

@@ -59,8 +59,10 @@ func newRolling() *rolling {
 
 // advance brings the rolling snapshot to the given active substream,
 // applying removals first (freeing slots for consistent re-adds) and
-// then additions.
-func (r *rolling) advance(elems []stream.Element) error {
+// then additions. It returns how many elements entered and left the
+// window, the per-instant maintenance cost the paper's Section 6
+// optimization trades against full rebuilds.
+func (r *rolling) advance(elems []stream.Element) (added, removed int, err error) {
 	current := make(map[*pg.Graph]bool, len(elems))
 	for _, e := range elems {
 		current[e.Graph] = true
@@ -69,6 +71,7 @@ func (r *rolling) advance(elems []stream.Element) error {
 		if !current[g] {
 			r.remove(e.Graph)
 			delete(r.included, g)
+			removed++
 		}
 	}
 	for _, e := range elems {
@@ -76,11 +79,12 @@ func (r *rolling) advance(elems []stream.Element) error {
 			continue
 		}
 		if err := r.add(e.Graph); err != nil {
-			return err
+			return added, removed, err
 		}
 		r.included[e.Graph] = e
+		added++
 	}
-	return nil
+	return added, removed, nil
 }
 
 func (r *rolling) add(g *pg.Graph) error {

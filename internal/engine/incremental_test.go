@@ -171,10 +171,10 @@ func TestRollingRefcounts(t *testing.T) {
 	r := newRolling()
 	g1 := mk(10, true, 7)
 	g2 := mk(11, false, 7)
-	if err := r.advance(streamElem(g1, 0)); err != nil {
+	if _, _, err := r.advance(streamElem(g1, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.advance(append(streamElem(g1, 0), streamElem(g2, 1)...)); err != nil {
+	if _, _, err := r.advance(append(streamElem(g1, 0), streamElem(g2, 1)...)); err != nil {
 		t.Fatal(err)
 	}
 	if r.store.NumNodes() != 2 || r.store.NumRels() != 2 {
@@ -182,7 +182,7 @@ func TestRollingRefcounts(t *testing.T) {
 	}
 	// Drop g1: node 1 survives (g2 still contributes) but loses the
 	// Extra label; rel 10 disappears.
-	if err := r.advance(streamElem(g2, 1)); err != nil {
+	if _, _, err := r.advance(streamElem(g2, 1)); err != nil {
 		t.Fatal(err)
 	}
 	n := r.store.Node(1)
@@ -196,14 +196,14 @@ func TestRollingRefcounts(t *testing.T) {
 		t.Error("relationship refcounting")
 	}
 	// Drop everything.
-	if err := r.advance(nil); err != nil {
+	if _, _, err := r.advance(nil); err != nil {
 		t.Fatal(err)
 	}
 	if r.store.NumNodes() != 0 || r.store.NumRels() != 0 {
 		t.Errorf("empty window: %d/%d", r.store.NumNodes(), r.store.NumRels())
 	}
 	// Conflicting property values are inconsistent (Definition 5.4).
-	if err := r.advance(append(streamElem(mk(12, false, 1), 0), streamElem(mk(13, false, 2), 1)...)); err == nil {
+	if _, _, err := r.advance(append(streamElem(mk(12, false, 1), 0), streamElem(mk(13, false, 2), 1)...)); err == nil {
 		t.Error("conflicting property must be inconsistent")
 	}
 }

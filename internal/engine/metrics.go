@@ -1,0 +1,81 @@
+package engine
+
+// metrics.go binds the engine to the internal/metrics registry. Every
+// metric object here is nil-safe: an engine built with WithMetrics(nil)
+// carries nil counters and histograms whose methods are no-ops, so the
+// hot path pays only a nil check when instrumentation is off.
+
+import (
+	"seraph/internal/metrics"
+)
+
+// Metric names exposed on /metrics (see DESIGN.md "Observability").
+const (
+	mQueryEval       = "seraph_query_eval_seconds"
+	mQuerySnapshot   = "seraph_query_snapshot_build_seconds"
+	mQueryCypher     = "seraph_query_cypher_eval_seconds"
+	mQueryWindowElem = "seraph_query_window_elements"
+	mQueryRows       = "seraph_query_rows_emitted_total"
+	mQueryEvals      = "seraph_query_evaluations_total"
+	mQueryFailures   = "seraph_query_failures_total"
+	mCacheHits       = "seraph_snapshot_cache_hits_total"
+	mCacheMisses     = "seraph_snapshot_cache_misses_total"
+	mIncApplied      = "seraph_incremental_applied_total"
+	mSchedQueueDepth = "seraph_scheduler_queue_depth"
+	mSchedBusy       = "seraph_scheduler_workers_busy"
+	mSchedInstants   = "seraph_scheduler_instants_total"
+	mSchedDispatch   = "seraph_scheduler_dispatch_seconds"
+)
+
+// queryMetrics are the per-query instruments, labeled query=<name>.
+// All fields are nil when the engine's registry is nil.
+type queryMetrics struct {
+	evalLatency   *metrics.Histogram
+	snapshotBuild *metrics.Histogram
+	cypherEval    *metrics.Histogram
+	windowElems   *metrics.Gauge
+	rows          *metrics.Counter
+	evals         *metrics.Counter
+	failures      *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	incAdds       *metrics.Counter
+	incRemoves    *metrics.Counter
+}
+
+// newQueryMetrics registers (or looks up) the per-query instruments.
+// Registration is eager so every family appears on /metrics with zero
+// values as soon as the query exists, before its first evaluation.
+func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
+	q := metrics.L("query", name)
+	return queryMetrics{
+		evalLatency:   reg.Histogram(mQueryEval, "Per-instant evaluation latency (window+snapshot+Cypher+operator).", q),
+		snapshotBuild: reg.Histogram(mQuerySnapshot, "Snapshot graph construction time per evaluation.", q),
+		cypherEval:    reg.Histogram(mQueryCypher, "Cypher body evaluation time per evaluation (excludes snapshot build).", q),
+		windowElems:   reg.Gauge(mQueryWindowElem, "Stream elements in the active window at the last evaluation.", q),
+		rows:          reg.Counter(mQueryRows, "Rows emitted to the query sink.", q),
+		evals:         reg.Counter(mQueryEvals, "Evaluation instants executed.", q),
+		failures:      reg.Counter(mQueryFailures, "Evaluations that failed and stopped the query.", q),
+		cacheHits:     reg.Counter(mCacheHits, "Evaluations answered from the equal-window-contents cache.", q),
+		cacheMisses:   reg.Counter(mCacheMisses, "Evaluations that missed the equal-window-contents cache.", q),
+		incAdds:       reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "add")),
+		incRemoves:    reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "remove")),
+	}
+}
+
+// schedMetrics are the scheduler-level instruments (see scheduler.go).
+type schedMetrics struct {
+	queueDepth *metrics.Gauge     // due queries waiting for a worker slot
+	busy       *metrics.Gauge     // workers currently evaluating
+	instants   *metrics.Counter   // evaluation instants dispatched engine-wide
+	dispatch   *metrics.Histogram // AdvanceTo entry → worker pickup latency
+}
+
+func newSchedMetrics(reg *metrics.Registry) schedMetrics {
+	return schedMetrics{
+		queueDepth: reg.Gauge(mSchedQueueDepth, "Due queries waiting for an evaluation worker."),
+		busy:       reg.Gauge(mSchedBusy, "Evaluation workers currently running a query chain."),
+		instants:   reg.Counter(mSchedInstants, "Evaluation instants executed across all queries."),
+		dispatch:   reg.Histogram(mSchedDispatch, "Latency from AdvanceTo dispatch to worker pickup."),
+	}
+}

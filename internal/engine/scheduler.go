@@ -146,12 +146,18 @@ func (e *Engine) advanceParallel(due []*Query, par int) error {
 	errs := make([]error, len(due))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
+	dispatched := time.Now()
+	e.sched.queueDepth.Add(int64(len(due)))
 	for i, q := range due {
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, q *Query) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			e.sched.queueDepth.Add(-1)
+			e.sched.dispatch.Observe(time.Since(dispatched))
+			e.sched.busy.Add(1)
+			defer e.sched.busy.Add(-1)
 			errs[i] = e.drain(q)
 		}(i, q)
 	}
@@ -192,12 +198,18 @@ func (e *Engine) evalNext(q *Query) error {
 	}
 	ω := q.nextEval
 	res, err := e.evaluate(q, ω)
+	e.sched.instants.Inc()
 	if err != nil {
 		err = fmt.Errorf("engine: query %q at %s: %w",
 			q.name, ω.Format(time.RFC3339), err)
 		q.failErr = err
 		q.done = true
+		q.qm.failures.Inc()
 		q.mu.Unlock()
+		if e.logger != nil {
+			e.logger.Error("seraph: query failed",
+				"query", q.name, "at", ω, "err", err)
+		}
 		return err
 	}
 	if q.emit == nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,11 +28,34 @@ type TimeAnnotated struct {
 type TimeVarying struct {
 	mu      sync.RWMutex
 	entries []TimeAnnotated
+
+	// limit bounds the number of materialized entries (0 = unlimited);
+	// dropped counts entries evicted by the bound. See the engine's
+	// WithHistoryRetention option: long-running queries would otherwise
+	// grow entries without bound.
+	limit   int
+	dropped int
+}
+
+// setLimit bounds the materialized history to the most recent n entries
+// (0 = unlimited). Called at registration time, before any Append.
+func (tv *TimeVarying) setLimit(n int) {
+	tv.mu.Lock()
+	defer tv.mu.Unlock()
+	tv.limit = n
+}
+
+// Dropped returns how many entries retention has evicted so far.
+func (tv *TimeVarying) Dropped() int {
+	tv.mu.RLock()
+	defer tv.mu.RUnlock()
+	return tv.dropped
 }
 
 // Append adds a time-annotated table. Entries must arrive in
 // chronological order of their interval start (monotonicity: subsequent
-// time instants map to subsequent tables).
+// time instants map to subsequent tables). When a retention limit is
+// set, the oldest entries beyond it are evicted.
 func (tv *TimeVarying) Append(ta TimeAnnotated) error {
 	tv.mu.Lock()
 	defer tv.mu.Unlock()
@@ -43,6 +67,11 @@ func (tv *TimeVarying) Append(ta TimeAnnotated) error {
 		}
 	}
 	tv.entries = append(tv.entries, ta)
+	if tv.limit > 0 && len(tv.entries) > tv.limit {
+		k := len(tv.entries) - tv.limit
+		tv.dropped += k
+		tv.entries = append(tv.entries[:0], tv.entries[k:]...)
+	}
 	return nil
 }
 
@@ -63,13 +92,32 @@ func (tv *TimeVarying) Entries() []TimeAnnotated {
 // At implements Ψ(ω): the time-annotated table with the earliest
 // (minimal) opening timestamp whose interval contains ω (consistency +
 // chronologicality constraints of Definition 5.7). ok is false when no
-// table is defined at ω.
+// table is defined at ω — including instants older than the retention
+// horizon when a limit is set.
+//
+// Entries come from a fixed-width window grid, so both interval starts
+// (the Append invariant) and ends are non-decreasing: the earliest
+// interval containing ω is found by binary search on the end bound
+// instead of the linear scan this method used to be, which matters for
+// long-running queries whose history holds thousands of tables.
 func (tv *TimeVarying) At(ω time.Time) (TimeAnnotated, bool) {
 	tv.mu.RLock()
 	defer tv.mu.RUnlock()
-	for _, ta := range tv.entries {
-		if ta.Interval.Contains(ω) {
-			return ta, true
+	// First entry whose interval does not lie entirely before ω.
+	i := sort.Search(len(tv.entries), func(i int) bool {
+		iv := tv.entries[i].Interval
+		return ω.Before(iv.End) || (ω.Equal(iv.End) && iv.IncludeEnd)
+	})
+	// Among the remaining entries, starts are non-decreasing, so the
+	// scan below terminates as soon as a start passes ω — for a window
+	// grid that is at most a couple of iterations.
+	for ; i < len(tv.entries); i++ {
+		iv := tv.entries[i].Interval
+		if iv.Start.After(ω) {
+			break
+		}
+		if iv.Contains(ω) {
+			return tv.entries[i], true
 		}
 	}
 	return TimeAnnotated{}, false

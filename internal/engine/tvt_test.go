@@ -65,6 +65,106 @@ func TestTimeVaryingConstraints(t *testing.T) {
 	}
 }
 
+// TestTimeVaryingAtBinarySearch cross-checks the binary-search At
+// against a plain linear scan over a realistic sliding-window grid
+// (width 10s, slide 2s), including the exact bound instants where
+// inclusivity decides containment.
+func TestTimeVaryingAtBinarySearch(t *testing.T) {
+	var tv TimeVarying
+	for s := 0; s < 200; s += 2 {
+		if err := tv.Append(ta(s, s+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	linear := func(ωSec int) (TimeAnnotated, bool) {
+		for _, e := range tv.Entries() {
+			if e.Interval.Contains(tick(ωSec)) {
+				return e, true
+			}
+		}
+		return TimeAnnotated{}, false
+	}
+	for ω := -3; ω < 215; ω++ {
+		want, wantOK := linear(ω)
+		got, gotOK := tv.At(tick(ω))
+		if gotOK != wantOK {
+			t.Fatalf("At(%ds) ok = %v, linear says %v", ω, gotOK, wantOK)
+		}
+		if gotOK && !got.Interval.Start.Equal(want.Interval.Start) {
+			t.Fatalf("At(%ds) = %v, linear says %v", ω, got.Interval, want.Interval)
+		}
+	}
+}
+
+// TestTimeVaryingRetention: a bounded history evicts its oldest tables,
+// Ψ(ω) becomes undefined before the retained horizon but stays correct
+// inside it, and Dropped reports the eviction count.
+func TestTimeVaryingRetention(t *testing.T) {
+	var tv TimeVarying
+	tv.setLimit(3)
+	for s := 0; s < 50; s += 10 {
+		if err := tv.Append(ta(s, s+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tv.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tv.Len())
+	}
+	if tv.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tv.Dropped())
+	}
+	// Evicted horizon: windows (0,10] and (10,20] are gone.
+	if _, ok := tv.At(tick(5)); ok {
+		t.Error("Ψ(5s) should be undefined after eviction")
+	}
+	if _, ok := tv.At(tick(15)); ok {
+		t.Error("Ψ(15s) should be undefined after eviction")
+	}
+	// Retained horizon still answers, earliest-start rule intact.
+	got, ok := tv.At(tick(25))
+	if !ok || !got.Interval.Start.Equal(tick(20)) {
+		t.Errorf("Ψ(25s): %v %v", got.Interval, ok)
+	}
+	got, ok = tv.At(tick(45))
+	if !ok || !got.Interval.Start.Equal(tick(40)) {
+		t.Errorf("Ψ(45s): %v %v", got.Interval, ok)
+	}
+}
+
+// TestWithHistoryRetentionEngine: the engine option caps per-query
+// materialized history while evaluation continues unaffected.
+func TestWithHistoryRetentionEngine(t *testing.T) {
+	e := New(WithHistoryRetention(2))
+	q, err := e.RegisterSource(`
+REGISTER QUERY h STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)-[r:READ]->(z)
+  WITHIN PT10S
+  EMIT r.v AS v
+  SNAPSHOT EVERY PT5S
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 42), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(30)); err != nil {
+		t.Fatal(err)
+	}
+	tv := q.History()
+	if tv.Len() != 2 {
+		t.Fatalf("history length = %d, want 2", tv.Len())
+	}
+	if tv.Dropped() == 0 {
+		t.Fatal("expected evictions")
+	}
+	if q.Stats().Evaluations != tv.Len()+tv.Dropped() {
+		t.Errorf("evaluations %d != retained %d + dropped %d",
+			q.Stats().Evaluations, tv.Len(), tv.Dropped())
+	}
+}
+
 // TestQueryHistoryIsTimeVarying checks that the engine materializes
 // each query's outputs as a Definition 5.7 time-varying table.
 func TestQueryHistoryIsTimeVarying(t *testing.T) {

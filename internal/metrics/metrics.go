@@ -1,0 +1,428 @@
+// Package metrics is a dependency-free instrumentation library for the
+// Seraph engine: atomic counters and gauges, log-bucketed latency
+// histograms with quantile snapshots, and a registry that renders the
+// Prometheus text exposition format (version 0.0.4).
+//
+// All metric operations are safe for concurrent use and nil-safe: a nil
+// *Counter / *Gauge / *Histogram is a no-op, and a nil *Registry hands
+// out nil metrics. Disabling instrumentation is therefore just passing
+// a nil registry around — no branches on the hot path beyond the nil
+// check the calls already carry.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets: logarithmic, upper bounds doubling from 1µs. The
+// top finite bucket covers ~67s; slower observations land in +Inf.
+const (
+	histMinBound = int64(time.Microsecond)
+	numFinite    = 27
+	numHistSlots = numFinite + 1 // +Inf overflow slot
+)
+
+var histBounds = func() [numFinite]int64 {
+	var b [numFinite]int64
+	bound := histMinBound
+	for i := 0; i < numFinite; i++ {
+		b[i] = bound
+		bound *= 2
+	}
+	return b
+}()
+
+// Histogram is a log-bucketed latency histogram. Recording is lock-free
+// (one atomic add per bucket/count/sum); snapshots taken concurrently
+// with recording are internally consistent to within the in-flight
+// observations, which is sufficient for monitoring.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [numHistSlots]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketFor(int64(d))].Add(1)
+}
+
+func bucketFor(ns int64) int {
+	for i, bound := range histBounds {
+		if ns <= bound {
+			return i
+		}
+	}
+	return numFinite // +Inf
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count         int64
+	Sum           time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot returns the current count, sum, and p50/p95/p99 quantile
+// estimates (linear interpolation within log buckets, so the estimate
+// is within one bucket width — a factor of two — of the true value).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var counts [numHistSlots]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		P50:   quantile(counts[:], total, 0.50),
+		P95:   quantile(counts[:], total, 0.95),
+		P99:   quantile(counts[:], total, 0.99),
+	}
+}
+
+// quantile estimates the q-quantile from per-bucket counts.
+func quantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = histBounds[i-1]
+		}
+		hi := int64(0)
+		if i < numFinite {
+			hi = histBounds[i]
+		} else {
+			hi = 2 * histBounds[numFinite-1] // +Inf: pretend one more doubling
+		}
+		frac := float64(rank-seen) / float64(c)
+		return time.Duration(float64(lo) + frac*float64(hi-lo))
+	}
+	return time.Duration(histBounds[numFinite-1])
+}
+
+// Label is one name=value metric label.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type child struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+type family struct {
+	name, help string
+	typ        metricType
+	mu         sync.Mutex
+	order      []string
+	children   map[string]*child
+}
+
+// Registry holds named metric families, each with zero or more labeled
+// children, and renders them in the Prometheus text format. Families
+// keep first-registration order; children keep first-use order, so
+// exposition output is deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	order    []*family
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) child(name, help string, typ metricType, labels []Label) *child {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, children: map[string]*child{}}
+		r.families[name] = f
+		r.order = append(r.order, f)
+	}
+	r.mu.Unlock()
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.children[key]
+	if c == nil {
+		c = &child{labels: sortedLabels(labels)}
+		switch typ {
+		case counterType:
+			c.counter = &Counter{}
+		case gaugeType:
+			c.gauge = &Gauge{}
+		case histogramType:
+			c.hist = &Histogram{}
+		}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter returns (registering on first use) the counter with the given
+// name and labels. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := r.child(name, help, counterType, labels)
+	if c == nil {
+		return nil
+	}
+	return c.counter
+}
+
+// Gauge returns (registering on first use) the gauge with the given
+// name and labels. A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	c := r.child(name, help, gaugeType, labels)
+	if c == nil {
+		return nil
+	}
+	return c.gauge
+}
+
+// Histogram returns (registering on first use) the histogram with the
+// given name and labels. A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	c := r.child(name, help, histogramType, labels)
+	if c == nil {
+		return nil
+	}
+	return c.hist
+}
+
+func sortedLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := sortedLabels(labels)
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	return b.String()
+}
+
+// seconds renders a nanosecond quantity as a float seconds literal.
+func seconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format. Histograms emit cumulative _bucket series
+// with le bounds in seconds, plus _sum and _count. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, c := range children {
+			if err := writeChild(w, f, keys[i], c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, key string, c *child) error {
+	wrap := func(extra string) string {
+		switch {
+		case key == "" && extra == "":
+			return ""
+		case key == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + key + "}"
+		default:
+			return "{" + key + "," + extra + "}"
+		}
+	}
+	switch f.typ {
+	case counterType:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, wrap(""), c.counter.Value())
+		return err
+	case gaugeType:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, wrap(""), c.gauge.Value())
+		return err
+	default:
+		var cum int64
+		for i := 0; i < numHistSlots; i++ {
+			cum += c.hist.buckets[i].Load()
+			le := "+Inf"
+			if i < numFinite {
+				le = seconds(histBounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, wrap(fmt.Sprintf("le=%q", le)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, wrap(""), seconds(c.hist.sum.Load())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrap(""), c.hist.count.Load())
+		return err
+	}
+}
+
+// Handler returns an HTTP handler serving the registry in Prometheus
+// text format (a GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Same name+labels returns the same metric.
+	if reg.Counter("requests_total", "Requests.") != c {
+		t.Fatal("counter not deduplicated")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("y", "")
+	h := reg.Histogram("z", "")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil metrics must be inert")
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+}
+
+func TestLabeledChildrenAreDistinct(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("rows_total", "Rows.", L("query", "a"))
+	b := reg.Counter("rows_total", "Rows.", L("query", "b"))
+	if a == b {
+		t.Fatal("distinct labels must give distinct counters")
+	}
+	a.Add(2)
+	b.Add(3)
+	if a.Value() != 2 || b.Value() != 3 {
+		t.Fatalf("values %d/%d", a.Value(), b.Value())
+	}
+	// Label order must not matter.
+	x := reg.Counter("multi", "", L("b", "2"), L("a", "1"))
+	y := reg.Counter("multi", "", L("a", "1"), L("b", "2"))
+	if x != y {
+		t.Fatal("label order changed identity")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("seraph_rows_total", "Rows emitted.", L("query", "trick")).Add(42)
+	reg.Gauge("seraph_depth", "Queue depth.").Set(3)
+	h := reg.Histogram("seraph_eval_seconds", "Eval latency.", L("query", "trick"))
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE seraph_rows_total counter",
+		`seraph_rows_total{query="trick"} 42`,
+		"# TYPE seraph_depth gauge",
+		"seraph_depth 3",
+		"# TYPE seraph_eval_seconds histogram",
+		`seraph_eval_seconds_bucket{query="trick",le="+Inf"} 2`,
+		`seraph_eval_seconds_count{query="trick"} 2`,
+		`seraph_eval_seconds_sum{query="trick"} 0.004`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+// TestHistogramQuantiles records a known uniform distribution and
+// checks the quantile estimates land within one log bucket (factor two)
+// of the exact values.
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// Uniform 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	checks := []struct {
+		name  string
+		got   time.Duration
+		exact time.Duration
+	}{
+		{"p50", snap.P50, 500 * time.Microsecond},
+		{"p95", snap.P95, 950 * time.Microsecond},
+		{"p99", snap.P99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if c.got < c.exact/2 || c.got > c.exact*2 {
+			t.Errorf("%s = %v, want within [%v, %v]", c.name, c.got, c.exact/2, c.exact*2)
+		}
+	}
+	if snap.Mean() < 250*time.Microsecond || snap.Mean() > time.Millisecond {
+		t.Errorf("mean = %v", snap.Mean())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines
+// (meaningful under -race) and checks nothing is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine looks the histogram up itself, exercising
+			// the registry path concurrently too.
+			h := reg.Histogram("concurrent_seconds", "")
+			for i := 1; i <= perG; i++ {
+				h.Observe(time.Duration(i%1000+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Histogram("concurrent_seconds", "").Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	snap := reg.Histogram("concurrent_seconds", "").Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	exact := 500 * time.Microsecond
+	if snap.P50 < exact/2 || snap.P50 > exact*2 {
+		t.Errorf("p50 = %v, want within [%v, %v]", snap.P50, exact/2, exact*2)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.P50 != 0 || snap.P99 != 0 || snap.Mean() != 0 {
+		t.Fatalf("empty snapshot %+v", snap)
+	}
+}

@@ -12,18 +12,25 @@
 //	POST   /events              ingest NDJSON graph events
 //	POST   /cypher              one-time query over the merged graph
 //	GET    /checkpoint          download an engine checkpoint
+//	GET    /metrics             Prometheus text-format metrics
+//	GET    /debug/pprof/*       profiling (opt-in via EnablePprof)
 //	GET    /healthz             liveness
 //
 // Results are buffered per query in a bounded ring; clients poll with
-// the last sequence number they saw.
+// the last sequence number they saw. Overflowed (dropped) results are
+// counted per ring and surfaced on GET /queries/{name} and /metrics so
+// a slow poller can detect the gap.
 package server
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,6 +41,7 @@ import (
 	"seraph/internal/eval"
 	"seraph/internal/graphstore"
 	"seraph/internal/ingest"
+	"seraph/internal/metrics"
 	"seraph/internal/parser"
 	"seraph/internal/value"
 )
@@ -43,6 +51,11 @@ func parseQuery(src string) (*ast.Query, error) { return parser.ParseQuery(src) 
 // resultBufferSize bounds the per-query result ring.
 const resultBufferSize = 1024
 
+// maxRequestBody bounds the /queries and /cypher request bodies (the
+// NDJSON /events stream is unbounded by design; its per-line size is
+// bounded by the scanner buffer instead).
+const maxRequestBody = 1 << 20
+
 // Server is the HTTP facade over an engine.
 type Server struct {
 	mu      sync.Mutex
@@ -50,42 +63,98 @@ type Server struct {
 	merged  *graphstore.Store // merged graph for one-time /cypher queries
 	buffers map[string]*resultRing
 	events  int
+	pprof   bool
+
+	log        *slog.Logger
+	reg        *metrics.Registry // the engine's registry; nil when disabled
+	ingested   *metrics.Counter  // seraph_ingest_events_total
+	ingestErrs *metrics.Counter  // seraph_ingest_errors_total
 }
 
 // New returns a server wrapping a fresh engine configured with the
 // given options (e.g. engine.WithParallelism to bound how many
 // registered queries evaluate concurrently per ingested event batch).
+// The engine records into a server-owned metrics registry served on
+// GET /metrics; pass engine.WithMetrics to override (nil disables).
 func New(opts ...engine.Option) *Server {
-	return &Server{
-		engine:  engine.New(opts...),
+	s := &Server{
 		merged:  graphstore.New(),
 		buffers: map[string]*resultRing{},
 	}
+	base := []engine.Option{
+		engine.WithMetrics(metrics.NewRegistry()),
+		engine.WithLogger(slog.Default()),
+	}
+	s.engine = engine.New(append(base, opts...)...)
+	s.finishInit()
+	return s
 }
 
 // Restore returns a server whose engine resumes from a checkpoint
 // (see /checkpoint). Each restored query gets a fresh result buffer.
 // The merged /cypher graph is not part of engine checkpoints and starts
-// empty.
-func Restore(r io.Reader) (*Server, error) {
+// empty. Extra engine options (parallelism, metrics, …) are applied on
+// top of the checkpoint-derived configuration.
+func Restore(r io.Reader, opts ...engine.Option) (*Server, error) {
 	s := &Server{
 		merged:  graphstore.New(),
 		buffers: map[string]*resultRing{},
 	}
+	extra := append([]engine.Option{
+		engine.WithMetrics(metrics.NewRegistry()),
+		engine.WithLogger(slog.Default()),
+	}, opts...)
 	eng, err := engine.Restore(r, func(name string) engine.Sink {
+		// The engine (and its registry) is not assigned yet while
+		// Restore runs; finishInit binds each ring's counter afterwards.
 		ring := &resultRing{}
 		s.buffers[name] = ring
 		return ring.add
-	})
+	}, extra...)
 	if err != nil {
 		return nil, err
 	}
 	s.engine = eng
+	s.finishInit()
 	return s, nil
+}
+
+// finishInit wires the server-level instruments to the engine's
+// registry (which may be nil when metrics are disabled).
+func (s *Server) finishInit() {
+	s.log = slog.Default()
+	s.reg = s.engine.Metrics()
+	s.ingested = s.reg.Counter("seraph_ingest_events_total", "Events applied via POST /events.")
+	s.ingestErrs = s.reg.Counter("seraph_ingest_errors_total", "POST /events requests that failed mid-batch.")
+	for name, ring := range s.buffers {
+		s.bindRing(name, ring)
+	}
+}
+
+// bindRing attaches a result ring to the server's registry and logger,
+// registering its dropped-results counter eagerly so the family shows
+// up on /metrics (at zero) before any overflow happens.
+func (s *Server) bindRing(name string, r *resultRing) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.name = name
+	r.server = s
+	r.dropCtr = s.reg.Counter("seraph_result_ring_dropped_total",
+		"Buffered results evicted before any client fetched them.",
+		metrics.L("query", name))
 }
 
 // Engine exposes the wrapped engine (tests, embedding).
 func (s *Server) Engine() *engine.Engine { return s.engine }
+
+// SetLogger replaces the server's structured logger (default
+// slog.Default).
+func (s *Server) SetLogger(l *slog.Logger) { s.log = l }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on handlers
+// built after the call. Profiling endpoints can leak operational detail,
+// so they are opt-in.
+func (s *Server) EnablePprof() { s.pprof = true }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
@@ -96,13 +165,65 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/cypher", s.handleCypher)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.Handle("/metrics", s.reg.Handler())
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// HTTPServer wraps Handler in an http.Server with production defaults:
+// header/read/write timeouts, a bounded header size, and an idle
+// timeout. Pair it with a signal-driven Shutdown (see cmd/seraph-server)
+// so in-flight ingests drain instead of being killed.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute, // /events may stream large batches
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 type resultRing struct {
-	mu    sync.Mutex
-	seq   int64
-	items []storedResult
+	mu      sync.Mutex
+	seq     int64
+	dropped int64
+	items   []storedResult
+
+	// name/server resolve the per-ring dropped-results counter; the
+	// counter is created lazily so rings built during engine.Restore
+	// (before the registry is reachable) still report drops.
+	name    string
+	server  *Server
+	dropCtr *metrics.Counter
+}
+
+// ringInfo is the /queries/{name} view of a ring: the newest and oldest
+// retained sequence numbers plus the overflow count. A client that
+// polled up to seq S detects loss when lowest_seq > S+1 or dropped grew.
+type ringInfo struct {
+	LatestSeq int64 `json:"latest_seq"`
+	LowestSeq int64 `json:"lowest_seq"`
+	Buffered  int   `json:"buffered"`
+	Dropped   int64 `json:"dropped"`
+}
+
+func (r *resultRing) info() ringInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := ringInfo{LatestSeq: r.seq, Buffered: len(r.items), Dropped: r.dropped}
+	if len(r.items) > 0 {
+		info.LowestSeq = r.items[0].Seq
+	}
+	return info
 }
 
 type storedResult struct {
@@ -117,7 +238,6 @@ type storedResult struct {
 
 func (r *resultRing) add(res engine.Result) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.seq++
 	sr := storedResult{
 		Seq:      r.seq,
@@ -129,8 +249,20 @@ func (r *resultRing) add(res engine.Result) {
 		Rows:     tableRows(res.Table),
 	}
 	r.items = append(r.items, sr)
+	var evicted int
 	if len(r.items) > resultBufferSize {
-		r.items = r.items[len(r.items)-resultBufferSize:]
+		evicted = len(r.items) - resultBufferSize
+		r.dropped += int64(evicted)
+		r.items = append(r.items[:0:0], r.items[evicted:]...)
+	}
+	ctr, srv, name := r.dropCtr, r.server, r.name
+	r.mu.Unlock()
+	if evicted > 0 {
+		ctr.Add(int64(evicted))
+		if srv != nil {
+			srv.log.Warn("result ring overflow: slow poller lost results",
+				"query", name, "dropped", evicted)
+		}
 	}
 }
 
@@ -248,9 +380,10 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		body := new(strings.Builder)
 		if _, err := copyBody(body, r); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, bodyErrStatus(err), err)
 			return
 		}
 		ring := &resultRing{}
@@ -259,13 +392,27 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
+		s.bindRing(q.Name(), ring)
 		s.mu.Lock()
 		s.buffers[q.Name()] = ring
 		s.mu.Unlock()
+		reg := q.Registration()
+		s.log.Info("query registered",
+			"query", q.Name(), "within", reg.MaxWithin(), "stream", q.Stream())
 		writeJSON(w, http.StatusCreated, map[string]any{"name": q.Name()})
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)
 	}
+}
+
+// bodyErrStatus maps request-body read failures to a status: 413 when
+// the MaxBytesReader limit tripped, 400 otherwise.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -302,7 +449,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 1 && r.Method == http.MethodGet:
 		for _, q := range s.engine.Queries() {
 			if q.Name() == name {
-				writeJSON(w, http.StatusOK, map[string]any{"name": name, "stats": q.Stats()})
+				out := map[string]any{"name": name, "stats": q.Stats()}
+				if lat := q.EvalLatency(); lat.Count > 0 {
+					out["latency_ms"] = map[string]any{
+						"count": lat.Count,
+						"mean":  ms(lat.Mean()),
+						"p50":   ms(lat.P50),
+						"p95":   ms(lat.P95),
+						"p99":   ms(lat.P99),
+					}
+				}
+				s.mu.Lock()
+				ring := s.buffers[name]
+				s.mu.Unlock()
+				if ring != nil {
+					out["results"] = ring.info()
+				}
+				writeJSON(w, http.StatusOK, out)
 				return
 			}
 		}
@@ -324,6 +487,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handleEvents ingests NDJSON events: each line one graph event. Events
 // are pushed to the engine (advancing the virtual clock) and merged
 // into the one-time store.
+//
+// Ingestion is line-by-line, so a mid-batch failure leaves the events
+// before the bad line applied. The applied count is recorded
+// unconditionally — s.events and the engine always agree — and error
+// responses carry "ingested"/"total" so the client knows exactly how
+// far the batch got and can resume after the failing line.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.WriteHeader(http.StatusMethodNotAllowed)
@@ -331,43 +500,63 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	n := 0
+	applied := 0 // events fully applied to the merged store and engine
+	lineNo := 0
+	commit := func() int {
+		s.mu.Lock()
+		s.events += applied
+		total := s.events
+		s.mu.Unlock()
+		s.ingested.Add(int64(applied))
+		return total
+	}
+	fail := func(status int, err error) {
+		total := commit()
+		s.ingestErrs.Inc()
+		s.log.Error("ingest failed mid-batch",
+			"line", lineNo, "ingested", applied, "err", err)
+		writeJSON(w, status, map[string]any{
+			"error":    err.Error(),
+			"ingested": applied,
+			"total":    total,
+		})
+	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
 		}
+		lineNo++
 		g, ts, err := ingest.Decode([]byte(line))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("event %d: %w", n+1, err))
+			fail(http.StatusBadRequest, fmt.Errorf("event %d: %w", lineNo, err))
 			return
 		}
 		s.mu.Lock()
 		err = ingest.MergeInto(s.merged, g)
 		s.mu.Unlock()
 		if err != nil {
-			httpError(w, http.StatusConflict, err)
+			fail(http.StatusConflict, fmt.Errorf("event %d: %w", lineNo, err))
 			return
 		}
 		if err := s.engine.Push(g, ts); err != nil {
-			httpError(w, http.StatusConflict, err)
+			fail(http.StatusConflict, fmt.Errorf("event %d: %w", lineNo, err))
 			return
 		}
+		// The event is in the engine now: count it even if evaluation
+		// below fails, so the reported count matches engine state.
+		applied++
 		if err := s.engine.AdvanceTo(ts); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			fail(http.StatusInternalServerError, err)
 			return
 		}
-		n++
 	}
 	if err := sc.Err(); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	s.events += n
-	total := s.events
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"ingested": n, "total": total})
+	total := commit()
+	writeJSON(w, http.StatusOK, map[string]any{"ingested": applied, "total": total})
 }
 
 type cypherRequest struct {
@@ -382,9 +571,10 @@ func (s *Server) handleCypher(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	var req cypherRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, bodyErrStatus(err), err)
 		return
 	}
 	params := map[string]value.Value{}
@@ -460,6 +650,9 @@ func jsonToValue(v any) (value.Value, error) {
 	}
 	return value.Null, fmt.Errorf("unsupported parameter type %T", v)
 }
+
+// ms renders a duration as fractional milliseconds for JSON payloads.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
