@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro verify examples fuzz clean
+.PHONY: all build vet test race bench bench-index repro verify examples fuzz clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 # Full benchmark suite (writes nothing; see bench-record).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Indexed-vs-scan MATCH ablation (bench_index_test.go). The seraph-bench
+# twin is `go run ./cmd/seraph-bench -exp B13` (see BENCH_pr3.json).
+bench-index:
+	$(GO) test -run '^$$' -bench 'SelectivePredicate|TypedExpansion|EngineSelectivity' -benchmem .
 
 # Record deliverable outputs.
 record:

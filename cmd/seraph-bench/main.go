@@ -13,18 +13,23 @@
 //	B7  snapshot graph construction cost
 //	B8  shortestPath matching (network monitoring use case)
 //	B9  concurrent registered queries
+//	B13 predicate selectivity sweep: indexed matcher vs scan baseline
 //
 // Each experiment prints one table of rows/series.
 //
 //	go run ./cmd/seraph-bench            # all experiments
 //	go run ./cmd/seraph-bench -exp B5    # one experiment
 //	go run ./cmd/seraph-bench -quick     # reduced sizes for smoke runs
+//	go run ./cmd/seraph-bench -exp B13 -selectivity 0.01
+//	go run ./cmd/seraph-bench -exp B13 -json BENCH_pr3.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -37,6 +42,7 @@ import (
 	"seraph/internal/eval"
 	"seraph/internal/graphstore"
 	"seraph/internal/parser"
+	"seraph/internal/pg"
 	"seraph/internal/stream"
 	"seraph/internal/value"
 	"seraph/internal/workload"
@@ -45,12 +51,17 @@ import (
 var (
 	quick       bool
 	showMetrics bool
+	selectivity float64
+	jsonOut     string
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B9) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B13) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
+	flag.Float64Var(&selectivity, "selectivity", 0,
+		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
+	flag.StringVar(&jsonOut, "json", "", "B13: also write the sweep results as JSON to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -67,6 +78,7 @@ func main() {
 		{"B7", "snapshot graph construction", b7Snapshot},
 		{"B8", "shortestPath (network monitoring)", b8ShortestPath},
 		{"B9", "concurrent registered queries (sequential vs parallel scheduler)", b9Concurrent},
+		{"B13", "predicate selectivity sweep (indexed vs scan matcher)", b13Selectivity},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -510,6 +522,126 @@ func replayTimed(e *engine.Engine, elems []stream.Element) time.Duration {
 	d := time.Since(start)
 	dumpMetrics(e)
 	return d
+}
+
+// b13Selectivity reproduces the BenchmarkSelectivePredicate ablation
+// outside `go test`: the same windowed workload evaluated through the
+// index-driven planner and through the scan baseline
+// (engine.WithScanMatcher), swept across predicate selectivities. The
+// pushed predicate is `u.bucket = 0` where bucket is drawn uniformly
+// from [0, 1/selectivity), so selectivity is exactly the fraction of
+// window nodes that match. -selectivity pins the sweep to one point;
+// -json additionally writes the rows to a snapshot file (BENCH_pr3.json
+// in the repo is one such run).
+func b13Selectivity() {
+	type b13Row struct {
+		Selectivity   float64 `json:"selectivity"`
+		WindowNodes   int     `json:"window_nodes"`
+		Rows          int     `json:"rows_per_eval"`
+		IndexedMS     float64 `json:"indexed_match_ms_per_eval"`
+		ScanMS        float64 `json:"scan_match_ms_per_eval"`
+		Speedup       float64 `json:"match_speedup"`
+		IndexedWallMS float64 `json:"indexed_wall_ms_per_eval"`
+		ScanWallMS    float64 `json:"scan_wall_ms_per_eval"`
+	}
+	sweep := []float64{0.001, 0.01, 0.1, 0.5}
+	if selectivity > 0 {
+		sweep = []float64{selectivity}
+	}
+	batches := 12
+	perBatch := scaled(1000, 200)
+	// The ablation targets pattern matching, so the headline column is
+	// the Cypher-body share of evaluation time (Stats().CypherNanos);
+	// wall time per instant includes window maintenance and snapshot
+	// construction, which are identical in both modes.
+	header("selectivity", "window_nodes", "rows_per_eval", "indexed_match_ms", "scan_match_ms", "speedup", "indexed_wall_ms", "scan_wall_ms")
+	var out []b13Row
+	for _, sel := range sweep {
+		buckets := int(math.Max(1, math.Round(1/sel)))
+		elems := b13Stream(batches, perBatch, buckets)
+		src := fmt.Sprintf(`
+REGISTER QUERY sel STARTING AT %s
+{
+  MATCH (u:User)-[:OWNS]->(d:Device)
+  WITHIN PT1H
+  WHERE u.bucket = 0
+  EMIT u.uid AS uid, d.did AS did
+  SNAPSHOT EVERY PT5M
+}`, elems[0].Time.Format("2006-01-02T15:04:05"))
+		var matchMS, wallMS [2]float64 // indexed, scan
+		lastRows := 0
+		for i, scan := range []bool{false, true} {
+			// Incremental snapshots keep one rolling store alive across
+			// instants, so the property indexes are maintained by the
+			// window mutators instead of being rebuilt per evaluation.
+			e := engine.New(engine.WithIncrementalSnapshots(true), engine.WithScanMatcher(scan))
+			rows := 0
+			if _, err := e.RegisterSource(src, func(r engine.Result) { rows = r.Table.Len() }); err != nil {
+				log.Fatal(err)
+			}
+			d := replayTimed(e, elems)
+			st := e.Queries()[0].Stats()
+			matchMS[i] = ms(time.Duration(st.CypherNanos)) / float64(st.Evaluations)
+			wallMS[i] = ms(d) / float64(batches)
+			lastRows = rows
+		}
+		out = append(out, b13Row{
+			Selectivity:   sel,
+			WindowNodes:   batches * perBatch * 2,
+			Rows:          lastRows,
+			IndexedMS:     matchMS[0],
+			ScanMS:        matchMS[1],
+			Speedup:       matchMS[1] / matchMS[0],
+			IndexedWallMS: wallMS[0],
+			ScanWallMS:    wallMS[1],
+		})
+		fmt.Printf("%g\t%d\t%d\t%.2f\t%.2f\t%.1f\t%.2f\t%.2f\n",
+			sel, batches*perBatch*2, lastRows, matchMS[0], matchMS[1], matchMS[1]/matchMS[0],
+			wallMS[0], wallMS[1])
+	}
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B13",
+			"description": "predicate selectivity sweep: indexed matcher vs scan baseline, ms per evaluation instant",
+			"command":     "go run ./cmd/seraph-bench -exp B13 -json " + jsonOut,
+			"rows":        out,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// b13Stream builds one batch every 5 minutes of User-[:OWNS]->Device
+// pairs; each User carries a bucket property uniform in [0, buckets).
+func b13Stream(batches, perBatch, buckets int) []stream.Element {
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var elems []stream.Element
+	id := int64(1)
+	for b := 0; b < batches; b++ {
+		g := pg.New()
+		for i := 0; i < perBatch; i++ {
+			uid, did, rid := id, id+1, id+2
+			id += 3
+			g.AddNode(&value.Node{ID: uid, Labels: []string{"User"}, Props: map[string]value.Value{
+				"bucket": value.NewInt(uid % int64(buckets)),
+				"uid":    value.NewInt(uid),
+			}})
+			g.AddNode(&value.Node{ID: did, Labels: []string{"Device"}, Props: map[string]value.Value{
+				"did": value.NewInt(did),
+			}})
+			if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did, Type: "OWNS",
+				Props: map[string]value.Value{}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * 5 * time.Minute)})
+	}
+	return elems
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"testing"
+
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// TestSnapshotCacheKeyContentSensitive is the regression test for the
+// substreamKey false positive: the key used to be timestamps + graph
+// sizes only, so an element graph mutated in place between evaluation
+// instants kept the same key (same element set, same sizes) and the
+// cached table was replayed with the stale property value. The key now
+// folds in a per-graph structural digest and the graph's mutation
+// version, so an API-level property edit forces a miss.
+func TestSnapshotCacheKeyContentSensitive(t *testing.T) {
+	e := New(WithSnapshotCache(true))
+	col := &Collector{}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY k STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (s:Sensor)
+  WITHIN PT1M
+  EMIT s.name AS name
+  SNAPSHOT EVERY PT5S
+}`, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+
+	g := pg.New()
+	g.AddNode(&value.Node{ID: 1, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+		"name": value.NewString("before")}})
+	if err := e.Push(g, tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Results) == 0 || col.Results[0].Table.Len() != 1 {
+		t.Fatalf("setup: no result for first instant")
+	}
+	if got := col.Results[0].Table.Rows[0][0].Str(); got != "before" {
+		t.Fatalf("first instant name = %q", got)
+	}
+
+	// Mutate the element graph in place: the active substream keeps the
+	// same timestamps, node count, and relationship count, which is
+	// exactly the shape the old size-based key could not distinguish.
+	// The edit goes through the pg.Graph API so the version counter
+	// records it.
+	if !g.SetNodeProp(1, "name", value.NewString("after")) {
+		t.Fatal("SetNodeProp: node 1 missing")
+	}
+
+	if err := e.AdvanceTo(tick(6)); err != nil {
+		t.Fatal(err)
+	}
+	last := col.Results[len(col.Results)-1]
+	if last.Table.Len() != 1 {
+		t.Fatalf("second instant rows = %d", last.Table.Len())
+	}
+	if got := last.Table.Rows[0][0].Str(); got != "after" {
+		t.Errorf("second instant name = %q, want %q (stale cached result replayed)", got, "after")
+	}
+}
+
+// TestGraphDigestDistinguishesContents: equal-shaped graphs (same
+// sizes) with different node ids or relationship endpoints must digest
+// differently, while a clone digests identically. Label and property
+// changes are deliberately not part of the digest — they are covered
+// by the Version counter, which every API mutation bumps.
+func TestGraphDigestDistinguishesContents(t *testing.T) {
+	mk := func(nodeID, relEnd int64) *pg.Graph {
+		g := pg.New()
+		g.AddNode(&value.Node{ID: nodeID, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+			"name": value.NewString("a")}})
+		g.AddNode(&value.Node{ID: 2, Props: map[string]value.Value{}})
+		g.AddNode(&value.Node{ID: 3, Props: map[string]value.Value{}})
+		if err := g.AddRel(&value.Relationship{ID: 10, StartID: nodeID, EndID: relEnd, Type: "T",
+			Props: map[string]value.Value{}}); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	base := mk(1, 2)
+	if base.Digest() != base.Clone().Digest() {
+		t.Error("clone digest differs")
+	}
+	if base.Digest() != mk(1, 2).Digest() {
+		t.Error("digest not deterministic across construction order")
+	}
+	for name, other := range map[string]*pg.Graph{
+		"node id":      mk(4, 2),
+		"rel endpoint": mk(1, 3),
+	} {
+		if base.Digest() == other.Digest() {
+			t.Errorf("digest blind to %s change", name)
+		}
+	}
+
+	// Property edits leave the structural digest alone but bump the
+	// version, so the (digest, version) pair still changes.
+	d0, v0 := base.Digest(), base.Version()
+	if !base.SetNodeProp(1, "name", value.NewString("z")) {
+		t.Fatal("SetNodeProp: node 1 missing")
+	}
+	if base.Digest() != d0 {
+		t.Error("structural digest changed on a property edit")
+	}
+	if base.Version() == v0 {
+		t.Error("version not bumped by SetNodeProp")
+	}
+	v1 := base.Version()
+	if !base.SetRelProp(10, "w", value.NewInt(1)) {
+		t.Fatal("SetRelProp: rel 10 missing")
+	}
+	if base.Version() == v1 {
+		t.Error("version not bumped by SetRelProp")
+	}
+	// Removing an absent entity is a no-op and must not bump.
+	v2 := base.Version()
+	base.RemoveNode(99)
+	base.RemoveRel(99)
+	if base.Version() != v2 {
+		t.Error("version bumped by no-op removal")
+	}
+}

@@ -83,6 +83,11 @@ type Engine struct {
 	// historyRetention bounds each query's materialized time-varying
 	// table; 0 keeps unlimited history (Definition 5.7 semantics).
 	historyRetention int
+
+	// scanMatcher forces the naive scan-based pattern matcher (no
+	// property indexes, no predicate pushdown, no typed adjacency, no
+	// cost-based part ordering). Ablation baseline for benchmarks.
+	scanMatcher bool
 }
 
 // Option configures an Engine.
@@ -98,6 +103,15 @@ func WithBounds(b window.Bounds) Option {
 // evaluations whose active substreams are identical.
 func WithSnapshotCache(on bool) Option {
 	return func(e *Engine) { e.cacheSnapshots = on }
+}
+
+// WithScanMatcher forces MATCH evaluation through the naive scan-based
+// matcher, disabling property indexes, predicate pushdown, typed
+// adjacency, and selectivity-based ordering. Result bags are identical
+// either way; the option exists as the ablation baseline for the
+// index-layer benchmarks (seraph-bench -scan).
+func WithScanMatcher(on bool) Option {
+	return func(e *Engine) { e.scanMatcher = on }
 }
 
 // WithStaticGraph unions a static background graph into every snapshot
@@ -624,6 +638,8 @@ func (e *Engine) computeResult(q *Query, ω time.Time) (result *eval.Table, iv s
 				"win_end":   value.NewDateTime(iv.End),
 				"now":       value.NewDateTime(ω),
 			},
+			Match:               q.qm.match,
+			DisableMatchIndexes: e.scanMatcher,
 		}
 		ctx.Store = getSnap(q.cfg.Width)
 		if snapErr != nil {
@@ -695,16 +711,24 @@ func annotate(t *eval.Table, iv stream.Interval) *eval.Table {
 	return out
 }
 
-// substreamKey builds a cheap content identity for an active substream:
-// element timestamps plus graph sizes. Pushing distinct graphs with
-// identical timestamps and sizes is possible but the engine only uses
-// the key when the caller opted in to snapshot caching.
+// substreamKey builds a content identity for an active substream:
+// element timestamps, graph sizes, a per-graph structural digest
+// (node/rel ids, endpoints and types) and the graph's mutation
+// version. Sizes alone are not enough — two substreams of equal shape
+// (same timestamps, node and relationship counts) but different
+// contents, or an element graph mutated in place between evaluations,
+// would otherwise alias to the same key and silently reuse a stale
+// cached result. The version counter covers what the cheap digest
+// skips (labels and property values), provided mutations go through
+// the pg.Graph API.
 func substreamKey(elems []stream.Element) string {
 	var b []byte
 	for _, e := range elems {
 		b = appendInt(b, e.Time.UnixNano())
 		b = appendInt(b, int64(e.Graph.NumNodes()))
 		b = appendInt(b, int64(e.Graph.NumRels()))
+		b = appendInt(b, int64(e.Graph.Digest()))
+		b = appendInt(b, int64(e.Graph.Version()))
 	}
 	return string(b)
 }

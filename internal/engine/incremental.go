@@ -107,7 +107,7 @@ func (r *rolling) add(g *pg.Graph) error {
 			lr[l]++
 		}
 		for k, v := range n.Props {
-			if err := r.addProp(propSite{id: n.ID, key: k}, v, sn.Props); err != nil {
+			if err := r.addProp(propSite{id: n.ID, key: k}, v); err != nil {
 				return err
 			}
 		}
@@ -127,9 +127,8 @@ func (r *rolling) add(g *pg.Graph) error {
 			}
 		}
 		r.relRef[rel.ID]++
-		sr := r.store.Rel(rel.ID)
 		for k, v := range rel.Props {
-			if err := r.addProp(propSite{rel: true, id: rel.ID, key: k}, v, sr.Props); err != nil {
+			if err := r.addProp(propSite{rel: true, id: rel.ID, key: k}, v); err != nil {
 				return err
 			}
 		}
@@ -137,12 +136,28 @@ func (r *rolling) add(g *pg.Graph) error {
 	return nil
 }
 
-func (r *rolling) addProp(site propSite, v value.Value, props map[string]value.Value) error {
+// setStoreProp routes a rolling-store property write through the
+// store's setters so its property indexes are maintained incrementally
+// (the rolling store is long-lived; rebuilt indexes would cost O(label)
+// per stream element).
+func (r *rolling) setStoreProp(site propSite, v value.Value) {
+	if site.rel {
+		if rel := r.store.Rel(site.id); rel != nil {
+			r.store.SetRelProp(rel, site.key, v)
+		}
+		return
+	}
+	if n := r.store.Node(site.id); n != nil {
+		r.store.SetNodeProp(n, site.key, v)
+	}
+}
+
+func (r *rolling) addProp(site propSite, v value.Value) error {
 	pe := r.propRef[site]
 	vk := value.Key(v)
 	if pe == nil || pe.count == 0 {
 		r.propRef[site] = &propEntry{count: 1, valKey: vk, val: v}
-		props[site.key] = v
+		r.setStoreProp(site, v)
 		return nil
 	}
 	if pe.valKey != vk {
@@ -163,7 +178,7 @@ func (r *rolling) remove(g *pg.Graph) {
 	for _, rel := range g.Rels() {
 		sr := r.store.Rel(rel.ID)
 		for k := range rel.Props {
-			r.removeProp(propSite{rel: true, id: rel.ID, key: k}, sr.Props)
+			r.removeProp(propSite{rel: true, id: rel.ID, key: k})
 		}
 		r.relRef[rel.ID]--
 		if r.relRef[rel.ID] == 0 {
@@ -174,7 +189,7 @@ func (r *rolling) remove(g *pg.Graph) {
 	for _, n := range g.Nodes() {
 		sn := r.store.Node(n.ID)
 		for k := range n.Props {
-			r.removeProp(propSite{id: n.ID, key: k}, sn.Props)
+			r.removeProp(propSite{id: n.ID, key: k})
 		}
 		lr := r.labelRef[n.ID]
 		for _, l := range n.Labels {
@@ -196,14 +211,14 @@ func (r *rolling) remove(g *pg.Graph) {
 	}
 }
 
-func (r *rolling) removeProp(site propSite, props map[string]value.Value) {
+func (r *rolling) removeProp(site propSite) {
 	pe := r.propRef[site]
 	if pe == nil {
 		return
 	}
 	pe.count--
 	if pe.count == 0 {
-		delete(props, site.key)
+		r.setStoreProp(site, value.Null)
 		delete(r.propRef, site)
 	}
 }

@@ -6,6 +6,7 @@ package engine
 // hot path pays only a nil check when instrumentation is off.
 
 import (
+	"seraph/internal/eval"
 	"seraph/internal/metrics"
 )
 
@@ -25,6 +26,10 @@ const (
 	mSchedBusy       = "seraph_scheduler_workers_busy"
 	mSchedInstants   = "seraph_scheduler_instants_total"
 	mSchedDispatch   = "seraph_scheduler_dispatch_seconds"
+	mMatchIdxHits    = "seraph_match_index_hits_total"
+	mMatchIdxMisses  = "seraph_match_index_misses_total"
+	mMatchPushdowns  = "seraph_match_pushdowns_total"
+	mMatchCandidates = "seraph_match_candidates"
 )
 
 // queryMetrics are the per-query instruments, labeled query=<name>.
@@ -41,6 +46,7 @@ type queryMetrics struct {
 	cacheMisses   *metrics.Counter
 	incAdds       *metrics.Counter
 	incRemoves    *metrics.Counter
+	match         *eval.MatchMetrics
 }
 
 // newQueryMetrics registers (or looks up) the per-query instruments.
@@ -60,6 +66,13 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 		cacheMisses:   reg.Counter(mCacheMisses, "Evaluations that missed the equal-window-contents cache.", q),
 		incAdds:       reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "add")),
 		incRemoves:    reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "remove")),
+		match: &eval.MatchMetrics{
+			IndexHits:   reg.Counter(mMatchIdxHits, "MATCH candidate enumerations served from a property index.", q),
+			IndexMisses: reg.Counter(mMatchIdxMisses, "MATCH candidate enumerations served by label list or full scan.", q),
+			Pushdowns:   reg.Counter(mMatchPushdowns, "WHERE equality conjuncts pushed down into the pattern matcher.", q),
+			CandidateSize: reg.Histogram(mMatchCandidates,
+				"Candidate-set sizes per enumeration, recorded as 1µs per candidate (log buckets double as size buckets).", q),
+		},
 	}
 }
 

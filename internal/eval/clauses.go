@@ -111,10 +111,13 @@ func applyMatch(ctx *Ctx, m *ast.Match, t *Table) (*Table, error) {
 	out := &Table{Cols: append(append([]string(nil), t.Cols...), newVars...)}
 	matchCtx := *ctx
 	matchCtx.Store = store
+	// The plan (pushed-down WHERE equalities, instrumentation hooks) is
+	// row-independent, so build it once for the clause.
+	plan := planMatch(&matchCtx, m.Pattern, m.Where)
 	for _, row := range t.Rows {
 		e := newEnv(t.Cols, row)
 		matched := false
-		err := forEachMatch(&matchCtx, store, e, m.Pattern, func() error {
+		err := forEachMatchPlanned(&matchCtx, store, e, m.Pattern, plan, func() error {
 			if m.Where != nil {
 				keep, err := evalExpr(&matchCtx, e, m.Where)
 				if err != nil {

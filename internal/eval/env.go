@@ -28,6 +28,17 @@ type Ctx struct {
 	// variable is not bound in the record; Seraph binds win_start and
 	// win_end here.
 	Builtins map[string]value.Value
+
+	// Match, when non-nil, receives the pattern matcher's
+	// instrumentation (index hits/misses, pushdown count, candidate-set
+	// sizes).
+	Match *MatchMetrics
+
+	// DisableMatchIndexes forces the scan-based reference matcher: no
+	// property indexes, no WHERE pushdown, no typed adjacency, and the
+	// syntactic part order. Benchmarks use it as the ablation baseline
+	// and the differential tests as the reference implementation.
+	DisableMatchIndexes bool
 }
 
 // storeFor resolves the graph for a MATCH with the given WITHIN width.

@@ -26,13 +26,20 @@ type patternMatcher struct {
 	store *graphstore.Store
 	env   *env
 	used  map[int64]bool
+	plan  *matchPlan
 }
 
 // forEachMatch enumerates matches of pattern under the bindings in e,
 // invoking emit once per complete match with all pattern variables
 // bound in e (as locals). Bindings are popped after emit returns.
 func forEachMatch(ctx *Ctx, store *graphstore.Store, e *env, pattern ast.Pattern, emit func() error) error {
-	m := &patternMatcher{ctx: ctx, store: store, env: e, used: make(map[int64]bool)}
+	return forEachMatchPlanned(ctx, store, e, pattern, planMatch(ctx, pattern, nil), emit)
+}
+
+// forEachMatchPlanned is forEachMatch with an explicit plan, built once
+// per MATCH clause (applyMatch reuses it across input rows).
+func forEachMatchPlanned(ctx *Ctx, store *graphstore.Store, e *env, pattern ast.Pattern, plan *matchPlan, emit func() error) error {
+	m := &patternMatcher{ctx: ctx, store: store, env: e, used: make(map[int64]bool), plan: plan}
 	return m.matchParts(pattern.Parts, 0, emit)
 }
 
@@ -41,10 +48,10 @@ func (m *patternMatcher) matchParts(parts []ast.PatternPart, _ int, cont func() 
 	return m.matchRemaining(parts, done, len(parts), cont)
 }
 
-// matchRemaining greedily picks the next pattern part to match: parts
-// anchored by an already-bound variable first (turning cross products
-// into index joins), then labelled parts, then anything. The choice
-// only affects evaluation order, never the result bag.
+// matchRemaining picks the next pattern part to match by estimated
+// enumeration cost (see planner.go), falling back to the syntactic
+// greedy order in scan mode. The choice only affects evaluation order,
+// never the result bag.
 func (m *patternMatcher) matchRemaining(parts []ast.PatternPart, done []bool, remaining int, cont func() error) error {
 	if remaining == 0 {
 		return cont()
@@ -63,6 +70,27 @@ func (m *patternMatcher) matchRemaining(parts []ast.PatternPart, done []bool, re
 }
 
 func (m *patternMatcher) choosePart(parts []ast.PatternPart, done []bool) int {
+	if m.plan.scan {
+		return m.choosePartSyntactic(parts, done)
+	}
+	best := -1
+	var bestCost float64
+	for i := range parts {
+		if done[i] {
+			continue
+		}
+		c := m.partEstimate(&parts[i])
+		if best == -1 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// choosePartSyntactic is the pre-planner greedy rule: parts anchored by
+// an already-bound variable first, then labelled parts, then anything.
+// It is the reference behavior under Ctx.DisableMatchIndexes.
+func (m *patternMatcher) choosePartSyntactic(parts []ast.PatternPart, done []bool) int {
 	first, labelled := -1, -1
 	for i := range parts {
 		if done[i] {
@@ -108,11 +136,22 @@ func (m *patternMatcher) bindVar(name string, v value.Value, cont func() error) 
 }
 
 // checkNode reports whether node n satisfies node pattern np (labels
-// and property map).
+// and property map), plus any equality predicates pushed down out of
+// WHERE onto np's variable. The pushed check only rejects nodes WHERE
+// would reject anyway (a false/null conjunct makes the conjunction not
+// true), so it prunes enumeration without changing the result bag.
 func (m *patternMatcher) checkNode(n *value.Node, np *ast.NodePattern) (bool, error) {
 	for _, l := range np.Labels {
 		if !n.HasLabel(l) {
 			return false, nil
+		}
+	}
+	if np.Var != "" && !m.plan.scan {
+		for _, pe := range m.plan.pushed[np.Var] {
+			eq := value.Equal(n.Prop(pe.key), pe.val)
+			if !(eq.IsBool() && eq.Bool()) {
+				return false, nil
+			}
 		}
 	}
 	return m.checkProps(np.Props, func(k string) value.Value { return n.Prop(k) })
@@ -171,8 +210,10 @@ func (m *patternMatcher) matchChain(part *ast.PatternPart, cont func() error) er
 }
 
 // chooseStart picks the pattern node to anchor the search: a node whose
-// variable is already bound if one exists, otherwise the first labelled
-// node, otherwise node 0.
+// variable is already bound if one exists, otherwise the node with the
+// lowest startCost (candidate estimate × first-step fan-out), which
+// also fixes the chain's expansion direction. Scan mode keeps the seed
+// rule: first labelled node's smallest label list, otherwise node 0.
 func (m *patternMatcher) chooseStart(part *ast.PatternPart) int {
 	for i, np := range part.Nodes {
 		if np.Var != "" {
@@ -180,6 +221,22 @@ func (m *patternMatcher) chooseStart(part *ast.PatternPart) int {
 				return i
 			}
 		}
+	}
+	if !m.plan.scan {
+		// No variable of this part is bound (checked above), so the
+		// cost-based winner depends only on store statistics; memoize it.
+		if best, ok := m.plan.startIdx[part]; ok {
+			return best
+		}
+		best := 0
+		bestCost := m.startCost(part, 0)
+		for i := 1; i < len(part.Nodes); i++ {
+			if c := m.startCost(part, i); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		m.plan.startIdx[part] = best
+		return best
 	}
 	best, bestCount := -1, 0
 	for i, np := range part.Nodes {
@@ -229,17 +286,54 @@ func (m *patternMatcher) matchNodeAt(st *chainState, idx int, cont func() error)
 	return nil
 }
 
-// candidates enumerates graph nodes possibly matching np, using the
-// smallest applicable label index.
+// candidates enumerates graph nodes possibly matching np: the smallest
+// of the pattern's label lists, refined to the smallest applicable
+// property-index bucket when an inline property map or a pushed-down
+// WHERE equality makes one usable. Every candidate is still verified by
+// checkNode, so over-approximation is safe; shrinking the set is pure
+// enumeration savings.
 func (m *patternMatcher) candidates(np *ast.NodePattern) []*value.Node {
-	if len(np.Labels) == 0 {
-		return m.store.AllNodes()
-	}
-	best := m.store.NodesByLabel(np.Labels[0])
-	for _, l := range np.Labels[1:] {
-		if c := m.store.NodesByLabel(l); len(c) < len(best) {
-			best = c
+	if m.plan.scan {
+		if len(np.Labels) == 0 {
+			return m.store.AllNodes()
 		}
+		best := m.store.NodesByLabel(np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			if c := m.store.NodesByLabel(l); len(c) < len(best) {
+				best = c
+			}
+		}
+		return best
+	}
+	var best []*value.Node
+	if len(np.Labels) == 0 {
+		best = m.store.AllNodes()
+	} else {
+		best = m.store.NodesByLabel(np.Labels[0])
+		for _, l := range np.Labels[1:] {
+			if c := m.store.NodesByLabel(l); len(c) < len(best) {
+				best = c
+			}
+		}
+	}
+	indexed := false
+	if len(np.Labels) > 0 {
+		for _, pe := range m.indexableProps(np) {
+			for _, l := range np.Labels {
+				if hit := m.store.NodesByLabelProp(l, pe.key, pe.val); len(hit) <= len(best) {
+					best = hit
+					indexed = true
+				}
+			}
+		}
+	}
+	if mm := m.plan.mm; mm != nil {
+		if indexed {
+			mm.IndexHits.Inc()
+		} else {
+			mm.IndexMisses.Inc()
+		}
+		mm.observeCandidates(len(best))
 	}
 	return best
 }
@@ -279,7 +373,7 @@ func (m *patternMatcher) matchStep(st *chainState, j int, forward bool, cont fun
 			return m.acceptStep(st, j, targetIdx, rels, end, cont)
 		})
 	}
-	for _, r := range m.relCandidates(from.ID, rp.Dir, forward) {
+	for _, r := range m.relCandidates(from.ID, rp, forward) {
 		if m.used[r.ID] {
 			continue
 		}
@@ -336,12 +430,22 @@ func (m *patternMatcher) acceptStep(st *chainState, j, targetIdx int, rels []*va
 }
 
 // relCandidates returns relationships incident to node id that can
-// implement a pattern with direction dir when walking in the given
-// orientation.
-func (m *patternMatcher) relCandidates(id int64, dir ast.Direction, forward bool) []*value.Relationship {
-	effDir := dir
+// implement rp when walking in the given orientation. Outside scan
+// mode a selective single-type pattern is served from the
+// type-partitioned adjacency lists, touching only matching edges;
+// multi-type and low-selectivity patterns stay on the untyped lists
+// (see useTypedAdj), because partitioning or merging would cost more
+// than letting checkRel skip the mismatches. checkRel always verifies
+// the type (a no-op for the typed lookup, load-bearing everywhere
+// else).
+func (m *patternMatcher) relCandidates(id int64, rp *ast.RelPattern, forward bool) []*value.Relationship {
+	var types []string
+	if !m.plan.scan && m.useTypedAdj(rp) {
+		types = rp.Types
+	}
+	effDir := rp.Dir
 	if !forward {
-		switch dir {
+		switch rp.Dir {
 		case ast.DirRight:
 			effDir = ast.DirLeft
 		case ast.DirLeft:
@@ -350,12 +454,12 @@ func (m *patternMatcher) relCandidates(id int64, dir ast.Direction, forward bool
 	}
 	switch effDir {
 	case ast.DirRight:
-		return m.store.Outgoing(id)
+		return m.store.Outgoing(id, types...)
 	case ast.DirLeft:
-		return m.store.Incoming(id)
+		return m.store.Incoming(id, types...)
 	default:
-		out := m.store.Outgoing(id)
-		in := m.store.Incoming(id)
+		out := m.store.Outgoing(id, types...)
+		in := m.store.Incoming(id, types...)
 		all := make([]*value.Relationship, 0, len(out)+len(in))
 		all = append(all, out...)
 		for _, r := range in {
@@ -390,7 +494,7 @@ func (m *patternMatcher) trails(from *value.Node, rp *ast.RelPattern, forward bo
 		if rp.MaxHops >= 0 && depth >= rp.MaxHops {
 			return nil
 		}
-		for _, r := range m.relCandidates(cur.ID, rp.Dir, forward) {
+		for _, r := range m.relCandidates(cur.ID, rp, forward) {
 			if m.used[r.ID] {
 				continue
 			}
@@ -499,7 +603,7 @@ func (m *patternMatcher) shortestBetween(st *chainState, cont func() error) erro
 		}
 		var next []int64
 		for _, id := range frontier {
-			for _, r := range m.relCandidates(id, rp.Dir, true) {
+			for _, r := range m.relCandidates(id, rp, true) {
 				if m.used[r.ID] {
 					continue
 				}

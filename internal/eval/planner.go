@@ -1,0 +1,377 @@
+package eval
+
+// The pattern planner orders MATCH evaluation by estimated enumeration
+// cost instead of the old syntactic greedy order. Three statistics feed
+// the estimate, all O(1) against the store's index layer:
+//
+//   - label cardinality: |nodes(l)|, taking the minimum across ALL of a
+//     node pattern's labels (a multi-label pattern is anchored on its
+//     smallest label set, not on Labels[0]);
+//   - index hit size: |σ_{k=v}(nodes(l))| from the lazily-built
+//     (label, key) property indexes, for inline property maps and for
+//     equality predicates pushed down out of WHERE;
+//   - type-partitioned degree: the average fan-out of one expansion
+//     step, |rels(types)| / |nodes|, from the type-partitioned
+//     adjacency statistics.
+//
+// Planning only reorders enumeration — which part is matched first,
+// which node anchors a chain — and prunes candidates with predicates
+// that WHERE would reject anyway, so the result bag is identical to the
+// naive matcher's (TestPlannerDifferentialQuick asserts this on random
+// patterns and stores).
+
+import (
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/metrics"
+	"seraph/internal/value"
+)
+
+// MatchMetrics carries the pattern matcher's instrumentation. All
+// fields are nil-safe (a nil counter/histogram is a no-op), so a zero
+// MatchMetrics — or a nil Ctx.Match — disables recording entirely.
+type MatchMetrics struct {
+	// IndexHits counts candidate enumerations served from a property
+	// index; IndexMisses counts enumerations that fell back to a label
+	// list or full node scan.
+	IndexHits   *metrics.Counter
+	IndexMisses *metrics.Counter
+	// Pushdowns counts WHERE equality conjuncts pushed into the matcher.
+	Pushdowns *metrics.Counter
+	// CandidateSize is a histogram of candidate-set sizes, recorded as
+	// 1µs per candidate (the log-bucketed duration histogram doubles as
+	// a log-bucketed size histogram under that unit).
+	CandidateSize *metrics.Histogram
+}
+
+func (mm *MatchMetrics) observeCandidates(n int) {
+	if mm == nil {
+		return
+	}
+	mm.CandidateSize.Observe(time.Duration(n) * time.Microsecond)
+}
+
+// pushedEq is one equality predicate (<var>.key = val) pushed down out
+// of WHERE, or derived from an inline property map, with val already
+// evaluated to a ground value.
+type pushedEq struct {
+	key string
+	val value.Value
+}
+
+// matchPlan is the per-MATCH planning state, built once per clause and
+// shared by every input row.
+type matchPlan struct {
+	// pushed maps a node variable to the equality predicates usable for
+	// index lookups and early filtering.
+	pushed map[string][]pushedEq
+	// scan disables indexes, pushdown and cost-based ordering,
+	// reproducing the naive scan matcher (Ctx.DisableMatchIndexes): the
+	// ablation baseline and the differential-test reference.
+	scan bool
+	mm   *MatchMetrics
+
+	// Memoized statistics, keyed by AST identity. The store is fixed for
+	// the lifetime of the plan, so these depend only on the pattern —
+	// not on row bindings, which the planner re-checks on every call.
+	// Without the memo the estimator re-reads store statistics once per
+	// result row of the preceding parts (matchRemaining re-plans under
+	// each binding), which costs more than the enumeration it saves.
+	statEst  map[*ast.NodePattern]float64 // candEstimate, unbound case
+	fanout   map[*ast.RelPattern]float64  // stepFanout
+	fanProd  map[*ast.PatternPart]float64 // product of stepFanouts
+	startIdx map[*ast.PatternPart]int     // chooseStart, unbound case
+	typedAdj map[*ast.RelPattern]bool     // relCandidates typed dispatch
+}
+
+// planMatch builds the plan for a MATCH clause: extracts pushable
+// equality conjuncts from WHERE and snapshots the instrumentation
+// hooks. where may be nil.
+func planMatch(ctx *Ctx, pattern ast.Pattern, where ast.Expr) *matchPlan {
+	p := &matchPlan{scan: ctx.DisableMatchIndexes, mm: ctx.Match}
+	if p.scan {
+		return p
+	}
+	p.statEst = make(map[*ast.NodePattern]float64)
+	p.fanout = make(map[*ast.RelPattern]float64)
+	p.fanProd = make(map[*ast.PatternPart]float64)
+	p.startIdx = make(map[*ast.PatternPart]int)
+	p.typedAdj = make(map[*ast.RelPattern]bool)
+	if where == nil {
+		return p
+	}
+	nodeVars := map[string]bool{}
+	for _, part := range pattern.Parts {
+		for _, np := range part.Nodes {
+			if np.Var != "" {
+				nodeVars[np.Var] = true
+			}
+		}
+	}
+	var conjuncts []ast.Expr
+	collectConjuncts(where, &conjuncts)
+	for _, c := range conjuncts {
+		v, key, val, ok := pushableEq(ctx, c)
+		if !ok || !nodeVars[v] {
+			continue
+		}
+		if p.pushed == nil {
+			p.pushed = map[string][]pushedEq{}
+		}
+		p.pushed[v] = append(p.pushed[v], pushedEq{key: key, val: val})
+		if p.mm != nil {
+			p.mm.Pushdowns.Inc()
+		}
+	}
+	return p
+}
+
+// collectConjuncts splits a predicate at top-level ANDs.
+func collectConjuncts(e ast.Expr, out *[]ast.Expr) {
+	if b, ok := e.(*ast.Binary); ok && b.Op == ast.OpAnd {
+		collectConjuncts(b.L, out)
+		collectConjuncts(b.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// pushableEq recognizes `v.key = <literal/param>` (either orientation)
+// and evaluates the constant side. Pushing such a conjunct is sound:
+// the conjunction can only be true on rows where the conjunct is true,
+// so filtering candidates early never changes the result bag (WHERE is
+// still evaluated in full afterwards).
+func pushableEq(ctx *Ctx, e ast.Expr) (varName, key string, val value.Value, ok bool) {
+	cmp, isCmp := e.(*ast.Comparison)
+	if !isCmp || len(cmp.Ops) != 1 || cmp.Ops[0] != ast.CmpEq {
+		return "", "", value.Null, false
+	}
+	try := func(propSide, constSide ast.Expr) bool {
+		prop, isProp := propSide.(*ast.Prop)
+		if !isProp {
+			return false
+		}
+		base, isVar := prop.X.(*ast.Var)
+		if !isVar {
+			return false
+		}
+		if !constExpr(constSide) {
+			return false
+		}
+		v, err := evalExpr(ctx, newEnv(nil, nil), constSide)
+		if err != nil {
+			return false
+		}
+		varName, key, val = base.Name, prop.Key, v
+		return true
+	}
+	if try(cmp.First, cmp.Rest[0]) || try(cmp.Rest[0], cmp.First) {
+		return varName, key, val, true
+	}
+	return "", "", value.Null, false
+}
+
+// constExpr reports whether e is evaluable without row bindings: a
+// literal or a query parameter.
+func constExpr(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Literal, *ast.Param:
+		return true
+	}
+	return false
+}
+
+// indexableProps returns the (key, value) pairs usable for index
+// lookups on np: inline property-map entries with constant values plus
+// the WHERE equalities pushed down onto np's variable.
+func (m *patternMatcher) indexableProps(np *ast.NodePattern) []pushedEq {
+	var out []pushedEq
+	if np.Props != nil {
+		for i, k := range np.Props.Keys {
+			if !constExpr(np.Props.Vals[i]) {
+				continue
+			}
+			v, err := evalExpr(m.ctx, newEnv(nil, nil), np.Props.Vals[i])
+			if err != nil {
+				continue
+			}
+			out = append(out, pushedEq{key: k, val: v})
+		}
+	}
+	if np.Var != "" {
+		out = append(out, m.plan.pushed[np.Var]...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity estimation
+
+// candEstimate estimates how many graph nodes bind to np: 1 for an
+// already-bound variable, otherwise the smallest label cardinality
+// refined by the smallest applicable index hit (memoized: only the
+// boundness check depends on the row).
+func (m *patternMatcher) candEstimate(np *ast.NodePattern) float64 {
+	if np.Var != "" {
+		if _, bound := m.env.lookup(np.Var); bound {
+			return 1
+		}
+	}
+	return m.staticEstimate(np)
+}
+
+// staticEstimate is the unbound case of candEstimate, computed from
+// store statistics once per plan.
+func (m *patternMatcher) staticEstimate(np *ast.NodePattern) float64 {
+	if est, ok := m.plan.statEst[np]; ok {
+		return est
+	}
+	est := float64(m.store.NumNodes())
+	for _, l := range np.Labels {
+		if c := float64(m.store.LabelCount(l)); c < est {
+			est = c
+		}
+	}
+	if len(np.Labels) > 0 {
+		for _, pe := range m.indexableProps(np) {
+			for _, l := range np.Labels {
+				if c := float64(m.store.PropIndexCount(l, pe.key, pe.val)); c < est {
+					est = c
+				}
+			}
+		}
+	}
+	m.plan.statEst[np] = est
+	return est
+}
+
+// stepFanout estimates the fan-out of expanding across rp: the average
+// type-partitioned degree |rels(types)| / |nodes| (memoized per plan).
+func (m *patternMatcher) stepFanout(rp *ast.RelPattern) float64 {
+	if f, ok := m.plan.fanout[rp]; ok {
+		return f
+	}
+	f := m.stepFanoutUncached(rp)
+	m.plan.fanout[rp] = f
+	return f
+}
+
+func (m *patternMatcher) stepFanoutUncached(rp *ast.RelPattern) float64 {
+	n := m.store.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	f := float64(m.store.RelTypeCount(rp.Types...)) / float64(n)
+	if rp.Dir == ast.DirBoth {
+		f *= 2 // both orientations are explored
+	}
+	if rp.VarLength {
+		// A variable-length step explores geometrically more trails;
+		// weigh it by one extra fan-out factor per guaranteed hop.
+		hops := rp.MinHops
+		if hops < 1 {
+			hops = 1
+		}
+		if hops > 4 {
+			hops = 4
+		}
+		base := f
+		if base < 1 {
+			base = 1
+		}
+		for i := 1; i < hops; i++ {
+			f *= base
+		}
+	}
+	return f
+}
+
+// useTypedAdj decides whether relCandidates should serve rp from the
+// type-partitioned adjacency lists. Partitioning a node's list is paid
+// on first typed access (and a mutex is taken per lookup), so the
+// typed path only wins when the type is selective — when most edges
+// would be skipped. A type covering a quarter of the graph's edges or
+// more is served from the plain adjacency list and filtered by
+// checkRel, which is what the seed matcher always did (memoized per
+// plan).
+func (m *patternMatcher) useTypedAdj(rp *ast.RelPattern) bool {
+	if use, ok := m.plan.typedAdj[rp]; ok {
+		return use
+	}
+	use := false
+	if len(rp.Types) == 1 {
+		use = 4*m.store.RelTypeCount(rp.Types...) < m.store.NumRels()
+	}
+	m.plan.typedAdj[rp] = use
+	return use
+}
+
+const maxCost = 1e15
+
+// startCost scores anchoring the chain of part at node index i: the
+// anchor's candidate count weighted by the fan-out of the first
+// expansion step taken from it (expand walks right from the anchor
+// first, then left).
+func (m *patternMatcher) startCost(part *ast.PatternPart, i int) float64 {
+	cost := m.candEstimate(part.Nodes[i])
+	if i < len(part.Rels) {
+		cost *= m.stepFanout(part.Rels[i])
+	} else if i > 0 {
+		cost *= m.stepFanout(part.Rels[i-1])
+	}
+	if cost > maxCost {
+		cost = maxCost
+	}
+	return cost
+}
+
+// partEstimate scores one pattern part: the cheapest anchor scaled by
+// the chain's total expected fan-out. Bound-variable anchors estimate
+// to 1, so parts joined to the current bindings still run before
+// unconstrained parts (the old greedy rule falls out of the cost
+// model).
+func (m *patternMatcher) partEstimate(part *ast.PatternPart) float64 {
+	best := maxCost
+	bound := false
+	for _, np := range part.Nodes {
+		if np.Var != "" {
+			if _, ok := m.env.lookup(np.Var); ok {
+				bound = true
+				break
+			}
+		}
+	}
+	if bound {
+		best = 1
+	} else {
+		for _, np := range part.Nodes {
+			if c := m.staticEstimate(np); c < best {
+				best = c
+			}
+		}
+	}
+	cost := best * m.partFanout(part)
+	if cost > maxCost {
+		cost = maxCost
+	}
+	return cost
+}
+
+// partFanout is the product of the chain's step fan-outs, clamped to
+// maxCost (memoized per plan).
+func (m *patternMatcher) partFanout(part *ast.PatternPart) float64 {
+	if f, ok := m.plan.fanProd[part]; ok {
+		return f
+	}
+	fan := 1.0
+	for _, rp := range part.Rels {
+		fan *= m.stepFanout(rp)
+		if fan > maxCost {
+			fan = maxCost
+			break
+		}
+	}
+	m.plan.fanProd[part] = fan
+	return fan
+}

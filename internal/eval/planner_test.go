@@ -1,0 +1,416 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/metrics"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// matchClause parses src and returns its first MATCH clause.
+func matchClause(t *testing.T, src string) *ast.Match {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	for _, c := range q.Parts[0].Clauses {
+		if m, ok := c.(*ast.Match); ok {
+			return m
+		}
+	}
+	t.Fatalf("no MATCH clause in %q", src)
+	return nil
+}
+
+func TestPushdownExtraction(t *testing.T) {
+	ctx := &Ctx{Params: map[string]value.Value{"p": value.NewInt(7)}}
+
+	m := matchClause(t, `MATCH (a:A)-[r:R]->(b:B) WHERE a.k = 1 AND 'x' = b.name AND r.w = 2 AND a.k > 0 RETURN a`)
+	plan := planMatch(ctx, m.Pattern, m.Where)
+	if got := len(plan.pushed["a"]); got != 1 {
+		t.Errorf("pushed[a] = %d eqs, want 1 (a.k > 0 is not an equality)", got)
+	}
+	if got := plan.pushed["b"]; len(got) != 1 || got[0].key != "name" || got[0].val.Str() != "x" {
+		t.Errorf("pushed[b] = %v (reversed orientation must be recognized)", got)
+	}
+	if _, ok := plan.pushed["r"]; ok {
+		t.Error("relationship variable must not collect node pushdowns")
+	}
+
+	// A disjunction must not be split: pushing either side would filter
+	// rows the other side could still accept.
+	m = matchClause(t, `MATCH (a:A) WHERE a.k = 1 OR a.k = 2 RETURN a`)
+	if plan = planMatch(ctx, m.Pattern, m.Where); len(plan.pushed) != 0 {
+		t.Errorf("OR pushed down: %v", plan.pushed)
+	}
+
+	// Parameters are constant per evaluation and push down.
+	m = matchClause(t, `MATCH (a:A) WHERE a.k = $p RETURN a`)
+	plan = planMatch(ctx, m.Pattern, m.Where)
+	if got := plan.pushed["a"]; len(got) != 1 || got[0].val.Int() != 7 {
+		t.Errorf("param pushdown = %v", got)
+	}
+
+	// Variable-to-variable equality is not constant and must stay out.
+	m = matchClause(t, `MATCH (a:A), (b:B) WHERE a.k = b.k RETURN a`)
+	if plan = planMatch(ctx, m.Pattern, m.Where); len(plan.pushed) != 0 {
+		t.Errorf("var-var equality pushed down: %v", plan.pushed)
+	}
+
+	// Scan mode disables extraction entirely.
+	scanCtx := &Ctx{DisableMatchIndexes: true}
+	m = matchClause(t, `MATCH (a:A) WHERE a.k = 1 RETURN a`)
+	if plan = planMatch(scanCtx, m.Pattern, m.Where); len(plan.pushed) != 0 {
+		t.Error("scan mode must not push down")
+	}
+}
+
+// TestChoosePartMultiLabel covers the satellite fix: the old syntactic
+// choosePart took the first labelled part regardless of cardinality,
+// and any stats-based choice anchored on Labels[0] only. The planner
+// must pick the part whose *smallest* label set is cheapest, so the
+// winner does not change when a multi-label pattern lists its labels in
+// the other order.
+func TestChoosePartMultiLabel(t *testing.T) {
+	store := graphstore.New()
+	for i := 0; i < 10; i++ {
+		store.CreateNode([]string{"Mid"}, nil)
+	}
+	for i := 0; i < 48; i++ {
+		store.CreateNode([]string{"Big"}, nil)
+	}
+	for i := 0; i < 2; i++ {
+		store.CreateNode([]string{"Big", "Small"}, nil)
+	}
+
+	for _, src := range []string{
+		`MATCH (a:Mid), (b:Big:Small) RETURN a`,
+		`MATCH (a:Mid), (b:Small:Big) RETURN a`,
+	} {
+		m := matchClause(t, src)
+		ctx := &Ctx{Store: store}
+		pm := &patternMatcher{
+			ctx:   ctx,
+			store: store,
+			env:   newEnv(nil, nil),
+			used:  map[int64]bool{},
+			plan:  planMatch(ctx, m.Pattern, m.Where),
+		}
+		idx := pm.choosePart(m.Pattern.Parts, make([]bool, len(m.Pattern.Parts)))
+		if idx != 1 {
+			t.Errorf("%s: choosePart = %d, want 1 (|Small∩Big| = 2 beats |Mid| = 10)", src, idx)
+		}
+		if est := pm.partEstimate(&m.Pattern.Parts[1]); est != 2 {
+			t.Errorf("%s: partEstimate = %v, want 2", src, est)
+		}
+	}
+}
+
+func TestCandidatesUseIndexAndMetrics(t *testing.T) {
+	store := graphstore.New()
+	for i := 0; i < 100; i++ {
+		store.CreateNode([]string{"User"}, map[string]value.Value{
+			"bucket": value.NewInt(int64(i % 10)),
+		})
+	}
+	reg := metrics.NewRegistry()
+	mm := &MatchMetrics{
+		IndexHits:     reg.Counter("hits", ""),
+		IndexMisses:   reg.Counter("misses", ""),
+		Pushdowns:     reg.Counter("pushdowns", ""),
+		CandidateSize: reg.Histogram("cands", ""),
+	}
+	ctx := &Ctx{Store: store, Match: mm}
+	q, err := parser.ParseQuery(`MATCH (u:User) WHERE u.bucket = 3 RETURN count(u) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EvalQuery(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].Int() != 10 {
+		t.Fatalf("count = %s, want 10", out.Rows[0][0])
+	}
+	if mm.Pushdowns.Value() != 1 {
+		t.Errorf("pushdowns = %d, want 1", mm.Pushdowns.Value())
+	}
+	if mm.IndexHits.Value() == 0 {
+		t.Error("index hits = 0, want > 0 (candidates must come from the property index)")
+	}
+	if store.PropIndexes() == 0 {
+		t.Error("no property index was built")
+	}
+
+	// The same query in scan mode touches no index and counts nothing.
+	scanStore := graphstore.New()
+	for i := 0; i < 10; i++ {
+		scanStore.CreateNode([]string{"User"}, map[string]value.Value{"bucket": value.NewInt(int64(i))})
+	}
+	scanCtx := &Ctx{Store: scanStore, DisableMatchIndexes: true}
+	if _, err := EvalQuery(scanCtx, q); err != nil {
+		t.Fatal(err)
+	}
+	if scanStore.PropIndexes() != 0 {
+		t.Error("scan mode built a property index")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential property test: planner-driven matcher vs naive reference
+
+// randDiffStore builds a random small store with labels A/B, types R/S,
+// and integer properties k/p.
+func randDiffStore(r *rand.Rand) (*graphstore.Store, []*value.Node, []*value.Relationship) {
+	s := graphstore.New()
+	labelSets := [][]string{{"A"}, {"B"}, {"A", "B"}, nil}
+	var nodes []*value.Node
+	nNodes := 4 + r.Intn(8)
+	for i := 0; i < nNodes; i++ {
+		props := map[string]value.Value{}
+		if r.Intn(3) > 0 {
+			props["k"] = value.NewInt(int64(r.Intn(3)))
+		}
+		if r.Intn(3) == 0 {
+			props["p"] = value.NewString([]string{"x", "y"}[r.Intn(2)])
+		}
+		nodes = append(nodes, s.CreateNode(labelSets[r.Intn(len(labelSets))], props))
+	}
+	var rels []*value.Relationship
+	nRels := r.Intn(2 * nNodes)
+	for i := 0; i < nRels; i++ {
+		from := nodes[r.Intn(len(nodes))]
+		to := nodes[r.Intn(len(nodes))]
+		typ := []string{"R", "S"}[r.Intn(2)]
+		var props map[string]value.Value
+		if r.Intn(2) == 0 {
+			props = map[string]value.Value{"w": value.NewInt(int64(r.Intn(3)))}
+		}
+		rel, err := s.CreateRel(from.ID, to.ID, typ, props)
+		if err != nil {
+			panic(err)
+		}
+		rels = append(rels, rel)
+	}
+	return s, nodes, rels
+}
+
+// randQuery generates a random read query: 1–2 pattern parts of 1–3
+// nodes, random labels, types, directions, inline property maps, an
+// occasional variable-length segment, and a random conjunctive WHERE
+// mixing pushable equalities with non-pushable comparisons.
+func randQuery(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("MATCH ")
+	var vars []string
+	nv := 0
+	nodePat := func() string {
+		name := fmt.Sprintf("n%d", nv)
+		nv++
+		vars = append(vars, name)
+		out := name
+		switch r.Intn(4) {
+		case 0:
+			out += ":A"
+		case 1:
+			out += ":B"
+		case 2:
+			out += ":A:B"
+		}
+		if r.Intn(4) == 0 {
+			out += fmt.Sprintf(" {k: %d}", r.Intn(3))
+		}
+		return "(" + out + ")"
+	}
+	relPat := func() string {
+		out := ""
+		switch r.Intn(3) {
+		case 0:
+			out = ":R"
+		case 1:
+			out = ":S"
+		}
+		if r.Intn(6) == 0 {
+			out += "*1..2"
+		}
+		pat := "-[" + out + "]-"
+		switch r.Intn(3) {
+		case 0:
+			return pat + ">"
+		case 1:
+			return "<" + pat
+		}
+		return pat
+	}
+	parts := 1 + r.Intn(2)
+	for p := 0; p < parts; p++ {
+		if p > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(nodePat())
+		hops := r.Intn(3)
+		for h := 0; h < hops; h++ {
+			b.WriteString(relPat())
+			b.WriteString(nodePat())
+		}
+	}
+	var conds []string
+	for _, v := range vars {
+		switch r.Intn(5) {
+		case 0:
+			conds = append(conds, fmt.Sprintf("%s.k = %d", v, r.Intn(3)))
+		case 1:
+			conds = append(conds, fmt.Sprintf("%d = %s.k", r.Intn(3), v))
+		case 2:
+			conds = append(conds, fmt.Sprintf("%s.k > %d", v, r.Intn(2)))
+		}
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	b.WriteString(" RETURN ")
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// sortedBag renders a result table as a sorted multiset of row strings.
+func sortedBag(tab *Table) []string {
+	out := make([]string, 0, len(tab.Rows))
+	for _, row := range tab.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffOne runs src against store through both matchers and reports
+// whether the sorted result bags agree.
+func diffOne(t *testing.T, store *graphstore.Store, src string) bool {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	planned, err1 := EvalQuery(&Ctx{Store: store}, q)
+	naive, err2 := EvalQuery(&Ctx{Store: store, DisableMatchIndexes: true}, q)
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("%q: planned err=%v, naive err=%v", src, err1, err2)
+		return false
+	}
+	if err1 != nil {
+		return true
+	}
+	pb, nb := sortedBag(planned), sortedBag(naive)
+	if len(pb) != len(nb) {
+		t.Errorf("%q: planned %d rows, naive %d rows", src, len(pb), len(nb))
+		return false
+	}
+	for i := range pb {
+		if pb[i] != nb[i] {
+			t.Errorf("%q: row %d differs:\nplanned: %s\nnaive:   %s", src, i, pb[i], nb[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannerDifferentialQuick is the quickcheck-style differential
+// test of the satellite list: random patterns through the
+// planner-driven matcher and the naive reference matcher must produce
+// identical sorted result bags — on a fresh store, and again after a
+// random mutation sequence has churned the store (and its already-built
+// indexes) the way the rolling window does.
+func TestPlannerDifferentialQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		store, nodes, rels := randDiffStore(r)
+		for i := 0; i < 3; i++ {
+			if !diffOne(t, store, randQuery(r)) {
+				return false
+			}
+		}
+		// Churn the store in place: the differential queries above have
+		// warmed property indexes, so these mutations exercise the
+		// incremental maintenance path, not a fresh build.
+		for step := 0; step < 20 && len(nodes) > 2; step++ {
+			switch r.Intn(5) {
+			case 0:
+				n := store.CreateNode([]string{"A"}, map[string]value.Value{"k": value.NewInt(int64(r.Intn(3)))})
+				nodes = append(nodes, n)
+			case 1:
+				i := r.Intn(len(nodes))
+				if err := store.DeleteNode(nodes[i], true); err != nil {
+					return false
+				}
+				// Drop rels that died with the node.
+				live := rels[:0]
+				for _, rel := range rels {
+					if store.Rel(rel.ID) != nil {
+						live = append(live, rel)
+					}
+				}
+				rels = live
+				nodes = append(nodes[:i], nodes[i+1:]...)
+			case 2:
+				store.SetNodeProp(nodes[r.Intn(len(nodes))], "k", value.NewInt(int64(r.Intn(3))))
+			case 3:
+				store.SetNodeProp(nodes[r.Intn(len(nodes))], "k", value.Null)
+			case 4:
+				if len(rels) > 0 {
+					i := r.Intn(len(rels))
+					store.DeleteRel(rels[i])
+					rels = append(rels[:i], rels[i+1:]...)
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if !diffOne(t, store, randQuery(r)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlannerDifferentialCorpus pins down specific shapes that have
+// dedicated fast paths in the planner: pushed predicates on both chain
+// ends, OPTIONAL MATCH (pushdown must not turn absent matches into
+// dropped rows), multi-clause joins, and multi-type expansions.
+func TestPlannerDifferentialCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	store, _, _ := randDiffStore(r)
+	for _, src := range []string{
+		`MATCH (a:A)-[:R]->(b:B) WHERE a.k = 1 AND b.k = 2 RETURN a, b`,
+		`MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b) WHERE b.k = 1 RETURN a, b`,
+		`MATCH (a:A) MATCH (a)-[:S]->(b) WHERE a.k = 0 RETURN a, b`,
+		`MATCH (a)-[r:R|S]->(b) RETURN a, r, b`,
+		`MATCH (a:A:B), (b:B:A) WHERE a.k = 1 RETURN a, b`,
+		`MATCH (a {k: 1})-[*1..2]-(b {k: 1}) RETURN a, b`,
+		`MATCH p = shortestPath((a:A)-[:R*1..3]->(b:B)) RETURN length(p)`,
+		`MATCH (a:A) WHERE a.k = 99 RETURN a`,
+		`MATCH (a:A {k: 0}) WHERE a.p = 'x' AND a.k = 0 RETURN a`,
+	} {
+		diffOne(t, store, src)
+	}
+}

@@ -244,7 +244,7 @@ func runSetItems(ctx *Ctx, e *env, items []ast.SetItem) error {
 			if err != nil {
 				return err
 			}
-			if err := setProp(base, target.Key, v); err != nil {
+			if err := setProp(store, base, target.Key, v); err != nil {
 				return err
 			}
 		case *ast.Var:
@@ -259,7 +259,7 @@ func runSetItems(ctx *Ctx, e *env, items []ast.SetItem) error {
 			if err != nil {
 				return err
 			}
-			if err := setAllProps(base, v, item.Merge); err != nil {
+			if err := setAllProps(store, base, v, item.Merge); err != nil {
 				return err
 			}
 		default:
@@ -269,33 +269,48 @@ func runSetItems(ctx *Ctx, e *env, items []ast.SetItem) error {
 	return nil
 }
 
-func entityProps(v value.Value) (map[string]value.Value, error) {
-	switch v.Kind() {
-	case value.KindNode:
-		return v.Node().Props, nil
-	case value.KindRelationship:
-		return v.Relationship().Props, nil
-	}
-	return nil, evalErrf("SET requires a node or relationship, got %s", v.Kind())
-}
+// setProp and setAllProps route property mutations through the store's
+// setters so any built property indexes are maintained incrementally.
 
-func setProp(base value.Value, key string, v value.Value) error {
-	props, err := entityProps(base)
-	if err != nil {
-		return err
+func setProp(store *graphstore.Store, base value.Value, key string, v value.Value) error {
+	switch base.Kind() {
+	case value.KindNode:
+		if store == nil {
+			n := base.Node()
+			if v.IsNull() {
+				delete(n.Props, key)
+			} else {
+				n.Props[key] = v
+			}
+			return nil
+		}
+		store.SetNodeProp(base.Node(), key, v)
+	case value.KindRelationship:
+		if store == nil {
+			r := base.Relationship()
+			if v.IsNull() {
+				delete(r.Props, key)
+			} else {
+				r.Props[key] = v
+			}
+			return nil
+		}
+		store.SetRelProp(base.Relationship(), key, v)
+	default:
+		return evalErrf("SET requires a node or relationship, got %s", base.Kind())
 	}
-	if v.IsNull() {
-		delete(props, key)
-		return nil
-	}
-	props[key] = v
 	return nil
 }
 
-func setAllProps(base, v value.Value, merge bool) error {
-	props, err := entityProps(base)
-	if err != nil {
-		return err
+func setAllProps(store *graphstore.Store, base, v value.Value, merge bool) error {
+	var props map[string]value.Value
+	switch base.Kind() {
+	case value.KindNode:
+		props = base.Node().Props
+	case value.KindRelationship:
+		props = base.Relationship().Props
+	default:
+		return evalErrf("SET requires a node or relationship, got %s", base.Kind())
 	}
 	var src map[string]value.Value
 	switch v.Kind() {
@@ -310,15 +325,17 @@ func setAllProps(base, v value.Value, merge bool) error {
 	}
 	if !merge {
 		for k := range props {
-			delete(props, k)
+			if _, kept := src[k]; !kept {
+				if err := setProp(store, base, k, value.Null); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	for k, val := range src {
-		if val.IsNull() {
-			delete(props, k)
-			continue
+		if err := setProp(store, base, k, val); err != nil {
+			return err
 		}
-		props[k] = val
 	}
 	return nil
 }
@@ -355,7 +372,7 @@ func applyRemove(ctx *Ctx, r *ast.Remove, t *Table) (*Table, error) {
 			if base.IsNull() {
 				continue
 			}
-			if err := setProp(base, prop.Key, value.Null); err != nil {
+			if err := setProp(store, base, prop.Key, value.Null); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,337 @@
+package graphstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"seraph/internal/value"
+)
+
+func TestTypedAdjacency(t *testing.T) {
+	s := New()
+	a := s.CreateNode(nil, nil)
+	b := s.CreateNode(nil, nil)
+	c := s.CreateNode(nil, nil)
+	mustRel := func(from, to int64, typ string) *value.Relationship {
+		t.Helper()
+		r, err := s.CreateRel(from, to, typ, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mustRel(a.ID, b.ID, "R")
+	mustRel(a.ID, b.ID, "S")
+	mustRel(a.ID, c.ID, "R")
+	rs := mustRel(b.ID, c.ID, "S")
+
+	if got := s.Outgoing(a.ID, "R"); len(got) != 2 {
+		t.Errorf("Outgoing(a, R) = %d rels, want 2", len(got))
+	}
+	if got := s.Outgoing(a.ID, "S"); len(got) != 1 {
+		t.Errorf("Outgoing(a, S) = %d rels, want 1", len(got))
+	}
+	if got := s.Outgoing(a.ID, "R", "S"); len(got) != 3 {
+		t.Errorf("Outgoing(a, R, S) = %d rels, want 3", len(got))
+	}
+	if got := s.Outgoing(a.ID); len(got) != 3 {
+		t.Errorf("Outgoing(a) = %d rels, want 3", len(got))
+	}
+	if got := s.Incoming(c.ID, "S"); len(got) != 1 || got[0].ID != rs.ID {
+		t.Errorf("Incoming(c, S) = %v", got)
+	}
+	if got := s.Outgoing(a.ID, "Missing"); len(got) != 0 {
+		t.Errorf("Outgoing(a, Missing) = %d rels, want 0", len(got))
+	}
+	if d := s.Degree(a.ID, "R"); d != 2 {
+		t.Errorf("Degree(a, R) = %d, want 2", d)
+	}
+	if n := s.RelTypeCount("S"); n != 2 {
+		t.Errorf("RelTypeCount(S) = %d, want 2", n)
+	}
+	if n := s.RelTypeCount(); n != s.NumRels() {
+		t.Errorf("RelTypeCount() = %d, want %d", n, s.NumRels())
+	}
+
+	s.DeleteRel(rs)
+	if got := s.Incoming(c.ID, "S"); len(got) != 0 {
+		t.Errorf("Incoming(c, S) after delete = %d rels, want 0", len(got))
+	}
+	if n := s.RelTypeCount("S"); n != 1 {
+		t.Errorf("RelTypeCount(S) after delete = %d, want 1", n)
+	}
+}
+
+// typedScan is the reference for typed adjacency: filter the untyped
+// list by type.
+func typedScan(all []*value.Relationship, types ...string) []*value.Relationship {
+	if len(types) == 0 {
+		return all
+	}
+	var out []*value.Relationship
+	for _, r := range all {
+		for _, typ := range types {
+			if r.Type == typ {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// freshPropScan is the reference for the property index: scan the label
+// list and keep nodes whose property equals val.
+func freshPropScan(s *Store, label, key string, val value.Value) []*value.Node {
+	var out []*value.Node
+	for _, n := range s.NodesByLabel(label) {
+		if v, ok := n.Props[key]; ok && value.Key(v) == value.Key(val) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func sameNodes(a, b []*value.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNodesByLabelProp(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.CreateNode([]string{"User"}, map[string]value.Value{
+			"bucket": value.NewInt(int64(i % 3)),
+		})
+	}
+	s.CreateNode([]string{"Other"}, map[string]value.Value{"bucket": value.NewInt(0)})
+
+	hit := s.NodesByLabelProp("User", "bucket", value.NewInt(0))
+	if len(hit) != 4 {
+		t.Fatalf("bucket=0 hit = %d nodes, want 4", len(hit))
+	}
+	for i := 1; i < len(hit); i++ {
+		if hit[i-1].ID >= hit[i].ID {
+			t.Fatal("index bucket not sorted by id")
+		}
+	}
+	if s.PropIndexes() != 1 {
+		t.Errorf("PropIndexes = %d, want 1", s.PropIndexes())
+	}
+	if got := s.NodesByLabelProp("User", "bucket", value.NewInt(99)); len(got) != 0 {
+		t.Errorf("absent value hit = %d nodes", len(got))
+	}
+	if got := s.NodesByLabelProp("User", "bucket", value.Null); got != nil {
+		t.Errorf("null value lookup = %v, want nil", got)
+	}
+	if n := s.PropIndexCount("User", "bucket", value.NewInt(1)); n != 3 {
+		t.Errorf("PropIndexCount = %d, want 3", n)
+	}
+}
+
+// TestPropIndexMaintenanceQuick drives a random mutation sequence
+// through the store — node/label/property adds and removes interleaved
+// with index lookups (so indexes exist mid-sequence) — and checks that
+// every index-served lookup equals a fresh scan of the label list. This
+// is the invariant the incremental maintenance hooks must preserve for
+// the long-lived rolling store.
+func TestPropIndexMaintenanceQuick(t *testing.T) {
+	labels := []string{"A", "B"}
+	keys := []string{"k", "p"}
+	vals := []value.Value{value.NewInt(0), value.NewInt(1), value.NewString("x")}
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var nodes []*value.Node
+		for step := 0; step < 200; step++ {
+			switch op := r.Intn(7); {
+			case op == 0 || len(nodes) == 0: // create
+				props := map[string]value.Value{}
+				if r.Intn(2) == 0 {
+					props[keys[r.Intn(len(keys))]] = vals[r.Intn(len(vals))]
+				}
+				n := s.CreateNode([]string{labels[r.Intn(len(labels))]}, props)
+				nodes = append(nodes, n)
+			case op == 1: // delete
+				i := r.Intn(len(nodes))
+				if err := s.DeleteNode(nodes[i], true); err != nil {
+					return false
+				}
+				nodes = append(nodes[:i], nodes[i+1:]...)
+			case op == 2: // set / overwrite a property
+				n := nodes[r.Intn(len(nodes))]
+				s.SetNodeProp(n, keys[r.Intn(len(keys))], vals[r.Intn(len(vals))])
+			case op == 3: // remove a property
+				n := nodes[r.Intn(len(nodes))]
+				s.SetNodeProp(n, keys[r.Intn(len(keys))], value.Null)
+			case op == 4: // add a label
+				s.AddLabel(nodes[r.Intn(len(nodes))], labels[r.Intn(len(labels))])
+			case op == 5: // remove a label
+				s.RemoveLabel(nodes[r.Intn(len(nodes))], labels[r.Intn(len(labels))])
+			default: // lookup (forces index builds mid-sequence)
+				l, k, v := labels[r.Intn(len(labels))], keys[r.Intn(len(keys))], vals[r.Intn(len(vals))]
+				if !sameNodes(s.NodesByLabelProp(l, k, v), freshPropScan(s, l, k, v)) {
+					return false
+				}
+			}
+		}
+		// Final check: every (label, key, value) combination.
+		for _, l := range labels {
+			for _, k := range keys {
+				for _, v := range vals {
+					if !sameNodes(s.NodesByLabelProp(l, k, v), freshPropScan(s, l, k, v)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTypedAdjacencyQuick checks that the type-partitioned adjacency
+// lists agree with filtering the untyped lists, across random graph
+// mutation sequences including relationship deletion.
+func TestTypedAdjacencyQuick(t *testing.T) {
+	types := []string{"R", "S", "T"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var nodes []*value.Node
+		var rels []*value.Relationship
+		for i := 0; i < 8; i++ {
+			nodes = append(nodes, s.CreateNode(nil, nil))
+		}
+		for step := 0; step < 150; step++ {
+			if r.Intn(4) != 0 || len(rels) == 0 {
+				from := nodes[r.Intn(len(nodes))]
+				to := nodes[r.Intn(len(nodes))]
+				rel, err := s.CreateRel(from.ID, to.ID, types[r.Intn(len(types))], nil)
+				if err != nil {
+					return false
+				}
+				rels = append(rels, rel)
+			} else {
+				i := r.Intn(len(rels))
+				s.DeleteRel(rels[i])
+				rels = append(rels[:i], rels[i+1:]...)
+			}
+		}
+		for _, n := range nodes {
+			for _, typ := range types {
+				if !sameRels(s.Outgoing(n.ID, typ), typedScan(s.Outgoing(n.ID), typ)) {
+					return false
+				}
+				if !sameRels(s.Incoming(n.ID, typ), typedScan(s.Incoming(n.ID), typ)) {
+					return false
+				}
+			}
+			multi := types[:2]
+			if !sameRels(s.Outgoing(n.ID, multi...), typedScan(s.Outgoing(n.ID), multi...)) {
+				return false
+			}
+			if s.Degree(n.ID) != len(s.Outgoing(n.ID))+len(s.Incoming(n.ID)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sameRels(a, b []*value.Relationship) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropIndexMaintainedOnMutators(t *testing.T) {
+	s := New()
+	n := s.CreateNode([]string{"L"}, map[string]value.Value{"k": value.NewInt(1)})
+
+	// Build the index, then mutate through every store entry point.
+	if got := s.NodesByLabelProp("L", "k", value.NewInt(1)); len(got) != 1 {
+		t.Fatalf("initial hit = %d", len(got))
+	}
+	s.SetNodeProp(n, "k", value.NewInt(2))
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(1))) != 0 ||
+		len(s.NodesByLabelProp("L", "k", value.NewInt(2))) != 1 {
+		t.Error("index stale after SetNodeProp")
+	}
+	s.SetNodeProp(n, "k", value.Null)
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(2))) != 0 {
+		t.Error("index stale after property removal")
+	}
+	s.SetNodeProp(n, "k", value.NewInt(3))
+	s.RemoveLabel(n, "L")
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(3))) != 0 {
+		t.Error("index stale after RemoveLabel")
+	}
+	s.AddLabel(n, "L")
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(3))) != 1 {
+		t.Error("index stale after AddLabel")
+	}
+	m := s.CreateNode([]string{"L"}, map[string]value.Value{"k": value.NewInt(3)})
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(3))) != 2 {
+		t.Error("index stale after CreateNode")
+	}
+	if err := s.DeleteNode(m, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(3))) != 1 {
+		t.Error("index stale after DeleteNode")
+	}
+	// AddNode with explicit entity.
+	s.AddNode(&value.Node{ID: 1000, Labels: []string{"L"}, Props: map[string]value.Value{"k": value.NewInt(3)}})
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(3))) != 2 {
+		t.Error("index stale after AddNode")
+	}
+}
+
+func TestSetNodePropForeignNode(t *testing.T) {
+	s := New()
+	s.CreateNode([]string{"L"}, map[string]value.Value{"k": value.NewInt(1)})
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(1))) != 1 {
+		t.Fatal("setup")
+	}
+	// A node that is not a member of the store must not leak into its
+	// indexes when its properties are set through the store.
+	foreign := &value.Node{ID: 9999, Labels: []string{"L"}, Props: map[string]value.Value{}}
+	s.SetNodeProp(foreign, "k", value.NewInt(1))
+	if value.Key(foreign.Props["k"]) != value.Key(value.NewInt(1)) {
+		t.Error("foreign node props not mutated")
+	}
+	if len(s.NodesByLabelProp("L", "k", value.NewInt(1))) != 1 {
+		t.Error("foreign node leaked into the property index")
+	}
+}
+
+func ExampleStore_NodesByLabelProp() {
+	s := New()
+	for i := 0; i < 4; i++ {
+		s.CreateNode([]string{"User"}, map[string]value.Value{"bucket": value.NewInt(int64(i % 2))})
+	}
+	fmt.Println(len(s.NodesByLabelProp("User", "bucket", value.NewInt(0))))
+	// Output: 2
+}

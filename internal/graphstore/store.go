@@ -1,25 +1,56 @@
 // Package graphstore provides an indexed, mutable view over a property
-// graph: adjacency lists per node, a label index, and id allocation for
-// updating clauses. The Cypher evaluator matches patterns against a
-// Store; the continuous engine builds one Store per snapshot graph.
+// graph: adjacency lists per node (partitioned by relationship type), a
+// label index, lazily-built property-value indexes, and id allocation
+// for updating clauses. The Cypher evaluator matches patterns against a
+// Store; the continuous engine builds one Store per snapshot graph (or
+// maintains a long-lived rolling Store in incremental mode, which is
+// why every mutator below also maintains the index structures).
 package graphstore
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"seraph/internal/pg"
 	"seraph/internal/value"
 )
 
+// adjKey addresses one node's adjacency list for one relationship type.
+type adjKey struct {
+	id  int64
+	typ string
+}
+
 // Store is an indexed property graph. It is not safe for concurrent
-// mutation; concurrent reads are safe once construction is complete.
+// mutation; concurrent reads are safe once construction is complete
+// (the lazily-built property indexes synchronize internally).
 type Store struct {
 	graph *pg.Graph
 	// out/in map node id → relationships sorted by id.
 	out   map[int64][]*value.Relationship
 	in    map[int64][]*value.Relationship
 	label map[string][]*value.Node
+
+	// outT/inT partition the adjacency lists by relationship type, so a
+	// typed expansion touches only matching edges. Partitions are built
+	// lazily per node on first typed access (outTDone/inTDone record
+	// which nodes are partitioned); bulk store construction never pays
+	// for them, and mutators maintain only partitions that exist.
+	outT     map[adjKey][]*value.Relationship
+	inT      map[adjKey][]*value.Relationship
+	outTDone map[int64]bool
+	inTDone  map[int64]bool
+
+	// relType counts relationships per type (planner selectivity
+	// statistics).
+	relType map[string]int
+
+	// idxMu guards propIdx and the typed-adjacency partitions: both are
+	// built lazily from the read path, which must stay safe under
+	// concurrent readers.
+	idxMu   sync.Mutex
+	propIdx map[propIdxKey]*propIndex
 
 	nextNodeID atomic.Int64
 	nextRelID  atomic.Int64
@@ -34,10 +65,16 @@ func New() *Store {
 // of g; callers must not mutate g afterwards.
 func FromGraph(g *pg.Graph) *Store {
 	s := &Store{
-		graph: g,
-		out:   make(map[int64][]*value.Relationship),
-		in:    make(map[int64][]*value.Relationship),
-		label: make(map[string][]*value.Node),
+		graph:    g,
+		out:      make(map[int64][]*value.Relationship),
+		in:       make(map[int64][]*value.Relationship),
+		label:    make(map[string][]*value.Node),
+		outT:     make(map[adjKey][]*value.Relationship),
+		inT:      make(map[adjKey][]*value.Relationship),
+		outTDone: make(map[int64]bool),
+		inTDone:  make(map[int64]bool),
+		relType:  make(map[string]int),
+		propIdx:  make(map[propIdxKey]*propIndex),
 	}
 	var maxN, maxR int64
 	g.EachNode(func(n *value.Node) {
@@ -83,6 +120,13 @@ func (s *Store) indexNode(n *value.Node) {
 func (s *Store) indexRel(r *value.Relationship) {
 	s.out[r.StartID] = append(s.out[r.StartID], r)
 	s.in[r.EndID] = append(s.in[r.EndID], r)
+	if s.outTDone[r.StartID] {
+		s.outT[adjKey{r.StartID, r.Type}] = append(s.outT[adjKey{r.StartID, r.Type}], r)
+	}
+	if s.inTDone[r.EndID] {
+		s.inT[adjKey{r.EndID, r.Type}] = append(s.inT[adjKey{r.EndID, r.Type}], r)
+	}
+	s.relType[r.Type]++
 }
 
 // Graph returns the underlying property graph.
@@ -110,14 +154,93 @@ func (s *Store) AllRels() []*value.Relationship { return s.graph.Rels() }
 // The returned slice must not be mutated.
 func (s *Store) NodesByLabel(l string) []*value.Node { return s.label[l] }
 
-// Outgoing returns relationships with src = id, sorted by id.
-func (s *Store) Outgoing(id int64) []*value.Relationship { return s.out[id] }
+// LabelCount returns the number of nodes carrying label l without
+// materializing the node list (planner statistics).
+func (s *Store) LabelCount(l string) int { return len(s.label[l]) }
 
-// Incoming returns relationships with trg = id, sorted by id.
-func (s *Store) Incoming(id int64) []*value.Relationship { return s.in[id] }
+// RelTypeCount returns how many relationships carry one of the given
+// types; with no types it returns the total relationship count.
+func (s *Store) RelTypeCount(types ...string) int {
+	if len(types) == 0 {
+		return s.graph.NumRels()
+	}
+	n := 0
+	for _, t := range types {
+		n += s.relType[t]
+	}
+	return n
+}
 
-// Degree returns the total degree of node id.
-func (s *Store) Degree(id int64) int { return len(s.out[id]) + len(s.in[id]) }
+// Outgoing returns relationships with src = id. With types given, only
+// relationships of those types are returned, served from the
+// type-partitioned adjacency index (built for this node on first typed
+// access). Results of a freshly built store are sorted by id; the
+// returned slice must not be mutated.
+func (s *Store) Outgoing(id int64, types ...string) []*value.Relationship {
+	if len(types) == 0 {
+		return s.out[id]
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	partitionAdjLocked(s.out, s.outT, s.outTDone, id)
+	return typedLocked(s.outT, id, types)
+}
+
+// Incoming returns relationships with trg = id, optionally restricted
+// to the given types (see Outgoing).
+func (s *Store) Incoming(id int64, types ...string) []*value.Relationship {
+	if len(types) == 0 {
+		return s.in[id]
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	partitionAdjLocked(s.in, s.inT, s.inTDone, id)
+	return typedLocked(s.inT, id, types)
+}
+
+// partitionAdjLocked splits all[id] into per-type lists in byType. The
+// source list is id-sorted, so each partition stays sorted. Callers
+// hold idxMu: partitioning happens on the read path and must be safe
+// under concurrent readers.
+func partitionAdjLocked(all map[int64][]*value.Relationship, byType map[adjKey][]*value.Relationship, done map[int64]bool, id int64) {
+	if done[id] {
+		return
+	}
+	for _, r := range all[id] {
+		k := adjKey{id, r.Type}
+		byType[k] = append(byType[k], r)
+	}
+	done[id] = true
+}
+
+func typedLocked(byType map[adjKey][]*value.Relationship, id int64, types []string) []*value.Relationship {
+	if len(types) == 1 {
+		return byType[adjKey{id, types[0]}]
+	}
+	var merged []*value.Relationship
+	for _, t := range types {
+		merged = append(merged, byType[adjKey{id, t}]...)
+	}
+	sortRels(merged) // multi-type union re-sorts to the canonical id order
+	return merged
+}
+
+// Degree returns the total degree of node id. With types given it
+// counts only relationships of those types.
+func (s *Store) Degree(id int64, types ...string) int {
+	if len(types) == 0 {
+		return len(s.out[id]) + len(s.in[id])
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	partitionAdjLocked(s.out, s.outT, s.outTDone, id)
+	partitionAdjLocked(s.in, s.inT, s.inTDone, id)
+	n := 0
+	for _, t := range types {
+		n += len(s.outT[adjKey{id, t}]) + len(s.inT[adjKey{id, t}])
+	}
+	return n
+}
 
 // CreateNode allocates a fresh node with the given labels and
 // properties and inserts it.
@@ -128,6 +251,7 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value
 	n := &value.Node{ID: s.nextNodeID.Add(1) - 1, Labels: labels, Props: props}
 	s.graph.AddNode(n)
 	s.indexNode(n)
+	s.propIndexAddNode(n)
 	return n
 }
 
@@ -137,6 +261,7 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value
 func (s *Store) AddNode(n *value.Node) {
 	s.graph.AddNode(n)
 	s.indexNode(n)
+	s.propIndexAddNode(n)
 	if n.ID >= s.nextNodeID.Load() {
 		s.nextNodeID.Store(n.ID + 1)
 	}
@@ -174,7 +299,8 @@ func (s *Store) AddRel(r *value.Relationship) error {
 	return nil
 }
 
-// AddLabel adds label l to node n, maintaining the label index.
+// AddLabel adds label l to node n, maintaining the label and property
+// indexes.
 func (s *Store) AddLabel(n *value.Node, l string) {
 	if n.HasLabel(l) {
 		return
@@ -182,6 +308,7 @@ func (s *Store) AddLabel(n *value.Node, l string) {
 	n.Labels = append(n.Labels, l)
 	s.label[l] = append(s.label[l], n)
 	sortNodes(s.label[l])
+	s.propIndexAddLabel(n, l)
 }
 
 // RemoveLabel removes label l from node n.
@@ -199,12 +326,68 @@ func (s *Store) RemoveLabel(n *value.Node, l string) {
 			break
 		}
 	}
+	s.propIndexRemoveLabel(n, l)
+}
+
+// SetNodeProp sets property key on node n to v, maintaining the
+// property indexes; a Null v removes the property. All node property
+// mutations on a live store must go through here (or the index layer
+// silently serves stale entries).
+func (s *Store) SetNodeProp(n *value.Node, key string, v value.Value) {
+	old, had := n.Props[key]
+	if v.IsNull() {
+		if !had {
+			return
+		}
+		delete(n.Props, key)
+	} else {
+		if had && value.Equivalent(old, v) {
+			return
+		}
+		n.Props[key] = v
+	}
+	if s.graph.Node(n.ID) == n {
+		// Only a store member belongs in the indexes; a foreign node (a
+		// value from another snapshot) just has its props mutated.
+		s.propIndexSetProp(n, key, old, had, v)
+	}
+}
+
+// SetRelProp sets property key on relationship r to v; a Null v removes
+// the property. Relationship properties are not indexed, but routing
+// mutations through the store keeps the API symmetric and leaves room
+// for future relationship indexes.
+func (s *Store) SetRelProp(r *value.Relationship, key string, v value.Value) {
+	if v.IsNull() {
+		delete(r.Props, key)
+		return
+	}
+	r.Props[key] = v
 }
 
 // DeleteRel removes relationship r.
 func (s *Store) DeleteRel(r *value.Relationship) {
 	s.out[r.StartID] = removeRel(s.out[r.StartID], r.ID)
 	s.in[r.EndID] = removeRel(s.in[r.EndID], r.ID)
+	if s.outTDone[r.StartID] {
+		outKey := adjKey{r.StartID, r.Type}
+		if rels := removeRel(s.outT[outKey], r.ID); len(rels) > 0 {
+			s.outT[outKey] = rels
+		} else {
+			delete(s.outT, outKey)
+		}
+	}
+	if s.inTDone[r.EndID] {
+		inKey := adjKey{r.EndID, r.Type}
+		if rels := removeRel(s.inT[inKey], r.ID); len(rels) > 0 {
+			s.inT[inKey] = rels
+		} else {
+			delete(s.inT, inKey)
+		}
+	}
+	if s.relType[r.Type]--; s.relType[r.Type] <= 0 {
+		delete(s.relType, r.Type)
+	}
 	s.graph.RemoveRel(r.ID)
 }
 
@@ -228,6 +411,7 @@ func (s *Store) DeleteNode(n *value.Node, detach bool) error {
 			}
 		}
 	}
+	s.propIndexRemoveNode(n)
 	s.graph.RemoveNode(n.ID)
 	return nil
 }

@@ -7,6 +7,7 @@ package pg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"seraph/internal/value"
 )
@@ -18,6 +19,22 @@ import (
 type Graph struct {
 	nodes map[int64]*value.Node
 	rels  map[int64]*value.Relationship
+	// version counts mutations made through the Graph API, including
+	// SetNodeProp/SetRelProp. Together with Digest it forms the
+	// engine's snapshot-cache identity: property edits that leave the
+	// id structure unchanged still bump the version and so invalidate
+	// cached results.
+	version uint64
+
+	// Digest memo, keyed by version: the engine recomputes the digest
+	// of every window element on each evaluation instant, and element
+	// graphs are immutable once pushed, so the fingerprint is computed
+	// once per mutation span. digestMu alone guards the memo fields —
+	// parallel query evaluations share element graphs.
+	digestMu  sync.Mutex
+	digestVal uint64
+	digestVer uint64
+	digestOK  bool
 }
 
 // New returns an empty property graph.
@@ -29,7 +46,10 @@ func New() *Graph {
 }
 
 // AddNode inserts n into the graph, replacing any node with the same id.
-func (g *Graph) AddNode(n *value.Node) { g.nodes[n.ID] = n }
+func (g *Graph) AddNode(n *value.Node) {
+	g.nodes[n.ID] = n
+	g.version++
+}
 
 // AddRel inserts r into the graph, replacing any relationship with the
 // same id. Both endpoints must already be present.
@@ -41,14 +61,65 @@ func (g *Graph) AddRel(r *value.Relationship) error {
 		return fmt.Errorf("pg: relationship %d references missing target node %d", r.ID, r.EndID)
 	}
 	g.rels[r.ID] = r
+	g.version++
 	return nil
 }
 
 // RemoveNode deletes the node with the given id, if present.
-func (g *Graph) RemoveNode(id int64) { delete(g.nodes, id) }
+func (g *Graph) RemoveNode(id int64) {
+	if _, ok := g.nodes[id]; ok {
+		delete(g.nodes, id)
+		g.version++
+	}
+}
 
 // RemoveRel deletes the relationship with the given id, if present.
-func (g *Graph) RemoveRel(id int64) { delete(g.rels, id) }
+func (g *Graph) RemoveRel(id int64) {
+	if _, ok := g.rels[id]; ok {
+		delete(g.rels, id)
+		g.version++
+	}
+}
+
+// SetNodeProp sets (or, for a Null v, removes) property key on the node
+// with the given id. In-place property edits must go through here (or
+// SetRelProp) rather than writing the entity's Props map directly:
+// only API mutations bump the version counter that keeps the engine's
+// snapshot cache from replaying stale results.
+func (g *Graph) SetNodeProp(id int64, key string, v value.Value) bool {
+	n := g.nodes[id]
+	if n == nil {
+		return false
+	}
+	if v.IsNull() {
+		delete(n.Props, key)
+	} else {
+		n.Props[key] = v
+	}
+	g.version++
+	return true
+}
+
+// SetRelProp sets (or, for a Null v, removes) property key on the
+// relationship with the given id (see SetNodeProp).
+func (g *Graph) SetRelProp(id int64, key string, v value.Value) bool {
+	r := g.rels[id]
+	if r == nil {
+		return false
+	}
+	if v.IsNull() {
+		delete(r.Props, key)
+	} else {
+		r.Props[key] = v
+	}
+	g.version++
+	return true
+}
+
+// Version returns the mutation counter: it increases on every change
+// made through the Graph API. Two calls returning the same value
+// bracket a span with no API mutations.
+func (g *Graph) Version() uint64 { return g.version }
 
 // Node returns the node with the given id, or nil.
 func (g *Graph) Node(id int64) *value.Node { return g.nodes[id] }
@@ -80,6 +151,61 @@ func (g *Graph) Rels() []*value.Relationship {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Digest returns a cheap FNV-based structural fingerprint of the
+// graph: the set of node ids plus the set of relationship
+// (id, src, trg, type) tuples. Per-entity hashes combine commutatively,
+// so the digest is independent of map iteration order, and nothing
+// heavier than ids and type strings is hashed — O(|N|+|R|) with a tiny
+// constant, cheap enough to recompute on every snapshot-cache probe.
+//
+// Digest deliberately ignores labels and property values; those are
+// covered by Version, which counts API-level mutations (including
+// SetNodeProp/SetRelProp). The engine folds both into its
+// snapshot-cache key so that two active substreams of equal shape
+// (same timestamps, node and relationship counts) but different
+// membership or mutation history can no longer alias to the same
+// cached result. Edits that bypass the Graph API — writing an
+// entity's Props map directly — are invisible to both halves of the
+// identity; mutate through the API.
+func (g *Graph) Digest() uint64 {
+	g.digestMu.Lock()
+	defer g.digestMu.Unlock()
+	if g.digestOK && g.digestVer == g.version {
+		return g.digestVal
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	fnv := func(h uint64, s string) uint64 {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		return h
+	}
+	fnvInt := func(h uint64, v int64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+		return h
+	}
+	var sum uint64
+	for id := range g.nodes {
+		sum += fnvInt(uint64(offset64), id)
+	}
+	for _, r := range g.rels {
+		h := fnvInt(uint64(offset64), r.ID)
+		h = fnvInt(h, r.StartID)
+		h = fnvInt(h, r.EndID)
+		h = fnv(h, r.Type)
+		sum += 3*h + 1 // distinguish a rel's hash from a node's
+	}
+	g.digestVal, g.digestVer, g.digestOK = sum, g.version, true
+	return sum
 }
 
 // EachNode calls f for every node (unordered).
@@ -172,6 +298,7 @@ func Union(g1, g2 *Graph) (*Graph, error) {
 // On inconsistency g is left partially merged and the error returned;
 // callers that need atomicity should use Union.
 func (g *Graph) UnionInPlace(g2 *Graph) error {
+	g.version++ // invalidates any memoized digest, conservatively
 	for id, n2 := range g2.nodes {
 		n1, ok := g.nodes[id]
 		if !ok {
