@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"seraph/internal/engine"
+	"seraph/internal/queue"
 	"seraph/internal/server"
 )
 
@@ -47,6 +48,11 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	maxInFlight := flag.Int("max-inflight", 0, "admission bound on due-but-unexecuted evaluation instants; pushes beyond it get 429 (0 = unlimited)")
+	evalDeadline := flag.Duration("eval-deadline", 0, "shed stale evaluation instants once a query's catch-up exceeds this wall-clock budget (0 = never shed)")
+	ingestQueue := flag.Int("ingest-queue", 0, "buffer POST /events in a bounded in-process queue of this capacity, drained asynchronously (0 = synchronous ingest)")
+	fullPolicy := flag.String("full-policy", "reject", "full-queue policy for -ingest-queue: block, reject, or drop-oldest")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
 	flag.Parse()
 
 	log := newLogger(*logFormat, *logLevel)
@@ -55,6 +61,8 @@ func main() {
 	opts := []engine.Option{
 		engine.WithParallelism(*parallelism),
 		engine.WithHistoryRetention(*historyRetention),
+		engine.WithMaxInFlight(*maxInFlight),
+		engine.WithEvalDeadline(*evalDeadline),
 	}
 	var srv *server.Server
 	if *restore != "" {
@@ -73,6 +81,19 @@ func main() {
 		srv = server.New(opts...)
 	}
 	srv.SetLogger(log)
+	srv.SetRetryAfter(*retryAfter)
+	if *ingestQueue > 0 {
+		policy, err := queue.ParseFullPolicy(*fullPolicy)
+		if err != nil {
+			fatal(log, "parse -full-policy", err)
+		}
+		if err := srv.EnableIngestQueue(*ingestQueue, policy); err != nil {
+			fatal(log, "enable ingest queue", err)
+		}
+		defer srv.Close()
+		log.Info("asynchronous ingest enabled",
+			"capacity", *ingestQueue, "policy", policy.String())
+	}
 	if *pprofFlag {
 		srv.EnablePprof()
 		log.Info("pprof enabled", "path", "/debug/pprof/")

@@ -1,0 +1,538 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/ingest"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+	"seraph/internal/value"
+)
+
+const (
+	topicEvents = "chaos-events"
+	topicDLQ    = "chaos-events-dlq"
+)
+
+// chaosBase anchors both the stream timestamps and the queries'
+// STARTING AT instant; the query sources below must agree with it.
+var chaosBase = time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+
+const srcSnapshot = `
+REGISTER QUERY snap STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT8S
+  WHERE r.v > 15
+  EMIT s.name AS sensor, r.v AS v SNAPSHOT EVERY PT2S }`
+
+const srcEntering = `
+REGISTER QUERY entering STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT6S
+  WHERE r.v > 10
+  EMIT s.name AS sensor, r.v AS v ON ENTERING EVERY PT3S }`
+
+// Plan is a fault schedule derived deterministically from a seed.
+// Every knob at its zero value disables that fault, so a Plan also
+// documents exactly which faults a failing seed exercised.
+type Plan struct {
+	Seed   int64
+	Events int
+
+	// QueueCapacity bounds the broker topic (0 = unbounded). Bounded
+	// plans use PolicyDropOldest so overload surfaces as accounted
+	// eviction rather than producer blocking.
+	QueueCapacity int
+
+	PollEvery int // consumer polls every n-th produced event
+	BatchSize int // records per poll
+
+	PoisonEvery int // every n-th payload is replaced with garbage
+	DelayEvery  int // every n-th event is held back DelaySteps events
+	DelaySteps  int
+	RewindEvery int // every n-th poll rewinds the consumer (redelivery)
+
+	// Shed plans give the engine a catch-up deadline on the virtual
+	// clock and stall the sink past it, forcing explicit Skipped
+	// results. Shed plans are SNAPSHOT-only: ON ENTERING output depends
+	// on the previous evaluation, so a shed instant would change later
+	// diffs and the runs would legitimately diverge.
+	Shed       bool
+	Deadline   time.Duration
+	StallEvery int // every n-th sink invocation stalls the clock
+	StallFor   time.Duration
+	OnEntering bool
+
+	// CheckpointAt, when positive, checkpoints the engine after that
+	// event index and restores a fresh engine from the bytes mid-run.
+	CheckpointAt int
+}
+
+// NewPlan derives a plan from seed. Distinct seeds cover distinct
+// fault combinations; the same seed always yields the same plan.
+func NewPlan(seed int64) Plan {
+	r := rand.New(rand.NewSource(seed))
+	p := Plan{
+		Seed:      seed,
+		Events:    60 + r.Intn(80),
+		PollEvery: 1 + r.Intn(4),
+		BatchSize: 1 + r.Intn(8),
+	}
+	if r.Intn(3) == 0 {
+		// Bounded topic with a consumer that cannot keep up, so
+		// PolicyDropOldest actually evicts: produce ~1/event, consume
+		// at most 2 every 3-4 events.
+		p.QueueCapacity = 4 + r.Intn(12)
+		p.PollEvery = 3 + r.Intn(2)
+		p.BatchSize = 1 + r.Intn(2)
+	}
+	if r.Intn(3) > 0 {
+		p.PoisonEvery = 11 + r.Intn(10)
+	}
+	if r.Intn(2) == 0 {
+		p.DelayEvery = 9 + r.Intn(8)
+		p.DelaySteps = 2 + r.Intn(5)
+	}
+	if r.Intn(2) == 0 {
+		p.RewindEvery = 3 + r.Intn(4)
+	}
+	p.Shed = r.Intn(2) == 0
+	if p.Shed {
+		p.Deadline = 100 * time.Millisecond
+		p.StallEvery = 4 + r.Intn(6)
+		p.StallFor = 150 * time.Millisecond
+	} else {
+		p.OnEntering = r.Intn(2) == 0
+	}
+	if r.Intn(2) == 0 {
+		p.CheckpointAt = p.Events/3 + r.Intn(p.Events/3)
+	}
+	return p
+}
+
+type querySpec struct{ name, src string }
+
+func (p Plan) queries() []querySpec {
+	qs := []querySpec{{"snap", srcSnapshot}}
+	if p.OnEntering {
+		qs = append(qs, querySpec{"entering", srcEntering})
+	}
+	return qs
+}
+
+// Instant is one evaluation instant's outcome: either a sorted bag of
+// row digests, or an explicit Skipped marker for a shed evaluation.
+type Instant struct {
+	Skipped bool     `json:"skipped,omitempty"`
+	Rows    []string `json:"rows"`
+}
+
+// Report holds both runs' results and the fault run's accounting
+// counters; Verify checks them against each other.
+type Report struct {
+	Plan         Plan
+	Produced     int64 // records accepted by the broker topic
+	Applied      int64 // pushes that reached the engine (the op log)
+	Deadlettered int64 // poison records quarantined to the DLQ
+	Dropped      int64 // records evicted by PolicyDropOldest
+	Duplicates   int64 // redeliveries suppressed by offset dedup
+	Shed         int64 // evaluation instants shed under the deadline
+
+	// Fault and Replay map query name → instant (UnixNano) → outcome.
+	Fault  map[string]map[int64]Instant
+	Replay map[string]map[int64]Instant
+}
+
+// event is one pre-generated stream element.
+type event struct {
+	payload []byte
+	ts      time.Time
+}
+
+// genEvents builds the plan's stream: strictly increasing timestamps
+// (1-3s apart), three sensors, one READ relationship per event.
+func genEvents(plan Plan) []event {
+	r := rand.New(rand.NewSource(plan.Seed ^ 0x5eed))
+	ts := chaosBase
+	evs := make([]event, plan.Events)
+	for i := range evs {
+		ts = ts.Add(time.Duration(1+r.Intn(3)) * time.Second)
+		sid := int64(1 + r.Intn(3))
+		g := pg.New()
+		g.AddNode(&value.Node{ID: sid, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("s%d", sid))}})
+		g.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{}})
+		if err := g.AddRel(&value.Relationship{ID: int64(1000 + i), StartID: sid, EndID: 100,
+			Type: "READ", Props: map[string]value.Value{"v": value.NewInt(r.Int63n(40))}}); err != nil {
+			panic(err)
+		}
+		payload, err := ingest.Encode(g, ts)
+		if err != nil {
+			panic(err)
+		}
+		evs[i] = event{payload: payload, ts: ts}
+	}
+	return evs
+}
+
+// op is one operation that reached the engine during the fault run —
+// the ground truth the replay re-executes verbatim.
+type op struct {
+	advance bool
+	ts      time.Time
+	g       *pg.Graph
+}
+
+type harness struct {
+	plan    Plan
+	faulty  bool
+	clock   *Clock
+	eng     *engine.Engine
+	broker  *queue.Broker
+	conn    *ingest.Connector
+	results map[string]map[int64]Instant
+	resultN int
+	oplog   []op
+}
+
+func newHarness(plan Plan, faulty bool) *harness {
+	return &harness{
+		plan:    plan,
+		faulty:  faulty,
+		clock:   NewClock(chaosBase),
+		results: map[string]map[int64]Instant{},
+	}
+}
+
+func (h *harness) engineOpts() []engine.Option {
+	opts := []engine.Option{engine.WithParallelism(1)}
+	if h.faulty && h.plan.Shed {
+		opts = append(opts,
+			engine.WithEvalDeadline(h.plan.Deadline),
+			engine.WithWallClock(h.clock.Now))
+	}
+	return opts
+}
+
+// sinkFor records results (and, in the fault run, stalls the virtual
+// clock on the plan's cadence). Its signature matches what
+// engine.Restore needs to re-wire sinks after a mid-run restore.
+func (h *harness) sinkFor(string) engine.Sink {
+	return func(res engine.Result) {
+		h.resultN++
+		if h.faulty && h.plan.StallEvery > 0 && h.resultN%h.plan.StallEvery == 0 {
+			h.clock.Sleep(h.plan.StallFor)
+		}
+		qr := h.results[res.Query]
+		if qr == nil {
+			qr = map[int64]Instant{}
+			h.results[res.Query] = qr
+		}
+		at := res.At.UnixNano()
+		if res.Skipped {
+			qr[at] = Instant{Skipped: true, Rows: []string{}}
+			return
+		}
+		qr[at] = Instant{Rows: digestRows(res.Table)}
+	}
+}
+
+func (h *harness) register(eng *engine.Engine) error {
+	for _, qs := range h.plan.queries() {
+		if _, err := eng.RegisterSource(qs.src, h.sinkFor(qs.name)); err != nil {
+			return fmt.Errorf("chaos: register %s: %w", qs.name, err)
+		}
+	}
+	return nil
+}
+
+// push is the connector's sink: deliveries that the engine accepts are
+// appended to the op log so the replay can re-execute exactly them.
+func (h *harness) push(g *pg.Graph, ts time.Time) error {
+	if err := h.eng.Push(g, ts); err != nil {
+		return err
+	}
+	h.oplog = append(h.oplog, op{ts: ts, g: g})
+	return nil
+}
+
+func (h *harness) advance() error { return h.advanceTo(h.eng.Now()) }
+
+func (h *harness) advanceTo(ts time.Time) error {
+	h.oplog = append(h.oplog, op{advance: true, ts: ts})
+	return h.eng.AdvanceTo(ts)
+}
+
+// checkpointRestore serializes the engine and swaps in a fresh one
+// restored from the bytes — the crash-recovery fault. The connector's
+// sink closure reads h.eng on every push, so it follows the swap.
+func (h *harness) checkpointRestore() error {
+	var buf bytes.Buffer
+	if err := h.eng.Checkpoint(&buf); err != nil {
+		return fmt.Errorf("chaos: checkpoint: %w", err)
+	}
+	restored, err := engine.Restore(&buf, h.sinkFor, h.engineOpts()...)
+	if err != nil {
+		return fmt.Errorf("chaos: restore: %w", err)
+	}
+	h.eng = restored
+	return nil
+}
+
+// runFaulty executes the plan: events flow through a real broker
+// topic and connector into the engine, with faults injected per the
+// schedule.
+func (h *harness) runFaulty(events []event) error {
+	h.eng = engine.New(h.engineOpts()...)
+	if err := h.register(h.eng); err != nil {
+		return err
+	}
+	h.broker = queue.NewBroker()
+	cfg := queue.TopicConfig{Partitions: 1}
+	if h.plan.QueueCapacity > 0 {
+		cfg.Capacity = h.plan.QueueCapacity
+		cfg.Policy = queue.PolicyDropOldest
+	}
+	if err := h.broker.CreateTopicWith(topicEvents, cfg); err != nil {
+		return err
+	}
+	conn, err := ingest.NewConnector(h.broker, topicEvents, h.push,
+		ingest.WithDeadLetter(topicDLQ),
+		ingest.WithConnectorClock(h.clock.Now, h.clock.Sleep))
+	if err != nil {
+		return err
+	}
+	h.conn = conn
+
+	frng := rand.New(rand.NewSource(h.plan.Seed + 7))
+	polls := 0
+	poll := func() error {
+		polls++
+		if h.plan.RewindEvery > 0 && polls%h.plan.RewindEvery == 0 {
+			h.conn.Consumer().Rewind(1 + frng.Int63n(3))
+		}
+		n, err := h.conn.Poll(h.plan.BatchSize)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			return h.advance()
+		}
+		return nil
+	}
+
+	delayed := map[int][]event{}
+	for i, ev := range events {
+		for _, d := range delayed[i] {
+			if _, err := h.broker.Produce(topicEvents, "", d.payload, d.ts); err != nil {
+				return err
+			}
+		}
+		delete(delayed, i)
+		payload := ev.payload
+		if h.plan.PoisonEvery > 0 && (i+1)%h.plan.PoisonEvery == 0 {
+			payload = []byte(`{"corrupt":`)
+		}
+		if h.plan.DelayEvery > 0 && (i+1)%h.plan.DelayEvery == 0 {
+			// Held back: it arrives DelaySteps events late, out of
+			// timestamp order, and the engine quarantines it.
+			at := i + 1 + h.plan.DelaySteps
+			delayed[at] = append(delayed[at], event{payload: payload, ts: ev.ts})
+		} else if _, err := h.broker.Produce(topicEvents, "", payload, ev.ts); err != nil {
+			return err
+		}
+		if (i+1)%h.plan.PollEvery == 0 {
+			if err := poll(); err != nil {
+				return err
+			}
+		}
+		if h.plan.CheckpointAt > 0 && i == h.plan.CheckpointAt {
+			if err := h.checkpointRestore(); err != nil {
+				return err
+			}
+		}
+	}
+	// Stragglers whose release index lies past the last event.
+	var late []int
+	for k := range delayed {
+		late = append(late, k)
+	}
+	sort.Ints(late)
+	for _, k := range late {
+		for _, d := range delayed[k] {
+			if _, err := h.broker.Produce(topicEvents, "", d.payload, d.ts); err != nil {
+				return err
+			}
+		}
+	}
+	// Drain the topic and the connector's retained remainder.
+	for {
+		n, err := h.conn.Poll(64)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			if err := h.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		lag, err := h.conn.Consumer().Lag()
+		if err != nil {
+			return err
+		}
+		if lag == 0 && h.conn.Pending() == 0 {
+			break
+		}
+	}
+	// Flush trailing windows well past the last element.
+	if len(events) > 0 {
+		return h.advanceTo(events[len(events)-1].ts.Add(12 * time.Second))
+	}
+	return nil
+}
+
+// replay re-executes the fault run's op log on a fresh, fault-free
+// engine. Every push must be accepted: the log records only operations
+// the fault run's engine accepted, in order.
+func (h *harness) replay(oplog []op) error {
+	h.eng = engine.New(h.engineOpts()...)
+	if err := h.register(h.eng); err != nil {
+		return err
+	}
+	for _, o := range oplog {
+		if o.advance {
+			if err := h.eng.AdvanceTo(o.ts); err != nil {
+				return fmt.Errorf("chaos: replay advance to %s: %w", o.ts.Format(time.RFC3339), err)
+			}
+			continue
+		}
+		if err := h.eng.Push(o.g, o.ts); err != nil {
+			return fmt.Errorf("chaos: replay push at %s: %w", o.ts.Format(time.RFC3339), err)
+		}
+	}
+	return nil
+}
+
+// Run executes the seed's fault run and its fault-free replay and
+// returns the combined report. The report is returned (as far as it
+// was filled) even on error, for failure artifacts.
+func Run(plan Plan) (*Report, error) {
+	rep := &Report{Plan: plan}
+	events := genEvents(plan)
+
+	f := newHarness(plan, true)
+	ferr := f.runFaulty(events)
+	rep.Fault = f.results
+	if f.broker != nil {
+		if st, err := f.broker.Stats(topicEvents); err == nil {
+			rep.Produced, rep.Dropped = st.Produced, st.Dropped
+		}
+	}
+	if f.conn != nil {
+		rep.Deadlettered = f.conn.Deadlettered()
+		rep.Duplicates = f.conn.Duplicates()
+	}
+	for _, o := range f.oplog {
+		if !o.advance {
+			rep.Applied++
+		}
+	}
+	if f.eng != nil {
+		for _, q := range f.eng.Queries() {
+			rep.Shed += int64(q.Stats().Shed)
+		}
+	}
+	if ferr != nil {
+		return rep, fmt.Errorf("chaos: fault run (seed %d): %w", plan.Seed, ferr)
+	}
+
+	r := newHarness(plan, false)
+	if err := r.replay(f.oplog); err != nil {
+		return rep, err
+	}
+	rep.Replay = r.results
+	return rep, nil
+}
+
+// Verify is the differential oracle:
+//
+//  1. Every instant the fault-free replay evaluated must appear in the
+//     fault run — either with an identical row bag, or as an explicit
+//     Skipped result (a shed evaluation). Anything else is silent
+//     result loss.
+//  2. The fault run must not invent results the replay disagrees with.
+//  3. The number of Skipped results must equal the engine's shed
+//     counter, and every record the broker accepted must be accounted
+//     for: applied to the engine, quarantined to the dead-letter
+//     topic, or evicted by the bounded queue's drop policy.
+func (r *Report) Verify() error {
+	var skipped int64
+	for name, got := range r.Fault {
+		ref := r.Replay[name]
+		for at, gi := range got {
+			if gi.Skipped {
+				skipped++
+				continue
+			}
+			ri, ok := ref[at]
+			if !ok {
+				return fmt.Errorf("chaos: query %s: fault run emitted a result at %s the fault-free replay never evaluated",
+					name, time.Unix(0, at).UTC().Format(time.RFC3339))
+			}
+			if !equalRows(gi.Rows, ri.Rows) {
+				return fmt.Errorf("chaos: query %s at %s: fault run rows %v != replay rows %v",
+					name, time.Unix(0, at).UTC().Format(time.RFC3339), gi.Rows, ri.Rows)
+			}
+		}
+		for at := range ref {
+			if _, ok := got[at]; !ok {
+				return fmt.Errorf("chaos: query %s: instant %s missing from fault run (silent loss)",
+					name, time.Unix(0, at).UTC().Format(time.RFC3339))
+			}
+		}
+	}
+	var instants int
+	for _, m := range r.Replay {
+		instants += len(m)
+	}
+	if instants == 0 {
+		return fmt.Errorf("chaos: replay produced no evaluation instants — degenerate run")
+	}
+	if skipped != r.Shed {
+		return fmt.Errorf("chaos: %d skipped results delivered vs %d instants counted shed — gap unaccounted", skipped, r.Shed)
+	}
+	if r.Produced != r.Applied+r.Deadlettered+r.Dropped {
+		return fmt.Errorf("chaos: input accounting: produced %d != applied %d + deadlettered %d + dropped %d",
+			r.Produced, r.Applied, r.Deadlettered, r.Dropped)
+	}
+	return nil
+}
+
+func digestRows(t *eval.Table) []string {
+	rows := []string{}
+	if t == nil {
+		return rows
+	}
+	for i := range t.Rows {
+		rows = append(rows, t.RowKey(i))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestChaosPrefixConsistency runs the differential oracle over a fixed
+// seed matrix (default 50; override with CHAOS_SEEDS / shift with
+// CHAOS_SEED_OFFSET for CI sharding). Every seed's faulty run must be
+// explainable: delivered results identical to the fault-free replay,
+// every gap accounted by a counter. On failure the report is written
+// to $CHAOS_ARTIFACT_DIR for upload, so the seed can be replayed
+// locally.
+func TestChaosPrefixConsistency(t *testing.T) {
+	seeds, offset := 50, 0
+	if s := os.Getenv("CHAOS_SEEDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	if s := os.Getenv("CHAOS_SEED_OFFSET"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			offset = n
+		}
+	}
+	var totals struct {
+		deadlettered, dropped, duplicates, shed, checkpoints int64
+	}
+	for i := 0; i < seeds; i++ {
+		seed := int64(offset + i)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rep, err := Run(NewPlan(seed))
+			if err == nil {
+				err = rep.Verify()
+			}
+			if err != nil {
+				writeArtifact(t, seed, rep, err)
+				t.Fatal(err)
+			}
+			totals.deadlettered += rep.Deadlettered
+			totals.dropped += rep.Dropped
+			totals.duplicates += rep.Duplicates
+			totals.shed += rep.Shed
+			if rep.Plan.CheckpointAt > 0 {
+				totals.checkpoints++
+			}
+		})
+	}
+	if t.Failed() || offset != 0 || seeds < 50 {
+		return
+	}
+	// The default matrix must actually exercise every fault class — a
+	// harness that silently stops injecting faults would pass the
+	// oracle vacuously.
+	if totals.deadlettered == 0 {
+		t.Error("no seed dead-lettered a record; poison/reorder faults not firing")
+	}
+	if totals.dropped == 0 {
+		t.Error("no seed evicted a record; bounded-queue fault not firing")
+	}
+	if totals.duplicates == 0 {
+		t.Error("no seed deduplicated a redelivery; rewind fault not firing")
+	}
+	if totals.shed == 0 {
+		t.Error("no seed shed an instant; deadline/stall fault not firing")
+	}
+	if totals.checkpoints == 0 {
+		t.Error("no seed exercised checkpoint/restore")
+	}
+}
+
+// TestChaosRunDeterminism: the same seed must produce a bit-identical
+// report on re-execution — the property that makes a failing seed
+// replayable at all.
+func TestChaosRunDeterminism(t *testing.T) {
+	for _, seed := range []int64{3, 17, 41} {
+		a, err := Run(NewPlan(seed))
+		if err != nil {
+			t.Fatalf("seed %d first run: %v", seed, err)
+		}
+		b, err := Run(NewPlan(seed))
+		if err != nil {
+			t.Fatalf("seed %d second run: %v", seed, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("seed %d: two runs produced different reports", seed)
+		}
+	}
+}
+
+// writeArtifact dumps a failing seed's full report where CI can pick
+// it up (no-op unless CHAOS_ARTIFACT_DIR is set).
+func writeArtifact(t *testing.T, seed int64, rep *Report, runErr error) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos: artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.json", seed))
+	data, err := json.MarshalIndent(map[string]any{
+		"seed":   seed,
+		"error":  runErr.Error(),
+		"report": rep,
+	}, "", "  ")
+	if err != nil {
+		t.Logf("chaos: marshal artifact: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("chaos: write artifact: %v", err)
+		return
+	}
+	t.Logf("chaos: failing-seed artifact written to %s", path)
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCheckpointMidWindowOnExiting checkpoints at the worst possible
+// moment: after an element has been pushed past an evaluation instant
+// that has not run yet (the instant is due, the window is mid-fill).
+// The restored engine must evaluate that instant — and every later
+// one — exactly as the uninterrupted run does, including the ON
+// EXITING bag differences whose previous-result baseline has to be
+// reconstructed from the checkpointed history.
+func TestCheckpointMidWindowOnExiting(t *testing.T) {
+	const src = `
+REGISTER QUERY exiting STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT4S
+  EMIT r.v AS v ON EXITING EVERY PT2S }`
+	type ev struct {
+		rel int64
+		sec int
+		v   int64
+	}
+	evs := []ev{{1, 1, 20}, {2, 3, 21}, {3, 5, 22}, {4, 7, 23}, {5, 9, 24}}
+
+	// Reference: uninterrupted.
+	ref := &Collector{}
+	e := New()
+	if _, err := e.RegisterSource(src, ref.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range evs {
+		if err := e.Push(sensorGraph(el.rel, "s1", el.v), tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(tick(14)); err != nil { // flush trailing exits
+		t.Fatal(err)
+	}
+
+	// Interrupted: evaluate through t=3, push t=5 WITHOUT advancing
+	// (instant t=4 is now due but unevaluated), checkpoint, restore,
+	// continue.
+	part1 := &Collector{}
+	e1 := New()
+	if _, err := e1.RegisterSource(src, part1.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range evs[:2] {
+		if err := e1.Push(sensorGraph(el.rel, "s1", el.v), tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e1.AdvanceTo(tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Push(sensorGraph(evs[2].rel, "s1", evs[2].v), tick(evs[2].sec)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	part2 := &Collector{}
+	e2, err := Restore(&buf, func(string) Sink { return part2.Sink() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.AdvanceTo(tick(evs[2].sec)); err != nil {
+		t.Fatal(err)
+	}
+	for _, el := range evs[3:] {
+		if err := e2.Push(sensorGraph(el.rel, "s1", el.v), tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.AdvanceTo(tick(el.sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e2.AdvanceTo(tick(14)); err != nil {
+		t.Fatal(err)
+	}
+
+	combined := append(append([]Result(nil), part1.Results...), part2.Results...)
+	if len(combined) != len(ref.Results) {
+		t.Fatalf("evaluations: %d interrupted vs %d reference", len(combined), len(ref.Results))
+	}
+	for i := range ref.Results {
+		a, b := ref.Results[i], combined[i]
+		if !a.At.Equal(b.At) {
+			t.Fatalf("instant %d: %s vs %s", i, a.At, b.At)
+		}
+		if !sameBag(a.Table, b.Table) {
+			t.Errorf("ON EXITING diff differs at %s:\nref:\n%s\nrestored:\n%s",
+				a.At.Format("15:04:05"), a.Table, b.Table)
+		}
+	}
+}
+
+// faultCheckpointBytes builds a valid checkpoint with registered state
+// and buffered elements, for corruption tests.
+func faultCheckpointBytes(t *testing.T) []byte {
+	t.Helper()
+	e := New()
+	if _, err := e.RegisterSource(`
+REGISTER QUERY snap STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT8S
+  EMIT r.v AS v SNAPSHOT EVERY PT2S }`, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := e.Push(sensorGraph(int64(i), "s1", int64(20+i)), tick(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(tick(3)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRestoreTruncatedCheckpoint: every prefix of a valid checkpoint —
+// the shape a crash mid-write leaves behind — must fail with a
+// diagnostic error, never panic, never half-restore.
+func TestRestoreTruncatedCheckpoint(t *testing.T) {
+	// Trim insignificant trailing whitespace first so every truncation
+	// point cuts inside the JSON value itself.
+	data := bytes.TrimRight(faultCheckpointBytes(t), "\n")
+	for _, n := range []int{0, 1, len(data) / 3, len(data) / 2, len(data) - 1} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Restore of %d/%d-byte prefix panicked: %v", n, len(data), r)
+				}
+			}()
+			eng, err := Restore(bytes.NewReader(data[:n]), nil)
+			if err == nil {
+				t.Errorf("Restore of truncated %d/%d bytes succeeded", n, len(data))
+			}
+			if eng != nil {
+				t.Errorf("truncated restore at %d bytes returned a non-nil engine", n)
+			}
+		}()
+	}
+}
+
+// TestRestoreCorruptedCheckpoint: in-place corruption (bit rot, a
+// partially overwritten file) is rejected with an error, not a panic.
+func TestRestoreCorruptedCheckpoint(t *testing.T) {
+	data := faultCheckpointBytes(t)
+	zeroed := append([]byte(nil), data...)
+	for i := len(zeroed) / 3; i < len(zeroed)/3+16 && i < len(zeroed); i++ {
+		zeroed[i] = 0x00 // NUL bytes are illegal in JSON
+	}
+	cases := map[string][]byte{
+		"braces-swapped": bytes.ReplaceAll(data, []byte("{"), []byte("[")),
+		"zeroed-middle":  zeroed,
+		"binary-noise":   bytes.Repeat([]byte{0xff, 0x00, 0x7f}, 32),
+	}
+	for name, c := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: Restore panicked: %v", name, r)
+				}
+			}()
+			if _, err := Restore(bytes.NewReader(c), nil); err == nil {
+				t.Errorf("%s: Restore accepted corrupted checkpoint", name)
+			}
+		}()
+	}
+}

@@ -84,6 +84,14 @@ type Engine struct {
 	// table; 0 keeps unlimited history (Definition 5.7 semantics).
 	historyRetention int
 
+	// maxInFlight bounds the evaluation backlog admitted through
+	// Push/PushStream; <= 0 disables admission control. evalDeadline
+	// enables deadline shedding of stale evaluation instants; wallClock
+	// (default time.Now) is its time source. See overload.go.
+	maxInFlight  int
+	evalDeadline time.Duration
+	wallClock    func() time.Time
+
 	// scanMatcher forces the naive scan-based pattern matcher (no
 	// property indexes, no predicate pushdown, no typed adjacency, no
 	// cost-based part ordering). Ablation baseline for benchmarks.
@@ -199,6 +207,10 @@ type Stats struct {
 	// rolling snapshots in incremental mode.
 	IncrementalAdds    int
 	IncrementalRemoves int
+	// Shed counts evaluation instants skipped by deadline shedding
+	// (WithEvalDeadline); each one was reported to the sink as a Result
+	// with Skipped set.
+	Shed int
 }
 
 // Query is a registered continuous query.
@@ -244,6 +256,11 @@ type Query struct {
 	// acquire evalMu may simply raise the target and move on.
 	evalMu     sync.Mutex
 	evalTarget time.Time
+
+	// chainStart (guarded by mu) is the wall-clock time the current
+	// catch-up run of this query's chain began; zero while caught up.
+	// Deadline shedding measures against it (see overload.go).
+	chainStart time.Time
 }
 
 // Name returns the registration name.
@@ -424,6 +441,9 @@ func (e *Engine) Push(g *pg.Graph, ts time.Time) error {
 func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.admit(); err != nil {
+		return fmt.Errorf("engine: push to stream %q rejected: %w", streamName, err)
+	}
 	var targets []*Query
 	for _, q := range e.queries {
 		if q.streamName == streamName {

@@ -22,6 +22,9 @@ const (
 	mCacheHits       = "seraph_snapshot_cache_hits_total"
 	mCacheMisses     = "seraph_snapshot_cache_misses_total"
 	mIncApplied      = "seraph_incremental_applied_total"
+	mQueryShed       = "seraph_shed_total"
+	mBackpressure    = "seraph_backpressure_total"
+	mEvalBacklog     = "seraph_eval_backlog_instants"
 	mSchedQueueDepth = "seraph_scheduler_queue_depth"
 	mSchedBusy       = "seraph_scheduler_workers_busy"
 	mSchedInstants   = "seraph_scheduler_instants_total"
@@ -42,6 +45,7 @@ type queryMetrics struct {
 	rows          *metrics.Counter
 	evals         *metrics.Counter
 	failures      *metrics.Counter
+	shed          *metrics.Counter
 	cacheHits     *metrics.Counter
 	cacheMisses   *metrics.Counter
 	incAdds       *metrics.Counter
@@ -62,6 +66,7 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 		rows:          reg.Counter(mQueryRows, "Rows emitted to the query sink.", q),
 		evals:         reg.Counter(mQueryEvals, "Evaluation instants executed.", q),
 		failures:      reg.Counter(mQueryFailures, "Evaluations that failed and stopped the query.", q),
+		shed:          reg.Counter(mQueryShed, "Evaluation instants shed by deadline overload protection.", q),
 		cacheHits:     reg.Counter(mCacheHits, "Evaluations answered from the equal-window-contents cache.", q),
 		cacheMisses:   reg.Counter(mCacheMisses, "Evaluations that missed the equal-window-contents cache.", q),
 		incAdds:       reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "add")),
@@ -78,17 +83,21 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 
 // schedMetrics are the scheduler-level instruments (see scheduler.go).
 type schedMetrics struct {
-	queueDepth *metrics.Gauge     // due queries waiting for a worker slot
-	busy       *metrics.Gauge     // workers currently evaluating
-	instants   *metrics.Counter   // evaluation instants dispatched engine-wide
-	dispatch   *metrics.Histogram // AdvanceTo entry → worker pickup latency
+	queueDepth   *metrics.Gauge     // due queries waiting for a worker slot
+	busy         *metrics.Gauge     // workers currently evaluating
+	instants     *metrics.Counter   // evaluation instants dispatched engine-wide
+	dispatch     *metrics.Histogram // AdvanceTo entry → worker pickup latency
+	backpressure *metrics.Counter   // pushes rejected by admission control
+	backlog      *metrics.Gauge     // due-but-unexecuted evaluation instants
 }
 
 func newSchedMetrics(reg *metrics.Registry) schedMetrics {
 	return schedMetrics{
-		queueDepth: reg.Gauge(mSchedQueueDepth, "Due queries waiting for an evaluation worker."),
-		busy:       reg.Gauge(mSchedBusy, "Evaluation workers currently running a query chain."),
-		instants:   reg.Counter(mSchedInstants, "Evaluation instants executed across all queries."),
-		dispatch:   reg.Histogram(mSchedDispatch, "Latency from AdvanceTo dispatch to worker pickup."),
+		queueDepth:   reg.Gauge(mSchedQueueDepth, "Due queries waiting for an evaluation worker."),
+		busy:         reg.Gauge(mSchedBusy, "Evaluation workers currently running a query chain."),
+		instants:     reg.Counter(mSchedInstants, "Evaluation instants executed across all queries."),
+		dispatch:     reg.Histogram(mSchedDispatch, "Latency from AdvanceTo dispatch to worker pickup."),
+		backpressure: reg.Counter(mBackpressure, "Pushes rejected by admission control (ErrBusy)."),
+		backlog:      reg.Gauge(mEvalBacklog, "Due-but-unexecuted evaluation instants across all queries."),
 	}
 }

@@ -1,0 +1,126 @@
+package engine
+
+// overload.go is the engine's overload-protection layer: admission
+// control on Push/PushStream bounded by the evaluation backlog, and
+// deadline-based load shedding that skips evaluation instants with an
+// explicit marker instead of falling behind silently. Both mechanisms
+// are off by default and observable through the metrics registry
+// (seraph_backpressure_total, seraph_shed_total,
+// seraph_eval_backlog_instants).
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrBusy is returned by Push/PushStream when admission control is
+// enabled (WithMaxInFlight) and the evaluation backlog is at capacity.
+// It is transient: callers should back off and retry, and the HTTP
+// layer maps it to 429 + Retry-After. queue.IsTransient recognizes it
+// structurally, so the ingest connector's retry loop handles it
+// without importing this package's sentinels.
+var ErrBusy error = busyError("engine: evaluation backlog at capacity")
+
+type busyError string
+
+func (b busyError) Error() string { return string(b) }
+
+// Transient marks the error as retryable (see queue.IsTransient).
+func (busyError) Transient() bool { return true }
+
+// IsBusy reports whether err is (or wraps) the engine's admission
+// rejection.
+func IsBusy(err error) bool { return errors.Is(err, ErrBusy) }
+
+// WithMaxInFlight enables admission control: Push and PushStream are
+// rejected with ErrBusy while the engine-wide evaluation backlog — the
+// number of due-but-unexecuted evaluation instants across all
+// registered queries — is at or above n. A stalled sink or a slow
+// query therefore pushes back on producers instead of letting the
+// backlog grow without bound. n <= 0 (the default) disables admission
+// control.
+func WithMaxInFlight(n int) Option {
+	return func(e *Engine) { e.maxInFlight = n }
+}
+
+// WithEvalDeadline enables load shedding: once a query's evaluation
+// chain has been catching up for longer than d of wall-clock time,
+// every due instant except the most recent one is shed — skipped
+// without evaluation, reported to the sink as a Result with Skipped
+// set and counted in seraph_shed_total — so the query trades
+// completeness for freshness instead of falling behind silently. The
+// freshest due instant is always evaluated. d <= 0 (the default)
+// disables shedding.
+func WithEvalDeadline(d time.Duration) Option {
+	return func(e *Engine) { e.evalDeadline = d }
+}
+
+// WithWallClock injects the wall-clock source used for deadline
+// shedding (default time.Now). Tests and the chaos harness substitute
+// a virtual clock to make shed schedules deterministic.
+func WithWallClock(now func() time.Time) Option {
+	return func(e *Engine) { e.wallClock = now }
+}
+
+// EvalBacklog returns the number of due-but-unexecuted evaluation
+// instants across all registered queries, relative to the engine's
+// virtual clock. This is the quantity admission control bounds; it is
+// also exported as the seraph_eval_backlog_instants gauge.
+func (e *Engine) EvalBacklog() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evalBacklogLocked()
+}
+
+// evalBacklogLocked computes the backlog and refreshes its gauge. The
+// caller must hold e.mu; per-query state is read under q.mu
+// (lock order e.mu → q.mu).
+func (e *Engine) evalBacklogLocked() int64 {
+	var backlog int64
+	for _, q := range e.queries {
+		q.mu.Lock()
+		if !q.done && !q.pendingStart && !q.nextEval.After(e.now) && q.cfg.Slide > 0 {
+			backlog += int64(e.now.Sub(q.nextEval)/q.cfg.Slide) + 1
+		}
+		q.mu.Unlock()
+	}
+	e.sched.backlog.Set(backlog)
+	return backlog
+}
+
+// admit applies admission control for one push. The caller must hold
+// e.mu. It returns ErrBusy (counted in seraph_backpressure_total) when
+// the backlog is at capacity. The backlog is measured before the
+// incoming element's timestamp moves the virtual clock, so a sparse
+// stream's own time jumps are not held against it — only work that an
+// AdvanceTo has not yet drained.
+func (e *Engine) admit() error {
+	if e.maxInFlight <= 0 {
+		return nil
+	}
+	if backlog := e.evalBacklogLocked(); backlog >= int64(e.maxInFlight) {
+		e.sched.backpressure.Inc()
+		return ErrBusy
+	}
+	return nil
+}
+
+// shedDue reports whether the instant ω of q should be shed, given
+// that the chain began catching up at chainStart. The most recent due
+// instant is never shed. The caller must hold q.mu.
+func (e *Engine) shedDue(q *Query, ω time.Time) bool {
+	if e.evalDeadline <= 0 || q.chainStart.IsZero() {
+		return false
+	}
+	if ω.Add(q.cfg.Slide).After(q.evalTarget) {
+		return false // freshest due instant: always evaluate
+	}
+	return e.wallNow().Sub(q.chainStart) > e.evalDeadline
+}
+
+func (e *Engine) wallNow() time.Time {
+	if e.wallClock != nil {
+		return e.wallClock()
+	}
+	return time.Now()
+}

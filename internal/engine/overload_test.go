@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"seraph/internal/queue"
+)
+
+// TestAdmissionControlRejectsWhenBacklogged: with WithMaxInFlight, a
+// push arriving while due-but-unexecuted instants exceed the bound is
+// rejected with the transient ErrBusy, and admitted again once an
+// AdvanceTo drains the backlog.
+func TestAdmissionControlRejectsWhenBacklogged(t *testing.T) {
+	e := New(WithMaxInFlight(3), WithParallelism(1))
+	col := &Collector{}
+	if _, err := e.RegisterSource(`
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT10S
+  EMIT r.v AS v SNAPSHOT EVERY PT1S }`, col.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 1), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	// The clock is now at t=0 with one due instant — still under the
+	// bound, so the next push is admitted and moves the clock to t=10.
+	if err := e.Push(sensorGraph(2, "s1", 2), tick(10)); err != nil {
+		t.Fatalf("push under bound: %v", err)
+	}
+	// Eleven instants (t=0..10) are now due and nothing has drained
+	// them: the push must be rejected.
+	err := e.Push(sensorGraph(3, "s1", 3), tick(20))
+	if !IsBusy(err) {
+		t.Fatalf("backlogged push: %v, want ErrBusy", err)
+	}
+	if !queue.IsTransient(err) {
+		t.Error("ErrBusy must be transient so producers retry it")
+	}
+	if got := e.sched.backpressure.Value(); got != 1 {
+		t.Errorf("seraph_backpressure_total = %d, want 1", got)
+	}
+	if bl := e.EvalBacklog(); bl != 11 {
+		t.Errorf("EvalBacklog = %d, want 11", bl)
+	}
+	if got := e.sched.backlog.Value(); got != 11 {
+		t.Errorf("backlog gauge = %d, want 11", got)
+	}
+	if err := e.AdvanceTo(tick(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(3, "s1", 3), tick(20)); err != nil {
+		t.Fatalf("push after drain: %v", err)
+	}
+	if bl := e.EvalBacklog(); bl != 10 {
+		t.Errorf("EvalBacklog after drain+push = %d, want 10", bl)
+	}
+}
+
+// TestEvalDeadlineShedsStaleInstants: on a fake wall clock that makes
+// every catch-up step exceed the deadline, all stale due instants are
+// shed with explicit Skipped results while the freshest instant still
+// evaluates; once caught up, subsequent single instants evaluate
+// normally again.
+func TestEvalDeadlineShedsStaleInstants(t *testing.T) {
+	wall := time.Unix(0, 0)
+	clock := func() time.Time {
+		wall = wall.Add(60 * time.Millisecond)
+		return wall
+	}
+	e := New(
+		WithEvalDeadline(100*time.Millisecond),
+		WithWallClock(clock),
+		WithParallelism(1),
+	)
+	col := &Collector{}
+	q, err := e.RegisterSource(`
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT10S
+  EMIT r.v AS v SNAPSHOT EVERY PT1S }`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 7), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Six instants due (t=0..5). The fake clock advances 60ms per
+	// reading: t=0 is inside the 100ms deadline and evaluates; by t=1
+	// the chain is over deadline, so t=1..4 shed; t=5 is the freshest
+	// due instant and always evaluates.
+	if err := e.AdvanceTo(tick(5)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(col.Results))
+	}
+	for i, r := range col.Results {
+		wantSkip := i >= 1 && i <= 4
+		if r.Skipped != wantSkip {
+			t.Errorf("result %d at %s: Skipped = %v, want %v", i, r.At, r.Skipped, wantSkip)
+		}
+		if !r.At.Equal(tick(i)) {
+			t.Errorf("result %d at %s, want %s", i, r.At, tick(i))
+		}
+		if r.Table == nil {
+			t.Fatalf("result %d: nil table", i)
+		}
+		if r.Skipped && r.Table.Len() != 0 {
+			t.Errorf("skipped result %d has %d rows", i, r.Table.Len())
+		}
+		if !r.Skipped && r.Table.Len() != 1 {
+			t.Errorf("evaluated result %d has %d rows, want 1", i, r.Table.Len())
+		}
+	}
+	if st := q.Stats(); st.Shed != 4 || st.Evaluations != 2 {
+		t.Errorf("stats = shed %d evals %d, want 4/2", st.Shed, st.Evaluations)
+	}
+	if got := q.qm.shed.Value(); got != 4 {
+		t.Errorf("seraph_shed_total = %d, want 4", got)
+	}
+	// Shed instants leave no history entry: Ψ(ω) is undefined, not
+	// empty.
+	if got := q.History().Len(); got != 2 {
+		t.Errorf("history entries = %d, want 2", got)
+	}
+	// Caught up now; a single fresh instant is never shed even though
+	// the fake clock keeps racing ahead.
+	if err := e.Push(sensorGraph(2, "s1", 8), tick(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(6)); err != nil {
+		t.Fatal(err)
+	}
+	last := col.Last()
+	if last == nil || last.Skipped || !last.At.Equal(tick(6)) {
+		t.Errorf("fresh instant after catch-up: %+v", last)
+	}
+}
+
+// TestNoSheddingWithoutDeadline: the default configuration never sheds
+// regardless of how slow evaluation is.
+func TestNoSheddingWithoutDeadline(t *testing.T) {
+	e := New(WithParallelism(1))
+	col := &Collector{}
+	q, err := e.RegisterSource(`
+REGISTER QUERY hot STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT10S
+  EMIT r.v AS v SNAPSHOT EVERY PT1S }`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Push(sensorGraph(1, "s1", 7), tick(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(20)); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Shed != 0 || st.Evaluations != 21 {
+		t.Errorf("stats = shed %d evals %d, want 0/21", st.Shed, st.Evaluations)
+	}
+	for _, r := range col.Results {
+		if r.Skipped {
+			t.Fatalf("unexpected skipped result at %s", r.At)
+		}
+	}
+}

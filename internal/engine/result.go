@@ -27,6 +27,11 @@ type Result struct {
 	// (useful for monitoring and benchmarks).
 	SnapshotNodes int
 	SnapshotRels  int
+	// Skipped marks an instant shed by deadline overload protection
+	// (WithEvalDeadline): the query was not evaluated at At, and Table
+	// is an empty placeholder. Ψ(At) is undefined rather than empty —
+	// consumers must not treat a skipped result as "no rows matched".
+	Skipped bool
 }
 
 // Sink receives results from the engine. Implementations must be fast

@@ -31,6 +31,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"seraph/internal/eval"
 )
 
 // WithParallelism bounds the number of queries AdvanceTo evaluates
@@ -190,13 +192,46 @@ func (e *Engine) drain(q *Query) error {
 
 // evalNext runs the single earliest due instant of q, then invokes the
 // sink with all locks released. The caller must hold q.evalMu.
+//
+// Overload protection hooks in here twice: chainStart tracks how long
+// this catch-up run has been going (reset once the query is caught
+// up), and when the run exceeds the eval deadline every stale instant
+// is shed — skipped without evaluation and reported to the sink as a
+// Result with Skipped set — so only the freshest due instant pays the
+// full evaluation cost (see overload.go).
 func (e *Engine) evalNext(q *Query) error {
 	q.mu.Lock()
 	if q.done || q.pendingStart || q.nextEval.After(q.evalTarget) {
+		q.chainStart = time.Time{}
 		q.mu.Unlock()
 		return nil
 	}
 	ω := q.nextEval
+	if q.chainStart.IsZero() {
+		q.chainStart = e.wallNow()
+	}
+	if e.shedDue(q, ω) {
+		iv, _ := q.cfg.ActiveWindow(ω)
+		q.stats.Shed++
+		q.qm.shed.Inc()
+		q.nextEval = ω.Add(q.cfg.Slide)
+		q.hist.DropBefore(q.cfg.RetentionHorizon(ω))
+		q.mu.Unlock()
+		if e.logger != nil {
+			e.logger.Warn("seraph: shed evaluation instant",
+				"query", q.name, "at", ω)
+		}
+		if q.sink != nil {
+			q.sink(Result{
+				Query:   q.name,
+				At:      ω,
+				Window:  iv,
+				Table:   &eval.Table{},
+				Skipped: true,
+			})
+		}
+		return nil
+	}
 	res, err := e.evaluate(q, ω)
 	e.sched.instants.Inc()
 	if err != nil {
@@ -216,8 +251,14 @@ func (e *Engine) evalNext(q *Query) error {
 		// RETURN-terminated registration: single result then done.
 		q.done = true
 	}
+	// Prune relative to the instant just evaluated, not the next one:
+	// a checkpoint taken now must retain the elements needed to replay
+	// ω's window (Restore warms up by recomputing the last evaluation).
 	q.nextEval = ω.Add(q.cfg.Slide)
-	q.hist.DropBefore(q.cfg.RetentionHorizon(q.nextEval))
+	q.hist.DropBefore(q.cfg.RetentionHorizon(ω))
+	if q.nextEval.After(q.evalTarget) {
+		q.chainStart = time.Time{}
+	}
 	q.mu.Unlock()
 	if q.sink != nil && res != nil {
 		q.sink(*res)

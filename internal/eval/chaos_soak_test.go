@@ -1,0 +1,162 @@
+package eval_test
+
+// chaos_soak_test.go extends the planner's differential testing
+// (TestPlannerDifferentialQuick, in-package) into a concurrent soak:
+// several workers churn their own stores with rolling-window mutations
+// scheduled on a shared chaos clock while continuously cross-checking
+// the index-accelerated matcher against the scan matcher. Each worker
+// owns its store (graphstore is not internally synchronized — the
+// engine serializes access per query), but the parsed query ASTs are
+// shared read-only across workers, so `go test -race` checks that
+// evaluation never mutates a plan it does not own.
+//
+// It lives in package eval_test because the chaos package imports
+// eval; an in-package test file could not import it back.
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/chaos"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+var soakProbes = []string{
+	`MATCH (a:A)-[:R]->(b:B) WHERE a.k = 1 RETURN a.k, b.k`,
+	`MATCH (a:A {k: 0})-[:R|S]->(b) RETURN a.k, b.k`,
+	`MATCH (a)-[:S]->(b)-[:R]->(c) WHERE b.k = 2 RETURN a.k, b.k, c.k`,
+	`MATCH (a:A) OPTIONAL MATCH (a)-[:R]->(b:B) WHERE b.k = 1 RETURN a.k, b.k`,
+	`MATCH (a:A) WHERE a.k = 2 RETURN count(*) AS n`,
+}
+
+func soakBag(t *eval.Table) []string {
+	out := make([]string, 0, t.Len())
+	for i := range t.Rows {
+		out = append(out, t.RowKey(i))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPlannerDifferentialChaosSoak(t *testing.T) {
+	const workers = 4
+	steps := 60
+	if testing.Short() {
+		steps = 12
+	}
+	probes := make([]*ast.Query, len(soakProbes))
+	for i, src := range soakProbes {
+		q, err := parser.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		probes[i] = q
+	}
+
+	// The shared clock is advanced concurrently by every worker, so
+	// each worker's expiry schedule interleaves with the others' — the
+	// timing chaos. Correctness must hold at every interleaving.
+	clk := chaos.NewClock(time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC))
+	const window = 2 * time.Second
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			store := graphstore.New()
+			type elem struct {
+				a, b   *value.Node
+				rel    *value.Relationship
+				expiry time.Time
+			}
+			var live []elem
+			for step := 0; step < steps; step++ {
+				now := clk.Now()
+				// Roll the window: expire old elements the way the
+				// engine's retention does.
+				kept := live[:0]
+				for _, el := range live {
+					if el.expiry.After(now) {
+						kept = append(kept, el)
+						continue
+					}
+					store.DeleteRel(el.rel)
+					if err := store.DeleteNode(el.a, true); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := store.DeleteNode(el.b, true); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				live = kept
+				// Admit a fresh batch stamped with the current clock.
+				for i := 0; i < 1+r.Intn(4); i++ {
+					a := store.CreateNode([]string{"A"}, map[string]value.Value{
+						"k": value.NewInt(int64(r.Intn(3)))})
+					b := store.CreateNode([]string{"B"}, map[string]value.Value{
+						"k": value.NewInt(int64(r.Intn(3)))})
+					typ := "R"
+					if r.Intn(3) == 0 {
+						typ = "S"
+					}
+					rel, err := store.CreateRel(a.ID, b.ID, typ, map[string]value.Value{
+						"w": value.NewInt(int64(r.Intn(5)))})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					live = append(live, elem{a: a, b: b, rel: rel, expiry: now.Add(window)})
+				}
+				// Property churn exercises incremental index maintenance
+				// rather than fresh builds.
+				if len(live) > 0 {
+					el := live[r.Intn(len(live))]
+					n := el.a
+					if r.Intn(2) == 0 {
+						n = el.b
+					}
+					store.SetNodeProp(n, "k", value.NewInt(int64(r.Intn(3))))
+				}
+				// Differential probes: indexed vs scan, identical bags.
+				for pi, q := range probes {
+					planned, err1 := eval.EvalQuery(&eval.Ctx{Store: store}, q)
+					naive, err2 := eval.EvalQuery(&eval.Ctx{Store: store, DisableMatchIndexes: true}, q)
+					if (err1 == nil) != (err2 == nil) {
+						t.Errorf("worker %d step %d probe %d: planned err=%v, scan err=%v",
+							w, step, pi, err1, err2)
+						return
+					}
+					if err1 != nil {
+						continue
+					}
+					pb, nb := soakBag(planned), soakBag(naive)
+					if len(pb) != len(nb) {
+						t.Errorf("worker %d step %d probe %d: planned %d rows, scan %d rows",
+							w, step, pi, len(pb), len(nb))
+						return
+					}
+					for i := range pb {
+						if pb[i] != nb[i] {
+							t.Errorf("worker %d step %d probe %d row %d:\nplanned: %s\nscan:    %s",
+								w, step, pi, i, pb[i], nb[i])
+							return
+						}
+					}
+				}
+				clk.Advance(time.Duration(50+r.Intn(200)) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"seraph/internal/graphstore"
+	"seraph/internal/metrics"
 	"seraph/internal/pg"
 	"seraph/internal/queue"
 	"seraph/internal/value"
@@ -21,20 +22,58 @@ type StreamSink func(g *pg.Graph, ts time.Time) error
 // paper's dual pipeline where the Kafka connector also populates a
 // Neo4j database (Figure 2).
 type Connector struct {
+	broker   *queue.Broker
 	consumer *queue.Consumer
 	sink     StreamSink
 	store    *graphstore.Store // optional merged store
 
 	eventsDelivered int
+
+	// Fault handling (see overload.go). pending holds fetched-but-
+	// undelivered records after a deadline or retry-budget abort — they
+	// are delivered, exactly once each, before anything new is polled.
+	// applied tracks the next undelivered offset per partition so
+	// at-least-once redelivery (consumer rewind after a crash) is
+	// deduplicated instead of double-applied.
+	deadline    time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dlqTopic    string
+	now         func() time.Time
+	sleep       func(time.Duration)
+	pending     []queue.Record
+	applied     map[int]int64
+
+	deadlettered int64
+	duplicates   int64
+	retries      int64
+
+	mDeadletter *metrics.Counter
+	mDelivered  *metrics.Counter
+	mDuplicates *metrics.Counter
+	mRetries    *metrics.Counter
+	mLag        *metrics.Gauge
 }
 
 // NewConnector creates a connector consuming topic from b.
-func NewConnector(b *queue.Broker, topic string, sink StreamSink) (*Connector, error) {
-	c, err := queue.NewConsumer(b, "seraph-connector", topic)
+func NewConnector(b *queue.Broker, topic string, sink StreamSink, opts ...ConnectorOption) (*Connector, error) {
+	consumer, err := queue.NewConsumer(b, "seraph-connector", topic)
 	if err != nil {
 		return nil, err
 	}
-	return &Connector{consumer: c, sink: sink}, nil
+	c := &Connector{
+		broker:      b,
+		consumer:    consumer,
+		sink:        sink,
+		applied:     map[int]int64{},
+		backoffBase: time.Millisecond,
+		backoffMax:  250 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // WithMergedStore also maintains a fully merged graph (no windowing),
@@ -46,35 +85,109 @@ func (c *Connector) WithMergedStore(s *graphstore.Store) *Connector {
 
 // Poll consumes up to max pending events, delivering each to the sink
 // and merging into the store if configured. It returns the number of
-// events delivered.
+// events delivered. Records retained by a previous deadline or
+// retry-budget abort are delivered before anything new is polled.
 func (c *Connector) Poll(max int) (int, error) {
-	recs, err := c.consumer.Poll(max)
-	if err != nil {
-		return 0, err
+	recs := c.pending
+	c.pending = nil
+	if len(recs) == 0 {
+		var err error
+		recs, err = c.consumer.Poll(max)
+		if err != nil {
+			return 0, err
+		}
 	}
 	return c.deliver(recs)
 }
 
 // deliver decodes and dispatches fetched records.
+//
+// Fault handling (all opt-in, see overload.go): the batch runs under a
+// wall-clock deadline; a record the engine rejects transiently
+// (admission control) is retried with exponential backoff; a poison
+// record — undecodable, merge conflict, or permanently rejected — is
+// quarantined to the dead-letter topic; and records redelivered after
+// a consumer rewind are skipped by offset deduplication. On a deadline
+// or retry-budget abort the undelivered remainder is retained in
+// c.pending and the count of records that were delivered is still
+// returned alongside the transient error.
 func (c *Connector) deliver(recs []queue.Record) (int, error) {
-	for _, rec := range recs {
+	start := c.wallNow()
+	delivered := 0
+	for i, rec := range recs {
+		if c.deadline > 0 && c.wallNow().Sub(start) > c.deadline {
+			c.pending = append(c.pending, recs[i:]...)
+			return delivered, fmt.Errorf("ingest: delivered %d of %d records: %w",
+				delivered, len(recs), ErrBatchDeadline)
+		}
+		if next, ok := c.applied[rec.Partition]; ok && rec.Offset < next {
+			c.duplicates++
+			c.mDuplicates.Inc()
+			continue
+		}
 		g, ts, err := Decode(rec.Value)
 		if err != nil {
-			return 0, fmt.Errorf("ingest: record %s[%d]@%d: %w", rec.Topic, rec.Partition, rec.Offset, err)
+			err = fmt.Errorf("ingest: record %s[%d]@%d: %w", rec.Topic, rec.Partition, rec.Offset, err)
+			if !c.quarantine(rec, err) {
+				return delivered, err
+			}
+			c.applied[rec.Partition] = rec.Offset + 1
+			continue
 		}
 		if c.store != nil {
 			if err := MergeInto(c.store, g); err != nil {
-				return 0, err
+				if !c.quarantine(rec, err) {
+					return delivered, err
+				}
+				c.applied[rec.Partition] = rec.Offset + 1
+				continue
 			}
 		}
 		if c.sink != nil {
-			if err := c.sink(g, ts); err != nil {
-				return 0, err
+			if err := c.pushWithRetry(g, ts); err != nil {
+				if queue.IsTransient(err) {
+					// The engine is overloaded, not the record: retain it
+					// and everything after it for the next Poll.
+					c.pending = append(c.pending, recs[i:]...)
+					return delivered, err
+				}
+				if !c.quarantine(rec, err) {
+					return delivered, err
+				}
+				c.applied[rec.Partition] = rec.Offset + 1
+				continue
 			}
 		}
+		c.applied[rec.Partition] = rec.Offset + 1
 		c.eventsDelivered++
+		c.mDelivered.Inc()
+		delivered++
 	}
-	return len(recs), nil
+	if lag, err := c.consumer.Lag(); err == nil {
+		c.mLag.Set(lag + int64(len(c.pending)))
+	}
+	return delivered, nil
+}
+
+// pushWithRetry delivers one element to the sink, retrying transient
+// rejections with exponential backoff up to the configured budget.
+func (c *Connector) pushWithRetry(g *pg.Graph, ts time.Time) error {
+	backoff := c.backoffBase
+	for attempt := 0; ; attempt++ {
+		err := c.sink(g, ts)
+		if err == nil || !queue.IsTransient(err) || attempt >= c.maxRetries {
+			return err
+		}
+		c.retries++
+		c.mRetries.Inc()
+		c.doSleep(backoff)
+		if backoff < c.backoffMax {
+			backoff *= 2
+			if backoff > c.backoffMax {
+				backoff = c.backoffMax
+			}
+		}
+	}
 }
 
 // Drain polls until the topic is exhausted.
@@ -94,6 +207,10 @@ func (c *Connector) Drain() (int, error) {
 
 // EventsDelivered returns the number of events delivered so far.
 func (c *Connector) EventsDelivered() int { return c.eventsDelivered }
+
+// Consumer exposes the underlying consumer (the chaos harness rewinds
+// it to model redelivery after a crash).
+func (c *Connector) Consumer() *queue.Consumer { return c.consumer }
 
 // MergeInto merges event graph g into store under the unique name
 // assumption: vertices and relationships sharing an identifier are

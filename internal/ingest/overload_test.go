@@ -1,0 +1,267 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"seraph/internal/metrics"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+	"seraph/internal/value"
+)
+
+func eventPayload(t *testing.T, id int64, ts time.Time) []byte {
+	t.Helper()
+	g := pg.New()
+	g.AddNode(&value.Node{ID: id, Labels: []string{"N"}, Props: map[string]value.Value{}})
+	data, err := Encode(g, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func fillTopic(t *testing.T, b *queue.Broker, topic string, n int) {
+	t.Helper()
+	if err := b.CreateTopic(topic, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		ts := time.Unix(int64(i), 0).UTC()
+		if _, err := b.Produce(topic, "", eventPayload(t, int64(i+1), ts), ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConnectorDeadLetterQuarantine: poison records (undecodable
+// payloads, permanent sink rejections) land on the dead-letter topic
+// with the cause as the record key, and delivery continues instead of
+// aborting.
+func TestConnectorDeadLetterQuarantine(t *testing.T) {
+	b := queue.NewBroker()
+	fillTopic(t, b, "t", 2)
+	// A poison payload between two good records.
+	if _, err := b.Produce("t", "", []byte("garbage"), time.Unix(9, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "", eventPayload(t, 9, time.Unix(9, 0).UTC()), time.Unix(9, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	var got int
+	rejectLast := errors.New("element out of order")
+	conn, err := NewConnector(b, "t", func(g *pg.Graph, ts time.Time) error {
+		if got == 2 {
+			// Permanent (non-transient) engine rejection: poison too.
+			return rejectLast
+		}
+		got++
+		return nil
+	}, WithDeadLetter("t-dlq"), WithIngestMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Drain()
+	if err != nil {
+		t.Fatalf("drain with quarantine: %v", err)
+	}
+	if n != 2 || got != 2 {
+		t.Errorf("delivered %d (sink saw %d), want 2", n, got)
+	}
+	if conn.Deadlettered() != 2 {
+		t.Errorf("deadlettered = %d, want 2", conn.Deadlettered())
+	}
+	// Both poison records are preserved verbatim on the DLQ.
+	dlq, err := queue.NewConsumer(b, "inspect", "t-dlq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := dlq.Poll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("dlq records = %d, want 2", len(recs))
+	}
+	if string(recs[0].Value) != "garbage" {
+		t.Errorf("dlq payload = %q, want original bytes", recs[0].Value)
+	}
+	if recs[1].Key == "" {
+		t.Error("dlq key should carry the quarantine cause")
+	}
+	if v := reg.Counter(mDeadletter, "").Value(); v != 2 {
+		t.Errorf("seraph_deadletter_total = %d, want 2", v)
+	}
+}
+
+// TestConnectorAbortsWithoutDeadLetter: the historical behaviour is
+// preserved when no DLQ is configured — a poison record aborts the
+// poll with its error.
+func TestConnectorAbortsWithoutDeadLetter(t *testing.T) {
+	b := queue.NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Produce("t", "", []byte("garbage"), time.Unix(0, 0))
+	conn, err := NewConnector(b, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Poll(10); err == nil {
+		t.Error("poison record without DLQ must abort")
+	}
+}
+
+// TestConnectorRetriesTransientRejection: a sink that rejects
+// transiently (engine admission control) is retried with backoff on
+// the injected clock until it accepts.
+func TestConnectorRetriesTransientRejection(t *testing.T) {
+	b := queue.NewBroker()
+	fillTopic(t, b, "t", 3)
+	var sleeps []time.Duration
+	rejections := 0
+	conn, err := NewConnector(b, "t", func(g *pg.Graph, ts time.Time) error {
+		if rejections < 4 {
+			rejections++
+			return fmt.Errorf("wrapped: %w", queue.ErrFull)
+		}
+		return nil
+	},
+		WithSinkRetry(8, time.Millisecond, 4*time.Millisecond),
+		WithConnectorClock(nil, func(d time.Duration) { sleeps = append(sleeps, d) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || conn.Retries() != 4 {
+		t.Errorf("delivered %d retries %d, want 3/4", n, conn.Retries())
+	}
+	want := []time.Duration{1, 2, 4, 4}
+	for i, d := range sleeps {
+		if d != want[i]*time.Millisecond {
+			t.Errorf("sleep %d = %v, want %v", i, d, want[i]*time.Millisecond)
+		}
+	}
+}
+
+// TestConnectorRetainsBatchOnExhaustedRetries: when the retry budget
+// runs out the failing record and the rest of the batch are retained,
+// then delivered exactly once by the next Poll — no loss, no
+// double-apply.
+func TestConnectorRetainsBatchOnExhaustedRetries(t *testing.T) {
+	b := queue.NewBroker()
+	fillTopic(t, b, "t", 5)
+	busy := true
+	var applied []time.Time
+	conn, err := NewConnector(b, "t", func(g *pg.Graph, ts time.Time) error {
+		if busy && len(applied) >= 2 {
+			return queue.ErrFull
+		}
+		applied = append(applied, ts)
+		return nil
+	},
+		WithSinkRetry(1, time.Millisecond, time.Millisecond),
+		WithConnectorClock(nil, func(time.Duration) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Poll(10)
+	if !queue.IsTransient(err) {
+		t.Fatalf("poll during overload: %v, want transient", err)
+	}
+	if n != 2 || conn.Pending() != 3 {
+		t.Fatalf("delivered %d pending %d, want 2/3", n, conn.Pending())
+	}
+	busy = false
+	n, err = conn.Poll(10)
+	if err != nil || n != 3 {
+		t.Fatalf("recovery poll: %d, %v", n, err)
+	}
+	if len(applied) != 5 {
+		t.Fatalf("applied %d records, want 5", len(applied))
+	}
+	for i := 1; i < len(applied); i++ {
+		if applied[i].Before(applied[i-1]) {
+			t.Fatal("out-of-order apply after retention")
+		}
+	}
+}
+
+// TestConnectorBatchDeadline: a slow sink trips the per-batch deadline;
+// the remainder is retained and delivered on the next poll.
+func TestConnectorBatchDeadline(t *testing.T) {
+	b := queue.NewBroker()
+	fillTopic(t, b, "t", 6)
+	wall := time.Unix(0, 0)
+	now := func() time.Time {
+		wall = wall.Add(40 * time.Millisecond)
+		return wall
+	}
+	var applied int
+	conn, err := NewConnector(b, "t", func(g *pg.Graph, ts time.Time) error {
+		applied++
+		return nil
+	},
+		WithBatchDeadline(100*time.Millisecond),
+		WithConnectorClock(now, func(time.Duration) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Poll(10)
+	if !errors.Is(err, ErrBatchDeadline) {
+		t.Fatalf("poll past deadline: %v, want ErrBatchDeadline", err)
+	}
+	if !queue.IsTransient(err) {
+		t.Error("deadline error must be transient")
+	}
+	if n == 0 || n == 6 || n+conn.Pending() != 6 {
+		t.Fatalf("delivered %d pending %d", n, conn.Pending())
+	}
+	total := n
+	for conn.Pending() > 0 {
+		m, err := conn.Poll(10)
+		if err != nil && !errors.Is(err, ErrBatchDeadline) {
+			t.Fatal(err)
+		}
+		total += m
+	}
+	if total != 6 || applied != 6 {
+		t.Errorf("total delivered %d applied %d, want 6", total, applied)
+	}
+}
+
+// TestConnectorDedupsRedelivery: after a consumer rewind (modeling a
+// crash between apply and offset persistence), redelivered records are
+// skipped by offset deduplication rather than applied twice.
+func TestConnectorDedupsRedelivery(t *testing.T) {
+	b := queue.NewBroker()
+	fillTopic(t, b, "t", 4)
+	var applied int
+	conn, err := NewConnector(b, "t", func(g *pg.Graph, ts time.Time) error {
+		applied++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Consumer().Rewind(3)
+	n, err := conn.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || applied != 4 {
+		t.Errorf("redelivery applied %d new (%d total), want 0/4", n, applied)
+	}
+	if conn.Duplicates() != 3 {
+		t.Errorf("duplicates = %d, want 3", conn.Duplicates())
+	}
+}

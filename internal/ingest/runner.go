@@ -4,6 +4,11 @@ package ingest
 // waiting for new records when the topic is drained. It returns 0 only
 // when the broker has been closed and everything was delivered.
 func (c *Connector) PollBlocking(max int) (int, error) {
+	if len(c.pending) > 0 {
+		recs := c.pending
+		c.pending = nil
+		return c.deliver(recs)
+	}
 	recs, err := c.consumer.PollBlocking(max)
 	if err != nil {
 		return 0, err

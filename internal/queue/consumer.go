@@ -1,7 +1,6 @@
 package queue
 
 import (
-	"sort"
 	"sync"
 )
 
@@ -15,52 +14,97 @@ type Consumer struct {
 	group   string
 	topic   string
 	offsets []int64
+	dropped int64
 }
 
 // NewConsumer creates a consumer group member for a topic, starting at
-// the earliest offsets.
+// the earliest retained offsets. The group is registered with the
+// broker so bounded topics account this consumer's backlog.
 func NewConsumer(b *Broker, group, topicName string) (*Consumer, error) {
 	n, err := b.Partitions(topicName)
 	if err != nil {
 		return nil, err
 	}
-	return &Consumer{
+	if err := b.registerGroup(group, topicName); err != nil {
+		return nil, err
+	}
+	c := &Consumer{
 		broker:  b,
 		group:   group,
 		topic:   topicName,
 		offsets: make([]int64, n),
-	}, nil
+	}
+	for p := 0; p < n; p++ {
+		if off := b.Committed(group, topicName, p); off > 0 {
+			c.offsets[p] = off
+		}
+	}
+	return c, nil
 }
 
 // Poll returns up to max pending records across all partitions, merged
-// in timestamp order, advancing the consumer's positions. An empty
-// result means the consumer is caught up.
+// across partitions in timestamp order, advancing the consumer's
+// positions. An empty result means the consumer is caught up.
+//
+// The merge is a k-way head merge: at every step the next record is
+// the head (lowest unconsumed offset) of the partition whose head has
+// the smallest timestamp, ties broken by partition index. Within a
+// partition, records are always delivered in offset order even when
+// their timestamps are not monotone, and — unlike a fetch-sort-truncate
+// merge — the delivery order is independent of the poll batch size, so
+// replaying a topic yields one deterministic sequence no matter how it
+// is chunked (see TestConsumerMergeDeterminism).
 func (c *Consumer) Poll(max int) ([]Record, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var out []Record
+	if max <= 0 {
+		return nil, nil
+	}
+	// Fetch up to max records per partition. If a partition's buffer is
+	// exhausted before the output fills, the partition itself is fully
+	// drained (its buffer held fewer than max records), so no refetch is
+	// ever needed for a max-sized output.
+	heads := make([][]Record, len(c.offsets))
 	for p := range c.offsets {
-		recs, err := c.broker.Fetch(c.topic, p, c.offsets[p], max)
+		recs, skipped, err := c.broker.fetchFrom(c.topic, p, c.offsets[p], max)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, recs...)
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Time.Equal(out[j].Time) {
-			return out[i].Time.Before(out[j].Time)
+		if skipped > 0 {
+			// Records evicted by PolicyDropOldest before this consumer
+			// reached them: jump past the gap and account the loss.
+			c.dropped += skipped
+			c.offsets[p] += skipped
 		}
-		if out[i].Partition != out[j].Partition {
-			return out[i].Partition < out[j].Partition
-		}
-		return out[i].Offset < out[j].Offset
-	})
-	if len(out) > max {
-		out = out[:max]
+		heads[p] = recs
 	}
-	for _, r := range out {
-		if r.Offset+1 > c.offsets[r.Partition] {
-			c.offsets[r.Partition] = r.Offset + 1
+	var out []Record
+	idx := make([]int, len(heads))
+	for len(out) < max {
+		best := -1
+		for p := range heads {
+			if idx[p] >= len(heads[p]) {
+				continue
+			}
+			if best == -1 || heads[p][idx[p]].Time.Before(heads[best][idx[best]].Time) {
+				best = p
+			}
+		}
+		if best == -1 {
+			break
+		}
+		rec := heads[best][idx[best]]
+		idx[best]++
+		out = append(out, rec)
+		c.offsets[best] = rec.Offset + 1
+	}
+	// Auto-commit the advanced positions so bounded topics can free
+	// capacity (and unblock PolicyBlock producers).
+	for p := range c.offsets {
+		if idx[p] > 0 || c.offsets[p] > 0 {
+			if err := c.broker.Commit(c.group, c.topic, p, c.offsets[p]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return out, nil
@@ -114,6 +158,14 @@ func (c *Consumer) Lag() (int64, error) {
 	return lag, nil
 }
 
+// Dropped returns the number of records this consumer skipped because
+// PolicyDropOldest evicted them before they were polled.
+func (c *Consumer) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
 // Offsets returns a copy of the committed offsets per partition.
 func (c *Consumer) Offsets() []int64 {
 	c.mu.Lock()
@@ -121,11 +173,27 @@ func (c *Consumer) Offsets() []int64 {
 	return append([]int64(nil), c.offsets...)
 }
 
-// Seek resets the position of a partition (replay support).
+// Seek resets the position of a partition (replay support). Seeking
+// backwards redelivers records on the next Poll.
 func (c *Consumer) Seek(partition int, offset int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if partition >= 0 && partition < len(c.offsets) && offset >= 0 {
 		c.offsets[partition] = offset
+	}
+}
+
+// Rewind moves every partition position back by n records (not below
+// zero), forcing redelivery — the chaos harness uses it to model a
+// consumer that crashed after processing but before persisting its
+// offsets (at-least-once delivery).
+func (c *Consumer) Rewind(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for p := range c.offsets {
+		c.offsets[p] -= n
+		if c.offsets[p] < 0 {
+			c.offsets[p] = 0
+		}
 	}
 }

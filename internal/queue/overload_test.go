@@ -1,0 +1,317 @@
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBoundedTopicReject(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 3, Policy: PolicyReject}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Produce("t", "", []byte{byte(i)}, ts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := b.Produce("t", "", []byte{9}, ts(9))
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("produce at capacity: %v, want ErrFull", err)
+	}
+	if !IsTransient(err) {
+		t.Error("ErrFull must be transient")
+	}
+	st, _ := b.Stats("t")
+	if st.Rejected != 1 || st.Produced != 3 || st.Backlog != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	// A consumer catching up frees capacity.
+	c, err := NewConsumer(b, "g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := c.Poll(2); len(recs) != 2 {
+		t.Fatalf("poll: %d", len(recs))
+	}
+	if _, err := b.Produce("t", "", []byte{9}, ts(9)); err != nil {
+		t.Fatalf("produce after consume: %v", err)
+	}
+}
+
+func TestBoundedTopicDropOldest(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 2, Policy: PolicyDropOldest}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConsumer(b, "g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := b.Produce("t", "", []byte{byte(i)}, ts(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := b.Stats("t")
+	if st.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", st.Dropped)
+	}
+	recs, err := c.Poll(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Offset != 3 || recs[1].Offset != 4 {
+		t.Fatalf("survivors: %+v", recs)
+	}
+	// The consumer observed the gap: three records it never saw.
+	if c.Dropped() != 3 {
+		t.Errorf("consumer dropped = %d, want 3", c.Dropped())
+	}
+	if lag, _ := c.Lag(); lag != 0 {
+		t.Errorf("lag = %d", lag)
+	}
+}
+
+func TestBoundedTopicBlockUnblocksOnCommit(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 1, Policy: PolicyBlock}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConsumer(b, "g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "", []byte{0}, ts(0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Produce("t", "", []byte{1}, ts(1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("produce should have blocked, returned %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if recs, _ := c.Poll(1); len(recs) != 1 {
+		t.Fatal("expected one record")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("unblocked produce: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("produce did not unblock after consumer commit")
+	}
+}
+
+func TestBoundedTopicBlockReleasedOnClose(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 1, Policy: PolicyBlock}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "", []byte{0}, ts(0)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Produce("t", "", []byte{1}, ts(1))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked produce after close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked produce not released on Close")
+	}
+}
+
+// TestProducerRetryBackoff drives the retrying producer against a full
+// PolicyReject topic on a fake clock: the produce must succeed once a
+// consumer frees capacity mid-schedule, and the observed sleeps must
+// follow the exponential range.
+func TestProducerRetryBackoff(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 1, Policy: PolicyReject}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewConsumer(b, "g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "", []byte{0}, ts(0)); err != nil {
+		t.Fatal(err)
+	}
+	var sleeps []time.Duration
+	p := NewProducer(b, "t",
+		WithProducerRetry(6, time.Millisecond, 8*time.Millisecond),
+		WithProducerJitterSeed(7),
+		WithProducerSleep(func(d time.Duration) {
+			sleeps = append(sleeps, d)
+			if len(sleeps) == 3 {
+				// The consumer catches up mid-backoff.
+				if _, err := c.Poll(100); err != nil {
+					t.Error(err)
+				}
+			}
+		}))
+	if _, err := p.Produce("", []byte{1}, ts(1)); err != nil {
+		t.Fatalf("retrying produce: %v", err)
+	}
+	if len(sleeps) != 3 || p.Retries() != 3 {
+		t.Fatalf("sleeps = %v retries = %d, want 3", sleeps, p.Retries())
+	}
+	limits := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond}
+	for i, d := range sleeps {
+		if d < limits[i]/2 || d > limits[i] {
+			t.Errorf("sleep %d = %v, want within [%v, %v]", i, d, limits[i]/2, limits[i])
+		}
+	}
+}
+
+func TestProducerExhaustsRetries(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopicWith("t", TopicConfig{Partitions: 1, Capacity: 1, Policy: PolicyReject}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewConsumer(b, "g", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Produce("t", "", []byte{0}, ts(0)); err != nil {
+		t.Fatal(err)
+	}
+	p := NewProducer(b, "t",
+		WithProducerRetry(2, time.Millisecond, time.Millisecond),
+		WithProducerSleep(func(time.Duration) {}))
+	_, err := p.Produce("", []byte{1}, ts(1))
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("exhausted retries: %v, want wrapped ErrFull", err)
+	}
+	// Permanent errors are not retried.
+	p2 := NewProducer(b, "missing", WithProducerSleep(func(time.Duration) {
+		t.Error("permanent error must not sleep")
+	}))
+	if _, err := p2.Produce("", nil, ts(0)); err == nil {
+		t.Fatal("unknown topic must fail")
+	}
+}
+
+// TestConsumerMergeDeterminism is the satellite differential test: the
+// sequence a consumer observes must be identical regardless of poll
+// batch size, including when equal timestamps collide across
+// partitions and when producers write timestamps out of order within a
+// partition. The pre-fix Poll (global sort + truncate) violated this:
+// a large batch reordered out-of-order records inside one partition,
+// while batch size 1 delivered them in offset order.
+func TestConsumerMergeDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		parts := 1 + r.Intn(4)
+		n := 20 + r.Intn(60)
+		b := NewBroker()
+		if err := b.CreateTopic("t", parts); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			// Coarse timestamps force cross-partition collisions; the
+			// occasional backwards jitter forces out-of-order records
+			// within a partition.
+			sec := r.Intn(8)
+			if r.Intn(4) == 0 {
+				sec -= r.Intn(3)
+				if sec < 0 {
+					sec = 0
+				}
+			}
+			key := string(rune('a' + r.Intn(2*parts)))
+			if _, err := b.Produce("t", key, []byte{byte(i)}, ts(sec)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sequence := func(group string, max int) []Record {
+			c, err := NewConsumer(b, group, "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Record
+			for {
+				recs, err := c.Poll(max)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(recs) == 0 {
+					return out
+				}
+				out = append(out, recs...)
+			}
+		}
+		ref := sequence("g1", 1)
+		if len(ref) != n {
+			t.Fatalf("seed %d: consumed %d of %d", seed, len(ref), n)
+		}
+		for _, max := range []int{2, 3, 7, n, 10 * n} {
+			got := sequence(fmt.Sprintf("g-max-%d", max), max)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d max %d: %d records, want %d", seed, max, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i].Partition != ref[i].Partition || got[i].Offset != ref[i].Offset {
+					t.Fatalf("seed %d max %d: record %d = p%d@%d, want p%d@%d (batch-size-dependent merge order)",
+						seed, max, i, got[i].Partition, got[i].Offset, ref[i].Partition, ref[i].Offset)
+				}
+			}
+		}
+		// Per-partition offset order must always hold.
+		last := map[int]int64{}
+		for _, rec := range ref {
+			if prev, ok := last[rec.Partition]; ok && rec.Offset <= prev {
+				t.Fatalf("seed %d: partition %d offsets out of order", seed, rec.Partition)
+			}
+			last[rec.Partition] = rec.Offset
+		}
+	}
+}
+
+func TestConsumerRewindRedelivers(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Produce("t", "", []byte{byte(i)}, ts(i))
+	}
+	c, _ := NewConsumer(b, "g", "t")
+	first, _ := c.Poll(100)
+	c.Rewind(2)
+	again, _ := c.Poll(100)
+	if len(first) != 5 || len(again) != 2 || again[0].Offset != 3 {
+		t.Errorf("rewind redelivery: first=%d again=%+v", len(first), again)
+	}
+}
+
+func TestParseFullPolicy(t *testing.T) {
+	for s, want := range map[string]FullPolicy{
+		"block": PolicyBlock, "reject": PolicyReject, "drop-oldest": PolicyDropOldest,
+	} {
+		got, err := ParseFullPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFullPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseFullPolicy("nope"); err == nil {
+		t.Error("unknown policy must fail")
+	}
+}

@@ -1,0 +1,101 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Producer wraps a broker topic with retry semantics: transient
+// produce failures (ErrFull on a PolicyReject topic) are retried with
+// exponential backoff plus jitter, up to a retry budget. Permanent
+// errors (unknown topic, closed broker) fail immediately.
+//
+// The sleep function and the jitter source are injectable so tests and
+// the chaos harness can run the retry schedule on a virtual clock,
+// deterministically.
+type Producer struct {
+	broker *Broker
+	topic  string
+
+	maxRetries int
+	base       time.Duration
+	max        time.Duration
+	sleep      func(time.Duration)
+	rng        *rand.Rand
+
+	retries int64
+}
+
+// ProducerOption configures a Producer.
+type ProducerOption func(*Producer)
+
+// WithProducerRetry sets the retry budget and the backoff range: the
+// delay starts at base, doubles per attempt, and is capped at max.
+func WithProducerRetry(maxRetries int, base, max time.Duration) ProducerOption {
+	return func(p *Producer) { p.maxRetries, p.base, p.max = maxRetries, base, max }
+}
+
+// WithProducerSleep injects the sleep function used between retries
+// (default time.Sleep). The chaos harness passes a virtual clock.
+func WithProducerSleep(sleep func(time.Duration)) ProducerOption {
+	return func(p *Producer) { p.sleep = sleep }
+}
+
+// WithProducerJitterSeed seeds the jitter source so retry schedules
+// are reproducible. The default is an unseeded schedule-independent
+// source.
+func WithProducerJitterSeed(seed int64) ProducerOption {
+	return func(p *Producer) { p.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewProducer returns a retrying producer for one topic. Defaults: 8
+// retries, 1ms base backoff, 250ms cap, real sleep.
+func NewProducer(b *Broker, topic string, opts ...ProducerOption) *Producer {
+	p := &Producer{
+		broker:     b,
+		topic:      topic,
+		maxRetries: 8,
+		base:       time.Millisecond,
+		max:        250 * time.Millisecond,
+		sleep:      time.Sleep,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(1))
+	}
+	return p
+}
+
+// Produce publishes one record, retrying transient failures with
+// exponential backoff + jitter. The returned error wraps the last
+// produce error when the retry budget is exhausted.
+func (p *Producer) Produce(key string, val []byte, ts time.Time) (Record, error) {
+	backoff := p.base
+	for attempt := 0; ; attempt++ {
+		rec, err := p.broker.Produce(p.topic, key, val, ts)
+		if err == nil || !IsTransient(err) {
+			return rec, err
+		}
+		if attempt >= p.maxRetries {
+			return Record{}, fmt.Errorf("queue: produce to %q failed after %d retries: %w",
+				p.topic, attempt, err)
+		}
+		p.retries++
+		// Full jitter on top of the exponential step: a random delay in
+		// [backoff/2, backoff] so synchronized producers desynchronize.
+		d := backoff/2 + time.Duration(p.rng.Int63n(int64(backoff/2)+1))
+		p.sleep(d)
+		if backoff < p.max {
+			backoff *= 2
+			if backoff > p.max {
+				backoff = p.max
+			}
+		}
+	}
+}
+
+// Retries returns the number of retry sleeps performed so far.
+func (p *Producer) Retries() int64 { return p.retries }

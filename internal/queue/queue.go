@@ -6,6 +6,15 @@
 // committed offsets — without a network dependency, so the ingestion
 // code path (produce → consume → merge into graph) is exercised
 // end-to-end.
+//
+// Topics may be bounded (TopicConfig.Capacity): the per-partition
+// backlog of records not yet consumed by every registered consumer
+// group is capped, and the FullPolicy decides what a producer hitting
+// the cap experiences — Block until a consumer catches up, Reject with
+// the transient ErrFull, or DropOldest, which evicts the oldest
+// unconsumed record (observable through Stats and through the skipping
+// consumer's Dropped counter). Records already consumed by every group
+// are trimmed silently; that is compaction, not loss.
 package queue
 
 import (
@@ -18,6 +27,82 @@ import (
 // ErrClosed is returned by operations on a closed broker.
 var ErrClosed = errors.New("queue: broker closed")
 
+// transientError marks errors that a producer may retry: the condition
+// is expected to clear (consumers catch up, the engine drains its
+// backlog). IsTransient recognizes any error implementing
+// Transient() bool, so other layers (e.g. the engine's admission
+// control) can participate without importing this package.
+type transientError string
+
+func (e transientError) Error() string { return string(e) }
+func (transientError) Transient() bool { return true }
+
+// ErrFull is returned by Produce on a bounded topic with PolicyReject
+// when the partition backlog is at capacity. It is transient: a
+// retrying producer (see Producer) may succeed once consumers advance.
+var ErrFull error = transientError("queue: topic at capacity")
+
+// IsTransient reports whether err (or anything it wraps) is a
+// retryable, load-related condition rather than a permanent failure.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// FullPolicy selects what Produce does when a bounded topic partition
+// is at capacity.
+type FullPolicy int
+
+const (
+	// PolicyBlock makes Produce wait until a consumer group commit (or
+	// an eviction) frees space. Producers are released with ErrClosed
+	// when the broker closes.
+	PolicyBlock FullPolicy = iota
+	// PolicyReject makes Produce fail fast with ErrFull.
+	PolicyReject
+	// PolicyDropOldest evicts the oldest unconsumed record to make
+	// room. Evictions are counted in Stats.Dropped, and a consumer whose
+	// position falls below the trimmed base observes the gap through
+	// its Dropped counter.
+	PolicyDropOldest
+)
+
+// String implements flag-friendly rendering.
+func (p FullPolicy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyReject:
+		return "reject"
+	case PolicyDropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("FullPolicy(%d)", int(p))
+}
+
+// ParseFullPolicy parses the -full-policy flag values.
+func ParseFullPolicy(s string) (FullPolicy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "reject":
+		return PolicyReject, nil
+	case "drop-oldest", "drop_oldest", "dropoldest":
+		return PolicyDropOldest, nil
+	}
+	return 0, fmt.Errorf("queue: unknown full-queue policy %q (want block, reject or drop-oldest)", s)
+}
+
+// TopicConfig configures a topic at creation.
+type TopicConfig struct {
+	Partitions int
+	// Capacity bounds the per-partition backlog (records not yet
+	// consumed by every registered consumer group). 0 means unbounded.
+	Capacity int
+	// Policy selects the full-queue behaviour for bounded topics.
+	Policy FullPolicy
+}
+
 // Record is one event: an opaque payload with a timestamp and an
 // optional key (used for partition routing).
 type Record struct {
@@ -29,23 +114,48 @@ type Record struct {
 	Time      time.Time
 }
 
+// TopicStats are per-topic counters.
+type TopicStats struct {
+	// Produced is the number of records accepted by Produce.
+	Produced int64
+	// Dropped is the number of unconsumed records evicted by
+	// PolicyDropOldest.
+	Dropped int64
+	// Rejected is the number of Produce calls refused with ErrFull.
+	Rejected int64
+	// Backlog is the current total of retained unconsumed records.
+	Backlog int64
+}
+
 // Broker is an in-memory multi-topic event log. All methods are safe
 // for concurrent use.
 type Broker struct {
-	mu     sync.Mutex
-	topics map[string]*topic
-	closed bool
+	mu      sync.Mutex
+	topics  map[string]*topic
+	commits map[groupKey]int64
+	closed  bool
 }
 
 type topic struct {
 	name       string
+	cfg        TopicConfig
 	partitions []*partition
-	waiters    []chan struct{}
+	groups     map[string]struct{}
+	waiters    []chan struct{} // consumers waiting for records
+	space      []chan struct{} // producers waiting for capacity
+	produced   int64
+	dropped    int64
+	rejected   int64
 }
 
 type partition struct {
+	// base is the offset of records[0]; offsets below base were either
+	// consumed-and-trimmed or evicted by PolicyDropOldest.
+	base    int64
 	records []Record
 }
+
+func (p *partition) end() int64 { return p.base + int64(len(p.records)) }
 
 // groupKey identifies a consumer group's committed offset.
 type groupKey struct {
@@ -56,14 +166,24 @@ type groupKey struct {
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{topics: map[string]*topic{}}
+	return &Broker{topics: map[string]*topic{}, commits: map[groupKey]int64{}}
 }
 
-// CreateTopic creates a topic with the given partition count. Creating
-// an existing topic with the same partition count is a no-op.
+// CreateTopic creates an unbounded topic with the given partition
+// count. Creating an existing topic with the same partition count is a
+// no-op.
 func (b *Broker) CreateTopic(name string, partitions int) error {
-	if partitions <= 0 {
+	return b.CreateTopicWith(name, TopicConfig{Partitions: partitions})
+}
+
+// CreateTopicWith creates a topic with full configuration. Re-creating
+// an existing topic is a no-op when the configuration matches.
+func (b *Broker) CreateTopicWith(name string, cfg TopicConfig) error {
+	if cfg.Partitions <= 0 {
 		return fmt.Errorf("queue: topic %q: partitions must be positive", name)
+	}
+	if cfg.Capacity < 0 {
+		return fmt.Errorf("queue: topic %q: capacity must be non-negative", name)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -71,13 +191,13 @@ func (b *Broker) CreateTopic(name string, partitions int) error {
 		return ErrClosed
 	}
 	if t, ok := b.topics[name]; ok {
-		if len(t.partitions) != partitions {
-			return fmt.Errorf("queue: topic %q already exists with %d partitions", name, len(t.partitions))
+		if t.cfg != cfg {
+			return fmt.Errorf("queue: topic %q already exists with different configuration", name)
 		}
 		return nil
 	}
-	t := &topic{name: name}
-	for i := 0; i < partitions; i++ {
+	t := &topic{name: name, cfg: cfg, groups: map[string]struct{}{}}
+	for i := 0; i < cfg.Partitions; i++ {
 		t.partitions = append(t.partitions, &partition{})
 	}
 	b.topics[name] = t
@@ -95,64 +215,165 @@ func (b *Broker) Topics() []string {
 	return out
 }
 
-// Produce appends a record to the topic, routing by key hash (or
-// round-robin offset 0 when the key is empty and the topic has one
-// partition). It returns the record with partition and offset filled.
-func (b *Broker) Produce(topicName, key string, val []byte, ts time.Time) (Record, error) {
+// Stats returns the topic's counters.
+func (b *Broker) Stats(topicName string) (TopicStats, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
-		return Record{}, ErrClosed
-	}
 	t, ok := b.topics[topicName]
 	if !ok {
-		return Record{}, fmt.Errorf("queue: unknown topic %q", topicName)
+		return TopicStats{}, fmt.Errorf("queue: unknown topic %q", topicName)
 	}
-	p := 0
-	if len(t.partitions) > 1 {
-		p = int(fnv32(key)) % len(t.partitions)
+	st := TopicStats{Produced: t.produced, Dropped: t.dropped, Rejected: t.rejected}
+	for i, p := range t.partitions {
+		st.Backlog += p.end() - b.lowWater(t, i)
 	}
-	part := t.partitions[p]
-	rec := Record{
-		Topic:     topicName,
-		Partition: p,
-		Offset:    int64(len(part.records)),
-		Key:       key,
-		Value:     val,
-		Time:      ts,
+	return st, nil
+}
+
+// lowWater returns the minimum committed offset across the topic's
+// registered consumer groups for a partition (the partition base when
+// no group is registered). The caller must hold b.mu.
+func (b *Broker) lowWater(t *topic, partitionIdx int) int64 {
+	p := t.partitions[partitionIdx]
+	low := p.end()
+	if len(t.groups) == 0 {
+		return p.base
 	}
-	part.records = append(part.records, rec)
-	for _, w := range t.waiters {
-		close(w)
+	for g := range t.groups {
+		off, ok := b.commits[groupKey{g, t.name, partitionIdx}]
+		if !ok {
+			off = p.base
+		}
+		if off < low {
+			low = off
+		}
 	}
-	t.waiters = nil
-	return rec, nil
+	if low < p.base {
+		low = p.base
+	}
+	return low
+}
+
+// trimConsumed drops records that every registered consumer group has
+// committed past. This is compaction (bounding memory), not data loss,
+// so nothing is counted. The caller must hold b.mu.
+func (b *Broker) trimConsumed(t *topic, partitionIdx int) {
+	p := t.partitions[partitionIdx]
+	low := b.lowWater(t, partitionIdx)
+	if n := low - p.base; n > 0 {
+		p.records = append(p.records[:0:0], p.records[n:]...)
+		p.base = low
+	}
+}
+
+// Produce appends a record to the topic, routing by key hash. On a
+// bounded topic at capacity it applies the topic's FullPolicy: block
+// until space frees, fail with the transient ErrFull, or evict the
+// oldest unconsumed record. It returns the record with partition and
+// offset filled.
+func (b *Broker) Produce(topicName, key string, val []byte, ts time.Time) (Record, error) {
+	b.mu.Lock()
+	for {
+		if b.closed {
+			b.mu.Unlock()
+			return Record{}, ErrClosed
+		}
+		t, ok := b.topics[topicName]
+		if !ok {
+			b.mu.Unlock()
+			return Record{}, fmt.Errorf("queue: unknown topic %q", topicName)
+		}
+		pi := 0
+		if len(t.partitions) > 1 {
+			pi = int(fnv32(key)) % len(t.partitions)
+		}
+		part := t.partitions[pi]
+		if t.cfg.Capacity > 0 {
+			b.trimConsumed(t, pi)
+			if backlog := part.end() - b.lowWater(t, pi); backlog >= int64(t.cfg.Capacity) {
+				switch t.cfg.Policy {
+				case PolicyReject:
+					t.rejected++
+					b.mu.Unlock()
+					return Record{}, fmt.Errorf("queue: topic %q partition %d backlog %d: %w",
+						topicName, pi, backlog, ErrFull)
+				case PolicyDropOldest:
+					// The oldest retained record is unconsumed (consumed
+					// ones were just trimmed): evict it and account the
+					// loss. Committed offsets are left alone; a consumer
+					// below the new base detects the gap on fetch.
+					part.records = append(part.records[:0:0], part.records[1:]...)
+					part.base++
+					t.dropped++
+					continue
+				default: // PolicyBlock
+					ch := make(chan struct{})
+					t.space = append(t.space, ch)
+					b.mu.Unlock()
+					<-ch
+					b.mu.Lock()
+					continue
+				}
+			}
+		}
+		rec := Record{
+			Topic:     topicName,
+			Partition: pi,
+			Offset:    part.end(),
+			Key:       key,
+			Value:     val,
+			Time:      ts,
+		}
+		part.records = append(part.records, rec)
+		t.produced++
+		for _, w := range t.waiters {
+			close(w)
+		}
+		t.waiters = nil
+		b.mu.Unlock()
+		return rec, nil
+	}
 }
 
 // Fetch returns up to max records of a topic partition starting at
 // offset. It never blocks; an empty slice means the consumer caught up.
+// When offset has been trimmed or evicted, records start at the current
+// base instead (use fetchFrom to observe the gap).
 func (b *Broker) Fetch(topicName string, partitionIdx int, offset int64, max int) ([]Record, error) {
+	recs, _, err := b.fetchFrom(topicName, partitionIdx, offset, max)
+	return recs, err
+}
+
+// fetchFrom is Fetch plus gap detection: skipped is the number of
+// records between offset and the partition base that are gone (evicted
+// by PolicyDropOldest before this consumer saw them).
+func (b *Broker) fetchFrom(topicName string, partitionIdx int, offset int64, max int) (recs []Record, skipped int64, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	t, ok := b.topics[topicName]
 	if !ok {
-		return nil, fmt.Errorf("queue: unknown topic %q", topicName)
+		return nil, 0, fmt.Errorf("queue: unknown topic %q", topicName)
 	}
 	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
-		return nil, fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
+		return nil, 0, fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
 	}
 	part := t.partitions[partitionIdx]
 	if offset < 0 {
-		return nil, fmt.Errorf("queue: negative offset %d", offset)
+		return nil, 0, fmt.Errorf("queue: negative offset %d", offset)
 	}
-	if offset >= int64(len(part.records)) {
-		return nil, nil
+	if offset < part.base {
+		skipped = part.base - offset
+		offset = part.base
 	}
-	end := offset + int64(max)
-	if end > int64(len(part.records)) {
-		end = int64(len(part.records))
+	if offset >= part.end() {
+		return nil, skipped, nil
 	}
-	return append([]Record(nil), part.records[offset:end]...), nil
+	i := offset - part.base
+	j := i + int64(max)
+	if j > int64(len(part.records)) {
+		j = int64(len(part.records))
+	}
+	return append([]Record(nil), part.records[i:j]...), skipped, nil
 }
 
 // EndOffset returns the next offset to be written for a partition (the
@@ -167,7 +388,7 @@ func (b *Broker) EndOffset(topicName string, partitionIdx int) (int64, error) {
 	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
 		return 0, fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
 	}
-	return int64(len(t.partitions[partitionIdx].records)), nil
+	return t.partitions[partitionIdx].end(), nil
 }
 
 // Partitions returns the number of partitions of a topic.
@@ -179,6 +400,63 @@ func (b *Broker) Partitions(topicName string) (int, error) {
 		return 0, fmt.Errorf("queue: unknown topic %q", topicName)
 	}
 	return len(t.partitions), nil
+}
+
+// registerGroup adds a consumer group to a topic's backlog accounting,
+// committed at the earliest retained offsets.
+func (b *Broker) registerGroup(group, topicName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	if _, dup := t.groups[group]; dup {
+		return nil
+	}
+	t.groups[group] = struct{}{}
+	for i, p := range t.partitions {
+		gk := groupKey{group, topicName, i}
+		if _, ok := b.commits[gk]; !ok {
+			b.commits[gk] = p.base
+		}
+	}
+	return nil
+}
+
+// Commit records a consumer group's position for a partition and wakes
+// blocked producers whose capacity may have freed. Commits never move
+// backwards.
+func (b *Broker) Commit(group, topicName string, partitionIdx int, offset int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[topicName]
+	if !ok {
+		return fmt.Errorf("queue: unknown topic %q", topicName)
+	}
+	if partitionIdx < 0 || partitionIdx >= len(t.partitions) {
+		return fmt.Errorf("queue: topic %q has no partition %d", topicName, partitionIdx)
+	}
+	gk := groupKey{group, topicName, partitionIdx}
+	if offset > b.commits[gk] {
+		b.commits[gk] = offset
+	}
+	if t.cfg.Capacity > 0 {
+		b.trimConsumed(t, partitionIdx)
+	}
+	for _, ch := range t.space {
+		close(ch)
+	}
+	t.space = nil
+	return nil
+}
+
+// Committed returns a consumer group's committed offset for a
+// partition (0 when the group never committed).
+func (b *Broker) Committed(group, topicName string, partitionIdx int) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.commits[groupKey{group, topicName, partitionIdx}]
 }
 
 // notify returns a channel closed at the next produce to the topic.
@@ -197,7 +475,8 @@ func (b *Broker) notify(topicName string) (<-chan struct{}, error) {
 	return ch, nil
 }
 
-// Close shuts the broker down; blocked consumers are released.
+// Close shuts the broker down; blocked consumers and producers are
+// released.
 func (b *Broker) Close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -210,6 +489,10 @@ func (b *Broker) Close() {
 			close(w)
 		}
 		t.waiters = nil
+		for _, w := range t.space {
+			close(w)
+		}
+		t.space = nil
 	}
 }
 

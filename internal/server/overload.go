@@ -1,0 +1,166 @@
+package server
+
+// overload.go is the HTTP facade's overload behaviour: ErrBusy from
+// engine admission control surfaces as 429 + Retry-After, and
+// EnableIngestQueue switches POST /events from synchronous push to an
+// in-process bounded queue drained by a background connector with
+// retry, backoff, and dead-letter quarantine.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"seraph/internal/ingest"
+	"seraph/internal/queue"
+)
+
+// ingestTopic and ingestDLQTopic are the queue-mode topic names; the
+// DLQ holds poison events (undecodable, out-of-order) with the cause
+// as the record key.
+const (
+	ingestTopic    = "events"
+	ingestDLQTopic = "events-dlq"
+)
+
+// SetRetryAfter configures the Retry-After hint attached to 429
+// responses (default 1s). Clients should back off at least this long
+// before retrying a rejected batch.
+func (s *Server) SetRetryAfter(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retryAfter = d
+}
+
+// retryAfterSeconds renders the hint in whole seconds, minimum 1, as
+// the Retry-After header requires.
+func (s *Server) retryAfterSeconds() string {
+	s.mu.Lock()
+	d := s.retryAfter
+	s.mu.Unlock()
+	secs := int64(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// rejectBusy writes a 429 with the Retry-After hint. The caller
+// supplies the ingested/total accounting through fail-style fields.
+func (s *Server) rejectBusy(w http.ResponseWriter, applied, total int, err error) {
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":    err.Error(),
+		"ingested": applied,
+		"total":    total,
+	})
+}
+
+// ingestQueue is the queue-mode machinery: a bounded in-process topic
+// fed by POST /events and drained by a connector goroutine.
+type ingestQueue struct {
+	broker *queue.Broker
+	conn   *ingest.Connector
+	done   chan struct{}
+}
+
+// EnableIngestQueue switches POST /events to asynchronous ingestion:
+// events are validated, merged into the one-time store, then enqueued
+// on a bounded in-process topic (capacity records, full-queue policy
+// as given) instead of being pushed synchronously. A background
+// connector drains the topic into the engine with backoff on transient
+// rejection and quarantines poison events (for example out-of-order
+// timestamps from interleaved clients) to the events-dlq topic. With
+// PolicyReject, a full queue turns POST /events into 429 + Retry-After.
+//
+// Call before serving traffic, and Close on shutdown to drain the
+// queue. Enabling twice is an error.
+func (s *Server) EnableIngestQueue(capacity int, policy queue.FullPolicy) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.iq != nil {
+		return errBusyQueueExists
+	}
+	b := queue.NewBroker()
+	if err := b.CreateTopicWith(ingestTopic, queue.TopicConfig{
+		Partitions: 1,
+		Capacity:   capacity,
+		Policy:     policy,
+	}); err != nil {
+		return err
+	}
+	conn, err := ingest.NewConnector(b, ingestTopic, s.engine.Push,
+		ingest.WithDeadLetter(ingestDLQTopic),
+		ingest.WithSinkRetry(8, time.Millisecond, 250*time.Millisecond),
+		ingest.WithIngestMetrics(s.reg),
+	)
+	if err != nil {
+		return err
+	}
+	iq := &ingestQueue{broker: b, conn: conn, done: make(chan struct{})}
+	s.iq = iq
+	go s.drainIngestQueue(iq)
+	return nil
+}
+
+var errBusyQueueExists = queueModeError("server: ingest queue already enabled")
+
+type queueModeError string
+
+func (e queueModeError) Error() string { return string(e) }
+
+// drainIngestQueue pumps the bounded topic into the engine until the
+// broker closes. Deliveries advance the virtual clock so evaluations
+// fire; transient overload (admission control past the connector's
+// retry budget) backs off and retries rather than dropping — the
+// bounded topic is what pushes back on producers meanwhile.
+func (s *Server) drainIngestQueue(iq *ingestQueue) {
+	defer close(iq.done)
+	for {
+		n, err := iq.conn.PollBlocking(512)
+		if err != nil {
+			if !queue.IsTransient(err) {
+				s.log.Error("ingest queue delivery failed", "err", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n > 0 {
+			if aerr := s.engine.AdvanceTo(s.engine.Now()); aerr != nil {
+				s.log.Error("evaluation failed during queued ingest", "err", aerr)
+			}
+		}
+		if n == 0 && err == nil {
+			return // broker closed and fully drained
+		}
+	}
+}
+
+// IngestQueueStats exposes the queue-mode counters for monitoring and
+// tests: broker-side topic stats plus the connector's quarantine
+// count. ok is false when queue mode is not enabled.
+func (s *Server) IngestQueueStats() (st queue.TopicStats, deadlettered int64, ok bool) {
+	s.mu.Lock()
+	iq := s.iq
+	s.mu.Unlock()
+	if iq == nil {
+		return queue.TopicStats{}, 0, false
+	}
+	st, _ = iq.broker.Stats(ingestTopic)
+	return st, iq.conn.Deadlettered(), true
+}
+
+// Close shuts down the ingest queue (if enabled), draining buffered
+// events into the engine before returning. Safe to call when queue
+// mode is off.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	iq := s.iq
+	s.iq = nil
+	s.mu.Unlock()
+	if iq == nil {
+		return nil
+	}
+	iq.broker.Close()
+	<-iq.done
+	return nil
+}

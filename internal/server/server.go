@@ -43,6 +43,7 @@ import (
 	"seraph/internal/ingest"
 	"seraph/internal/metrics"
 	"seraph/internal/parser"
+	"seraph/internal/queue"
 	"seraph/internal/value"
 )
 
@@ -69,6 +70,12 @@ type Server struct {
 	reg        *metrics.Registry // the engine's registry; nil when disabled
 	ingested   *metrics.Counter  // seraph_ingest_events_total
 	ingestErrs *metrics.Counter  // seraph_ingest_errors_total
+
+	// Overload behaviour (see overload.go): retryAfter is the hint on
+	// 429 responses; iq, when non-nil, routes POST /events through a
+	// bounded in-process queue instead of pushing synchronously.
+	retryAfter time.Duration
+	iq         *ingestQueue
 }
 
 // New returns a server wrapping a fresh engine configured with the
@@ -123,6 +130,7 @@ func Restore(r io.Reader, opts ...engine.Option) (*Server, error) {
 // registry (which may be nil when metrics are disabled).
 func (s *Server) finishInit() {
 	s.log = slog.Default()
+	s.retryAfter = time.Second
 	s.reg = s.engine.Metrics()
 	s.ingested = s.reg.Counter("seraph_ingest_events_total", "Events applied via POST /events.")
 	s.ingestErrs = s.reg.Counter("seraph_ingest_errors_total", "POST /events requests that failed mid-batch.")
@@ -234,9 +242,19 @@ type storedResult struct {
 	Op       string           `json:"op"`
 	Columns  []string         `json:"columns"`
 	Rows     []map[string]any `json:"rows"`
+	// Skipped marks an instant shed by overload protection: the query
+	// was not evaluated there, so the empty row set means "unknown",
+	// not "no matches".
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 func (r *resultRing) add(res engine.Result) {
+	table := res.Table
+	if table == nil {
+		// Shed results may carry no table; never let a slow consumer
+		// path panic on one.
+		table = &eval.Table{}
+	}
 	r.mu.Lock()
 	r.seq++
 	sr := storedResult{
@@ -245,8 +263,9 @@ func (r *resultRing) add(res engine.Result) {
 		WinStart: res.Window.Start,
 		WinEnd:   res.Window.End,
 		Op:       res.Op.String(),
-		Columns:  res.Table.Cols,
-		Rows:     tableRows(res.Table),
+		Columns:  table.Cols,
+		Rows:     tableRows(table),
+		Skipped:  res.Skipped,
 	}
 	r.items = append(r.items, sr)
 	var evicted int
@@ -498,6 +517,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
+	s.mu.Lock()
+	iq := s.iq
+	s.mu.Unlock()
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	applied := 0 // events fully applied to the merged store and engine
@@ -539,7 +561,28 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fail(http.StatusConflict, fmt.Errorf("event %d: %w", lineNo, err))
 			return
 		}
+		if iq != nil {
+			// Queue mode: enqueue the raw event; the background
+			// connector pushes and evaluates. A full bounded topic is
+			// the backpressure signal.
+			if _, err := iq.broker.Produce(ingestTopic, "", []byte(line), ts); err != nil {
+				if queue.IsTransient(err) {
+					total := commit()
+					s.rejectBusy(w, applied, total, fmt.Errorf("event %d: %w", lineNo, err))
+					return
+				}
+				fail(http.StatusInternalServerError, fmt.Errorf("event %d: %w", lineNo, err))
+				return
+			}
+			applied++
+			continue
+		}
 		if err := s.engine.Push(g, ts); err != nil {
+			if engine.IsBusy(err) {
+				total := commit()
+				s.rejectBusy(w, applied, total, fmt.Errorf("event %d: %w", lineNo, err))
+				return
+			}
 			fail(http.StatusConflict, fmt.Errorf("event %d: %w", lineNo, err))
 			return
 		}
