@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-index repro verify examples fuzz clean
+.PHONY: all build vet test race bench bench-index bench-delta repro verify examples fuzz clean
 
 all: build vet test
 
@@ -26,6 +26,12 @@ bench:
 # twin is `go run ./cmd/seraph-bench -exp B13` (see BENCH_pr3.json).
 bench-index:
 	$(GO) test -run '^$$' -bench 'SelectivePredicate|TypedExpansion|EngineSelectivity' -benchmem .
+
+# Delta-driven vs full evaluation ablation (bench_delta_test.go). The
+# seraph-bench twin is `go run ./cmd/seraph-bench -exp B14` (see
+# BENCH_pr5.json).
+bench-delta:
+	$(GO) test -run '^$$' -bench 'BagDifference|EngineDeltaEval' -benchmem .
 
 # Record deliverable outputs.
 record:

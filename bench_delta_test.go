@@ -1,0 +1,156 @@
+package seraph
+
+// Delta-driven evaluation benchmarks (PR 5): per-instant evaluation
+// cost under controlled window churn, full re-evaluation vs the
+// maintained delta path (engine.WithDeltaEval), plus the BagDifference
+// allocation fix the classic diff operators ride on. `make bench-delta`
+// runs this file alone; the seraph-bench twin is
+// `go run ./cmd/seraph-bench -exp B14` (see BENCH_pr5.json).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// diffTables builds two bags of rows (3 columns) drawn from `distinct`
+// row shapes, overlapping heavily — the shape BagDifference sees every
+// instant from an ON ENTERING / ON EXITING query.
+func diffTables(rows, distinct int) (*eval.Table, *eval.Table) {
+	mk := func(offset int) *eval.Table {
+		t := &eval.Table{Cols: []string{"a", "b", "c"}}
+		for i := 0; i < rows; i++ {
+			k := int64((i + offset) % distinct)
+			t.Rows = append(t.Rows, []value.Value{
+				value.NewInt(k),
+				value.NewString(fmt.Sprintf("name-%d", k)),
+				value.NewFloat(float64(k) / 3),
+			})
+		}
+		return t
+	}
+	return mk(0), mk(distinct / 50)
+}
+
+// BenchmarkBagDifference: the diff operators call this at every
+// instant on full result tables, so its per-row cost and allocation
+// behaviour bound ON ENTERING / ON EXITING latency in classic mode.
+// The row-key buffer is reused across rows; allocations stay
+// proportional to the number of distinct u-side keys, not to
+// rows × columns (see TestBagDifferenceAllocs).
+func BenchmarkBagDifference(b *testing.B) {
+	for _, rows := range []int{1_000, 10_000} {
+		t, u := diffTables(rows, rows/10)
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.BagDifference(t, u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBagDifferenceAllocs pins the allocation behaviour: hashing every
+// row through a shared append buffer means the only per-row
+// allocations left are first insertions of distinct u-side keys. A
+// regression to per-row string keys would cost ≥ 2·rows allocations
+// (8192 here) and trip the bound.
+func TestBagDifferenceAllocs(t *testing.T) {
+	a, u := diffTables(4096, 32)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eval.BagDifference(a, u); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 512 {
+		t.Fatalf("BagDifference allocated %.0f times for 4096 rows / 32 distinct keys; want O(distinct)", allocs)
+	}
+}
+
+// churnStream builds the B14-style workload: a window holding
+// `windowEdges` unique (User)-[:SESS]->(Svc) edges in `rounds` batches,
+// one batch per slide, so at every instant 1/rounds of the window
+// enters and exits — a controlled delta ratio with zero entity overlap.
+func churnStream(rounds, perBatch, extra int, slide time.Duration) []stream.Element {
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var elems []stream.Element
+	id := int64(1)
+	for b := 0; b < rounds+extra; b++ {
+		g := pg.New()
+		for i := 0; i < perBatch; i++ {
+			uid, did, rid := id, id+1, id+2
+			id += 3
+			g.AddNode(&value.Node{ID: uid, Labels: []string{"User"}, Props: map[string]value.Value{
+				"uid": value.NewInt(uid)}})
+			g.AddNode(&value.Node{ID: did, Labels: []string{"Svc"}, Props: map[string]value.Value{
+				"did": value.NewInt(did)}})
+			if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did, Type: "SESS",
+				Props: map[string]value.Value{"v": value.NewInt(1 + uid%5)}}); err != nil {
+				panic(err)
+			}
+		}
+		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * slide)})
+	}
+	return elems
+}
+
+// BenchmarkEngineDeltaEval: one evaluation instant at a 1% delta ratio
+// on a 5000-edge window, full re-evaluation vs the delta path. The
+// measured loop replays the churn batches due after the window is
+// full; b.N scales the number of instants.
+func BenchmarkEngineDeltaEval(b *testing.B) {
+	const rounds, perBatch = 100, 50 // 5000-edge window, 1% churn/instant
+	slide := 5 * time.Second
+	for _, mode := range []struct {
+		name string
+		opts []engine.Option
+	}{
+		{"full", nil},
+		{"delta", []engine.Option{engine.WithDeltaEval(true)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			elems := churnStream(rounds, perBatch, b.N+1, slide)
+			width := time.Duration(rounds) * slide
+			startAt := elems[rounds-1].Time
+			src := fmt.Sprintf(`
+REGISTER QUERY churn STARTING AT %s
+{
+  MATCH (u:User)-[r:SESS]->(d:Svc)
+  WITHIN %s
+  WHERE r.v > 0
+  EMIT u.uid AS uid, d.did AS did
+  ON ENTERING EVERY %s
+}`, startAt.Format("2006-01-02T15:04:05"), value.FormatDuration(width), value.FormatDuration(slide))
+			e := engine.New(mode.opts...)
+			if _, err := e.RegisterSource(src, nil); err != nil {
+				b.Fatal(err)
+			}
+			// Fill the window, then absorb the first (full Δ⁺) instant.
+			for _, el := range elems[:rounds] {
+				if err := e.Push(el.Graph, el.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := e.AdvanceTo(elems[rounds].Time); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for _, el := range elems[rounds+1:] {
+				if err := e.Push(el.Graph, el.Time); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AdvanceTo(el.Time); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

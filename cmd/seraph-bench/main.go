@@ -56,12 +56,12 @@ var (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B13) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B14) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Float64Var(&selectivity, "selectivity", 0,
 		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
-	flag.StringVar(&jsonOut, "json", "", "B13: also write the sweep results as JSON to this file")
+	flag.StringVar(&jsonOut, "json", "", "B13/B14: also write the sweep results as JSON to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -79,6 +79,7 @@ func main() {
 		{"B8", "shortestPath (network monitoring)", b8ShortestPath},
 		{"B9", "concurrent registered queries (sequential vs parallel scheduler)", b9Concurrent},
 		{"B13", "predicate selectivity sweep (indexed vs scan matcher)", b13Selectivity},
+		{"B14", "delta-ratio sweep (delta-driven vs full evaluation)", b14DeltaRatio},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -640,6 +641,150 @@ func b13Stream(batches, perBatch, buckets int) []stream.Element {
 			}
 		}
 		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * 5 * time.Minute)})
+	}
+	return elems
+}
+
+// b14DeltaRatio measures per-instant evaluation cost as a function of
+// the window delta ratio: the fraction of the window that enters and
+// exits between consecutive evaluation instants. The window holds a
+// fixed number of unique (User)-[:SESS]->(Svc) edges split into
+// 1/ratio batches, one batch per slide, so every instant retires
+// exactly one batch and admits one. Full evaluation (incremental
+// windows, full re-match and re-diff) is compared against the
+// delta-driven path (engine.WithDeltaEval); both modes must produce
+// identical per-instant row counts or the run aborts, which makes
+// `-exp B14 -quick` usable as a CI equivalence smoke. -json writes the
+// rows to a snapshot file (BENCH_pr5.json in the repo is one such run).
+func b14DeltaRatio() {
+	type b14Row struct {
+		DeltaRatio  float64 `json:"delta_ratio"`
+		WindowEdges int     `json:"window_edges"`
+		Rows        int     `json:"rows_per_instant"`
+		FullMS      float64 `json:"full_ms_per_instant"`
+		DeltaMS     float64 `json:"delta_ms_per_instant"`
+		Speedup     float64 `json:"speedup"`
+	}
+	sweep := []float64{0.001, 0.01, 0.1, 0.5}
+	windowEdges := scaled(10000, 2000)
+	measure := scaled(20, 8)
+	slide := 5 * time.Second
+	header("delta_ratio", "window_edges", "rows_per_instant", "full_ms", "delta_ms", "speedup")
+	var out []b14Row
+	for _, ratio := range sweep {
+		rounds := int(math.Max(1, math.Round(1/ratio)))
+		perBatch := windowEdges / rounds
+		if perBatch < 1 {
+			perBatch = 1
+		}
+		elems := b14Stream(rounds, measure, perBatch, slide)
+		src := fmt.Sprintf(`
+REGISTER QUERY churn STARTING AT %s
+{
+  MATCH (u:User)-[r:SESS]->(d:Svc)
+  WITHIN %s
+  WHERE r.v > 0
+  EMIT u.uid AS uid, d.did AS did
+  ON ENTERING EVERY %s
+}`, elems[rounds-1].Time.Format("2006-01-02T15:04:05"),
+			value.FormatDuration(time.Duration(rounds)*slide), value.FormatDuration(slide))
+		type instant struct {
+			at time.Time
+			n  int
+		}
+		var wallMS [2]float64 // full, delta
+		var counts [2][]instant
+		for i, opts := range [][]engine.Option{
+			{engine.WithIncrementalSnapshots(true)},
+			{engine.WithDeltaEval(true)},
+		} {
+			e := engine.New(opts...)
+			q, err := e.RegisterSource(src, func(r engine.Result) {
+				counts[i] = append(counts[i], instant{r.At, r.Table.Len()})
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Fill the window without evaluating, then absorb the first
+			// instant (a full-window Δ⁺) outside the timed region.
+			for _, el := range elems[:rounds] {
+				if err := e.Push(el.Graph, el.Time); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := e.AdvanceTo(elems[rounds-1].Time); err != nil {
+				log.Fatal(err)
+			}
+			d := replayTimed(e, elems[rounds:])
+			wallMS[i] = ms(d) / float64(measure)
+			if st := q.Stats(); i == 1 && (st.DeltaFallbacks != 0 || st.DeltaApplied != st.Evaluations) {
+				log.Fatalf("B14: delta engine fell back (%d applied of %d evaluations, %d fallbacks)",
+					st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+			}
+		}
+		if len(counts[0]) != len(counts[1]) {
+			log.Fatalf("B14 ratio %g: %d full instants vs %d delta instants",
+				ratio, len(counts[0]), len(counts[1]))
+		}
+		rows := 0
+		for j := range counts[0] {
+			f, d := counts[0][j], counts[1][j]
+			if !f.at.Equal(d.at) || f.n != d.n {
+				log.Fatalf("B14 ratio %g instant %d: full %d rows at %s, delta %d rows at %s",
+					ratio, j, f.n, f.at, d.n, d.at)
+			}
+			rows = f.n
+		}
+		out = append(out, b14Row{
+			DeltaRatio:  ratio,
+			WindowEdges: rounds * perBatch,
+			Rows:        rows,
+			FullMS:      wallMS[0],
+			DeltaMS:     wallMS[1],
+			Speedup:     wallMS[0] / wallMS[1],
+		})
+		fmt.Printf("%g\t%d\t%d\t%.2f\t%.2f\t%.1f\n",
+			ratio, rounds*perBatch, rows, wallMS[0], wallMS[1], wallMS[0]/wallMS[1])
+	}
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B14",
+			"description": "delta-ratio sweep: delta-driven evaluation vs full re-evaluation, wall ms per evaluation instant (ON ENTERING)",
+			"command":     "go run ./cmd/seraph-bench -exp B14 -json " + jsonOut,
+			"rows":        out,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// b14Stream builds one batch per slide of unique User-[:SESS]->Svc
+// edges; with a window of rounds×slide, each instant sees exactly one
+// batch enter and one exit.
+func b14Stream(rounds, extra, perBatch int, slide time.Duration) []stream.Element {
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var elems []stream.Element
+	id := int64(1)
+	for b := 0; b < rounds+extra; b++ {
+		g := pg.New()
+		for i := 0; i < perBatch; i++ {
+			uid, did, rid := id, id+1, id+2
+			id += 3
+			g.AddNode(&value.Node{ID: uid, Labels: []string{"User"}, Props: map[string]value.Value{
+				"uid": value.NewInt(uid)}})
+			g.AddNode(&value.Node{ID: did, Labels: []string{"Svc"}, Props: map[string]value.Value{
+				"did": value.NewInt(did)}})
+			if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did, Type: "SESS",
+				Props: map[string]value.Value{"v": value.NewInt(1 + uid%5)}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * slide)})
 	}
 	return elems
 }

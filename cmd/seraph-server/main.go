@@ -53,6 +53,7 @@ func main() {
 	ingestQueue := flag.Int("ingest-queue", 0, "buffer POST /events in a bounded in-process queue of this capacity, drained asynchronously (0 = synchronous ingest)")
 	fullPolicy := flag.String("full-policy", "reject", "full-queue policy for -ingest-queue: block, reject, or drop-oldest")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
+	deltaEval := flag.Bool("delta-eval", false, "maintain query results from window deltas instead of re-evaluating the full window (unsupported queries fall back per query; see seraph_delta_fallback_total)")
 	flag.Parse()
 
 	log := newLogger(*logFormat, *logLevel)
@@ -63,6 +64,12 @@ func main() {
 		engine.WithHistoryRetention(*historyRetention),
 		engine.WithMaxInFlight(*maxInFlight),
 		engine.WithEvalDeadline(*evalDeadline),
+	}
+	// Only append the option when the flag is set: restore-path options
+	// are applied on top of the checkpoint-derived ones, and a bare
+	// `-restore` run must keep the checkpointed delta-eval setting.
+	if *deltaEval {
+		opts = append(opts, engine.WithDeltaEval(true))
 	}
 	var srv *server.Server
 	if *restore != "" {

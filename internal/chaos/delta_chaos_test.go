@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// TestDeltaEvalChaosMutations drives delta-driven and full evaluation
+// from the same chaos clock with sub-second timestamps, so evaluation
+// instants slice between events and the rolling store mutates in place
+// (labels withdrawn, properties appearing and expiring) mid-window.
+// The scheduled queries evaluate concurrently, so -race covers the
+// maintained delta state. Result bags must be identical per instant,
+// and the delta engine must have answered every instant incrementally.
+func TestDeltaEvalChaosMutations(t *testing.T) {
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	r := rand.New(rand.NewSource(7))
+	clk := NewClock(start)
+	type event struct {
+		g  *pg.Graph
+		at time.Time
+	}
+	var events []event
+	for i := 0; i < 60; i++ {
+		clk.Advance(time.Duration(500+r.Intn(4000)) * time.Millisecond)
+		events = append(events, event{chaosDeltaEvent(r, i), clk.Now()})
+	}
+
+	bodies := []struct{ name, body string }{
+		{"flat", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v > 1
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  %s EVERY PT7S`},
+		{"trail", `MATCH (a:P)-[rs:F*1..2]->(b:P)
+  WITHIN PT15S
+  EMIT a.k AS ak, b.k AS bk
+  %s EVERY PT6S`},
+		{"agg", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS k, count(*) AS n, sum(r.v) AS tv, min(b.k) AS mn, max(b.k) AS mx
+  %s EVERY PT7S`},
+	}
+	ops := []struct{ kw, short string }{
+		{"SNAPSHOT", "snap"}, {"ON ENTERING", "ent"}, {"ON EXITING", "exi"},
+	}
+
+	run := func(opts ...engine.Option) (map[string]*engine.Collector, map[string]*engine.Query) {
+		e := engine.New(opts...)
+		cols := map[string]*engine.Collector{}
+		queries := map[string]*engine.Query{}
+		for _, b := range bodies {
+			for _, op := range ops {
+				name := b.name + "_" + op.short
+				src := fmt.Sprintf("REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00\n{\n  %s\n}",
+					name, fmt.Sprintf(b.body, op.kw))
+				col := &engine.Collector{}
+				q, err := e.RegisterSource(src, col.Sink())
+				if err != nil {
+					t.Fatalf("register %s: %v", name, err)
+				}
+				cols[name] = col
+				queries[name] = q
+			}
+		}
+		for _, ev := range events {
+			if err := e.Push(ev.g, ev.at); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(ev.at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AdvanceTo(events[len(events)-1].at.Add(25 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return cols, queries
+	}
+
+	full, _ := run()
+	delta, dq := run(engine.WithDeltaEval(true))
+	for name, fc := range full {
+		dc := delta[name]
+		if len(fc.Results) != len(dc.Results) {
+			t.Fatalf("%s: %d full results vs %d delta results", name, len(fc.Results), len(dc.Results))
+		}
+		for i := range fc.Results {
+			fr, dr := fc.Results[i], dc.Results[i]
+			if !fr.At.Equal(dr.At) {
+				t.Fatalf("%s result %d: instants %s vs %s", name, i, fr.At, dr.At)
+			}
+			if !sameChaosBag(fr.Table, dr.Table) {
+				t.Fatalf("%s at %s:\nfull:  %v\ndelta: %v", name, fr.At, fr.Table.Rows, dr.Table.Rows)
+			}
+		}
+		st := dq[name].Stats()
+		if st.DeltaFallbacks != 0 || st.DeltaApplied == 0 || st.DeltaApplied != st.Evaluations {
+			t.Fatalf("%s: delta applied %d of %d evaluations, fallbacks %d",
+				name, st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+		}
+	}
+}
+
+// chaosDeltaEvent mirrors the engine package's delta-test generator: a
+// 5-node id space with per-inclusion label and property presence (fixed
+// values per id, so live overlaps never conflict) and relationship ids
+// mostly derived from the (source, target, v) triple for heavy overlap.
+func chaosDeltaEvent(r *rand.Rand, i int) *pg.Graph {
+	g := pg.New()
+	person := func(id int64) {
+		labels := []string{"P"}
+		if r.Intn(3) == 0 {
+			labels = append(labels, "V")
+		}
+		props := map[string]value.Value{"k": value.NewInt(id % 3)}
+		if r.Intn(2) == 0 {
+			props["w"] = value.NewInt(id * 10)
+		}
+		g.AddNode(&value.Node{ID: id, Labels: labels, Props: props})
+	}
+	n := 1 + r.Intn(3)
+	for j := 0; j < n; j++ {
+		sid := int64(1 + r.Intn(5))
+		tid := int64(1 + r.Intn(5))
+		person(sid)
+		person(tid)
+		v := int64(r.Intn(3))
+		relID := int64(1000 + sid*100 + tid*10 + v)
+		if r.Intn(4) == 0 {
+			relID = int64(100000 + i*10 + j)
+		}
+		_ = g.AddRel(&value.Relationship{ID: relID, StartID: sid, EndID: tid, Type: "F",
+			Props: map[string]value.Value{"v": value.NewInt(v)}})
+	}
+	return g
+}
+
+func sameChaosBag(a, b *eval.Table) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ka := make([]string, a.Len())
+	kb := make([]string, b.Len())
+	for i := range a.Rows {
+		ka[i] = a.RowKey(i)
+	}
+	for i := range b.Rows {
+		kb[i] = b.RowKey(i)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

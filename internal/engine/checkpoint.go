@@ -29,6 +29,7 @@ type checkpointFile struct {
 	Bounds      string            `json:"bounds"`
 	Cache       bool              `json:"cache"`
 	Incremental bool              `json:"incremental"`
+	DeltaEval   bool              `json:"delta_eval,omitempty"`
 	Now         time.Time         `json:"now"`
 	Static      json.RawMessage   `json:"static,omitempty"`
 	Queries     []checkpointQuery `json:"queries"`
@@ -54,6 +55,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		Bounds:      e.bounds.String(),
 		Cache:       e.cacheSnapshots,
 		Incremental: e.incremental,
+		DeltaEval:   e.deltaEval,
 		Now:         e.now,
 	}
 	if e.static != nil {
@@ -113,7 +115,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d", cp.Version)
 	}
-	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental)}
+	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval)}
 	if cp.Bounds == window.BoundsStrict.String() {
 		opts = append(opts, WithBounds(window.BoundsStrict))
 	}
@@ -144,6 +146,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 		q.cfg.Start = cq.Start
 		q.pendingStart = cq.Pending
 		q.nextEval = cq.NextEval
+		q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 		q.done = cq.Done
 		q.stats = cq.Stats
 		for _, data := range cq.Elements {
@@ -155,16 +158,34 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 				return nil, fmt.Errorf("engine: restore query %q history: %w", reg.Name, err)
 			}
 		}
-		// Warm up the previous evaluation's result so emission diffs
-		// continue across the restart.
+		// Warm up the previous evaluation's state so emission diffs
+		// continue across the restart. A checkpoint carries no
+		// maintained delta state: it is derived, so a delta-mode engine
+		// rebuilds it by running one delta round at the last evaluated
+		// instant (the empty rolling snapshot makes the whole window
+		// arrive as delta additions, re-seeding every match). Classic
+		// mode recomputes the previous full result, which only the diff
+		// operators retain.
 		if !q.done && !q.pendingStart && q.nextEval.After(q.cfg.Start) {
 			lastEval := q.nextEval.Add(-q.cfg.Slide)
-			result, _, _, _, ok, err := e.computeResult(q, lastEval)
-			if err != nil {
-				return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+			warmed := false
+			if e.deltaEval {
+				if ds := e.ensureDelta(q); !ds.failed {
+					_, _, _, _, _, err := e.deltaAdvance(q, ds, lastEval)
+					if err != nil {
+						return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+					}
+					warmed = !ds.failed
+				}
 			}
-			if ok {
-				q.prev = result
+			if !warmed && q.op() != ast.OpSnapshot {
+				result, _, _, _, ok, err := e.computeResult(q, lastEval)
+				if err != nil {
+					return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+				}
+				if ok {
+					q.prev = result
+				}
 			}
 		}
 	}

@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"seraph/internal/metrics"
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// deltaBodies are the query shapes the delta evaluator must maintain:
+// flat patterns with WHERE, variable-length trails, keyed decomposable
+// aggregates, label-only matches (exercising label refcount churn) and
+// WITH/UNWIND pipelines with DISTINCT aggregates. Each is run under all
+// three stream operators.
+var deltaBodies = []struct{ name, body string }{
+	{"flat", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v > 1
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  %s EVERY PT7S`},
+	{"trail", `MATCH (a:P)-[rs:F*1..2]->(b:P)
+  WITHIN PT15S
+  EMIT a.k AS ak, b.k AS bk
+  %s EVERY PT6S`},
+	{"agg", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS k, count(*) AS n, sum(r.v) AS tv, min(b.k) AS mn, max(b.k) AS mx
+  %s EVERY PT7S`},
+	{"label", `MATCH (a:V)
+  WITHIN PT12S
+  EMIT count(*) AS n
+  %s EVERY PT5S`},
+	{"pipe", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WITH a, b, r
+  WHERE r.v >= 1
+  UNWIND [1, 2] AS u
+  EMIT a.k AS k, u AS u, count(DISTINCT b.k) AS d
+  %s EVERY PT7S`},
+}
+
+var deltaOps = []struct{ kw, short string }{
+	{"SNAPSHOT", "snap"},
+	{"ON ENTERING", "ent"},
+	{"ON EXITING", "exi"},
+}
+
+func deltaSource(name, body, op string) string {
+	return fmt.Sprintf("REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00\n{\n  %s\n}",
+		name, fmt.Sprintf(body, op))
+}
+
+// addDeltaPerson contributes a person node with per-inclusion label and
+// property presence but fixed values per id, so overlapping live
+// elements never conflict while their expiry still produces update
+// deltas (label dropped, property withdrawn).
+func addDeltaPerson(g *pg.Graph, r *rand.Rand, id int64) {
+	labels := []string{"P"}
+	if r.Intn(3) == 0 {
+		labels = append(labels, "V")
+	}
+	props := map[string]value.Value{"k": value.NewInt(id % 3)}
+	if r.Intn(2) == 0 {
+		props["w"] = value.NewInt(id * 10)
+	}
+	g.AddNode(&value.Node{ID: id, Labels: labels, Props: props})
+}
+
+// randDeltaEvent builds an event over a 5-node id space so elements
+// overlap heavily. Most relationship ids are derived from the
+// (source, target, v) triple — recreated by later elements, they keep
+// entities alive across slides — while ~1/4 are unique to the element,
+// guaranteeing strict enter/exit churn.
+func randDeltaEvent(r *rand.Rand, i int) *pg.Graph {
+	g := pg.New()
+	n := 1 + r.Intn(3)
+	for j := 0; j < n; j++ {
+		sid := int64(1 + r.Intn(5))
+		tid := int64(1 + r.Intn(5))
+		addDeltaPerson(g, r, sid)
+		addDeltaPerson(g, r, tid)
+		v := int64(r.Intn(3))
+		relID := int64(1000 + sid*100 + tid*10 + v)
+		if r.Intn(4) == 0 {
+			relID = int64(100000 + i*10 + j)
+		}
+		_ = g.AddRel(&value.Relationship{ID: relID, StartID: sid, EndID: tid, Type: "F",
+			Props: map[string]value.Value{"v": value.NewInt(v)}})
+	}
+	return g
+}
+
+// runDeltaStream registers every (body, operator) combination on a
+// fresh engine, drives it with a seeded random stream, and finishes
+// with a long quiet advance so the windows drain (exercising pure
+// removal rounds). Returns the per-query collectors and Query handles.
+func runDeltaStream(t *testing.T, opts []Option, seed int64, steps int) (map[string]*Collector, map[string]*Query) {
+	t.Helper()
+	e := New(opts...)
+	cols := map[string]*Collector{}
+	queries := map[string]*Query{}
+	for _, b := range deltaBodies {
+		for _, op := range deltaOps {
+			name := b.name + "_" + op.short
+			col := &Collector{}
+			q, err := e.RegisterSource(deltaSource(name, b.body, op.kw), col.Sink())
+			if err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+			cols[name] = col
+			queries[name] = q
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	now := base
+	for i := 0; i < steps; i++ {
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		if err := e.Push(randDeltaEvent(r, i), now); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(now.Add(25 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return cols, queries
+}
+
+func sameResults(t *testing.T, label, name string, full, delta *Collector) {
+	t.Helper()
+	if len(full.Results) != len(delta.Results) {
+		t.Fatalf("%s %s: %d full results vs %d delta results",
+			label, name, len(full.Results), len(delta.Results))
+	}
+	for i := range full.Results {
+		fr, dr := full.Results[i], delta.Results[i]
+		if !fr.At.Equal(dr.At) {
+			t.Fatalf("%s %s result %d: instants %s vs %s", label, name, i, fr.At, dr.At)
+		}
+		if !sameBag(fr.Table, dr.Table) {
+			t.Fatalf("%s %s at %s:\nfull:  %v\ndelta: %v",
+				label, name, fr.At, fr.Table.Rows, dr.Table.Rows)
+		}
+	}
+}
+
+// TestDeltaEvalEquivalenceQuick: over random streams with heavy entity
+// overlap, delta-driven and full evaluation emit identical result bags
+// at every instant, for every body shape under all three operators —
+// and the delta path actually ran (no silent fallback).
+func TestDeltaEvalEquivalenceQuick(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		full, _ := runDeltaStream(t, nil, seed, 30)
+		delta, dq := runDeltaStream(t, []Option{WithDeltaEval(true)}, seed, 30)
+		for name, fc := range full {
+			sameResults(t, fmt.Sprintf("seed %d", seed), name, fc, delta[name])
+			st := dq[name].Stats()
+			if st.DeltaFallbacks != 0 {
+				t.Fatalf("seed %d %s: unexpected fallback", seed, name)
+			}
+			if st.Evaluations == 0 || st.DeltaApplied != st.Evaluations {
+				t.Fatalf("seed %d %s: delta applied %d of %d evaluations",
+					seed, name, st.DeltaApplied, st.Evaluations)
+			}
+		}
+	}
+}
+
+// TestDeltaEvalCompileFallback: a query outside the maintainable
+// fragment (ORDER BY) falls back at registration — once, counted by
+// seraph_delta_fallback_total — and produces the full evaluator's
+// results.
+func TestDeltaEvalCompileFallback(t *testing.T) {
+	src := `
+REGISTER QUERY qf STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)
+  WITHIN PT10S
+  EMIT a.k AS k
+  ORDER BY k
+  SNAPSHOT EVERY PT5S
+}`
+	run := func(opts ...Option) (*Collector, *Query) {
+		e := New(opts...)
+		col := &Collector{}
+		q, err := e.RegisterSource(src, col.Sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(3))
+		for i := 0; i < 6; i++ {
+			if err := e.Push(randDeltaEvent(r, i), tick(i*4)); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(tick(i * 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return col, q
+	}
+	reg := metrics.NewRegistry()
+	full, _ := run()
+	delta, q := run(WithDeltaEval(true), WithMetrics(reg))
+	sameResults(t, "fallback", "qf", full, delta)
+	st := q.Stats()
+	if st.DeltaFallbacks != 1 || st.DeltaApplied != 0 {
+		t.Fatalf("fallbacks %d, applied %d", st.DeltaFallbacks, st.DeltaApplied)
+	}
+	if v := reg.Counter(mDeltaFallback, "", metrics.L("query", "qf")).Value(); v != 1 {
+		t.Fatalf("%s = %d", mDeltaFallback, v)
+	}
+}
+
+// TestDeltaEvalRuntimeBail: a float reaching sum() is not exactly
+// maintainable; the query must bail mid-run — after instants it already
+// answered incrementally — rebuild the previous result, and continue
+// through the classic path with identical emissions under every
+// operator.
+func TestDeltaEvalRuntimeBail(t *testing.T) {
+	ev := func(relID int64, f value.Value) *pg.Graph {
+		g := pg.New()
+		g.AddNode(&value.Node{ID: 1, Labels: []string{"P"}, Props: map[string]value.Value{}})
+		g.AddNode(&value.Node{ID: 2, Labels: []string{"P"}, Props: map[string]value.Value{}})
+		_ = g.AddRel(&value.Relationship{ID: relID, StartID: 1, EndID: 2, Type: "F",
+			Props: map[string]value.Value{"f": f}})
+		return g
+	}
+	events := []struct {
+		at int
+		g  *pg.Graph
+	}{
+		{0, ev(1, value.NewInt(2))},
+		{5, ev(2, value.NewFloat(2.5))}, // triggers the bail
+		{10, ev(3, value.NewInt(4))},
+	}
+	for _, op := range deltaOps {
+		src := fmt.Sprintf(`
+REGISTER QUERY qb STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT sum(r.f) AS s
+  %s EVERY PT5S
+}`, op.kw)
+		run := func(opts ...Option) (*Collector, *Query) {
+			e := New(opts...)
+			col := &Collector{}
+			q, err := e.RegisterSource(src, col.Sink())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range events {
+				if err := e.Push(ev.g, tick(ev.at)); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.AdvanceTo(tick(ev.at)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.AdvanceTo(tick(40)); err != nil {
+				t.Fatal(err)
+			}
+			return col, q
+		}
+		full, _ := run()
+		delta, q := run(WithDeltaEval(true))
+		sameResults(t, "bail", "qb_"+op.short, full, delta)
+		st := q.Stats()
+		if st.DeltaApplied == 0 {
+			t.Fatalf("%s: delta never applied before the bail", op.short)
+		}
+		if st.DeltaFallbacks != 1 {
+			t.Fatalf("%s: fallbacks %d", op.short, st.DeltaFallbacks)
+		}
+		if err := q.Err(); err != nil {
+			t.Fatalf("%s: query failed: %v", op.short, err)
+		}
+	}
+}
+
+// TestDeltaEvalCheckpointRestore: maintained delta state is derived,
+// not checkpointed — a restored engine rebuilds it by warm-up and the
+// post-restore emissions continue exactly where an uninterrupted run
+// would be, for materialized and diff operators alike.
+func TestDeltaEvalCheckpointRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	type event struct {
+		g  *pg.Graph
+		at time.Time
+	}
+	var events []event
+	now := base
+	for i := 0; i < 24; i++ {
+		now = now.Add(time.Duration(1+r.Intn(5)) * time.Second)
+		events = append(events, event{randDeltaEvent(r, i), now})
+	}
+	names := []string{"flat", "agg"}
+	register := func(e *Engine) map[string]*Collector {
+		cols := map[string]*Collector{}
+		for _, bn := range names {
+			var body string
+			for _, b := range deltaBodies {
+				if b.name == bn {
+					body = b.body
+				}
+			}
+			for _, op := range deltaOps {
+				name := bn + "_" + op.short
+				col := &Collector{}
+				if _, err := e.RegisterSource(deltaSource(name, body, op.kw), col.Sink()); err != nil {
+					t.Fatalf("register %s: %v", name, err)
+				}
+				cols[name] = col
+			}
+		}
+		return cols
+	}
+	feed := func(e *Engine, evs []event) {
+		for _, ev := range evs {
+			if err := e.Push(ev.g, ev.at); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(ev.at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Oracle: classic full evaluation over the whole stream.
+	oracle := New()
+	oracleCols := register(oracle)
+	feed(oracle, events)
+
+	// Delta engine: half the stream, checkpoint, restore, second half.
+	e1 := New(WithDeltaEval(true))
+	register(e1)
+	feed(e1, events[:12])
+	var buf bytes.Buffer
+	if err := e1.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restoredCols := map[string]*Collector{}
+	e2, err := Restore(&buf, func(name string) Sink {
+		col := &Collector{}
+		restoredCols[name] = col
+		return col.Sink()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(e2, events[12:])
+
+	for name, col := range restoredCols {
+		if len(col.Results) == 0 {
+			t.Fatalf("%s: no post-restore results", name)
+		}
+		for i := range col.Results {
+			rr := &col.Results[i]
+			or := oracleCols[name].At(rr.At)
+			if or == nil {
+				t.Fatalf("%s: oracle has no result at %s", name, rr.At)
+			}
+			if !sameBag(rr.Table, or.Table) {
+				t.Fatalf("%s at %s:\noracle:   %v\nrestored: %v",
+					name, rr.At, or.Table.Rows, rr.Table.Rows)
+			}
+		}
+		var q *Query
+		for _, cand := range e2.Queries() {
+			if cand.Name() == name {
+				q = cand
+			}
+		}
+		if q == nil {
+			t.Fatalf("%s: not restored", name)
+		}
+		if st := q.Stats(); st.DeltaFallbacks != 0 {
+			t.Fatalf("%s: restored query fell back", name)
+		}
+	}
+}
+
+// TestSnapshotPrevNotRetained: SNAPSHOT queries have no reader of the
+// previous result, so retaining it would pin one full result table per
+// query forever (the memory-growth bug this guards against). Only the
+// diff operators keep q.prev, and only on the classic path.
+func TestSnapshotPrevNotRetained(t *testing.T) {
+	for _, deltaMode := range []bool{false, true} {
+		e := New(WithDeltaEval(deltaMode))
+		snapCol, entCol := &Collector{}, &Collector{}
+		qs, err := e.RegisterSource(deltaSource("m_snap", deltaBodies[0].body, "SNAPSHOT"), snapCol.Sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		qe, err := e.RegisterSource(deltaSource("m_ent", deltaBodies[0].body, "ON ENTERING"), entCol.Sink())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(5))
+		for i := 0; i < 10; i++ {
+			if err := e.Push(randDeltaEvent(r, i), tick(i*3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.AdvanceTo(tick(i * 3)); err != nil {
+				t.Fatal(err)
+			}
+			qs.mu.Lock()
+			prev := qs.prev
+			qs.mu.Unlock()
+			if prev != nil {
+				t.Fatalf("delta=%v: SNAPSHOT query retained prev at step %d", deltaMode, i)
+			}
+		}
+		qe.mu.Lock()
+		entPrev := qe.prev
+		qe.mu.Unlock()
+		if !deltaMode && entPrev == nil {
+			t.Fatal("classic ON ENTERING must retain prev for the diff")
+		}
+		if deltaMode && entPrev != nil {
+			t.Fatal("delta ON ENTERING maintains its own state; prev should stay nil")
+		}
+		if len(snapCol.Results) == 0 || len(entCol.Results) == 0 {
+			t.Fatal("queries produced no results")
+		}
+	}
+}

@@ -1,0 +1,590 @@
+package engine
+
+// deltaeval.go is the delta-driven evaluation mode (WithDeltaEval): the
+// per-instant cost is made proportional to the window *delta* instead
+// of the window. Between consecutive instants the rolling snapshot
+// reports which graph elements entered, exited, or changed
+// (graphstore.Delta); the engine then
+//
+//   - removes exactly the previously maintained matches that touch an
+//     exited or updated element, found through a provenance index
+//     (element → matches), and
+//   - finds the new matches by running one anchored pattern search per
+//     (pattern position, delta element) pair (eval.SeededMatcher),
+//
+// maintaining each query's result bag — or, for decomposable
+// aggregations, its groups — in place. ON ENTERING / ON EXITING emit
+// the maintained Δ⁺/Δ⁻ directly, eliminating the BagDifference over
+// two full result tables; SNAPSHOT materializes from the maintained
+// bag.
+//
+// Queries outside the maintainable fragment (see eval.CompileDelta)
+// fall back per-query to the full evaluator at registration; a query
+// can also bail at runtime (eval.ErrDeltaUnsupported, e.g. a float
+// reaching sum()), in which case the engine rebuilds the previous
+// instant's full result so the classic diff path continues exactly.
+// Both paths increment seraph_delta_fallback_total once.
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+// WithDeltaEval enables delta-driven evaluation. It implies
+// WithIncrementalSnapshots: the window delta is extracted from the
+// rolling snapshot's mutations. Queries the delta evaluator cannot
+// maintain fall back transparently to full re-evaluation (counted by
+// seraph_delta_fallback_total); result bags are identical either way.
+func WithDeltaEval(on bool) Option {
+	return func(e *Engine) {
+		e.deltaEval = on
+		if on {
+			e.incremental = true
+		}
+	}
+}
+
+// deltaState is one query's maintained evaluation state. Guarded by
+// q.mu, like the rest of the query's evaluation state.
+type deltaState struct {
+	prog   *eval.DeltaProgram
+	width  time.Duration // the single MATCH window width
+	failed bool          // permanent fallback to full evaluation
+
+	// matches holds every live match by canonical identity; prov is the
+	// inverted provenance index used to invalidate matches when an
+	// element they touch changes.
+	matches map[string]*deltaMatch
+	prov    map[eval.Seed]map[string]*deltaMatch
+
+	// Non-aggregated queries maintain the result bag plus the current
+	// round's net row delta.
+	bag   *rowBag
+	round *roundDelta
+
+	// Aggregated queries maintain groups of removable accumulators and
+	// the previously materialized group table (diffed per round, which
+	// is O(groups), not O(window)).
+	groups     map[string]*eval.DeltaGroup
+	groupOrder []string
+	prevAgg    *eval.Table
+}
+
+// deltaMatch is one live match: its provenance (every element whose
+// change invalidates it) and its contribution to the result — bag rows
+// or aggregation inputs.
+type deltaMatch struct {
+	key     string
+	touched []eval.Seed
+	rows    []*bagRow       // non-aggregated
+	inputs  []eval.AggInput // aggregated
+}
+
+// rowBag is the maintained result bag: insertion-ordered rows with
+// tombstones, compacted when the dead outnumber the live.
+type rowBag struct {
+	rows []*bagRow
+	live int
+}
+
+type bagRow struct {
+	key  string
+	vals []value.Value
+	dead bool
+}
+
+func (b *rowBag) add(r *bagRow) {
+	b.rows = append(b.rows, r)
+	b.live++
+}
+
+func (b *rowBag) kill(r *bagRow) {
+	if !r.dead {
+		r.dead = true
+		b.live--
+	}
+}
+
+func (b *rowBag) compact() {
+	if len(b.rows) <= 2*b.live+16 {
+		return
+	}
+	keep := b.rows[:0]
+	for _, r := range b.rows {
+		if !r.dead {
+			keep = append(keep, r)
+		}
+	}
+	b.rows = keep
+}
+
+// materialize returns the live rows in insertion order.
+func (b *rowBag) materialize(cols []string) *eval.Table {
+	out := &eval.Table{Cols: cols, Rows: make([][]value.Value, 0, b.live)}
+	for _, r := range b.rows {
+		if !r.dead {
+			out.Rows = append(out.Rows, r.vals)
+		}
+	}
+	return out
+}
+
+// roundDelta accumulates one round's net row-count changes, keyed by
+// row content so a row removed with one match and re-added by another
+// nets to zero — exactly what BagDifference against the previous full
+// result would conclude. Keys are tracked in first-touch order for
+// deterministic emission.
+type roundDelta struct {
+	counts map[string]*roundEntry
+	order  []string
+}
+
+type roundEntry struct {
+	count int
+	vals  []value.Value
+}
+
+func newRoundDelta() *roundDelta {
+	return &roundDelta{counts: map[string]*roundEntry{}}
+}
+
+func (rd *roundDelta) bump(key string, vals []value.Value, by int) {
+	ent := rd.counts[key]
+	if ent == nil {
+		ent = &roundEntry{vals: vals}
+		rd.counts[key] = ent
+		rd.order = append(rd.order, key)
+	}
+	ent.count += by
+}
+
+// table materializes the positive (entered) or negative (exited) side
+// of the round delta.
+func (rd *roundDelta) table(cols []string, negative bool) *eval.Table {
+	out := &eval.Table{Cols: cols}
+	for _, k := range rd.order {
+		ent := rd.counts[k]
+		n := ent.count
+		if negative {
+			n = -n
+		}
+		for i := 0; i < n; i++ {
+			out.Rows = append(out.Rows, ent.vals)
+		}
+	}
+	return out
+}
+
+// op returns the query's stream operator (SNAPSHOT for RETURN-
+// terminated registrations).
+func (q *Query) op() ast.StreamOp {
+	if q.emit != nil {
+		return q.emit.Op
+	}
+	return ast.OpSnapshot
+}
+
+// ensureDelta decides, once per query, whether delta-driven evaluation
+// applies, and if so creates the maintained state and the query's
+// rolling snapshot with delta recording active from birth — so the
+// static background graph and the first window load both arrive as
+// delta additions and seed the initial matches. Caller holds q.mu.
+func (e *Engine) ensureDelta(q *Query) *deltaState {
+	if q.delta != nil {
+		return q.delta
+	}
+	ds := &deltaState{}
+	q.delta = ds
+	fallback := func() *deltaState {
+		ds.failed = true
+		ds.prog = nil
+		q.stats.DeltaFallbacks++
+		q.qm.deltaFallback.Inc()
+		if e.logger != nil {
+			e.logger.Debug("seraph: delta evaluation not applicable, using full evaluation", "query", q.name)
+		}
+		return ds
+	}
+	prog := eval.CompileDelta(q.reg.Body)
+	if prog == nil {
+		return fallback()
+	}
+	ds.prog = prog
+	ds.width = prog.Within()
+	if ds.width == 0 {
+		ds.width = q.cfg.Width
+	}
+	if q.rollers == nil {
+		q.rollers = map[time.Duration]*rolling{}
+	}
+	if _, exists := q.rollers[ds.width]; exists {
+		// A roller predating delta recording holds elements the recorder
+		// never saw; the maintained state could not be seeded.
+		return fallback()
+	}
+	r := newRolling()
+	r.store.BeginDelta()
+	if e.static != nil {
+		if err := r.add(e.static); err != nil {
+			return fallback()
+		}
+	}
+	q.rollers[ds.width] = r
+	ds.matches = map[string]*deltaMatch{}
+	ds.prov = map[eval.Seed]map[string]*deltaMatch{}
+	if prog.Aggregated() {
+		ds.groups = map[string]*eval.DeltaGroup{}
+	} else {
+		ds.bag = &rowBag{}
+	}
+	return ds
+}
+
+// deltaAdvance runs one delta-driven round at instant ω: advance the
+// rolling snapshot, drain its delta, invalidate and re-find matches,
+// and produce the operator's output table. On a runtime bail it marks
+// ds failed, rebuilds q.prev, and returns with ds.failed set so the
+// caller re-evaluates ω through the classic path. Caller holds q.mu.
+func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval.Table, iv stream.Interval, nodes, rels int, ok bool, err error) {
+	iv, ok = q.cfg.ActiveWindow(ω)
+	if !ok {
+		return nil, iv, 0, 0, false, nil
+	}
+	roller := q.rollers[ds.width]
+
+	t0 := time.Now()
+	wiv, wok := window.ActiveWindowWidth(q.cfg, ds.width, ω)
+	var elems []stream.Element
+	if wok {
+		elems = q.hist.Substream(wiv)
+	}
+	added, removed, aerr := roller.advance(elems)
+	q.stats.IncrementalAdds += added
+	q.stats.IncrementalRemoves += removed
+	q.qm.incAdds.Add(int64(added))
+	q.qm.incRemoves.Add(int64(removed))
+	snapNanos := int64(time.Since(t0))
+	q.stats.SnapshotNanos += snapNanos
+	q.qm.snapshotBuild.Observe(time.Duration(snapNanos))
+	if aerr != nil {
+		return nil, iv, 0, 0, true, aerr
+	}
+	q.stats.WindowElements = len(elems)
+	q.qm.windowElems.Set(int64(len(elems)))
+
+	delta := roller.store.TakeDelta()
+	ctx := &eval.Ctx{
+		Store:    roller.store,
+		GraphFor: func(time.Duration) *graphstore.Store { return roller.store },
+		Params:   q.params,
+		Builtins: map[string]value.Value{
+			"win_start": value.NewDateTime(iv.Start),
+			"win_end":   value.NewDateTime(iv.End),
+			"now":       value.NewDateTime(ω),
+		},
+		Match:               q.qm.match,
+		DisableMatchIndexes: e.scanMatcher,
+	}
+
+	t1 := time.Now()
+	err = ds.apply(ctx, roller.store, delta)
+	if err == nil {
+		out, err = ds.emit(ctx, q.op())
+	}
+	cypher := int64(time.Since(t1))
+	q.stats.CypherNanos += cypher
+	q.qm.cypherEval.Observe(time.Duration(cypher))
+	if err != nil {
+		if errors.Is(err, eval.ErrDeltaUnsupported) {
+			if ferr := e.deltaFallback(q, ds, ω); ferr != nil {
+				return nil, iv, 0, 0, true, ferr
+			}
+			return nil, iv, 0, 0, true, nil // ds.failed: caller re-evaluates classically
+		}
+		return nil, iv, 0, 0, true, err
+	}
+	return out, iv, roller.store.NumNodes(), roller.store.NumRels(), true, nil
+}
+
+// deltaFallback permanently abandons delta evaluation for q mid-run:
+// stops recording, drops the maintained state, and rebuilds the
+// previous instant's full result so ON ENTERING / ON EXITING diffs
+// continue exactly through the classic path. The stream history still
+// covers the previous window (RetentionHorizon keeps width+slide), so
+// the rebuild is always possible.
+func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
+	ds.failed = true
+	ds.prog = nil
+	ds.matches = nil
+	ds.prov = nil
+	ds.bag = nil
+	ds.round = nil
+	ds.groups = nil
+	ds.groupOrder = nil
+	ds.prevAgg = nil
+	if r := q.rollers[ds.width]; r != nil {
+		r.store.StopDelta()
+	}
+	q.stats.DeltaFallbacks++
+	q.qm.deltaFallback.Inc()
+	if e.logger != nil {
+		e.logger.Warn("seraph: delta evaluation bailed, falling back to full evaluation",
+			"query", q.name, "at", ω)
+	}
+	if q.op() == ast.OpSnapshot || !ω.After(q.cfg.Start) {
+		q.prev = nil
+		return nil
+	}
+	prevω := ω.Add(-q.cfg.Slide)
+	result, _, _, _, ok, err := e.computeResult(q, prevω)
+	if err != nil {
+		return err
+	}
+	if ok {
+		q.prev = result
+	} else {
+		q.prev = nil
+	}
+	return nil
+}
+
+// apply processes one drained window delta: first invalidate every
+// maintained match touching an exited or updated element, then find
+// the new matches by anchored searches seeded at each added or updated
+// element (plus the relationships incident to updated nodes, which
+// covers matches whose only changed element is a variable-length trail
+// intermediate).
+func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graphstore.Delta) error {
+	if ds.round == nil && ds.bag != nil {
+		ds.round = newRoundDelta()
+	}
+
+	// Invalidation. Removal order is canonical-key order so the round
+	// delta and bag layout are deterministic.
+	drop := map[string]*deltaMatch{}
+	collect := func(s eval.Seed) {
+		for k, m := range ds.prov[s] {
+			drop[k] = m
+		}
+	}
+	for _, id := range delta.RemovedNodes {
+		collect(eval.Seed{ID: id})
+	}
+	for _, id := range delta.UpdatedNodes {
+		collect(eval.Seed{ID: id})
+	}
+	for _, id := range delta.RemovedRels {
+		collect(eval.Seed{Rel: true, ID: id})
+	}
+	for _, id := range delta.UpdatedRels {
+		collect(eval.Seed{Rel: true, ID: id})
+	}
+	dropKeys := make([]string, 0, len(drop))
+	for k := range drop {
+		dropKeys = append(dropKeys, k)
+	}
+	sort.Strings(dropKeys)
+	for _, k := range dropKeys {
+		ds.dropMatch(drop[k])
+	}
+
+	// Seeding. Sorted for deterministic search and insertion order.
+	seedSet := map[eval.Seed]bool{}
+	var seeds []eval.Seed
+	addSeed := func(s eval.Seed) {
+		if !seedSet[s] {
+			seedSet[s] = true
+			seeds = append(seeds, s)
+		}
+	}
+	for _, id := range delta.AddedNodes {
+		addSeed(eval.Seed{ID: id})
+	}
+	for _, id := range delta.AddedRels {
+		addSeed(eval.Seed{Rel: true, ID: id})
+	}
+	for _, id := range delta.UpdatedRels {
+		addSeed(eval.Seed{Rel: true, ID: id})
+	}
+	for _, id := range delta.UpdatedNodes {
+		addSeed(eval.Seed{ID: id})
+		// Trail intermediates are not anchorable node positions; any
+		// match crossing this node does so over an incident relationship.
+		for _, r := range store.Outgoing(id) {
+			addSeed(eval.Seed{Rel: true, ID: r.ID})
+		}
+		for _, r := range store.Incoming(id) {
+			addSeed(eval.Seed{Rel: true, ID: r.ID})
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].Rel != seeds[j].Rel {
+			return !seeds[i].Rel
+		}
+		return seeds[i].ID < seeds[j].ID
+	})
+	if len(seeds) == 0 {
+		return nil
+	}
+
+	sm := ds.prog.NewMatcher(ctx)
+	for _, sd := range seeds {
+		err := sm.ForEachSeededMatch(ctx, store, sd, func(key string, row []value.Value, touched []eval.Seed) error {
+			if _, exists := ds.matches[key]; exists {
+				return nil // survivor re-found from another seed
+			}
+			return ds.addMatch(ctx, key, row, touched)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addMatch evaluates a newly found match's contribution and registers
+// it in the maintained state. Matches contributing no rows are not
+// stored: they cannot affect future results, and skipping them keeps
+// the provenance index proportional to the result, not the match set.
+func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, touched []eval.Seed) error {
+	m := &deltaMatch{key: key, touched: touched}
+	if ds.prog.Aggregated() {
+		ins, err := ds.prog.AggInputs(ctx, row)
+		if err != nil {
+			return err
+		}
+		if len(ins) == 0 {
+			return nil
+		}
+		for _, in := range ins {
+			g := ds.groups[in.GroupKey]
+			if g == nil {
+				g = ds.prog.NewGroup(in)
+				ds.groups[in.GroupKey] = g
+				ds.groupOrder = append(ds.groupOrder, in.GroupKey)
+			}
+			if err := g.Add(in); err != nil {
+				return err
+			}
+		}
+		m.inputs = ins
+	} else {
+		rows, err := ds.prog.FinalRows(ctx, row)
+		if err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			return nil
+		}
+		for _, rv := range rows {
+			br := &bagRow{key: value.KeyOf(rv...), vals: rv}
+			ds.bag.add(br)
+			m.rows = append(m.rows, br)
+			ds.round.bump(br.key, rv, +1)
+		}
+	}
+	ds.matches[key] = m
+	for _, s := range touched {
+		ps := ds.prov[s]
+		if ps == nil {
+			ps = map[string]*deltaMatch{}
+			ds.prov[s] = ps
+		}
+		ps[key] = m
+	}
+	return nil
+}
+
+// dropMatch withdraws a match's contribution and unregisters it.
+func (ds *deltaState) dropMatch(m *deltaMatch) {
+	delete(ds.matches, m.key)
+	for _, s := range m.touched {
+		ps := ds.prov[s]
+		delete(ps, m.key)
+		if len(ps) == 0 {
+			delete(ds.prov, s)
+		}
+	}
+	for _, br := range m.rows {
+		ds.bag.kill(br)
+		ds.round.bump(br.key, br.vals, -1)
+	}
+	for _, in := range m.inputs {
+		if g := ds.groups[in.GroupKey]; g != nil {
+			g.Remove(in)
+			if !g.Live() {
+				delete(ds.groups, in.GroupKey)
+			}
+		}
+	}
+}
+
+// emit produces the operator's output table from the maintained state
+// and resets the round.
+func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) {
+	cols := ds.prog.Cols()
+	if !ds.prog.Aggregated() {
+		var out *eval.Table
+		switch op {
+		case ast.OpOnEntering:
+			out = ds.round.table(cols, false)
+		case ast.OpOnExiting:
+			out = ds.round.table(cols, true)
+		default:
+			out = ds.bag.materialize(cols)
+		}
+		ds.round = nil
+		ds.bag.compact()
+		return out, nil
+	}
+
+	// Aggregated: materialize the live groups (insertion order, stale
+	// order entries skipped) and diff against the previous round's
+	// table — O(groups).
+	cur := &eval.Table{Cols: cols}
+	seen := map[string]bool{}
+	keep := ds.groupOrder[:0]
+	for _, k := range ds.groupOrder {
+		g := ds.groups[k]
+		if g == nil || seen[k] {
+			continue
+		}
+		seen[k] = true
+		keep = append(keep, k)
+		row, err := ds.prog.GroupRow(ctx, g)
+		if err != nil {
+			return nil, err
+		}
+		cur.Rows = append(cur.Rows, row)
+	}
+	ds.groupOrder = keep
+	if len(cur.Rows) == 0 && !ds.prog.HasKeys() {
+		row, err := ds.prog.EmptyAggRow(ctx)
+		if err != nil {
+			return nil, err
+		}
+		cur.Rows = append(cur.Rows, row)
+	}
+
+	prev := ds.prevAgg
+	if prev == nil {
+		prev = &eval.Table{Cols: cols}
+	}
+	ds.prevAgg = cur
+	switch op {
+	case ast.OpOnEntering:
+		return eval.BagDifference(cur, prev)
+	case ast.OpOnExiting:
+		return eval.BagDifference(prev, cur)
+	default:
+		return cur, nil
+	}
+}

@@ -67,6 +67,11 @@ type Engine struct {
 	// "efficient window maintenance" optimization).
 	incremental bool
 
+	// deltaEval maintains each query's result bag under the window
+	// delta instead of re-evaluating the body per instant (see
+	// deltaeval.go and WithDeltaEval). Implies incremental.
+	deltaEval bool
+
 	// metrics is the instrumentation registry; nil disables all
 	// recording (see WithMetrics and metrics.go). metricsSet records
 	// whether WithMetrics was supplied, so New can default to a fresh
@@ -211,6 +216,14 @@ type Stats struct {
 	// (WithEvalDeadline); each one was reported to the sink as a Result
 	// with Skipped set.
 	Shed int
+
+	// DeltaApplied counts evaluation instants answered by the
+	// delta-driven evaluator; DeltaFallbacks counts permanent
+	// per-query fallbacks to full evaluation (at most one per query:
+	// either the body is outside the maintainable fragment or a
+	// runtime value was not maintainable).
+	DeltaApplied   int
+	DeltaFallbacks int
 }
 
 // Query is a registered continuous query.
@@ -247,6 +260,11 @@ type Query struct {
 	// rollers holds the per-width rolling snapshots when the engine
 	// runs in incremental mode.
 	rollers map[time.Duration]*rolling
+
+	// delta is the maintained delta-evaluation state (nil until the
+	// first evaluation decides whether the query is maintainable; see
+	// deltaeval.go).
+	delta *deltaState
 
 	// evalMu serializes this query's evaluation chain: whoever holds it
 	// owns the right to run evaluations, in instant order, until
@@ -360,6 +378,7 @@ func (e *Engine) register(reg *ast.Registration, sink Sink, params map[string]va
 			q.cfg.Start = e.now
 			q.pendingStart = false
 			q.nextEval = q.cfg.Start
+			q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 		}
 		// Validate width/slide now even though ω₀ may still be pending:
 		// an invalid combination must fail at registration, not at the
@@ -376,6 +395,12 @@ func (e *Engine) register(reg *ast.Registration, sink Sink, params map[string]va
 			return nil, err
 		}
 		q.nextEval = q.cfg.Start
+		// evalTarget must start strictly before nextEval: its zero value
+		// (year 1) would otherwise act as an implicit target, making the
+		// scheduler walk every slide instant from a pre-year-1 STARTING AT
+		// up to year 1 — millions of evaluations before the first real
+		// AdvanceTo target applies.
+		q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 	}
 	e.queries[reg.Name] = q
 	return q, nil
@@ -469,6 +494,7 @@ func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error 
 		if q.pendingStart {
 			q.cfg.Start = ts
 			q.nextEval = ts
+			q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 			q.pendingStart = false
 		}
 		err := q.hist.Append(g, ts)
@@ -498,6 +524,28 @@ func (e *Engine) Now() time.Time {
 // deadlock. AdvanceTo itself lives in scheduler.go.
 func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 	start := time.Now()
+
+	// Delta-driven path (see deltaeval.go): maintain the result bag
+	// under the window delta instead of re-evaluating the body. Falls
+	// through to the classic path when the query is outside the
+	// maintainable fragment or bails at runtime.
+	if e.deltaEval {
+		if ds := e.ensureDelta(q); !ds.failed {
+			out, iv, nodes, rels, ok, err := e.deltaAdvance(q, ds, ω)
+			if err != nil {
+				return nil, err
+			}
+			if !ds.failed {
+				if !ok {
+					return nil, nil
+				}
+				q.stats.DeltaApplied++
+				q.qm.deltaApplied.Inc()
+				return e.finishEval(q, ω, start, q.op(), out, iv, nodes, rels)
+			}
+		}
+	}
+
 	result, iv, nodes, rels, ok, err := e.computeResult(q, ω)
 	if err != nil {
 		return nil, err
@@ -510,10 +558,7 @@ func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 	// Stream operator (Section 5.3): SNAPSHOT re-emits everything; ON
 	// ENTERING / ON EXITING are bag differences against the previous
 	// evaluation's result.
-	op := ast.OpSnapshot
-	if q.emit != nil {
-		op = q.emit.Op
-	}
+	op := q.op()
 	out := result
 	switch op {
 	case ast.OpOnEntering:
@@ -532,8 +577,22 @@ func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	q.prev = result
+	// Only the diff operators need the previous result; retaining it
+	// for SNAPSHOT queries would pin an extra full result table per
+	// query for no reader.
+	if op == ast.OpSnapshot {
+		q.prev = nil
+	} else {
+		q.prev = result
+	}
 
+	return e.finishEval(q, ω, start, op, out, iv, nodes, rels)
+}
+
+// finishEval is the shared tail of both evaluation paths: annotate the
+// operator output with the window bounds, record stats and metrics,
+// append to the query's time-varying table, and build the Result.
+func (e *Engine) finishEval(q *Query, ω time.Time, start time.Time, op ast.StreamOp, out *eval.Table, iv stream.Interval, nodes, rels int) (*Result, error) {
 	annotated := annotate(out, iv)
 	d := time.Since(start)
 	q.stats.Evaluations++

@@ -26,9 +26,10 @@ func fuzzEventGraph(relID, sid, v int64) *pg.Graph {
 
 // FuzzRegisterAndPush drives the full pipeline — parse, register,
 // push, evaluate — with arbitrary registration sources and event
-// parameters. Two invariants: nothing panics, and the snapshot cache
-// is semantically invisible (cached and uncached runs produce
-// identical result sequences, including identical failure behaviour).
+// parameters. Two invariants: nothing panics, and the evaluation
+// strategy is semantically invisible (cached, uncached and
+// delta-driven runs produce identical result sequences, including
+// identical failure behaviour).
 //
 // The corpus under testdata/fuzz seeds the EXPERIMENTS.md workload
 // registrations (micromobility, netmon, POLE) plus small queries that
@@ -46,8 +47,8 @@ func FuzzRegisterAndPush(f *testing.F) {
 		f.Add(s, int64(1000), int64(20), int64(5), int64(2))
 	}
 	f.Fuzz(func(t *testing.T, src string, relID, v, count, gap int64) {
-		run := func(cache bool) (out []string, registered bool) {
-			eng := New(WithParallelism(1), WithSnapshotCache(cache))
+		run := func(opts ...Option) (out []string, registered bool) {
+			eng := New(append([]Option{WithParallelism(1)}, opts...)...)
 			q, err := eng.RegisterSource(src, func(r Result) {
 				rows := make([]string, 0, r.Table.Len())
 				for i := range r.Table.Rows {
@@ -97,17 +98,22 @@ func FuzzRegisterAndPush(f *testing.F) {
 			}
 			return out, true
 		}
-		a, aok := run(true)
-		b, bok := run(false)
-		if aok != bok {
-			t.Fatalf("registration accepted=%v with cache, %v without", aok, bok)
+		a, aok := run(WithSnapshotCache(true))
+		b, bok := run(WithSnapshotCache(false))
+		c, cok := run(WithDeltaEval(true))
+		if aok != bok || aok != cok {
+			t.Fatalf("registration accepted=%v with cache, %v without, %v delta", aok, bok, cok)
 		}
-		if len(a) != len(b) {
-			t.Fatalf("cache run emitted %d results, no-cache run %d\ncache: %v\nno-cache: %v", len(a), len(b), a, b)
+		if len(a) != len(b) || len(b) != len(c) {
+			t.Fatalf("cache run emitted %d results, no-cache run %d, delta run %d\ncache: %v\nno-cache: %v\ndelta: %v",
+				len(a), len(b), len(c), a, b, c)
 		}
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("result %d differs:\ncache:    %s\nno-cache: %s", i, a[i], b[i])
+			}
+			if b[i] != c[i] {
+				t.Fatalf("result %d differs:\nno-cache: %s\ndelta:    %s", i, b[i], c[i])
 			}
 		}
 	})

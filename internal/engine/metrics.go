@@ -33,6 +33,8 @@ const (
 	mMatchIdxMisses  = "seraph_match_index_misses_total"
 	mMatchPushdowns  = "seraph_match_pushdowns_total"
 	mMatchCandidates = "seraph_match_candidates"
+	mDeltaApplied    = "seraph_delta_applied_total"
+	mDeltaFallback   = "seraph_delta_fallback_total"
 )
 
 // queryMetrics are the per-query instruments, labeled query=<name>.
@@ -50,6 +52,8 @@ type queryMetrics struct {
 	cacheMisses   *metrics.Counter
 	incAdds       *metrics.Counter
 	incRemoves    *metrics.Counter
+	deltaApplied  *metrics.Counter
+	deltaFallback *metrics.Counter
 	match         *eval.MatchMetrics
 }
 
@@ -71,6 +75,8 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 		cacheMisses:   reg.Counter(mCacheMisses, "Evaluations that missed the equal-window-contents cache.", q),
 		incAdds:       reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "add")),
 		incRemoves:    reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "remove")),
+		deltaApplied:  reg.Counter(mDeltaApplied, "Evaluation instants answered by the delta-driven evaluator.", q),
+		deltaFallback: reg.Counter(mDeltaFallback, "Permanent per-query fallbacks from delta-driven to full evaluation.", q),
 		match: &eval.MatchMetrics{
 			IndexHits:   reg.Counter(mMatchIdxHits, "MATCH candidate enumerations served from a property index.", q),
 			IndexMisses: reg.Counter(mMatchIdxMisses, "MATCH candidate enumerations served by label list or full scan.", q),

@@ -312,3 +312,34 @@ REGISTER QUERY mm%d STARTING AT %s
 		}
 	}
 }
+
+// TestPreYearOneStartTerminates: evalTarget's zero value is year 1, so
+// before it was initialized strictly below nextEval, a registration
+// STARTING AT a pre-year-1 instant (fuzzer-found) made the scheduler
+// treat year 1 as an implicit target and walk millions of slide
+// instants. The whole advance must stay proportional to the requested
+// target.
+func TestPreYearOneStartTerminates(t *testing.T) {
+	e := New(WithParallelism(1))
+	col := &Collector{}
+	q, err := e.RegisterSource(`
+REGISTER QUERY old STARTING AT 0000-07-06T00:00:00
+{ MATCH (n) WITHIN PT8S EMIT count(*) AS n SNAPSHOT EVERY PT2S }`, col.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := q.cfg.Start
+	done := make(chan error, 1)
+	go func() { done <- e.AdvanceTo(start.Add(20 * time.Second)) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AdvanceTo did not terminate (evalTarget zero-value walk)")
+	}
+	if got := q.Stats().Evaluations; got != 11 {
+		t.Fatalf("evaluated %d instants, want 11", got)
+	}
+}

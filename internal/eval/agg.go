@@ -331,3 +331,212 @@ func (a *percentileAgg) result() value.Value {
 	}
 	return value.NewFloat(a.vals[idx])
 }
+
+// ---------------------------------------------------------------------------
+// Removable accumulators for delta-driven evaluation
+
+// deltaAcc is the removable counterpart of aggregator: the engine's
+// delta evaluator feeds it pre-evaluated argument values as matches
+// enter and leave the window, so results are maintained without
+// re-scanning the group. Only the decomposable aggregates have
+// removable forms — count and integer sum invert exactly, min and max
+// keep a multiset of live values — which is what restricts the
+// maintainable fragment to count/sum/min/max.
+type deltaAcc interface {
+	add(a AggArg) error
+	remove(a AggArg)
+	result() value.Value
+}
+
+// newDeltaAcc builds the removable accumulator for sp. CompileDelta
+// guarantees sp.fn is one of count/sum/min/max.
+func newDeltaAcc(sp *aggSpec) deltaAcc {
+	switch sp.fn {
+	case "count":
+		a := &deltaCount{star: sp.star, distinct: sp.distinct}
+		if sp.distinct {
+			a.seen = map[string]int64{}
+		}
+		return a
+	case "sum":
+		a := &deltaSum{distinct: sp.distinct}
+		if sp.distinct {
+			a.seen = map[string]*deltaSumEntry{}
+		}
+		return a
+	case "min":
+		return &deltaMinMax{live: map[string]*deltaMinMaxEntry{}}
+	case "max":
+		return &deltaMinMax{max: true, live: map[string]*deltaMinMaxEntry{}}
+	}
+	return nil
+}
+
+type deltaCount struct {
+	star, distinct bool
+	n              int64
+	seen           map[string]int64 // DISTINCT only: live multiplicity per value key
+}
+
+func (a *deltaCount) add(g AggArg) error {
+	if a.star {
+		a.n++
+		return nil
+	}
+	if g.Skip {
+		return nil
+	}
+	if a.distinct {
+		k := value.Key(g.Val)
+		a.seen[k]++
+		if a.seen[k] == 1 {
+			a.n++
+		}
+		return nil
+	}
+	a.n++
+	return nil
+}
+
+func (a *deltaCount) remove(g AggArg) {
+	if a.star {
+		a.n--
+		return
+	}
+	if g.Skip {
+		return
+	}
+	if a.distinct {
+		k := value.Key(g.Val)
+		a.seen[k]--
+		if a.seen[k] == 0 {
+			delete(a.seen, k)
+			a.n--
+		}
+		return
+	}
+	a.n--
+}
+
+func (a *deltaCount) result() value.Value { return value.NewInt(a.n) }
+
+// deltaSum maintains integer sums exactly. The first float argument
+// returns ErrDeltaUnsupported: float addition does not invert exactly,
+// so the engine falls back to full re-evaluation instead of drifting.
+type deltaSum struct {
+	distinct bool
+	sum      int64
+	seen     map[string]*deltaSumEntry // DISTINCT only
+}
+
+type deltaSumEntry struct {
+	v     int64
+	count int64
+}
+
+func (a *deltaSum) add(g AggArg) error {
+	if g.Skip {
+		return nil
+	}
+	if !g.Val.IsNumber() {
+		// Same failure the full evaluator reports, at the same instant.
+		return evalErrf("sum() over non-numeric value %s", g.Val.Kind())
+	}
+	if g.Val.IsFloat() {
+		return ErrDeltaUnsupported
+	}
+	x := g.Val.Int()
+	if a.distinct {
+		k := value.Key(g.Val)
+		if ent := a.seen[k]; ent != nil {
+			ent.count++
+			return nil
+		}
+		a.seen[k] = &deltaSumEntry{v: x, count: 1}
+	}
+	a.sum += x
+	return nil
+}
+
+func (a *deltaSum) remove(g AggArg) {
+	if g.Skip {
+		return
+	}
+	// Removals only replay previously added values, so the argument is
+	// a non-null integer here.
+	if a.distinct {
+		k := value.Key(g.Val)
+		ent := a.seen[k]
+		if ent == nil {
+			return
+		}
+		ent.count--
+		if ent.count == 0 {
+			delete(a.seen, k)
+			a.sum -= ent.v
+		}
+		return
+	}
+	a.sum -= g.Val.Int()
+}
+
+func (a *deltaSum) result() value.Value { return value.NewInt(a.sum) }
+
+// deltaMinMax keeps the multiset of live values keyed by value.Key and
+// scans it on demand. The scan is deterministic despite map iteration:
+// two entries with distinct keys never compare equal (value.Key
+// canonicalizes exactly the values Compare treats as equal).
+type deltaMinMax struct {
+	max  bool
+	live map[string]*deltaMinMaxEntry
+}
+
+type deltaMinMaxEntry struct {
+	v     value.Value
+	count int64
+}
+
+func (a *deltaMinMax) add(g AggArg) error {
+	if g.Skip {
+		return nil
+	}
+	k := value.Key(g.Val)
+	if ent := a.live[k]; ent != nil {
+		ent.count++
+		return nil
+	}
+	a.live[k] = &deltaMinMaxEntry{v: g.Val, count: 1}
+	return nil
+}
+
+func (a *deltaMinMax) remove(g AggArg) {
+	if g.Skip {
+		return
+	}
+	k := value.Key(g.Val)
+	ent := a.live[k]
+	if ent == nil {
+		return
+	}
+	ent.count--
+	if ent.count == 0 {
+		delete(a.live, k)
+	}
+}
+
+func (a *deltaMinMax) result() value.Value {
+	best := value.Null
+	any := false
+	for _, ent := range a.live {
+		if !any {
+			best = ent.v
+			any = true
+			continue
+		}
+		c := value.Compare(ent.v, best)
+		if (a.max && c > 0) || (!a.max && c < 0) {
+			best = ent.v
+		}
+	}
+	return best
+}

@@ -1,0 +1,442 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/value"
+)
+
+// Delta-driven evaluation: instead of re-running the full query body at
+// each instant, the engine maintains the result bag under the window
+// delta. This file compiles a query body into a DeltaProgram — a static
+// decomposition into (pattern, per-match row pipeline, removable
+// aggregates) — and provides the per-match evaluation entry points the
+// engine's delta evaluator calls. CompileDelta returns nil for queries
+// outside the maintainable fragment; those transparently fall back to
+// full re-evaluation.
+
+// ErrDeltaUnsupported is returned by removable accumulators when a
+// runtime value leaves the maintainable domain (currently: a float
+// reaching sum(), whose removal is not exact in floating point). The
+// engine reacts by permanently falling back to full re-evaluation for
+// the query; the error never surfaces to the user.
+var ErrDeltaUnsupported = errors.New("eval: value not incrementally maintainable")
+
+// DeltaProgram is the compiled form of a query body whose results can
+// be maintained incrementally: a single leading MATCH, a row-wise
+// middle pipeline (WITH / UNWIND), and a final projection that is
+// either plain or built from decomposable aggregates.
+type DeltaProgram struct {
+	match *ast.Match
+	mid   []ast.Clause
+	proj  *ast.Projection
+	vars  []string // pattern variables = column order of match rows
+	cols  []string // output column names
+
+	// Aggregation decomposition (populated when aggregated is true),
+	// mirroring projectAggregated's rewrite.
+	aggregated bool
+	items      []ast.ReturnItem // final items, * pre-expanded
+	rewritten  []ast.Expr       // items with aggregate calls replaced
+	isKey      []bool           // grouping-key positions
+	specs      []*aggSpec
+	hasKeys    bool
+}
+
+// CompileDelta statically analyzes a query body and returns its delta
+// program, or nil when the query is outside the maintainable fragment:
+//
+//   - single part (no UNION), leading non-OPTIONAL MATCH without
+//     shortestPath;
+//   - middle clauses limited to row-wise WITH (no aggregation,
+//     DISTINCT, ORDER BY, SKIP or LIMIT) and UNWIND;
+//   - final RETURN/EMIT without DISTINCT, ORDER BY, SKIP or LIMIT,
+//     aggregating (if at all) only with count/sum/min/max;
+//   - no expression anywhere that depends on the evaluation instant
+//     (win_start/win_end/now, timestamp(), zero-argument datetime())
+//     or on graph state outside the matched row (pattern predicates),
+//     since cached rows must stay valid while their match is live.
+//
+// Queries that would fail identically at every instant (duplicate
+// projection columns, UNWIND alias conflicts, aggregates without an
+// argument) also return nil so the full evaluator reports the error.
+func CompileDelta(q *ast.Query) *DeltaProgram {
+	if len(q.Parts) != 1 {
+		return nil
+	}
+	cls := q.Parts[0].Clauses
+	if len(cls) < 2 {
+		return nil
+	}
+	m, ok := cls[0].(*ast.Match)
+	if !ok || m.Optional {
+		return nil
+	}
+	for pi := range m.Pattern.Parts {
+		part := &m.Pattern.Parts[pi]
+		if part.Shortest != ast.ShortestNone {
+			return nil
+		}
+		for _, np := range part.Nodes {
+			if np.Props != nil && !exprDeltaSafe(np.Props) {
+				return nil
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Props != nil && !exprDeltaSafe(rp.Props) {
+				return nil
+			}
+		}
+	}
+	if m.Where != nil && !exprDeltaSafe(m.Where) {
+		return nil
+	}
+
+	p := &DeltaProgram{match: m, vars: patternVars(m.Pattern)}
+	cols := append([]string(nil), p.vars...)
+
+	for _, c := range cls[1 : len(cls)-1] {
+		switch x := c.(type) {
+		case *ast.Unwind:
+			if !exprDeltaSafe(x.X) {
+				return nil
+			}
+			for _, c := range cols {
+				if c == x.Alias {
+					return nil // full eval reports the alias conflict
+				}
+			}
+			cols = append(cols, x.Alias)
+		case *ast.With:
+			if x.Distinct || len(x.OrderBy) > 0 || x.Skip != nil || x.Limit != nil {
+				return nil
+			}
+			for _, it := range x.Items {
+				if containsAgg(it.X) || !exprDeltaSafe(it.X) {
+					return nil
+				}
+			}
+			if x.Where != nil && !exprDeltaSafe(x.Where) {
+				return nil
+			}
+			names, ok := staticProjectionCols(&x.Projection, cols)
+			if !ok {
+				return nil
+			}
+			cols = names
+		default:
+			return nil
+		}
+		p.mid = append(p.mid, c)
+	}
+
+	switch x := cls[len(cls)-1].(type) {
+	case *ast.Return:
+		p.proj = &x.Projection
+	case *ast.Emit:
+		p.proj = &x.Projection
+	default:
+		return nil
+	}
+	for _, it := range p.proj.Items {
+		if !exprDeltaSafe(it.X) {
+			return nil
+		}
+	}
+	if p.proj.Distinct || len(p.proj.OrderBy) > 0 || p.proj.Skip != nil || p.proj.Limit != nil {
+		return nil
+	}
+	names, ok := staticProjectionCols(p.proj, cols)
+	if !ok {
+		return nil
+	}
+	p.cols = names
+
+	// Expand * exactly as applyProjection does, so the aggregation
+	// decomposition sees the same item list at compile time that the
+	// full evaluator sees at run time.
+	items := make([]ast.ReturnItem, 0, len(p.proj.Items)+len(cols))
+	if p.proj.Star {
+		for _, c := range cols {
+			items = append(items, ast.ReturnItem{X: &ast.Var{Name: c}, Alias: c})
+		}
+	}
+	items = append(items, p.proj.Items...)
+
+	for _, it := range items {
+		if containsAgg(it.X) {
+			p.aggregated = true
+			break
+		}
+	}
+	if !p.aggregated {
+		return p
+	}
+
+	p.items = items
+	p.rewritten = make([]ast.Expr, len(items))
+	p.isKey = make([]bool, len(items))
+	for i, it := range items {
+		ex, sp := rewriteAgg(it.X, len(p.specs))
+		p.rewritten[i] = ex
+		p.specs = append(p.specs, sp...)
+		p.isKey[i] = len(sp) == 0
+		p.hasKeys = p.hasKeys || p.isKey[i]
+	}
+	for _, sp := range p.specs {
+		switch sp.fn {
+		case "count", "sum", "min", "max":
+		default:
+			return nil // not decomposable (avg/collect/stdev/percentile*)
+		}
+		if sp.arg == nil && !sp.star {
+			return nil // full eval reports the missing argument
+		}
+	}
+	return p
+}
+
+// staticProjectionCols computes the output column names applyProjection
+// would produce for proj over input columns cols. ok is false when the
+// projection is empty or has duplicate names (full eval reports those
+// as errors independent of the rows).
+func staticProjectionCols(proj *ast.Projection, cols []string) ([]string, bool) {
+	var names []string
+	if proj.Star {
+		names = append(names, cols...)
+	}
+	for _, it := range proj.Items {
+		if it.Alias != "" {
+			names = append(names, it.Alias)
+		} else {
+			names = append(names, ast.ExprString(it.X))
+		}
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, false
+		}
+		seen[n] = true
+	}
+	return names, true
+}
+
+// exprDeltaSafe reports whether e may appear in a maintained query:
+// its value per row must depend only on the row, not on the evaluation
+// instant or on graph elements outside the match.
+func exprDeltaSafe(e ast.Expr) bool {
+	ok := true
+	walkExpr(e, func(x ast.Expr) {
+		switch c := x.(type) {
+		case *ast.PatternPredicate:
+			ok = false
+		case *ast.Var:
+			switch c.Name {
+			case "win_start", "win_end", "now":
+				ok = false
+			}
+		case *ast.FuncCall:
+			switch strings.ToLower(c.Name) {
+			case "timestamp":
+				ok = false
+			case "datetime":
+				if len(c.Args) == 0 {
+					ok = false
+				}
+			}
+		}
+	})
+	return ok
+}
+
+// Within returns the leading MATCH's WITHIN width (0 when absent, in
+// which case the engine applies the registration's default width).
+func (p *DeltaProgram) Within() time.Duration { return p.match.Within }
+
+// MatchVars returns the pattern variables in match-row column order.
+func (p *DeltaProgram) MatchVars() []string { return p.vars }
+
+// Cols returns the output column names of the maintained result.
+func (p *DeltaProgram) Cols() []string { return p.cols }
+
+// Aggregated reports whether the final projection aggregates.
+func (p *DeltaProgram) Aggregated() bool { return p.aggregated }
+
+// HasKeys reports whether the aggregation has grouping keys. Without
+// keys, an empty input still yields one row (count(*) = 0 etc.), which
+// the engine synthesizes via EmptyAggRow.
+func (p *DeltaProgram) HasKeys() bool { return p.hasKeys }
+
+// NewMatcher compiles the anchored matcher for the leading MATCH
+// against ctx (rebuilt per instant so planner statistics follow the
+// rolling store).
+func (p *DeltaProgram) NewMatcher(ctx *Ctx) *SeededMatcher {
+	return NewSeededMatcher(ctx, p.match.Pattern, p.match.Where)
+}
+
+// pipeline runs the middle clauses over one match row.
+func (p *DeltaProgram) pipeline(ctx *Ctx, row []value.Value) (*Table, error) {
+	t := &Table{Cols: p.vars, Rows: [][]value.Value{row}}
+	for _, c := range p.mid {
+		var err error
+		if t, err = applyClause(ctx, c, t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FinalRows evaluates one match row through the middle pipeline and the
+// final (non-aggregated) projection, returning the result rows this
+// match contributes. Valid only when !Aggregated().
+func (p *DeltaProgram) FinalRows(ctx *Ctx, row []value.Value) ([][]value.Value, error) {
+	t, err := p.pipeline(ctx, row)
+	if err != nil {
+		return nil, err
+	}
+	out, err := applyProjection(ctx, p.proj, t)
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+// AggArg is one pre-evaluated aggregate argument of one input row.
+// Skip marks null arguments, which aggregates ignore.
+type AggArg struct {
+	Val  value.Value
+	Skip bool
+}
+
+// AggInput is the aggregation-relevant projection of one pipeline row:
+// its group key, the grouping-item values, and one evaluated argument
+// per aggregate spec. The engine stores AggInputs per match so the
+// identical values can be removed when the match leaves the window.
+type AggInput struct {
+	GroupKey string
+	KeyVals  []value.Value // by final-item index; nil at aggregate positions
+	Args     []AggArg      // by spec index
+}
+
+// AggInputs evaluates one match row through the middle pipeline and
+// projects each resulting row onto its aggregation inputs. Valid only
+// when Aggregated().
+func (p *DeltaProgram) AggInputs(ctx *Ctx, row []value.Value) ([]AggInput, error) {
+	t, err := p.pipeline(ctx, row)
+	if err != nil {
+		return nil, err
+	}
+	ins := make([]AggInput, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		e := newEnv(t.Cols, r)
+		keyVals := make([]value.Value, len(p.items))
+		var keyParts []value.Value
+		for i := range p.items {
+			if !p.isKey[i] {
+				continue
+			}
+			v, err := evalExpr(ctx, e, p.items[i].X)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			keyParts = append(keyParts, v)
+		}
+		args := make([]AggArg, len(p.specs))
+		for si, sp := range p.specs {
+			if sp.star {
+				continue // counted unconditionally
+			}
+			v, err := evalExpr(ctx, e, sp.arg)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				args[si] = AggArg{Skip: true}
+				continue
+			}
+			args[si] = AggArg{Val: v}
+		}
+		ins = append(ins, AggInput{GroupKey: value.KeyOf(keyParts...), KeyVals: keyVals, Args: args})
+	}
+	return ins, nil
+}
+
+// DeltaGroup is one maintained aggregation group: removable
+// accumulators plus the live input-row count. A group with no live
+// rows produces no output row (it is resurrected from scratch if rows
+// for its key reappear).
+type DeltaGroup struct {
+	keyVals []value.Value
+	accs    []deltaAcc
+	rows    int64
+}
+
+// NewGroup creates the group for in's key.
+func (p *DeltaProgram) NewGroup(in AggInput) *DeltaGroup {
+	g := &DeltaGroup{keyVals: in.KeyVals, accs: make([]deltaAcc, len(p.specs))}
+	for si, sp := range p.specs {
+		g.accs[si] = newDeltaAcc(sp)
+	}
+	return g
+}
+
+// Add feeds one input row into the group. An ErrDeltaUnsupported error
+// means the group can no longer be maintained exactly and the engine
+// must fall back to full re-evaluation.
+func (g *DeltaGroup) Add(in AggInput) error {
+	g.rows++
+	for si := range g.accs {
+		if err := g.accs[si].add(in.Args[si]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove withdraws one previously added input row.
+func (g *DeltaGroup) Remove(in AggInput) {
+	g.rows--
+	for si := range g.accs {
+		g.accs[si].remove(in.Args[si])
+	}
+}
+
+// Live reports whether the group still has input rows.
+func (g *DeltaGroup) Live() bool { return g.rows > 0 }
+
+// GroupRow materializes the group's output row, mirroring
+// projectAggregated's per-group evaluation.
+func (p *DeltaProgram) GroupRow(ctx *Ctx, g *DeltaGroup) ([]value.Value, error) {
+	e := newEnv(nil, nil)
+	for si := range p.specs {
+		e.push(p.specs[si].name, g.accs[si].result())
+	}
+	vals := make([]value.Value, len(p.items))
+	for i := range p.items {
+		if p.isKey[i] {
+			vals[i] = g.keyVals[i]
+			continue
+		}
+		v, err := evalExpr(ctx, e, p.rewritten[i])
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// EmptyAggRow synthesizes the single row a keyless aggregation yields
+// over an empty input, matching projectAggregated's empty-group rule.
+func (p *DeltaProgram) EmptyAggRow(ctx *Ctx) ([]value.Value, error) {
+	g := p.NewGroup(AggInput{KeyVals: make([]value.Value, len(p.items))})
+	return p.GroupRow(ctx, g)
+}

@@ -27,6 +27,25 @@ type patternMatcher struct {
 	env   *env
 	used  map[int64]bool
 	plan  *matchPlan
+
+	// states, when non-nil, records each part's live chainState so the
+	// seeded matcher (seeded.go) can read the complete element
+	// assignment of a match at emit time. Plain matching leaves it nil.
+	states map[*ast.PatternPart]*chainState
+}
+
+// newChainState allocates the per-part matching state, registering it
+// for identity extraction when the matcher runs in seeded mode.
+func (m *patternMatcher) newChainState(part *ast.PatternPart) *chainState {
+	st := &chainState{
+		part:  part,
+		nodes: make([]*value.Node, len(part.Nodes)),
+		rels:  make([][]*value.Relationship, len(part.Rels)),
+	}
+	if m.states != nil {
+		m.states[part] = st
+	}
+	return st
 }
 
 // forEachMatch enumerates matches of pattern under the bindings in e,
@@ -198,11 +217,7 @@ type chainState struct {
 }
 
 func (m *patternMatcher) matchChain(part *ast.PatternPart, cont func() error) error {
-	st := &chainState{
-		part:  part,
-		nodes: make([]*value.Node, len(part.Nodes)),
-		rels:  make([][]*value.Relationship, len(part.Rels)),
-	}
+	st := m.newChainState(part)
 	start := m.chooseStart(part)
 	return m.matchNodeAt(st, start, func() error {
 		return m.expand(st, start, start, cont)
@@ -569,7 +584,7 @@ func (m *patternMatcher) matchShortest(part *ast.PatternPart, cont func() error)
 	if len(part.Rels) != 1 || len(part.Nodes) != 2 {
 		return evalErrf("shortestPath requires a single relationship pattern")
 	}
-	st := &chainState{part: part, nodes: make([]*value.Node, 2), rels: make([][]*value.Relationship, 1)}
+	st := m.newChainState(part)
 	// Bind both endpoints first, then search.
 	return m.matchNodeAt(st, 0, func() error {
 		return m.matchNodeAt(st, 1, func() error {

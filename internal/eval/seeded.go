@@ -1,0 +1,389 @@
+package eval
+
+import (
+	"strconv"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Seeded (anchored) pattern matching: enumerate only the matches that
+// contain one given graph element — the entry point of delta-driven
+// evaluation. Instead of scanning candidate nodes for a start position,
+// the search pins the delta element to each pattern position it could
+// occupy (every node position for a node, every relationship position
+// for a relationship, including positions inside variable-length
+// segments) and expands the rest of the pattern outward from there,
+// reusing the planner's pushdown checks and typed adjacency. A window
+// delta of d elements then costs d anchored searches instead of one
+// full scan of the window.
+
+// Seed identifies one graph element (node or relationship) by id.
+type Seed struct {
+	Rel bool
+	ID  int64
+}
+
+// SeededMatcher holds the per-instant compiled state for anchored
+// searches of one MATCH pattern: the plan (rebuilt per instant so its
+// memoized statistics track the mutating rolling store) and the
+// pattern variables in binding order.
+type SeededMatcher struct {
+	pattern ast.Pattern
+	where   ast.Expr
+	plan    *matchPlan
+	vars    []string
+}
+
+// NewSeededMatcher compiles pattern for anchored matching. The where
+// expression is applied per match exactly as applyMatch does; its
+// top-level equality conjuncts feed the planner's pushdown.
+func NewSeededMatcher(ctx *Ctx, pattern ast.Pattern, where ast.Expr) *SeededMatcher {
+	return &SeededMatcher{
+		pattern: pattern,
+		where:   where,
+		plan:    planMatch(ctx, pattern, where),
+		vars:    patternVars(pattern),
+	}
+}
+
+// Vars returns the pattern's variables in the order applyMatch would
+// bind them for a unit input table, which is the column order of rows
+// passed to emit.
+func (sm *SeededMatcher) Vars() []string { return sm.vars }
+
+// ForEachSeededMatch enumerates each distinct match of the pattern over
+// store that contains the seed element at a pattern position, passing
+// WHERE. emit receives the match's canonical identity key (equal keys
+// iff identical element assignments, independent of the anchor the
+// match was found from), its bound row in Vars() order, and every
+// element it touches — bound nodes and relationships plus
+// variable-length trail intermediates, whose labels and properties are
+// readable through path values and therefore part of the match's
+// provenance.
+//
+// Completeness caveat: a node seed anchors at node *positions* only. A
+// match whose sole changed element is a trail intermediate is reached
+// by additionally seeding the relationships incident to that node (the
+// trail must cross one of them); the engine does this for updated
+// nodes.
+func (sm *SeededMatcher) ForEachSeededMatch(ctx *Ctx, store *graphstore.Store, seed Seed,
+	emit func(key string, row []value.Value, touched []Seed) error) error {
+	if seed.Rel {
+		if store.Rel(seed.ID) == nil {
+			return nil
+		}
+	} else if store.Node(seed.ID) == nil {
+		return nil
+	}
+	e := newEnv(nil, nil)
+	m := &patternMatcher{
+		ctx: ctx, store: store, env: e,
+		used:   make(map[int64]bool),
+		plan:   sm.plan,
+		states: make(map[*ast.PatternPart]*chainState),
+	}
+	// A match containing the seed at several positions is found once per
+	// anchor; dedupe by identity within this call.
+	seen := make(map[string]bool)
+	emitMatch := func() error {
+		if sm.where != nil {
+			keep, err := evalExpr(ctx, e, sm.where)
+			if err != nil {
+				return err
+			}
+			if !(keep.IsBool() && keep.Bool()) {
+				return nil
+			}
+		}
+		key, touched := m.matchIdentity(sm.pattern.Parts)
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		row := make([]value.Value, len(sm.vars))
+		for i, v := range sm.vars {
+			row[i], _ = e.lookup(v)
+		}
+		return emit(key, row, touched)
+	}
+	parts := sm.pattern.Parts
+	for pi := range parts {
+		part := &parts[pi]
+		if part.Shortest != ast.ShortestNone {
+			continue // outside the supported fragment; callers fall back
+		}
+		done := make([]bool, len(parts))
+		done[pi] = true
+		rest := func() error { return m.matchRemaining(parts, done, len(parts)-1, emitMatch) }
+		var err error
+		if seed.Rel {
+			r := store.Rel(seed.ID)
+			for j := range part.Rels {
+				if part.Rels[j].VarLength {
+					err = m.anchorRelVar(part, j, r, rest)
+				} else {
+					err = m.anchorRel(part, j, r, rest)
+				}
+				if err != nil {
+					return err
+				}
+			}
+		} else {
+			n := store.Node(seed.ID)
+			for i := range part.Nodes {
+				if err = m.anchorNode(part, i, n, rest); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// matchIdentity reads the complete element assignment of the current
+// match from the registered chain states: the canonical key encodes
+// node ids per position and relationship ids per segment in pattern
+// order, and touched collects every distinct element the match uses.
+func (m *patternMatcher) matchIdentity(parts []ast.PatternPart) (string, []Seed) {
+	var buf []byte
+	var touched []Seed
+	seen := make(map[Seed]bool)
+	add := func(s Seed) {
+		if !seen[s] {
+			seen[s] = true
+			touched = append(touched, s)
+		}
+	}
+	for pi := range parts {
+		st := m.states[&parts[pi]]
+		buf = append(buf, '|')
+		for _, n := range st.nodes {
+			buf = strconv.AppendInt(buf, n.ID, 10)
+			buf = append(buf, ',')
+			add(Seed{ID: n.ID})
+		}
+		buf = append(buf, ';')
+		for j, seg := range st.rels {
+			for _, r := range seg {
+				buf = strconv.AppendInt(buf, r.ID, 10)
+				buf = append(buf, ',')
+				add(Seed{Rel: true, ID: r.ID})
+			}
+			buf = append(buf, '/')
+			// Trail intermediates (variable-length segments only; for a
+			// fixed segment the walk just revisits the far endpoint).
+			cur := st.nodes[j].ID
+			for _, r := range seg {
+				cur = r.Other(cur)
+				add(Seed{ID: cur})
+			}
+		}
+	}
+	return string(buf), touched
+}
+
+// anchorNode pins graph node n to pattern node position i of part and
+// expands the remainder of the chain outward.
+func (m *patternMatcher) anchorNode(part *ast.PatternPart, i int, n *value.Node, cont func() error) error {
+	np := part.Nodes[i]
+	ok, err := m.checkNode(n, np)
+	if err != nil || !ok {
+		return err
+	}
+	st := m.newChainState(part)
+	st.nodes[i] = n
+	return m.bindVar(np.Var, value.NewNode(n), func() error {
+		return m.expand(st, i, i, cont)
+	})
+}
+
+// anchorRel pins relationship r to fixed-length relationship position j
+// of part: both endpoint positions are forced to r's endpoints in each
+// orientation the pattern direction allows.
+func (m *patternMatcher) anchorRel(part *ast.PatternPart, j int, r *value.Relationship, cont func() error) error {
+	rp := part.Rels[j]
+	ok, err := m.checkRel(r, rp)
+	if err != nil || !ok {
+		return err
+	}
+	try := func(leftID, rightID int64) error {
+		left, right := m.store.Node(leftID), m.store.Node(rightID)
+		if left == nil || right == nil {
+			return nil
+		}
+		if ok, err := m.checkNode(left, part.Nodes[j]); err != nil || !ok {
+			return err
+		}
+		if ok, err := m.checkNode(right, part.Nodes[j+1]); err != nil || !ok {
+			return err
+		}
+		st := m.newChainState(part)
+		st.nodes[j], st.nodes[j+1] = left, right
+		st.rels[j] = []*value.Relationship{r}
+		m.used[r.ID] = true
+		err := m.bindVar(part.Nodes[j].Var, value.NewNode(left), func() error {
+			return m.bindVar(rp.Var, value.NewRelationship(r), func() error {
+				return m.bindVar(part.Nodes[j+1].Var, value.NewNode(right), func() error {
+					return m.expand(st, j, j+1, cont)
+				})
+			})
+		})
+		delete(m.used, r.ID)
+		return err
+	}
+	switch rp.Dir {
+	case ast.DirRight:
+		return try(r.StartID, r.EndID)
+	case ast.DirLeft:
+		return try(r.EndID, r.StartID)
+	default:
+		if err := try(r.StartID, r.EndID); err != nil {
+			return err
+		}
+		if r.StartID == r.EndID {
+			return nil // both orientations coincide
+		}
+		return try(r.EndID, r.StartID)
+	}
+}
+
+// anchorRelVar pins relationship r somewhere inside variable-length
+// segment j of part by middle-out trail enumeration: extend backwards
+// from r's entry endpoint and forwards from its exit endpoint, emitting
+// every combined trail whose length fits the segment's hop bounds. This
+// covers matches whose only changed element is mid-trail, which no
+// node-position anchor would reach.
+func (m *patternMatcher) anchorRelVar(part *ast.PatternPart, j int, r *value.Relationship, cont func() error) error {
+	rp := part.Rels[j]
+	ok, err := m.checkRel(r, rp)
+	if err != nil || !ok {
+		return err
+	}
+	lo := rp.MinHops
+	if lo < 1 {
+		lo = 1 // a trail through r has at least one hop
+	}
+	hi := rp.MaxHops // -1 = unbounded; trail uniqueness still terminates
+
+	try := func(entryID, exitID int64) error {
+		m.used[r.ID] = true
+		defer delete(m.used, r.ID)
+		// left holds the backward extension nearest-to-r first; right the
+		// forward extension in walk order.
+		var left, right []*value.Relationship
+		complete := func(startID, endID int64, total int) error {
+			start, end := m.store.Node(startID), m.store.Node(endID)
+			if start == nil || end == nil {
+				return nil
+			}
+			if ok, err := m.checkNode(start, part.Nodes[j]); err != nil || !ok {
+				return err
+			}
+			if ok, err := m.checkNode(end, part.Nodes[j+1]); err != nil || !ok {
+				return err
+			}
+			trail := make([]*value.Relationship, 0, total)
+			for i := len(left) - 1; i >= 0; i-- {
+				trail = append(trail, left[i])
+			}
+			trail = append(trail, r)
+			trail = append(trail, right...)
+			vs := make([]value.Value, len(trail))
+			for i, tr := range trail {
+				vs[i] = value.NewRelationship(tr)
+			}
+			st := m.newChainState(part)
+			st.nodes[j], st.nodes[j+1] = start, end
+			st.rels[j] = trail
+			return m.bindVar(part.Nodes[j].Var, value.NewNode(start), func() error {
+				return m.bindVar(rp.Var, value.NewList(vs...), func() error {
+					return m.bindVar(part.Nodes[j+1].Var, value.NewNode(end), func() error {
+						return m.expand(st, j, j+1, cont)
+					})
+				})
+			})
+		}
+		var extendRight func(startID, at int64, total int) error
+		extendRight = func(startID, at int64, total int) error {
+			if total >= lo {
+				if err := complete(startID, at, total); err != nil {
+					return err
+				}
+			}
+			if hi >= 0 && total >= hi {
+				return nil
+			}
+			for _, e := range m.relCandidates(at, rp, true) {
+				if m.used[e.ID] {
+					continue
+				}
+				ok, err := m.checkRel(e, rp)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				m.used[e.ID] = true
+				right = append(right, e)
+				err = extendRight(startID, e.Other(at), total+1)
+				right = right[:len(right)-1]
+				delete(m.used, e.ID)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var extendLeft func(at int64, total int) error
+		extendLeft = func(at int64, total int) error {
+			if err := extendRight(at, exitID, total); err != nil {
+				return err
+			}
+			if hi >= 0 && total >= hi {
+				return nil
+			}
+			// Backward step: a relationship a forward walk would cross
+			// into `at` (relCandidates with forward=false inverts the
+			// pattern direction).
+			for _, e := range m.relCandidates(at, rp, false) {
+				if m.used[e.ID] {
+					continue
+				}
+				ok, err := m.checkRel(e, rp)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				m.used[e.ID] = true
+				left = append(left, e)
+				err = extendLeft(e.Other(at), total+1)
+				left = left[:len(left)-1]
+				delete(m.used, e.ID)
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return extendLeft(entryID, 1)
+	}
+	switch rp.Dir {
+	case ast.DirRight:
+		return try(r.StartID, r.EndID)
+	case ast.DirLeft:
+		return try(r.EndID, r.StartID)
+	default:
+		if err := try(r.StartID, r.EndID); err != nil {
+			return err
+		}
+		if r.StartID == r.EndID {
+			return nil
+		}
+		return try(r.EndID, r.StartID)
+	}
+}

@@ -1,0 +1,207 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// seededProbes cover the fragment the delta evaluator anchors into:
+// fixed chains, undirected edges, self-loops, variable-length segments
+// (directed and undirected), multi-part patterns with shared variables,
+// path variables, and WHERE predicates that feed the planner pushdown.
+var seededProbes = []string{
+	`MATCH (a:A)-[:R]->(b:B) RETURN 1`,
+	`MATCH (a)-[r:R|S]-(b) RETURN 1`,
+	`MATCH (a:A)-[rs:R*1..3]->(b) RETURN 1`,
+	`MATCH (a)-[rs*2..2]-(b) RETURN 1`,
+	`MATCH (a)-[:R]->(b)-[:S]->(c) RETURN 1`,
+	`MATCH (a)-[r:R]->(a) RETURN 1`,
+	`MATCH (a)-[:R]->(b), (b)-[:S]->(c) RETURN 1`,
+	`MATCH p = (a:A)-[rs:R*0..2]->(b) RETURN 1`,
+	`MATCH (a:A)-[:R]->(b:B) WHERE a.k = 1 RETURN 1`,
+	`MATCH (a {k: 0})-[r]-(b) RETURN 1`,
+}
+
+func parseMatch(t *testing.T, src string) *ast.Match {
+	t.Helper()
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q.Parts[0].Clauses[0].(*ast.Match)
+}
+
+type fullMatch struct {
+	rowKey string
+	// anchorable holds the elements occupying pattern positions: node
+	// positions and relationship positions (including every trail
+	// relationship, but not trail-intermediate nodes) — exactly the
+	// elements an anchored search can be seeded from.
+	anchorable map[Seed]bool
+}
+
+// fullMatches enumerates every match of the pattern with its canonical
+// identity, WHERE applied — the oracle the anchored search must agree
+// with after filtering to matches containing the seed at an anchorable
+// position.
+func fullMatches(t *testing.T, ctx *Ctx, store *graphstore.Store, mc *ast.Match, vars []string) map[string]fullMatch {
+	t.Helper()
+	e := newEnv(nil, nil)
+	m := &patternMatcher{
+		ctx: ctx, store: store, env: e,
+		used:   make(map[int64]bool),
+		plan:   planMatch(ctx, mc.Pattern, mc.Where),
+		states: make(map[*ast.PatternPart]*chainState),
+	}
+	out := map[string]fullMatch{}
+	err := m.matchParts(mc.Pattern.Parts, 0, func() error {
+		if mc.Where != nil {
+			keep, err := evalExpr(ctx, e, mc.Where)
+			if err != nil {
+				return err
+			}
+			if !(keep.IsBool() && keep.Bool()) {
+				return nil
+			}
+		}
+		key, _ := m.matchIdentity(mc.Pattern.Parts)
+		anchorable := map[Seed]bool{}
+		for pi := range mc.Pattern.Parts {
+			st := m.states[&mc.Pattern.Parts[pi]]
+			for _, n := range st.nodes {
+				anchorable[Seed{ID: n.ID}] = true
+			}
+			for _, seg := range st.rels {
+				for _, r := range seg {
+					anchorable[Seed{Rel: true, ID: r.ID}] = true
+				}
+			}
+		}
+		row := make([]value.Value, len(vars))
+		for i, v := range vars {
+			row[i], _ = e.lookup(v)
+		}
+		out[key] = fullMatch{rowKey: value.KeyOf(row...), anchorable: anchorable}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("full enumeration: %v", err)
+	}
+	return out
+}
+
+func TestSeededMatchEquivalence(t *testing.T) {
+	for seedRun := int64(0); seedRun < 20; seedRun++ {
+		r := rand.New(rand.NewSource(400 + seedRun))
+		store := graphstore.New()
+		var nodes []*value.Node
+		nNodes := 4 + r.Intn(8)
+		for i := 0; i < nNodes; i++ {
+			var labels []string
+			if r.Intn(2) == 0 {
+				labels = append(labels, "A")
+			}
+			if r.Intn(3) == 0 {
+				labels = append(labels, "B")
+			}
+			nodes = append(nodes, store.CreateNode(labels, map[string]value.Value{
+				"k": value.NewInt(int64(r.Intn(3)))}))
+		}
+		var rels []*value.Relationship
+		nRels := 3 + r.Intn(12)
+		for i := 0; i < nRels; i++ {
+			a := nodes[r.Intn(len(nodes))]
+			b := nodes[r.Intn(len(nodes))] // self-loops possible
+			typ := "R"
+			if r.Intn(3) == 0 {
+				typ = "S"
+			}
+			rel, err := store.CreateRel(a.ID, b.ID, typ, map[string]value.Value{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rels = append(rels, rel)
+		}
+
+		ctx := &Ctx{Store: store}
+		var seeds []Seed
+		for _, n := range nodes {
+			seeds = append(seeds, Seed{ID: n.ID})
+		}
+		for _, rel := range rels {
+			seeds = append(seeds, Seed{Rel: true, ID: rel.ID})
+		}
+		for pi, src := range seededProbes {
+			mc := parseMatch(t, src)
+			sm := NewSeededMatcher(ctx, mc.Pattern, mc.Where)
+			full := fullMatches(t, ctx, store, mc, sm.Vars())
+			for _, sd := range seeds {
+				got := map[string]string{} // identity key -> row key
+				err := sm.ForEachSeededMatch(ctx, store, sd, func(key string, row []value.Value, touched []Seed) error {
+					if _, dup := got[key]; dup {
+						return fmt.Errorf("duplicate match %q for seed %+v", key, sd)
+					}
+					got[key] = value.KeyOf(row...)
+					found := false
+					for _, s := range touched {
+						if s == sd {
+							found = true
+						}
+					}
+					if !found {
+						return fmt.Errorf("seed %+v missing from touched %v of match %q", sd, touched, key)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("run %d probe %d seed %+v: %v", seedRun, pi, sd, err)
+				}
+				want := map[string]fullMatch{}
+				for key, fm := range full {
+					if fm.anchorable[sd] {
+						want[key] = fm
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("run %d probe %d (%s) seed %+v: seeded found %d matches, expected %d\ngot:  %v\nwant: %v",
+						seedRun, pi, src, sd, len(got), len(want), sortedKeys(got), sortedFullKeys(want))
+				}
+				for key, fm := range want {
+					rk, ok := got[key]
+					if !ok {
+						t.Fatalf("run %d probe %d seed %+v: missing match %q", seedRun, pi, sd, key)
+					}
+					if rk != fm.rowKey {
+						t.Fatalf("run %d probe %d seed %+v match %q: row %s, oracle %s",
+							seedRun, pi, sd, key, rk, fm.rowKey)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedFullKeys(m map[string]fullMatch) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

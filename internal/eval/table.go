@@ -109,15 +109,26 @@ func BagDifference(t, u *Table) (*Table, error) {
 	if err := alignCheck(t, u); err != nil {
 		return nil, err
 	}
-	counts := make(map[string]int, len(u.Rows))
+	// A single reused key buffer serves every row on both sides, and
+	// counts are held by pointer so the subtraction pass updates them
+	// through allocation-free string(buf) map reads. The only per-row
+	// allocations left are first-insertions of distinct u keys.
+	counts := make(map[string]*int, len(u.Rows))
+	var buf []byte
 	for i := range u.Rows {
-		counts[u.RowKey(i)]++
+		buf = value.AppendKeyOf(buf[:0], u.Rows[i]...)
+		if c := counts[string(buf)]; c != nil {
+			*c++
+		} else {
+			one := 1
+			counts[string(buf)] = &one
+		}
 	}
 	out := &Table{Cols: append([]string(nil), t.Cols...)}
-	for i, r := range t.Rows {
-		k := t.RowKey(i)
-		if counts[k] > 0 {
-			counts[k]--
+	for _, r := range t.Rows {
+		buf = value.AppendKeyOf(buf[:0], r...)
+		if c := counts[string(buf)]; c != nil && *c > 0 {
+			*c--
 			continue
 		}
 		out.Rows = append(out.Rows, r)

@@ -1,0 +1,133 @@
+package graphstore
+
+import "sort"
+
+// Delta summarizes the entity-level changes applied to a Store between
+// two drain points: which nodes and relationships entered, exited, or
+// had their labels/properties updated in place. The engine's
+// delta-driven evaluation mode uses it to invalidate exactly the
+// matches that touch a changed element and to seed anchored searches
+// for new matches.
+//
+// An id can appear in both Added and Removed lists: the entity left the
+// window and re-entered within one span, so the store object identity
+// (and possibly its properties) changed and any match referencing the
+// old object is stale.
+type Delta struct {
+	AddedNodes, RemovedNodes, UpdatedNodes []int64
+	AddedRels, RemovedRels, UpdatedRels    []int64
+}
+
+// Empty reports whether the delta records no changes.
+func (d *Delta) Empty() bool {
+	return len(d.AddedNodes) == 0 && len(d.RemovedNodes) == 0 && len(d.UpdatedNodes) == 0 &&
+		len(d.AddedRels) == 0 && len(d.RemovedRels) == 0 && len(d.UpdatedRels) == 0
+}
+
+// Len returns the total number of recorded entity changes.
+func (d *Delta) Len() int {
+	return len(d.AddedNodes) + len(d.RemovedNodes) + len(d.UpdatedNodes) +
+		len(d.AddedRels) + len(d.RemovedRels) + len(d.UpdatedRels)
+}
+
+// Per-entity change status within one recording span. The transitions
+// fold intermediate states so the drained Delta is a net summary:
+// add+update → add; add+remove → nothing (never visible to a reader);
+// remove+add → both (object identity changed); update+remove → remove.
+const (
+	deltaAdded   uint8 = 1 << 0
+	deltaRemoved uint8 = 1 << 1
+	deltaUpdated uint8 = 1 << 2
+)
+
+type deltaRecorder struct {
+	nodes map[int64]uint8
+	rels  map[int64]uint8
+}
+
+// BeginDelta starts recording entity-level changes. Subsequent
+// mutations accumulate until TakeDelta drains them. Recording costs one
+// map update per mutated entity; stores that never call BeginDelta pay
+// a single nil check per mutation.
+func (s *Store) BeginDelta() {
+	s.delta = &deltaRecorder{nodes: make(map[int64]uint8), rels: make(map[int64]uint8)}
+}
+
+// StopDelta stops recording and discards any accumulated changes (used
+// when a query permanently falls back to full re-evaluation).
+func (s *Store) StopDelta() { s.delta = nil }
+
+// TakeDelta returns the changes recorded since the previous drain (or
+// BeginDelta) and resets the recorder. It returns nil when recording is
+// not enabled. The id lists are sorted for deterministic downstream
+// processing.
+func (s *Store) TakeDelta() *Delta {
+	if s.delta == nil {
+		return nil
+	}
+	d := &Delta{}
+	for id, st := range s.delta.nodes {
+		if st&deltaAdded != 0 {
+			d.AddedNodes = append(d.AddedNodes, id)
+		}
+		if st&deltaRemoved != 0 {
+			d.RemovedNodes = append(d.RemovedNodes, id)
+		}
+		if st&deltaUpdated != 0 {
+			d.UpdatedNodes = append(d.UpdatedNodes, id)
+		}
+	}
+	for id, st := range s.delta.rels {
+		if st&deltaAdded != 0 {
+			d.AddedRels = append(d.AddedRels, id)
+		}
+		if st&deltaRemoved != 0 {
+			d.RemovedRels = append(d.RemovedRels, id)
+		}
+		if st&deltaUpdated != 0 {
+			d.UpdatedRels = append(d.UpdatedRels, id)
+		}
+	}
+	for _, ids := range [][]int64{d.AddedNodes, d.RemovedNodes, d.UpdatedNodes,
+		d.AddedRels, d.RemovedRels, d.UpdatedRels} {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+	s.delta.nodes = make(map[int64]uint8)
+	s.delta.rels = make(map[int64]uint8)
+	return d
+}
+
+func note(m map[int64]uint8, id int64, ev uint8) {
+	st := m[id]
+	switch ev {
+	case deltaAdded:
+		// remove→add keeps the removed bit: the object was replaced.
+		st = (st & deltaRemoved) | deltaAdded
+	case deltaRemoved:
+		if st&deltaAdded != 0 && st&deltaRemoved == 0 {
+			// Added and removed within one span: net no-op.
+			delete(m, id)
+			return
+		}
+		// An update before removal is subsumed by the removal.
+		st = deltaRemoved
+	case deltaUpdated:
+		if st&deltaAdded != 0 {
+			return // updates fold into the pending add
+		}
+		st |= deltaUpdated
+	}
+	m[id] = st
+}
+
+func (s *Store) noteNode(id int64, ev uint8) {
+	if s.delta != nil {
+		note(s.delta.nodes, id, ev)
+	}
+}
+
+func (s *Store) noteRel(id int64, ev uint8) {
+	if s.delta != nil {
+		note(s.delta.rels, id, ev)
+	}
+}

@@ -54,6 +54,10 @@ type Store struct {
 
 	nextNodeID atomic.Int64
 	nextRelID  atomic.Int64
+
+	// delta, when non-nil, records entity-level changes for the engine's
+	// delta-driven evaluation mode (see delta.go).
+	delta *deltaRecorder
 }
 
 // New returns an empty store.
@@ -109,6 +113,34 @@ func sortRels(rels []*value.Relationship) {
 
 func sortNodes(ns []*value.Node) {
 	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+// insertNodeSorted places n into the id-sorted slice ns. Stream ids are
+// usually monotonic, so the common case is an O(1) append; a full
+// re-sort here would make every label gained by an entering node cost
+// O(label bucket), which dominates delta-driven evaluation profiles.
+func insertNodeSorted(ns []*value.Node, n *value.Node) []*value.Node {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i].ID >= n.ID })
+	ns = append(ns, nil)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = n
+	return ns
+}
+
+// removeNodeSorted deletes node id from the id-sorted slice ns. Window
+// eviction retires the oldest ids first, so the common case is popping
+// the front, which re-slices without copying the tail (the slot is
+// nilled so the node is not retained by the shared backing array).
+func removeNodeSorted(ns []*value.Node, id int64) []*value.Node {
+	i := sort.Search(len(ns), func(i int) bool { return ns[i].ID >= id })
+	if i >= len(ns) || ns[i].ID != id {
+		return ns
+	}
+	if i == 0 {
+		ns[0] = nil
+		return ns[1:]
+	}
+	return append(ns[:i], ns[i+1:]...)
 }
 
 func (s *Store) indexNode(n *value.Node) {
@@ -252,6 +284,7 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value
 	s.graph.AddNode(n)
 	s.indexNode(n)
 	s.propIndexAddNode(n)
+	s.noteNode(n.ID, deltaAdded)
 	return n
 }
 
@@ -260,8 +293,11 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value
 // check existence first.
 func (s *Store) AddNode(n *value.Node) {
 	s.graph.AddNode(n)
-	s.indexNode(n)
+	for _, l := range n.Labels {
+		s.label[l] = insertNodeSorted(s.label[l], n)
+	}
 	s.propIndexAddNode(n)
+	s.noteNode(n.ID, deltaAdded)
 	if n.ID >= s.nextNodeID.Load() {
 		s.nextNodeID.Store(n.ID + 1)
 	}
@@ -284,6 +320,7 @@ func (s *Store) CreateRel(startID, endID int64, typ string, props map[string]val
 		return nil, err
 	}
 	s.indexRel(r)
+	s.noteRel(r.ID, deltaAdded)
 	return r, nil
 }
 
@@ -293,6 +330,7 @@ func (s *Store) AddRel(r *value.Relationship) error {
 		return err
 	}
 	s.indexRel(r)
+	s.noteRel(r.ID, deltaAdded)
 	if r.ID >= s.nextRelID.Load() {
 		s.nextRelID.Store(r.ID + 1)
 	}
@@ -306,9 +344,9 @@ func (s *Store) AddLabel(n *value.Node, l string) {
 		return
 	}
 	n.Labels = append(n.Labels, l)
-	s.label[l] = append(s.label[l], n)
-	sortNodes(s.label[l])
+	s.label[l] = insertNodeSorted(s.label[l], n)
 	s.propIndexAddLabel(n, l)
+	s.noteNode(n.ID, deltaUpdated)
 }
 
 // RemoveLabel removes label l from node n.
@@ -319,14 +357,9 @@ func (s *Store) RemoveLabel(n *value.Node, l string) {
 			break
 		}
 	}
-	ns := s.label[l]
-	for i, x := range ns {
-		if x.ID == n.ID {
-			s.label[l] = append(ns[:i], ns[i+1:]...)
-			break
-		}
-	}
+	s.label[l] = removeNodeSorted(s.label[l], n.ID)
 	s.propIndexRemoveLabel(n, l)
+	s.noteNode(n.ID, deltaUpdated)
 }
 
 // SetNodeProp sets property key on node n to v, maintaining the
@@ -350,6 +383,7 @@ func (s *Store) SetNodeProp(n *value.Node, key string, v value.Value) {
 		// Only a store member belongs in the indexes; a foreign node (a
 		// value from another snapshot) just has its props mutated.
 		s.propIndexSetProp(n, key, old, had, v)
+		s.noteNode(n.ID, deltaUpdated)
 	}
 }
 
@@ -358,11 +392,21 @@ func (s *Store) SetNodeProp(n *value.Node, key string, v value.Value) {
 // mutations through the store keeps the API symmetric and leaves room
 // for future relationship indexes.
 func (s *Store) SetRelProp(r *value.Relationship, key string, v value.Value) {
+	old, had := r.Props[key]
 	if v.IsNull() {
+		if !had {
+			return
+		}
 		delete(r.Props, key)
-		return
+	} else {
+		if had && value.Equivalent(old, v) {
+			return
+		}
+		r.Props[key] = v
 	}
-	r.Props[key] = v
+	if s.graph.Rel(r.ID) == r {
+		s.noteRel(r.ID, deltaUpdated)
+	}
 }
 
 // DeleteRel removes relationship r.
@@ -389,6 +433,7 @@ func (s *Store) DeleteRel(r *value.Relationship) {
 		delete(s.relType, r.Type)
 	}
 	s.graph.RemoveRel(r.ID)
+	s.noteRel(r.ID, deltaRemoved)
 }
 
 // DeleteNode removes node n. If detach is true its relationships are
@@ -403,16 +448,11 @@ func (s *Store) DeleteNode(n *value.Node, detach bool) error {
 		s.DeleteRel(r)
 	}
 	for _, l := range n.Labels {
-		ns := s.label[l]
-		for i, x := range ns {
-			if x.ID == n.ID {
-				s.label[l] = append(ns[:i], ns[i+1:]...)
-				break
-			}
-		}
+		s.label[l] = removeNodeSorted(s.label[l], n.ID)
 	}
 	s.propIndexRemoveNode(n)
 	s.graph.RemoveNode(n.ID)
+	s.noteNode(n.ID, deltaRemoved)
 	return nil
 }
 

@@ -3,7 +3,6 @@ package value
 import (
 	"math"
 	"strconv"
-	"strings"
 )
 
 // Key returns a canonical encoding of v suitable for use as a Go map
@@ -12,31 +11,36 @@ import (
 // particular null == null and 1 == 1.0 under Key, matching grouping
 // semantics.
 func Key(v Value) string {
-	var b strings.Builder
-	writeKey(&b, v)
-	return b.String()
+	return string(appendKey(nil, v))
 }
 
 // KeyOf returns the canonical encoding of a tuple of values, used as a
 // grouping key for multi-expression GROUP BY.
 func KeyOf(vs ...Value) string {
-	var b strings.Builder
-	for _, v := range vs {
-		writeKey(&b, v)
-		b.WriteByte(0x1f) // unit separator between tuple positions
-	}
-	return b.String()
+	return string(AppendKeyOf(nil, vs...))
 }
 
-func writeKey(b *strings.Builder, v Value) {
+// AppendKeyOf appends the KeyOf encoding of the tuple to buf and
+// returns the extended slice. Hot paths (bag difference, per-instant
+// delta maintenance) call it with a reused buffer so each row key costs
+// no allocation beyond the buffer's eventual steady-state capacity.
+func AppendKeyOf(buf []byte, vs ...Value) []byte {
+	for _, v := range vs {
+		buf = appendKey(buf, v)
+		buf = append(buf, 0x1f) // unit separator between tuple positions
+	}
+	return buf
+}
+
+func appendKey(b []byte, v Value) []byte {
 	switch v.kind {
 	case KindNull:
-		b.WriteString("\x00")
+		b = append(b, 0x00)
 	case KindBool:
 		if v.Bool() {
-			b.WriteString("b1")
+			b = append(b, "b1"...)
 		} else {
-			b.WriteString("b0")
+			b = append(b, "b0"...)
 		}
 	case KindNumber:
 		// Encode via float64 so 1 and 1.0 share a key; int64 values
@@ -44,60 +48,61 @@ func writeKey(b *strings.Builder, v Value) {
 		// never equal a float that is also beyond 2^53 exactly unless
 		// identical).
 		if !v.isFloat && (v.num > 1<<53 || v.num < -(1<<53)) {
-			b.WriteString("i")
-			b.WriteString(strconv.FormatInt(v.num, 10))
-			return
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, v.num, 10)
+			return b
 		}
 		f := v.Float()
 		if math.IsNaN(f) {
-			b.WriteString("fNaN")
-			return
+			b = append(b, "fNaN"...)
+			return b
 		}
-		b.WriteString("f")
-		b.WriteString(strconv.FormatFloat(f, 'g', -1, 64))
+		b = append(b, 'f')
+		b = strconv.AppendFloat(b, f, 'g', -1, 64)
 	case KindString:
-		b.WriteString("s")
-		b.WriteString(strconv.Itoa(len(v.str)))
-		b.WriteString(":")
-		b.WriteString(v.str)
+		b = append(b, 's')
+		b = strconv.AppendInt(b, int64(len(v.str)), 10)
+		b = append(b, ':')
+		b = append(b, v.str...)
 	case KindList:
-		b.WriteString("[")
+		b = append(b, '[')
 		for _, e := range v.list {
-			writeKey(b, e)
-			b.WriteByte(',')
+			b = appendKey(b, e)
+			b = append(b, ',')
 		}
-		b.WriteString("]")
+		b = append(b, ']')
 	case KindMap:
-		b.WriteString("{")
+		b = append(b, '{')
 		for _, k := range sortedKeys(v.mp) {
-			b.WriteString(k)
-			b.WriteByte('=')
-			writeKey(b, v.mp[k])
-			b.WriteByte(',')
+			b = append(b, k...)
+			b = append(b, '=')
+			b = appendKey(b, v.mp[k])
+			b = append(b, ',')
 		}
-		b.WriteString("}")
+		b = append(b, '}')
 	case KindNode:
-		b.WriteString("n")
-		b.WriteString(strconv.FormatInt(v.node.ID, 10))
+		b = append(b, 'n')
+		b = strconv.AppendInt(b, v.node.ID, 10)
 	case KindRelationship:
-		b.WriteString("r")
-		b.WriteString(strconv.FormatInt(v.rel.ID, 10))
+		b = append(b, 'r')
+		b = strconv.AppendInt(b, v.rel.ID, 10)
 	case KindPath:
-		b.WriteString("p")
+		b = append(b, 'p')
 		for _, n := range v.path.Nodes {
-			b.WriteString(strconv.FormatInt(n.ID, 10))
-			b.WriteByte('.')
+			b = strconv.AppendInt(b, n.ID, 10)
+			b = append(b, '.')
 		}
-		b.WriteByte('/')
+		b = append(b, '/')
 		for _, r := range v.path.Rels {
-			b.WriteString(strconv.FormatInt(r.ID, 10))
-			b.WriteByte('.')
+			b = strconv.AppendInt(b, r.ID, 10)
+			b = append(b, '.')
 		}
 	case KindDateTime:
-		b.WriteString("t")
-		b.WriteString(strconv.FormatInt(v.t.UnixNano(), 10))
+		b = append(b, 't')
+		b = strconv.AppendInt(b, v.t.UnixNano(), 10)
 	case KindDuration:
-		b.WriteString("d")
-		b.WriteString(strconv.FormatInt(v.num, 10))
+		b = append(b, 'd')
+		b = strconv.AppendInt(b, v.num, 10)
 	}
+	return b
 }
