@@ -14,6 +14,8 @@
 //	B8  shortestPath matching (network monitoring use case)
 //	B9  concurrent registered queries
 //	B13 predicate selectivity sweep: indexed matcher vs scan baseline
+//	B14 delta-ratio sweep: delta-driven vs full evaluation
+//	B15 workload scenarios + newly maintained shapes under delta eval
 //
 // Each experiment prints one table of rows/series.
 //
@@ -56,12 +58,12 @@ var (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B14) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B15) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Float64Var(&selectivity, "selectivity", 0,
 		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
-	flag.StringVar(&jsonOut, "json", "", "B13/B14: also write the sweep results as JSON to this file")
+	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15: also write the sweep results as JSON to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -80,6 +82,7 @@ func main() {
 		{"B9", "concurrent registered queries (sequential vs parallel scheduler)", b9Concurrent},
 		{"B13", "predicate selectivity sweep (indexed vs scan matcher)", b13Selectivity},
 		{"B14", "delta-ratio sweep (delta-driven vs full evaluation)", b14DeltaRatio},
+		{"B15", "workload scenarios + new maintained shapes under delta eval", b15WorkloadDelta},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -656,6 +659,20 @@ func b13Stream(batches, perBatch, buckets int) []stream.Element {
 // identical per-instant row counts or the run aborts, which makes
 // `-exp B14 -quick` usable as a CI equivalence smoke. -json writes the
 // rows to a snapshot file (BENCH_pr5.json in the repo is one such run).
+// requireDeltaClean aborts the benchmark if any query registered on a
+// delta-eval engine fell back to full evaluation or answered an
+// instant non-incrementally. Checking every query (not a positional
+// index) keeps the guard honest when an experiment registers several.
+func requireDeltaClean(e *engine.Engine, exp string) {
+	for _, q := range e.Queries() {
+		st := q.Stats()
+		if st.DeltaFallbacks != 0 || st.DeltaApplied != st.Evaluations {
+			log.Fatalf("%s: query %s fell back (%d applied of %d evaluations, %d fallbacks)",
+				exp, q.Name(), st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+		}
+	}
+}
+
 func b14DeltaRatio() {
 	type b14Row struct {
 		DeltaRatio  float64 `json:"delta_ratio"`
@@ -699,10 +716,9 @@ REGISTER QUERY churn STARTING AT %s
 			{engine.WithDeltaEval(true)},
 		} {
 			e := engine.New(opts...)
-			q, err := e.RegisterSource(src, func(r engine.Result) {
+			if _, err := e.RegisterSource(src, func(r engine.Result) {
 				counts[i] = append(counts[i], instant{r.At, r.Table.Len()})
-			})
-			if err != nil {
+			}); err != nil {
 				log.Fatal(err)
 			}
 			// Fill the window without evaluating, then absorb the first
@@ -717,9 +733,8 @@ REGISTER QUERY churn STARTING AT %s
 			}
 			d := replayTimed(e, elems[rounds:])
 			wallMS[i] = ms(d) / float64(measure)
-			if st := q.Stats(); i == 1 && (st.DeltaFallbacks != 0 || st.DeltaApplied != st.Evaluations) {
-				log.Fatalf("B14: delta engine fell back (%d applied of %d evaluations, %d fallbacks)",
-					st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+			if i == 1 {
+				requireDeltaClean(e, "B14")
 			}
 		}
 		if len(counts[0]) != len(counts[1]) {
@@ -787,6 +802,172 @@ func b14Stream(rounds, extra, perBatch int, slide time.Duration) []stream.Elemen
 		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * slide)})
 	}
 	return elems
+}
+
+// b15WorkloadDelta validates and times delta-driven evaluation on the
+// three reference workload scenarios (micromobility fraud, network
+// anomaly shortestPath, POLE crime) and on the newly maintained query
+// shapes (ORDER BY/LIMIT, float sum, bounded var-length, shortestPath)
+// at 1% window churn. Every case runs full (incremental windows) and
+// delta side by side; the run aborts on any per-instant row-count
+// divergence, any delta fallback, or any instant answered
+// non-incrementally, which makes `-exp B15 -quick` a CI equivalence
+// smoke for seraph_delta_fallback_total == 0. -json writes the rows to
+// a snapshot file (BENCH_pr6.json in the repo is one such run).
+func b15WorkloadDelta() {
+	type b15Row struct {
+		Case     string  `json:"case"`
+		Kind     string  `json:"kind"`
+		Instants int     `json:"instants"`
+		Rows     int     `json:"rows_total"`
+		FullMS   float64 `json:"full_ms_per_instant"`
+		DeltaMS  float64 `json:"delta_ms_per_instant"`
+		Speedup  float64 `json:"speedup"`
+	}
+	header("case", "kind", "instants", "rows_total", "full_ms", "delta_ms", "speedup")
+	var out []b15Row
+
+	// run replays warm (untimed: window fill and the first full-window
+	// Δ⁺) then timed under both engines, requires identical per-instant
+	// (query, instant, rows) sequences and a clean delta run, and
+	// records per-instant wall time over the timed region.
+	run := func(name, kind string, srcs []string, warm, timed []stream.Element) {
+		type instant struct {
+			q  string
+			at time.Time
+			n  int
+		}
+		var wallMS [2]float64
+		var instants [2]int
+		var rowsTotal [2]int
+		var sigs [2][]instant
+		for i, opts := range [][]engine.Option{
+			{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true)},
+			{engine.WithParallelism(1), engine.WithDeltaEval(true)},
+		} {
+			e := engine.New(opts...)
+			for _, src := range srcs {
+				if _, err := e.RegisterSource(src, func(r engine.Result) {
+					sigs[i] = append(sigs[i], instant{r.Query, r.At, r.Table.Len()})
+					rowsTotal[i] += r.Table.Len()
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for _, el := range warm {
+				if err := e.Push(el.Graph, el.Time); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if len(warm) > 0 {
+				if err := e.AdvanceTo(warm[len(warm)-1].Time); err != nil {
+					log.Fatal(err)
+				}
+			}
+			evalsBefore := 0
+			for _, q := range e.Queries() {
+				evalsBefore += q.Stats().Evaluations
+			}
+			d := replayTimed(e, timed)
+			for _, q := range e.Queries() {
+				instants[i] += q.Stats().Evaluations
+			}
+			instants[i] -= evalsBefore
+			if instants[i] == 0 {
+				log.Fatalf("B15 %s: no timed evaluation instants", name)
+			}
+			wallMS[i] = ms(d) / float64(instants[i])
+			if i == 1 {
+				requireDeltaClean(e, "B15 "+name)
+			}
+		}
+		if len(sigs[0]) != len(sigs[1]) {
+			log.Fatalf("B15 %s: %d full results vs %d delta results", name, len(sigs[0]), len(sigs[1]))
+		}
+		for j := range sigs[0] {
+			f, d := sigs[0][j], sigs[1][j]
+			if f.q != d.q || !f.at.Equal(d.at) || f.n != d.n {
+				log.Fatalf("B15 %s result %d: full %s %d rows at %s, delta %s %d rows at %s",
+					name, j, f.q, f.n, f.at, d.q, d.n, d.at)
+			}
+		}
+		out = append(out, b15Row{
+			Case: name, Kind: kind, Instants: instants[1], Rows: rowsTotal[1],
+			FullMS: wallMS[0], DeltaMS: wallMS[1], Speedup: wallMS[0] / wallMS[1],
+		})
+		fmt.Printf("%s\t%s\t%d\t%d\t%.2f\t%.2f\t%.1f\n",
+			name, kind, instants[1], rowsTotal[1], wallMS[0], wallMS[1], wallMS[0]/wallMS[1])
+	}
+
+	// Part 1: the three reference scenarios, end to end.
+	{
+		cfg := workload.DefaultMicroMobilityConfig()
+		cfg.FraudRatio = 0.5
+		cfg.RentalsPerBatch = scaled(20, 10)
+		cfg.Stations = 60
+		elems := workload.NewMicroMobility(cfg).Batches(scaled(24, 12))
+		run("micromobility", "scenario",
+			[]string{workload.StudentTrickQueryAt(cfg.Start)}, nil, elems)
+	}
+	{
+		cfg := workload.DefaultNetworkConfig()
+		cfg.Racks = scaled(12, 6)
+		cfg.FailureRate = 0.3 // re-sampled per tick: route churn every instant
+		elems := workload.NewNetwork(cfg).Batches(scaled(20, 6))
+		run("netmon", "scenario",
+			[]string{workload.NetworkAnomalyQuery(cfg.Start)}, nil, elems)
+	}
+	{
+		cfg := workload.DefaultPOLEConfig()
+		cfg.CrimeRate = 1.0
+		elems := workload.NewPOLE(cfg).Batches(scaled(24, 8))
+		run("pole", "scenario",
+			[]string{workload.SuspectsQuery(cfg.Start), workload.StolenObjectsQuery(cfg.Start)},
+			nil, elems)
+	}
+
+	// Part 2: the newly maintained shapes at 1% churn — 100 batches in
+	// the window, one entering and one exiting per instant.
+	rounds := 100
+	measure := scaled(20, 8)
+	windowEdges := scaled(10000, 2000)
+	perBatch := windowEdges / rounds
+	slide := 5 * time.Second
+	elems := b14Stream(rounds, measure, perBatch, slide)
+	start := elems[rounds-1].Time.Format("2006-01-02T15:04:05")
+	within := value.FormatDuration(time.Duration(rounds) * slide)
+	every := value.FormatDuration(slide)
+	shapes := []struct{ name, body string }{
+		{"orderby-limit", `MATCH (u:User)-[r:SESS]->(d:Svc) WITHIN %s
+  EMIT u.uid AS uid, r.v AS v ORDER BY v DESC, uid LIMIT 10 ON ENTERING EVERY %s`},
+		{"float-sum", `MATCH (u:User)-[r:SESS]->(d:Svc) WITHIN %s
+  EMIT count(*) AS n, sum(r.v * 0.25) AS fs SNAPSHOT EVERY %s`},
+		{"var-length", `MATCH (u:User)-[:SESS*1..2]->(d:Svc) WITHIN %s
+  EMIT u.uid AS uid, d.did AS did ON ENTERING EVERY %s`},
+		{"shortest-path", `MATCH p = shortestPath((u:User)-[:SESS*..2]->(d:Svc)) WITHIN %s
+  EMIT u.uid AS uid, length(p) AS hops ON ENTERING EVERY %s`},
+	}
+	for _, sh := range shapes {
+		src := fmt.Sprintf("REGISTER QUERY %s STARTING AT %s\n{ %s }",
+			strings.ReplaceAll(sh.name, "-", "_"), start, fmt.Sprintf(sh.body, within, every))
+		run(sh.name, "shape@1%churn", []string{src}, elems[:rounds], elems[rounds:])
+	}
+
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B15",
+			"description": "delta-driven vs full evaluation: reference workload scenarios and newly maintained shapes (ORDER BY/LIMIT, float sum, var-length, shortestPath) at 1% window churn; zero fallbacks enforced",
+			"command":     "go run ./cmd/seraph-bench -exp B15 -json " + jsonOut,
+			"rows":        out,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -3,10 +3,12 @@ package engine
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
 
+	"seraph/internal/eval"
 	"seraph/internal/metrics"
 	"seraph/internal/pg"
 	"seraph/internal/value"
@@ -14,9 +16,11 @@ import (
 
 // deltaBodies are the query shapes the delta evaluator must maintain:
 // flat patterns with WHERE, variable-length trails, keyed decomposable
-// aggregates, label-only matches (exercising label refcount churn) and
-// WITH/UNWIND pipelines with DISTINCT aggregates. Each is run under all
-// three stream operators.
+// aggregates, label-only matches (exercising label refcount churn),
+// WITH/UNWIND pipelines with DISTINCT aggregates, ORDER BY/SKIP/LIMIT
+// (order-statistics bag), float sums (compensated removable sum), and
+// shortestPath (distance-map maintenance). Each is run under all three
+// stream operators.
 var deltaBodies = []struct{ name, body string }{
 	{"flat", `MATCH (a:P)-[r:F]->(b:P)
   WITHIN PT20S
@@ -42,6 +46,33 @@ var deltaBodies = []struct{ name, body string }{
   UNWIND [1, 2] AS u
   EMIT a.k AS k, u AS u, count(DISTINCT b.k) AS d
   %s EVERY PT7S`},
+	{"topk", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  ORDER BY v DESC, ak
+  LIMIT 3
+  %s EVERY PT7S`},
+	{"sortskip", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT15S
+  EMIT a.k AS ak, b.k AS bk
+  ORDER BY ak DESC
+  SKIP 2
+  %s EVERY PT6S`},
+	{"fsum", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS k, sum(r.f) AS fs, sum(DISTINCT r.f) AS fd
+  %s EVERY PT7S`},
+	{"aggord", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS k, count(*) AS n
+  ORDER BY n DESC, k
+  LIMIT 2
+  %s EVERY PT7S`},
+	{"spath", `MATCH p = shortestPath((a:P)-[:F*..3]->(b:P))
+  WITHIN PT15S
+  WHERE a.k = 0
+  EMIT b.k AS bk, length(p) AS hops
+  %s EVERY PT6S`},
 }
 
 var deltaOps = []struct{ kw, short string }{
@@ -89,8 +120,10 @@ func randDeltaEvent(r *rand.Rand, i int) *pg.Graph {
 		if r.Intn(4) == 0 {
 			relID = int64(100000 + i*10 + j)
 		}
+		// f is dyadic (a multiple of 0.25) so float sums are exact in
+		// either evaluation order and full/delta results are bit-equal.
 		_ = g.AddRel(&value.Relationship{ID: relID, StartID: sid, EndID: tid, Type: "F",
-			Props: map[string]value.Value{"v": value.NewInt(v)}})
+			Props: map[string]value.Value{"v": value.NewInt(v), "f": value.NewFloat(float64(v) * 0.25)}})
 	}
 	return g
 }
@@ -174,17 +207,16 @@ func TestDeltaEvalEquivalenceQuick(t *testing.T) {
 }
 
 // TestDeltaEvalCompileFallback: a query outside the maintainable
-// fragment (ORDER BY) falls back at registration — once, counted by
-// seraph_delta_fallback_total — and produces the full evaluator's
-// results.
+// fragment (DISTINCT projection) falls back at registration — once,
+// counted by seraph_delta_fallback_total — and produces the full
+// evaluator's results.
 func TestDeltaEvalCompileFallback(t *testing.T) {
 	src := `
 REGISTER QUERY qf STARTING AT 2026-07-06T10:00:00
 {
   MATCH (a:P)
   WITHIN PT10S
-  EMIT a.k AS k
-  ORDER BY k
+  EMIT DISTINCT a.k AS k
   SNAPSHOT EVERY PT5S
 }`
 	run := func(opts ...Option) (*Collector, *Query) {
@@ -218,8 +250,9 @@ REGISTER QUERY qf STARTING AT 2026-07-06T10:00:00
 	}
 }
 
-// TestDeltaEvalRuntimeBail: a float reaching sum() is not exactly
-// maintainable; the query must bail mid-run — after instants it already
+// TestDeltaEvalRuntimeBail: a non-finite float reaching sum() is not
+// maintainable (Inf absorbs every later addition and cannot be
+// withdrawn); the query must bail mid-run — after instants it already
 // answered incrementally — rebuild the previous result, and continue
 // through the classic path with identical emissions under every
 // operator.
@@ -237,7 +270,7 @@ func TestDeltaEvalRuntimeBail(t *testing.T) {
 		g  *pg.Graph
 	}{
 		{0, ev(1, value.NewInt(2))},
-		{5, ev(2, value.NewFloat(2.5))}, // triggers the bail
+		{5, ev(2, value.NewFloat(math.Inf(1)))}, // triggers the bail
 		{10, ev(3, value.NewInt(4))},
 	}
 	for _, op := range deltaOps {
@@ -281,6 +314,106 @@ REGISTER QUERY qb STARTING AT 2026-07-06T10:00:00
 		}
 		if err := q.Err(); err != nil {
 			t.Fatalf("%s: query failed: %v", op.short, err)
+		}
+	}
+}
+
+// TestDeltaEvalFallbackContinuity: when a runtime bail flips a query
+// from delta to full evaluation between instants, the ON ENTERING and
+// ON EXITING streams must stay consistent across the transition —
+// replaying entering minus exiting deltas from the start reproduces
+// every instant's SNAPSHOT, with no duplicated or lost rows at the
+// boundary.
+func TestDeltaEvalFallbackContinuity(t *testing.T) {
+	body := `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  EMIT a.k AS k, sum(r.f) AS s
+  %s EVERY PT5S`
+	e := New(WithDeltaEval(true))
+	cols := map[string]*Collector{}
+	queries := map[string]*Query{}
+	for _, op := range deltaOps {
+		name := "qc_" + op.short
+		col := &Collector{}
+		q, err := e.RegisterSource(deltaSource(name, body, op.kw), col.Sink())
+		if err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+		cols[name] = col
+		queries[name] = q
+	}
+	r := rand.New(rand.NewSource(9))
+	now := base
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Duration(2+r.Intn(4)) * time.Second)
+		g := randDeltaEvent(r, i)
+		if i == 8 {
+			// Mid-run, with churn on both sides: a non-finite float forces
+			// the runtime bail at this instant.
+			addDeltaPerson(g, r, 1)
+			addDeltaPerson(g, r, 2)
+			_ = g.AddRel(&value.Relationship{ID: 999_999, StartID: 1, EndID: 2, Type: "F",
+				Props: map[string]value.Value{"v": value.NewInt(0), "f": value.NewFloat(math.Inf(1))}})
+		}
+		if err := e.Push(g, now); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(now.Add(25 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, q := range queries {
+		if err := q.Err(); err != nil {
+			t.Fatalf("%s failed: %v", name, err)
+		}
+		st := q.Stats()
+		if st.DeltaFallbacks != 1 {
+			t.Fatalf("%s: fallbacks %d, want the mid-run bail", name, st.DeltaFallbacks)
+		}
+		if st.DeltaApplied == 0 {
+			t.Fatalf("%s: delta never applied before the bail", name)
+		}
+	}
+
+	snap, ent, exi := cols["qc_snap"], cols["qc_ent"], cols["qc_exi"]
+	if len(snap.Results) == 0 || len(snap.Results) != len(ent.Results) || len(snap.Results) != len(exi.Results) {
+		t.Fatalf("instants misaligned: snap %d, ent %d, exi %d",
+			len(snap.Results), len(ent.Results), len(exi.Results))
+	}
+	bump := func(m map[string]int, tbl *eval.Table, by int) {
+		// Strip the per-instant win_start/win_end annotation; continuity
+		// is about the query's own row content.
+		n := len(tbl.Cols) - 2
+		for _, row := range tbl.Rows {
+			m[value.KeyOf(row[:n]...)] += by
+		}
+	}
+	replayed := map[string]int{}
+	for i := range snap.Results {
+		if !ent.Results[i].At.Equal(snap.Results[i].At) || !exi.Results[i].At.Equal(snap.Results[i].At) {
+			t.Fatalf("instant %d misaligned", i)
+		}
+		bump(replayed, ent.Results[i].Table, +1)
+		bump(replayed, exi.Results[i].Table, -1)
+		want := map[string]int{}
+		bump(want, snap.Results[i].Table, +1)
+		for k, n := range replayed {
+			if n < 0 {
+				t.Fatalf("at %s: row exited more often than it entered (%s)", snap.Results[i].At, k)
+			}
+			if n != want[k] {
+				t.Fatalf("at %s: replayed count %d, snapshot count %d for row %s",
+					snap.Results[i].At, n, want[k], k)
+			}
+		}
+		for k, n := range want {
+			if n != 0 && replayed[k] != n {
+				t.Fatalf("at %s: snapshot row missing from replay (%s)", snap.Results[i].At, k)
+			}
 		}
 	}
 }

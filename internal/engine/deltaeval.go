@@ -59,16 +59,31 @@ type deltaState struct {
 	width  time.Duration // the single MATCH window width
 	failed bool          // permanent fallback to full evaluation
 
+	// ctrs collects maintenance events (float re-sums) from the
+	// program's accumulators; drained into stats per round.
+	ctrs *eval.DeltaCounters
+
 	// matches holds every live match by canonical identity; prov is the
 	// inverted provenance index used to invalidate matches when an
 	// element they touch changes.
 	matches map[string]*deltaMatch
 	prov    map[eval.Seed]map[string]*deltaMatch
 
+	// Shortest-path queries: the previous instant's per-anchor distance
+	// maps (anchor id → opposite endpoint id → hops), diffed each round
+	// to find the pairs whose result may have changed.
+	spDist map[int64]map[int64]int
+
 	// Non-aggregated queries maintain the result bag plus the current
 	// round's net row delta.
 	bag   *rowBag
 	round *roundDelta
+
+	// Ordered non-aggregated queries maintain an order-statistics bag
+	// instead, plus the previously materialized (skip/limit-applied)
+	// output table, diffed per round like the aggregated path.
+	ord     *eval.OrderStat
+	prevOut *eval.Table
 
 	// Aggregated queries maintain groups of removable accumulators and
 	// the previously materialized group table (diffed per round, which
@@ -99,6 +114,7 @@ type bagRow struct {
 	key  string
 	vals []value.Value
 	dead bool
+	sort []value.Value // ORDER BY key values (ordered queries only)
 }
 
 func (b *rowBag) add(r *bagRow) {
@@ -238,12 +254,19 @@ func (e *Engine) ensureDelta(q *Query) *deltaState {
 		}
 	}
 	q.rollers[ds.width] = r
+	ds.ctrs = &eval.DeltaCounters{}
 	ds.matches = map[string]*deltaMatch{}
 	ds.prov = map[eval.Seed]map[string]*deltaMatch{}
-	if prog.Aggregated() {
+	switch {
+	case prog.Aggregated():
 		ds.groups = map[string]*eval.DeltaGroup{}
-	} else {
+	case prog.Ordered():
+		ds.ord = eval.NewOrderStat(prog.SortDesc())
+	default:
 		ds.bag = &rowBag{}
+	}
+	if prog.Shortest() {
+		ds.spDist = map[int64]map[int64]int{}
 	}
 	return ds
 }
@@ -302,6 +325,11 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 	cypher := int64(time.Since(t1))
 	q.stats.CypherNanos += cypher
 	q.qm.cypherEval.Observe(time.Duration(cypher))
+	if ds.ctrs != nil && ds.ctrs.Resums > 0 {
+		q.stats.DeltaResums += int(ds.ctrs.Resums)
+		q.qm.deltaResum.Add(ds.ctrs.Resums)
+		ds.ctrs.Resums = 0
+	}
 	if err != nil {
 		if errors.Is(err, eval.ErrDeltaUnsupported) {
 			if ferr := e.deltaFallback(q, ds, ω); ferr != nil {
@@ -323,10 +351,14 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
 	ds.failed = true
 	ds.prog = nil
+	ds.ctrs = nil
 	ds.matches = nil
 	ds.prov = nil
+	ds.spDist = nil
 	ds.bag = nil
 	ds.round = nil
+	ds.ord = nil
+	ds.prevOut = nil
 	ds.groups = nil
 	ds.groupOrder = nil
 	ds.prevAgg = nil
@@ -365,6 +397,11 @@ func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
 func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graphstore.Delta) error {
 	if ds.round == nil && ds.bag != nil {
 		ds.round = newRoundDelta()
+	}
+	if ds.prog.Shortest() {
+		// shortestPath is non-monotone; provenance invalidation cannot
+		// see a match going stale. Maintained by distance-map diffing.
+		return ds.applyShortest(ctx, store, delta)
 	}
 
 	// Invalidation. Removal order is canonical-key order so the round
@@ -450,6 +487,93 @@ func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graph
 	return nil
 }
 
+// applyShortest maintains a shortestPath query's matches: recompute the
+// per-anchor shortest-distance maps (one BFS per anchor candidate),
+// diff against the previous instant's maps, and re-run the full
+// evaluator's exact per-pair search for just the dirty pairs — pairs
+// whose hop count appeared, changed, or vanished, plus pairs with an
+// updated endpoint (a property change alters the output row without
+// moving any distance).
+func (ds *deltaState) applyShortest(ctx *eval.Ctx, store *graphstore.Store, delta *graphstore.Delta) error {
+	if delta.Empty() {
+		return nil
+	}
+	sm := ds.prog.NewMatcher(ctx)
+	anchorIdx := ds.prog.ShortestAnchor()
+	newDist, err := sm.ShortestDistances(ctx, store, anchorIdx)
+	if err != nil {
+		return err
+	}
+
+	type spPair struct{ anchor, other int64 }
+	dirty := map[spPair]bool{}
+	for a, m := range newDist {
+		old := ds.spDist[a]
+		for o, d := range m {
+			if od, ok := old[o]; !ok || od != d {
+				dirty[spPair{a, o}] = true
+			}
+		}
+	}
+	for a, old := range ds.spDist {
+		m := newDist[a]
+		for o, d := range old {
+			if nd, ok := m[o]; !ok || nd != d {
+				dirty[spPair{a, o}] = true
+			}
+		}
+	}
+	for _, id := range delta.UpdatedNodes {
+		if m := newDist[id]; m != nil {
+			for o := range m {
+				dirty[spPair{id, o}] = true
+			}
+		}
+		for a, m := range newDist {
+			if _, ok := m[id]; ok {
+				dirty[spPair{a, id}] = true
+			}
+		}
+	}
+
+	pairs := make([]spPair, 0, len(dirty))
+	for p := range dirty {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].anchor != pairs[j].anchor {
+			return pairs[i].anchor < pairs[j].anchor
+		}
+		return pairs[i].other < pairs[j].other
+	})
+	for _, p := range pairs {
+		// Pattern position order: the anchor may be either endpoint.
+		id0, id1 := p.anchor, p.other
+		if anchorIdx == 1 {
+			id0, id1 = p.other, p.anchor
+		}
+		if m := ds.matches[eval.ShortestPairKey(id0, id1)]; m != nil {
+			ds.dropMatch(m)
+		}
+		if m := newDist[p.anchor]; m == nil {
+			continue // anchor gone: nothing to re-find
+		} else if _, ok := m[p.other]; !ok {
+			continue // pair unreachable (or past maxHops): no match
+		}
+		err := sm.ForEachShortestPair(ctx, store, id0, id1, func(key string, row []value.Value, touched []eval.Seed) error {
+			if _, exists := ds.matches[key]; exists {
+				return nil
+			}
+			return ds.addMatch(ctx, key, row, touched)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	ds.spDist = newDist
+	return nil
+}
+
 // addMatch evaluates a newly found match's contribution and registers
 // it in the maintained state. Matches contributing no rows are not
 // stored: they cannot affect future results, and skipping them keeps
@@ -467,7 +591,7 @@ func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, tou
 		for _, in := range ins {
 			g := ds.groups[in.GroupKey]
 			if g == nil {
-				g = ds.prog.NewGroup(in)
+				g = ds.prog.NewGroup(in, ds.ctrs)
 				ds.groups[in.GroupKey] = g
 				ds.groupOrder = append(ds.groupOrder, in.GroupKey)
 			}
@@ -476,6 +600,18 @@ func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, tou
 			}
 		}
 		m.inputs = ins
+	} else if ds.ord != nil {
+		krs, err := ds.prog.FinalRowsKeyed(ctx, row)
+		if err != nil {
+			return err
+		}
+		if len(krs) == 0 {
+			return nil
+		}
+		for _, kr := range krs {
+			ds.ord.Add(kr.Sort, kr.Vals)
+			m.rows = append(m.rows, &bagRow{vals: kr.Vals, sort: kr.Sort})
+		}
 	} else {
 		rows, err := ds.prog.FinalRows(ctx, row)
 		if err != nil {
@@ -514,6 +650,10 @@ func (ds *deltaState) dropMatch(m *deltaMatch) {
 		}
 	}
 	for _, br := range m.rows {
+		if ds.ord != nil {
+			ds.ord.Remove(br.sort, br.vals)
+			continue
+		}
 		ds.bag.kill(br)
 		ds.round.bump(br.key, br.vals, -1)
 	}
@@ -532,6 +672,29 @@ func (ds *deltaState) dropMatch(m *deltaMatch) {
 func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) {
 	cols := ds.prog.Cols()
 	if !ds.prog.Aggregated() {
+		if ds.ord != nil {
+			// Ordered: SKIP/LIMIT select rows relative to the whole bag, so
+			// deltas are computed on the materialized output — O(skip+limit)
+			// per round — not on per-row bag changes.
+			skip, limit, hasLimit, err := ds.prog.Bounds(ctx)
+			if err != nil {
+				return nil, err
+			}
+			cur := ds.ord.Materialize(cols, skip, limit, hasLimit)
+			prev := ds.prevOut
+			if prev == nil {
+				prev = &eval.Table{Cols: cols}
+			}
+			ds.prevOut = cur
+			switch op {
+			case ast.OpOnEntering:
+				return eval.BagDifference(cur, prev)
+			case ast.OpOnExiting:
+				return eval.BagDifference(prev, cur)
+			default:
+				return cur, nil
+			}
+		}
 		var out *eval.Table
 		switch op {
 		case ast.OpOnEntering:
@@ -572,6 +735,13 @@ func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) 
 			return nil, err
 		}
 		cur.Rows = append(cur.Rows, row)
+	}
+	if ds.prog.Ordered() {
+		// The group table is O(groups); sorting and slicing it here costs
+		// what the full evaluator pays after aggregation.
+		if err := ds.prog.OrderSlice(ctx, cur); err != nil {
+			return nil, err
+		}
 	}
 
 	prev := ds.prevAgg

@@ -224,6 +224,10 @@ type Stats struct {
 	// runtime value was not maintainable).
 	DeltaApplied   int
 	DeltaFallbacks int
+	// DeltaResums counts precision-restoring float re-summations inside
+	// maintained sum() accumulators (drift bound or removal budget hit);
+	// the query keeps running on the delta path.
+	DeltaResums int
 }
 
 // Query is a registered continuous query.

@@ -42,6 +42,9 @@ func FuzzRegisterAndPush(f *testing.F) {
 		"REGISTER QUERY network_anomalies STARTING AT 2026-07-06T10:00:00\n{\n  MATCH p = shortestPath((rk:Rack)-[*..20]-(egress:Router {egress: true}))\n  WITHIN PT1M\n  WITH rk, p, length(p) AS hops\n  WHERE (hops - 5.0) / 0.3 > 3.0\n  EMIT rk.name AS rack, hops\n  SNAPSHOT EVERY PT1M\n}",
 		"REGISTER QUERY stolen_objects STARTING AT 2026-07-06T10:00:00\n{\n  MATCH (o:Object)-[:INVOLVED_IN]->(c:Crime {kind: 'theft'})-[:OCCURRED_AT]->(l:Location)\n  WITHIN PT30M\n  EMIT o.kind AS object, l.name AS location, c.id AS crime\n  ON ENTERING EVERY PT5M\n}",
 		"REGISTER QUERY q STARTING AT 2026-07-06T10:00:00 { MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT6S EMIT s.name AS sensor ON EXITING EVERY PT2S }",
+		"REGISTER QUERY topk STARTING AT 2026-07-06T10:00:00 { MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT10S EMIT s.name AS sensor, r.v AS v ORDER BY v DESC, sensor SKIP 1 LIMIT 3 SNAPSHOT EVERY PT2S }",
+		"REGISTER QUERY fsum STARTING AT 2026-07-06T10:00:00 { MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT12S EMIT s.name AS sensor, sum(r.v * 0.25) AS fs ON ENTERING EVERY PT3S }",
+		"REGISTER QUERY hops STARTING AT 2026-07-06T10:00:00 { MATCH p = shortestPath((s:Sensor)-[:READ*..4]->(z:Zone)) WITHIN PT10S EMIT z.name AS zone, length(p) AS hops ON EXITING EVERY PT2S }",
 	}
 	for _, s := range seeds {
 		f.Add(s, int64(1000), int64(20), int64(5), int64(2))

@@ -35,6 +35,7 @@ const (
 	mMatchCandidates = "seraph_match_candidates"
 	mDeltaApplied    = "seraph_delta_applied_total"
 	mDeltaFallback   = "seraph_delta_fallback_total"
+	mDeltaResum      = "seraph_delta_resum_total"
 )
 
 // queryMetrics are the per-query instruments, labeled query=<name>.
@@ -54,6 +55,7 @@ type queryMetrics struct {
 	incRemoves    *metrics.Counter
 	deltaApplied  *metrics.Counter
 	deltaFallback *metrics.Counter
+	deltaResum    *metrics.Counter
 	match         *eval.MatchMetrics
 }
 
@@ -77,6 +79,7 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 		incRemoves:    reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "remove")),
 		deltaApplied:  reg.Counter(mDeltaApplied, "Evaluation instants answered by the delta-driven evaluator.", q),
 		deltaFallback: reg.Counter(mDeltaFallback, "Permanent per-query fallbacks from delta-driven to full evaluation.", q),
+		deltaResum:    reg.Counter(mDeltaResum, "Precision-restoring float re-summations inside maintained sum() accumulators.", q),
 		match: &eval.MatchMetrics{
 			IndexHits:   reg.Counter(mMatchIdxHits, "MATCH candidate enumerations served from a property index.", q),
 			IndexMisses: reg.Counter(mMatchIdxMisses, "MATCH candidate enumerations served by label list or full scan.", q),

@@ -349,8 +349,9 @@ type deltaAcc interface {
 }
 
 // newDeltaAcc builds the removable accumulator for sp. CompileDelta
-// guarantees sp.fn is one of count/sum/min/max.
-func newDeltaAcc(sp *aggSpec) deltaAcc {
+// guarantees sp.fn is one of count/sum/min/max. c (nil allowed)
+// receives maintenance events.
+func newDeltaAcc(sp *aggSpec, c *DeltaCounters) deltaAcc {
 	switch sp.fn {
 	case "count":
 		a := &deltaCount{star: sp.star, distinct: sp.distinct}
@@ -359,7 +360,7 @@ func newDeltaAcc(sp *aggSpec) deltaAcc {
 		}
 		return a
 	case "sum":
-		a := &deltaSum{distinct: sp.distinct}
+		a := &deltaSum{distinct: sp.distinct, ctrs: c}
 		if sp.distinct {
 			a.seen = map[string]*deltaSumEntry{}
 		}
@@ -420,19 +421,50 @@ func (a *deltaCount) remove(g AggArg) {
 
 func (a *deltaCount) result() value.Value { return value.NewInt(a.n) }
 
-// deltaSum maintains integer sums exactly. The first float argument
-// returns ErrDeltaUnsupported: float addition does not invert exactly,
-// so the engine falls back to full re-evaluation instead of drifting.
+// deltaSum maintains sums removably. Integers invert exactly. Floats
+// use a compensated (Kahan) sum plus a live value multiset and a
+// running error envelope: each operation widens the envelope by one
+// ulp-scale term, and when the envelope exceeds the drift bound — or a
+// removal budget is spent — the sum is rebuilt from the multiset,
+// restoring full precision. Re-sums are counted via DeltaCounters. Only
+// non-finite floats (Inf/NaN absorb every later addition and cannot be
+// withdrawn) still return ErrDeltaUnsupported.
+//
+// The drift bound: errBound accumulates sumUlp·(|fsum|+|x|) per
+// compensated operation — an upper envelope on the accumulated rounding
+// error of the compensated sequence — and a re-sum triggers when it
+// exceeds sumDriftRel·max(1, |fsum|) or after sumResumBudget removals.
 type deltaSum struct {
 	distinct bool
-	sum      int64
-	seen     map[string]*deltaSumEntry // DISTINCT only
+	ctrs     *DeltaCounters
+	seen     map[string]*deltaSumEntry // DISTINCT only: live multiplicity per value key
+
+	intSum int64
+
+	// Float machinery, engaged only while floatN > 0.
+	floatN   int64 // live float occurrences (post-DISTINCT)
+	fsum     float64
+	comp     float64 // Kahan compensation term
+	errBound float64
+	removals int64
+	floats   map[string]*deltaFloatEntry // live float multiset
 }
 
 type deltaSumEntry struct {
-	v     int64
+	v     value.Value
 	count int64
 }
+
+type deltaFloatEntry struct {
+	v     float64
+	count int64
+}
+
+const (
+	sumUlp         = 2.220446049250313e-16 // 2^-52, double rounding unit
+	sumDriftRel    = 1e-12                 // relative drift triggering a re-sum
+	sumResumBudget = 512                   // removals between unconditional re-sums
+)
 
 func (a *deltaSum) add(g AggArg) error {
 	if g.Skip {
@@ -443,18 +475,20 @@ func (a *deltaSum) add(g AggArg) error {
 		return evalErrf("sum() over non-numeric value %s", g.Val.Kind())
 	}
 	if g.Val.IsFloat() {
-		return ErrDeltaUnsupported
+		f := g.Val.Float()
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return ErrDeltaUnsupported
+		}
 	}
-	x := g.Val.Int()
 	if a.distinct {
 		k := value.Key(g.Val)
 		if ent := a.seen[k]; ent != nil {
 			ent.count++
 			return nil
 		}
-		a.seen[k] = &deltaSumEntry{v: x, count: 1}
+		a.seen[k] = &deltaSumEntry{v: g.Val, count: 1}
 	}
-	a.sum += x
+	a.apply(g.Val)
 	return nil
 }
 
@@ -463,7 +497,7 @@ func (a *deltaSum) remove(g AggArg) {
 		return
 	}
 	// Removals only replay previously added values, so the argument is
-	// a non-null integer here.
+	// a non-null finite number here.
 	if a.distinct {
 		k := value.Key(g.Val)
 		ent := a.seen[k]
@@ -471,16 +505,103 @@ func (a *deltaSum) remove(g AggArg) {
 			return
 		}
 		ent.count--
-		if ent.count == 0 {
-			delete(a.seen, k)
-			a.sum -= ent.v
+		if ent.count > 0 {
+			return
 		}
+		delete(a.seen, k)
+		// Withdraw the instance that was applied, which may differ from
+		// g.Val when distinct keys canonicalize (int 2 vs float 2.0).
+		a.withdraw(ent.v)
 		return
 	}
-	a.sum -= g.Val.Int()
+	a.withdraw(g.Val)
 }
 
-func (a *deltaSum) result() value.Value { return value.NewInt(a.sum) }
+// apply folds one (post-DISTINCT) occurrence into the sum.
+func (a *deltaSum) apply(v value.Value) {
+	if !v.IsFloat() {
+		a.intSum += v.Int()
+		return
+	}
+	f := v.Float()
+	if a.floats == nil {
+		a.floats = map[string]*deltaFloatEntry{}
+	}
+	k := value.Key(v)
+	if ent := a.floats[k]; ent != nil {
+		ent.count++
+	} else {
+		a.floats[k] = &deltaFloatEntry{v: f, count: 1}
+	}
+	a.floatN++
+	a.kahan(f)
+}
+
+// withdraw removes one previously applied occurrence.
+func (a *deltaSum) withdraw(v value.Value) {
+	if !v.IsFloat() {
+		a.intSum -= v.Int()
+		return
+	}
+	f := v.Float()
+	k := value.Key(v)
+	if ent := a.floats[k]; ent != nil {
+		ent.count--
+		if ent.count == 0 {
+			delete(a.floats, k)
+		}
+	}
+	a.floatN--
+	if a.floatN == 0 {
+		// Empty float multiset: the exact sum is zero; reset the
+		// machinery so drift cannot survive an empty window.
+		a.fsum, a.comp, a.errBound = 0, 0, 0
+		a.removals = 0
+		return
+	}
+	a.kahan(-f)
+	a.removals++
+	if a.removals >= sumResumBudget || a.errBound > sumDriftRel*math.Max(1, math.Abs(a.fsum)) {
+		a.resum()
+	}
+}
+
+// kahan adds x to fsum with compensation and widens the error envelope.
+func (a *deltaSum) kahan(x float64) {
+	y := x - a.comp
+	t := a.fsum + y
+	a.comp = (t - a.fsum) - y
+	a.fsum = t
+	a.errBound += sumUlp * (math.Abs(a.fsum) + math.Abs(x))
+}
+
+// resum rebuilds the compensated sum from the live multiset, in
+// deterministic (sorted-key) order, and resets the error envelope.
+func (a *deltaSum) resum() {
+	keys := make([]string, 0, len(a.floats))
+	for k := range a.floats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	a.fsum, a.comp, a.errBound = 0, 0, 0
+	a.removals = 0
+	for _, k := range keys {
+		ent := a.floats[k]
+		a.kahan(float64(ent.count) * ent.v)
+	}
+	if a.ctrs != nil {
+		a.ctrs.Resums++
+	}
+}
+
+func (a *deltaSum) result() value.Value {
+	if a.floatN > 0 {
+		// Any live float makes the whole sum a float, matching sumAgg's
+		// per-window promotion over the same multiset.
+		return value.NewFloat(float64(a.intSum) + a.fsum)
+	}
+	return value.NewInt(a.intSum)
+}
 
 // deltaMinMax keeps the multiset of live values keyed by value.Key and
 // scans it on demand. The scan is deterministic despite map iteration:

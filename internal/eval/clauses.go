@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"bytes"
 	"fmt"
 
 	"seraph/internal/ast"
@@ -316,11 +317,15 @@ func projectSimple(ctx *Ctx, items []ast.ReturnItem, names []string, t *Table) (
 
 // orderBy sorts out. Sort keys may reference the projected columns
 // (including aliases) and, for row-preserving projections, the
-// pre-projection variables.
+// pre-projection variables. Rows whose sort keys all compare equal are
+// tie-broken by the canonical byte key of the projected row, so a SKIP
+// or LIMIT cutting through a tie selects a deterministic row multiset —
+// the same one the delta evaluator's order-statistics bag selects.
 func orderBy(ctx *Ctx, out *Table, origRows [][]value.Value, origCols []string, keys []ast.SortItem) error {
 	type sortRow struct {
-		row  []value.Value
-		keys []value.Value
+		row    []value.Value
+		keys   []value.Value
+		rowKey []byte
 	}
 	rows := make([]sortRow, len(out.Rows))
 	for i, row := range out.Rows {
@@ -340,7 +345,7 @@ func orderBy(ctx *Ctx, out *Table, origRows [][]value.Value, origCols []string, 
 			}
 			ks[k] = v
 		}
-		rows[i] = sortRow{row: row, keys: ks}
+		rows[i] = sortRow{row: row, keys: ks, rowKey: RowSortKey(row)}
 	}
 	desc := make([]bool, len(keys))
 	for i, k := range keys {
@@ -357,7 +362,7 @@ func orderBy(ctx *Ctx, out *Table, origRows [][]value.Value, origCols []string, 
 			}
 			return c
 		}
-		return 0
+		return bytes.Compare(a.rowKey, b.rowKey)
 	})
 	for i := range rows {
 		out.Rows[i] = rows[i].row

@@ -19,11 +19,22 @@ import (
 // full re-evaluation.
 
 // ErrDeltaUnsupported is returned by removable accumulators when a
-// runtime value leaves the maintainable domain (currently: a float
-// reaching sum(), whose removal is not exact in floating point). The
-// engine reacts by permanently falling back to full re-evaluation for
-// the query; the error never surfaces to the user.
+// runtime value leaves the maintainable domain (currently: a non-finite
+// float reaching sum(), since Inf and NaN absorb every later addition
+// and cannot be withdrawn). The engine reacts by permanently falling
+// back to full re-evaluation for the query; the error never surfaces to
+// the user.
 var ErrDeltaUnsupported = errors.New("eval: value not incrementally maintainable")
+
+// DeltaCounters collects maintenance events the engine surfaces as
+// stats and metrics. One instance is shared by all accumulators of a
+// query's maintained state.
+type DeltaCounters struct {
+	// Resums counts precision-restoring float re-summations (see
+	// deltaSum): the drift bound or the removal budget was hit and the
+	// compensated sum was rebuilt from the live value multiset.
+	Resums int64
+}
 
 // DeltaProgram is the compiled form of a query body whose results can
 // be maintained incrementally: a single leading MATCH, a row-wise
@@ -32,16 +43,30 @@ var ErrDeltaUnsupported = errors.New("eval: value not incrementally maintainable
 type DeltaProgram struct {
 	match *ast.Match
 	mid   []ast.Clause
-	proj  *ast.Projection
-	vars  []string // pattern variables = column order of match rows
-	cols  []string // output column names
+	proj  *ast.Projection // the registration's final projection, verbatim
+	bare  *ast.Projection // proj without ORDER BY / SKIP / LIMIT
+	vars  []string        // pattern variables = column order of match rows
+	cols  []string        // output column names
+
+	// Result ordering, maintained separately from per-match rows: the
+	// engine keeps an order-statistics bag (OrderStat) keyed by these
+	// sort items and applies skip/limit at materialization.
+	orderBy     []ast.SortItem
+	skip, limit ast.Expr
+
+	// Shortest-path maintenance (see spdelta.go): non-nil when the
+	// MATCH is a single shortestPath part whose results depend only on
+	// endpoints and hop count (trail independence).
+	shortest  *ast.PatternPart
+	anchorIdx int // the more selective endpoint position (0 or 1)
+
+	items []ast.ReturnItem // final items, * pre-expanded
 
 	// Aggregation decomposition (populated when aggregated is true),
 	// mirroring projectAggregated's rewrite.
 	aggregated bool
-	items      []ast.ReturnItem // final items, * pre-expanded
-	rewritten  []ast.Expr       // items with aggregate calls replaced
-	isKey      []bool           // grouping-key positions
+	rewritten  []ast.Expr // items with aggregate calls replaced
+	isKey      []bool     // grouping-key positions
 	specs      []*aggSpec
 	hasKeys    bool
 }
@@ -49,11 +74,14 @@ type DeltaProgram struct {
 // CompileDelta statically analyzes a query body and returns its delta
 // program, or nil when the query is outside the maintainable fragment:
 //
-//   - single part (no UNION), leading non-OPTIONAL MATCH without
-//     shortestPath;
+//   - single part (no UNION), leading non-OPTIONAL MATCH; shortestPath
+//     only as a lone ShortestSingle part whose path is observed solely
+//     through length()/size() (trail independence, see spdelta.go);
 //   - middle clauses limited to row-wise WITH (no aggregation,
 //     DISTINCT, ORDER BY, SKIP or LIMIT) and UNWIND;
-//   - final RETURN/EMIT without DISTINCT, ORDER BY, SKIP or LIMIT,
+//   - final RETURN/EMIT without DISTINCT; ORDER BY, SKIP and LIMIT are
+//     accepted and maintained through an order-statistics bag, as long
+//     as the sort keys are row-determined and aggregate-free;
 //     aggregating (if at all) only with count/sum/min/max;
 //   - no expression anywhere that depends on the evaluation instant
 //     (win_start/win_end/now, timestamp(), zero-argument datetime())
@@ -75,10 +103,22 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 	if !ok || m.Optional {
 		return nil
 	}
+	var shortest *ast.PatternPart
 	for pi := range m.Pattern.Parts {
 		part := &m.Pattern.Parts[pi]
 		if part.Shortest != ast.ShortestNone {
-			return nil
+			// shortestPath is non-monotone (an arriving edge can shorten an
+			// existing result), so it is maintained by per-pair distance
+			// tracking (spdelta.go) rather than provenance invalidation.
+			// That only reproduces the full evaluator when the result
+			// depends on nothing but the endpoints and the hop count:
+			// single ShortestSingle part, downstream use of the path
+			// restricted to length()/size() (checked below).
+			if part.Shortest != ast.ShortestSingle || len(m.Pattern.Parts) != 1 ||
+				len(part.Rels) != 1 || len(part.Nodes) != 2 {
+				return nil
+			}
+			shortest = part
 		}
 		for _, np := range part.Nodes {
 			if np.Props != nil && !exprDeltaSafe(np.Props) {
@@ -91,17 +131,41 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 			}
 		}
 	}
-	if m.Where != nil && !exprDeltaSafe(m.Where) {
+
+	// banned tracks, for shortestPath queries, the columns whose values
+	// expose the chosen path (the path variable and the relationship
+	// list). They may flow through the pipeline only as bare renames or
+	// under length()/size(); anything else observes which of several
+	// equal-length paths was picked, which delta maintenance does not
+	// reproduce. nil (not empty) when there is nothing to track.
+	var banned map[string]bool
+	if shortest != nil {
+		banned = map[string]bool{}
+		if shortest.Var != "" {
+			banned[shortest.Var] = true
+		}
+		if shortest.Rels[0].Var != "" {
+			banned[shortest.Rels[0].Var] = true
+		}
+		if len(banned) == 0 {
+			banned = nil
+		}
+	}
+
+	if m.Where != nil && (!exprDeltaSafe(m.Where) || !exprLengthOnly(m.Where, banned)) {
 		return nil
 	}
 
-	p := &DeltaProgram{match: m, vars: patternVars(m.Pattern)}
+	p := &DeltaProgram{match: m, vars: patternVars(m.Pattern), shortest: shortest}
+	if shortest != nil {
+		p.anchorIdx = shortestAnchorIdx(shortest)
+	}
 	cols := append([]string(nil), p.vars...)
 
 	for _, c := range cls[1 : len(cls)-1] {
 		switch x := c.(type) {
 		case *ast.Unwind:
-			if !exprDeltaSafe(x.X) {
+			if !exprDeltaSafe(x.X) || !exprLengthOnly(x.X, banned) {
 				return nil
 			}
 			for _, c := range cols {
@@ -114,12 +178,39 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 			if x.Distinct || len(x.OrderBy) > 0 || x.Skip != nil || x.Limit != nil {
 				return nil
 			}
+			// Path-exposing columns survive a WITH only as bare renames
+			// (including via *); every other item must keep them under
+			// length()/size().
+			var nextBanned map[string]bool
+			if banned != nil {
+				nextBanned = map[string]bool{}
+				if x.Star {
+					for _, c := range cols {
+						if banned[c] {
+							nextBanned[c] = true
+						}
+					}
+				}
+			}
 			for _, it := range x.Items {
 				if containsAgg(it.X) || !exprDeltaSafe(it.X) {
 					return nil
 				}
+				if banned != nil {
+					if v, isVar := it.X.(*ast.Var); isVar && banned[v.Name] {
+						name := it.Alias
+						if name == "" {
+							name = v.Name
+						}
+						nextBanned[name] = true
+						continue
+					}
+					if !exprLengthOnly(it.X, banned) {
+						return nil
+					}
+				}
 			}
-			if x.Where != nil && !exprDeltaSafe(x.Where) {
+			if x.Where != nil && (!exprDeltaSafe(x.Where) || !exprLengthOnly(x.Where, nextBanned)) {
 				return nil
 			}
 			names, ok := staticProjectionCols(&x.Projection, cols)
@@ -127,6 +218,12 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 				return nil
 			}
 			cols = names
+			if banned != nil {
+				banned = nextBanned
+				if len(banned) == 0 {
+					banned = nil
+				}
+			}
 		default:
 			return nil
 		}
@@ -141,14 +238,44 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 	default:
 		return nil
 	}
+	if p.proj.Distinct {
+		return nil
+	}
+	if p.proj.Star && banned != nil {
+		return nil // * would emit the path-exposing columns themselves
+	}
 	for _, it := range p.proj.Items {
 		if !exprDeltaSafe(it.X) {
 			return nil
 		}
+		if banned != nil {
+			if v, isVar := it.X.(*ast.Var); isVar && banned[v.Name] {
+				return nil // the output row would contain the path value
+			}
+			if !exprLengthOnly(it.X, banned) {
+				return nil
+			}
+		}
 	}
-	if p.proj.Distinct || len(p.proj.OrderBy) > 0 || p.proj.Skip != nil || p.proj.Limit != nil {
+	// ORDER BY / SKIP / LIMIT are maintained via an order-statistics bag
+	// (non-aggregated) or applied to the materialized group table
+	// (aggregated); the expressions must be row-determined and constant
+	// respectively, like everything else in the fragment. Sort keys
+	// containing aggregates are left to the full evaluator.
+	for _, si := range p.proj.OrderBy {
+		if !exprDeltaSafe(si.X) || containsAgg(si.X) || !exprLengthOnly(si.X, banned) {
+			return nil
+		}
+	}
+	if p.proj.Skip != nil && !exprDeltaSafe(p.proj.Skip) {
 		return nil
 	}
+	if p.proj.Limit != nil && !exprDeltaSafe(p.proj.Limit) {
+		return nil
+	}
+	p.orderBy = p.proj.OrderBy
+	p.skip, p.limit = p.proj.Skip, p.proj.Limit
+	p.bare = &ast.Projection{Star: p.proj.Star, Items: p.proj.Items}
 	names, ok := staticProjectionCols(p.proj, cols)
 	if !ok {
 		return nil
@@ -165,6 +292,7 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 		}
 	}
 	items = append(items, p.proj.Items...)
+	p.items = items
 
 	for _, it := range items {
 		if containsAgg(it.X) {
@@ -175,8 +303,6 @@ func CompileDelta(q *ast.Query) *DeltaProgram {
 	if !p.aggregated {
 		return p
 	}
-
-	p.items = items
 	p.rewritten = make([]ast.Expr, len(items))
 	p.isKey = make([]bool, len(items))
 	for i, it := range items {
@@ -256,6 +382,55 @@ func exprDeltaSafe(e ast.Expr) bool {
 	return ok
 }
 
+// exprLengthOnly reports whether every occurrence of a banned variable
+// in e is the sole argument of a length() or size() call — the only
+// observations of a shortestPath's path/relationship list that depend
+// just on the hop count, not on which equal-length path was chosen.
+// banned == nil means nothing to check.
+func exprLengthOnly(e ast.Expr, banned map[string]bool) bool {
+	if banned == nil {
+		return true
+	}
+	total, wrapped := 0, 0
+	walkExpr(e, func(x ast.Expr) {
+		switch c := x.(type) {
+		case *ast.Var:
+			if banned[c.Name] {
+				total++
+			}
+		case *ast.FuncCall:
+			switch strings.ToLower(c.Name) {
+			case "length", "size":
+				if len(c.Args) == 1 {
+					if v, isVar := c.Args[0].(*ast.Var); isVar && banned[v.Name] {
+						wrapped++
+					}
+				}
+			}
+		}
+	})
+	return total == wrapped
+}
+
+// shortestAnchorIdx picks the endpoint position distance tracking roots
+// its BFS at: the more constrained node pattern (labels and property
+// predicates cut the anchor candidate set, and every candidate costs a
+// BFS). Position 1 wins ties because rack→egress style queries put the
+// single fixed endpoint last.
+func shortestAnchorIdx(part *ast.PatternPart) int {
+	score := func(np *ast.NodePattern) int {
+		s := len(np.Labels)
+		if np.Props != nil {
+			s += 2
+		}
+		return s
+	}
+	if score(part.Nodes[0]) > score(part.Nodes[1]) {
+		return 0
+	}
+	return 1
+}
+
 // Within returns the leading MATCH's WITHIN width (0 when absent, in
 // which case the engine applies the registration's default width).
 func (p *DeltaProgram) Within() time.Duration { return p.match.Within }
@@ -294,19 +469,132 @@ func (p *DeltaProgram) pipeline(ctx *Ctx, row []value.Value) (*Table, error) {
 }
 
 // FinalRows evaluates one match row through the middle pipeline and the
-// final (non-aggregated) projection, returning the result rows this
-// match contributes. Valid only when !Aggregated().
+// final (non-aggregated) projection — without ORDER BY/SKIP/LIMIT,
+// which apply to the whole maintained bag, not per match. Valid only
+// when !Aggregated().
 func (p *DeltaProgram) FinalRows(ctx *Ctx, row []value.Value) ([][]value.Value, error) {
 	t, err := p.pipeline(ctx, row)
 	if err != nil {
 		return nil, err
 	}
-	out, err := applyProjection(ctx, p.proj, t)
+	out, err := applyProjection(ctx, p.bare, t)
 	if err != nil {
 		return nil, err
 	}
 	return out.Rows, nil
 }
+
+// KeyedRow is one projected result row together with its evaluated
+// ORDER BY key values, ready for OrderStat insertion and removal.
+type KeyedRow struct {
+	Sort []value.Value
+	Vals []value.Value
+}
+
+// FinalRowsKeyed is FinalRows for ordered non-aggregated queries: it
+// additionally evaluates the sort keys per row, with the pre-projection
+// variables visible underneath the projected columns exactly as the
+// full evaluator's orderBy exposes them.
+func (p *DeltaProgram) FinalRowsKeyed(ctx *Ctx, row []value.Value) ([]KeyedRow, error) {
+	t, err := p.pipeline(ctx, row)
+	if err != nil {
+		return nil, err
+	}
+	out, orig, err := projectSimple(ctx, p.items, p.cols, t)
+	if err != nil {
+		return nil, err
+	}
+	krs := make([]KeyedRow, len(out.Rows))
+	for i, r := range out.Rows {
+		e := newEnv(t.Cols, orig[i])
+		for j, c := range out.Cols {
+			e.push(c, r[j])
+		}
+		ks := make([]value.Value, len(p.orderBy))
+		for k, si := range p.orderBy {
+			v, err := evalExpr(ctx, e, si.X)
+			if err != nil {
+				return nil, err
+			}
+			ks[k] = v
+		}
+		krs[i] = KeyedRow{Sort: ks, Vals: r}
+	}
+	return krs, nil
+}
+
+// Ordered reports whether the final projection carries ORDER BY, SKIP
+// or LIMIT, in which case the engine maintains an OrderStat bag
+// (non-aggregated) or orders the materialized group table (aggregated).
+func (p *DeltaProgram) Ordered() bool {
+	return len(p.orderBy) > 0 || p.skip != nil || p.limit != nil
+}
+
+// SortDesc returns the per-key descending flags for NewOrderStat.
+func (p *DeltaProgram) SortDesc() []bool {
+	desc := make([]bool, len(p.orderBy))
+	for i, si := range p.orderBy {
+		desc[i] = si.Desc
+	}
+	return desc
+}
+
+// Bounds evaluates SKIP and LIMIT, enforcing the full evaluator's
+// constraints (constant integers, non-negative) with its exact errors.
+func (p *DeltaProgram) Bounds(ctx *Ctx) (skip, limit int64, hasLimit bool, err error) {
+	if p.skip != nil {
+		skip, err = constInt(ctx, p.skip, "SKIP")
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if skip < 0 {
+			return 0, 0, false, evalErrf("SKIP must be non-negative")
+		}
+	}
+	if p.limit != nil {
+		limit, err = constInt(ctx, p.limit, "LIMIT")
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if limit < 0 {
+			return 0, 0, false, evalErrf("LIMIT must be non-negative")
+		}
+		hasLimit = true
+	}
+	return skip, limit, hasLimit, nil
+}
+
+// OrderSlice sorts t by the final ORDER BY and applies SKIP/LIMIT in
+// place — the aggregated emit path, where the group table is already
+// small (O(groups)) and the sort keys see only projected columns, as in
+// the full evaluator.
+func (p *DeltaProgram) OrderSlice(ctx *Ctx, t *Table) error {
+	if len(p.orderBy) > 0 {
+		if err := orderBy(ctx, t, nil, nil, p.orderBy); err != nil {
+			return err
+		}
+	}
+	skip, limit, hasLimit, err := p.Bounds(ctx)
+	if err != nil {
+		return err
+	}
+	if p.skip != nil {
+		if skip > int64(len(t.Rows)) {
+			skip = int64(len(t.Rows))
+		}
+		t.Rows = t.Rows[skip:]
+	}
+	if hasLimit && limit < int64(len(t.Rows)) {
+		t.Rows = t.Rows[:limit]
+	}
+	return nil
+}
+
+// Shortest reports whether the MATCH is a maintained shortestPath, and
+// ShortestAnchor which endpoint position (0 or 1) distance tracking
+// roots its per-anchor BFS at.
+func (p *DeltaProgram) Shortest() bool      { return p.shortest != nil }
+func (p *DeltaProgram) ShortestAnchor() int { return p.anchorIdx }
 
 // AggArg is one pre-evaluated aggregate argument of one input row.
 // Skip marks null arguments, which aggregates ignore.
@@ -379,11 +667,12 @@ type DeltaGroup struct {
 	rows    int64
 }
 
-// NewGroup creates the group for in's key.
-func (p *DeltaProgram) NewGroup(in AggInput) *DeltaGroup {
+// NewGroup creates the group for in's key. c (nil allowed) receives the
+// group's maintenance events, e.g. float re-sums.
+func (p *DeltaProgram) NewGroup(in AggInput, c *DeltaCounters) *DeltaGroup {
 	g := &DeltaGroup{keyVals: in.KeyVals, accs: make([]deltaAcc, len(p.specs))}
 	for si, sp := range p.specs {
-		g.accs[si] = newDeltaAcc(sp)
+		g.accs[si] = newDeltaAcc(sp, c)
 	}
 	return g
 }
@@ -437,6 +726,6 @@ func (p *DeltaProgram) GroupRow(ctx *Ctx, g *DeltaGroup) ([]value.Value, error) 
 // EmptyAggRow synthesizes the single row a keyless aggregation yields
 // over an empty input, matching projectAggregated's empty-group rule.
 func (p *DeltaProgram) EmptyAggRow(ctx *Ctx) ([]value.Value, error) {
-	g := p.NewGroup(AggInput{KeyVals: make([]value.Value, len(p.items))})
+	g := p.NewGroup(AggInput{KeyVals: make([]value.Value, len(p.items))}, nil)
 	return p.GroupRow(ctx, g)
 }

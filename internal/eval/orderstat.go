@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"bytes"
+
+	"seraph/internal/value"
+)
+
+// OrderStat is a removable order-statistics bag backing incremental
+// ORDER BY / SKIP / LIMIT: a treap over (sort key, canonical row key)
+// with multiplicity counts. Add and Remove are O(log n); Materialize
+// walks the first skip+limit rows in order and stops. The comparator is
+// the same total order the full evaluator's orderBy applies — sort keys
+// under their DESC flags, ties broken by the canonical byte key of the
+// projected row — so a LIMIT cutting through a tie selects the same row
+// multiset either way.
+//
+// Treap priorities are an FNV-1a hash of the entry's full key: the tree
+// shape is a deterministic function of the live multiset, independent
+// of insertion order, which keeps incremental runs reproducible.
+type OrderStat struct {
+	desc []bool
+	root *osNode
+	size int // total multiplicity
+}
+
+type osNode struct {
+	sort   []value.Value // ORDER BY key values
+	rowKey []byte        // canonical key of the projected row (tiebreak)
+	row    []value.Value // representative row (equal entries are interchangeable)
+	count  int
+	prio   uint64
+	left   *osNode
+	right  *osNode
+}
+
+// NewOrderStat returns an empty bag ordered by len(desc) sort keys with
+// the given per-key descending flags.
+func NewOrderStat(desc []bool) *OrderStat {
+	return &OrderStat{desc: append([]bool(nil), desc...)}
+}
+
+// Len returns the total multiplicity of the bag.
+func (o *OrderStat) Len() int { return o.size }
+
+// cmp orders (sort, rowKey) pairs: sort keys first (respecting DESC),
+// then canonical row bytes ascending.
+func (o *OrderStat) cmp(sort []value.Value, rowKey []byte, n *osNode) int {
+	for i := range o.desc {
+		c := value.Compare(sort[i], n.sort[i])
+		if c == 0 {
+			continue
+		}
+		if o.desc[i] {
+			return -c
+		}
+		return c
+	}
+	return bytes.Compare(rowKey, n.rowKey)
+}
+
+// RowSortKey builds the canonical byte key of a projected row, shared
+// by the treap tiebreak and the full evaluator's orderBy.
+func RowSortKey(row []value.Value) []byte {
+	return value.AppendKeyOf(nil, row...)
+}
+
+func osPrio(sort []value.Value, rowKey []byte) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	mix(value.AppendKeyOf(nil, sort...))
+	mix(rowKey)
+	return h
+}
+
+// Add inserts one occurrence of row under the given sort key values.
+func (o *OrderStat) Add(sort []value.Value, row []value.Value) {
+	o.root = o.insert(o.root, sort, RowSortKey(row), row)
+	o.size++
+}
+
+func (o *OrderStat) insert(n *osNode, sort []value.Value, rowKey []byte, row []value.Value) *osNode {
+	if n == nil {
+		return &osNode{sort: sort, rowKey: rowKey, row: row, count: 1, prio: osPrio(sort, rowKey)}
+	}
+	c := o.cmp(sort, rowKey, n)
+	switch {
+	case c == 0:
+		n.count++
+	case c < 0:
+		n.left = o.insert(n.left, sort, rowKey, row)
+		if n.left.prio < n.prio {
+			n = rotateRight(n)
+		}
+	default:
+		n.right = o.insert(n.right, sort, rowKey, row)
+		if n.right.prio < n.prio {
+			n = rotateLeft(n)
+		}
+	}
+	return n
+}
+
+// Remove withdraws one previously added occurrence. Removing an entry
+// that is not present is a no-op (the engine only replays prior Adds).
+func (o *OrderStat) Remove(sort []value.Value, row []value.Value) {
+	var removed bool
+	o.root, removed = o.remove(o.root, sort, RowSortKey(row))
+	if removed {
+		o.size--
+	}
+}
+
+func (o *OrderStat) remove(n *osNode, sort []value.Value, rowKey []byte) (*osNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	c := o.cmp(sort, rowKey, n)
+	var removed bool
+	switch {
+	case c < 0:
+		n.left, removed = o.remove(n.left, sort, rowKey)
+	case c > 0:
+		n.right, removed = o.remove(n.right, sort, rowKey)
+	default:
+		n.count--
+		if n.count > 0 {
+			return n, true
+		}
+		return deleteRoot(n), true
+	}
+	return n, removed
+}
+
+// deleteRoot removes n itself by rotating it down until it is a leaf,
+// preserving the heap property among its descendants.
+func deleteRoot(n *osNode) *osNode {
+	if n.left == nil {
+		return n.right
+	}
+	if n.right == nil {
+		return n.left
+	}
+	if n.left.prio < n.right.prio {
+		n = rotateRight(n)
+		n.right = deleteRoot(n.right)
+	} else {
+		n = rotateLeft(n)
+		n.left = deleteRoot(n.left)
+	}
+	return n
+}
+
+func rotateRight(n *osNode) *osNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft(n *osNode) *osNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Materialize returns the ordered rows from offset skip, at most limit
+// rows when hasLimit. The in-order walk stops as soon as the limit is
+// reached, so a top-k over a large bag reads k + skip rows.
+func (o *OrderStat) Materialize(cols []string, skip int64, limit int64, hasLimit bool) *Table {
+	out := &Table{Cols: cols}
+	if hasLimit && limit == 0 {
+		return out
+	}
+	var pos int64
+	var walk func(n *osNode) bool
+	walk = func(n *osNode) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		for i := 0; i < n.count; i++ {
+			if pos >= skip {
+				out.Rows = append(out.Rows, n.row)
+				if hasLimit && int64(len(out.Rows)) >= limit {
+					return false
+				}
+			}
+			pos++
+		}
+		return walk(n.right)
+	}
+	walk(o.root)
+	return out
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"seraph/internal/value"
+)
+
+// TestOrderStatRandomized: against a brute-force oracle (sort the live
+// multiset, slice), the treap materializes identical rows for random
+// add/remove sequences, skips and limits, under asc and desc keys.
+func TestOrderStatRandomized(t *testing.T) {
+	for _, desc := range [][]bool{{false}, {true}, {true, false}} {
+		r := rand.New(rand.NewSource(int64(len(desc))))
+		o := NewOrderStat(desc)
+		type entry struct {
+			sort []value.Value
+			row  []value.Value
+		}
+		var live []entry
+		mk := func() entry {
+			k1 := value.NewInt(int64(r.Intn(5)))
+			k2 := value.NewInt(int64(r.Intn(3)))
+			row := []value.Value{k1, k2, value.NewInt(int64(r.Intn(4)))}
+			s := []value.Value{k1}
+			if len(desc) == 2 {
+				s = []value.Value{k1, k2}
+			}
+			return entry{sort: s, row: row}
+		}
+		oracle := func(skip, limit int64, hasLimit bool) [][]value.Value {
+			s := append([]entry(nil), live...)
+			sort.SliceStable(s, func(i, j int) bool {
+				for k := range desc {
+					c := value.Compare(s[i].sort[k], s[j].sort[k])
+					if c == 0 {
+						continue
+					}
+					if desc[k] {
+						return c > 0
+					}
+					return c < 0
+				}
+				return string(RowSortKey(s[i].row)) < string(RowSortKey(s[j].row))
+			})
+			var out [][]value.Value
+			for i, e := range s {
+				if int64(i) < skip {
+					continue
+				}
+				if hasLimit && int64(len(out)) >= limit {
+					break
+				}
+				out = append(out, e.row)
+			}
+			return out
+		}
+		for step := 0; step < 400; step++ {
+			if len(live) == 0 || r.Intn(3) > 0 {
+				e := mk()
+				live = append(live, e)
+				o.Add(e.sort, e.row)
+			} else {
+				i := r.Intn(len(live))
+				o.Remove(live[i].sort, live[i].row)
+				live = append(live[:i], live[i+1:]...)
+			}
+			if o.Len() != len(live) {
+				t.Fatalf("step %d: len %d, want %d", step, o.Len(), len(live))
+			}
+			skip := int64(r.Intn(4))
+			limit := int64(r.Intn(5))
+			hasLimit := r.Intn(2) == 0
+			got := o.Materialize([]string{"a", "b", "c"}, skip, limit, hasLimit)
+			want := oracle(skip, limit, hasLimit)
+			if len(got.Rows) != len(want) {
+				t.Fatalf("step %d desc=%v skip=%d limit=%d/%v: %d rows, want %d",
+					step, desc, skip, limit, hasLimit, len(got.Rows), len(want))
+			}
+			for i := range want {
+				if value.KeyOf(got.Rows[i]...) != value.KeyOf(want[i]...) {
+					t.Fatalf("step %d row %d: %v, want %v", step, i, got.Rows[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSumFloat: the compensated removable sum tracks a windowed
+// float stream, triggers counted re-sums when the removal budget is
+// spent, and stays within the drift bound of an exact re-computation.
+func TestDeltaSumFloat(t *testing.T) {
+	c := &DeltaCounters{}
+	acc := newDeltaAcc(&aggSpec{fn: "sum"}, c).(*deltaSum)
+	r := rand.New(rand.NewSource(7))
+	var window []float64
+	push := func(f float64) {
+		if err := acc.add(AggArg{Val: value.NewFloat(f)}); err != nil {
+			t.Fatal(err)
+		}
+		window = append(window, f)
+	}
+	pop := func() {
+		acc.remove(AggArg{Val: value.NewFloat(window[0])})
+		window = window[1:]
+	}
+	for i := 0; i < 4000; i++ {
+		push(r.NormFloat64() * 1e6)
+		if len(window) > 64 {
+			pop()
+		}
+		exact := 0.0
+		for _, f := range window {
+			exact += f
+		}
+		got := acc.result().Float()
+		if diff := math.Abs(got - exact); diff > 1e-6*math.Max(1, math.Abs(exact)) {
+			t.Fatalf("step %d: sum %g, exact %g (diff %g)", i, got, exact, diff)
+		}
+	}
+	// 4000 adds with ~3936 removals must have spent the removal budget
+	// at least 7 times.
+	if c.Resums < 7 {
+		t.Fatalf("resums = %d, want >= 7", c.Resums)
+	}
+
+	// Draining the floats resets the machinery exactly.
+	for len(window) > 0 {
+		pop()
+	}
+	if acc.result().Kind() != value.KindNumber || acc.result().IsFloat() {
+		t.Fatalf("drained sum should be the exact integer 0, got %v", acc.result())
+	}
+	if acc.fsum != 0 || acc.errBound != 0 || acc.floatN != 0 {
+		t.Fatalf("drained accumulator not reset: %+v", acc)
+	}
+}
+
+// TestDeltaSumNonFinite: Inf and NaN cannot be withdrawn and must
+// surface ErrDeltaUnsupported (the engine's runtime-bail trigger),
+// while ordinary floats are maintained.
+func TestDeltaSumNonFinite(t *testing.T) {
+	for _, f := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		acc := newDeltaAcc(&aggSpec{fn: "sum"}, nil)
+		if err := acc.add(AggArg{Val: value.NewFloat(1.5)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.add(AggArg{Val: value.NewFloat(f)}); err != ErrDeltaUnsupported {
+			t.Fatalf("add(%g) = %v, want ErrDeltaUnsupported", f, err)
+		}
+	}
+}
+
+// TestDeltaSumMixed: int and float contributions promote exactly like
+// the full evaluator's sum — integer while no float is live, float as
+// soon as one is, integer again when the floats drain.
+func TestDeltaSumMixed(t *testing.T) {
+	acc := newDeltaAcc(&aggSpec{fn: "sum"}, nil)
+	add := func(v value.Value) {
+		if err := acc.add(AggArg{Val: v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(value.NewInt(3))
+	if got := acc.result(); got.IsFloat() || got.Int() != 3 {
+		t.Fatalf("int-only sum = %v", got)
+	}
+	add(value.NewFloat(0.5))
+	if got := acc.result(); !got.IsFloat() || got.Float() != 3.5 {
+		t.Fatalf("mixed sum = %v", got)
+	}
+	acc.remove(AggArg{Val: value.NewFloat(0.5)})
+	if got := acc.result(); got.IsFloat() || got.Int() != 3 {
+		t.Fatalf("drained-float sum = %v", got)
+	}
+}

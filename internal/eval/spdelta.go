@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"strconv"
+
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Shortest-path delta maintenance. shortestPath is non-monotone — an
+// arriving relationship can shorten an existing result — so provenance
+// invalidation plus seeded re-search cannot maintain it: a match may
+// become stale without any of its own elements changing. Instead the
+// engine tracks, per anchor endpoint, the shortest-distance map over
+// the window (one BFS per anchor candidate per instant), diffs it
+// against the previous instant's map to find the (anchor, source) pairs
+// whose result may have changed, and re-runs the full evaluator's exact
+// per-pair search (shortestBetween) for just those pairs.
+//
+// This reproduces the full evaluator only under trail independence —
+// CompileDelta admits a shortestPath solely when every downstream
+// observation of the path is length()/size(), so the output row depends
+// on nothing but the two endpoints and the hop count, never on which of
+// several equal-length paths the search happened to pick.
+
+// ShortestPairKey is the canonical match identity of a maintained
+// shortest-path result: the endpoint pair, in pattern position order.
+// (Unlike regular matches, the witness path is not part of the
+// identity — any equal-length witness yields the same output row.)
+func ShortestPairKey(aID, bID int64) string {
+	buf := append([]byte("sp|"), strconv.FormatInt(aID, 10)...)
+	buf = append(buf, '|')
+	return string(strconv.AppendInt(buf, bID, 10))
+}
+
+func (sm *SeededMatcher) newShortestMatcher(ctx *Ctx, store *graphstore.Store) *patternMatcher {
+	return &patternMatcher{
+		ctx: ctx, store: store, env: newEnv(nil, nil),
+		used:   make(map[int64]bool),
+		plan:   sm.plan,
+		states: make(map[*ast.PatternPart]*chainState),
+	}
+}
+
+// ShortestDistances computes the per-pair hop-count map of the pattern:
+// for each anchor candidate (pattern position anchorIdx, verified by
+// its node pattern), one BFS in the appropriate pattern direction
+// yields the shortest distance to every node passing the opposite
+// endpoint's pattern. The result maps anchor id → opposite-endpoint id
+// → hops, with the same hop semantics as the full evaluator's search
+// (maxHops bound honored; d = 0 recorded for the anchor itself when it
+// passes both endpoint patterns). Distances below minHops are kept —
+// the map over-approximates the result pairs, and the per-pair re-run
+// applies the exact minHops / d == 0 rules.
+func (sm *SeededMatcher) ShortestDistances(ctx *Ctx, store *graphstore.Store, anchorIdx int) (map[int64]map[int64]int, error) {
+	part := &sm.pattern.Parts[0]
+	rp := part.Rels[0]
+	anchorPat := part.Nodes[anchorIdx]
+	otherPat := part.Nodes[1-anchorIdx]
+	// The full search runs forward from position 0; a BFS rooted at
+	// position 1 must therefore cross every relationship in the inverse
+	// pattern direction, which relCandidates(…, forward=false) does.
+	forward := anchorIdx == 0
+	maxHops := -1
+	if rp.VarLength {
+		maxHops = rp.MaxHops
+	}
+
+	m := sm.newShortestMatcher(ctx, store)
+	out := map[int64]map[int64]int{}
+	for _, anchor := range m.candidates(anchorPat) {
+		ok, err := m.checkNode(anchor, anchorPat)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		dists := map[int64]int{}
+		record := func(id int64, d int) error {
+			n := store.Node(id)
+			if n == nil {
+				return nil
+			}
+			ok, err := m.checkNode(n, otherPat)
+			if err != nil {
+				return err
+			}
+			if ok {
+				dists[id] = d
+			}
+			return nil
+		}
+		if err := record(anchor.ID, 0); err != nil {
+			return nil, err
+		}
+		seen := map[int64]bool{anchor.ID: true}
+		frontier := []int64{anchor.ID}
+		for depth := 0; len(frontier) > 0 && (maxHops < 0 || depth < maxHops); depth++ {
+			var next []int64
+			for _, id := range frontier {
+				for _, r := range m.relCandidates(id, rp, forward) {
+					ok, err := m.checkRel(r, rp)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					other := r.Other(id)
+					if seen[other] {
+						continue
+					}
+					seen[other] = true
+					if err := record(other, depth+1); err != nil {
+						return nil, err
+					}
+					next = append(next, other)
+				}
+			}
+			frontier = next
+		}
+		out[anchor.ID] = dists
+	}
+	return out, nil
+}
+
+// ForEachShortestPair re-runs the full evaluator's per-pair shortest
+// search for the endpoint pair (node0, node1, in pattern position
+// order) and emits the resulting match — at most one for the
+// ShortestSingle fragment CompileDelta admits — with the pair key and
+// the two endpoints as provenance. The search itself (shortestBetween)
+// is shared code with the full evaluator, so hop bounds, the d == 0
+// exclusion, and the src == dst ∧ minHops == 0 rule agree by
+// construction.
+func (sm *SeededMatcher) ForEachShortestPair(ctx *Ctx, store *graphstore.Store, id0, id1 int64,
+	emit func(key string, row []value.Value, touched []Seed) error) error {
+	n0, n1 := store.Node(id0), store.Node(id1)
+	if n0 == nil || n1 == nil {
+		return nil
+	}
+	part := &sm.pattern.Parts[0]
+	m := sm.newShortestMatcher(ctx, store)
+	if ok, err := m.checkNode(n0, part.Nodes[0]); err != nil || !ok {
+		return err
+	}
+	if ok, err := m.checkNode(n1, part.Nodes[1]); err != nil || !ok {
+		return err
+	}
+	e := m.env
+	emitMatch := func() error {
+		if sm.where != nil {
+			keep, err := evalExpr(ctx, e, sm.where)
+			if err != nil {
+				return err
+			}
+			if !(keep.IsBool() && keep.Bool()) {
+				return nil
+			}
+		}
+		row := make([]value.Value, len(sm.vars))
+		for i, v := range sm.vars {
+			row[i], _ = e.lookup(v)
+		}
+		return emit(ShortestPairKey(id0, id1), row, []Seed{{ID: id0}, {ID: id1}})
+	}
+	st := m.newChainState(part)
+	st.nodes[0], st.nodes[1] = n0, n1
+	return m.bindVar(part.Nodes[0].Var, value.NewNode(n0), func() error {
+		return m.bindVar(part.Nodes[1].Var, value.NewNode(n1), func() error {
+			return m.shortestBetween(st, emitMatch)
+		})
+	})
+}
