@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-index bench-delta repro verify examples fuzz clean
+.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath repro verify examples fuzz clean
 
 all: build vet test
 
@@ -32,6 +32,13 @@ bench-index:
 # BENCH_pr5.json).
 bench-delta:
 	$(GO) test -run '^$$' -bench 'BagDifference|EngineDeltaEval' -benchmem .
+
+# Columnar hot-path smoke: the B14 delta-ratio sweep at reduced size,
+# aborting on any full/delta row divergence and whenever the 1%-churn
+# delta allocs/instant regress more than 2x relative to the committed
+# snapshot (BENCH_pr7.json).
+bench-hotpath:
+	$(GO) run ./cmd/seraph-bench -exp B14 -quick -alloc-guard BENCH_pr7.json
 
 # Record deliverable outputs.
 record:

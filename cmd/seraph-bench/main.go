@@ -55,6 +55,7 @@ var (
 	showMetrics bool
 	selectivity float64
 	jsonOut     string
+	allocGuard  string
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 	flag.Float64Var(&selectivity, "selectivity", 0,
 		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
 	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15: also write the sweep results as JSON to this file")
+	flag.StringVar(&allocGuard, "alloc-guard", "",
+		"B14: compare the 1%-churn delta/full allocs-per-instant ratio against this snapshot file and abort if it regressed more than 2x")
 	flag.Parse()
 
 	experiments := []struct {
@@ -666,9 +669,12 @@ func b13Stream(batches, perBatch, buckets int) []stream.Element {
 func requireDeltaClean(e *engine.Engine, exp string) {
 	for _, q := range e.Queries() {
 		st := q.Stats()
-		if st.DeltaFallbacks != 0 || st.DeltaApplied != st.Evaluations {
-			log.Fatalf("%s: query %s fell back (%d applied of %d evaluations, %d fallbacks)",
-				exp, q.Name(), st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+		// Bypassed instants (churn-ratio guard) still count as the delta
+		// path answering the instant; only fallbacks and unaccounted
+		// evaluations abort the run.
+		if st.DeltaFallbacks != 0 || st.DeltaApplied+st.DeltaBypasses != st.Evaluations {
+			log.Fatalf("%s: query %s fell back (%d applied + %d bypassed of %d evaluations, %d fallbacks)",
+				exp, q.Name(), st.DeltaApplied, st.DeltaBypasses, st.Evaluations, st.DeltaFallbacks)
 		}
 	}
 }
@@ -681,12 +687,15 @@ func b14DeltaRatio() {
 		FullMS      float64 `json:"full_ms_per_instant"`
 		DeltaMS     float64 `json:"delta_ms_per_instant"`
 		Speedup     float64 `json:"speedup"`
+		FullAllocs  float64 `json:"full_allocs_per_instant"`
+		DeltaAllocs float64 `json:"delta_allocs_per_instant"`
+		Bypasses    int     `json:"delta_bypasses"`
 	}
-	sweep := []float64{0.001, 0.01, 0.1, 0.5}
+	sweep := []float64{0.001, 0.01, 0.1, 0.3, 0.5}
 	windowEdges := scaled(10000, 2000)
 	measure := scaled(20, 8)
 	slide := 5 * time.Second
-	header("delta_ratio", "window_edges", "rows_per_instant", "full_ms", "delta_ms", "speedup")
+	header("delta_ratio", "window_edges", "rows_per_instant", "full_ms", "delta_ms", "speedup", "full_allocs", "delta_allocs", "bypasses")
 	var out []b14Row
 	for _, ratio := range sweep {
 		rounds := int(math.Max(1, math.Round(1/ratio)))
@@ -709,8 +718,9 @@ REGISTER QUERY churn STARTING AT %s
 			at time.Time
 			n  int
 		}
-		var wallMS [2]float64 // full, delta
+		var wallMS, allocs [2]float64 // full, delta
 		var counts [2][]instant
+		bypasses := 0
 		for i, opts := range [][]engine.Option{
 			{engine.WithIncrementalSnapshots(true)},
 			{engine.WithDeltaEval(true)},
@@ -731,10 +741,18 @@ REGISTER QUERY churn STARTING AT %s
 			if err := e.AdvanceTo(elems[rounds-1].Time); err != nil {
 				log.Fatal(err)
 			}
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
 			d := replayTimed(e, elems[rounds:])
+			runtime.ReadMemStats(&m1)
 			wallMS[i] = ms(d) / float64(measure)
+			allocs[i] = float64(m1.Mallocs-m0.Mallocs) / float64(measure)
 			if i == 1 {
 				requireDeltaClean(e, "B14")
+				for _, q := range e.Queries() {
+					bypasses += q.Stats().DeltaBypasses
+				}
 			}
 		}
 		if len(counts[0]) != len(counts[1]) {
@@ -757,9 +775,43 @@ REGISTER QUERY churn STARTING AT %s
 			FullMS:      wallMS[0],
 			DeltaMS:     wallMS[1],
 			Speedup:     wallMS[0] / wallMS[1],
+			FullAllocs:  allocs[0],
+			DeltaAllocs: allocs[1],
+			Bypasses:    bypasses,
 		})
-		fmt.Printf("%g\t%d\t%d\t%.2f\t%.2f\t%.1f\n",
-			ratio, rounds*perBatch, rows, wallMS[0], wallMS[1], wallMS[0]/wallMS[1])
+		fmt.Printf("%g\t%d\t%d\t%.2f\t%.2f\t%.1f\t%.0f\t%.0f\t%d\n",
+			ratio, rounds*perBatch, rows, wallMS[0], wallMS[1], wallMS[0]/wallMS[1],
+			allocs[0], allocs[1], bypasses)
+	}
+	if allocGuard != "" {
+		// The relative figure (delta allocs / full allocs at the same
+		// churn) is scale-invariant, so a -quick CI run can be guarded
+		// against the committed full-size snapshot.
+		guardRel := func(rows []b14Row, src string) float64 {
+			for _, r := range rows {
+				if r.DeltaRatio == 0.01 && r.FullAllocs > 0 {
+					return r.DeltaAllocs / r.FullAllocs
+				}
+			}
+			log.Fatalf("B14 alloc guard: no 1%%-churn row with alloc data in %s", src)
+			return 0
+		}
+		raw, err := os.ReadFile(allocGuard)
+		if err != nil {
+			log.Fatalf("B14 alloc guard: %v", err)
+		}
+		var snap struct {
+			Rows []b14Row `json:"rows"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			log.Fatalf("B14 alloc guard: parse %s: %v", allocGuard, err)
+		}
+		cur, base := guardRel(out, "this run"), guardRel(snap.Rows, allocGuard)
+		fmt.Printf("alloc guard: 1%%-churn delta/full allocs %.3f (snapshot %.3f)\n", cur, base)
+		if cur > 2*base {
+			log.Fatalf("B14 alloc guard: 1%%-churn relative allocs regressed %.1fx vs %s (%.3f > 2 x %.3f)",
+				cur/base, allocGuard, cur, base)
+		}
 	}
 	if jsonOut != "" {
 		doc := map[string]any{

@@ -54,6 +54,7 @@ func main() {
 	fullPolicy := flag.String("full-policy", "reject", "full-queue policy for -ingest-queue: block, reject, or drop-oldest")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
 	deltaEval := flag.Bool("delta-eval", false, "maintain query results from window deltas instead of re-evaluating the full window (unsupported queries fall back per query; see seraph_delta_fallback_total)")
+	deltaBypassRatio := flag.Float64("delta-bypass-ratio", 0.3, "churn fraction of the window above which a delta-eval round runs one full evaluation instead (see seraph_delta_bypass_total; <= 0 disables the guard)")
 	flag.Parse()
 
 	log := newLogger(*logFormat, *logLevel)
@@ -70,6 +71,9 @@ func main() {
 	// `-restore` run must keep the checkpointed delta-eval setting.
 	if *deltaEval {
 		opts = append(opts, engine.WithDeltaEval(true))
+	}
+	if *deltaBypassRatio != 0.3 {
+		opts = append(opts, engine.WithDeltaBypassRatio(*deltaBypassRatio))
 	}
 	var srv *server.Server
 	if *restore != "" {

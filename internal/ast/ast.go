@@ -7,6 +7,7 @@ package ast
 import (
 	"time"
 
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
@@ -249,13 +250,20 @@ const (
 type NodePattern struct {
 	Var    string
 	Labels []string
-	Props  *MapLit
+	// LabelIDs holds the interned ID of each label, filled by the
+	// parser (symtab.Intern at parse time). Hand-built ASTs may leave
+	// it empty; consumers fall back to the string forms.
+	LabelIDs []symtab.ID
+	Props    *MapLit
 }
 
 // RelPattern is -[v:T1|T2*min..max {props}]->.
 type RelPattern struct {
-	Var       string
-	Types     []string
+	Var   string
+	Types []string
+	// TypeIDs holds the interned ID of each type, filled by the parser
+	// (see NodePattern.LabelIDs).
+	TypeIDs   []symtab.ID
 	Props     *MapLit
 	Dir       Direction
 	VarLength bool

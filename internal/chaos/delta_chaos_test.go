@@ -102,9 +102,12 @@ func TestDeltaEvalChaosMutations(t *testing.T) {
 			}
 		}
 		st := dq[name].Stats()
-		if st.DeltaFallbacks != 0 || st.DeltaApplied == 0 || st.DeltaApplied != st.Evaluations {
-			t.Fatalf("%s: delta applied %d of %d evaluations, fallbacks %d",
-				name, st.DeltaApplied, st.Evaluations, st.DeltaFallbacks)
+		// High-churn instants may be answered by a bypass round (the
+		// churn-ratio guard); every instant must still come off the
+		// delta path, with no fallback.
+		if st.DeltaFallbacks != 0 || st.DeltaApplied == 0 || st.DeltaApplied+st.DeltaBypasses != st.Evaluations {
+			t.Fatalf("%s: delta applied %d + bypassed %d of %d evaluations, fallbacks %d",
+				name, st.DeltaApplied, st.DeltaBypasses, st.Evaluations, st.DeltaFallbacks)
 		}
 	}
 }

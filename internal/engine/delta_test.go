@@ -191,7 +191,13 @@ func sameResults(t *testing.T, label, name string, full, delta *Collector) {
 func TestDeltaEvalEquivalenceQuick(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		full, _ := runDeltaStream(t, nil, seed, 30)
-		delta, dq := runDeltaStream(t, []Option{WithDeltaEval(true)}, seed, 30)
+		// The differential graphs are tiny, so their per-round churn sits
+		// far above any realistic bypass ratio. The guard is disabled in
+		// the pure run so every instant exercises the maintained-state
+		// machinery, and left at its default in the guarded run so the
+		// enter/steady/exit transitions get the same differential check.
+		delta, dq := runDeltaStream(t, []Option{WithDeltaEval(true), WithDeltaBypassRatio(0)}, seed, 30)
+		guarded, gq := runDeltaStream(t, []Option{WithDeltaEval(true)}, seed, 30)
 		for name, fc := range full {
 			sameResults(t, fmt.Sprintf("seed %d", seed), name, fc, delta[name])
 			st := dq[name].Stats()
@@ -201,6 +207,18 @@ func TestDeltaEvalEquivalenceQuick(t *testing.T) {
 			if st.Evaluations == 0 || st.DeltaApplied != st.Evaluations {
 				t.Fatalf("seed %d %s: delta applied %d of %d evaluations",
 					seed, name, st.DeltaApplied, st.Evaluations)
+			}
+			if st.DeltaBypasses != 0 {
+				t.Fatalf("seed %d %s: bypasses %d with the guard disabled", seed, name, st.DeltaBypasses)
+			}
+			sameResults(t, fmt.Sprintf("seed %d guarded", seed), name, fc, guarded[name])
+			gst := gq[name].Stats()
+			if gst.DeltaFallbacks != 0 {
+				t.Fatalf("seed %d %s: unexpected fallback under the guard", seed, name)
+			}
+			if gst.Evaluations == 0 || gst.DeltaApplied+gst.DeltaBypasses != gst.Evaluations {
+				t.Fatalf("seed %d %s: applied %d + bypassed %d of %d evaluations",
+					seed, name, gst.DeltaApplied, gst.DeltaBypasses, gst.Evaluations)
 			}
 		}
 	}
@@ -329,7 +347,9 @@ func TestDeltaEvalFallbackContinuity(t *testing.T) {
   WITHIN PT20S
   EMIT a.k AS k, sum(r.f) AS s
   %s EVERY PT5S`
-	e := New(WithDeltaEval(true))
+	// Bypass is disabled: the engineered Inf must reach the *maintained*
+	// sum to trigger the bail this test is about.
+	e := New(WithDeltaEval(true), WithDeltaBypassRatio(0))
 	cols := map[string]*Collector{}
 	queries := map[string]*Query{}
 	for _, op := range deltaOps {

@@ -91,6 +91,26 @@ type deltaState struct {
 	groups     map[string]*eval.DeltaGroup
 	groupOrder []string
 	prevAgg    *eval.Table
+
+	// Per-instant scratch, reused across rounds (q.mu serializes
+	// rounds): the batched matcher's state, the row-key encoding
+	// buffer, and the seed set/slice of apply.
+	scratch *eval.MatchScratch
+	keyBuf  []byte
+	seedSet map[eval.Seed]bool
+	seeds   []eval.Seed
+
+	// Churn-ratio hysteresis bypass (see DESIGN.md): when a round's
+	// delta is a large fraction of the window, per-seed anchored search
+	// costs more than one full evaluation, so the round is evaluated
+	// fully instead (counted by seraph_delta_bypass_total). bypassPrev
+	// is the last bypass round's full output, which the diff operators
+	// need; rounds counts evaluation rounds so the birth round (the
+	// whole initial window arriving as additions) never bypasses.
+	bypass       bool
+	bypassPrev   *eval.Table
+	rounds       int
+	lastBypassed bool
 }
 
 // deltaMatch is one live match: its provenance (every element whose
@@ -160,10 +180,11 @@ func (b *rowBag) materialize(cols []string) *eval.Table {
 // deterministic emission.
 type roundDelta struct {
 	counts map[string]*roundEntry
-	order  []string
+	order  []*roundEntry
 }
 
 type roundEntry struct {
+	key   string
 	count int
 	vals  []value.Value
 }
@@ -175,19 +196,41 @@ func newRoundDelta() *roundDelta {
 func (rd *roundDelta) bump(key string, vals []value.Value, by int) {
 	ent := rd.counts[key]
 	if ent == nil {
-		ent = &roundEntry{vals: vals}
+		ent = &roundEntry{key: key, vals: vals}
 		rd.counts[key] = ent
-		rd.order = append(rd.order, key)
+		rd.order = append(rd.order, ent)
 	}
 	ent.count += by
+}
+
+// bumpBytes is bump addressed by an encoded-key scratch buffer: the
+// map read on string(key) is allocation-free, a canonical key string
+// is only materialized for a row content first seen this round, and
+// the canonical string is returned so callers (bagRow.key) share the
+// entry's allocation instead of making their own.
+func (rd *roundDelta) bumpBytes(key []byte, vals []value.Value, by int) string {
+	ent := rd.counts[string(key)]
+	if ent == nil {
+		ent = &roundEntry{key: string(key), vals: vals}
+		rd.counts[ent.key] = ent
+		rd.order = append(rd.order, ent)
+	}
+	ent.count += by
+	return ent.key
+}
+
+// reset clears the round in place, keeping the map and slice capacity
+// for the next round.
+func (rd *roundDelta) reset() {
+	clear(rd.counts)
+	rd.order = rd.order[:0]
 }
 
 // table materializes the positive (entered) or negative (exited) side
 // of the round delta.
 func (rd *roundDelta) table(cols []string, negative bool) *eval.Table {
 	out := &eval.Table{Cols: cols}
-	for _, k := range rd.order {
-		ent := rd.counts[k]
+	for _, ent := range rd.order {
 		n := ent.count
 		if negative {
 			n = -n
@@ -318,10 +361,40 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 	}
 
 	t1 := time.Now()
-	err = ds.apply(ctx, roller.store, delta)
-	if err == nil {
-		out, err = ds.emit(ctx, q.op())
+	// Churn-ratio hysteresis guard: when the round's delta is a large
+	// fraction of the window, per-seed anchored search costs more than
+	// one full evaluation — delta mode must never lose to full. Enter
+	// bypass above the configured ratio, leave at half of it (so a
+	// workload hovering at the threshold does not thrash between
+	// reseeds), and never on the birth round, where the whole initial
+	// window arrives as additions and seeds the maintained state.
+	ds.lastBypassed = false
+	exited := false
+	if r := e.deltaBypass; r > 0 && ds.rounds > 0 {
+		size := roller.store.NumNodes() + roller.store.NumRels()
+		if size < 1 {
+			size = 1
+		}
+		churn := float64(delta.Len()) / float64(size)
+		if !ds.bypass && churn > r {
+			ds.enterBypass()
+		} else if ds.bypass && churn <= r/2 {
+			out, err = ds.exitBypass(ctx, roller.store, q.op())
+			exited = true
+		}
 	}
+	switch {
+	case exited:
+		// exitBypass already reseeded and answered this round.
+	case ds.bypass:
+		ds.lastBypassed = true
+		out, err = ds.bypassRound(ctx, q.op(), q.reg.Body)
+	default:
+		if err = ds.apply(ctx, roller.store, delta); err == nil {
+			out, err = ds.emit(ctx, q.op())
+		}
+	}
+	ds.rounds++
 	cypher := int64(time.Since(t1))
 	q.stats.CypherNanos += cypher
 	q.qm.cypherEval.Observe(time.Duration(cypher))
@@ -362,6 +435,12 @@ func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
 	ds.groups = nil
 	ds.groupOrder = nil
 	ds.prevAgg = nil
+	ds.scratch = nil
+	ds.keyBuf = nil
+	ds.seedSet = nil
+	ds.seeds = nil
+	ds.bypass = false
+	ds.bypassPrev = nil
 	if r := q.rollers[ds.width]; r != nil {
 		r.store.StopDelta()
 	}
@@ -434,11 +513,15 @@ func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graph
 	}
 
 	// Seeding. Sorted for deterministic search and insertion order.
-	seedSet := map[eval.Seed]bool{}
-	var seeds []eval.Seed
+	// The set and slice are per-instant scratch, reused across rounds.
+	if ds.seedSet == nil {
+		ds.seedSet = map[eval.Seed]bool{}
+	}
+	clear(ds.seedSet)
+	seeds := ds.seeds[:0]
 	addSeed := func(s eval.Seed) {
-		if !seedSet[s] {
-			seedSet[s] = true
+		if !ds.seedSet[s] {
+			ds.seedSet[s] = true
 			seeds = append(seeds, s)
 		}
 	}
@@ -468,23 +551,28 @@ func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graph
 		}
 		return seeds[i].ID < seeds[j].ID
 	})
+	ds.seeds = seeds
 	if len(seeds) == 0 {
 		return nil
 	}
 
+	// One batched search over the whole seed slice: planner and
+	// environment setup amortize per batch, and the matcher's maps and
+	// row buffer come from ds.scratch instead of fresh allocations. The
+	// emitted key and row are views into scratch buffers; the duplicate
+	// check reads the map without materializing the key, and addMatch's
+	// downstream (AggInputs/FinalRows*) never retains the input row.
+	if ds.scratch == nil {
+		ds.scratch = eval.NewMatchScratch()
+	}
 	sm := ds.prog.NewMatcher(ctx)
-	for _, sd := range seeds {
-		err := sm.ForEachSeededMatch(ctx, store, sd, func(key string, row []value.Value, touched []eval.Seed) error {
-			if _, exists := ds.matches[key]; exists {
+	return sm.ForEachSeededMatchBatch(ctx, store, seeds, ds.scratch,
+		func(key []byte, row []value.Value, touched func() []eval.Seed) error {
+			if _, exists := ds.matches[string(key)]; exists {
 				return nil // survivor re-found from another seed
 			}
-			return ds.addMatch(ctx, key, row, touched)
+			return ds.addMatch(ctx, string(key), row, touched())
 		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // applyShortest maintains a shortestPath query's matches: recompute the
@@ -621,10 +709,12 @@ func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, tou
 			return nil
 		}
 		for _, rv := range rows {
-			br := &bagRow{key: value.KeyOf(rv...), vals: rv}
+			// Encode the row key into the reused buffer; bumpBytes hands
+			// back the round's canonical string so the bag row shares it.
+			ds.keyBuf = value.AppendKeyOf(ds.keyBuf[:0], rv...)
+			br := &bagRow{key: ds.round.bumpBytes(ds.keyBuf, rv, +1), vals: rv}
 			ds.bag.add(br)
 			m.rows = append(m.rows, br)
-			ds.round.bump(br.key, rv, +1)
 		}
 	}
 	ds.matches[key] = m
@@ -676,11 +766,10 @@ func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) 
 			// Ordered: SKIP/LIMIT select rows relative to the whole bag, so
 			// deltas are computed on the materialized output — O(skip+limit)
 			// per round — not on per-row bag changes.
-			skip, limit, hasLimit, err := ds.prog.Bounds(ctx)
+			cur, err := ds.orderedTable(ctx)
 			if err != nil {
 				return nil, err
 			}
-			cur := ds.ord.Materialize(cols, skip, limit, hasLimit)
 			prev := ds.prevOut
 			if prev == nil {
 				prev = &eval.Table{Cols: cols}
@@ -704,15 +793,45 @@ func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) 
 		default:
 			out = ds.bag.materialize(cols)
 		}
-		ds.round = nil
+		ds.round.reset()
 		ds.bag.compact()
 		return out, nil
 	}
 
-	// Aggregated: materialize the live groups (insertion order, stale
-	// order entries skipped) and diff against the previous round's
-	// table — O(groups).
-	cur := &eval.Table{Cols: cols}
+	cur, err := ds.aggTable(ctx)
+	if err != nil {
+		return nil, err
+	}
+	prev := ds.prevAgg
+	if prev == nil {
+		prev = &eval.Table{Cols: cols}
+	}
+	ds.prevAgg = cur
+	switch op {
+	case ast.OpOnEntering:
+		return eval.BagDifference(cur, prev)
+	case ast.OpOnExiting:
+		return eval.BagDifference(prev, cur)
+	default:
+		return cur, nil
+	}
+}
+
+// orderedTable materializes the ordered query's skip/limit-applied
+// output from the order-statistics bag.
+func (ds *deltaState) orderedTable(ctx *eval.Ctx) (*eval.Table, error) {
+	skip, limit, hasLimit, err := ds.prog.Bounds(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ds.ord.Materialize(ds.prog.Cols(), skip, limit, hasLimit), nil
+}
+
+// aggTable materializes the live groups (insertion order, stale order
+// entries skipped), including the empty-input row for keyless
+// aggregations, ordered and sliced like the full evaluator — O(groups).
+func (ds *deltaState) aggTable(ctx *eval.Ctx) (*eval.Table, error) {
+	cur := &eval.Table{Cols: ds.prog.Cols()}
 	seen := map[string]bool{}
 	keep := ds.groupOrder[:0]
 	for _, k := range ds.groupOrder {
@@ -743,12 +862,122 @@ func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) 
 			return nil, err
 		}
 	}
+	return cur, nil
+}
 
-	prev := ds.prevAgg
-	if prev == nil {
-		prev = &eval.Table{Cols: cols}
+// currentOutput is the previous round's materialized output — what the
+// diff operators would have used as their "previous" side next round.
+func (ds *deltaState) currentOutput() *eval.Table {
+	switch {
+	case ds.prog.Aggregated():
+		if ds.prevAgg != nil {
+			return ds.prevAgg
+		}
+	case ds.ord != nil:
+		if ds.prevOut != nil {
+			return ds.prevOut
+		}
+	default:
+		return ds.bag.materialize(ds.prog.Cols())
 	}
-	ds.prevAgg = cur
+	return &eval.Table{Cols: ds.prog.Cols()}
+}
+
+// enterBypass switches the query to full-evaluation rounds: the
+// previous round's output (which the diff operators still need) is
+// captured, then the maintained per-match state is dropped — keeping it
+// warm through high churn would cost more per round than the reseed
+// that exitBypass pays once on the way back.
+func (ds *deltaState) enterBypass() {
+	ds.bypassPrev = ds.currentOutput()
+	ds.bypass = true
+	clear(ds.matches)
+	clear(ds.prov)
+	if ds.spDist != nil {
+		ds.spDist = map[int64]map[int64]int{}
+	}
+	switch {
+	case ds.prog.Aggregated():
+		ds.groups = map[string]*eval.DeltaGroup{}
+		ds.groupOrder = nil
+		ds.prevAgg = nil
+	case ds.ord != nil:
+		ds.ord = eval.NewOrderStat(ds.prog.SortDesc())
+		ds.prevOut = nil
+	default:
+		ds.bag = &rowBag{}
+		if ds.round != nil {
+			ds.round.reset()
+		}
+	}
+}
+
+// bypassRound answers one bypassed round with a single full evaluation
+// of the query body, diffed against the previous round's output.
+func (ds *deltaState) bypassRound(ctx *eval.Ctx, op ast.StreamOp, body *ast.Query) (*eval.Table, error) {
+	cur, err := eval.EvalQuery(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	prev := ds.bypassPrev
+	if prev == nil {
+		prev = &eval.Table{Cols: cur.Cols}
+	}
+	ds.bypassPrev = cur
+	switch op {
+	case ast.OpOnEntering:
+		return eval.BagDifference(cur, prev)
+	case ast.OpOnExiting:
+		return eval.BagDifference(prev, cur)
+	default:
+		return cur, nil
+	}
+}
+
+// exitBypass reseeds the maintained state from the whole current
+// window, replayed as one synthetic all-added delta, and produces the
+// round's output by diffing the rebuilt result against the last bypass
+// round's table. The bogus round delta the reseed accumulates (every
+// row "entered") is discarded — relative to the previous round only the
+// real churn changed, and the diff against bypassPrev captures exactly
+// that.
+func (ds *deltaState) exitBypass(ctx *eval.Ctx, store *graphstore.Store, op ast.StreamOp) (*eval.Table, error) {
+	synth := &graphstore.Delta{}
+	for _, n := range store.AllNodes() {
+		synth.AddedNodes = append(synth.AddedNodes, n.ID)
+	}
+	for _, r := range store.AllRels() {
+		synth.AddedRels = append(synth.AddedRels, r.ID)
+	}
+	if err := ds.apply(ctx, store, synth); err != nil {
+		return nil, err
+	}
+	if ds.round != nil {
+		ds.round.reset()
+	}
+	var cur *eval.Table
+	var err error
+	switch {
+	case ds.prog.Aggregated():
+		if cur, err = ds.aggTable(ctx); err == nil {
+			ds.prevAgg = cur
+		}
+	case ds.ord != nil:
+		if cur, err = ds.orderedTable(ctx); err == nil {
+			ds.prevOut = cur
+		}
+	default:
+		cur = ds.bag.materialize(ds.prog.Cols())
+	}
+	if err != nil {
+		return nil, err
+	}
+	prev := ds.bypassPrev
+	if prev == nil {
+		prev = &eval.Table{Cols: ds.prog.Cols()}
+	}
+	ds.bypass = false
+	ds.bypassPrev = nil
 	switch op {
 	case ast.OpOnEntering:
 		return eval.BagDifference(cur, prev)

@@ -72,6 +72,14 @@ type Engine struct {
 	// deltaeval.go and WithDeltaEval). Implies incremental.
 	deltaEval bool
 
+	// deltaBypass is the churn-ratio crossover guard for delta
+	// evaluation: when a round's delta exceeds this fraction of the
+	// window, the round is answered by one full evaluation instead of
+	// per-seed anchored searches (seraph_delta_bypass_total counts
+	// these). Hysteresis re-enters delta mode at half the ratio.
+	// <= 0 disables the guard. See WithDeltaBypassRatio.
+	deltaBypass float64
+
 	// metrics is the instrumentation registry; nil disables all
 	// recording (see WithMetrics and metrics.go). metricsSet records
 	// whether WithMetrics was supplied, so New can default to a fresh
@@ -127,6 +135,15 @@ func WithScanMatcher(on bool) Option {
 	return func(e *Engine) { e.scanMatcher = on }
 }
 
+// WithDeltaBypassRatio sets the churn ratio above which a delta-
+// evaluated round bypasses to one full evaluation (default 0.3). The
+// query stays on the delta path and re-enters maintenance once churn
+// drops to half the ratio, paying a single whole-window reseed. r <= 0
+// disables the guard entirely.
+func WithDeltaBypassRatio(r float64) Option {
+	return func(e *Engine) { e.deltaBypass = r }
+}
+
 // WithStaticGraph unions a static background graph into every snapshot
 // graph, letting continuous queries join streaming data against
 // reference data (the paper's future-work item iii). The engine takes
@@ -173,7 +190,7 @@ func WithHistoryRetention(n int) Option {
 
 // New returns an engine.
 func New(opts ...Option) *Engine {
-	e := &Engine{queries: make(map[string]*Query)}
+	e := &Engine{queries: make(map[string]*Query), deltaBypass: 0.3}
 	for _, o := range opts {
 		o(e)
 	}
@@ -221,9 +238,12 @@ type Stats struct {
 	// delta-driven evaluator; DeltaFallbacks counts permanent
 	// per-query fallbacks to full evaluation (at most one per query:
 	// either the body is outside the maintainable fragment or a
-	// runtime value was not maintainable).
+	// runtime value was not maintainable). DeltaBypasses counts
+	// instants the churn-ratio guard answered with one full evaluation
+	// while staying on the delta path (see WithDeltaBypassRatio).
 	DeltaApplied   int
 	DeltaFallbacks int
+	DeltaBypasses  int
 	// DeltaResums counts precision-restoring float re-summations inside
 	// maintained sum() accumulators (drift bound or removal budget hit);
 	// the query keeps running on the delta path.
@@ -543,8 +563,13 @@ func (e *Engine) evaluate(q *Query, ω time.Time) (*Result, error) {
 				if !ok {
 					return nil, nil
 				}
-				q.stats.DeltaApplied++
-				q.qm.deltaApplied.Inc()
+				if ds.lastBypassed {
+					q.stats.DeltaBypasses++
+					q.qm.deltaBypass.Inc()
+				} else {
+					q.stats.DeltaApplied++
+					q.qm.deltaApplied.Inc()
+				}
 				return e.finishEval(q, ω, start, q.op(), out, iv, nodes, rels)
 			}
 		}
@@ -787,9 +812,13 @@ func (q *Query) roller(width time.Duration, static *pg.Graph) (*rolling, error) 
 // (Definition 5.6) to a projection result.
 func annotate(t *eval.Table, iv stream.Interval) *eval.Table {
 	out := &eval.Table{Cols: append(append([]string(nil), t.Cols...), "win_start", "win_end")}
-	ws, we := value.NewDateTime(iv.Start), value.NewDateTime(iv.End)
+	suffix := []value.Value{value.NewDateTime(iv.Start), value.NewDateTime(iv.End)}
+	rows := eval.NewDenseBuilder(len(t.Cols) + 2)
+	if len(t.Rows) > 0 {
+		out.Rows = make([][]value.Value, 0, len(t.Rows))
+	}
 	for _, row := range t.Rows {
-		out.Rows = append(out.Rows, append(append([]value.Value(nil), row...), ws, we))
+		out.Rows = append(out.Rows, rows.Row(row, suffix))
 	}
 	return out
 }

@@ -34,6 +34,7 @@ const (
 	mMatchPushdowns  = "seraph_match_pushdowns_total"
 	mMatchCandidates = "seraph_match_candidates"
 	mDeltaApplied    = "seraph_delta_applied_total"
+	mDeltaBypass     = "seraph_delta_bypass_total"
 	mDeltaFallback   = "seraph_delta_fallback_total"
 	mDeltaResum      = "seraph_delta_resum_total"
 )
@@ -54,6 +55,7 @@ type queryMetrics struct {
 	incAdds       *metrics.Counter
 	incRemoves    *metrics.Counter
 	deltaApplied  *metrics.Counter
+	deltaBypass   *metrics.Counter
 	deltaFallback *metrics.Counter
 	deltaResum    *metrics.Counter
 	match         *eval.MatchMetrics
@@ -78,6 +80,7 @@ func newQueryMetrics(reg *metrics.Registry, name string) queryMetrics {
 		incAdds:       reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "add")),
 		incRemoves:    reg.Counter(mIncApplied, "Elements applied to rolling incremental snapshots.", q, metrics.L("op", "remove")),
 		deltaApplied:  reg.Counter(mDeltaApplied, "Evaluation instants answered by the delta-driven evaluator.", q),
+		deltaBypass:   reg.Counter(mDeltaBypass, "Delta-mode instants answered by one full evaluation under the churn-ratio crossover guard.", q),
 		deltaFallback: reg.Counter(mDeltaFallback, "Permanent per-query fallbacks from delta-driven to full evaluation.", q),
 		deltaResum:    reg.Counter(mDeltaResum, "Precision-restoring float re-summations inside maintained sum() accumulators.", q),
 		match: &eval.MatchMetrics{

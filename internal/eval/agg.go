@@ -46,9 +46,13 @@ func newAggregator(sp *aggSpec) aggregator {
 }
 
 // baseAgg provides argument evaluation, null skipping and DISTINCT
-// handling shared by all aggregators.
+// handling shared by all aggregators. buf is the reused key-encoding
+// scratch: the map read below is alloc-free on `m[string(buf)]` (the
+// compiler elides the conversion), so a key string is only allocated
+// when a genuinely new distinct value is inserted.
 type baseAgg struct {
 	seen map[string]struct{}
+	buf  []byte
 }
 
 // value evaluates the aggregate argument, returning skip=true for null
@@ -68,11 +72,11 @@ func (b *baseAgg) value(ctx *Ctx, e *env, sp *aggSpec) (v value.Value, skip bool
 		return v, true, nil
 	}
 	if b.seen != nil {
-		k := value.Key(v)
-		if _, dup := b.seen[k]; dup {
+		b.buf = value.AppendKey(b.buf[:0], v)
+		if _, dup := b.seen[string(b.buf)]; dup {
 			return v, true, nil
 		}
-		b.seen[k] = struct{}{}
+		b.seen[string(b.buf)] = struct{}{}
 	}
 	return v, false, nil
 }
@@ -356,7 +360,7 @@ func newDeltaAcc(sp *aggSpec, c *DeltaCounters) deltaAcc {
 	case "count":
 		a := &deltaCount{star: sp.star, distinct: sp.distinct}
 		if sp.distinct {
-			a.seen = map[string]int64{}
+			a.seen = map[string]*int64{}
 		}
 		return a
 	case "sum":
@@ -376,7 +380,13 @@ func newDeltaAcc(sp *aggSpec, c *DeltaCounters) deltaAcc {
 type deltaCount struct {
 	star, distinct bool
 	n              int64
-	seen           map[string]int64 // DISTINCT only: live multiplicity per value key
+	// seen (DISTINCT only) maps a value key to its live multiplicity.
+	// Pointer-valued so the steady-state add/remove path is a read plus
+	// an in-place bump: map reads and deletes on `m[string(buf)]` are
+	// alloc-free, and a key string is only materialized when a new
+	// distinct value first appears.
+	seen map[string]*int64
+	buf  []byte
 }
 
 func (a *deltaCount) add(g AggArg) error {
@@ -388,11 +398,14 @@ func (a *deltaCount) add(g AggArg) error {
 		return nil
 	}
 	if a.distinct {
-		k := value.Key(g.Val)
-		a.seen[k]++
-		if a.seen[k] == 1 {
-			a.n++
+		a.buf = value.AppendKey(a.buf[:0], g.Val)
+		if p := a.seen[string(a.buf)]; p != nil {
+			*p++
+			return nil
 		}
+		one := int64(1)
+		a.seen[string(a.buf)] = &one
+		a.n++
 		return nil
 	}
 	a.n++
@@ -408,10 +421,13 @@ func (a *deltaCount) remove(g AggArg) {
 		return
 	}
 	if a.distinct {
-		k := value.Key(g.Val)
-		a.seen[k]--
-		if a.seen[k] == 0 {
-			delete(a.seen, k)
+		a.buf = value.AppendKey(a.buf[:0], g.Val)
+		p := a.seen[string(a.buf)]
+		if p == nil {
+			return
+		}
+		if *p--; *p == 0 {
+			delete(a.seen, string(a.buf))
 			a.n--
 		}
 		return
@@ -448,6 +464,8 @@ type deltaSum struct {
 	errBound float64
 	removals int64
 	floats   map[string]*deltaFloatEntry // live float multiset
+
+	buf []byte // reused value-key scratch (see deltaCount.seen)
 }
 
 type deltaSumEntry struct {
@@ -481,12 +499,12 @@ func (a *deltaSum) add(g AggArg) error {
 		}
 	}
 	if a.distinct {
-		k := value.Key(g.Val)
-		if ent := a.seen[k]; ent != nil {
+		a.buf = value.AppendKey(a.buf[:0], g.Val)
+		if ent := a.seen[string(a.buf)]; ent != nil {
 			ent.count++
 			return nil
 		}
-		a.seen[k] = &deltaSumEntry{v: g.Val, count: 1}
+		a.seen[string(a.buf)] = &deltaSumEntry{v: g.Val, count: 1}
 	}
 	a.apply(g.Val)
 	return nil
@@ -499,8 +517,8 @@ func (a *deltaSum) remove(g AggArg) {
 	// Removals only replay previously added values, so the argument is
 	// a non-null finite number here.
 	if a.distinct {
-		k := value.Key(g.Val)
-		ent := a.seen[k]
+		a.buf = value.AppendKey(a.buf[:0], g.Val)
+		ent := a.seen[string(a.buf)]
 		if ent == nil {
 			return
 		}
@@ -508,7 +526,7 @@ func (a *deltaSum) remove(g AggArg) {
 		if ent.count > 0 {
 			return
 		}
-		delete(a.seen, k)
+		delete(a.seen, string(a.buf))
 		// Withdraw the instance that was applied, which may differ from
 		// g.Val when distinct keys canonicalize (int 2 vs float 2.0).
 		a.withdraw(ent.v)
@@ -527,11 +545,11 @@ func (a *deltaSum) apply(v value.Value) {
 	if a.floats == nil {
 		a.floats = map[string]*deltaFloatEntry{}
 	}
-	k := value.Key(v)
-	if ent := a.floats[k]; ent != nil {
+	a.buf = value.AppendKey(a.buf[:0], v)
+	if ent := a.floats[string(a.buf)]; ent != nil {
 		ent.count++
 	} else {
-		a.floats[k] = &deltaFloatEntry{v: f, count: 1}
+		a.floats[string(a.buf)] = &deltaFloatEntry{v: f, count: 1}
 	}
 	a.floatN++
 	a.kahan(f)
@@ -544,11 +562,11 @@ func (a *deltaSum) withdraw(v value.Value) {
 		return
 	}
 	f := v.Float()
-	k := value.Key(v)
-	if ent := a.floats[k]; ent != nil {
+	a.buf = value.AppendKey(a.buf[:0], v)
+	if ent := a.floats[string(a.buf)]; ent != nil {
 		ent.count--
 		if ent.count == 0 {
-			delete(a.floats, k)
+			delete(a.floats, string(a.buf))
 		}
 	}
 	a.floatN--
@@ -610,6 +628,7 @@ func (a *deltaSum) result() value.Value {
 type deltaMinMax struct {
 	max  bool
 	live map[string]*deltaMinMaxEntry
+	buf  []byte // reused value-key scratch (see deltaCount.seen)
 }
 
 type deltaMinMaxEntry struct {
@@ -621,12 +640,12 @@ func (a *deltaMinMax) add(g AggArg) error {
 	if g.Skip {
 		return nil
 	}
-	k := value.Key(g.Val)
-	if ent := a.live[k]; ent != nil {
+	a.buf = value.AppendKey(a.buf[:0], g.Val)
+	if ent := a.live[string(a.buf)]; ent != nil {
 		ent.count++
 		return nil
 	}
-	a.live[k] = &deltaMinMaxEntry{v: g.Val, count: 1}
+	a.live[string(a.buf)] = &deltaMinMaxEntry{v: g.Val, count: 1}
 	return nil
 }
 
@@ -634,14 +653,14 @@ func (a *deltaMinMax) remove(g AggArg) {
 	if g.Skip {
 		return
 	}
-	k := value.Key(g.Val)
-	ent := a.live[k]
+	a.buf = value.AppendKey(a.buf[:0], g.Val)
+	ent := a.live[string(a.buf)]
 	if ent == nil {
 		return
 	}
 	ent.count--
 	if ent.count == 0 {
-		delete(a.live, k)
+		delete(a.live, string(a.buf))
 	}
 }
 

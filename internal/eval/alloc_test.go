@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"testing"
+
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Allocation guards for the batched columnar hot path. The delta
+// evaluator runs these loops once per instant, so their steady-state
+// allocation behavior is a contract: the batched seeded matcher
+// amortizes its setup over the whole seed slice and serves rows and
+// keys from reused scratch buffers, and the dense row builder cuts
+// rows from shared chunks instead of allocating per row.
+
+// TestSeededBatchAllocs: a warmed MatchScratch leaves only the anchor
+// binding's continuation closures as per-seed cost (about two per
+// seed). The bound of three per seed is what pins the batch loop down:
+// reintroducing per-seed maps, environments, chain states, or key
+// strings costs a dozen-plus allocations per seed and fails hard here.
+func TestSeededBatchAllocs(t *testing.T) {
+	store := graphstore.New()
+	var seeds []Seed
+	for i := 0; i < 100; i++ {
+		a := store.CreateNode([]string{"P"}, map[string]value.Value{"k": value.NewInt(int64(i))})
+		b := store.CreateNode([]string{"P"}, map[string]value.Value{"k": value.NewInt(int64(i))})
+		rel, err := store.CreateRel(a.ID, b.ID, "F", map[string]value.Value{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, Seed{Rel: true, ID: rel.ID})
+	}
+	ctx := &Ctx{Store: store}
+	mc := parseMatch(t, `MATCH (a:P)-[r:F]->(b:P) RETURN 1`)
+	sm := NewSeededMatcher(ctx, mc.Pattern, mc.Where)
+	scratch := NewMatchScratch()
+	matches := 0
+	run := func() {
+		matches = 0
+		err := sm.ForEachSeededMatchBatch(ctx, store, seeds, scratch,
+			func(key []byte, row []value.Value, touched func() []Seed) error {
+				matches++
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the scratch maps and buffers
+	if matches != len(seeds) {
+		t.Fatalf("batch found %d matches, want %d", matches, len(seeds))
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if limit := float64(3 * len(seeds)); allocs > limit {
+		t.Fatalf("batched match over %d seeds allocates %.1f per batch, want <= %.0f",
+			len(seeds), allocs, limit)
+	}
+}
+
+// TestDenseBuilderAllocs: appending rows through a DenseBuilder costs
+// one chunk allocation per denseChunkRows rows, not one per row.
+func TestDenseBuilderAllocs(t *testing.T) {
+	b := NewDenseBuilder(4)
+	prefix := []value.Value{value.NewInt(1), value.NewInt(2)}
+	suffix := []value.Value{value.NewInt(3), value.NewInt(4)}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < denseChunkRows; i++ {
+			row := b.Row(prefix, suffix)
+			if len(row) != 4 {
+				t.Fatalf("row width %d, want 4", len(row))
+			}
+		}
+	})
+	if allocs > 1.5 {
+		t.Fatalf("DenseBuilder allocates %.1f per %d rows, want ~1 (one chunk)", allocs, denseChunkRows)
+	}
+}

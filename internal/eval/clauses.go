@@ -113,8 +113,13 @@ func applyMatch(ctx *Ctx, m *ast.Match, t *Table) (*Table, error) {
 	matchCtx := *ctx
 	matchCtx.Store = store
 	// The plan (pushed-down WHERE equalities, instrumentation hooks) is
-	// row-independent, so build it once for the clause.
+	// row-independent, so build it once for the clause. Output rows are
+	// cut from the builder's chunks — one allocation per chunk of rows
+	// instead of one per result row — and suffix is the reused staging
+	// buffer for the newly bound variables (Row copies it out).
 	plan := planMatch(&matchCtx, m.Pattern, m.Where)
+	rows := NewDenseBuilder(len(t.Cols) + len(newVars))
+	suffix := make([]value.Value, len(newVars))
 	for _, row := range t.Rows {
 		e := newEnv(t.Cols, row)
 		matched := false
@@ -129,25 +134,20 @@ func applyMatch(ctx *Ctx, m *ast.Match, t *Table) (*Table, error) {
 				}
 			}
 			matched = true
-			ext := make([]value.Value, 0, len(row)+len(newVars))
-			ext = append(ext, row...)
-			for _, v := range newVars {
-				val, _ := e.lookup(v)
-				ext = append(ext, val)
+			for i, v := range newVars {
+				suffix[i], _ = e.lookup(v)
 			}
-			out.Rows = append(out.Rows, ext)
+			out.Rows = append(out.Rows, rows.Row(row, suffix))
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		if !matched && m.Optional {
-			ext := make([]value.Value, 0, len(row)+len(newVars))
-			ext = append(ext, row...)
-			for range newVars {
-				ext = append(ext, value.Null)
+			for i := range suffix {
+				suffix[i] = value.Null
 			}
-			out.Rows = append(out.Rows, ext)
+			out.Rows = append(out.Rows, rows.Row(row, suffix))
 		}
 	}
 	return out, nil

@@ -5,6 +5,7 @@ import (
 
 	"seraph/internal/ast"
 	"seraph/internal/graphstore"
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
@@ -34,9 +35,21 @@ type patternMatcher struct {
 	states map[*ast.PatternPart]*chainState
 }
 
-// newChainState allocates the per-part matching state, registering it
-// for identity extraction when the matcher runs in seeded mode.
+// newChainState returns the per-part matching state, registering it
+// for identity extraction when the matcher runs in seeded mode. In
+// seeded mode the state is reused across re-entries: a part is matched
+// anew once per binding combination of the preceding parts, and by
+// then the previous entry's state is dead (its emits have returned),
+// so clearing and reusing the same backing arrays is safe and keeps
+// the inner loop allocation-free.
 func (m *patternMatcher) newChainState(part *ast.PatternPart) *chainState {
+	if m.states != nil {
+		if st, ok := m.states[part]; ok {
+			clear(st.nodes)
+			clear(st.rels)
+			return st
+		}
+	}
 	st := &chainState{
 		part:  part,
 		nodes: make([]*value.Node, len(part.Nodes)),
@@ -321,12 +334,12 @@ func (m *patternMatcher) candidates(np *ast.NodePattern) []*value.Node {
 		return best
 	}
 	var best []*value.Node
-	if len(np.Labels) == 0 {
+	if lids := m.labelIDs(np); len(lids) == 0 {
 		best = m.store.AllNodes()
 	} else {
-		best = m.store.NodesByLabel(np.Labels[0])
-		for _, l := range np.Labels[1:] {
-			if c := m.store.NodesByLabel(l); len(c) < len(best) {
+		best = m.store.NodesByLabelID(lids[0])
+		for _, l := range lids[1:] {
+			if c := m.store.NodesByLabelID(l); len(c) < len(best) {
 				best = c
 			}
 		}
@@ -454,9 +467,9 @@ func (m *patternMatcher) acceptStep(st *chainState, j, targetIdx int, rels []*va
 // the type (a no-op for the typed lookup, load-bearing everywhere
 // else).
 func (m *patternMatcher) relCandidates(id int64, rp *ast.RelPattern, forward bool) []*value.Relationship {
-	var types []string
+	var types []symtab.ID
 	if !m.plan.scan && m.useTypedAdj(rp) {
-		types = rp.Types
+		types = m.typeIDs(rp)
 	}
 	effDir := rp.Dir
 	if !forward {
@@ -469,12 +482,12 @@ func (m *patternMatcher) relCandidates(id int64, rp *ast.RelPattern, forward boo
 	}
 	switch effDir {
 	case ast.DirRight:
-		return m.store.Outgoing(id, types...)
+		return m.store.OutgoingIDs(id, types)
 	case ast.DirLeft:
-		return m.store.Incoming(id, types...)
+		return m.store.IncomingIDs(id, types)
 	default:
-		out := m.store.Outgoing(id, types...)
-		in := m.store.Incoming(id, types...)
+		out := m.store.OutgoingIDs(id, types)
+		in := m.store.IncomingIDs(id, types)
 		all := make([]*value.Relationship, 0, len(out)+len(in))
 		all = append(all, out...)
 		for _, r := range in {

@@ -25,6 +25,7 @@ import (
 
 	"seraph/internal/ast"
 	"seraph/internal/metrics"
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
@@ -83,6 +84,12 @@ type matchPlan struct {
 	fanProd  map[*ast.PatternPart]float64 // product of stepFanouts
 	startIdx map[*ast.PatternPart]int     // chooseStart, unbound case
 	typedAdj map[*ast.RelPattern]bool     // relCandidates typed dispatch
+	// Interned label/type IDs per pattern element, for hand-built ASTs
+	// whose LabelIDs/TypeIDs the parser never filled. Resolved with the
+	// read-only symtab.Lookup (the planner must not mutate the shared
+	// AST or the symbol table — plans from parallel queries share both).
+	labelIDs map[*ast.NodePattern][]symtab.ID
+	typeIDs  map[*ast.RelPattern][]symtab.ID
 }
 
 // planMatch builds the plan for a MATCH clause: extracts pushable
@@ -98,6 +105,8 @@ func planMatch(ctx *Ctx, pattern ast.Pattern, where ast.Expr) *matchPlan {
 	p.fanProd = make(map[*ast.PatternPart]float64)
 	p.startIdx = make(map[*ast.PatternPart]int)
 	p.typedAdj = make(map[*ast.RelPattern]bool)
+	p.labelIDs = make(map[*ast.NodePattern][]symtab.ID)
+	p.typeIDs = make(map[*ast.RelPattern][]symtab.ID)
 	if where == nil {
 		return p
 	}
@@ -205,6 +214,52 @@ func (m *patternMatcher) indexableProps(np *ast.NodePattern) []pushedEq {
 	return out
 }
 
+// labelIDs resolves np's labels to interned IDs: parser-filled AST IDs
+// when present, otherwise a per-plan Lookup memo. A resolution
+// containing None (label not interned yet — possible only for
+// hand-built ASTs over data that arrives later) is not memoized, so a
+// long-lived plan re-resolves it until the label exists.
+func (m *patternMatcher) labelIDs(np *ast.NodePattern) []symtab.ID {
+	if len(np.LabelIDs) == len(np.Labels) {
+		return np.LabelIDs
+	}
+	if ids, ok := m.plan.labelIDs[np]; ok {
+		return ids
+	}
+	ids := make([]symtab.ID, len(np.Labels))
+	complete := true
+	for i, l := range np.Labels {
+		if ids[i] = symtab.Lookup(l); ids[i] == symtab.None {
+			complete = false
+		}
+	}
+	if complete {
+		m.plan.labelIDs[np] = ids
+	}
+	return ids
+}
+
+// typeIDs is labelIDs for a relationship pattern's types.
+func (m *patternMatcher) typeIDs(rp *ast.RelPattern) []symtab.ID {
+	if len(rp.TypeIDs) == len(rp.Types) {
+		return rp.TypeIDs
+	}
+	if ids, ok := m.plan.typeIDs[rp]; ok {
+		return ids
+	}
+	ids := make([]symtab.ID, len(rp.Types))
+	complete := true
+	for i, t := range rp.Types {
+		if ids[i] = symtab.Lookup(t); ids[i] == symtab.None {
+			complete = false
+		}
+	}
+	if complete {
+		m.plan.typeIDs[rp] = ids
+	}
+	return ids
+}
+
 // ---------------------------------------------------------------------------
 // Selectivity estimation
 
@@ -228,8 +283,8 @@ func (m *patternMatcher) staticEstimate(np *ast.NodePattern) float64 {
 		return est
 	}
 	est := float64(m.store.NumNodes())
-	for _, l := range np.Labels {
-		if c := float64(m.store.LabelCount(l)); c < est {
+	for _, l := range m.labelIDs(np) {
+		if c := float64(m.store.LabelCountID(l)); c < est {
 			est = c
 		}
 	}
@@ -262,7 +317,7 @@ func (m *patternMatcher) stepFanoutUncached(rp *ast.RelPattern) float64 {
 	if n == 0 {
 		return 0
 	}
-	f := float64(m.store.RelTypeCount(rp.Types...)) / float64(n)
+	f := float64(m.store.RelTypeCountIDs(m.typeIDs(rp))) / float64(n)
 	if rp.Dir == ast.DirBoth {
 		f *= 2 // both orientations are explored
 	}
@@ -301,7 +356,7 @@ func (m *patternMatcher) useTypedAdj(rp *ast.RelPattern) bool {
 	}
 	use := false
 	if len(rp.Types) == 1 {
-		use = 4*m.store.RelTypeCount(rp.Types...) < m.store.NumRels()
+		use = 4*m.store.RelTypeCountIDs(m.typeIDs(rp)) < m.store.NumRels()
 	}
 	m.plan.typedAdj[rp] = use
 	return use

@@ -53,6 +53,31 @@ func NewSeededMatcher(ctx *Ctx, pattern ast.Pattern, where ast.Expr) *SeededMatc
 // passed to emit.
 func (sm *SeededMatcher) Vars() []string { return sm.vars }
 
+// MatchScratch is the reusable state of batched anchored matching: the
+// relationship-uniqueness set, the per-part chain states, the
+// batch-wide identity dedup set, and the key/row buffers handed to
+// emit. One scratch serves a query across instants — every structure
+// is cleared (not reallocated) per batch, so the steady-state match
+// loop allocates only for genuinely new distinct matches.
+type MatchScratch struct {
+	used   map[int64]bool
+	states map[*ast.PatternPart]*chainState
+	seen   map[string]bool
+	tseen  map[Seed]bool
+	row    []value.Value
+	keyBuf []byte
+}
+
+// NewMatchScratch returns an empty scratch, usable with any matcher.
+func NewMatchScratch() *MatchScratch {
+	return &MatchScratch{
+		used:   make(map[int64]bool),
+		states: make(map[*ast.PatternPart]*chainState),
+		seen:   make(map[string]bool),
+		tseen:  make(map[Seed]bool),
+	}
+}
+
 // ForEachSeededMatch enumerates each distinct match of the pattern over
 // store that contains the seed element at a pattern position, passing
 // WHERE. emit receives the match's canonical identity key (equal keys
@@ -70,23 +95,48 @@ func (sm *SeededMatcher) Vars() []string { return sm.vars }
 // nodes.
 func (sm *SeededMatcher) ForEachSeededMatch(ctx *Ctx, store *graphstore.Store, seed Seed,
 	emit func(key string, row []value.Value, touched []Seed) error) error {
-	if seed.Rel {
-		if store.Rel(seed.ID) == nil {
-			return nil
-		}
-	} else if store.Node(seed.ID) == nil {
-		return nil
+	seeds := [1]Seed{seed}
+	return sm.ForEachSeededMatchBatch(ctx, store, seeds[:], nil,
+		func(key []byte, row []value.Value, touched func() []Seed) error {
+			// The batch API reuses its key and row buffers; this
+			// compatibility wrapper restores owned copies.
+			return emit(string(key), append([]value.Value(nil), row...), touched())
+		})
+}
+
+// ForEachSeededMatchBatch is ForEachSeededMatch over a slice of seeds
+// with one shared environment, matcher, and identity-dedup set — the
+// per-seed setup of matching (env, uniqueness map, chain states) is
+// paid once per batch instead of once per delta element, and a match
+// reachable from several seeds of the batch is emitted once.
+//
+// emit's key and row are views into reused buffers, valid only for the
+// duration of the call; touched() materializes the match's provenance
+// on demand (call it only when the match is actually kept). scratch
+// may be nil (a throwaway scratch is made); passing the same scratch
+// across batches keeps the loop allocation-free.
+func (sm *SeededMatcher) ForEachSeededMatchBatch(ctx *Ctx, store *graphstore.Store, seeds []Seed, scratch *MatchScratch,
+	emit func(key []byte, row []value.Value, touched func() []Seed) error) error {
+	if scratch == nil {
+		scratch = NewMatchScratch()
 	}
+	clear(scratch.seen)
 	e := newEnv(nil, nil)
 	m := &patternMatcher{
 		ctx: ctx, store: store, env: e,
-		used:   make(map[int64]bool),
+		used:   scratch.used,
 		plan:   sm.plan,
-		states: make(map[*ast.PatternPart]*chainState),
+		states: scratch.states,
 	}
-	// A match containing the seed at several positions is found once per
-	// anchor; dedupe by identity within this call.
-	seen := make(map[string]bool)
+	if cap(scratch.row) < len(sm.vars) {
+		scratch.row = make([]value.Value, len(sm.vars))
+	}
+	row := scratch.row[:len(sm.vars)]
+	parts := sm.pattern.Parts
+	done := make([]bool, len(parts))
+	touched := func() []Seed {
+		return m.matchTouched(parts, scratch.tseen)
+	}
 	emitMatch := func() error {
 		if sm.where != nil {
 			keep, err := evalExpr(ctx, e, sm.where)
@@ -97,59 +147,90 @@ func (sm *SeededMatcher) ForEachSeededMatch(ctx *Ctx, store *graphstore.Store, s
 				return nil
 			}
 		}
-		key, touched := m.matchIdentity(sm.pattern.Parts)
-		if seen[key] {
+		scratch.keyBuf = m.appendMatchIdentity(scratch.keyBuf[:0], parts)
+		if scratch.seen[string(scratch.keyBuf)] {
 			return nil
 		}
-		seen[key] = true
-		row := make([]value.Value, len(sm.vars))
+		scratch.seen[string(scratch.keyBuf)] = true
 		for i, v := range sm.vars {
 			row[i], _ = e.lookup(v)
 		}
-		return emit(key, row, touched)
+		return emit(scratch.keyBuf, row, touched)
 	}
-	parts := sm.pattern.Parts
-	for pi := range parts {
-		part := &parts[pi]
-		if part.Shortest != ast.ShortestNone {
-			continue // outside the supported fragment; callers fall back
-		}
-		done := make([]bool, len(parts))
-		done[pi] = true
-		rest := func() error { return m.matchRemaining(parts, done, len(parts)-1, emitMatch) }
-		var err error
+	// rest expands the parts the anchor did not cover; hoisted because a
+	// closure here would be one allocation per (seed, part) pair.
+	rest := func() error { return m.matchRemaining(parts, done, len(parts)-1, emitMatch) }
+	for _, seed := range seeds {
 		if seed.Rel {
-			r := store.Rel(seed.ID)
-			for j := range part.Rels {
-				if part.Rels[j].VarLength {
-					err = m.anchorRelVar(part, j, r, rest)
-				} else {
-					err = m.anchorRel(part, j, r, rest)
+			if store.Rel(seed.ID) == nil {
+				continue
+			}
+		} else if store.Node(seed.ID) == nil {
+			continue
+		}
+		for pi := range parts {
+			part := &parts[pi]
+			if part.Shortest != ast.ShortestNone {
+				continue // outside the supported fragment; callers fall back
+			}
+			done[pi] = true
+			var err error
+			if seed.Rel {
+				r := store.Rel(seed.ID)
+				for j := range part.Rels {
+					if part.Rels[j].VarLength {
+						err = m.anchorRelVar(part, j, r, rest)
+					} else {
+						err = m.anchorRel(part, j, r, rest)
+					}
+					if err != nil {
+						return err
+					}
 				}
-				if err != nil {
-					return err
+			} else {
+				n := store.Node(seed.ID)
+				for i := range part.Nodes {
+					if err = m.anchorNode(part, i, n, rest); err != nil {
+						return err
+					}
 				}
 			}
-		} else {
-			n := store.Node(seed.ID)
-			for i := range part.Nodes {
-				if err = m.anchorNode(part, i, n, rest); err != nil {
-					return err
-				}
-			}
+			done[pi] = false
 		}
 	}
 	return nil
 }
 
-// matchIdentity reads the complete element assignment of the current
-// match from the registered chain states: the canonical key encodes
-// node ids per position and relationship ids per segment in pattern
-// order, and touched collects every distinct element the match uses.
-func (m *patternMatcher) matchIdentity(parts []ast.PatternPart) (string, []Seed) {
-	var buf []byte
+// appendMatchIdentity appends the current match's canonical identity to
+// buf: node ids per position and relationship ids per segment, in
+// pattern order, read from the registered chain states.
+func (m *patternMatcher) appendMatchIdentity(buf []byte, parts []ast.PatternPart) []byte {
+	for pi := range parts {
+		st := m.states[&parts[pi]]
+		buf = append(buf, '|')
+		for _, n := range st.nodes {
+			buf = strconv.AppendInt(buf, n.ID, 10)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+		for _, seg := range st.rels {
+			for _, r := range seg {
+				buf = strconv.AppendInt(buf, r.ID, 10)
+				buf = append(buf, ',')
+			}
+			buf = append(buf, '/')
+		}
+	}
+	return buf
+}
+
+// matchTouched collects every distinct element the current match uses —
+// bound nodes, relationships, and variable-length trail intermediates.
+// seen is a caller-provided scratch set, cleared on entry; the returned
+// slice is freshly allocated (it outlives the match as provenance).
+func (m *patternMatcher) matchTouched(parts []ast.PatternPart, seen map[Seed]bool) []Seed {
+	clear(seen)
 	var touched []Seed
-	seen := make(map[Seed]bool)
 	add := func(s Seed) {
 		if !seen[s] {
 			seen[s] = true
@@ -158,20 +239,13 @@ func (m *patternMatcher) matchIdentity(parts []ast.PatternPart) (string, []Seed)
 	}
 	for pi := range parts {
 		st := m.states[&parts[pi]]
-		buf = append(buf, '|')
 		for _, n := range st.nodes {
-			buf = strconv.AppendInt(buf, n.ID, 10)
-			buf = append(buf, ',')
 			add(Seed{ID: n.ID})
 		}
-		buf = append(buf, ';')
 		for j, seg := range st.rels {
 			for _, r := range seg {
-				buf = strconv.AppendInt(buf, r.ID, 10)
-				buf = append(buf, ',')
 				add(Seed{Rel: true, ID: r.ID})
 			}
-			buf = append(buf, '/')
 			// Trail intermediates (variable-length segments only; for a
 			// fixed segment the walk just revisits the far endpoint).
 			cur := st.nodes[j].ID
@@ -181,7 +255,7 @@ func (m *patternMatcher) matchIdentity(parts []ast.PatternPart) (string, []Seed)
 			}
 		}
 	}
-	return string(buf), touched
+	return touched
 }
 
 // anchorNode pins graph node n to pattern node position i of part and

@@ -71,7 +71,7 @@ func fullMatches(t *testing.T, ctx *Ctx, store *graphstore.Store, mc *ast.Match,
 				return nil
 			}
 		}
-		key, _ := m.matchIdentity(mc.Pattern.Parts)
+		key := string(m.appendMatchIdentity(nil, mc.Pattern.Parts))
 		anchorable := map[Seed]bool{}
 		for pi := range mc.Pattern.Parts {
 			st := m.states[&mc.Pattern.Parts[pi]]

@@ -170,6 +170,42 @@ func (t *Table) SortBy(numKeys int, desc []bool, keyFn func(row []value.Value, k
 	})
 }
 
+// DenseBuilder materializes fixed-width rows out of chunked backing
+// arrays: one allocation per chunk of rows instead of one per row,
+// which is where the old per-row `make([]value.Value, ...)` of the
+// match loop went. Rows stay valid forever — a filled chunk is
+// abandoned to the rows cut from it, never reused — so builder output
+// can be stored in result tables and maintained bags directly.
+type DenseBuilder struct {
+	width int
+	chunk []value.Value
+}
+
+// denseChunkRows is how many rows one chunk holds. Big enough to
+// amortize the chunk allocation, small enough that an abandoned
+// part-filled chunk wastes little.
+const denseChunkRows = 64
+
+// NewDenseBuilder returns a builder for rows of the given width.
+func NewDenseBuilder(width int) *DenseBuilder {
+	return &DenseBuilder{width: width}
+}
+
+// Row materializes prefix ++ suffix (whose combined length must be the
+// builder's width) as one dense row cut from the current chunk. The
+// returned slice has capacity == length, so appending to it cannot
+// clobber a neighboring row.
+func (d *DenseBuilder) Row(prefix, suffix []value.Value) []value.Value {
+	if cap(d.chunk)-len(d.chunk) < d.width {
+		d.chunk = make([]value.Value, 0, denseChunkRows*d.width)
+	}
+	start := len(d.chunk)
+	d.chunk = append(d.chunk, prefix...)
+	d.chunk = append(d.chunk, suffix...)
+	end := len(d.chunk)
+	return d.chunk[start:end:end]
+}
+
 func alignCheck(t, u *Table) error {
 	if !t.SameCols(u) {
 		return fmt.Errorf("eval: incompatible tables: columns [%s] vs [%s]",

@@ -17,14 +17,17 @@ package graphstore
 // index (see TestPropIndexMaintenanceQuick).
 
 import (
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
 // propIdxKey names one index: nodes with a label, bucketed by the value
-// of one property key.
+// of one property key. Both halves are interned symbol IDs so the map
+// hash is over two small ints; property keys reaching here are interned
+// by propIndexLocked the first time an index is requested.
 type propIdxKey struct {
-	label string
-	key   string
+	label symtab.ID
+	key   symtab.ID
 }
 
 // propIndex buckets a label's nodes by the value.Key of one property.
@@ -66,12 +69,12 @@ func (s *Store) PropIndexes() int {
 // propIndexLocked returns (building on first use) the index for
 // (label, key). Caller holds idxMu.
 func (s *Store) propIndexLocked(label, key string) *propIndex {
-	ik := propIdxKey{label, key}
+	ik := propIdxKey{symtab.Intern(label), symtab.Intern(key)}
 	if idx, ok := s.propIdx[ik]; ok {
 		return idx
 	}
 	idx := &propIndex{byVal: map[string][]*value.Node{}}
-	for _, n := range s.label[label] {
+	for _, n := range s.label[ik.label] {
 		if v, ok := n.Props[key]; ok {
 			vk := value.Key(v)
 			idx.byVal[vk] = append(idx.byVal[vk], n)
@@ -98,10 +101,10 @@ func (s *Store) propIndexAddNode(n *value.Node) {
 		return
 	}
 	for ik, idx := range s.propIdx {
-		if !n.HasLabel(ik.label) {
+		if !n.HasLabel(symtab.Name(ik.label)) {
 			continue
 		}
-		if v, ok := n.Props[ik.key]; ok {
+		if v, ok := n.Props[symtab.Name(ik.key)]; ok {
 			idx.insert(value.Key(v), n)
 		}
 	}
@@ -116,10 +119,10 @@ func (s *Store) propIndexRemoveNode(n *value.Node) {
 		return
 	}
 	for ik, idx := range s.propIdx {
-		if !n.HasLabel(ik.label) {
+		if !n.HasLabel(symtab.Name(ik.label)) {
 			continue
 		}
-		if v, ok := n.Props[ik.key]; ok {
+		if v, ok := n.Props[symtab.Name(ik.key)]; ok {
 			idx.remove(value.Key(v), n.ID)
 		}
 	}
@@ -130,11 +133,12 @@ func (s *Store) propIndexRemoveNode(n *value.Node) {
 func (s *Store) propIndexAddLabel(n *value.Node, label string) {
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
+	lid := symtab.Lookup(label)
 	for ik, idx := range s.propIdx {
-		if ik.label != label {
+		if ik.label != lid {
 			continue
 		}
-		if v, ok := n.Props[ik.key]; ok {
+		if v, ok := n.Props[symtab.Name(ik.key)]; ok {
 			idx.insert(value.Key(v), n)
 		}
 	}
@@ -146,11 +150,12 @@ func (s *Store) propIndexAddLabel(n *value.Node, label string) {
 func (s *Store) propIndexRemoveLabel(n *value.Node, label string) {
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
+	lid := symtab.Lookup(label)
 	for ik, idx := range s.propIdx {
-		if ik.label != label {
+		if ik.label != lid {
 			continue
 		}
-		if v, ok := n.Props[ik.key]; ok {
+		if v, ok := n.Props[symtab.Name(ik.key)]; ok {
 			idx.remove(value.Key(v), n.ID)
 		}
 	}
@@ -164,8 +169,9 @@ func (s *Store) propIndexSetProp(n *value.Node, key string, old value.Value, had
 	if len(s.propIdx) == 0 {
 		return
 	}
+	kid := symtab.Lookup(key)
 	for _, label := range n.Labels {
-		idx, ok := s.propIdx[propIdxKey{label, key}]
+		idx, ok := s.propIdx[propIdxKey{symtab.Lookup(label), kid}]
 		if !ok {
 			continue
 		}

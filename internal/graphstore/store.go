@@ -13,13 +13,16 @@ import (
 	"sync/atomic"
 
 	"seraph/internal/pg"
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
-// adjKey addresses one node's adjacency list for one relationship type.
+// adjKey addresses one node's adjacency list for one relationship
+// type. The type is stored as its interned symbol ID, so the map hash
+// is over two ints instead of an int and a string.
 type adjKey struct {
 	id  int64
-	typ string
+	typ symtab.ID
 }
 
 // Store is an indexed property graph. It is not safe for concurrent
@@ -28,9 +31,15 @@ type adjKey struct {
 type Store struct {
 	graph *pg.Graph
 	// out/in map node id → relationships sorted by id.
-	out   map[int64][]*value.Relationship
-	in    map[int64][]*value.Relationship
-	label map[string][]*value.Node
+	out map[int64][]*value.Relationship
+	in  map[int64][]*value.Relationship
+	// label and relType are keyed by interned symbol ID (symtab): the
+	// matcher resolves pattern labels/types to IDs once per plan and
+	// every per-element lookup is an int-map access. String-keyed
+	// wrappers (NodesByLabel, RelTypeCount) Lookup on entry; a string
+	// never interned maps to symtab.None, which indexes nothing —
+	// exactly the semantics of an unknown label.
+	label map[symtab.ID][]*value.Node
 
 	// outT/inT partition the adjacency lists by relationship type, so a
 	// typed expansion touches only matching edges. Partitions are built
@@ -43,8 +52,8 @@ type Store struct {
 	inTDone  map[int64]bool
 
 	// relType counts relationships per type (planner selectivity
-	// statistics).
-	relType map[string]int
+	// statistics), keyed by interned type ID.
+	relType map[symtab.ID]int
 
 	// idxMu guards propIdx and the typed-adjacency partitions: both are
 	// built lazily from the read path, which must stay safe under
@@ -72,12 +81,12 @@ func FromGraph(g *pg.Graph) *Store {
 		graph:    g,
 		out:      make(map[int64][]*value.Relationship),
 		in:       make(map[int64][]*value.Relationship),
-		label:    make(map[string][]*value.Node),
+		label:    make(map[symtab.ID][]*value.Node),
 		outT:     make(map[adjKey][]*value.Relationship),
 		inT:      make(map[adjKey][]*value.Relationship),
 		outTDone: make(map[int64]bool),
 		inTDone:  make(map[int64]bool),
-		relType:  make(map[string]int),
+		relType:  make(map[symtab.ID]int),
 		propIdx:  make(map[propIdxKey]*propIndex),
 	}
 	var maxN, maxR int64
@@ -145,20 +154,21 @@ func removeNodeSorted(ns []*value.Node, id int64) []*value.Node {
 
 func (s *Store) indexNode(n *value.Node) {
 	for _, l := range n.Labels {
-		s.label[l] = append(s.label[l], n)
+		s.label[symtab.Intern(l)] = append(s.label[symtab.Intern(l)], n)
 	}
 }
 
 func (s *Store) indexRel(r *value.Relationship) {
 	s.out[r.StartID] = append(s.out[r.StartID], r)
 	s.in[r.EndID] = append(s.in[r.EndID], r)
+	typ := symtab.Intern(r.Type)
 	if s.outTDone[r.StartID] {
-		s.outT[adjKey{r.StartID, r.Type}] = append(s.outT[adjKey{r.StartID, r.Type}], r)
+		s.outT[adjKey{r.StartID, typ}] = append(s.outT[adjKey{r.StartID, typ}], r)
 	}
 	if s.inTDone[r.EndID] {
-		s.inT[adjKey{r.EndID, r.Type}] = append(s.inT[adjKey{r.EndID, r.Type}], r)
+		s.inT[adjKey{r.EndID, typ}] = append(s.inT[adjKey{r.EndID, typ}], r)
 	}
-	s.relType[r.Type]++
+	s.relType[typ]++
 }
 
 // Graph returns the underlying property graph.
@@ -184,11 +194,18 @@ func (s *Store) AllRels() []*value.Relationship { return s.graph.Rels() }
 
 // NodesByLabel returns the nodes carrying label l, sorted by id.
 // The returned slice must not be mutated.
-func (s *Store) NodesByLabel(l string) []*value.Node { return s.label[l] }
+func (s *Store) NodesByLabel(l string) []*value.Node { return s.label[symtab.Lookup(l)] }
+
+// NodesByLabelID is NodesByLabel addressed by interned label ID — the
+// matcher's hot path, one int-map access.
+func (s *Store) NodesByLabelID(id symtab.ID) []*value.Node { return s.label[id] }
 
 // LabelCount returns the number of nodes carrying label l without
 // materializing the node list (planner statistics).
-func (s *Store) LabelCount(l string) int { return len(s.label[l]) }
+func (s *Store) LabelCount(l string) int { return len(s.label[symtab.Lookup(l)]) }
+
+// LabelCountID is LabelCount addressed by interned label ID.
+func (s *Store) LabelCountID(id symtab.ID) int { return len(s.label[id]) }
 
 // RelTypeCount returns how many relationships carry one of the given
 // types; with no types it returns the total relationship count.
@@ -198,7 +215,19 @@ func (s *Store) RelTypeCount(types ...string) int {
 	}
 	n := 0
 	for _, t := range types {
-		n += s.relType[t]
+		n += s.relType[symtab.Lookup(t)]
+	}
+	return n
+}
+
+// RelTypeCountIDs is RelTypeCount addressed by interned type IDs.
+func (s *Store) RelTypeCountIDs(ids []symtab.ID) int {
+	if len(ids) == 0 {
+		return s.graph.NumRels()
+	}
+	n := 0
+	for _, id := range ids {
+		n += s.relType[id]
 	}
 	return n
 }
@@ -209,6 +238,15 @@ func (s *Store) RelTypeCount(types ...string) int {
 // access). Results of a freshly built store are sorted by id; the
 // returned slice must not be mutated.
 func (s *Store) Outgoing(id int64, types ...string) []*value.Relationship {
+	if len(types) == 0 {
+		return s.out[id]
+	}
+	return s.OutgoingIDs(id, lookupIDs(types))
+}
+
+// OutgoingIDs is Outgoing addressed by interned type IDs (nil means
+// all types).
+func (s *Store) OutgoingIDs(id int64, types []symtab.ID) []*value.Relationship {
 	if len(types) == 0 {
 		return s.out[id]
 	}
@@ -224,10 +262,29 @@ func (s *Store) Incoming(id int64, types ...string) []*value.Relationship {
 	if len(types) == 0 {
 		return s.in[id]
 	}
+	return s.IncomingIDs(id, lookupIDs(types))
+}
+
+// IncomingIDs is Incoming addressed by interned type IDs (nil means
+// all types).
+func (s *Store) IncomingIDs(id int64, types []symtab.ID) []*value.Relationship {
+	if len(types) == 0 {
+		return s.in[id]
+	}
 	s.idxMu.Lock()
 	defer s.idxMu.Unlock()
 	partitionAdjLocked(s.in, s.inT, s.inTDone, id)
 	return typedLocked(s.inT, id, types)
+}
+
+// lookupIDs resolves type strings to interned IDs for the string-keyed
+// wrapper APIs. Unseen strings resolve to None, which matches nothing.
+func lookupIDs(types []string) []symtab.ID {
+	ids := make([]symtab.ID, len(types))
+	for i, t := range types {
+		ids[i] = symtab.Lookup(t)
+	}
+	return ids
 }
 
 // partitionAdjLocked splits all[id] into per-type lists in byType. The
@@ -239,13 +296,13 @@ func partitionAdjLocked(all map[int64][]*value.Relationship, byType map[adjKey][
 		return
 	}
 	for _, r := range all[id] {
-		k := adjKey{id, r.Type}
+		k := adjKey{id, symtab.Intern(r.Type)}
 		byType[k] = append(byType[k], r)
 	}
 	done[id] = true
 }
 
-func typedLocked(byType map[adjKey][]*value.Relationship, id int64, types []string) []*value.Relationship {
+func typedLocked(byType map[adjKey][]*value.Relationship, id int64, types []symtab.ID) []*value.Relationship {
 	if len(types) == 1 {
 		return byType[adjKey{id, types[0]}]
 	}
@@ -269,7 +326,8 @@ func (s *Store) Degree(id int64, types ...string) int {
 	partitionAdjLocked(s.in, s.inT, s.inTDone, id)
 	n := 0
 	for _, t := range types {
-		n += len(s.outT[adjKey{id, t}]) + len(s.inT[adjKey{id, t}])
+		tid := symtab.Lookup(t)
+		n += len(s.outT[adjKey{id, tid}]) + len(s.inT[adjKey{id, tid}])
 	}
 	return n
 }
@@ -294,7 +352,8 @@ func (s *Store) CreateNode(labels []string, props map[string]value.Value) *value
 func (s *Store) AddNode(n *value.Node) {
 	s.graph.AddNode(n)
 	for _, l := range n.Labels {
-		s.label[l] = insertNodeSorted(s.label[l], n)
+		id := symtab.Intern(l)
+		s.label[id] = insertNodeSorted(s.label[id], n)
 	}
 	s.propIndexAddNode(n)
 	s.noteNode(n.ID, deltaAdded)
@@ -344,7 +403,8 @@ func (s *Store) AddLabel(n *value.Node, l string) {
 		return
 	}
 	n.Labels = append(n.Labels, l)
-	s.label[l] = insertNodeSorted(s.label[l], n)
+	id := symtab.Intern(l)
+	s.label[id] = insertNodeSorted(s.label[id], n)
 	s.propIndexAddLabel(n, l)
 	s.noteNode(n.ID, deltaUpdated)
 }
@@ -357,7 +417,8 @@ func (s *Store) RemoveLabel(n *value.Node, l string) {
 			break
 		}
 	}
-	s.label[l] = removeNodeSorted(s.label[l], n.ID)
+	id := symtab.Lookup(l)
+	s.label[id] = removeNodeSorted(s.label[id], n.ID)
 	s.propIndexRemoveLabel(n, l)
 	s.noteNode(n.ID, deltaUpdated)
 }
@@ -413,8 +474,9 @@ func (s *Store) SetRelProp(r *value.Relationship, key string, v value.Value) {
 func (s *Store) DeleteRel(r *value.Relationship) {
 	s.out[r.StartID] = removeRel(s.out[r.StartID], r.ID)
 	s.in[r.EndID] = removeRel(s.in[r.EndID], r.ID)
+	typ := symtab.Intern(r.Type)
 	if s.outTDone[r.StartID] {
-		outKey := adjKey{r.StartID, r.Type}
+		outKey := adjKey{r.StartID, typ}
 		if rels := removeRel(s.outT[outKey], r.ID); len(rels) > 0 {
 			s.outT[outKey] = rels
 		} else {
@@ -422,15 +484,15 @@ func (s *Store) DeleteRel(r *value.Relationship) {
 		}
 	}
 	if s.inTDone[r.EndID] {
-		inKey := adjKey{r.EndID, r.Type}
+		inKey := adjKey{r.EndID, typ}
 		if rels := removeRel(s.inT[inKey], r.ID); len(rels) > 0 {
 			s.inT[inKey] = rels
 		} else {
 			delete(s.inT, inKey)
 		}
 	}
-	if s.relType[r.Type]--; s.relType[r.Type] <= 0 {
-		delete(s.relType, r.Type)
+	if s.relType[typ]--; s.relType[typ] <= 0 {
+		delete(s.relType, typ)
 	}
 	s.graph.RemoveRel(r.ID)
 	s.noteRel(r.ID, deltaRemoved)
@@ -448,7 +510,8 @@ func (s *Store) DeleteNode(n *value.Node, detach bool) error {
 		s.DeleteRel(r)
 	}
 	for _, l := range n.Labels {
-		s.label[l] = removeNodeSorted(s.label[l], n.ID)
+		id := symtab.Lookup(l)
+		s.label[id] = removeNodeSorted(s.label[id], n.ID)
 	}
 	s.propIndexRemoveNode(n)
 	s.graph.RemoveNode(n.ID)

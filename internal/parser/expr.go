@@ -6,6 +6,7 @@ import (
 
 	"seraph/internal/ast"
 	"seraph/internal/lexer"
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
@@ -277,7 +278,7 @@ func (p *parser) parsePostfix() (ast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			x = &ast.Prop{X: x, Key: key}
+			x = &ast.Prop{X: x, Key: symtab.Canon(key)}
 		case lexer.LBrace:
 			// Map projection: only valid directly on a variable
 			// (Cypher's `n {.name, total: x}` form).
@@ -399,7 +400,7 @@ func (p *parser) parseIdentExpr() (ast.Expr, error) {
 		return p.parseCase()
 	}
 	if p.peek().Type != lexer.LParen {
-		return &ast.Var{Name: t.Text}, nil
+		return &ast.Var{Name: symtab.Canon(t.Text)}, nil
 	}
 	// Function-like forms.
 	if k, ok := quantKinds[lower]; ok {

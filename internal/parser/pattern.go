@@ -5,6 +5,7 @@ import (
 
 	"seraph/internal/ast"
 	"seraph/internal/lexer"
+	"seraph/internal/symtab"
 )
 
 func (p *parser) parsePattern() (ast.Pattern, error) {
@@ -28,7 +29,7 @@ func (p *parser) parsePatternPart() (ast.PatternPart, error) {
 	// node pattern by lookahead.
 	if p.peek().Type == lexer.Ident && p.peekAt(1).Type == lexer.Eq &&
 		!p.peek().Is("shortestPath") && !p.peek().Is("allShortestPaths") {
-		part.Var = p.next().Text
+		part.Var = symtab.Canon(p.next().Text)
 		p.next() // '='
 	}
 	switch {
@@ -89,14 +90,20 @@ func (p *parser) parseNodePattern() (*ast.NodePattern, error) {
 	}
 	n := &ast.NodePattern{}
 	if p.peek().Type == lexer.Ident {
-		n.Var = p.next().Text
+		// Canonicalizing variables at parse time makes downstream string
+		// equality hit the pointer fast path (one instance per name).
+		n.Var = symtab.Canon(p.next().Text)
 	}
 	for p.accept(lexer.Colon) {
 		l, err := p.expectIdent()
 		if err != nil {
 			return nil, err
 		}
-		n.Labels = append(n.Labels, l)
+		// Labels are interned at parse time so the matcher and planner
+		// can address the store's label index by dense int ID.
+		id := symtab.Intern(l)
+		n.Labels = append(n.Labels, symtab.Name(id))
+		n.LabelIDs = append(n.LabelIDs, id)
 	}
 	if p.peek().Type == lexer.LBrace {
 		m, err := p.parseMapLit()
@@ -150,7 +157,7 @@ func (p *parser) parseRelPattern() (*ast.RelPattern, error) {
 // pattern: [var] [:T1|T2|:T3] [*[min][..[max]]] [{props}].
 func (p *parser) parseRelDetail(r *ast.RelPattern) error {
 	if p.peek().Type == lexer.Ident {
-		r.Var = p.next().Text
+		r.Var = symtab.Canon(p.next().Text)
 	}
 	if p.accept(lexer.Colon) {
 		for {
@@ -158,7 +165,9 @@ func (p *parser) parseRelDetail(r *ast.RelPattern) error {
 			if err != nil {
 				return err
 			}
-			r.Types = append(r.Types, t)
+			id := symtab.Intern(t)
+			r.Types = append(r.Types, symtab.Name(id))
+			r.TypeIDs = append(r.TypeIDs, id)
 			if !p.accept(lexer.Pipe) {
 				break
 			}
@@ -222,7 +231,9 @@ func (p *parser) parseMapLit() (*ast.MapLit, error) {
 		var key string
 		switch t := p.peek(); t.Type {
 		case lexer.Ident, lexer.String:
-			key = p.next().Text
+			// Property keys share the symbol table too: one canonical
+			// instance per key across all parsed queries.
+			key = symtab.Canon(p.next().Text)
 		default:
 			return nil, p.errf(t, "expected map key, found %s", t)
 		}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"seraph/internal/symtab"
 	"seraph/internal/value"
 )
 
@@ -46,7 +47,13 @@ func New() *Graph {
 }
 
 // AddNode inserts n into the graph, replacing any node with the same id.
+// Labels are canonicalized through the symbol table on the way in, so
+// every identifier reaching the matcher exists in symtab and label
+// string comparisons hit the pointer fast path.
 func (g *Graph) AddNode(n *value.Node) {
+	for i, l := range n.Labels {
+		n.Labels[i] = symtab.Canon(l)
+	}
 	g.nodes[n.ID] = n
 	g.version++
 }
@@ -60,6 +67,7 @@ func (g *Graph) AddRel(r *value.Relationship) error {
 	if _, ok := g.nodes[r.EndID]; !ok {
 		return fmt.Errorf("pg: relationship %d references missing target node %d", r.ID, r.EndID)
 	}
+	r.Type = symtab.Canon(r.Type)
 	g.rels[r.ID] = r
 	g.version++
 	return nil
@@ -179,13 +187,6 @@ func (g *Graph) Digest() uint64 {
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
-	fnv := func(h uint64, s string) uint64 {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-		return h
-	}
 	fnvInt := func(h uint64, v int64) uint64 {
 		for i := 0; i < 8; i++ {
 			h ^= uint64(byte(v >> (8 * i)))
@@ -201,7 +202,10 @@ func (g *Graph) Digest() uint64 {
 		h := fnvInt(uint64(offset64), r.ID)
 		h = fnvInt(h, r.StartID)
 		h = fnvInt(h, r.EndID)
-		h = fnv(h, r.Type)
+		// Types are canonical by AddRel, so this Intern is a
+		// read-lock map hit; hashing the dense ID costs 8 byte
+		// rounds regardless of type-name length.
+		h = fnvInt(h, int64(symtab.Intern(r.Type)))
 		sum += 3*h + 1 // distinguish a rel's hash from a node's
 	}
 	g.digestVal, g.digestVer, g.digestOK = sum, g.version, true

@@ -1,0 +1,86 @@
+// Package symtab interns the identifier strings of the query and graph
+// layers — node labels, relationship types, property keys, variables —
+// to dense small integer IDs, so hot-path comparisons and index lookups
+// become int operations instead of string hashing (the memstore keys
+// idiom). The table is process-global and append-only: engines within
+// one process share one identifier space, which is safe because an ID
+// only ever names one string and entries are never removed. In practice
+// one process hosts one engine, so this is the "per-engine symbol
+// table" of the design with the simplest possible ownership story.
+//
+// Interning happens at parse/register time (the parser fills the AST's
+// LabelIDs/TypeIDs) and at store-mutation time (graphstore keys its
+// label/type indexes by ID). Read paths use Lookup, which never
+// allocates an ID: an unseen string maps to None, and None indexes an
+// empty bucket everywhere — exactly the semantics of looking up a label
+// no store has ever indexed.
+package symtab
+
+import "sync"
+
+// ID is a dense interned-symbol identifier. The zero value None is
+// reserved: no string interns to it.
+type ID uint32
+
+// None is the ID of strings never interned.
+const None ID = 0
+
+var (
+	mu    sync.RWMutex
+	ids   = map[string]ID{}
+	names = []string{""} // names[None] — keeps Name(None) total
+)
+
+// Intern returns the ID of s, assigning the next dense ID on first
+// sight. The common already-interned case takes only a read lock.
+func Intern(s string) ID {
+	mu.RLock()
+	id, ok := ids[s]
+	mu.RUnlock()
+	if ok {
+		return id
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if id, ok := ids[s]; ok {
+		return id
+	}
+	id = ID(len(names))
+	ids[s] = id
+	names = append(names, s)
+	return id
+}
+
+// Lookup returns the ID of s, or None if s was never interned. Lookup
+// never extends the table, so read paths can call it freely.
+func Lookup(s string) ID {
+	mu.RLock()
+	id := ids[s]
+	mu.RUnlock()
+	return id
+}
+
+// Name returns the string an ID was assigned for (the canonical
+// instance). Name(None) is "".
+func Name(id ID) string {
+	mu.RLock()
+	defer mu.RUnlock()
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return ""
+}
+
+// Canon interns s and returns the canonical string instance, so
+// identifiers canonicalized at parse time compare by the pointer
+// fast path of string equality.
+func Canon(s string) string {
+	return Name(Intern(s))
+}
+
+// Len reports how many symbols are interned (excluding None).
+func Len() int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return len(names) - 1
+}

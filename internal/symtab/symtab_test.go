@@ -1,0 +1,67 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternLookupRoundTrip(t *testing.T) {
+	a := Intern("symtab-test-Alpha")
+	b := Intern("symtab-test-Beta")
+	if a == None || b == None {
+		t.Fatalf("Intern returned None: %d %d", a, b)
+	}
+	if a == b {
+		t.Fatalf("distinct strings interned to one ID %d", a)
+	}
+	if got := Intern("symtab-test-Alpha"); got != a {
+		t.Fatalf("re-Intern = %d, want %d", got, a)
+	}
+	if got := Lookup("symtab-test-Alpha"); got != a {
+		t.Fatalf("Lookup = %d, want %d", got, a)
+	}
+	if got := Name(a); got != "symtab-test-Alpha" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := Lookup("symtab-test-NeverSeen"); got != None {
+		t.Fatalf("Lookup(unseen) = %d, want None", got)
+	}
+	if got := Name(None); got != "" {
+		t.Fatalf("Name(None) = %q, want empty", got)
+	}
+}
+
+func TestCanonReturnsOneInstance(t *testing.T) {
+	s1 := Canon("symtab-test-" + fmt.Sprint(12345))
+	s2 := Canon("symtab-test-" + fmt.Sprint(12345))
+	// Equal contents and, load-bearingly, the same backing instance.
+	if s1 != s2 {
+		t.Fatalf("Canon mismatch: %q vs %q", s1, s2)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	got := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				got[g][i] = Intern(fmt.Sprintf("symtab-test-conc-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d interned %q to %d, goroutine 0 to %d",
+					g, fmt.Sprintf("symtab-test-conc-%d", i), got[g][i], got[0][i])
+			}
+		}
+	}
+}

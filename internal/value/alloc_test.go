@@ -1,0 +1,45 @@
+package value
+
+import "testing"
+
+// The comparison and key-encoding paths run once per element on the
+// engine's hot loops (ORDER BY, DISTINCT, bag difference, delta
+// maintenance), so they must not allocate for ordinary property-map
+// sized inputs. These guards pin that down; reintroducing a per-call
+// []string or key string shows up as a hard failure here.
+
+func mapVal(n int) Value {
+	m := map[string]Value{}
+	keys := []string{"name", "age", "city", "zip", "email", "tier", "score", "since"}
+	for i := 0; i < n; i++ {
+		m[keys[i%len(keys)]] = NewInt(int64(i))
+	}
+	return NewMap(m)
+}
+
+func TestCompareMapAllocs(t *testing.T) {
+	a, b := mapVal(6), mapVal(6)
+	if Compare(a, b) != 0 {
+		t.Fatalf("equal maps compare nonzero")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		Compare(a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("Compare on small maps allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestAppendKeyReusedBufferAllocs(t *testing.T) {
+	vs := []Value{NewInt(7), NewString("abc"), NewBool(true), mapVal(4)}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		for _, v := range vs {
+			buf = AppendKey(buf, v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendKey with reused buffer allocates %.1f per run, want 0", allocs)
+	}
+}

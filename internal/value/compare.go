@@ -2,7 +2,6 @@ package value
 
 import (
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -230,7 +229,11 @@ func Compare(a, b Value) int {
 		}
 		return len(a.list) - len(b.list)
 	case KindMap:
-		ak, bk := sortedKeys(a.mp), sortedKeys(b.mp)
+		// Stack scratch: map comparison runs per element on hot paths
+		// (ORDER BY, DISTINCT, bag difference) and must not allocate
+		// for ordinary property maps (see TestCompareMapAllocs).
+		var abuf, bbuf [16]string
+		ak, bk := sortedKeysInto(abuf[:0], a.mp), sortedKeysInto(bbuf[:0], b.mp)
 		for i := 0; i < len(ak) && i < len(bk); i++ {
 			if c := strings.Compare(ak[i], bk[i]); c != 0 {
 				return c
@@ -275,12 +278,23 @@ func cmpInt64(a, b int64) int {
 	}
 }
 
-func sortedKeys(m map[string]Value) []string {
-	ks := make([]string, 0, len(m))
+// sortedKeysInto collects m's keys into buf (reusing its capacity) in
+// sorted order. Small maps — the overwhelmingly common case for
+// property maps on the comparison hot path — sort by insertion into a
+// caller-provided stack array, so the whole operation stays on the
+// stack; only maps larger than the scratch capacity fall back to an
+// allocation.
+func sortedKeysInto(buf []string, m map[string]Value) []string {
+	ks := buf[:0]
 	for k := range m {
+		i := len(ks)
 		ks = append(ks, k)
+		for i > 0 && ks[i-1] > k {
+			ks[i] = ks[i-1]
+			i--
+		}
+		ks[i] = k
 	}
-	sort.Strings(ks)
 	return ks
 }
 

@@ -14,6 +14,14 @@ func Key(v Value) string {
 	return string(appendKey(nil, v))
 }
 
+// AppendKey appends the Key encoding of a single value to buf and
+// returns the extended slice — the single-value sibling of AppendKeyOf
+// for hot paths that key individual values (DISTINCT multisets,
+// aggregate live-sets) with a reused buffer.
+func AppendKey(buf []byte, v Value) []byte {
+	return appendKey(buf, v)
+}
+
 // KeyOf returns the canonical encoding of a tuple of values, used as a
 // grouping key for multi-expression GROUP BY.
 func KeyOf(vs ...Value) string {
@@ -73,7 +81,8 @@ func appendKey(b []byte, v Value) []byte {
 		b = append(b, ']')
 	case KindMap:
 		b = append(b, '{')
-		for _, k := range sortedKeys(v.mp) {
+		var kbuf [16]string
+		for _, k := range sortedKeysInto(kbuf[:0], v.mp) {
 			b = append(b, k...)
 			b = append(b, '=')
 			b = appendKey(b, v.mp[k])

@@ -93,9 +93,9 @@ func assertDeltaEquivalent(t *testing.T, label string, srcs []string, elems []st
 		if st.DeltaFallbacks != 0 {
 			t.Fatalf("%s %s: %d delta fallbacks, want 0", label, name, st.DeltaFallbacks)
 		}
-		if st.Evaluations == 0 || st.DeltaApplied != st.Evaluations {
-			t.Fatalf("%s %s: delta applied %d of %d evaluations",
-				label, name, st.DeltaApplied, st.Evaluations)
+		if st.Evaluations == 0 || st.DeltaApplied+st.DeltaBypasses != st.Evaluations {
+			t.Fatalf("%s %s: delta applied %d + bypassed %d of %d evaluations",
+				label, name, st.DeltaApplied, st.DeltaBypasses, st.Evaluations)
 		}
 	}
 }
