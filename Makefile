@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath repro verify examples fuzz clean
+.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath bench-mqo repro verify examples fuzz clean
 
 all: build vet test
 
@@ -39,6 +39,13 @@ bench-delta:
 # snapshot (BENCH_pr7.json).
 bench-hotpath:
 	$(GO) run ./cmd/seraph-bench -exp B14 -quick -alloc-guard BENCH_pr7.json
+
+# Multi-query optimization smoke: the B16 shared-vs-unshared comparison
+# at reduced size, aborting on any per-query result-bag divergence
+# between the unshared, shared, and shared+delta engines. The committed
+# full-size run is BENCH_pr8.json.
+bench-mqo:
+	$(GO) run ./cmd/seraph-bench -exp B16 -quick
 
 # Record deliverable outputs.
 record:

@@ -16,6 +16,7 @@
 //	B13 predicate selectivity sweep: indexed matcher vs scan baseline
 //	B14 delta-ratio sweep: delta-driven vs full evaluation
 //	B15 workload scenarios + newly maintained shapes under delta eval
+//	B16 multi-query optimization: shared vs unshared evaluation
 //
 // Each experiment prints one table of rows/series.
 //
@@ -34,6 +35,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -59,12 +61,12 @@ var (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B15) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B16) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Float64Var(&selectivity, "selectivity", 0,
 		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
-	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15: also write the sweep results as JSON to this file")
+	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15/B16: also write the sweep results as JSON to this file")
 	flag.StringVar(&allocGuard, "alloc-guard", "",
 		"B14: compare the 1%-churn delta/full allocs-per-instant ratio against this snapshot file and abort if it regressed more than 2x")
 	flag.Parse()
@@ -86,6 +88,7 @@ func main() {
 		{"B13", "predicate selectivity sweep (indexed vs scan matcher)", b13Selectivity},
 		{"B14", "delta-ratio sweep (delta-driven vs full evaluation)", b14DeltaRatio},
 		{"B15", "workload scenarios + new maintained shapes under delta eval", b15WorkloadDelta},
+		{"B16", "multi-query optimization: shared vs unshared evaluation", b16MQO},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -1020,6 +1023,193 @@ func b15WorkloadDelta() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// b16MQO measures multi-query optimization (engine.WithSharedEval):
+// nQueries registered variants spread over nPatterns distinct canonical
+// fingerprints — each pattern has one MATCH/window shape and the
+// variants differ only in a parameterized residual (WHERE r.v > $x), so
+// the shared engine forms exactly nPatterns evaluation groups and
+// performs nPatterns pattern evaluations per instant where the unshared
+// engine performs nQueries. Three engines replay the same element
+// sequence: unshared, shared, and shared+delta. The run aborts unless
+// every query's per-instant result bag (sorted row multiset) is
+// identical across all three, which makes `-exp B16 -quick` a CI
+// correctness smoke for the MQO layer. -json writes the rows to a
+// snapshot file (BENCH_pr8.json in the repo is one such run).
+func b16MQO() {
+	type b16Row struct {
+		Mode     string  `json:"mode"`
+		Queries  int     `json:"queries"`
+		Patterns int     `json:"patterns"`
+		Groups   int     `json:"groups"`
+		Instants int     `json:"instants"`
+		Rows     int     `json:"rows_total"`
+		MS       float64 `json:"ms_per_instant"`
+		Speedup  float64 `json:"speedup_vs_unshared"`
+	}
+	nPatterns := scaled(32, 8)
+	nQueries := scaled(1000, 32)
+	rounds := scaled(20, 8) // batches filling the window
+	measure := scaled(10, 4)
+	perType := scaled(8, 4) // edges per pattern type per batch
+	slide := 5 * time.Second
+
+	elems := b16Stream(rounds, measure, perType, nPatterns, slide)
+	startAt := elems[rounds-1].Time.Format("2006-01-02T15:04:05")
+	within := value.FormatDuration(time.Duration(rounds) * slide)
+	every := value.FormatDuration(slide)
+
+	// Sorted-row bag signature: fan-out order through a shared group is
+	// not the same as per-query evaluation order, so the oracle must be
+	// order-insensitive within an instant.
+	bagSig := func(t *eval.Table) string {
+		rows := make([]string, len(t.Rows))
+		for i, row := range t.Rows {
+			var b strings.Builder
+			for _, c := range row {
+				b.WriteString(c.String())
+				b.WriteByte('\x1f')
+			}
+			rows[i] = b.String()
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, "\x1e")
+	}
+
+	legs := []struct {
+		name string
+		opts []engine.Option
+	}{
+		{"unshared", []engine.Option{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true)}},
+		{"shared", []engine.Option{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true), engine.WithSharedEval(true)}},
+		{"shared+delta", []engine.Option{engine.WithParallelism(1), engine.WithSharedEval(true), engine.WithDeltaEval(true)}},
+	}
+	header("mode", "queries", "patterns", "groups", "instants", "rows_total", "ms_per_instant", "speedup")
+	var out []b16Row
+	bags := make([]map[string]string, len(legs))
+	for i, leg := range legs {
+		e := engine.New(leg.opts...)
+		bag := make(map[string]string)
+		bags[i] = bag
+		rowsTotal := 0
+		for q := 0; q < nQueries; q++ {
+			p := q % nPatterns
+			threshold := (q / nPatterns) % 8
+			src := fmt.Sprintf(`REGISTER QUERY q%04d STARTING AT %s
+{
+  MATCH (u:User)-[r:T%d]->(d:Svc)
+  WITHIN %s
+  WHERE r.v > $x
+  EMIT u.uid AS uid, r.v AS v
+  ON ENTERING EVERY %s
+}`, q, startAt, p, within, every)
+			reg, err := parser.ParseRegistration(src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := e.RegisterWithParams(reg, func(r engine.Result) {
+				key := r.Query + "@" + r.At.Format(time.RFC3339)
+				if prev, dup := bag[key]; dup {
+					bag[key] = prev + "\x1d" + bagSig(r.Table)
+				} else {
+					bag[key] = bagSig(r.Table)
+				}
+				rowsTotal += r.Table.Len()
+			}, map[string]value.Value{"x": value.NewInt(int64(threshold))}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		// Fill the window and absorb the first instant (a full-window
+		// Δ⁺ and, for shared groups, generation start) untimed.
+		for _, el := range elems[:rounds] {
+			if err := e.Push(el.Graph, el.Time); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := e.AdvanceTo(elems[rounds-1].Time); err != nil {
+			log.Fatal(err)
+		}
+		groups := len(e.SharedGroups())
+		if i > 0 && groups != nPatterns {
+			log.Fatalf("B16 %s: %d shared groups, want %d (one per distinct pattern)",
+				leg.name, groups, nPatterns)
+		}
+		d := replayTimed(e, elems[rounds:rounds+measure])
+		wall := ms(d) / float64(measure)
+		speedup := 1.0
+		if len(out) > 0 {
+			speedup = out[0].MS / wall
+		}
+		out = append(out, b16Row{
+			Mode: leg.name, Queries: nQueries, Patterns: nPatterns, Groups: groups,
+			Instants: measure, Rows: rowsTotal, MS: wall, Speedup: speedup,
+		})
+		fmt.Printf("%s\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.1f\n",
+			leg.name, nQueries, nPatterns, groups, measure, rowsTotal, wall, speedup)
+	}
+	// Per-query bag oracle: every (query, instant) must carry an
+	// identical sorted row multiset in all three modes.
+	for i := 1; i < len(legs); i++ {
+		if len(bags[i]) != len(bags[0]) {
+			log.Fatalf("B16 %s: %d result instants vs %d unshared", legs[i].name, len(bags[i]), len(bags[0]))
+		}
+		for key, want := range bags[0] {
+			got, ok := bags[i][key]
+			if !ok {
+				log.Fatalf("B16 %s: missing result %s", legs[i].name, key)
+			}
+			if got != want {
+				log.Fatalf("B16 %s: result bag diverges from unshared at %s", legs[i].name, key)
+			}
+		}
+	}
+	fmt.Printf("oracle: %d (query, instant) bags identical across all modes\n", len(bags[0]))
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B16",
+			"description": "multi-query optimization: shared vs unshared evaluation of query variants grouped by canonical fingerprint; per-query result bags verified identical",
+			"command":     "go run ./cmd/seraph-bench -exp B16 -json " + jsonOut,
+			"rows":        out,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// b16Stream builds one batch per slide holding perType unique
+// User-[:T<p>]->Svc edges for each of nPatterns relationship types;
+// r.v cycles 1..10 so the parameterized residual thresholds of B16
+// select distinct subsets per query variant.
+func b16Stream(rounds, extra, perType, nPatterns int, slide time.Duration) []stream.Element {
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var elems []stream.Element
+	id := int64(1)
+	for b := 0; b < rounds+extra; b++ {
+		g := pg.New()
+		for p := 0; p < nPatterns; p++ {
+			for i := 0; i < perType; i++ {
+				uid, did, rid := id, id+1, id+2
+				id += 3
+				g.AddNode(&value.Node{ID: uid, Labels: []string{"User"}, Props: map[string]value.Value{
+					"uid": value.NewInt(uid)}})
+				g.AddNode(&value.Node{ID: did, Labels: []string{"Svc"}, Props: map[string]value.Value{
+					"did": value.NewInt(did)}})
+				if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did,
+					Type: fmt.Sprintf("T%d", p),
+					Props: map[string]value.Value{"v": value.NewInt(1 + rid%10)}}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * slide)})
+	}
+	return elems
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

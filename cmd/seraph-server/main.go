@@ -55,6 +55,7 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
 	deltaEval := flag.Bool("delta-eval", false, "maintain query results from window deltas instead of re-evaluating the full window (unsupported queries fall back per query; see seraph_delta_fallback_total)")
 	deltaBypassRatio := flag.Float64("delta-bypass-ratio", 0.3, "churn fraction of the window above which a delta-eval round runs one full evaluation instead (see seraph_delta_bypass_total; <= 0 disables the guard)")
+	mqo := flag.Bool("mqo", false, "multi-query optimization: evaluate queries with equal canonical pattern/window fingerprints as one shared group (see seraph_mqo_groups and GET /queries)")
 	flag.Parse()
 
 	log := newLogger(*logFormat, *logLevel)
@@ -74,6 +75,9 @@ func main() {
 	}
 	if *deltaBypassRatio != 0.3 {
 		opts = append(opts, engine.WithDeltaBypassRatio(*deltaBypassRatio))
+	}
+	if *mqo {
+		opts = append(opts, engine.WithSharedEval(true))
 	}
 	var srv *server.Server
 	if *restore != "" {

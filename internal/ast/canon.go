@@ -1,0 +1,609 @@
+package ast
+
+// canon.go canonicalizes the shareable prefix of a registered query
+// body for multi-query optimization (MQO): queries whose MATCH /
+// WITHIN / core WHERE agree after alpha-renaming and conjunct sorting
+// collide on a fingerprint and can share one evaluation of the pattern
+// per instant, fanning rows out through per-query residual predicates.
+//
+// The split is semantics-preserving by construction: the canonical
+// match binds exactly the original pattern (variables renamed), and a
+// bridge WITH immediately restores the original variable names and
+// applies the residual WHERE conjuncts row-wise. Folding
+// [canonical MATCH, bridge, original remaining clauses...] therefore
+// produces the same table as the original body — WHERE on MATCH and a
+// row-wise post-projection filter see the same rows with the same
+// multiplicities.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"seraph/internal/symtab"
+)
+
+// CanonQuery is the canonical decomposition of a shareable query body.
+type CanonQuery struct {
+	// Fingerprint identifies the shared evaluation unit: the canonical
+	// rendering of the alpha-renamed, part-sorted MATCH, its WITHIN
+	// width, and the sorted core WHERE conjuncts. Queries with equal
+	// fingerprints (and equal window grid and stream, which the engine
+	// adds) can share one pattern evaluation.
+	Fingerprint string
+
+	// Match is the canonical shared MATCH clause: parts sorted by
+	// structural key, variables alpha-renamed to "\x00v0", "\x00v1", …,
+	// labels/types/property keys sorted and interned through symtab,
+	// and only the core (shareable) WHERE conjuncts attached.
+	Match *Match
+
+	// Vars are the canonical pattern variable names in binding order —
+	// the column layout of the shared binding table.
+	Vars []string
+
+	// Rest is the per-query remainder: a bridge WITH that renames the
+	// canonical variables back to the original names and applies the
+	// residual WHERE conjuncts, followed by the original body's
+	// remaining clauses (untouched, so projections, aggregation and
+	// derived column names are exactly the original's).
+	Rest []Clause
+
+	// Rewritten is [Match] + Rest as a complete query body, semantically
+	// identical to the original. The engine compiles this form for
+	// per-subscriber delta maintenance and full-evaluation fallback.
+	Rewritten *Query
+
+	// Residual is the bridge's WHERE (nil when every conjunct was
+	// shareable). Exposed for introspection and tests.
+	Residual Expr
+}
+
+// Canonicalize decomposes a registered query body into a shared
+// canonical MATCH and a per-query residual. It returns ok=false when
+// the body is outside the shareable fragment (multi-part queries,
+// OPTIONAL or multiple MATCH clauses, shortestPath or path variables,
+// parameters inside pattern properties, pattern predicates, or
+// nondeterministic functions); such queries evaluate unshared.
+func Canonicalize(q *Query) (*CanonQuery, bool) {
+	if q == nil || len(q.Parts) != 1 {
+		return nil, false
+	}
+	sq := q.Parts[0]
+	if len(sq.Clauses) < 2 {
+		return nil, false
+	}
+	m, ok := sq.Clauses[0].(*Match)
+	if !ok || m.Optional || m.Within <= 0 {
+		return nil, false
+	}
+	for _, part := range m.Pattern.Parts {
+		if part.Shortest != ShortestNone || part.Var != "" {
+			return nil, false
+		}
+		for _, np := range part.Nodes {
+			if np.Props != nil && !shareableExpr(np.Props, true) {
+				return nil, false
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Props != nil && !shareableExpr(rp.Props, true) {
+				return nil, false
+			}
+		}
+	}
+	origVars := namedPatternVars(m.Pattern)
+	if len(origVars) == 0 {
+		return nil, false
+	}
+	if m.Where != nil && !shareableExpr(m.Where, false) {
+		return nil, false
+	}
+	// The remainder may only be row-wise or projection clauses: a second
+	// MATCH or an updating clause would read or write the graph outside
+	// the shared pattern evaluation.
+	for i, c := range sq.Clauses[1:] {
+		last := i == len(sq.Clauses)-2
+		switch x := c.(type) {
+		case *Unwind:
+			if !shareableExpr(x.X, false) {
+				return nil, false
+			}
+		case *With:
+			if !shareableProjection(&x.Projection) || (x.Where != nil && !shareableExpr(x.Where, false)) {
+				return nil, false
+			}
+		case *Return:
+			if !last || !shareableProjection(&x.Projection) {
+				return nil, false
+			}
+		case *Emit:
+			if !last || !shareableProjection(&x.Projection) {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+
+	// Split the WHERE into shareable core and per-query residual.
+	// Param-containing conjuncts must be residual (parameters differ
+	// across group members); single-variable "constant" predicates are
+	// residualized so e.g. the same pattern filtered per region still
+	// shares one group. Multi-variable (join) conjuncts stay in the
+	// core — they are structure.
+	var core, residual []Expr
+	for _, c := range conjuncts(m.Where) {
+		if exprHasParam(c) || countPatternVars(c) <= 1 {
+			residual = append(residual, c)
+		} else {
+			core = append(core, c)
+		}
+	}
+
+	// Sort the parts by a structural key (labels/types/props normalized,
+	// variables blanked) so alpha-equivalent patterns written in a
+	// different part order still collide.
+	type keyedPart struct {
+		part PatternPart
+		key  string
+	}
+	parts := make([]keyedPart, len(m.Pattern.Parts))
+	for i, part := range m.Pattern.Parts {
+		cp := copyPart(part)
+		normalizePart(&cp)
+		blank := copyPart(cp)
+		blankVars(&blank)
+		parts[i] = keyedPart{part: cp, key: PatternPartString(blank)}
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
+
+	// Alpha-rename in first-appearance order over the sorted parts.
+	rename := map[string]string{}
+	for i := range parts {
+		walkPartVars(&parts[i].part, func(name *string) {
+			if *name == "" {
+				return
+			}
+			if _, ok := rename[*name]; !ok {
+				rename[*name] = "\x00v" + strconv.Itoa(len(rename))
+			}
+			*name = rename[*name]
+		})
+	}
+	canonPattern := Pattern{Parts: make([]PatternPart, len(parts))}
+	for i := range parts {
+		canonPattern.Parts[i] = parts[i].part
+	}
+
+	// Canonical core conjuncts: renamed copies, sorted by rendering.
+	coreCanon := make([]Expr, len(core))
+	for i, c := range core {
+		cc := copyExpr(c)
+		renameExprVars(cc, rename)
+		coreCanon[i] = cc
+	}
+	corePrints := make([]string, len(coreCanon))
+	for i, c := range coreCanon {
+		corePrints[i] = ExprString(c)
+	}
+	sort.Sort(&byPrint{exprs: coreCanon, prints: corePrints})
+
+	canonMatch := &Match{
+		Pattern: canonPattern,
+		Within:  m.Within,
+		Where:   conjoin(coreCanon),
+	}
+
+	// Bridge: restore original names (in the original binding order) and
+	// apply the residual row-wise.
+	bridge := &With{Where: conjoin(residual)}
+	for _, v := range origVars {
+		bridge.Items = append(bridge.Items, ReturnItem{X: &Var{Name: rename[v]}, Alias: v})
+	}
+
+	rest := make([]Clause, 0, len(sq.Clauses))
+	rest = append(rest, bridge)
+	rest = append(rest, sq.Clauses[1:]...)
+
+	var fp strings.Builder
+	fp.WriteString("within=")
+	fp.WriteString(m.Within.String())
+	fp.WriteString(";match=")
+	for i := range canonPattern.Parts {
+		if i > 0 {
+			fp.WriteByte(',')
+		}
+		fp.WriteString(PatternPartString(canonPattern.Parts[i]))
+	}
+	fp.WriteString(";core=")
+	fp.WriteString(strings.Join(corePrints, " AND "))
+
+	return &CanonQuery{
+		Fingerprint: fp.String(),
+		Match:       canonMatch,
+		Vars:        namedPatternVars(canonPattern),
+		Rest:        rest,
+		Rewritten: &Query{Parts: []*SingleQuery{{
+			Clauses: append([]Clause{canonMatch}, rest...),
+		}}},
+		Residual: bridge.Where,
+	}, true
+}
+
+// byPrint sorts an expr slice and its prints together.
+type byPrint struct {
+	exprs  []Expr
+	prints []string
+}
+
+func (b *byPrint) Len() int           { return len(b.exprs) }
+func (b *byPrint) Less(i, j int) bool { return b.prints[i] < b.prints[j] }
+func (b *byPrint) Swap(i, j int) {
+	b.exprs[i], b.exprs[j] = b.exprs[j], b.exprs[i]
+	b.prints[i], b.prints[j] = b.prints[j], b.prints[i]
+}
+
+// conjuncts flattens an expression over AND.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// conjoin folds exprs back into an AND chain (nil for empty).
+func conjoin(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// namedPatternVars returns the named variables of a pattern in binding
+// order (the order the evaluator's binding table uses).
+func namedPatternVars(p Pattern) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	for _, part := range p.Parts {
+		add(part.Var)
+		for i, np := range part.Nodes {
+			add(np.Var)
+			if i < len(part.Rels) {
+				add(part.Rels[i].Var)
+			}
+		}
+	}
+	return out
+}
+
+// shareableExpr walks e rejecting constructs the shared evaluator
+// cannot fan out: pattern predicates (they read the graph outside the
+// shared match), nondeterministic functions (two evaluations would
+// disagree), and — inside pattern properties — parameters (properties
+// are part of the match structure and cannot be residualized).
+func shareableExpr(e Expr, inProps bool) bool {
+	ok := true
+	walkExprTree(e, func(x Expr) {
+		switch f := x.(type) {
+		case *PatternPredicate:
+			ok = false
+		case *Param:
+			if inProps {
+				ok = false
+			}
+		case *FuncCall:
+			switch f.Name {
+			case "rand", "timestamp":
+				ok = false
+			case "datetime":
+				if len(f.Args) == 0 {
+					ok = false
+				}
+			}
+		}
+	})
+	return ok
+}
+
+func shareableProjection(p *Projection) bool {
+	for _, it := range p.Items {
+		if !shareableExpr(it.X, false) {
+			return false
+		}
+	}
+	for _, s := range p.OrderBy {
+		if !shareableExpr(s.X, false) {
+			return false
+		}
+	}
+	if p.Skip != nil && !shareableExpr(p.Skip, false) {
+		return false
+	}
+	if p.Limit != nil && !shareableExpr(p.Limit, false) {
+		return false
+	}
+	return true
+}
+
+func exprHasParam(e Expr) bool {
+	found := false
+	walkExprTree(e, func(x Expr) {
+		if _, ok := x.(*Param); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// countPatternVars counts the distinct variables an expression
+// references. In a MATCH's WHERE every variable is a pattern variable,
+// except the locals introduced by comprehensions and quantifiers —
+// conservatively counted too, which only pushes a conjunct into the
+// core (sound, merely less sharing).
+func countPatternVars(e Expr) int {
+	seen := map[string]bool{}
+	walkExprTree(e, func(x Expr) {
+		if v, ok := x.(*Var); ok {
+			seen[v.Name] = true
+		}
+	})
+	return len(seen)
+}
+
+// walkExprTree visits e and every sub-expression.
+func walkExprTree(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *Prop:
+		walkExprTree(x.X, f)
+	case *ListLit:
+		for _, it := range x.Items {
+			walkExprTree(it, f)
+		}
+	case *MapLit:
+		for _, v := range x.Vals {
+			walkExprTree(v, f)
+		}
+	case *Unary:
+		walkExprTree(x.X, f)
+	case *Binary:
+		walkExprTree(x.L, f)
+		walkExprTree(x.R, f)
+	case *Comparison:
+		walkExprTree(x.First, f)
+		for _, r := range x.Rest {
+			walkExprTree(r, f)
+		}
+	case *Index:
+		walkExprTree(x.X, f)
+		walkExprTree(x.I, f)
+	case *Slice:
+		walkExprTree(x.X, f)
+		walkExprTree(x.From, f)
+		walkExprTree(x.To, f)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExprTree(a, f)
+		}
+	case *Case:
+		walkExprTree(x.Test, f)
+		for _, w := range x.Whens {
+			walkExprTree(w.When, f)
+			walkExprTree(w.Then, f)
+		}
+		walkExprTree(x.Else, f)
+	case *ListComp:
+		walkExprTree(x.List, f)
+		walkExprTree(x.Where, f)
+		walkExprTree(x.Proj, f)
+	case *Quantifier:
+		walkExprTree(x.List, f)
+		walkExprTree(x.Where, f)
+	case *Reduce:
+		walkExprTree(x.Init, f)
+		walkExprTree(x.List, f)
+		walkExprTree(x.Expr, f)
+	case *MapProjection:
+		walkExprTree(x.X, f)
+		for _, it := range x.Items {
+			walkExprTree(it.Value, f)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deep copies and canonical normalization
+
+// copyExpr deep-copies an expression tree. PatternPredicate is excluded
+// from the shareable fragment before copying is ever attempted.
+func copyExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *x
+		return &c
+	case *Var:
+		c := *x
+		return &c
+	case *Param:
+		c := *x
+		return &c
+	case *Prop:
+		return &Prop{X: copyExpr(x.X), Key: x.Key}
+	case *ListLit:
+		c := &ListLit{Items: make([]Expr, len(x.Items))}
+		for i, it := range x.Items {
+			c.Items[i] = copyExpr(it)
+		}
+		return c
+	case *MapLit:
+		c := &MapLit{Keys: append([]string(nil), x.Keys...), Vals: make([]Expr, len(x.Vals))}
+		for i, v := range x.Vals {
+			c.Vals[i] = copyExpr(v)
+		}
+		return c
+	case *Unary:
+		return &Unary{Op: x.Op, X: copyExpr(x.X)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: copyExpr(x.L), R: copyExpr(x.R)}
+	case *Comparison:
+		c := &Comparison{First: copyExpr(x.First), Ops: append([]CmpOp(nil), x.Ops...)}
+		c.Rest = make([]Expr, len(x.Rest))
+		for i, r := range x.Rest {
+			c.Rest[i] = copyExpr(r)
+		}
+		return c
+	case *Index:
+		return &Index{X: copyExpr(x.X), I: copyExpr(x.I)}
+	case *Slice:
+		return &Slice{X: copyExpr(x.X), From: copyExpr(x.From), To: copyExpr(x.To)}
+	case *FuncCall:
+		c := &FuncCall{Name: x.Name, Distinct: x.Distinct, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = copyExpr(a)
+		}
+		return c
+	case *CountStar:
+		return &CountStar{}
+	case *Case:
+		c := &Case{Test: copyExpr(x.Test), Else: copyExpr(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, CaseWhen{When: copyExpr(w.When), Then: copyExpr(w.Then)})
+		}
+		return c
+	case *ListComp:
+		return &ListComp{Var: x.Var, List: copyExpr(x.List), Where: copyExpr(x.Where), Proj: copyExpr(x.Proj)}
+	case *Quantifier:
+		return &Quantifier{Kind: x.Kind, Var: x.Var, List: copyExpr(x.List), Where: copyExpr(x.Where)}
+	case *Reduce:
+		return &Reduce{Acc: x.Acc, Init: copyExpr(x.Init), Var: x.Var, List: copyExpr(x.List), Expr: copyExpr(x.Expr)}
+	case *MapProjection:
+		c := &MapProjection{X: copyExpr(x.X)}
+		for _, it := range x.Items {
+			c.Items = append(c.Items, MapProjItem{Key: it.Key, Prop: it.Prop, AllProps: it.AllProps, Value: copyExpr(it.Value)})
+		}
+		return c
+	default:
+		return e // unreachable inside the shareable fragment
+	}
+}
+
+func copyPart(p PatternPart) PatternPart {
+	out := PatternPart{Var: p.Var, Shortest: p.Shortest}
+	for _, n := range p.Nodes {
+		c := &NodePattern{
+			Var:      n.Var,
+			Labels:   append([]string(nil), n.Labels...),
+			LabelIDs: append([]symtab.ID(nil), n.LabelIDs...),
+		}
+		if n.Props != nil {
+			c.Props = copyExpr(n.Props).(*MapLit)
+		}
+		out.Nodes = append(out.Nodes, c)
+	}
+	for _, r := range p.Rels {
+		c := &RelPattern{
+			Var:       r.Var,
+			Types:     append([]string(nil), r.Types...),
+			TypeIDs:   append([]symtab.ID(nil), r.TypeIDs...),
+			Dir:       r.Dir,
+			VarLength: r.VarLength,
+			MinHops:   r.MinHops,
+			MaxHops:   r.MaxHops,
+		}
+		if r.Props != nil {
+			c.Props = copyExpr(r.Props).(*MapLit)
+		}
+		out.Rels = append(out.Rels, c)
+	}
+	return out
+}
+
+// normalizePart sorts commutative structure — node labels, rel type
+// alternatives, property-map keys — and resolves every name through the
+// symtab interner (filling LabelIDs/TypeIDs, and replacing strings with
+// their canonical interned instances).
+func normalizePart(p *PatternPart) {
+	for _, n := range p.Nodes {
+		sort.Strings(n.Labels)
+		n.LabelIDs = n.LabelIDs[:0]
+		for i, l := range n.Labels {
+			n.Labels[i] = symtab.Canon(l)
+			n.LabelIDs = append(n.LabelIDs, symtab.Intern(l))
+		}
+		normalizeProps(n.Props)
+	}
+	for _, r := range p.Rels {
+		sort.Strings(r.Types)
+		r.TypeIDs = r.TypeIDs[:0]
+		for i, t := range r.Types {
+			r.Types[i] = symtab.Canon(t)
+			r.TypeIDs = append(r.TypeIDs, symtab.Intern(t))
+		}
+		normalizeProps(r.Props)
+	}
+}
+
+func normalizeProps(m *MapLit) {
+	if m == nil {
+		return
+	}
+	idx := make([]int, len(m.Keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.Keys[idx[a]] < m.Keys[idx[b]] })
+	keys := make([]string, len(idx))
+	vals := make([]Expr, len(idx))
+	for i, j := range idx {
+		keys[i] = symtab.Canon(m.Keys[j])
+		vals[i] = m.Vals[j]
+	}
+	m.Keys, m.Vals = keys, vals
+}
+
+// walkPartVars visits every variable slot of a pattern part.
+func walkPartVars(p *PatternPart, f func(name *string)) {
+	f(&p.Var)
+	for i, n := range p.Nodes {
+		f(&n.Var)
+		if i < len(p.Rels) {
+			f(&p.Rels[i].Var)
+		}
+	}
+}
+
+func blankVars(p *PatternPart) {
+	walkPartVars(p, func(name *string) { *name = "" })
+}
+
+// renameExprVars rewrites variable references in place (the expression
+// must be a private copy).
+func renameExprVars(e Expr, rename map[string]string) {
+	walkExprTree(e, func(x Expr) {
+		if v, ok := x.(*Var); ok {
+			if nn, ok := rename[v.Name]; ok {
+				v.Name = nn
+			}
+		}
+	})
+}

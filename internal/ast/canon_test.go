@@ -1,0 +1,191 @@
+package ast_test
+
+// Canonicalization tests live in an external test package so they can
+// parse real query text (the parser imports ast).
+
+import (
+	"strings"
+	"testing"
+
+	"seraph/internal/ast"
+	"seraph/internal/parser"
+)
+
+// parseBody parses a query body through the registration grammar
+// (WITHIN is only legal inside REGISTER QUERY bodies).
+func parseBody(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	reg, err := parser.ParseRegistration(
+		"REGISTER QUERY q STARTING AT 2026-07-06T10:00:00 { " + src + " }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return reg.Body
+}
+
+func canon(t *testing.T, src string) *ast.CanonQuery {
+	t.Helper()
+	cq, ok := ast.Canonicalize(parseBody(t, src))
+	if !ok {
+		t.Fatalf("not canonicalizable: %q", src)
+	}
+	return cq
+}
+
+func notCanon(t *testing.T, src string) {
+	t.Helper()
+	if cq, ok := ast.Canonicalize(parseBody(t, src)); ok {
+		t.Fatalf("unexpectedly canonicalizable: %q -> %s", src, cq.Fingerprint)
+	}
+}
+
+// TestCanonicalizeCollisions: queries that are alpha-equivalent, or
+// differ only in conjunct order, label order, or pattern part order,
+// must produce identical fingerprints.
+func TestCanonicalizeCollisions(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{"alpha-rename",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k < b.k RETURN a.k AS x`,
+			`MATCH (n:P)-[e:F]->(m:P) WITHIN PT20S WHERE n.k < m.k RETURN n.k AS x`},
+		{"conjunct-order",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k < b.k AND a.w < r.v RETURN a`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.w < r.v AND a.k < b.k RETURN a`},
+		{"label-order",
+			`MATCH (a:P:V)-[r:F]->(b) WITHIN PT20S RETURN a`,
+			`MATCH (a:V:P)-[r:F]->(b) WITHIN PT20S RETURN a`},
+		{"part-order",
+			`MATCH (a:P)-[r:F]->(b:P), (c:V) WITHIN PT20S RETURN c`,
+			`MATCH (c:V), (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN c`},
+		{"residual-invisible",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE r.v > 1 RETURN a.k AS x`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE r.v > 2 RETURN a.k AS x`},
+		{"param-residual-invisible",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE r.v > $x RETURN a.k AS x`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k = $y RETURN a.k AS x`},
+		{"projection-invisible",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a.k AS x, count(*) AS n`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN b.k AS y ORDER BY y LIMIT 3`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fa, fb := canon(t, c.a).Fingerprint, canon(t, c.b).Fingerprint
+			if fa != fb {
+				t.Errorf("fingerprints differ:\n a: %s\n b: %s", fa, fb)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeSeparations: queries that differ in pattern
+// direction, labels or types, variable-length bounds, window width, or
+// core WHERE structure must not collide.
+func TestCanonicalizeSeparations(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+	}{
+		{"direction",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P)<-[r:F]-(b:P) WITHIN PT20S RETURN a`},
+		{"label",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P)-[r:F]->(b:V) WITHIN PT20S RETURN a`},
+		{"rel-type",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P)-[r:G]->(b:P) WITHIN PT20S RETURN a`},
+		{"varlen-bounds",
+			`MATCH (a:P)-[r:F*1..2]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P)-[r:F*1..3]->(b:P) WITHIN PT20S RETURN a`},
+		{"window-width",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT15S RETURN a`},
+		{"core-where",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k < b.k RETURN a`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k > b.k RETURN a`},
+		{"core-vs-none",
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k < b.k RETURN a`,
+			`MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S RETURN a`},
+		{"props",
+			`MATCH (a:P {k: 1})-[r:F]->(b:P) WITHIN PT20S RETURN a`,
+			`MATCH (a:P {k: 2})-[r:F]->(b:P) WITHIN PT20S RETURN a`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fa, fb := canon(t, c.a).Fingerprint, canon(t, c.b).Fingerprint
+			if fa == fb {
+				t.Errorf("fingerprints collide: %s", fa)
+			}
+		})
+	}
+}
+
+// TestCanonicalizeResidualSplit: parameterized and single-variable
+// conjuncts become per-query residuals; multi-variable structural
+// conjuncts stay in the shared core.
+func TestCanonicalizeResidualSplit(t *testing.T) {
+	cq := canon(t, `MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S
+		WHERE a.k < b.k AND r.v > $x AND a.w = 3 RETURN a.k AS x`)
+	if cq.Residual == nil {
+		t.Fatal("expected a residual")
+	}
+	res := ast.ExprString(cq.Residual)
+	for _, want := range []string{"$x", "a.w"} {
+		if !containsStr(res, want) {
+			t.Errorf("residual %q should contain %q", res, want)
+		}
+	}
+	if containsStr(res, "b.k") {
+		t.Errorf("multi-variable conjunct leaked into residual: %q", res)
+	}
+	if !containsStr(cq.Fingerprint, "<") {
+		t.Errorf("core conjunct missing from fingerprint: %q", cq.Fingerprint)
+	}
+	if containsStr(cq.Fingerprint, "$x") || containsStr(cq.Fingerprint, "a.w") {
+		t.Errorf("residual leaked into fingerprint: %q", cq.Fingerprint)
+	}
+
+	// Fully shareable WHERE: no residual at all.
+	if cq := canon(t, `MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE a.k < b.k RETURN a`); cq.Residual != nil {
+		t.Errorf("unexpected residual: %s", ast.ExprString(cq.Residual))
+	}
+}
+
+// TestCanonicalizeRejections: bodies outside the shareable fragment
+// are rejected (they evaluate unshared, never silently mis-grouped).
+func TestCanonicalizeRejections(t *testing.T) {
+	for name, src := range map[string]string{
+		"no-window":       `MATCH (a:P) RETURN a`,
+		"optional":        `MATCH (a:P) WITHIN PT10S OPTIONAL MATCH (a)-[r:F]->(b) RETURN a, b`,
+		"shortest-path":   `MATCH p = shortestPath((a:P)-[:F*..3]->(b:P)) WITHIN PT10S RETURN length(p) AS l`,
+		"param-in-props":  `MATCH (a:P {k: $x}) WITHIN PT10S RETURN a`,
+		"rand-where":      `MATCH (a:P) WITHIN PT10S WHERE a.w > rand() RETURN a`,
+		"union":           `MATCH (a:P) WITHIN PT10S RETURN a.k AS k UNION MATCH (b:V) WITHIN PT10S RETURN b.k AS k`,
+		"second-match":    `MATCH (a:P) WITHIN PT10S MATCH (b:V) RETURN a, b`,
+		"timestamp-where": `MATCH (a:P) WITHIN PT10S WHERE a.w < timestamp() RETURN a`,
+	} {
+		t.Run(name, func(t *testing.T) { notCanon(t, src) })
+	}
+}
+
+// TestCanonicalizeRewrittenEquivalent: the rewritten body preserves
+// the original's projection columns (spot-check via printing).
+func TestCanonicalizeRewrittenRoundTrip(t *testing.T) {
+	cq := canon(t, `MATCH (a:P)-[r:F]->(b:P) WITHIN PT20S WHERE r.v > 1 RETURN a.k AS x, b.k AS y`)
+	if cq.Rewritten == nil || len(cq.Rewritten.Parts) != 1 {
+		t.Fatal("rewritten body missing")
+	}
+	printed := ast.QueryString(cq.Rewritten)
+	for _, want := range []string{"WITH", "AS x", "AS y", "r.v > 1"} {
+		if !containsStr(printed, want) {
+			t.Errorf("rewritten body %q missing %q", printed, want)
+		}
+	}
+	if len(cq.Vars) != 3 {
+		t.Errorf("vars = %v, want 3 canonical pattern variables", cq.Vars)
+	}
+}
+
+func containsStr(s, sub string) bool { return strings.Contains(s, sub) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"seraph/internal/ast"
+	"seraph/internal/eval"
 	"seraph/internal/ingest"
 	"seraph/internal/parser"
 	"seraph/internal/window"
@@ -30,6 +31,7 @@ type checkpointFile struct {
 	Cache       bool              `json:"cache"`
 	Incremental bool              `json:"incremental"`
 	DeltaEval   bool              `json:"delta_eval,omitempty"`
+	SharedEval  bool              `json:"shared_eval,omitempty"`
 	Now         time.Time         `json:"now"`
 	Static      json.RawMessage   `json:"static,omitempty"`
 	Queries     []checkpointQuery `json:"queries"`
@@ -56,6 +58,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		Cache:       e.cacheSnapshots,
 		Incremental: e.incremental,
 		DeltaEval:   e.deltaEval,
+		SharedEval:  e.sharedEval,
 		Now:         e.now,
 	}
 	if e.static != nil {
@@ -85,7 +88,15 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			Done:     q.done,
 			Stats:    q.stats,
 		}
-		elems := q.hist.Elements()
+		// A shared-group member buffers no elements of its own; its
+		// window history lives on the group's chassis. Each member
+		// serializes the full list so the checkpoint stays per-query
+		// self-contained (Restore regroups from scratch).
+		hist := q.hist
+		if q.memberOf != nil {
+			hist = q.memberOf.chassis.hist
+		}
+		elems := hist.Elements()
 		q.mu.Unlock()
 		for _, el := range elems {
 			data, err := ingest.Encode(el.Graph, el.Time)
@@ -115,7 +126,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d", cp.Version)
 	}
-	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval)}
+	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval), WithSharedEval(cp.SharedEval)}
 	if cp.Bounds == window.BoundsStrict.String() {
 		opts = append(opts, WithBounds(window.BoundsStrict))
 	}
@@ -130,6 +141,13 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 	e := New(opts...)
 	e.now = cp.Now
 
+	// Phase 1: register every query ungrouped and replay its history.
+	// Shared-group formation is deferred to a regroup pass that sees
+	// each query's restored schedule and window contents — only queries
+	// that agree on all of it may share a chassis.
+	shared := e.sharedEval
+	e.sharedEval = false
+	restored := make([]*Query, 0, len(cp.Queries))
 	for _, cq := range cp.Queries {
 		reg, err := parser.ParseRegistration(cq.Source)
 		if err != nil {
@@ -158,14 +176,25 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 				return nil, fmt.Errorf("engine: restore query %q history: %w", reg.Name, err)
 			}
 		}
-		// Warm up the previous evaluation's state so emission diffs
-		// continue across the restart. A checkpoint carries no
-		// maintained delta state: it is derived, so a delta-mode engine
-		// rebuilds it by running one delta round at the last evaluated
-		// instant (the empty rolling snapshot makes the whole window
-		// arrive as delta additions, re-seeding every match). Classic
-		// mode recomputes the previous full result, which only the diff
-		// operators retain.
+		restored = append(restored, q)
+	}
+	e.sharedEval = shared
+	if shared {
+		e.restoreSharedGroups(restored)
+	}
+
+	// Phase 2: warm up the previous evaluation's state so emission
+	// diffs continue across the restart. A checkpoint carries no
+	// maintained delta state: it is derived, so a delta-mode engine
+	// rebuilds it by running one delta round at the last evaluated
+	// instant (the empty rolling snapshot makes the whole window
+	// arrive as delta additions, re-seeding every match). Classic
+	// mode recomputes the previous full result, which only the diff
+	// operators retain. Shared groups warm up once per chassis.
+	for _, q := range restored {
+		if q.memberOf != nil {
+			continue
+		}
 		if !q.done && !q.pendingStart && q.nextEval.After(q.cfg.Start) {
 			lastEval := q.nextEval.Add(-q.cfg.Slide)
 			warmed := false
@@ -173,7 +202,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 				if ds := e.ensureDelta(q); !ds.failed {
 					_, _, _, _, _, err := e.deltaAdvance(q, ds, lastEval)
 					if err != nil {
-						return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+						return nil, fmt.Errorf("engine: restore query %q warm-up: %w", q.name, err)
 					}
 					warmed = !ds.failed
 				}
@@ -181,7 +210,7 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 			if !warmed && q.op() != ast.OpSnapshot {
 				result, _, _, _, ok, err := e.computeResult(q, lastEval)
 				if err != nil {
-					return nil, fmt.Errorf("engine: restore query %q warm-up: %w", reg.Name, err)
+					return nil, fmt.Errorf("engine: restore query %q warm-up: %w", q.name, err)
 				}
 				if ok {
 					q.prev = result
@@ -189,5 +218,110 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 			}
 		}
 	}
+	for _, g := range e.groupList {
+		if err := e.warmUpGroup(g); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// restoreSharedGroups re-forms shared evaluation groups after a
+// restore. Beyond the registration-time group key, members must agree
+// on their restored schedule (next evaluation instant) and buffered
+// window contents — two generations of the same fingerprint that were
+// registered at different times hold different histories and must stay
+// separate. Runs during single-threaded restore; no locking.
+func (e *Engine) restoreSharedGroups(restored []*Query) {
+	byKey := map[string]*sharedGroup{}
+	for _, q := range restored {
+		if q.done {
+			continue
+		}
+		cq, ok := ast.Canonicalize(q.reg.Body)
+		if !ok {
+			continue
+		}
+		var prog *eval.DeltaProgram
+		deltaOK := false
+		if e.deltaEval {
+			prog = eval.CompileDelta(cq.Rewritten)
+			deltaOK = prog != nil
+		}
+		q.canon = cq
+		q.canonProg = prog
+		baseKey := sharedGroupKey(cq, q, deltaOK)
+		key := baseKey +
+			"|next=" + q.nextEval.Format(time.RFC3339Nano) +
+			"|hist=" + substreamKey(q.hist.Elements())
+		g := byKey[key]
+		if g == nil {
+			g = e.newSharedGroup(baseKey, q, cq, deltaOK)
+			// The chassis inherits this member's restored history.
+			for _, el := range q.hist.Elements() {
+				_ = g.chassis.hist.Append(el.Graph, el.Time)
+			}
+			byKey[key] = g
+			e.groupList = append(e.groupList, g)
+		}
+		q.memberOf = g
+		g.members = append(g.members, q)
+		// The member's own buffer is no longer read; drop it.
+		q.hist.DropBefore(time.Unix(0, 1<<62))
+	}
+	e.sched.mqoGroups.Set(int64(len(e.groupList)))
+}
+
+// warmUpGroup rebuilds a restored group's evaluation state at the last
+// evaluated instant: shared delta state when the group is delta-
+// maintained, otherwise each diff-operator member's previous full
+// result via one shared evaluation.
+func (e *Engine) warmUpGroup(g *sharedGroup) error {
+	ch := g.chassis
+	members := g.members
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.pendingStart || !ch.nextEval.After(ch.cfg.Start) {
+		return nil
+	}
+	lastEval := ch.nextEval.Add(-ch.cfg.Slide)
+	if e.deltaEval && g.deltaOK {
+		if ds := e.ensureGroupDelta(ch, g, members); !ds.failed {
+			_, _, _, _, _, err := e.groupDeltaAdvance(ch, ds, lastEval)
+			if err != nil {
+				return fmt.Errorf("engine: restore group %q warm-up: %w", ch.name, err)
+			}
+			if !ds.failed {
+				return nil
+			}
+		}
+	}
+	needPrev := false
+	for _, m := range members {
+		if !m.done && m.op() != ast.OpSnapshot {
+			needPrev = true
+		}
+	}
+	if !needPrev {
+		return nil
+	}
+	bindings, iv, _, _, ok, err := e.computeResult(ch, lastEval)
+	if err != nil {
+		return fmt.Errorf("engine: restore group %q warm-up: %w", ch.name, err)
+	}
+	if !ok {
+		return nil
+	}
+	storeFor := e.groupStoreFor(ch, iv)
+	for _, m := range members {
+		if m.done || m.op() == ast.OpSnapshot {
+			continue
+		}
+		out, err := e.fanOutTable(m, bindings, storeFor, iv, lastEval)
+		if err != nil {
+			return fmt.Errorf("engine: restore query %q warm-up: %w", m.name, err)
+		}
+		m.prev = out
+	}
+	return nil
 }

@@ -18,6 +18,12 @@ package engine
 // two full result tables; SNAPSHOT materializes from the maintained
 // bag.
 //
+// Multi-query optimization (WithSharedEval, see sharedeval.go) builds
+// on the same machinery: a deltaState carries one *deltaSub per
+// subscriber, all fed from a single provenance index and a single
+// seeded-match pass over the shared canonical pattern. A standalone
+// query is simply the one-subscriber case.
+//
 // Queries outside the maintainable fragment (see eval.CompileDelta)
 // fall back per-query to the full evaluator at registration; a query
 // can also bail at runtime (eval.ErrDeltaUnsupported, e.g. a float
@@ -27,12 +33,14 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"seraph/internal/ast"
 	"seraph/internal/eval"
 	"seraph/internal/graphstore"
+	"seraph/internal/pg"
 	"seraph/internal/stream"
 	"seraph/internal/value"
 	"seraph/internal/window"
@@ -52,75 +60,160 @@ func WithDeltaEval(on bool) Option {
 	}
 }
 
-// deltaState is one query's maintained evaluation state. Guarded by
-// q.mu, like the rest of the query's evaluation state.
+// deltaState is the maintained evaluation state of one evaluation unit:
+// a standalone query (one sub) or a shared group's chassis (one sub per
+// member). Guarded by the owning query's mu.
 type deltaState struct {
-	prog   *eval.DeltaProgram
 	width  time.Duration // the single MATCH window width
 	failed bool          // permanent fallback to full evaluation
 
-	// ctrs collects maintenance events (float re-sums) from the
-	// program's accumulators; drained into stats per round.
-	ctrs *eval.DeltaCounters
+	// subs are the subscribers fed from the shared match pass. A
+	// standalone query has exactly one.
+	subs []*deltaSub
 
 	// matches holds every live match by canonical identity; prov is the
 	// inverted provenance index used to invalidate matches when an
-	// element they touch changes.
+	// element they touch changes. Both are shared across subscribers.
 	matches map[string]*deltaMatch
 	prov    map[eval.Seed]map[string]*deltaMatch
 
-	// Shortest-path queries: the previous instant's per-anchor distance
-	// maps (anchor id → opposite endpoint id → hops), diffed each round
-	// to find the pairs whose result may have changed.
+	// Shortest-path queries (single-subscriber only; the canonicalizer
+	// keeps shortestPath out of shared groups): the previous instant's
+	// per-anchor distance maps, diffed each round.
 	spDist map[int64]map[int64]int
 
-	// Non-aggregated queries maintain the result bag plus the current
-	// round's net row delta.
-	bag   *rowBag
-	round *roundDelta
-
-	// Ordered non-aggregated queries maintain an order-statistics bag
-	// instead, plus the previously materialized (skip/limit-applied)
-	// output table, diffed per round like the aggregated path.
-	ord     *eval.OrderStat
-	prevOut *eval.Table
-
-	// Aggregated queries maintain groups of removable accumulators and
-	// the previously materialized group table (diffed per round, which
-	// is O(groups), not O(window)).
-	groups     map[string]*eval.DeltaGroup
-	groupOrder []string
-	prevAgg    *eval.Table
-
-	// Per-instant scratch, reused across rounds (q.mu serializes
-	// rounds): the batched matcher's state, the row-key encoding
-	// buffer, and the seed set/slice of apply.
+	// Per-instant scratch, reused across rounds (the owner's mu
+	// serializes rounds): the batched matcher's state and the seed
+	// set/slice of apply.
 	scratch *eval.MatchScratch
-	keyBuf  []byte
 	seedSet map[eval.Seed]bool
 	seeds   []eval.Seed
+
+	// matchCtx is the per-round evaluation context the shared matcher
+	// runs under (set by the advance drivers).
+	matchCtx *eval.Ctx
 
 	// Churn-ratio hysteresis bypass (see DESIGN.md): when a round's
 	// delta is a large fraction of the window, per-seed anchored search
 	// costs more than one full evaluation, so the round is evaluated
-	// fully instead (counted by seraph_delta_bypass_total). bypassPrev
-	// is the last bypass round's full output, which the diff operators
-	// need; rounds counts evaluation rounds so the birth round (the
-	// whole initial window arriving as additions) never bypasses.
+	// fully instead (counted by seraph_delta_bypass_total). rounds
+	// counts evaluation rounds so the birth round (the whole initial
+	// window arriving as additions) never bypasses.
 	bypass       bool
-	bypassPrev   *eval.Table
 	rounds       int
 	lastBypassed bool
+
+	// reseedErr stashes a bypass-exit reseed failure for the round's
+	// exitRound calls to surface.
+	reseedErr error
+}
+
+// deltaSub is one subscriber's maintained result state: its compiled
+// program, its accumulators (bag / order-statistics / groups), and its
+// previously materialized outputs for the diff operators.
+type deltaSub struct {
+	q    *Query
+	prog *eval.DeltaProgram
+	body *ast.Query // full body for bypass rounds (the rewritten body for group members)
+
+	// ctrs collects maintenance events (float re-sums) from the
+	// program's accumulators; drained into the owner's stats per round.
+	ctrs *eval.DeltaCounters
+
+	// ctx is the subscriber's per-round evaluation context (its own
+	// params; the shared store and builtins).
+	ctx *eval.Ctx
+
+	// Non-aggregated: the result bag plus the current round's net row
+	// delta.
+	bag   *rowBag
+	round *roundDelta
+
+	// Ordered non-aggregated: an order-statistics bag plus the
+	// previously materialized (skip/limit-applied) output table.
+	ord     *eval.OrderStat
+	prevOut *eval.Table
+
+	// Aggregated: groups of removable accumulators and the previously
+	// materialized group table.
+	groups     map[string]*eval.DeltaGroup
+	groupOrder []string
+	prevAgg    *eval.Table
+
+	// bypassPrev is the last bypass round's full output, which the diff
+	// operators need across bypassed rounds.
+	bypassPrev *eval.Table
+
+	// keyBuf is the row-key encoding scratch.
+	keyBuf []byte
+
+	// dead marks a subscriber that failed or was deregistered; its
+	// state is released and the shared pass skips it.
+	dead bool
+	err  error
+}
+
+func newDeltaSub(q *Query, prog *eval.DeltaProgram, body *ast.Query) *deltaSub {
+	sub := &deltaSub{q: q, prog: prog, body: body, ctrs: &eval.DeltaCounters{}}
+	switch {
+	case prog.Aggregated():
+		sub.groups = map[string]*eval.DeltaGroup{}
+	case prog.Ordered():
+		sub.ord = eval.NewOrderStat(prog.SortDesc())
+	default:
+		sub.bag = &rowBag{}
+		sub.round = newRoundDelta()
+	}
+	return sub
+}
+
+// fail marks the subscriber dead after a member-level evaluation error
+// and releases its maintained state.
+func (sub *deltaSub) fail(err error) {
+	sub.err = err
+	sub.release()
+}
+
+// release drops the subscriber's maintained state (deregistration or
+// failure); the shared pass skips dead subscribers from then on.
+func (sub *deltaSub) release() {
+	sub.dead = true
+	sub.bag = nil
+	sub.round = nil
+	sub.ord = nil
+	sub.prevOut = nil
+	sub.groups = nil
+	sub.groupOrder = nil
+	sub.prevAgg = nil
+	sub.bypassPrev = nil
+	sub.keyBuf = nil
+	sub.ctx = nil
 }
 
 // deltaMatch is one live match: its provenance (every element whose
-// change invalidates it) and its contribution to the result — bag rows
-// or aggregation inputs.
+// change invalidates it) and its per-subscriber contribution to the
+// results — bag rows or aggregation inputs.
 type deltaMatch struct {
 	key     string
 	touched []eval.Seed
-	rows    []*bagRow       // non-aggregated
-	inputs  []eval.AggInput // aggregated
+	one     subContrib   // the single subscriber's contribution (len(subs)==1)
+	per     []subContrib // per-subscriber contributions (multi-subscriber)
+}
+
+// contrib returns subscriber i's contribution slot.
+func (m *deltaMatch) contrib(i, n int) *subContrib {
+	if n == 1 {
+		return &m.one
+	}
+	if m.per == nil {
+		m.per = make([]subContrib, n)
+	}
+	return &m.per[i]
+}
+
+type subContrib struct {
+	rows   []*bagRow       // non-aggregated
+	inputs []eval.AggInput // aggregated
 }
 
 // rowBag is the maintained result bag: insertion-ordered rows with
@@ -251,6 +344,35 @@ func (q *Query) op() ast.StreamOp {
 	return ast.OpSnapshot
 }
 
+// diffOp applies a stream operator given the current and previous
+// materialized outputs.
+func diffOp(op ast.StreamOp, cur, prev *eval.Table) (*eval.Table, error) {
+	switch op {
+	case ast.OpOnEntering:
+		return eval.BagDifference(cur, prev)
+	case ast.OpOnExiting:
+		return eval.BagDifference(prev, cur)
+	default:
+		return cur, nil
+	}
+}
+
+// deltaCtx builds one subscriber's per-round evaluation context.
+func (e *Engine) deltaCtx(store *graphstore.Store, params map[string]value.Value, mm *eval.MatchMetrics, iv stream.Interval, ω time.Time) *eval.Ctx {
+	return &eval.Ctx{
+		Store:    store,
+		GraphFor: func(time.Duration) *graphstore.Store { return store },
+		Params:   params,
+		Builtins: map[string]value.Value{
+			"win_start": value.NewDateTime(iv.Start),
+			"win_end":   value.NewDateTime(iv.End),
+			"now":       value.NewDateTime(ω),
+		},
+		Match:               mm,
+		DisableMatchIndexes: e.scanMatcher,
+	}
+}
+
 // ensureDelta decides, once per query, whether delta-driven evaluation
 // applies, and if so creates the maintained state and the query's
 // rolling snapshot with delta recording active from birth — so the
@@ -264,7 +386,7 @@ func (e *Engine) ensureDelta(q *Query) *deltaState {
 	q.delta = ds
 	fallback := func() *deltaState {
 		ds.failed = true
-		ds.prog = nil
+		ds.subs = nil
 		q.stats.DeltaFallbacks++
 		q.qm.deltaFallback.Inc()
 		if e.logger != nil {
@@ -276,49 +398,50 @@ func (e *Engine) ensureDelta(q *Query) *deltaState {
 	if prog == nil {
 		return fallback()
 	}
-	ds.prog = prog
+	ds.subs = []*deltaSub{newDeltaSub(q, prog, q.reg.Body)}
 	ds.width = prog.Within()
 	if ds.width == 0 {
 		ds.width = q.cfg.Width
 	}
-	if q.rollers == nil {
-		q.rollers = map[time.Duration]*rolling{}
-	}
-	if _, exists := q.rollers[ds.width]; exists {
-		// A roller predating delta recording holds elements the recorder
-		// never saw; the maintained state could not be seeded.
+	if err := q.startDeltaRoller(ds.width, e.static); err != nil {
 		return fallback()
 	}
-	r := newRolling()
-	r.store.BeginDelta()
-	if e.static != nil {
-		if err := r.add(e.static); err != nil {
-			return fallback()
-		}
-	}
-	q.rollers[ds.width] = r
-	ds.ctrs = &eval.DeltaCounters{}
 	ds.matches = map[string]*deltaMatch{}
 	ds.prov = map[eval.Seed]map[string]*deltaMatch{}
-	switch {
-	case prog.Aggregated():
-		ds.groups = map[string]*eval.DeltaGroup{}
-	case prog.Ordered():
-		ds.ord = eval.NewOrderStat(prog.SortDesc())
-	default:
-		ds.bag = &rowBag{}
-	}
 	if prog.Shortest() {
 		ds.spDist = map[int64]map[int64]int{}
 	}
 	return ds
 }
 
-// deltaAdvance runs one delta-driven round at instant ω: advance the
-// rolling snapshot, drain its delta, invalidate and re-find matches,
-// and produce the operator's output table. On a runtime bail it marks
-// ds failed, rebuilds q.prev, and returns with ds.failed set so the
-// caller re-evaluates ω through the classic path. Caller holds q.mu.
+// startDeltaRoller creates the delta-recording rolling snapshot for a
+// width. It fails when a roller for the width already exists: a roller
+// predating delta recording holds elements the recorder never saw, so
+// the maintained state could not be seeded.
+func (q *Query) startDeltaRoller(width time.Duration, static *pg.Graph) error {
+	if q.rollers == nil {
+		q.rollers = map[time.Duration]*rolling{}
+	}
+	if _, exists := q.rollers[width]; exists {
+		return errors.New("engine: roller predates delta recording")
+	}
+	r := newRolling()
+	r.store.BeginDelta()
+	if static != nil {
+		if err := r.add(static); err != nil {
+			return err
+		}
+	}
+	q.rollers[width] = r
+	return nil
+}
+
+// deltaAdvance runs one delta-driven round of a standalone query at
+// instant ω: advance the rolling snapshot, drain its delta, invalidate
+// and re-find matches, and produce the operator's output table. On a
+// runtime bail it marks ds failed, rebuilds q.prev, and returns with
+// ds.failed set so the caller re-evaluates ω through the classic path.
+// Caller holds q.mu.
 func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval.Table, iv stream.Interval, nodes, rels int, ok bool, err error) {
 	iv, ok = q.cfg.ActiveWindow(ω)
 	if !ok {
@@ -347,18 +470,10 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 	q.qm.windowElems.Set(int64(len(elems)))
 
 	delta := roller.store.TakeDelta()
-	ctx := &eval.Ctx{
-		Store:    roller.store,
-		GraphFor: func(time.Duration) *graphstore.Store { return roller.store },
-		Params:   q.params,
-		Builtins: map[string]value.Value{
-			"win_start": value.NewDateTime(iv.Start),
-			"win_end":   value.NewDateTime(iv.End),
-			"now":       value.NewDateTime(ω),
-		},
-		Match:               q.qm.match,
-		DisableMatchIndexes: e.scanMatcher,
-	}
+	sub := ds.subs[0]
+	ctx := e.deltaCtx(roller.store, q.params, q.qm.match, iv, ω)
+	sub.ctx = ctx
+	ds.matchCtx = ctx
 
 	t1 := time.Now()
 	// Churn-ratio hysteresis guard: when the round's delta is a large
@@ -370,38 +485,29 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 	// window arrives as additions and seeds the maintained state.
 	ds.lastBypassed = false
 	exited := false
-	if r := e.deltaBypass; r > 0 && ds.rounds > 0 {
-		size := roller.store.NumNodes() + roller.store.NumRels()
-		if size < 1 {
-			size = 1
-		}
-		churn := float64(delta.Len()) / float64(size)
-		if !ds.bypass && churn > r {
-			ds.enterBypass()
-		} else if ds.bypass && churn <= r/2 {
-			out, err = ds.exitBypass(ctx, roller.store, q.op())
-			exited = true
-		}
+	if ds.bypassGuard(e.deltaBypass, roller.store, delta) {
+		out, err = ds.exitRound(sub, q.op())
+		exited = true
 	}
 	switch {
 	case exited:
-		// exitBypass already reseeded and answered this round.
+		// exitRound (after the guard's reseed) already answered this round.
 	case ds.bypass:
 		ds.lastBypassed = true
-		out, err = ds.bypassRound(ctx, q.op(), q.reg.Body)
+		out, err = ds.bypassRound(sub, q.op())
 	default:
-		if err = ds.apply(ctx, roller.store, delta); err == nil {
-			out, err = ds.emit(ctx, q.op())
+		if err = ds.apply(roller.store, delta); err == nil {
+			out, err = ds.emitSub(sub, q.op())
 		}
 	}
 	ds.rounds++
 	cypher := int64(time.Since(t1))
 	q.stats.CypherNanos += cypher
 	q.qm.cypherEval.Observe(time.Duration(cypher))
-	if ds.ctrs != nil && ds.ctrs.Resums > 0 {
-		q.stats.DeltaResums += int(ds.ctrs.Resums)
-		q.qm.deltaResum.Add(ds.ctrs.Resums)
-		ds.ctrs.Resums = 0
+	if sub.ctrs != nil && sub.ctrs.Resums > 0 {
+		q.stats.DeltaResums += int(sub.ctrs.Resums)
+		q.qm.deltaResum.Add(sub.ctrs.Resums)
+		sub.ctrs.Resums = 0
 	}
 	if err != nil {
 		if errors.Is(err, eval.ErrDeltaUnsupported) {
@@ -415,6 +521,37 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 	return out, iv, roller.store.NumNodes(), roller.store.NumRels(), true, nil
 }
 
+// bypassGuard runs the churn-ratio hysteresis for one round. It may
+// enter bypass (dropping the maintained state) or leave it (reseeding
+// from the whole window); it returns true when it left bypass this
+// round, in which case each live subscriber's exitRound answers the
+// round.
+func (ds *deltaState) bypassGuard(ratio float64, store *graphstore.Store, delta *graphstore.Delta) bool {
+	if ratio <= 0 || ds.rounds == 0 {
+		return false
+	}
+	size := store.NumNodes() + store.NumRels()
+	if size < 1 {
+		size = 1
+	}
+	churn := float64(delta.Len()) / float64(size)
+	if !ds.bypass && churn > ratio {
+		ds.enterBypass()
+		return false
+	}
+	if ds.bypass && churn <= ratio/2 {
+		if err := ds.reseed(store); err != nil {
+			// Surface the reseed error through the first live sub's
+			// exitRound path by stashing it; reseed errors are rare
+			// (ErrDeltaUnsupported), so keep the plumbing simple.
+			ds.reseedErr = err
+		}
+		ds.bypass = false
+		return true
+	}
+	return false
+}
+
 // deltaFallback permanently abandons delta evaluation for q mid-run:
 // stops recording, drops the maintained state, and rebuilds the
 // previous instant's full result so ON ENTERING / ON EXITING diffs
@@ -422,25 +559,7 @@ func (e *Engine) deltaAdvance(q *Query, ds *deltaState, ω time.Time) (out *eval
 // covers the previous window (RetentionHorizon keeps width+slide), so
 // the rebuild is always possible.
 func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
-	ds.failed = true
-	ds.prog = nil
-	ds.ctrs = nil
-	ds.matches = nil
-	ds.prov = nil
-	ds.spDist = nil
-	ds.bag = nil
-	ds.round = nil
-	ds.ord = nil
-	ds.prevOut = nil
-	ds.groups = nil
-	ds.groupOrder = nil
-	ds.prevAgg = nil
-	ds.scratch = nil
-	ds.keyBuf = nil
-	ds.seedSet = nil
-	ds.seeds = nil
-	ds.bypass = false
-	ds.bypassPrev = nil
+	ds.releaseMaintained()
 	if r := q.rollers[ds.width]; r != nil {
 		r.store.StopDelta()
 	}
@@ -467,20 +586,36 @@ func (e *Engine) deltaFallback(q *Query, ds *deltaState, ω time.Time) error {
 	return nil
 }
 
+// releaseMaintained marks the state permanently failed and drops every
+// maintained structure.
+func (ds *deltaState) releaseMaintained() {
+	ds.failed = true
+	for _, sub := range ds.subs {
+		sub.release()
+	}
+	ds.subs = nil
+	ds.matches = nil
+	ds.prov = nil
+	ds.spDist = nil
+	ds.scratch = nil
+	ds.seedSet = nil
+	ds.seeds = nil
+	ds.matchCtx = nil
+	ds.bypass = false
+	ds.reseedErr = nil
+}
+
 // apply processes one drained window delta: first invalidate every
 // maintained match touching an exited or updated element, then find
 // the new matches by anchored searches seeded at each added or updated
 // element (plus the relationships incident to updated nodes, which
 // covers matches whose only changed element is a variable-length trail
-// intermediate).
-func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graphstore.Delta) error {
-	if ds.round == nil && ds.bag != nil {
-		ds.round = newRoundDelta()
-	}
-	if ds.prog.Shortest() {
+// intermediate). One pass feeds every live subscriber.
+func (ds *deltaState) apply(store *graphstore.Store, delta *graphstore.Delta) error {
+	if ds.subs[0].prog.Shortest() {
 		// shortestPath is non-monotone; provenance invalidation cannot
 		// see a match going stale. Maintained by distance-map diffing.
-		return ds.applyShortest(ctx, store, delta)
+		return ds.applyShortest(store, delta)
 	}
 
 	// Invalidation. Removal order is canonical-key order so the round
@@ -565,13 +700,13 @@ func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graph
 	if ds.scratch == nil {
 		ds.scratch = eval.NewMatchScratch()
 	}
-	sm := ds.prog.NewMatcher(ctx)
-	return sm.ForEachSeededMatchBatch(ctx, store, seeds, ds.scratch,
+	sm := ds.subs[0].prog.NewMatcher(ds.matchCtx)
+	return sm.ForEachSeededMatchBatch(ds.matchCtx, store, seeds, ds.scratch,
 		func(key []byte, row []value.Value, touched func() []eval.Seed) error {
 			if _, exists := ds.matches[string(key)]; exists {
 				return nil // survivor re-found from another seed
 			}
-			return ds.addMatch(ctx, string(key), row, touched())
+			return ds.addMatch(string(key), row, touched())
 		})
 }
 
@@ -582,13 +717,14 @@ func (ds *deltaState) apply(ctx *eval.Ctx, store *graphstore.Store, delta *graph
 // whose hop count appeared, changed, or vanished, plus pairs with an
 // updated endpoint (a property change alters the output row without
 // moving any distance).
-func (ds *deltaState) applyShortest(ctx *eval.Ctx, store *graphstore.Store, delta *graphstore.Delta) error {
+func (ds *deltaState) applyShortest(store *graphstore.Store, delta *graphstore.Delta) error {
 	if delta.Empty() {
 		return nil
 	}
-	sm := ds.prog.NewMatcher(ctx)
-	anchorIdx := ds.prog.ShortestAnchor()
-	newDist, err := sm.ShortestDistances(ctx, store, anchorIdx)
+	prog := ds.subs[0].prog
+	sm := prog.NewMatcher(ds.matchCtx)
+	anchorIdx := prog.ShortestAnchor()
+	newDist, err := sm.ShortestDistances(ds.matchCtx, store, anchorIdx)
 	if err != nil {
 		return err
 	}
@@ -648,11 +784,11 @@ func (ds *deltaState) applyShortest(ctx *eval.Ctx, store *graphstore.Store, delt
 		} else if _, ok := m[p.other]; !ok {
 			continue // pair unreachable (or past maxHops): no match
 		}
-		err := sm.ForEachShortestPair(ctx, store, id0, id1, func(key string, row []value.Value, touched []eval.Seed) error {
+		err := sm.ForEachShortestPair(ds.matchCtx, store, id0, id1, func(key string, row []value.Value, touched []eval.Seed) error {
 			if _, exists := ds.matches[key]; exists {
 				return nil
 			}
-			return ds.addMatch(ctx, key, row, touched)
+			return ds.addMatch(key, row, touched)
 		})
 		if err != nil {
 			return err
@@ -662,60 +798,33 @@ func (ds *deltaState) applyShortest(ctx *eval.Ctx, store *graphstore.Store, delt
 	return nil
 }
 
-// addMatch evaluates a newly found match's contribution and registers
-// it in the maintained state. Matches contributing no rows are not
-// stored: they cannot affect future results, and skipping them keeps
-// the provenance index proportional to the result, not the match set.
-func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, touched []eval.Seed) error {
+// addMatch evaluates a newly found match's per-subscriber contributions
+// and registers it in the maintained state. Matches contributing no
+// rows to any subscriber are not stored: they cannot affect future
+// results, and skipping them keeps the provenance index proportional to
+// the result, not the match set.
+func (ds *deltaState) addMatch(key string, row []value.Value, touched []eval.Seed) error {
 	m := &deltaMatch{key: key, touched: touched}
-	if ds.prog.Aggregated() {
-		ins, err := ds.prog.AggInputs(ctx, row)
+	n := len(ds.subs)
+	any := false
+	for i, sub := range ds.subs {
+		if sub.dead {
+			continue
+		}
+		contributed, err := sub.contribute(m.contrib(i, n), row)
 		if err != nil {
-			return err
-		}
-		if len(ins) == 0 {
-			return nil
-		}
-		for _, in := range ins {
-			g := ds.groups[in.GroupKey]
-			if g == nil {
-				g = ds.prog.NewGroup(in, ds.ctrs)
-				ds.groups[in.GroupKey] = g
-				ds.groupOrder = append(ds.groupOrder, in.GroupKey)
-			}
-			if err := g.Add(in); err != nil {
+			if errors.Is(err, eval.ErrDeltaUnsupported) || n == 1 {
 				return err
 			}
+			// Member-level failure inside a shared group: only this
+			// subscriber dies; the group keeps maintaining the others.
+			sub.fail(err)
+			continue
 		}
-		m.inputs = ins
-	} else if ds.ord != nil {
-		krs, err := ds.prog.FinalRowsKeyed(ctx, row)
-		if err != nil {
-			return err
-		}
-		if len(krs) == 0 {
-			return nil
-		}
-		for _, kr := range krs {
-			ds.ord.Add(kr.Sort, kr.Vals)
-			m.rows = append(m.rows, &bagRow{vals: kr.Vals, sort: kr.Sort})
-		}
-	} else {
-		rows, err := ds.prog.FinalRows(ctx, row)
-		if err != nil {
-			return err
-		}
-		if len(rows) == 0 {
-			return nil
-		}
-		for _, rv := range rows {
-			// Encode the row key into the reused buffer; bumpBytes hands
-			// back the round's canonical string so the bag row shares it.
-			ds.keyBuf = value.AppendKeyOf(ds.keyBuf[:0], rv...)
-			br := &bagRow{key: ds.round.bumpBytes(ds.keyBuf, rv, +1), vals: rv}
-			ds.bag.add(br)
-			m.rows = append(m.rows, br)
-		}
+		any = any || contributed
+	}
+	if !any {
+		return nil
 	}
 	ds.matches[key] = m
 	for _, s := range touched {
@@ -729,7 +838,64 @@ func (ds *deltaState) addMatch(ctx *eval.Ctx, key string, row []value.Value, tou
 	return nil
 }
 
-// dropMatch withdraws a match's contribution and unregisters it.
+// contribute evaluates one subscriber's pipeline over a match row and
+// feeds its accumulators, recording the contribution in c.
+func (sub *deltaSub) contribute(c *subContrib, row []value.Value) (bool, error) {
+	if sub.prog.Aggregated() {
+		ins, err := sub.prog.AggInputs(sub.ctx, row)
+		if err != nil {
+			return false, err
+		}
+		if len(ins) == 0 {
+			return false, nil
+		}
+		for _, in := range ins {
+			g := sub.groups[in.GroupKey]
+			if g == nil {
+				g = sub.prog.NewGroup(in, sub.ctrs)
+				sub.groups[in.GroupKey] = g
+				sub.groupOrder = append(sub.groupOrder, in.GroupKey)
+			}
+			if err := g.Add(in); err != nil {
+				return false, err
+			}
+		}
+		c.inputs = ins
+		return true, nil
+	}
+	if sub.ord != nil {
+		krs, err := sub.prog.FinalRowsKeyed(sub.ctx, row)
+		if err != nil {
+			return false, err
+		}
+		if len(krs) == 0 {
+			return false, nil
+		}
+		for _, kr := range krs {
+			sub.ord.Add(kr.Sort, kr.Vals)
+			c.rows = append(c.rows, &bagRow{vals: kr.Vals, sort: kr.Sort})
+		}
+		return true, nil
+	}
+	rows, err := sub.prog.FinalRows(sub.ctx, row)
+	if err != nil {
+		return false, err
+	}
+	if len(rows) == 0 {
+		return false, nil
+	}
+	for _, rv := range rows {
+		// Encode the row key into the reused buffer; bumpBytes hands
+		// back the round's canonical string so the bag row shares it.
+		sub.keyBuf = value.AppendKeyOf(sub.keyBuf[:0], rv...)
+		br := &bagRow{key: sub.round.bumpBytes(sub.keyBuf, rv, +1), vals: rv}
+		sub.bag.add(br)
+		c.rows = append(c.rows, br)
+	}
+	return true, nil
+}
+
+// dropMatch withdraws a match's contributions and unregisters it.
 func (ds *deltaState) dropMatch(m *deltaMatch) {
 	delete(ds.matches, m.key)
 	for _, s := range m.touched {
@@ -739,209 +905,201 @@ func (ds *deltaState) dropMatch(m *deltaMatch) {
 			delete(ds.prov, s)
 		}
 	}
-	for _, br := range m.rows {
-		if ds.ord != nil {
-			ds.ord.Remove(br.sort, br.vals)
+	n := len(ds.subs)
+	for i, sub := range ds.subs {
+		if sub.dead {
 			continue
 		}
-		ds.bag.kill(br)
-		ds.round.bump(br.key, br.vals, -1)
-	}
-	for _, in := range m.inputs {
-		if g := ds.groups[in.GroupKey]; g != nil {
-			g.Remove(in)
-			if !g.Live() {
-				delete(ds.groups, in.GroupKey)
+		c := m.contrib(i, n)
+		for _, br := range c.rows {
+			if sub.ord != nil {
+				sub.ord.Remove(br.sort, br.vals)
+				continue
+			}
+			sub.bag.kill(br)
+			sub.round.bump(br.key, br.vals, -1)
+		}
+		for _, in := range c.inputs {
+			if g := sub.groups[in.GroupKey]; g != nil {
+				g.Remove(in)
+				if !g.Live() {
+					delete(sub.groups, in.GroupKey)
+				}
 			}
 		}
 	}
 }
 
-// emit produces the operator's output table from the maintained state
-// and resets the round.
-func (ds *deltaState) emit(ctx *eval.Ctx, op ast.StreamOp) (*eval.Table, error) {
-	cols := ds.prog.Cols()
-	if !ds.prog.Aggregated() {
-		if ds.ord != nil {
+// emitSub produces one subscriber's operator output from its maintained
+// state and resets its round.
+func (ds *deltaState) emitSub(sub *deltaSub, op ast.StreamOp) (*eval.Table, error) {
+	cols := sub.prog.Cols()
+	if !sub.prog.Aggregated() {
+		if sub.ord != nil {
 			// Ordered: SKIP/LIMIT select rows relative to the whole bag, so
 			// deltas are computed on the materialized output — O(skip+limit)
 			// per round — not on per-row bag changes.
-			cur, err := ds.orderedTable(ctx)
+			cur, err := ds.orderedTable(sub)
 			if err != nil {
 				return nil, err
 			}
-			prev := ds.prevOut
+			prev := sub.prevOut
 			if prev == nil {
 				prev = &eval.Table{Cols: cols}
 			}
-			ds.prevOut = cur
-			switch op {
-			case ast.OpOnEntering:
-				return eval.BagDifference(cur, prev)
-			case ast.OpOnExiting:
-				return eval.BagDifference(prev, cur)
-			default:
-				return cur, nil
-			}
+			sub.prevOut = cur
+			return diffOp(op, cur, prev)
 		}
 		var out *eval.Table
 		switch op {
 		case ast.OpOnEntering:
-			out = ds.round.table(cols, false)
+			out = sub.round.table(cols, false)
 		case ast.OpOnExiting:
-			out = ds.round.table(cols, true)
+			out = sub.round.table(cols, true)
 		default:
-			out = ds.bag.materialize(cols)
+			out = sub.bag.materialize(cols)
 		}
-		ds.round.reset()
-		ds.bag.compact()
+		sub.round.reset()
+		sub.bag.compact()
 		return out, nil
 	}
 
-	cur, err := ds.aggTable(ctx)
+	cur, err := ds.aggTable(sub)
 	if err != nil {
 		return nil, err
 	}
-	prev := ds.prevAgg
+	prev := sub.prevAgg
 	if prev == nil {
 		prev = &eval.Table{Cols: cols}
 	}
-	ds.prevAgg = cur
-	switch op {
-	case ast.OpOnEntering:
-		return eval.BagDifference(cur, prev)
-	case ast.OpOnExiting:
-		return eval.BagDifference(prev, cur)
-	default:
-		return cur, nil
-	}
+	sub.prevAgg = cur
+	return diffOp(op, cur, prev)
 }
 
-// orderedTable materializes the ordered query's skip/limit-applied
-// output from the order-statistics bag.
-func (ds *deltaState) orderedTable(ctx *eval.Ctx) (*eval.Table, error) {
-	skip, limit, hasLimit, err := ds.prog.Bounds(ctx)
+// orderedTable materializes an ordered subscriber's skip/limit-applied
+// output from its order-statistics bag.
+func (ds *deltaState) orderedTable(sub *deltaSub) (*eval.Table, error) {
+	skip, limit, hasLimit, err := sub.prog.Bounds(sub.ctx)
 	if err != nil {
 		return nil, err
 	}
-	return ds.ord.Materialize(ds.prog.Cols(), skip, limit, hasLimit), nil
+	return sub.ord.Materialize(sub.prog.Cols(), skip, limit, hasLimit), nil
 }
 
-// aggTable materializes the live groups (insertion order, stale order
-// entries skipped), including the empty-input row for keyless
-// aggregations, ordered and sliced like the full evaluator — O(groups).
-func (ds *deltaState) aggTable(ctx *eval.Ctx) (*eval.Table, error) {
-	cur := &eval.Table{Cols: ds.prog.Cols()}
+// aggTable materializes a subscriber's live groups (insertion order,
+// stale order entries skipped), including the empty-input row for
+// keyless aggregations, ordered and sliced like the full evaluator —
+// O(groups).
+func (ds *deltaState) aggTable(sub *deltaSub) (*eval.Table, error) {
+	cur := &eval.Table{Cols: sub.prog.Cols()}
 	seen := map[string]bool{}
-	keep := ds.groupOrder[:0]
-	for _, k := range ds.groupOrder {
-		g := ds.groups[k]
+	keep := sub.groupOrder[:0]
+	for _, k := range sub.groupOrder {
+		g := sub.groups[k]
 		if g == nil || seen[k] {
 			continue
 		}
 		seen[k] = true
 		keep = append(keep, k)
-		row, err := ds.prog.GroupRow(ctx, g)
+		row, err := sub.prog.GroupRow(sub.ctx, g)
 		if err != nil {
 			return nil, err
 		}
 		cur.Rows = append(cur.Rows, row)
 	}
-	ds.groupOrder = keep
-	if len(cur.Rows) == 0 && !ds.prog.HasKeys() {
-		row, err := ds.prog.EmptyAggRow(ctx)
+	sub.groupOrder = keep
+	if len(cur.Rows) == 0 && !sub.prog.HasKeys() {
+		row, err := sub.prog.EmptyAggRow(sub.ctx)
 		if err != nil {
 			return nil, err
 		}
 		cur.Rows = append(cur.Rows, row)
 	}
-	if ds.prog.Ordered() {
+	if sub.prog.Ordered() {
 		// The group table is O(groups); sorting and slicing it here costs
 		// what the full evaluator pays after aggregation.
-		if err := ds.prog.OrderSlice(ctx, cur); err != nil {
+		if err := sub.prog.OrderSlice(sub.ctx, cur); err != nil {
 			return nil, err
 		}
 	}
 	return cur, nil
 }
 
-// currentOutput is the previous round's materialized output — what the
-// diff operators would have used as their "previous" side next round.
-func (ds *deltaState) currentOutput() *eval.Table {
+// currentOutput is a subscriber's previous round's materialized output
+// — what the diff operators would have used as their "previous" side
+// next round.
+func (ds *deltaState) currentOutput(sub *deltaSub) *eval.Table {
 	switch {
-	case ds.prog.Aggregated():
-		if ds.prevAgg != nil {
-			return ds.prevAgg
+	case sub.prog.Aggregated():
+		if sub.prevAgg != nil {
+			return sub.prevAgg
 		}
-	case ds.ord != nil:
-		if ds.prevOut != nil {
-			return ds.prevOut
+	case sub.ord != nil:
+		if sub.prevOut != nil {
+			return sub.prevOut
 		}
 	default:
-		return ds.bag.materialize(ds.prog.Cols())
+		return sub.bag.materialize(sub.prog.Cols())
 	}
-	return &eval.Table{Cols: ds.prog.Cols()}
+	return &eval.Table{Cols: sub.prog.Cols()}
 }
 
-// enterBypass switches the query to full-evaluation rounds: the
-// previous round's output (which the diff operators still need) is
+// enterBypass switches the unit to full-evaluation rounds: every live
+// subscriber's previous output (which the diff operators still need) is
 // captured, then the maintained per-match state is dropped — keeping it
 // warm through high churn would cost more per round than the reseed
-// that exitBypass pays once on the way back.
+// that the exit pays once on the way back.
 func (ds *deltaState) enterBypass() {
-	ds.bypassPrev = ds.currentOutput()
+	for _, sub := range ds.subs {
+		if sub.dead {
+			continue
+		}
+		sub.bypassPrev = ds.currentOutput(sub)
+		switch {
+		case sub.prog.Aggregated():
+			sub.groups = map[string]*eval.DeltaGroup{}
+			sub.groupOrder = nil
+			sub.prevAgg = nil
+		case sub.ord != nil:
+			sub.ord = eval.NewOrderStat(sub.prog.SortDesc())
+			sub.prevOut = nil
+		default:
+			sub.bag = &rowBag{}
+			if sub.round != nil {
+				sub.round.reset()
+			}
+		}
+	}
 	ds.bypass = true
 	clear(ds.matches)
 	clear(ds.prov)
 	if ds.spDist != nil {
 		ds.spDist = map[int64]map[int64]int{}
 	}
-	switch {
-	case ds.prog.Aggregated():
-		ds.groups = map[string]*eval.DeltaGroup{}
-		ds.groupOrder = nil
-		ds.prevAgg = nil
-	case ds.ord != nil:
-		ds.ord = eval.NewOrderStat(ds.prog.SortDesc())
-		ds.prevOut = nil
-	default:
-		ds.bag = &rowBag{}
-		if ds.round != nil {
-			ds.round.reset()
-		}
-	}
 }
 
-// bypassRound answers one bypassed round with a single full evaluation
-// of the query body, diffed against the previous round's output.
-func (ds *deltaState) bypassRound(ctx *eval.Ctx, op ast.StreamOp, body *ast.Query) (*eval.Table, error) {
-	cur, err := eval.EvalQuery(ctx, body)
+// bypassRound answers one subscriber's bypassed round with a single
+// full evaluation of its body, diffed against its previous round's
+// output.
+func (ds *deltaState) bypassRound(sub *deltaSub, op ast.StreamOp) (*eval.Table, error) {
+	cur, err := eval.EvalQuery(sub.ctx, sub.body)
 	if err != nil {
 		return nil, err
 	}
-	prev := ds.bypassPrev
+	prev := sub.bypassPrev
 	if prev == nil {
 		prev = &eval.Table{Cols: cur.Cols}
 	}
-	ds.bypassPrev = cur
-	switch op {
-	case ast.OpOnEntering:
-		return eval.BagDifference(cur, prev)
-	case ast.OpOnExiting:
-		return eval.BagDifference(prev, cur)
-	default:
-		return cur, nil
-	}
+	sub.bypassPrev = cur
+	return diffOp(op, cur, prev)
 }
 
-// exitBypass reseeds the maintained state from the whole current
-// window, replayed as one synthetic all-added delta, and produces the
-// round's output by diffing the rebuilt result against the last bypass
-// round's table. The bogus round delta the reseed accumulates (every
-// row "entered") is discarded — relative to the previous round only the
-// real churn changed, and the diff against bypassPrev captures exactly
-// that.
-func (ds *deltaState) exitBypass(ctx *eval.Ctx, store *graphstore.Store, op ast.StreamOp) (*eval.Table, error) {
+// reseed rebuilds the maintained state from the whole current window,
+// replayed as one synthetic all-added delta. The bogus round deltas the
+// reseed accumulates (every row "entered") are discarded — relative to
+// the previous round only the real churn changed, and each subscriber's
+// exitRound diff against its bypassPrev captures exactly that.
+func (ds *deltaState) reseed(store *graphstore.Store) error {
 	synth := &graphstore.Delta{}
 	for _, n := range store.AllNodes() {
 		synth.AddedNodes = append(synth.AddedNodes, n.ID)
@@ -949,41 +1107,259 @@ func (ds *deltaState) exitBypass(ctx *eval.Ctx, store *graphstore.Store, op ast.
 	for _, r := range store.AllRels() {
 		synth.AddedRels = append(synth.AddedRels, r.ID)
 	}
-	if err := ds.apply(ctx, store, synth); err != nil {
-		return nil, err
+	if err := ds.apply(store, synth); err != nil {
+		return err
 	}
-	if ds.round != nil {
-		ds.round.reset()
+	for _, sub := range ds.subs {
+		if !sub.dead && sub.round != nil {
+			sub.round.reset()
+		}
+	}
+	return nil
+}
+
+// exitRound produces one subscriber's output for the round that left
+// bypass: the reseeded state materialized and diffed against the last
+// bypass round's table.
+func (ds *deltaState) exitRound(sub *deltaSub, op ast.StreamOp) (*eval.Table, error) {
+	if ds.reseedErr != nil {
+		return nil, ds.reseedErr
 	}
 	var cur *eval.Table
 	var err error
 	switch {
-	case ds.prog.Aggregated():
-		if cur, err = ds.aggTable(ctx); err == nil {
-			ds.prevAgg = cur
+	case sub.prog.Aggregated():
+		if cur, err = ds.aggTable(sub); err == nil {
+			sub.prevAgg = cur
 		}
-	case ds.ord != nil:
-		if cur, err = ds.orderedTable(ctx); err == nil {
-			ds.prevOut = cur
+	case sub.ord != nil:
+		if cur, err = ds.orderedTable(sub); err == nil {
+			sub.prevOut = cur
 		}
 	default:
-		cur = ds.bag.materialize(ds.prog.Cols())
+		cur = sub.bag.materialize(sub.prog.Cols())
 	}
 	if err != nil {
 		return nil, err
 	}
-	prev := ds.bypassPrev
+	prev := sub.bypassPrev
 	if prev == nil {
-		prev = &eval.Table{Cols: ds.prog.Cols()}
+		prev = &eval.Table{Cols: sub.prog.Cols()}
 	}
-	ds.bypass = false
-	ds.bypassPrev = nil
-	switch op {
-	case ast.OpOnEntering:
-		return eval.BagDifference(cur, prev)
-	case ast.OpOnExiting:
-		return eval.BagDifference(prev, cur)
+	sub.bypassPrev = nil
+	return diffOp(op, cur, prev)
+}
+
+// ---------------------------------------------------------------------------
+// Shared-group delta evaluation (multi-query optimization)
+
+// ensureGroupDelta decides, once per shared group, whether delta-driven
+// evaluation applies to the whole group, and if so creates one
+// subscriber per member over a single provenance index. Caller holds
+// the chassis mu.
+func (e *Engine) ensureGroupDelta(ch *Query, g *sharedGroup, members []*Query) *deltaState {
+	if ch.delta != nil {
+		return ch.delta
+	}
+	ds := &deltaState{}
+	ch.delta = ds
+	if !g.deltaOK {
+		// The members' rewritten bodies are outside the maintainable
+		// fragment (the group key partitions by this): shared-full mode.
+		ds.failed = true
+		return ds
+	}
+	fallback := func() *deltaState {
+		ds.failed = true
+		ds.subs = nil
+		e.countGroupFallback(members)
+		return ds
+	}
+	subs := make([]*deltaSub, 0, len(members))
+	for _, m := range members {
+		prog := m.canonProg
+		if prog == nil {
+			prog = eval.CompileDelta(m.canon.Rewritten)
+		}
+		if prog == nil {
+			return fallback() // unreachable: deltaOK groups compiled at registration
+		}
+		subs = append(subs, newDeltaSub(m, prog, m.canon.Rewritten))
+	}
+	ds.subs = subs
+	ds.width = subs[0].prog.Within()
+	if ds.width == 0 {
+		ds.width = ch.cfg.Width
+	}
+	if err := ch.startDeltaRoller(ds.width, e.static); err != nil {
+		return fallback()
+	}
+	ds.matches = map[string]*deltaMatch{}
+	ds.prov = map[eval.Seed]map[string]*deltaMatch{}
+	return ds
+}
+
+// countGroupFallback records a permanent group-wide fallback on every
+// member (mirroring the standalone path's per-query counter).
+func (e *Engine) countGroupFallback(members []*Query) {
+	for _, m := range members {
+		m.mu.Lock()
+		m.stats.DeltaFallbacks++
+		m.mu.Unlock()
+		m.qm.deltaFallback.Inc()
+	}
+}
+
+// groupDeltaAdvance runs one shared delta round at instant ω: one
+// rolling-snapshot advance, one drained delta, one invalidation and one
+// seeded-match pass over the group's canonical pattern, fanning each
+// found match out to every live subscriber's accumulators. It returns
+// one output table per subscriber (nil for dead/done members). On a
+// runtime bail it marks ds failed and rebuilds each member's previous
+// result so the shared-full path continues exactly. Caller holds the
+// chassis mu.
+func (e *Engine) groupDeltaAdvance(ch *Query, ds *deltaState, ω time.Time) (outs []*eval.Table, iv stream.Interval, nodes, rels int, ok bool, err error) {
+	iv, ok = ch.cfg.ActiveWindow(ω)
+	if !ok {
+		return nil, iv, 0, 0, false, nil
+	}
+	roller := ch.rollers[ds.width]
+
+	t0 := time.Now()
+	wiv, wok := window.ActiveWindowWidth(ch.cfg, ds.width, ω)
+	var elems []stream.Element
+	if wok {
+		elems = ch.hist.Substream(wiv)
+	}
+	added, removed, aerr := roller.advance(elems)
+	ch.stats.IncrementalAdds += added
+	ch.stats.IncrementalRemoves += removed
+	ch.qm.incAdds.Add(int64(added))
+	ch.qm.incRemoves.Add(int64(removed))
+	snapNanos := int64(time.Since(t0))
+	ch.stats.SnapshotNanos += snapNanos
+	ch.qm.snapshotBuild.Observe(time.Duration(snapNanos))
+	if aerr != nil {
+		return nil, iv, 0, 0, true, aerr
+	}
+	ch.stats.WindowElements = len(elems)
+	ch.qm.windowElems.Set(int64(len(elems)))
+
+	delta := roller.store.TakeDelta()
+	ds.matchCtx = e.deltaCtx(roller.store, nil, ch.qm.match, iv, ω)
+	for _, sub := range ds.subs {
+		if sub.dead {
+			continue
+		}
+		sub.ctx = e.deltaCtx(roller.store, sub.q.params, sub.q.qm.match, iv, ω)
+	}
+
+	t1 := time.Now()
+	ds.lastBypassed = false
+	exited := ds.bypassGuard(e.deltaBypass, roller.store, delta)
+	outs = make([]*eval.Table, len(ds.subs))
+	perSub := func(f func(sub *deltaSub) (*eval.Table, error)) {
+		for i, sub := range ds.subs {
+			if sub.dead {
+				continue
+			}
+			out, serr := f(sub)
+			if serr != nil {
+				if errors.Is(serr, eval.ErrDeltaUnsupported) {
+					err = serr
+					return
+				}
+				sub.fail(fmt.Errorf("engine: query %q at %s: %w",
+					sub.q.name, ω.Format(time.RFC3339), serr))
+				continue
+			}
+			outs[i] = out
+		}
+	}
+	switch {
+	case exited:
+		perSub(func(sub *deltaSub) (*eval.Table, error) { return ds.exitRound(sub, sub.q.op()) })
+	case ds.bypass:
+		ds.lastBypassed = true
+		perSub(func(sub *deltaSub) (*eval.Table, error) { return ds.bypassRound(sub, sub.q.op()) })
 	default:
-		return cur, nil
+		if err = ds.apply(roller.store, delta); err == nil {
+			perSub(func(sub *deltaSub) (*eval.Table, error) { return ds.emitSub(sub, sub.q.op()) })
+		}
 	}
+	ds.rounds++
+	cypher := int64(time.Since(t1))
+	ch.stats.CypherNanos += cypher
+	ch.qm.cypherEval.Observe(time.Duration(cypher))
+	for _, sub := range ds.subs {
+		if sub.ctrs != nil && sub.ctrs.Resums > 0 {
+			sub.q.mu.Lock()
+			sub.q.stats.DeltaResums += int(sub.ctrs.Resums)
+			sub.q.mu.Unlock()
+			sub.q.qm.deltaResum.Add(sub.ctrs.Resums)
+			sub.ctrs.Resums = 0
+		}
+	}
+	if err != nil {
+		if errors.Is(err, eval.ErrDeltaUnsupported) {
+			if ferr := e.groupDeltaFallback(ch, ds, ω); ferr != nil {
+				return nil, iv, 0, 0, true, ferr
+			}
+			return nil, iv, 0, 0, true, nil // ds.failed: caller re-evaluates via shared-full
+		}
+		return nil, iv, 0, 0, true, err
+	}
+	return outs, iv, roller.store.NumNodes(), roller.store.NumRels(), true, nil
+}
+
+// groupDeltaFallback permanently abandons delta maintenance for a
+// shared group mid-run: the shared state is dropped and each live
+// member's previous full result is rebuilt from the chassis window at
+// the preceding instant, so per-member diff operators continue exactly
+// through the shared-full path.
+func (e *Engine) groupDeltaFallback(ch *Query, ds *deltaState, ω time.Time) error {
+	members := make([]*Query, 0, len(ds.subs))
+	for _, sub := range ds.subs {
+		if !sub.dead {
+			members = append(members, sub.q)
+		}
+	}
+	ds.releaseMaintained()
+	if r := ch.rollers[ds.width]; r != nil {
+		r.store.StopDelta()
+	}
+	e.countGroupFallback(members)
+	if e.logger != nil {
+		e.logger.Warn("seraph: shared delta evaluation bailed, group falling back to shared full evaluation",
+			"group", ch.name, "at", ω)
+	}
+	if !ω.After(ch.cfg.Start) {
+		return nil
+	}
+	prevω := ω.Add(-ch.cfg.Slide)
+	bindings, iv, _, _, ok, err := e.computeResult(ch, prevω)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	storeFor := e.groupStoreFor(ch, iv)
+	for _, m := range members {
+		m.mu.Lock()
+		if m.done || m.op() == ast.OpSnapshot {
+			m.prev = nil
+			m.mu.Unlock()
+			continue
+		}
+		prev, err := e.fanOutTable(m, bindings, storeFor, iv, prevω)
+		if err != nil {
+			m.prev = nil
+			m.mu.Unlock()
+			continue // the member fails properly at the next shared-full round
+		}
+		m.prev = prev
+		m.mu.Unlock()
+	}
+	return nil
 }

@@ -72,6 +72,16 @@ type Engine struct {
 	// deltaeval.go and WithDeltaEval). Implies incremental.
 	deltaEval bool
 
+	// sharedEval enables multi-query optimization: queries with equal
+	// canonical fingerprints share one pattern evaluation per instant
+	// (see sharedeval.go and WithSharedEval). groups holds the joinable
+	// generation per group key, groupList every live group (both guarded
+	// by mu); groupSeq numbers chassis names.
+	sharedEval bool
+	groups     map[string]*sharedGroup
+	groupList  []*sharedGroup
+	groupSeq   int
+
 	// deltaBypass is the churn-ratio crossover guard for delta
 	// evaluation: when a round's delta exceeds this fraction of the
 	// window, the round is answered by one full evaluation instead of
@@ -290,6 +300,16 @@ type Query struct {
 	// deltaeval.go).
 	delta *deltaState
 
+	// Multi-query optimization (sharedeval.go): memberOf is the shared
+	// group this query evaluates in (nil = unshared); group is set on a
+	// group's chassis instead. canon/canonProg are the registration-time
+	// canonical decomposition and its compiled delta program. All four
+	// are fixed under e.mu at registration and never reassigned.
+	memberOf  *sharedGroup
+	group     *sharedGroup
+	canon     *ast.CanonQuery
+	canonProg *eval.DeltaProgram
+
 	// evalMu serializes this query's evaluation chain: whoever holds it
 	// owns the right to run evaluations, in instant order, until
 	// nextEval passes evalTarget. evalTarget (guarded by mu) is the
@@ -427,6 +447,9 @@ func (e *Engine) register(reg *ast.Registration, sink Sink, params map[string]va
 		q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 	}
 	e.queries[reg.Name] = q
+	if e.sharedEval {
+		e.joinSharedGroup(q)
+	}
 	return q, nil
 }
 
@@ -453,14 +476,68 @@ func (e *Engine) RegisterSourceOn(streamName, src string, sink Sink) (*Query, er
 }
 
 // Deregister removes a query by name (the paper's registry allows
-// editing and deleting registered queries).
+// editing and deleting registered queries) and releases its evaluation
+// state: delta-eval maintained structures, rolling snapshots, previous
+// results, and buffered stream history. A shared-group member also
+// leaves its group; the group's chassis is retired when its last member
+// leaves.
 func (e *Engine) Deregister(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.queries[name]; !ok {
+	q, ok := e.queries[name]
+	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("engine: query %q not registered", name)
 	}
 	delete(e.queries, name)
+	g := q.memberOf
+	empty := false
+	if g != nil {
+		g.members = removeQuery(g.members, q)
+		empty = len(g.members) == 0
+		if empty {
+			if e.groups[g.key] == g {
+				delete(e.groups, g.key)
+			}
+			keep := e.groupList[:0]
+			for _, x := range e.groupList {
+				if x != g {
+					keep = append(keep, x)
+				}
+			}
+			e.groupList = keep
+		}
+		e.sched.mqoGroups.Set(int64(len(e.groupList)))
+	}
+	e.mu.Unlock()
+
+	// Release outside e.mu: q.release waits on q.mu, which an in-flight
+	// evaluation may hold, and pushes must not stall behind it.
+	q.release()
+	if g != nil {
+		ch := g.chassis
+		ch.mu.Lock()
+		if ds := ch.delta; ds != nil {
+			for i, sub := range ds.subs {
+				if sub.q != q {
+					continue
+				}
+				sub.release()
+				// Drop the dead subscriber's per-match contributions so the
+				// shared match set does not pin its result rows.
+				for _, dm := range ds.matches {
+					if dm.per != nil {
+						dm.per[i] = subContrib{}
+					} else if len(ds.subs) == 1 {
+						dm.one = subContrib{}
+					}
+				}
+			}
+		}
+		ch.mu.Unlock()
+		if empty {
+			ch.release()
+		}
+	}
 	return nil
 }
 
@@ -499,6 +576,14 @@ func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error 
 			targets = append(targets, q)
 		}
 	}
+	// Shared groups buffer elements once, on the chassis; members keep
+	// their per-query counters and STARTING AT NOW resolution but no
+	// history of their own.
+	for _, sg := range e.groupList {
+		if sg.chassis.streamName == streamName {
+			targets = append(targets, sg.chassis)
+		}
+	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].name < targets[j].name })
 	// Validation pass: e.mu serializes appends, so a violation found
 	// here cannot appear between this check and the mutation pass
@@ -520,6 +605,13 @@ func (e *Engine) PushStream(streamName string, g *pg.Graph, ts time.Time) error 
 			q.nextEval = ts
 			q.evalTarget = q.nextEval.Add(-time.Nanosecond)
 			q.pendingStart = false
+		}
+		if q.memberOf != nil {
+			// Grouped member: the chassis (also a target) holds the
+			// element; count it for the member's observability parity.
+			q.stats.ElementsSeen++
+			q.mu.Unlock()
+			continue
 		}
 		err := q.hist.Append(g, ts)
 		if err == nil {

@@ -37,6 +37,10 @@ const (
 	mDeltaBypass     = "seraph_delta_bypass_total"
 	mDeltaFallback   = "seraph_delta_fallback_total"
 	mDeltaResum      = "seraph_delta_resum_total"
+	mMQOGroups       = "seraph_mqo_groups"
+	mMQOFanned       = "seraph_mqo_shared_rows_fanned_out"
+	mMQOSaved        = "seraph_mqo_evals_saved"
+	mSymtabSize      = "seraph_symtab_size"
 )
 
 // queryMetrics are the per-query instruments, labeled query=<name>.
@@ -101,6 +105,10 @@ type schedMetrics struct {
 	dispatch     *metrics.Histogram // AdvanceTo entry → worker pickup latency
 	backpressure *metrics.Counter   // pushes rejected by admission control
 	backlog      *metrics.Gauge     // due-but-unexecuted evaluation instants
+	mqoGroups    *metrics.Gauge     // live shared evaluation groups
+	mqoFanned    *metrics.Counter   // rows fanned out from shared evaluations
+	mqoSaved     *metrics.Counter   // per-instant pattern evaluations avoided
+	symtabSize   *metrics.Gauge     // interned symbols (process-global)
 }
 
 func newSchedMetrics(reg *metrics.Registry) schedMetrics {
@@ -111,5 +119,9 @@ func newSchedMetrics(reg *metrics.Registry) schedMetrics {
 		dispatch:     reg.Histogram(mSchedDispatch, "Latency from AdvanceTo dispatch to worker pickup."),
 		backpressure: reg.Counter(mBackpressure, "Pushes rejected by admission control (ErrBusy)."),
 		backlog:      reg.Gauge(mEvalBacklog, "Due-but-unexecuted evaluation instants across all queries."),
+		mqoGroups:    reg.Gauge(mMQOGroups, "Live shared evaluation groups (multi-query optimization)."),
+		mqoFanned:    reg.Counter(mMQOFanned, "Rows fanned out from shared group evaluations to subscribers."),
+		mqoSaved:     reg.Counter(mMQOSaved, "Per-instant pattern evaluations avoided by shared groups (members beyond the first, per evaluated instant)."),
+		symtabSize:   reg.Gauge(mSymtabSize, "Symbols interned in the process-global label/type/key table."),
 	}
 }

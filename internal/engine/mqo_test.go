@@ -1,0 +1,483 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"seraph/internal/parser"
+	"seraph/internal/value"
+)
+
+// mqoShapes are the shareable query families the multi-query optimizer
+// must collapse: every member of a family has the same MATCH/window
+// skeleton and differs only in a parameterized residual predicate
+// ($p), so all (operator, parameter) variants of one family belong in
+// a single shared evaluation group.
+var mqoShapes = []struct{ name, body string }{
+	{"flat", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v >= $p
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  %s EVERY PT7S`},
+	{"agg", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE a.k = $p
+  EMIT b.k AS k, count(*) AS n, sum(r.v) AS tv
+  %s EVERY PT7S`},
+	{"label", `MATCH (a:V)
+  WITHIN PT12S
+  WHERE a.k >= $p
+  EMIT count(*) AS n
+  %s EVERY PT5S`},
+	{"topk", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v >= $p
+  EMIT a.k AS ak, r.v AS v
+  ORDER BY v DESC, ak
+  LIMIT 3
+  %s EVERY PT7S`},
+}
+
+// mqoControls reuse the flat family's shape but perturb exactly one
+// grouping dimension — window width, pattern direction, slide — so
+// each must land in its own group rather than the flat family's.
+var mqoControls = []struct{ name, body string }{
+	{"ctl_width", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT15S
+  WHERE r.v >= $p
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  SNAPSHOT EVERY PT7S`},
+	{"ctl_dir", `MATCH (a:P)<-[r:F]-(b:P)
+  WITHIN PT20S
+  WHERE r.v >= $p
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  SNAPSHOT EVERY PT7S`},
+	{"ctl_slide", `MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v >= $p
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  SNAPSHOT EVERY PT6S`},
+}
+
+// The alpha pair: same query up to variable renaming and conjunct
+// order, with a genuinely multi-variable (core) WHERE conjunct. Both
+// must collapse onto one fingerprint, hence one group.
+var mqoAlphaPair = []struct{ name, src string }{
+	{"alpha_a", `REGISTER QUERY alpha_a STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE a.k < b.k AND r.v > 0
+  EMIT a.k AS ak, b.k AS bk
+  SNAPSHOT EVERY PT7S
+}`},
+	{"alpha_b", `REGISTER QUERY alpha_b STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (x:P)-[e:F]->(y:P)
+  WITHIN PT20S
+  WHERE e.v > 0 AND x.k < y.k
+  EMIT x.k AS ak, y.k AS bk
+  SNAPSHOT EVERY PT7S
+}`},
+}
+
+type mqoRun struct {
+	cols map[string]*Collector
+	qs   map[string]*Query
+	eng  *Engine
+}
+
+func (m *mqoRun) registerParam(t *testing.T, name, body, op string, pv int) {
+	t.Helper()
+	reg, err := parser.ParseRegistration(deltaSource(name, body, op))
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	col := &Collector{}
+	q, err := m.eng.RegisterWithParams(reg, col.Sink(),
+		map[string]value.Value{"p": value.NewInt(int64(pv))})
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	m.cols[name] = col
+	m.qs[name] = q
+}
+
+// runMQOStream drives one engine through the full MQO workload: all
+// (shape, operator, parameter) variants, the non-grouping controls,
+// the alpha-equivalent pair, a mid-stream registration (which must
+// open a fresh group generation, never join a started chassis), and a
+// mid-stream deregistration (the survivors keep evaluating). The
+// stream and every action point are derived from seed, so two engines
+// run with different options see byte-identical histories.
+func runMQOStream(t *testing.T, opts []Option, seed int64, steps int) *mqoRun {
+	t.Helper()
+	m := &mqoRun{cols: map[string]*Collector{}, qs: map[string]*Query{}, eng: New(opts...)}
+	for _, sh := range mqoShapes {
+		for _, op := range deltaOps {
+			for pv := 0; pv < 3; pv++ {
+				m.registerParam(t, fmt.Sprintf("%s_%s_p%d", sh.name, op.short, pv), sh.body, op.kw, pv)
+			}
+		}
+	}
+	for _, c := range mqoControls {
+		reg, err := parser.ParseRegistration(fmt.Sprintf(
+			"REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00\n{\n  %s\n}", c.name, c.body))
+		if err != nil {
+			t.Fatalf("parse %s: %v", c.name, err)
+		}
+		col := &Collector{}
+		q, err := m.eng.RegisterWithParams(reg, col.Sink(), map[string]value.Value{"p": value.NewInt(0)})
+		if err != nil {
+			t.Fatalf("register %s: %v", c.name, err)
+		}
+		m.cols[c.name] = col
+		m.qs[c.name] = q
+	}
+	for _, a := range mqoAlphaPair {
+		col := &Collector{}
+		q, err := m.eng.RegisterSource(a.src, col.Sink())
+		if err != nil {
+			t.Fatalf("register %s: %v", a.name, err)
+		}
+		m.cols[a.name] = col
+		m.qs[a.name] = q
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	now := base
+	for i := 0; i < steps; i++ {
+		if i == steps/2 {
+			// Late arrival: in a shared engine the flat family's chassis
+			// has already evaluated, so this must start a new generation
+			// with an empty history — exactly the state a late query has
+			// on an unshared engine.
+			m.registerParam(t, "late_flat", mqoShapes[0].body, "SNAPSHOT", 1)
+		}
+		if i == (2*steps)/3 {
+			if err := m.eng.Deregister("agg_ent_p1"); err != nil {
+				t.Fatalf("deregister agg_ent_p1: %v", err)
+			}
+		}
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		if err := m.eng.Push(randDeltaEvent(r, i), now); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.eng.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.eng.AdvanceTo(now.Add(25 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestSharedEvalEquivalenceQuick is the shared-vs-unshared oracle:
+// over random overlap-heavy streams, an engine with multi-query
+// optimization — classic, delta-maintained, and delta with the bypass
+// guard — emits exactly the result sequence of an unshared engine, for
+// every registered variant, through mid-stream registration and
+// deregistration. The grouping itself is asserted on the side: variant
+// families collapse to one group each, controls and late arrivals do
+// not.
+func TestSharedEvalEquivalenceQuick(t *testing.T) {
+	const steps = 26
+	for seed := int64(0); seed < 4; seed++ {
+		full := runMQOStream(t, nil, seed, steps)
+		shared := runMQOStream(t, []Option{WithSharedEval(true)}, seed, steps)
+		sharedDelta := runMQOStream(t,
+			[]Option{WithSharedEval(true), WithDeltaEval(true), WithDeltaBypassRatio(0)}, seed, steps)
+		guarded := runMQOStream(t,
+			[]Option{WithSharedEval(true), WithDeltaEval(true)}, seed, steps)
+		for name, fc := range full.cols {
+			sameResults(t, fmt.Sprintf("seed %d shared", seed), name, fc, shared.cols[name])
+			sameResults(t, fmt.Sprintf("seed %d shared+delta", seed), name, fc, sharedDelta.cols[name])
+			sameResults(t, fmt.Sprintf("seed %d shared+guarded", seed), name, fc, guarded.cols[name])
+		}
+
+		// Grouping: flat, agg and topk share one pattern/window skeleton
+		// (their WHEREs are entirely residual), so their 27 variants —
+		// minus the mid-stream deregistration — form ONE group. label is
+		// a family of 9, the alpha pair (non-empty WHERE core) a group
+		// of 2, and 4 singletons: 3 controls + the late arrival's fresh
+		// generation.
+		for _, m := range []*mqoRun{shared, sharedDelta} {
+			sizes := map[int]int{}
+			groups := m.eng.SharedGroups()
+			for _, g := range groups {
+				sizes[len(g.Members)]++
+			}
+			if len(groups) != 7 || sizes[26] != 1 || sizes[9] != 1 || sizes[2] != 1 || sizes[1] != 4 {
+				t.Fatalf("seed %d: group sizes = %v in %d groups: %+v",
+					seed, sizes, len(groups), groups)
+			}
+		}
+
+		// The flat family must actually run delta-maintained when delta
+		// eval is on: shared and applied, never fallen back.
+		for _, g := range sharedDelta.eng.SharedGroups() {
+			for _, member := range g.Members {
+				if member == "flat_snap_p0" && !g.DeltaShared {
+					t.Fatalf("seed %d: flat family group %s not delta-shared", seed, g.ID)
+				}
+			}
+		}
+		st := sharedDelta.qs["flat_snap_p0"].Stats()
+		if st.DeltaFallbacks != 0 || st.DeltaApplied == 0 {
+			t.Fatalf("seed %d: flat_snap_p0 delta applied %d, fallbacks %d",
+				seed, st.DeltaApplied, st.DeltaFallbacks)
+		}
+
+		// Evaluation sharing is visible in the engine counters: far
+		// fewer pattern evaluations than an unshared engine would run.
+		if saved := shared.eng.sched.mqoSaved.Value(); saved == 0 {
+			t.Fatalf("seed %d: no evaluations saved despite 9-member groups", seed)
+		}
+		if fanned := shared.eng.sched.mqoFanned.Value(); fanned == 0 {
+			t.Fatalf("seed %d: no rows fanned out", seed)
+		}
+	}
+}
+
+// TestSharedGroupMembership covers the group lifecycle around
+// registration and deregistration: members join one generation until
+// its chassis starts, leave one at a time without disturbing the
+// survivors, and the group (with its chassis) retires when the last
+// member leaves.
+func TestSharedGroupMembership(t *testing.T) {
+	e := New(WithSharedEval(true))
+	src := func(name string) string { return deltaSource(name, mqoShapes[0].body, "SNAPSHOT") }
+	reg := func(name string, pv int) *Query {
+		t.Helper()
+		r, err := parser.ParseRegistration(src(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := e.RegisterWithParams(r, nil, map[string]value.Value{"p": value.NewInt(int64(pv))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q1, q2, q3 := reg("q1", 0), reg("q2", 1), reg("q3", 2)
+	id1, n1 := q1.SharedGroup()
+	id2, _ := q2.SharedGroup()
+	id3, _ := q3.SharedGroup()
+	if id1 == "" || id1 != id2 || id1 != id3 || n1 != 3 {
+		t.Fatalf("expected one 3-member group, got %q/%d %q %q", id1, n1, id2, id3)
+	}
+
+	// Start the generation, then register the same shape again: it must
+	// open a new group, not join the started chassis.
+	r := rand.New(rand.NewSource(1))
+	if err := e.Push(randDeltaEvent(r, 0), tick(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AdvanceTo(tick(5)); err != nil {
+		t.Fatal(err)
+	}
+	q4 := reg("q4", 0)
+	id4, n4 := q4.SharedGroup()
+	if id4 == "" || id4 == id1 || n4 != 1 {
+		t.Fatalf("late registration joined started group: %q (vs %q), size %d", id4, id1, n4)
+	}
+	if got := len(e.SharedGroups()); got != 2 {
+		t.Fatalf("groups = %d, want 2", got)
+	}
+
+	// Members leave one at a time; the group survives until empty.
+	if err := e.Deregister("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, n := q2.SharedGroup(); n != 2 {
+		t.Fatalf("after one deregistration group size = %d, want 2", n)
+	}
+	if err := e.Deregister("q2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deregister("q3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Deregister("q4"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.SharedGroups()); got != 0 {
+		t.Fatalf("groups after full deregistration = %d, want 0", got)
+	}
+	if err := e.Deregister("q1"); err == nil {
+		t.Fatal("double deregistration must fail")
+	}
+	// The retired chassis must not evaluate again.
+	if err := e.AdvanceTo(tick(60)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeregisterReleasesMaintainedState is the memory regression test
+// for query release: a register/evaluate/deregister cycle of 1000
+// delta-maintained queries must return the heap to its post-warm-up
+// baseline — the provenance index, maintained aggregates, order
+// statistics and buffered history all drop with the query. Run both
+// unshared (one deltaState per query) and shared (one chassis with
+// 1000 subscribers).
+func TestDeregisterReleasesMaintainedState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"delta", []Option{WithDeltaEval(true), WithDeltaBypassRatio(0)}},
+		{"shared_delta", []Option{WithSharedEval(true), WithDeltaEval(true), WithDeltaBypassRatio(0)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// History stays readable after deregistration by design; cap
+			// it so the heap assertion below measures evaluation state,
+			// not the bounded introspection record.
+			e := New(append([]Option{WithHistoryRetention(1)}, tc.opts...)...)
+			now := base
+			r := rand.New(rand.NewSource(9))
+			cycle := func() []*Query {
+				t.Helper()
+				const n = 1000
+				qs := make([]*Query, 0, n)
+				for i := 0; i < n; i++ {
+					q, err := e.RegisterSource(
+						deltaSource(fmt.Sprintf("m%d", i), deltaBodies[0].body, "SNAPSHOT"), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					qs = append(qs, q)
+				}
+				for s := 0; s < 3; s++ {
+					now = now.Add(5 * time.Second)
+					if err := e.Push(randDeltaEvent(r, s), now); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.AdvanceTo(now); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for i := 0; i < n; i++ {
+					if err := e.Deregister(fmt.Sprintf("m%d", i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return qs
+			}
+			heap := func() uint64 {
+				runtime.GC()
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return ms.HeapAlloc
+			}
+			warm := cycle() // warm up pools, the interner, and lazy engine state
+			before := heap()
+			held := cycle()
+			after := heap()
+
+			// Deregistration must have dropped every maintained structure
+			// even though the caller still holds the handles (Stats and
+			// History stay readable; evaluation state does not linger).
+			for _, q := range held {
+				q.mu.Lock()
+				leak := q.delta != nil || q.rollers != nil || q.prev != nil ||
+					q.prevCached != nil || q.hist.Len() != 0
+				q.mu.Unlock()
+				if leak {
+					t.Fatalf("query %s retains evaluation state after deregistration", q.name)
+				}
+				if g := q.memberOf; g != nil {
+					g.chassis.mu.Lock()
+					chLeak := g.chassis.delta != nil || g.chassis.rollers != nil || g.chassis.hist.Len() != 0
+					g.chassis.mu.Unlock()
+					if chLeak {
+						t.Fatalf("chassis %s retains evaluation state after its group emptied", g.id)
+					}
+				}
+			}
+
+			// With the handles pinned, any leaked per-query state scales
+			// with 1000 queries (tens of MB); the deregistered shells
+			// themselves plus allocator noise fit well inside the slack.
+			const slack = 8 << 20
+			if after > before+slack {
+				t.Fatalf("heap grew %d bytes across a 1000-query cycle (%d -> %d)",
+					after-before, before, after)
+			}
+			runtime.KeepAlive(warm)
+			runtime.KeepAlive(held)
+		})
+	}
+}
+
+// FuzzSharedEval cross-checks shared against unshared evaluation on
+// fuzzer-chosen workloads: an arbitrary mix of family variants driven
+// by an arbitrary stream must produce identical per-query results with
+// multi-query optimization off, on, and on with delta maintenance.
+func FuzzSharedEval(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(12))
+	f.Add(int64(7), uint8(3), uint8(20))
+	f.Add(int64(42), uint8(9), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nq, nsteps uint8) {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nq)%10 + 2
+		steps := int(nsteps)%16 + 4
+		type spec struct {
+			name string
+			src  string
+			pv   int64
+		}
+		specs := make([]spec, 0, n)
+		for i := 0; i < n; i++ {
+			sh := mqoShapes[r.Intn(len(mqoShapes))]
+			op := deltaOps[r.Intn(len(deltaOps))]
+			specs = append(specs, spec{
+				name: fmt.Sprintf("f%d_%s_%s", i, sh.name, op.short),
+				src:  deltaSource(fmt.Sprintf("f%d_%s_%s", i, sh.name, op.short), sh.body, op.kw),
+				pv:   int64(r.Intn(3)),
+			})
+		}
+		run := func(opts ...Option) map[string]*Collector {
+			e := New(opts...)
+			cols := map[string]*Collector{}
+			for _, s := range specs {
+				reg, err := parser.ParseRegistration(s.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				col := &Collector{}
+				if _, err := e.RegisterWithParams(reg, col.Sink(),
+					map[string]value.Value{"p": value.NewInt(s.pv)}); err != nil {
+					t.Fatal(err)
+				}
+				cols[s.name] = col
+			}
+			sr := rand.New(rand.NewSource(seed ^ 0x5eba))
+			now := base
+			for i := 0; i < steps; i++ {
+				now = now.Add(time.Duration(1+sr.Intn(6)) * time.Second)
+				if err := e.Push(randDeltaEvent(sr, i), now); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.AdvanceTo(now); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.AdvanceTo(now.Add(25 * time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			return cols
+		}
+		full := run()
+		shared := run(WithSharedEval(true))
+		sharedDelta := run(WithSharedEval(true), WithDeltaEval(true))
+		for name, fc := range full {
+			sameResults(t, "fuzz shared", name, fc, shared[name])
+			sameResults(t, "fuzz shared+delta", name, fc, sharedDelta[name])
+		}
+	})
+}

@@ -77,12 +77,21 @@ func (e *Engine) EvalBacklog() int64 {
 // (lock order e.mu → q.mu).
 func (e *Engine) evalBacklogLocked() int64 {
 	var backlog int64
-	for _, q := range e.queries {
+	count := func(q *Query) {
 		q.mu.Lock()
 		if !q.done && !q.pendingStart && !q.nextEval.After(e.now) && q.cfg.Slide > 0 {
 			backlog += int64(e.now.Sub(q.nextEval)/q.cfg.Slide) + 1
 		}
 		q.mu.Unlock()
+	}
+	for _, q := range e.queries {
+		if q.memberOf != nil {
+			continue // grouped members: their chassis is the unit of work
+		}
+		count(q)
+	}
+	for _, g := range e.groupList {
+		count(g.chassis)
 	}
 	e.sched.backlog.Set(backlog)
 	return backlog

@@ -64,15 +64,22 @@ func (e *Engine) AdvanceTo(ts time.Time) error {
 		e.now = ts
 	}
 	par := e.effectiveParallelism()
-	qs := make([]*Query, 0, len(e.queries))
+	qs := make([]*Query, 0, len(e.queries)+len(e.groupList))
 	for _, q := range e.queries {
+		if q.memberOf != nil {
+			continue // shared-group members are evaluated via their chassis
+		}
 		qs = append(qs, q)
+	}
+	for _, g := range e.groupList {
+		qs = append(qs, g.chassis)
 	}
 	e.mu.Unlock()
 	sort.Slice(qs, func(i, j int) bool { return qs[i].name < qs[j].name })
 
 	// Collect the due queries and raise their evaluation targets.
 	var due []*Query
+	dueGroups := false
 	for _, q := range qs {
 		q.mu.Lock()
 		if !q.done && !q.pendingStart && !q.nextEval.After(ts) {
@@ -80,8 +87,21 @@ func (e *Engine) AdvanceTo(ts time.Time) error {
 				q.evalTarget = ts
 			}
 			due = append(due, q)
+			dueGroups = dueGroups || q.group != nil
 		}
 		q.mu.Unlock()
+	}
+	if dueGroups {
+		// Freeze the due groups' generations before dispatch: a query
+		// registering from here on joins a fresh chassis, never one whose
+		// members already observed an instant.
+		e.mu.Lock()
+		for _, q := range due {
+			if q.group != nil {
+				q.group.started = true
+			}
+		}
+		e.mu.Unlock()
 	}
 	switch {
 	case len(due) == 0:
@@ -200,6 +220,11 @@ func (e *Engine) drain(q *Query) error {
 // Result with Skipped set — so only the freshest due instant pays the
 // full evaluation cost (see overload.go).
 func (e *Engine) evalNext(q *Query) error {
+	if q.group != nil {
+		// Shared-group chassis: one instant evaluates the whole group
+		// and fans out to every member (sharedeval.go).
+		return e.evalGroupNext(q)
+	}
 	q.mu.Lock()
 	if q.done || q.pendingStart || q.nextEval.After(q.evalTarget) {
 		q.chainStart = time.Time{}
@@ -272,6 +297,10 @@ func (e *Engine) evalNext(q *Query) error {
 func (e *Engine) registered(q *Query) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if q.group != nil {
+		// A chassis stays schedulable while its group has members.
+		return len(q.group.members) > 0
+	}
 	return e.queries[q.name] == q
 }
 

@@ -1,0 +1,568 @@
+package engine
+
+// sharedeval.go is the multi-query optimization (MQO) layer
+// (WithSharedEval): registered queries whose MATCH / WITHIN / core
+// WHERE agree after canonicalization (see internal/ast/canon.go) join a
+// shared evaluation group, so per-instant cost grows with the number of
+// *distinct* (pattern, window grid, stream) groups instead of the
+// number of registered queries.
+//
+// Each group owns a chassis — an internal *Query (named "mqo:gN", never
+// in the registry map) whose body is the canonical MATCH plus a
+// projection of the canonical pattern variables. The scheduler
+// dispatches the chassis as the unit of evaluation: one instant
+// evaluates the shared pattern once (full mode through computeResult,
+// delta mode through one provenance index and one seeded-match pass in
+// deltaeval.go), then fans the binding rows out to every member through
+// its bridge WITH (residual predicate + variable renaming), remaining
+// clauses, and stream operator. Sinks observe exactly the results an
+// unshared engine would produce, in member-name order per instant.
+//
+// Group membership is decided at Register time and frozen per
+// generation: a query may join a group only while the group's chassis
+// has neither evaluated an instant nor buffered a stream element —
+// otherwise the late joiner would observe history an unshared query
+// registered at the same moment could not see. A late arrival with an
+// equal fingerprint simply starts a new generation (a fresh chassis)
+// under the same key.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/symtab"
+	"seraph/internal/value"
+)
+
+// WithSharedEval enables multi-query optimization: queries with equal
+// canonical fingerprints (and equal window grid and stream) share one
+// pattern evaluation per instant. Result bags per query are identical
+// to unshared evaluation; only the cost model changes.
+func WithSharedEval(on bool) Option {
+	return func(e *Engine) { e.sharedEval = on }
+}
+
+// sharedGroup is one shared evaluation group. members and started are
+// guarded by the engine lock; the chassis carries the group's
+// evaluation state under its own locks like any query.
+type sharedGroup struct {
+	e       *Engine
+	key     string // fingerprint | stream | start | width | slide | delta
+	fp      string // canonical fingerprint (for introspection)
+	id      string // chassis name, "mqo:gN"
+	chassis *Query
+	members []*Query
+	started bool // an instant was dispatched; the generation is frozen
+	deltaOK bool // every member's rewritten body is delta-maintainable
+}
+
+// joinSharedGroup canonicalizes a freshly registered query and attaches
+// it to a shared group, creating a new generation when none is
+// joinable. Caller holds e.mu; q is already in the registry.
+func (e *Engine) joinSharedGroup(q *Query) {
+	cq, ok := ast.Canonicalize(q.reg.Body)
+	if ok {
+		var prog *eval.DeltaProgram
+		deltaOK := false
+		if e.deltaEval {
+			// Partition groups by delta-maintainability so one member
+			// outside the fragment cannot drag delta-capable queries
+			// into shared-full evaluation.
+			prog = eval.CompileDelta(cq.Rewritten)
+			deltaOK = prog != nil
+		}
+		q.canon = cq
+		q.canonProg = prog
+		key := sharedGroupKey(cq, q, deltaOK)
+		g := e.groups[key]
+		if g == nil || g.started || g.chassis.hist.Len() > 0 {
+			g = e.newSharedGroup(key, q, cq, deltaOK)
+			if e.groups == nil {
+				e.groups = map[string]*sharedGroup{}
+			}
+			e.groups[key] = g
+			e.groupList = append(e.groupList, g)
+		}
+		q.memberOf = g
+		g.members = append(g.members, q)
+		e.sched.mqoGroups.Set(int64(len(e.groupList)))
+	}
+	e.sched.symtabSize.Set(int64(symtab.Len()))
+}
+
+// sharedGroupKey extends the canonical fingerprint with everything else
+// two queries must agree on to evaluate as one unit: stream binding,
+// window grid (start, width, slide), and delta-maintainability.
+func sharedGroupKey(cq *ast.CanonQuery, q *Query, deltaOK bool) string {
+	start := "now-pending"
+	if !q.pendingStart {
+		start = q.cfg.Start.Format(time.RFC3339Nano)
+	}
+	return fmt.Sprintf("%s|stream=%s|start=%s|width=%s|slide=%s|delta=%t",
+		cq.Fingerprint, q.streamName, start, q.cfg.Width, q.cfg.Slide, deltaOK)
+}
+
+// newSharedGroup creates a generation's chassis from its first member:
+// same stream, same window grid, body = canonical MATCH + projection of
+// the canonical pattern variables (the shared binding table's columns).
+func (e *Engine) newSharedGroup(key string, q *Query, cq *ast.CanonQuery, deltaOK bool) *sharedGroup {
+	e.groupSeq++
+	id := fmt.Sprintf("mqo:g%d", e.groupSeq)
+	items := make([]ast.ReturnItem, 0, len(cq.Vars))
+	for _, v := range cq.Vars {
+		items = append(items, ast.ReturnItem{X: &ast.Var{Name: v}, Alias: v})
+	}
+	body := &ast.Query{Parts: []*ast.SingleQuery{{Clauses: []ast.Clause{
+		cq.Match,
+		&ast.Return{Projection: ast.Projection{Items: items}},
+	}}}}
+	ch := &Query{
+		name: id,
+		reg:  &ast.Registration{Name: id, StartAt: q.cfg.Start, StartNow: q.pendingStart, Body: body},
+		// A non-nil emit keeps the chassis evaluating every slide (a nil
+		// emit means "single result then done" to the scheduler). The
+		// operator is irrelevant: members apply their own.
+		emit:         &ast.Emit{Op: ast.OpSnapshot, Every: q.cfg.Slide},
+		cfg:          q.cfg,
+		hist:         stream.New(),
+		params:       nil,
+		streamName:   q.streamName,
+		pendingStart: q.pendingStart,
+		nextEval:     q.nextEval,
+		evalTarget:   q.evalTarget,
+		qm:           newQueryMetrics(e.metrics, id),
+	}
+	g := &sharedGroup{e: e, key: key, fp: cq.Fingerprint, id: id, chassis: ch, deltaOK: deltaOK}
+	ch.group = g
+	return g
+}
+
+// GroupInfo describes one shared evaluation group (see SharedGroups).
+type GroupInfo struct {
+	ID          string   `json:"id"`
+	Fingerprint string   `json:"fingerprint"`
+	Stream      string   `json:"stream,omitempty"`
+	Members     []string `json:"members"`
+	DeltaShared bool     `json:"delta_shared"`
+	Started     bool     `json:"started"`
+}
+
+// SharedGroups returns the live shared evaluation groups sorted by id.
+func (e *Engine) SharedGroups() []GroupInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]GroupInfo, 0, len(e.groupList))
+	for _, g := range e.groupList {
+		gi := GroupInfo{
+			ID:          g.id,
+			Fingerprint: g.fp,
+			Stream:      g.chassis.streamName,
+			DeltaShared: g.deltaOK,
+			Started:     g.started,
+		}
+		for _, m := range g.members {
+			gi.Members = append(gi.Members, m.name)
+		}
+		sort.Strings(gi.Members)
+		out = append(out, gi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SharedGroup returns the id and current size of the shared evaluation
+// group this query evaluates in ("", 0 when it evaluates unshared).
+func (q *Query) SharedGroup() (string, int) {
+	g := q.memberOf
+	if g == nil {
+		return "", 0
+	}
+	g.e.mu.Lock()
+	defer g.e.mu.Unlock()
+	return g.id, len(g.members)
+}
+
+// release drops a deregistered query's evaluation state: the delta-eval
+// maintained structures (provenance index, order-stat treaps, distance
+// maps, parked bypass state), rolling snapshots, previous-result
+// tables, and buffered stream history. The query keeps answering
+// read-only introspection (Stats, History) but never evaluates again.
+func (q *Query) release() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.done = true
+	if q.delta != nil {
+		q.delta.releaseMaintained()
+		q.delta = nil
+	}
+	q.rollers = nil
+	q.prev = nil
+	q.prevCached = nil
+	q.prevElems = ""
+	// History stays readable, but its rows were cut from shared dense
+	// chunks; copy them out so they stop pinning the arenas.
+	q.history.compact()
+	// Drop every buffered element (DropBefore far future) rather than
+	// swapping the stream pointer, which concurrent readers hold.
+	q.hist.DropBefore(time.Unix(0, 1<<62))
+}
+
+// memberResult pairs a member's produced Result with its sink so
+// evalGroupNext can deliver after all locks are released.
+type memberResult struct {
+	sink Sink
+	res  *Result
+}
+
+// evalGroupNext runs the single earliest due instant of a group's
+// chassis: one shared evaluation, fanned out to every live member, then
+// every member sink invoked (member-name order, no locks held). The
+// caller must hold the chassis evalMu. Member-level failures (residual
+// or projection errors) fail only that member; a shared failure
+// (pattern evaluation itself) fails the chassis and every member.
+func (e *Engine) evalGroupNext(ch *Query) error {
+	g := ch.group
+	e.mu.Lock()
+	members := append([]*Query(nil), g.members...)
+	e.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
+
+	ch.mu.Lock()
+	if ch.done || ch.pendingStart || ch.nextEval.After(ch.evalTarget) {
+		ch.chainStart = time.Time{}
+		ch.mu.Unlock()
+		return nil
+	}
+	ω := ch.nextEval
+	if ch.chainStart.IsZero() {
+		ch.chainStart = e.wallNow()
+	}
+	if e.shedDue(ch, ω) {
+		iv, _ := ch.cfg.ActiveWindow(ω)
+		ch.stats.Shed++
+		ch.qm.shed.Inc()
+		ch.nextEval = ω.Add(ch.cfg.Slide)
+		ch.hist.DropBefore(ch.cfg.RetentionHorizon(ω))
+		ch.mu.Unlock()
+		if e.logger != nil {
+			e.logger.Warn("seraph: shed shared group instant", "group", ch.name, "at", ω)
+		}
+		for _, m := range members {
+			m.mu.Lock()
+			skip := m.done
+			if !skip {
+				m.stats.Shed++
+				m.nextEval = ω.Add(m.cfg.Slide)
+			}
+			m.mu.Unlock()
+			if skip {
+				continue
+			}
+			m.qm.shed.Inc()
+			if m.sink != nil {
+				m.sink(Result{Query: m.name, At: ω, Window: iv, Table: &eval.Table{}, Skipped: true})
+			}
+		}
+		return nil
+	}
+
+	results, memberErrs, err := e.evaluateGroup(ch, g, members, ω)
+	e.sched.instants.Inc()
+	if err != nil {
+		err = fmt.Errorf("engine: shared group %q at %s: %w",
+			ch.name, ω.Format(time.RFC3339), err)
+		ch.failErr = err
+		ch.done = true
+		ch.qm.failures.Inc()
+		ch.mu.Unlock()
+		if e.logger != nil {
+			e.logger.Error("seraph: shared group failed", "group", ch.name, "at", ω, "err", err)
+		}
+		for _, m := range members {
+			m.mu.Lock()
+			if !m.done {
+				m.failErr = err
+				m.done = true
+				m.qm.failures.Inc()
+			}
+			m.mu.Unlock()
+		}
+		return err
+	}
+	ch.nextEval = ω.Add(ch.cfg.Slide)
+	ch.hist.DropBefore(ch.cfg.RetentionHorizon(ω))
+	if ch.nextEval.After(ch.evalTarget) {
+		ch.chainStart = time.Time{}
+	}
+	// Mirror the advance onto every member (their nextEval drives
+	// checkpointing and backlog accounting) and retire the chassis once
+	// every member is done.
+	allDone := true
+	for _, m := range members {
+		m.mu.Lock()
+		if !m.done {
+			m.nextEval = ω.Add(m.cfg.Slide)
+			allDone = false
+		}
+		m.mu.Unlock()
+	}
+	if allDone {
+		ch.done = true
+	}
+	ch.mu.Unlock()
+	for _, r := range results {
+		if r.sink != nil && r.res != nil {
+			r.sink(*r.res)
+		}
+	}
+	return errors.Join(memberErrs...)
+}
+
+// evaluateGroup runs one shared evaluation at instant ω and fans it out.
+// The shared delta path is tried first (group generations keyed deltaOK
+// compile every member); otherwise the canonical pattern is evaluated
+// once through computeResult and each member's remaining clauses run
+// over the shared binding table. The caller must hold ch.mu. The
+// returned error is a shared failure; member-level failures are
+// recorded on the member and returned in memberErrs.
+func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, ω time.Time) ([]memberResult, []error, error) {
+	start := time.Now()
+
+	if e.deltaEval && g.deltaOK {
+		if ds := e.ensureGroupDelta(ch, g, members); !ds.failed {
+			outs, iv, nodes, rels, ok, err := e.groupDeltaAdvance(ch, ds, ω)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ds.failed {
+				if !ok {
+					return nil, nil, nil // no window contains ω
+				}
+				if ds.lastBypassed {
+					ch.stats.DeltaBypasses++
+					ch.qm.deltaBypass.Inc()
+				} else {
+					ch.stats.DeltaApplied++
+					ch.qm.deltaApplied.Inc()
+				}
+				return e.fanOutDelta(ch, ds, outs, ω, start, iv, nodes, rels)
+			}
+		}
+	}
+
+	// Shared-full path: one evaluation of the canonical pattern, then
+	// per-member fan-out over the binding table (never mutated by
+	// ApplyClauses, so all members share one table).
+	bindings, iv, nodes, rels, ok, err := e.computeResult(ch, ω)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		return nil, nil, nil
+	}
+	winElems := ch.stats.WindowElements
+	storeFor := e.groupStoreFor(ch, iv)
+
+	var results []memberResult
+	var memberErrs []error
+	live := 0
+	for _, m := range members {
+		m.mu.Lock()
+		if m.done {
+			m.mu.Unlock()
+			continue
+		}
+		live++
+		out, ferr := e.fanOutTable(m, bindings, storeFor, iv, ω)
+		var res *Result
+		if ferr == nil {
+			var final *eval.Table
+			final, ferr = e.memberDiff(m, out)
+			if ferr == nil {
+				m.stats.WindowElements = winElems
+				m.qm.windowElems.Set(int64(winElems))
+				res, ferr = e.finishEval(m, ω, start, m.op(), final, iv, nodes, rels)
+			}
+		}
+		if ferr != nil {
+			ferr = fmt.Errorf("engine: query %q at %s: %w",
+				m.name, ω.Format(time.RFC3339), ferr)
+			m.failErr = ferr
+			m.done = true
+			m.qm.failures.Inc()
+			m.mu.Unlock()
+			memberErrs = append(memberErrs, ferr)
+			if e.logger != nil {
+				e.logger.Error("seraph: group member failed", "query", m.name, "at", ω, "err", ferr)
+			}
+			continue
+		}
+		if m.emit == nil {
+			m.done = true // RETURN-terminated: single result then done
+		}
+		m.mu.Unlock()
+		results = append(results, memberResult{sink: m.sink, res: res})
+	}
+	e.sched.mqoFanned.Add(int64(bindings.Len() * live))
+	if live > 1 {
+		e.sched.mqoSaved.Add(int64(live - 1))
+	}
+	return results, memberErrs, nil
+}
+
+// fanOutDelta packages a shared delta round's per-subscriber output
+// tables into member Results. Subscribers that died this round (member-
+// level maintenance errors) are failed here.
+func (e *Engine) fanOutDelta(ch *Query, ds *deltaState, outs []*eval.Table, ω, start time.Time, iv stream.Interval, nodes, rels int) ([]memberResult, []error, error) {
+	winElems := ch.stats.WindowElements
+	var results []memberResult
+	var memberErrs []error
+	live := 0
+	fanned := 0
+	for i, sub := range ds.subs {
+		m := sub.q
+		if sub.dead {
+			if sub.err != nil {
+				serr := sub.err
+				sub.err = nil
+				m.mu.Lock()
+				if !m.done {
+					m.failErr = serr
+					m.done = true
+					m.qm.failures.Inc()
+				}
+				m.mu.Unlock()
+				memberErrs = append(memberErrs, serr)
+				if e.logger != nil {
+					e.logger.Error("seraph: group member failed", "query", m.name, "at", ω, "err", serr)
+				}
+			}
+			continue
+		}
+		out := outs[i]
+		if out == nil {
+			continue
+		}
+		m.mu.Lock()
+		if m.done {
+			m.mu.Unlock()
+			continue
+		}
+		live++
+		fanned += out.Len()
+		if ds.lastBypassed {
+			m.stats.DeltaBypasses++
+			m.qm.deltaBypass.Inc()
+		} else {
+			m.stats.DeltaApplied++
+			m.qm.deltaApplied.Inc()
+		}
+		m.stats.WindowElements = winElems
+		m.qm.windowElems.Set(int64(winElems))
+		res, ferr := e.finishEval(m, ω, start, m.op(), out, iv, nodes, rels)
+		if ferr != nil {
+			ferr = fmt.Errorf("engine: query %q at %s: %w",
+				m.name, ω.Format(time.RFC3339), ferr)
+			m.failErr = ferr
+			m.done = true
+			m.qm.failures.Inc()
+			m.mu.Unlock()
+			memberErrs = append(memberErrs, ferr)
+			continue
+		}
+		if m.emit == nil {
+			m.done = true
+		}
+		m.mu.Unlock()
+		results = append(results, memberResult{sink: m.sink, res: res})
+	}
+	e.sched.mqoFanned.Add(int64(fanned))
+	if live > 1 {
+		e.sched.mqoSaved.Add(int64(live - 1))
+	}
+	return results, memberErrs, nil
+}
+
+// groupStoreFor returns a lazy snapshot-store accessor for member
+// clauses that read the graph (startNode()/endNode()). In incremental
+// mode the chassis roller's store is reused; otherwise a snapshot is
+// built at most once per instant, and only if some member actually asks.
+func (e *Engine) groupStoreFor(ch *Query, iv stream.Interval) func(time.Duration) *graphstore.Store {
+	var cached *graphstore.Store
+	return func(time.Duration) *graphstore.Store {
+		if cached != nil {
+			return cached
+		}
+		if e.incremental {
+			if r := ch.rollers[ch.cfg.Width]; r != nil {
+				cached = r.store
+				return cached
+			}
+		}
+		g, err := stream.Snapshot(ch.hist.Substream(iv))
+		if err == nil && e.static != nil {
+			err = g.UnionInPlace(e.static)
+		}
+		if err != nil {
+			g = pg.New()
+		}
+		cached = graphstore.FromGraph(g)
+		return cached
+	}
+}
+
+// fanOutTable runs one member's bridge WITH (residual predicate +
+// variable renaming) and remaining clauses over the shared binding
+// table, producing the member's full (pre-operator) result.
+func (e *Engine) fanOutTable(m *Query, bindings *eval.Table, storeFor func(time.Duration) *graphstore.Store, iv stream.Interval, ω time.Time) (*eval.Table, error) {
+	ctx := &eval.Ctx{
+		GraphFor: storeFor,
+		Params:   m.params,
+		Builtins: map[string]value.Value{
+			"win_start": value.NewDateTime(iv.Start),
+			"win_end":   value.NewDateTime(iv.End),
+			"now":       value.NewDateTime(ω),
+		},
+		Match:               m.qm.match,
+		DisableMatchIndexes: e.scanMatcher,
+	}
+	return eval.ApplyClauses(ctx, bindings, m.canon.Rest)
+}
+
+// memberDiff applies a member's stream operator against its previous
+// full result (the classic diff path, per member). Caller holds m.mu.
+func (e *Engine) memberDiff(m *Query, result *eval.Table) (*eval.Table, error) {
+	op := m.op()
+	out := result
+	var err error
+	switch op {
+	case ast.OpOnEntering:
+		prev := m.prev
+		if prev == nil {
+			prev = &eval.Table{Cols: result.Cols}
+		}
+		out, err = eval.BagDifference(result, prev)
+	case ast.OpOnExiting:
+		prev := m.prev
+		if prev == nil {
+			prev = &eval.Table{Cols: result.Cols}
+		}
+		out, err = eval.BagDifference(prev, result)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if op == ast.OpSnapshot {
+		m.prev = nil
+	} else {
+		m.prev = result
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"seraph/internal/eval"
 	"seraph/internal/stream"
+	"seraph/internal/value"
 )
 
 // TimeAnnotated is a time-annotated table T̃_τ (Definition 5.6): a
@@ -70,9 +71,44 @@ func (tv *TimeVarying) Append(ta TimeAnnotated) error {
 	if tv.limit > 0 && len(tv.entries) > tv.limit {
 		k := len(tv.entries) - tv.limit
 		tv.dropped += k
-		tv.entries = append(tv.entries[:0], tv.entries[k:]...)
+		n := copy(tv.entries, tv.entries[k:])
+		// Zero the vacated tail: the backing array is scanned whole by
+		// the collector, so stale slots would pin every evicted table
+		// (and the dense row chunks they reference) for the query's
+		// lifetime.
+		for i := n; i < len(tv.entries); i++ {
+			tv.entries[i] = TimeAnnotated{}
+		}
+		tv.entries = tv.entries[:n]
 	}
 	return nil
+}
+
+// compact re-materializes every retained table with exactly-sized
+// allocations. Result rows are normally cut from chunked dense arrays
+// (eval.DenseBuilder), so a single retained row can pin a whole chunk
+// shared with rows long since dropped. A released query keeps its
+// history readable but must not pin those arenas (see Query.release).
+func (tv *TimeVarying) compact() {
+	tv.mu.Lock()
+	defer tv.mu.Unlock()
+	for i, en := range tv.entries {
+		if en.Table == nil || len(en.Table.Rows) == 0 {
+			continue
+		}
+		cells := 0
+		for _, row := range en.Table.Rows {
+			cells += len(row)
+		}
+		flat := make([]value.Value, 0, cells)
+		rows := make([][]value.Value, len(en.Table.Rows))
+		for j, row := range en.Table.Rows {
+			start := len(flat)
+			flat = append(flat, row...)
+			rows[j] = flat[start:len(flat):len(flat)]
+		}
+		tv.entries[i].Table = &eval.Table{Cols: en.Table.Cols, Rows: rows}
+	}
 }
 
 // Len returns the number of materialized tables.

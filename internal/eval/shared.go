@@ -1,0 +1,21 @@
+package eval
+
+import "seraph/internal/ast"
+
+// ApplyClauses folds clauses over an existing binding table — the
+// fan-out half of shared (multi-query) evaluation: the engine evaluates
+// a group's canonical MATCH once, then runs each subscriber's bridge
+// WITH (residual predicate + variable renaming) and remaining clauses
+// over the shared table. The input table is not mutated, so one binding
+// table can be fanned out to many subscribers.
+func ApplyClauses(ctx *Ctx, t *Table, clauses []ast.Clause) (*Table, error) {
+	out := t
+	for _, c := range clauses {
+		var err error
+		out, err = applyClause(ctx, c, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@
 //	GET    /queries/{name}      one query's stats
 //	DELETE /queries/{name}      deregister
 //	GET    /queries/{name}/results?since=N   buffered results after seq N
+//	GET    /groups              shared evaluation groups (multi-query optimization)
 //	POST   /events              ingest NDJSON graph events
 //	POST   /cypher              one-time query over the merged graph
 //	GET    /checkpoint          download an engine checkpoint
@@ -170,6 +171,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/queries", s.handleQueries)
 	mux.HandleFunc("/queries/", s.handleQuery)
+	mux.HandleFunc("/groups", s.handleGroups)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/cypher", s.handleCypher)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
@@ -386,16 +388,37 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleGroups lists the live shared evaluation groups (multi-query
+// optimization): canonical fingerprint, member queries, and whether the
+// group runs delta-maintained. Empty unless the engine was built with
+// WithSharedEval (server flag -mqo).
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	groups := s.engine.SharedGroups()
+	if groups == nil {
+		groups = []engine.GroupInfo{}
+	}
+	writeJSON(w, http.StatusOK, groups)
+}
+
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		type item struct {
 			Name  string       `json:"name"`
 			Stats engine.Stats `json:"stats"`
+			// Shared evaluation group (multi-query optimization); empty
+			// when the query evaluates unshared.
+			Group     string `json:"group,omitempty"`
+			GroupSize int    `json:"group_size,omitempty"`
 		}
 		var out []item
 		for _, q := range s.engine.Queries() {
-			out = append(out, item{Name: q.Name(), Stats: q.Stats()})
+			gid, gn := q.SharedGroup()
+			out = append(out, item{Name: q.Name(), Stats: q.Stats(), Group: gid, GroupSize: gn})
 		}
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
@@ -469,6 +492,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for _, q := range s.engine.Queries() {
 			if q.Name() == name {
 				out := map[string]any{"name": name, "stats": q.Stats()}
+				if gid, gn := q.SharedGroup(); gid != "" {
+					out["group"] = gid
+					out["group_size"] = gn
+				}
 				if lat := q.EvalLatency(); lat.Count > 0 {
 					out["latency_ms"] = map[string]any{
 						"count": lat.Count,

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"seraph/internal/engine"
 	"seraph/internal/ingest"
 	"seraph/internal/workload"
 )
@@ -270,5 +271,58 @@ func TestCheckpointEndpointAndRestore(t *testing.T) {
 	}
 	if nonEmpty != 1 {
 		t.Errorf("post-restore non-empty results = %d, want 1", nonEmpty)
+	}
+}
+
+// TestSharedGroupsEndpoint: with -mqo (WithSharedEval), two queries
+// differing only in a residual predicate surface as one shared group
+// on GET /groups, and each query's /queries entries carry the group id
+// and size. Without shared evaluation, /groups answers an empty list.
+func TestSharedGroupsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(engine.WithSharedEval(true)).Handler())
+	t.Cleanup(ts.Close)
+	body := func(name string, v int) string {
+		return fmt.Sprintf(`REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v > %d
+  EMIT a.k AS k
+  SNAPSHOT EVERY PT5S
+}`, name, v)
+	}
+	for i, name := range []string{"g1", "g2"} {
+		if resp, _ := post(t, ts.URL+"/queries", body(name, i)); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register %s: %d", name, resp.StatusCode)
+		}
+	}
+
+	var groups []engine.GroupInfo
+	get(t, ts.URL+"/groups", &groups)
+	if len(groups) != 1 || len(groups[0].Members) != 2 {
+		t.Fatalf("groups = %+v, want one group of two", groups)
+	}
+
+	var queries []struct {
+		Name      string `json:"name"`
+		Group     string `json:"group"`
+		GroupSize int    `json:"group_size"`
+	}
+	get(t, ts.URL+"/queries", &queries)
+	if len(queries) != 2 {
+		t.Fatalf("queries = %+v", queries)
+	}
+	for _, q := range queries {
+		if q.Group != groups[0].ID || q.GroupSize != 2 {
+			t.Fatalf("query %s group %q/%d, want %q/2", q.Name, q.Group, q.GroupSize, groups[0].ID)
+		}
+	}
+
+	// Unshared server: endpoint present, empty list.
+	plain := newTestServer(t)
+	var none []engine.GroupInfo
+	get(t, plain.URL+"/groups", &none)
+	if len(none) != 0 {
+		t.Fatalf("unshared /groups = %+v, want empty", none)
 	}
 }
