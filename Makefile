@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath bench-mqo repro verify examples fuzz clean
+.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath bench-mqo bench-recovery chaos-recovery repro verify examples fuzz fuzz-wal clean
 
 all: build vet test
 
@@ -47,6 +47,18 @@ bench-hotpath:
 bench-mqo:
 	$(GO) run ./cmd/seraph-bench -exp B16 -quick
 
+# Crash-recovery smoke: B17 builds durable directories under three
+# checkpoint cadences and times a cold restart of each, aborting if the
+# recovered run skips or double-replays any log record. The committed
+# full-size run is BENCH_pr9.json.
+bench-recovery:
+	$(GO) run ./cmd/seraph-bench -exp B17 -quick
+
+# Crash-recovery chaos matrix: seeded kill points against the durable
+# WAL + checkpoint stack (see internal/chaos/recovery.go).
+chaos-recovery:
+	$(GO) test -race -run 'TestRecovery' -v ./internal/chaos/
+
 # Record deliverable outputs.
 record:
 	$(GO) test ./... 2>&1 | tee test_output.txt
@@ -73,6 +85,9 @@ examples:
 
 fuzz:
 	$(GO) test ./internal/parser -fuzz FuzzParseQuery -fuzztime 30s
+
+fuzz-wal:
+	$(GO) test ./internal/wal -fuzz FuzzWALReplay -fuzztime 30s
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,252 @@
+package main
+
+// B17: crash-recovery time vs durable log length. The engine's restart
+// cost model is "last checkpoint + replay-from-offset" (see DESIGN.md
+// "Durability & recovery"): without checkpoints a restart replays the
+// whole retained log through the connector and re-fires every
+// evaluation instant; with checkpoints it replays only the suffix past
+// the manifest offsets. This experiment builds a durable directory of
+// varying log lengths under three checkpoint cadences (none, coarse,
+// fine), closes it without a final checkpoint — the worst honest case,
+// a crash right before the next save — and times a cold reopen until
+// ingestion has fully caught up.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/ingest"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+	"seraph/internal/value"
+	"seraph/internal/wal"
+)
+
+const b17Topic = "events"
+
+const b17Src = `REGISTER QUERY b17 STARTING AT 2026-07-06T10:00:00
+{ MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT30S
+  WHERE r.v > 10
+  EMIT s.name AS sensor, r.v AS v SNAPSHOT EVERY PT5S }`
+
+type b17Event struct {
+	payload []byte
+	ts      time.Time
+}
+
+// b17Stream: one sensor reading per second, five sensors round-robin.
+func b17Stream(n int) []b17Event {
+	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	evs := make([]b17Event, n)
+	for i := range evs {
+		ts := base.Add(time.Duration(i+1) * time.Second)
+		sid := int64(1 + i%5)
+		g := pg.New()
+		g.AddNode(&value.Node{ID: sid, Labels: []string{"Sensor"}, Props: map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("s%d", sid))}})
+		g.AddNode(&value.Node{ID: 100, Labels: []string{"Zone"}, Props: map[string]value.Value{}})
+		if err := g.AddRel(&value.Relationship{ID: int64(1000 + i), StartID: sid, EndID: 100,
+			Type: "READ", Props: map[string]value.Value{"v": value.NewInt(int64(i % 40))}}); err != nil {
+			log.Fatal(err)
+		}
+		payload, err := ingest.Encode(g, ts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs[i] = b17Event{payload: payload, ts: ts}
+	}
+	return evs
+}
+
+// b17Build ingests the stream into a fresh durable directory,
+// checkpointing every `every` delivered events (0 = never), and closes
+// gracefully WITHOUT a final checkpoint so recovery always has a log
+// suffix to replay.
+func b17Build(dir string, events []b17Event, every int) {
+	b, err := queue.OpenDurable(filepath.Join(dir, "queue"),
+		queue.DurableConfig{Fsync: wal.FsyncNever}) // isolate replay cost, not append fsyncs
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := b.CreateTopicWith(b17Topic, queue.TopicConfig{Partitions: 1}); err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(engine.WithParallelism(1))
+	if _, err := eng.RegisterSource(b17Src, nil); err != nil {
+		log.Fatal(err)
+	}
+	conn, err := ingest.NewConnector(b, b17Topic, eng.Push)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := eng.NewCheckpointer(filepath.Join(dir, "checkpoints"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	delivered, lastCk := 0, 0
+	for _, ev := range events {
+		if _, err := b.Produce(b17Topic, "", ev.payload, ev.ts); err != nil {
+			log.Fatal(err)
+		}
+		n, err := conn.Poll(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		if err := eng.AdvanceTo(eng.Now()); err != nil {
+			log.Fatal(err)
+		}
+		delivered += n
+		if every > 0 && delivered-lastCk >= every {
+			if err := b.SyncWAL(); err != nil {
+				log.Fatal(err)
+			}
+			if err := ck.Save(map[string][]int64{b17Topic: conn.AppliedOffsets()}); err != nil {
+				log.Fatal(err)
+			}
+			lastCk = delivered
+		}
+	}
+	if err := b.CloseDurable(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// b17Recover reopens the directory cold and drives it until ingestion
+// has caught up with the log, returning the wall time and how many
+// records the connector had to replay.
+func b17Recover(dir string) (time.Duration, int64, int) {
+	t0 := time.Now()
+	b, err := queue.OpenDurable(filepath.Join(dir, "queue"),
+		queue.DurableConfig{Fsync: wal.FsyncNever})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, info, err := engine.Recover(filepath.Join(dir, "checkpoints"), nil, engine.WithParallelism(1))
+	var applied []int64
+	seq := 0
+	switch {
+	case err == nil:
+		applied = info.Offsets[b17Topic]
+		seq = info.Seq
+	case err == engine.ErrNoCheckpoint:
+		eng = engine.New(engine.WithParallelism(1))
+		if _, rerr := eng.RegisterSource(b17Src, nil); rerr != nil {
+			log.Fatal(rerr)
+		}
+	default:
+		log.Fatal(err)
+	}
+	connOpts := []ingest.ConnectorOption{}
+	if applied != nil {
+		connOpts = append(connOpts, ingest.WithAppliedOffsets(applied))
+	}
+	conn, err := ingest.NewConnector(b, b17Topic, eng.Push, connOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var replayed int64
+	for {
+		n, err := conn.Poll(1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		replayed += int64(n)
+		if err := eng.AdvanceTo(eng.Now()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	d := time.Since(t0)
+	if err := b.CloseDurable(); err != nil {
+		log.Fatal(err)
+	}
+	return d, replayed, seq
+}
+
+func b17Recovery() {
+	type b17Row struct {
+		Cadence    string  `json:"cadence"`
+		Every      int     `json:"checkpoint_every"`
+		Events     int     `json:"events"`
+		Replayed   int64   `json:"records_replayed"`
+		Seq        int     `json:"checkpoint_seq"`
+		RecoveryMS float64 `json:"recovery_ms"`
+		Speedup    float64 `json:"speedup_vs_none"`
+	}
+	cadences := []struct {
+		name  string
+		every int
+	}{
+		{"none", 0},
+		{"coarse", 256},
+		{"fine", 64},
+	}
+	sizes := []int{scaled(2000, 300), scaled(8000, 600)}
+
+	header("cadence", "ckpt_every", "events", "replayed", "ckpt_seq", "recovery_ms", "speedup")
+	var out []b17Row
+	for _, n := range sizes {
+		events := b17Stream(n)
+		var baseMS float64
+		for _, c := range cadences {
+			dir, err := os.MkdirTemp("", "seraph-b17-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			b17Build(dir, events, c.every)
+			d, replayed, seq := b17Recover(dir)
+			os.RemoveAll(dir)
+			// Replay plus checkpoint watermark must cover the whole log:
+			// otherwise the recovery run silently skipped records.
+			covered := replayed
+			if c.every > 0 && seq > 0 {
+				covered = int64(n) // watermark + suffix; suffix counted below
+				if replayed >= int64(n) {
+					log.Fatalf("B17 %s/%d: replayed %d of %d — checkpoint offsets ignored", c.name, n, replayed, n)
+				}
+			} else if covered != int64(n) {
+				log.Fatalf("B17 %s/%d: replayed %d of %d records", c.name, n, replayed, n)
+			}
+			wall := ms(d)
+			if c.every == 0 {
+				baseMS = wall
+			}
+			speedup := 1.0
+			if baseMS > 0 {
+				speedup = baseMS / wall
+			}
+			out = append(out, b17Row{
+				Cadence: c.name, Every: c.every, Events: n,
+				Replayed: replayed, Seq: seq, RecoveryMS: wall, Speedup: speedup,
+			})
+			fmt.Printf("%s\t%d\t%d\t%d\t%d\t%.2f\t%.1f\n",
+				c.name, c.every, n, replayed, seq, wall, speedup)
+		}
+	}
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B17",
+			"description": "cold-restart recovery time vs durable log length under three checkpoint cadences; restart cost = last checkpoint + replay-from-offset",
+			"command":     "go run ./cmd/seraph-bench -exp B17 -json " + jsonOut,
+			"rows":        out,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+}

@@ -17,6 +17,7 @@
 //	B14 delta-ratio sweep: delta-driven vs full evaluation
 //	B15 workload scenarios + newly maintained shapes under delta eval
 //	B16 multi-query optimization: shared vs unshared evaluation
+//	B17 crash-recovery time vs durable log length (checkpoint cadences)
 //
 // Each experiment prints one table of rows/series.
 //
@@ -61,7 +62,7 @@ var (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B16) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B17) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Float64Var(&selectivity, "selectivity", 0,
@@ -89,6 +90,7 @@ func main() {
 		{"B14", "delta-ratio sweep (delta-driven vs full evaluation)", b14DeltaRatio},
 		{"B15", "workload scenarios + new maintained shapes under delta eval", b15WorkloadDelta},
 		{"B16", "multi-query optimization: shared vs unshared evaluation", b16MQO},
+		{"B17", "crash-recovery time vs durable log length (checkpoint cadences)", b17Recovery},
 	}
 	ran := 0
 	for _, ex := range experiments {
@@ -1201,7 +1203,7 @@ func b16Stream(rounds, extra, perType, nPatterns int, slide time.Duration) []str
 				g.AddNode(&value.Node{ID: did, Labels: []string{"Svc"}, Props: map[string]value.Value{
 					"did": value.NewInt(did)}})
 				if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did,
-					Type: fmt.Sprintf("T%d", p),
+					Type:  fmt.Sprintf("T%d", p),
 					Props: map[string]value.Value{"v": value.NewInt(1 + rid%10)}}); err != nil {
 					log.Fatal(err)
 				}

@@ -37,6 +37,7 @@ import (
 	"seraph/internal/engine"
 	"seraph/internal/queue"
 	"seraph/internal/server"
+	"seraph/internal/wal"
 )
 
 func main() {
@@ -56,6 +57,9 @@ func main() {
 	deltaEval := flag.Bool("delta-eval", false, "maintain query results from window deltas instead of re-evaluating the full window (unsupported queries fall back per query; see seraph_delta_fallback_total)")
 	deltaBypassRatio := flag.Float64("delta-bypass-ratio", 0.3, "churn fraction of the window above which a delta-eval round runs one full evaluation instead (see seraph_delta_bypass_total; <= 0 disables the guard)")
 	mqo := flag.Bool("mqo", false, "multi-query optimization: evaluate queries with equal canonical pattern/window fingerprints as one shared group (see seraph_mqo_groups and GET /queries)")
+	dataDir := flag.String("data-dir", "", "durable mode: log events and checkpoint engine state under this directory; on boot, recover from it instead of starting empty")
+	fsync := flag.String("fsync", "always", "durable-mode WAL sync policy: always (no loss), interval, or never")
+	checkpointEvery := flag.Int("checkpoint-every", 256, "durable mode: checkpoint the engine after this many delivered events")
 	flag.Parse()
 
 	log := newLogger(*logFormat, *logLevel)
@@ -80,7 +84,32 @@ func main() {
 		opts = append(opts, engine.WithSharedEval(true))
 	}
 	var srv *server.Server
-	if *restore != "" {
+	if *dataDir != "" {
+		if *restore != "" {
+			fatal(log, "flags", errors.New("-data-dir and -restore are mutually exclusive: durable mode recovers from its own checkpoints"))
+		}
+		policy, err := wal.ParsePolicy(*fsync)
+		if err != nil {
+			fatal(log, "parse -fsync", err)
+		}
+		qpolicy, err := queue.ParseFullPolicy(*fullPolicy)
+		if err != nil {
+			fatal(log, "parse -full-policy", err)
+		}
+		srv, err = server.OpenDurable(server.DurableConfig{
+			Dir:             *dataDir,
+			Fsync:           policy,
+			CheckpointEvery: *checkpointEvery,
+			QueueCapacity:   *ingestQueue,
+			QueuePolicy:     qpolicy,
+		}, opts...)
+		if err != nil {
+			fatal(log, "open data directory", err)
+		}
+		defer srv.Close()
+		log.Info("durable mode enabled",
+			"dir", *dataDir, "fsync", policy.String(), "checkpoint_every", *checkpointEvery)
+	} else if *restore != "" {
 		f, err := os.Open(*restore)
 		if err != nil {
 			fatal(log, "open checkpoint", err)
@@ -97,7 +126,9 @@ func main() {
 	}
 	srv.SetLogger(log)
 	srv.SetRetryAfter(*retryAfter)
-	if *ingestQueue > 0 {
+	// Durable mode already queues ingestion (capacity/policy flow through
+	// DurableConfig), so only enable the in-memory queue otherwise.
+	if *ingestQueue > 0 && *dataDir == "" {
 		policy, err := queue.ParseFullPolicy(*fullPolicy)
 		if err != nil {
 			fatal(log, "parse -full-policy", err)

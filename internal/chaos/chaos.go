@@ -156,9 +156,15 @@ type event struct {
 // genEvents builds the plan's stream: strictly increasing timestamps
 // (1-3s apart), three sensors, one READ relationship per event.
 func genEvents(plan Plan) []event {
-	r := rand.New(rand.NewSource(plan.Seed ^ 0x5eed))
+	return genStream(plan.Seed, plan.Events)
+}
+
+// genStream is the seeded stream generator shared by the fault and
+// crash-recovery harnesses.
+func genStream(seed int64, n int) []event {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
 	ts := chaosBase
-	evs := make([]event, plan.Events)
+	evs := make([]event, n)
 	for i := range evs {
 		ts = ts.Add(time.Duration(1+r.Intn(3)) * time.Second)
 		sid := int64(1 + r.Intn(3))

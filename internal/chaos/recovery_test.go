@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"seraph/internal/wal"
+)
+
+// TestRecoveryKillPoints pins one deterministic plan per kill point,
+// so each point is exercised on every run regardless of how the seeded
+// matrix happens to land.
+func TestRecoveryKillPoints(t *testing.T) {
+	for _, kp := range []KillPoint{KillNone, KillAfterAppend, KillMidCheckpoint, KillMidRecovery} {
+		t.Run(kp.String(), func(t *testing.T) {
+			plan := RecoveryPlan{
+				Seed:            1,
+				Events:          48,
+				CheckpointEvery: 5,
+				SegmentBytes:    256,
+				PollEvery:       2,
+				BatchSize:       3,
+				Kill:            kp,
+				KillAt:          29,
+				OnEntering:      true,
+			}
+			if kp == KillAfterAppend {
+				plan.Fsync = wal.FsyncNever
+				plan.LoseTail = 48
+			}
+			rep, err := RunRecovery(t.TempDir(), plan)
+			if err == nil {
+				err = rep.Verify()
+			}
+			if err != nil {
+				t.Fatalf("%+v\n%v", rep.Plan, err)
+			}
+			switch kp {
+			case KillNone:
+				// A graceful close keeps every acknowledged record; the
+				// only work recovery does is replay past the checkpoint.
+				if rep.Reproduced != 0 {
+					t.Errorf("graceful close lost %d acknowledged records", rep.Reproduced)
+				}
+				if !rep.Recovered {
+					t.Error("no checkpoint found after a full run")
+				}
+			case KillAfterAppend:
+				// The unsynced tail must actually have been eaten, or the
+				// kill point verified nothing.
+				if rep.Reproduced == 0 {
+					t.Error("tail truncation lost no records; loss window not exercised")
+				}
+			case KillMidCheckpoint, KillMidRecovery:
+				if rep.Produced != int64(plan.KillAt+1) {
+					t.Errorf("produced %d before crash, want %d", rep.Produced, plan.KillAt+1)
+				}
+			}
+			if len(rep.Post) == 0 {
+				t.Error("recovered run emitted nothing")
+			}
+		})
+	}
+}
+
+// TestRecoveryChaos runs the crash-recovery differential oracle over a
+// seeded matrix (default 50; RECOVERY_SEEDS / RECOVERY_SEED_OFFSET
+// shard it in CI). Every seed's recovered run must be bag-identical to
+// the uncrashed oracle, with every divergence explained by a counter.
+func TestRecoveryChaos(t *testing.T) {
+	seeds, offset := 50, 0
+	if s := os.Getenv("RECOVERY_SEEDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			seeds = n
+		}
+	}
+	if s := os.Getenv("RECOVERY_SEED_OFFSET"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			offset = n
+		}
+	}
+	var totals struct {
+		kills      [4]int
+		recovered  int
+		reproduced int64
+		reEmitted  int64
+	}
+	for i := 0; i < seeds; i++ {
+		seed := int64(offset + i)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			plan := NewRecoveryPlan(seed)
+			rep, err := RunRecovery(t.TempDir(), plan)
+			if err == nil {
+				err = rep.Verify()
+			}
+			if err != nil {
+				writeRecoveryArtifact(t, seed, rep, err)
+				t.Fatal(err)
+			}
+			totals.kills[plan.Kill]++
+			if rep.Recovered {
+				totals.recovered++
+			}
+			totals.reproduced += rep.Reproduced
+			totals.reEmitted += rep.ReEmitted
+		})
+	}
+	if t.Failed() || offset != 0 || seeds < 50 {
+		return
+	}
+	// The default matrix must exercise every kill point and actually
+	// recover from checkpoints — a harness that always cold-starts
+	// would pass the oracle vacuously.
+	for kp, n := range totals.kills {
+		if n == 0 {
+			t.Errorf("no seed exercised kill point %s", KillPoint(kp))
+		}
+	}
+	if totals.recovered == 0 {
+		t.Error("no seed recovered from a checkpoint")
+	}
+	if totals.reproduced == 0 {
+		t.Error("no seed lost and re-produced an acknowledged record; loss window not exercised")
+	}
+	if totals.reEmitted == 0 {
+		t.Error("no seed re-emitted an instant across a crash; recovery rewind not exercised")
+	}
+}
+
+// TestRecoveryRunDeterminism: the same seed and directory layout must
+// produce an identical report, so a failing seed can be replayed.
+func TestRecoveryRunDeterminism(t *testing.T) {
+	for _, seed := range []int64{2, 9, 23} {
+		plan := NewRecoveryPlan(seed)
+		a, err := RunRecovery(t.TempDir(), plan)
+		if err != nil {
+			t.Fatalf("seed %d first run: %v", seed, err)
+		}
+		if err := a.Verify(); err != nil {
+			t.Fatalf("seed %d first verify: %v", seed, err)
+		}
+		b, err := RunRecovery(t.TempDir(), plan)
+		if err != nil {
+			t.Fatalf("seed %d second run: %v", seed, err)
+		}
+		if err := b.Verify(); err != nil {
+			t.Fatalf("seed %d second verify: %v", seed, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if string(ja) != string(jb) {
+			t.Errorf("seed %d: two runs produced different reports", seed)
+		}
+	}
+}
+
+// writeRecoveryArtifact mirrors writeArtifact for recovery seeds.
+func writeRecoveryArtifact(t *testing.T, seed int64, rep *RecoveryReport, runErr error) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos: artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("recovery-seed-%d.json", seed))
+	data, err := json.MarshalIndent(map[string]any{
+		"seed":   seed,
+		"error":  runErr.Error(),
+		"report": rep,
+	}, "", "  ")
+	if err != nil {
+		t.Logf("chaos: marshal artifact: %v", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("chaos: write artifact: %v", err)
+		return
+	}
+	t.Logf("chaos: failing-seed artifact written to %s", path)
+}

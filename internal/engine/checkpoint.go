@@ -50,9 +50,28 @@ type checkpointQuery struct {
 
 // Checkpoint writes the engine's state to w.
 func (e *Engine) Checkpoint(w io.Writer) error {
+	cp, _, err := e.checkpointState(nil)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// checkpointState captures the engine's durable state. since, when
+// non-nil, makes the capture incremental: a query's buffered elements
+// are included only when their timestamp is after since(queryName) —
+// schedules and stats are always complete, so a delta checkpoint is a
+// full checkpoint minus already-persisted window elements. The second
+// return value maps each query to the newest element timestamp it
+// buffers (whether or not the element was included), which the next
+// delta capture passes back as since.
+func (e *Engine) checkpointState(since func(queryName string) time.Time) (*checkpointFile, map[string]time.Time, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	cp := checkpointFile{
+	newest := map[string]time.Time{}
+	cp := &checkpointFile{
 		Version:     checkpointVersion,
 		Bounds:      e.bounds.String(),
 		Cache:       e.cacheSnapshots,
@@ -64,7 +83,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	if e.static != nil {
 		data, err := ingest.Encode(e.static, time.Unix(0, 0))
 		if err != nil {
-			return fmt.Errorf("engine: checkpoint static graph: %w", err)
+			return nil, nil, fmt.Errorf("engine: checkpoint static graph: %w", err)
 		}
 		cp.Static = data
 	}
@@ -76,7 +95,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	for _, name := range names {
 		q := e.queries[name]
 		if q.params != nil {
-			return fmt.Errorf("engine: checkpoint: query %q has parameters, which are not checkpointable", q.name)
+			return nil, nil, fmt.Errorf("engine: checkpoint: query %q has parameters, which are not checkpointable", q.name)
 		}
 		q.mu.Lock()
 		cq := checkpointQuery{
@@ -98,18 +117,26 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		}
 		elems := hist.Elements()
 		q.mu.Unlock()
+		var cutoff time.Time
+		if since != nil {
+			cutoff = since(name)
+		}
 		for _, el := range elems {
+			if el.Time.After(newest[name]) {
+				newest[name] = el.Time
+			}
+			if since != nil && !el.Time.After(cutoff) {
+				continue
+			}
 			data, err := ingest.Encode(el.Graph, el.Time)
 			if err != nil {
-				return fmt.Errorf("engine: checkpoint query %q: %w", q.name, err)
+				return nil, nil, fmt.Errorf("engine: checkpoint query %q: %w", q.name, err)
 			}
 			cq.Elements = append(cq.Elements, data)
 		}
 		cp.Queries = append(cp.Queries, cq)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(cp)
+	return cp, newest, nil
 }
 
 // Restore reconstructs an engine from a checkpoint. sinkFor is called
@@ -123,8 +150,54 @@ func Restore(r io.Reader, sinkFor func(queryName string) Sink, extra ...Option) 
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("engine: restore: %w", err)
 	}
+	return restoreDecoded(&cp, sinkFor, extra)
+}
+
+// checkConfigConflict rejects a restore whose explicitly-passed extra
+// options contradict the configuration the checkpoint was taken under.
+// Silently restoring under different window bounds or evaluation
+// strategy would change result semantics mid-stream; the caller must
+// either drop the conflicting option or take a fresh checkpoint under
+// the new configuration. Options a checkpoint does not carry (metrics,
+// logger, parallelism, retention, ...) are never conflicts.
+func checkConfigConflict(cp *checkpointFile, extra []Option) error {
+	probe := &Engine{}
+	for _, o := range extra {
+		o(probe)
+	}
+	reject := func(what, cpVal, reqVal string) error {
+		return fmt.Errorf("engine: restore: checkpoint was taken with %s %s but %s was explicitly requested; "+
+			"drop the conflicting option or re-checkpoint under the new configuration", what, cpVal, reqVal)
+	}
+	if probe.optsSet.bounds && probe.bounds.String() != cp.Bounds {
+		return reject("window bounds", cp.Bounds, probe.bounds.String())
+	}
+	if probe.optsSet.cache && probe.cacheSnapshots != cp.Cache {
+		return reject("snapshot cache", fmt.Sprint(cp.Cache), fmt.Sprint(probe.cacheSnapshots))
+	}
+	if probe.optsSet.delta && probe.deltaEval != cp.DeltaEval {
+		return reject("delta evaluation", fmt.Sprint(cp.DeltaEval), fmt.Sprint(probe.deltaEval))
+	}
+	// WithDeltaEval(true) implies incremental snapshots; only flag the
+	// incremental setting itself when it was not a consistent implication.
+	if probe.optsSet.incremental && probe.incremental != cp.Incremental {
+		return reject("incremental snapshots", fmt.Sprint(cp.Incremental), fmt.Sprint(probe.incremental))
+	}
+	if probe.optsSet.shared && probe.sharedEval != cp.SharedEval {
+		return reject("shared evaluation", fmt.Sprint(cp.SharedEval), fmt.Sprint(probe.sharedEval))
+	}
+	return nil
+}
+
+// restoreDecoded builds an engine from an already-decoded checkpoint
+// (possibly the merge of a full checkpoint and its delta chain — see
+// Recover in checkpointdir.go).
+func restoreDecoded(cp *checkpointFile, sinkFor func(queryName string) Sink, extra []Option) (*Engine, error) {
 	if cp.Version != checkpointVersion {
 		return nil, fmt.Errorf("engine: restore: unsupported checkpoint version %d", cp.Version)
+	}
+	if err := checkConfigConflict(cp, extra); err != nil {
+		return nil, err
 	}
 	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval), WithSharedEval(cp.SharedEval)}
 	if cp.Bounds == window.BoundsStrict.String() {

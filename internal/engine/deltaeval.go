@@ -54,6 +54,7 @@ import (
 func WithDeltaEval(on bool) Option {
 	return func(e *Engine) {
 		e.deltaEval = on
+		e.optsSet.delta = true
 		if on {
 			e.incremental = true
 		}

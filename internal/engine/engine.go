@@ -44,6 +44,14 @@ type Engine struct {
 	bounds  window.Bounds
 	now     time.Time
 
+	// optsSet records which semantics-bearing options were explicitly
+	// supplied, so Restore can reject a caller whose explicit
+	// configuration contradicts the checkpoint instead of silently
+	// restoring under different semantics (see checkConfigConflict).
+	optsSet struct {
+		bounds, cache, incremental, delta, shared bool
+	}
+
 	// parallelism bounds how many queries AdvanceTo evaluates
 	// concurrently; <= 0 means runtime.GOMAXPROCS(0). See
 	// WithParallelism in scheduler.go.
@@ -127,13 +135,13 @@ type Option func(*Engine)
 // WithBounds selects the window bounds mode (default
 // window.BoundsPaperExample; see DESIGN.md).
 func WithBounds(b window.Bounds) Option {
-	return func(e *Engine) { e.bounds = b }
+	return func(e *Engine) { e.bounds = b; e.optsSet.bounds = true }
 }
 
 // WithSnapshotCache enables reuse of evaluation results across
 // evaluations whose active substreams are identical.
 func WithSnapshotCache(on bool) Option {
-	return func(e *Engine) { e.cacheSnapshots = on }
+	return func(e *Engine) { e.cacheSnapshots = on; e.optsSet.cache = true }
 }
 
 // WithScanMatcher forces MATCH evaluation through the naive scan-based
@@ -170,7 +178,7 @@ func WithStaticGraph(g *pg.Graph) Option {
 // properties may change as the window slides; queries that emit scalars
 // (the common case) are unaffected.
 func WithIncrementalSnapshots(on bool) Option {
-	return func(e *Engine) { e.incremental = on }
+	return func(e *Engine) { e.incremental = on; e.optsSet.incremental = true }
 }
 
 // WithMetrics selects the instrumentation registry the engine records

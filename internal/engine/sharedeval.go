@@ -46,7 +46,7 @@ import (
 // pattern evaluation per instant. Result bags per query are identical
 // to unshared evaluation; only the cost model changes.
 func WithSharedEval(on bool) Option {
-	return func(e *Engine) { e.sharedEval = on }
+	return func(e *Engine) { e.sharedEval = on; e.optsSet.shared = true }
 }
 
 // sharedGroup is one shared evaluation group. members and started are

@@ -78,6 +78,42 @@ func WithConnectorClock(now func() time.Time, sleep func(time.Duration)) Connect
 	return func(c *Connector) { c.now, c.sleep = now, sleep }
 }
 
+// WithAppliedOffsets seeds the connector's per-partition applied
+// positions (the next undelivered offset for each partition) and seeks
+// the consumer there. A process recovering from a checkpoint passes
+// the manifest's offsets so records the checkpointed state already
+// reflects are deduplicated instead of double-applied — replay from a
+// durable log stays exactly-once across the restart.
+func WithAppliedOffsets(offsets []int64) ConnectorOption {
+	return func(c *Connector) {
+		for p, off := range offsets {
+			c.applied[p] = off
+			c.consumer.Seek(p, off)
+		}
+	}
+}
+
+// AppliedOffsets returns, per partition, the next offset the connector
+// has not yet applied — the positions a checkpoint manifest must
+// record for exactly-once recovery. Partitions the connector never saw
+// report 0.
+func (c *Connector) AppliedOffsets() []int64 {
+	n, err := c.broker.Partitions(c.consumer.Topic())
+	if err != nil {
+		n = 0
+	}
+	for p := range c.applied {
+		if p+1 > n {
+			n = p + 1
+		}
+	}
+	out := make([]int64, n)
+	for p := range out {
+		out[p] = c.applied[p]
+	}
+	return out
+}
+
 // WithIngestMetrics records connector counters into reg:
 // seraph_deadletter_total, seraph_ingest_delivered_total,
 // seraph_ingest_duplicates_total, seraph_ingest_retries_total and the

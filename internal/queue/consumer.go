@@ -166,6 +166,9 @@ func (c *Consumer) Dropped() int64 {
 	return c.dropped
 }
 
+// Topic returns the topic this consumer reads.
+func (c *Consumer) Topic() string { return c.topic }
+
 // Offsets returns a copy of the committed offsets per partition.
 func (c *Consumer) Offsets() []int64 {
 	c.mu.Lock()

@@ -1,0 +1,331 @@
+package queue
+
+// durable.go is the broker's durable topic backend: every Produce is
+// appended to a per-partition write-ahead log (internal/wal) before it
+// is acknowledged, and OpenDurable rebuilds the in-memory topics by
+// replaying those logs, so a crashed process reopens its broker with
+// every acknowledged record intact (modulo the fsync policy's loss
+// window — see wal.Policy). The whole in-memory API is unchanged:
+// consumers, producers and the connector cannot tell a durable broker
+// from a transient one.
+//
+// Layout under the data directory:
+//
+//	topics/<topic>.json            topic configuration (atomic rename)
+//	wal/<topic>/p<partition>/      segmented record log; WAL index ==
+//	                               record offset, so replay-from-offset
+//	                               is a log read
+//
+// Consumer-group commits are deliberately NOT persisted here: the
+// engine's checkpoint manifest is the durable source of stream
+// positions (state = checkpoint + replay-from-offset), and persisting
+// a second copy in the broker would let the two disagree. After a
+// restart, in-memory commit state starts empty and the recovering
+// connector seeds its position from the manifest.
+//
+// CompactTopic releases log storage below an offset every consumer
+// (per the manifest) has fully applied and checkpointed — retention is
+// driven by checkpoints, not by in-memory consumption. In-memory
+// trimming (trimConsumed) remains a pure memory-pressure relief; the
+// log keeps the records until compacted.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"seraph/internal/wal"
+)
+
+// DurableConfig configures a durable broker.
+type DurableConfig struct {
+	// Fsync is the WAL sync policy (default wal.FsyncAlways).
+	Fsync wal.Policy
+	// SyncEvery is the wal.FsyncInterval cadence (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes is the WAL segment rotation size (default 4 MiB).
+	SegmentBytes int64
+	// WALOptions extras (metrics) are threaded through verbatim.
+	WAL wal.Options
+}
+
+// durability is the broker's persistence hook; nil on a transient
+// broker.
+type durability struct {
+	dir  string
+	opts wal.Options
+	logs map[string][]*wal.Log // topic → per-partition logs
+}
+
+// OpenDurable opens (creating if necessary) a durable broker rooted at
+// dir. Topics created on previous runs are re-created from their
+// persisted configuration and their records replayed from the WAL; a
+// torn tail left by a crash is truncated to the last acknowledged
+// record (see wal.Open).
+func OpenDurable(dir string, cfg DurableConfig) (*Broker, error) {
+	opts := cfg.WAL
+	opts.Fsync = cfg.Fsync
+	if cfg.SyncEvery > 0 {
+		opts.SyncEvery = cfg.SyncEvery
+	}
+	if cfg.SegmentBytes > 0 {
+		opts.SegmentBytes = cfg.SegmentBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "topics"), 0o755); err != nil {
+		return nil, fmt.Errorf("queue: open durable: %w", err)
+	}
+	b := NewBroker()
+	b.dur = &durability{dir: dir, opts: opts, logs: map[string][]*wal.Log{}}
+	entries, err := os.ReadDir(filepath.Join(dir, "topics"))
+	if err != nil {
+		return nil, fmt.Errorf("queue: open durable: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		topicName := strings.TrimSuffix(name, ".json")
+		data, err := os.ReadFile(filepath.Join(dir, "topics", name))
+		if err != nil {
+			return nil, fmt.Errorf("queue: read topic config: %w", err)
+		}
+		var tc TopicConfig
+		if err := json.Unmarshal(data, &tc); err != nil {
+			return nil, fmt.Errorf("queue: topic %q: corrupt persisted config: %w", topicName, err)
+		}
+		if err := b.CreateTopicWith(topicName, tc); err != nil {
+			return nil, err
+		}
+		if err := b.replayTopic(topicName); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Durable reports whether the broker persists its topics.
+func (b *Broker) Durable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dur != nil
+}
+
+// topicFileSafe rejects topic names that cannot double as directory
+// names; only durable brokers care.
+func topicFileSafe(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\\x00") {
+		return fmt.Errorf("queue: topic name %q is not filesystem-safe", name)
+	}
+	return nil
+}
+
+// ensureTopic opens the topic's per-partition logs (creating them on
+// first use) and persists its configuration. The caller holds b.mu;
+// re-writing an unchanged config on replay is idempotent.
+func (dur *durability) ensureTopic(name string, cfg TopicConfig) error {
+	if _, ok := dur.logs[name]; ok {
+		return nil
+	}
+	logs := make([]*wal.Log, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		l, err := wal.Open(filepath.Join(dur.dir, "wal", name, fmt.Sprintf("p%d", p)), dur.opts)
+		if err != nil {
+			for _, open := range logs[:p] {
+				open.Close()
+			}
+			return fmt.Errorf("queue: topic %q partition %d: %w", name, p, err)
+		}
+		logs[p] = l
+	}
+	data, err := json.Marshal(cfg)
+	if err == nil {
+		err = atomicWrite(filepath.Join(dur.dir, "topics", name+".json"), data)
+	}
+	if err != nil {
+		for _, open := range logs {
+			open.Close()
+		}
+		return fmt.Errorf("queue: persist topic %q: %w", name, err)
+	}
+	dur.logs[name] = logs
+	return nil
+}
+
+// replayTopic rebuilds a topic's in-memory partitions from its WAL.
+// The partition base becomes the log's first retained index, so
+// offsets survive compaction.
+func (b *Broker) replayTopic(name string) error {
+	b.mu.Lock()
+	t := b.topics[name]
+	logs := b.dur.logs[name]
+	b.mu.Unlock()
+	for p, l := range logs {
+		part := t.partitions[p]
+		part.base = l.FirstIndex()
+		err := l.Replay(part.base, func(idx int64, payload []byte) error {
+			rec, err := decodeRecord(payload)
+			if err != nil {
+				return fmt.Errorf("queue: topic %q partition %d offset %d: %w", name, p, idx, err)
+			}
+			rec.Topic, rec.Partition, rec.Offset = name, p, idx
+			if idx != part.end() {
+				return fmt.Errorf("queue: topic %q partition %d: replay gap at offset %d (expected %d)",
+					name, p, idx, part.end())
+			}
+			part.records = append(part.records, rec)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		t.produced += int64(len(part.records))
+	}
+	return nil
+}
+
+// persistRecord appends one produced record to its partition WAL. The
+// caller holds b.mu; the WAL has its own lock and the append must
+// happen before Produce acknowledges, so the inversion is safe (WAL
+// never calls back into the broker).
+func (dur *durability) persistRecord(rec Record) error {
+	logs, ok := dur.logs[rec.Topic]
+	if !ok || rec.Partition >= len(logs) {
+		return fmt.Errorf("queue: topic %q has no durable log", rec.Topic)
+	}
+	idx, err := logs[rec.Partition].Append(encodeRecord(rec))
+	if err != nil {
+		return err
+	}
+	if idx != rec.Offset {
+		return fmt.Errorf("queue: durable log for %q[%d] at index %d, memory at offset %d — log out of step",
+			rec.Topic, rec.Partition, idx, rec.Offset)
+	}
+	return nil
+}
+
+// SyncWAL flushes every topic's log to stable storage (a checkpoint
+// barrier for fsync policies other than always).
+func (b *Broker) SyncWAL() error {
+	type entry struct {
+		name string
+		p    int
+		l    *wal.Log
+	}
+	var all []entry
+	b.mu.Lock()
+	if b.dur != nil {
+		for name, logs := range b.dur.logs {
+			for p, l := range logs {
+				all = append(all, entry{name, p, l})
+			}
+		}
+	}
+	b.mu.Unlock()
+	for _, e := range all {
+		if err := e.l.Sync(); err != nil {
+			return fmt.Errorf("queue: sync %q[%d]: %w", e.name, e.p, err)
+		}
+	}
+	return nil
+}
+
+// CompactTopic releases durable log storage for records of a topic
+// partition below upTo (exclusive). Call it with an offset covered by
+// a persisted checkpoint: records below it will never be replayed
+// again. Deletion is segment-granular, so some records below upTo may
+// be retained.
+func (b *Broker) CompactTopic(topicName string, partition int, upTo int64) error {
+	b.mu.Lock()
+	if b.dur == nil {
+		b.mu.Unlock()
+		return nil
+	}
+	logs, ok := b.dur.logs[topicName]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("queue: unknown durable topic %q", topicName)
+	}
+	if partition < 0 || partition >= len(logs) {
+		return fmt.Errorf("queue: topic %q has no partition %d", topicName, partition)
+	}
+	return logs[partition].TruncateFront(upTo)
+}
+
+// CloseDurable closes the broker and its logs, flushing unsynced
+// appends first. On a transient broker it is identical to Close.
+func (b *Broker) CloseDurable() error {
+	b.Close()
+	b.mu.Lock()
+	dur := b.dur
+	b.dur = nil
+	b.mu.Unlock()
+	if dur == nil {
+		return nil
+	}
+	var first error
+	for _, logs := range dur.logs {
+		for _, l := range logs {
+			if err := l.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Record wire format in the WAL:
+//
+//	[8B unix-nano timestamp][4B key length][key bytes][value bytes]
+func encodeRecord(rec Record) []byte {
+	buf := make([]byte, 12, 12+len(rec.Key)+len(rec.Value))
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(rec.Time.UnixNano()))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	return append(buf, rec.Value...)
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) < 12 {
+		return Record{}, fmt.Errorf("record too short (%d bytes)", len(payload))
+	}
+	klen := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if klen < 0 || 12+klen > len(payload) {
+		return Record{}, fmt.Errorf("record key length %d exceeds payload", klen)
+	}
+	return Record{
+		Time:  time.Unix(0, int64(binary.LittleEndian.Uint64(payload[0:8]))).UTC(),
+		Key:   string(payload[12 : 12+klen]),
+		Value: append([]byte(nil), payload[12+klen:]...),
+	}, nil
+}
+
+// atomicWrite writes data via temp-file-rename so readers never see a
+// partial file, syncing the file before the rename.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

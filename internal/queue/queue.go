@@ -134,6 +134,11 @@ type Broker struct {
 	topics  map[string]*topic
 	commits map[groupKey]int64
 	closed  bool
+
+	// dur, when non-nil, persists topics through per-partition
+	// write-ahead logs (see durable.go / OpenDurable). A nil dur is the
+	// historical transient broker.
+	dur *durability
 }
 
 type topic struct {
@@ -190,11 +195,24 @@ func (b *Broker) CreateTopicWith(name string, cfg TopicConfig) error {
 	if b.closed {
 		return ErrClosed
 	}
+	if b.dur != nil {
+		if err := topicFileSafe(name); err != nil {
+			return err
+		}
+	}
 	if t, ok := b.topics[name]; ok {
 		if t.cfg != cfg {
 			return fmt.Errorf("queue: topic %q already exists with different configuration", name)
 		}
 		return nil
+	}
+	if b.dur != nil {
+		// Open the per-partition logs and persist the configuration
+		// before the topic becomes visible: a crash here leaves at worst
+		// an empty WAL directory, never a topic without a log.
+		if err := b.dur.ensureTopic(name, cfg); err != nil {
+			return err
+		}
 	}
 	t := &topic{name: name, cfg: cfg, groups: map[string]struct{}{}}
 	for i := 0; i < cfg.Partitions; i++ {
@@ -323,6 +341,16 @@ func (b *Broker) Produce(topicName, key string, val []byte, ts time.Time) (Recor
 			Key:       key,
 			Value:     val,
 			Time:      ts,
+		}
+		if b.dur != nil {
+			// Durability before acknowledgement: the record reaches the
+			// WAL (and, under FsyncAlways, stable storage) before it is
+			// appended in memory or handed to consumers. On failure the
+			// produce is refused with no in-memory effect.
+			if err := b.dur.persistRecord(rec); err != nil {
+				b.mu.Unlock()
+				return Record{}, err
+			}
 		}
 		part.records = append(part.records, rec)
 		t.produced++

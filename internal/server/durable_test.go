@@ -1,0 +1,313 @@
+package server
+
+import (
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"seraph/internal/engine"
+	"seraph/internal/ingest"
+	"seraph/internal/pg"
+	"seraph/internal/queue"
+	"seraph/internal/wal"
+)
+
+const durableTestQuery = `
+REGISTER QUERY total STARTING AT 2026-07-06T10:00:00
+{ MATCH (n:N) WITHIN PT10S
+  EMIT count(*) AS c SNAPSHOT EVERY PT1S }`
+
+// waitElements polls until the engine's first query has seen want
+// elements (the drain goroutine applies queued events asynchronously).
+func waitElements(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		qs := srv.Engine().Queries()
+		if len(qs) > 0 && qs[0].Stats().ElementsSeen >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain stalled: want %d elements", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fetchCounts returns the (at, c) pairs of every non-skipped result
+// the server has buffered for the query.
+func fetchCounts(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	var results []map[string]any
+	get(t, url+"/queries/total/results", &results)
+	out := map[string]float64{}
+	for _, r := range results {
+		if skipped, _ := r["skipped"].(bool); skipped {
+			continue
+		}
+		rows, _ := r["rows"].([]any)
+		if len(rows) == 0 {
+			continue
+		}
+		out[r["at"].(string)] = rows[0].(map[string]any)["c"].(float64)
+	}
+	return out
+}
+
+// TestDurableServerRestart is the end-to-end durability scenario: a
+// server opened on a data directory ingests events through the logged
+// queue, restarts, recovers its registered query mid-schedule from the
+// checkpoint directory, resumes ingestion at the manifest offsets, and
+// the union of results before and after the restart matches an
+// uninterrupted in-memory run over the same events.
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DurableConfig{
+		Dir:             dir,
+		Fsync:           wal.FsyncAlways,
+		CheckpointEvery: 4, // force a mid-stream checkpoint before Close
+	}
+	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+
+	srv, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	if resp, m := post(t, ts.URL+"/queries", durableTestQuery); resp.StatusCode != 201 {
+		t.Fatalf("register: %d %v", resp.StatusCode, m)
+	}
+	for i := 0; i < 6; i++ {
+		if resp, m := post(t, ts.URL+"/events", eventJSON(t, int64(i+1), base.Add(time.Duration(i)*time.Second))); resp.StatusCode != 200 {
+			t.Fatalf("ingest %d: %d %v", i, resp.StatusCode, m)
+		}
+	}
+	waitElements(t, srv, 6)
+	before := fetchCounts(t, ts.URL)
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen the same directory: the query must come back registered and
+	// mid-schedule, without the client re-POSTing it.
+	srv2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var list []map[string]any
+	get(t, ts2.URL+"/queries", &list)
+	if len(list) != 1 || list[0]["name"] != "total" {
+		t.Fatalf("recovered queries: %v", list)
+	}
+	seen0 := srv2.Engine().Queries()[0].Stats().ElementsSeen
+	for i := 6; i < 9; i++ {
+		if resp, m := post(t, ts2.URL+"/events", eventJSON(t, int64(i+1), base.Add(time.Duration(i)*time.Second))); resp.StatusCode != 200 {
+			t.Fatalf("ingest %d after restart: %d %v", i, resp.StatusCode, m)
+		}
+	}
+	waitElements(t, srv2, seen0+3)
+	after := fetchCounts(t, ts2.URL)
+
+	// No evaluation instant may fire on both sides of the restart
+	// (double emission), and none may be lost: the union must equal an
+	// uninterrupted run over the same nine events.
+	combined := map[string]float64{}
+	for at, c := range before {
+		combined[at] = c
+	}
+	for at, c := range after {
+		if prev, dup := combined[at]; dup {
+			t.Errorf("instant %s emitted on both sides of the restart (%v, %v)", at, prev, c)
+		}
+		combined[at] = c
+	}
+
+	oracleCounts := map[string]float64{}
+	oracle := engine.New()
+	if _, err := oracle.RegisterSource(durableTestQuery, func(r engine.Result) {
+		if r.Skipped || r.Table == nil || len(r.Table.Rows) == 0 {
+			return
+		}
+		oracleCounts[r.At.UTC().Format(time.RFC3339Nano)] = float64(r.Table.Get(0, "c").Int())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		g, gt := decodeEvent(t, eventJSON(t, int64(i+1), base.Add(time.Duration(i)*time.Second)))
+		if err := oracle.Push(g, gt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := oracle.AdvanceTo(oracle.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if len(combined) != len(oracleCounts) {
+		t.Fatalf("recovered run emitted %d instants, oracle %d\nrecovered: %v\noracle: %v",
+			len(combined), len(oracleCounts), combined, oracleCounts)
+	}
+	for at, want := range oracleCounts {
+		if got, ok := combined[at]; !ok || got != want {
+			t.Errorf("instant %s: got %v (present=%v), oracle %v", at, got, ok, want)
+		}
+	}
+}
+
+// TestDurableServerCompactsLog: checkpoints prune the event log, so a
+// long-lived directory does not retain the full stream. After two
+// checkpoint cycles the topic's first retained offset must have moved
+// past zero, and recovery still works from the shortened log.
+func TestDurableServerCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DurableConfig{
+		Dir:             dir,
+		Fsync:           wal.FsyncAlways,
+		CheckpointEvery: 4,
+		SegmentBytes:    256, // rotate quickly so compaction can delete
+	}
+	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+
+	srv, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	if resp, _ := post(t, ts.URL+"/queries", durableTestQuery); resp.StatusCode != 201 {
+		t.Fatal("register failed")
+	}
+	// Enough events for multiple WAL segments and checkpoint cycles.
+	for i := 0; i < 32; i++ {
+		if resp, _ := post(t, ts.URL+"/events", eventJSON(t, int64(i+1), base.Add(time.Duration(i)*time.Second))); resp.StatusCode != 200 {
+			t.Fatalf("ingest %d failed", i)
+		}
+	}
+	waitElements(t, srv, 32)
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := wal.Open(filepath.Join(dir, "queue", "wal", ingestTopic, "p0"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, next := l.FirstIndex(), l.NextIndex()
+	l.Close()
+	if first == 0 {
+		t.Errorf("log never compacted: first retained offset still 0 (next %d)", next)
+	}
+
+	// Recovery still works from the shortened log.
+	srv2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if len(srv2.Engine().Queries()) != 1 {
+		t.Fatalf("query not recovered after compaction")
+	}
+}
+
+// TestDurableRejectsRestoreConflicts: engine options explicitly passed
+// to OpenDurable that contradict the recovered checkpoint's
+// configuration must fail the open, exactly as engine.Restore does.
+func TestDurableRejectsRestoreConflicts(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DurableConfig{Dir: dir, Fsync: wal.FsyncAlways}
+	srv, err := OpenDurable(cfg, engine.WithDeltaEval(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Engine().RegisterSource(durableTestQuery, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(cfg, engine.WithDeltaEval(false)); err == nil {
+		t.Fatal("conflicting delta-eval option accepted")
+	} else if want := "delta evaluation"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+	// Matching or absent options reopen fine.
+	srv2, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Close()
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDurableQueueBackpressure: the durable topic honours the bounded
+// capacity/policy exactly like the in-memory ingest queue.
+func TestDurableQueueBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := OpenDurable(DurableConfig{
+		Dir:           dir,
+		Fsync:         wal.FsyncAlways,
+		QueueCapacity: 2,
+		QueuePolicy:   queue.PolicyReject,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	if _, err := srv.Engine().RegisterSource(`
+REGISTER QUERY stall STARTING AT 2026-07-06T10:00:00
+{ MATCH (n:N) WITHIN PT10S
+  EMIT n.name AS name SNAPSHOT EVERY PT1S }`, func(engine.Result) {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	if resp, _ := post(t, ts.URL+"/events", eventJSON(t, 1, base)); resp.StatusCode != 200 {
+		t.Fatal("first event rejected")
+	}
+	<-entered
+	got429 := false
+	for i := 1; i <= 6 && !got429; i++ {
+		resp, _ := post(t, ts.URL+"/events", eventJSON(t, int64(i+1), base.Add(time.Duration(i)*time.Second)))
+		if resp.StatusCode == 429 {
+			got429 = true
+		}
+	}
+	if !got429 {
+		t.Error("bounded durable queue never rejected")
+	}
+}
+
+// decodeEvent parses one NDJSON event line back into a graph + time
+// for direct engine pushes (the oracle side of restart tests).
+func decodeEvent(t *testing.T, line string) (*pg.Graph, time.Time) {
+	t.Helper()
+	g, ts, err := ingest.Decode([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ts
+}

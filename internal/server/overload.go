@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"seraph/internal/engine"
 	"seraph/internal/ingest"
 	"seraph/internal/queue"
 )
@@ -62,6 +63,13 @@ type ingestQueue struct {
 	broker *queue.Broker
 	conn   *ingest.Connector
 	done   chan struct{}
+
+	// Durable mode (see durable.go): ck checkpoints the engine every
+	// ckEvery delivered events; sinceCk counts deliveries since the
+	// last save (drain-goroutine only).
+	ck      *engine.Checkpointer
+	ckEvery int
+	sinceCk int
 }
 
 // EnableIngestQueue switches POST /events to asynchronous ingestion:
@@ -128,6 +136,13 @@ func (s *Server) drainIngestQueue(iq *ingestQueue) {
 			if aerr := s.engine.AdvanceTo(s.engine.Now()); aerr != nil {
 				s.log.Error("evaluation failed during queued ingest", "err", aerr)
 			}
+			if iq.ck != nil {
+				iq.sinceCk += n
+				if iq.sinceCk >= iq.ckEvery {
+					s.checkpointDurable(iq)
+					iq.sinceCk = 0
+				}
+			}
 		}
 		if n == 0 && err == nil {
 			return // broker closed and fully drained
@@ -162,5 +177,11 @@ func (s *Server) Close() error {
 	}
 	iq.broker.Close()
 	<-iq.done
+	if iq.ck != nil {
+		// Final checkpoint after the drain goroutine has exited, so the
+		// next boot recovers without replaying the whole retained log.
+		s.checkpointDurable(iq)
+		return iq.broker.CloseDurable()
+	}
 	return nil
 }

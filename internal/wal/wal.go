@@ -1,0 +1,512 @@
+// Package wal implements the durable append-only log that backs the
+// engine's crash recovery: a directory of fixed-size segment files
+// holding CRC-framed records, written strictly in order and addressed
+// by a monotonically increasing record index. The broker persists its
+// topics through it (see queue.OpenDurable), so engine state after a
+// crash is reconstructed as "last checkpoint + replay-from-offset".
+//
+// Frame layout (little endian):
+//
+//	[4B payload length][4B CRC-32C over length bytes + payload][payload]
+//
+// Durability is governed by an fsync Policy: Always fsyncs every
+// append before acknowledging it (no acknowledged record is ever
+// lost), Interval fsyncs opportunistically once the configured
+// interval has elapsed (bounded loss window), Never leaves flushing
+// to the OS (crash may lose the unflushed tail). Whatever the policy,
+// a torn tail — a crash mid-write — is detected on Open by CRC
+// validation and truncated away, so the log always reopens to a clean
+// prefix of acknowledged records. Corruption *before* the tail (bit
+// rot inside a sealed region) is not silently skipped: Replay stops
+// with ErrCorrupt.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seraph/internal/metrics"
+)
+
+// ErrCorrupt reports a CRC or framing violation in a sealed (non-tail)
+// region of the log — data that was once acknowledged is damaged, and
+// replaying past it would silently drop records, so recovery must stop
+// and surface the fault.
+var ErrCorrupt = errors.New("wal: corrupt record before log tail")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// castagnoli is the CRC-32C table (iSCSI polynomial), the standard
+// choice for storage framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy selects when appends are fsynced to stable storage.
+type Policy int
+
+const (
+	// FsyncAlways syncs before every append returns: an acknowledged
+	// record survives any crash. The safest and slowest policy.
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs opportunistically once FsyncInterval has
+	// elapsed since the last sync (and always on rotation and Close).
+	// A crash may lose at most the records appended since the last
+	// sync.
+	FsyncInterval
+	// FsyncNever leaves flushing entirely to the operating system. A
+	// crash may lose the whole unflushed tail; the tail is truncated to
+	// a clean prefix on reopen.
+	FsyncNever
+)
+
+// String implements flag-friendly rendering.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses the -fsync flag values.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configure a log.
+type Options struct {
+	// Fsync selects the sync policy (default FsyncAlways).
+	Fsync Policy
+	// SyncEvery is the FsyncInterval cadence (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size (default 4 MiB).
+	SegmentBytes int64
+	// Metrics, when non-nil, records seraph_wal_appends_total,
+	// seraph_wal_bytes_total and the seraph_wal_fsync_seconds
+	// histogram.
+	Metrics *metrics.Registry
+	// now is the fsync-interval clock, injectable for tests.
+	now func() time.Time
+}
+
+func (o *Options) defaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+}
+
+const (
+	segPrefix  = "seg-"
+	segSuffix  = ".wal"
+	headerSize = 8 // 4B length + 4B CRC
+)
+
+// Log is a segmented append-only record log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	first int64 // index of the oldest retained record
+	next  int64 // index the next Append receives
+
+	seg      *os.File // active (last) segment, opened for append
+	segBase  int64    // index of the active segment's first record
+	segSize  int64    // current byte size of the active segment
+	lastSync time.Time
+	dirty    bool
+	closed   bool
+
+	appends *metrics.Counter
+	bytes   *metrics.Counter
+	syncs   *metrics.Histogram
+}
+
+// Open opens (creating if necessary) the log in dir. The last segment
+// is scanned and any torn tail — an incomplete or CRC-failing final
+// region left by a crash mid-write — is truncated away, so the log
+// resumes from a clean prefix.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.defaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts, lastSync: opts.now()}
+	if reg := opts.Metrics; reg != nil {
+		l.appends = reg.Counter("seraph_wal_appends_total", "Records appended to the write-ahead log.")
+		l.bytes = reg.Counter("seraph_wal_bytes_total", "Payload bytes appended to the write-ahead log.")
+		l.syncs = reg.Histogram("seraph_wal_fsync_seconds", "Latency of write-ahead log fsync calls.")
+	}
+	bases, err := segmentBases(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(bases) == 0 {
+		l.first, l.next, l.segBase = 0, 0, 0
+		if err := l.openSegment(0, true); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	l.first = bases[0]
+	l.segBase = bases[len(bases)-1]
+	// Scan the last segment: count whole valid frames, truncate the
+	// rest (the torn tail).
+	path := l.segPath(l.segBase)
+	n, validBytes, err := scanSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validBytes {
+		if err := f.Truncate(validBytes); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.seg, l.segSize = f, validBytes
+	l.next = l.segBase + n
+	return l, nil
+}
+
+// FirstIndex returns the index of the oldest retained record.
+func (l *Log) FirstIndex() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// NextIndex returns the index the next Append will receive (the number
+// of records ever appended when the log has never been truncated).
+func (l *Log) NextIndex() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Append writes one record and returns its index. Under FsyncAlways
+// the record is on stable storage when Append returns.
+func (l *Log) Append(payload []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := l.seg.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.seg.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.segSize += int64(headerSize + len(payload))
+	idx := l.next
+	l.next++
+	l.dirty = true
+	l.appends.Inc()
+	l.bytes.Add(int64(len(payload)))
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case FsyncInterval:
+		if l.opts.now().Sub(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return idx, nil
+}
+
+// Sync flushes the active segment to stable storage regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.syncs.Observe(time.Since(t0))
+	l.dirty = false
+	l.lastSync = l.opts.now()
+	return nil
+}
+
+// rotate seals the active segment (final sync) and starts a new one
+// based at the next record index.
+func (l *Log) rotate() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.segBase = l.next
+	return l.openSegment(l.segBase, true)
+}
+
+func (l *Log) openSegment(base int64, create bool) error {
+	flags := os.O_RDWR | os.O_APPEND
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(l.segPath(base), flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.seg, l.segSize = f, fi.Size()
+	return nil
+}
+
+// Replay invokes fn for every record with index >= from, in order.
+// A framing or CRC fault inside a sealed segment, or anywhere before
+// the final record of the last segment, aborts with ErrCorrupt; a torn
+// tail at the very end of the last segment ends the replay cleanly
+// (Open already truncates it, but Replay tolerates it again so a
+// read-only replay of a crashed directory still yields the clean
+// prefix). fn returning an error aborts the replay with that error.
+func (l *Log) Replay(from int64, fn func(index int64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	bases, err := segmentBases(l.dir)
+	dir, last := l.dir, l.segBase
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for si, base := range bases {
+		end := int64(-1) // unknown; scan to EOF
+		if si+1 < len(bases) {
+			end = bases[si+1]
+		}
+		if end >= 0 && end <= from {
+			continue // segment wholly before the replay start
+		}
+		idx := base
+		sealed := base != last
+		err := replaySegment(filepath.Join(dir, segName(base)), sealed, func(payload []byte) error {
+			i := idx
+			idx++
+			if i < from {
+				return nil
+			}
+			return fn(i, payload)
+		})
+		if err != nil {
+			return err
+		}
+		if end >= 0 && idx != end {
+			return fmt.Errorf("%w: segment %s holds %d records, next segment starts at %d",
+				ErrCorrupt, segName(base), idx-base, end)
+		}
+	}
+	return nil
+}
+
+// TruncateFront releases storage for records below upTo: whole
+// segments whose every record has index < upTo are deleted. Records in
+// the segment containing upTo are retained (deletion is
+// segment-granular), so FirstIndex may remain below upTo.
+func (l *Log) TruncateFront(upTo int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	bases, err := segmentBases(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, base := range bases {
+		// A segment is removable when the next segment starts at or
+		// below upTo (so every record here is < upTo) and it is not the
+		// active segment.
+		if i+1 >= len(bases) || bases[i+1] > upTo || base == l.segBase {
+			break
+		}
+		if err := os.Remove(l.segPath(base)); err != nil {
+			return fmt.Errorf("wal: truncate front: %w", err)
+		}
+		l.first = bases[i+1]
+	}
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+func (l *Log) segPath(base int64) string { return filepath.Join(l.dir, segName(base)) }
+
+func segName(base int64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, base, segSuffix)
+}
+
+// segmentBases lists the segment base indices in dir, ascending.
+func segmentBases(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var bases []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numeric := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		base, err := strconv.ParseInt(numeric, 10, 64)
+		if err != nil || base < 0 {
+			return nil, fmt.Errorf("wal: malformed segment name %q", name)
+		}
+		bases = append(bases, base)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// scanSegment counts the whole valid frames at the start of a segment
+// file and returns how many bytes they span. Everything after the
+// valid prefix is a torn tail.
+func scanSegment(path string) (records int64, validBytes int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: scan segment: %w", err)
+	}
+	off := int64(0)
+	for {
+		n, ok := frameAt(data, off)
+		if !ok {
+			return records, off, nil
+		}
+		off += n
+		records++
+	}
+}
+
+// frameAt validates the frame starting at off and returns its total
+// byte length. ok is false for a short or CRC-failing frame.
+func frameAt(data []byte, off int64) (length int64, ok bool) {
+	if off+headerSize > int64(len(data)) {
+		return 0, false
+	}
+	plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+	want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	end := off + headerSize + plen
+	if plen > int64(len(data)) || end > int64(len(data)) || end < off {
+		return 0, false
+	}
+	crc := crc32.Update(0, castagnoli, data[off:off+4])
+	crc = crc32.Update(crc, castagnoli, data[off+headerSize:end])
+	if crc != want {
+		return 0, false
+	}
+	return headerSize + plen, true
+}
+
+// replaySegment streams a segment's valid frames to fn. In a sealed
+// segment any invalid frame (including a short tail) is ErrCorrupt; in
+// the active segment an invalid region ends the replay (it is the torn
+// tail, not corruption).
+func replaySegment(path string, sealed bool, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: replay segment: %w", err)
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		n, ok := frameAt(data, off)
+		if !ok {
+			if sealed {
+				return fmt.Errorf("%w: %s at byte %d", ErrCorrupt, filepath.Base(path), off)
+			}
+			return nil
+		}
+		if err := fn(data[off+headerSize : off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
