@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath bench-mqo bench-recovery chaos-recovery repro verify examples fuzz fuzz-wal clean
+.PHONY: all build vet test race bench bench-index bench-delta bench-hotpath bench-mqo bench-mqo2 bench-recovery chaos-recovery repro verify examples fuzz fuzz-wal clean
 
 all: build vet test
 
@@ -46,6 +46,14 @@ bench-hotpath:
 # full-size run is BENCH_pr8.json.
 bench-mqo:
 	$(GO) run ./cmd/seraph-bench -exp B16 -quick
+
+# Sharing-hierarchy smoke: B18 overlaps query families across window
+# widths, subpattern parents, and a late registrant, aborting on any
+# per-(query, instant) result-bag divergence between the unshared,
+# equality-shared, and hierarchical engines. The committed full-size
+# run is BENCH_pr10.json.
+bench-mqo2:
+	$(GO) run ./cmd/seraph-bench -exp B18 -quick
 
 # Crash-recovery smoke: B17 builds durable directories under three
 # checkpoint cadences and times a cold restart of each, aborting if the

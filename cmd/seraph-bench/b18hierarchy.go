@@ -1,0 +1,334 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"encoding/json"
+
+	"seraph/internal/engine"
+	"seraph/internal/eval"
+	"seraph/internal/parser"
+	"seraph/internal/pg"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+)
+
+// b18Hierarchy measures the MQO sharing hierarchy (PR 10) against
+// PR 8's equality-only grouping on a workload equality cannot collapse:
+//
+//   - nFam dense 2-hop pattern families, each registered at six window
+//     widths (10–60 s on a 5 s slide) with parameterized residual
+//     variants — equality keys one group per (family, width) and runs
+//     the quadratic-in-width join once per width, the hierarchy keys
+//     one width super-group per family, runs the join once at the
+//     widest window and derives the narrow members by containment
+//     re-validation;
+//   - per family, 3-hop child variants whose first two comma-separated
+//     parts equal the family's whole pattern — the hierarchy seeds the
+//     child chassis from the parent's binding table instead of
+//     re-running the dense join;
+//   - one staggered mid-run registration per family — equality spawns
+//     a parallel chassis generation, the hierarchy merges it into the
+//     running super-group with a single catch-up backfill.
+//
+// Three engines (unshared, shared = WithSharedHierarchy(false),
+// hierarchical) replay the same element sequence with delta evaluation
+// off. The run aborts unless every (query, instant) sorted-row bag is
+// identical across all modes — late queries are compared only after
+// their steady-state horizon, because a merged late joiner
+// intentionally adopts the chassis history while an unshared late
+// registrant's window fills from registration; the two agree once
+// every pre-registration element has expired from the widest window —
+// and unless seraph_delta_fallback_total stayed zero everywhere.
+// -json writes the rows to a snapshot (BENCH_pr10.json in the repo).
+func b18Hierarchy() {
+	type b18Row struct {
+		Mode      string  `json:"mode"`
+		Queries   int     `json:"queries"`
+		Families  int     `json:"families"`
+		Groups    int     `json:"groups"`
+		Instants  int     `json:"instants"`
+		Rows      int     `json:"rows_total"`
+		MS        float64 `json:"ms_per_instant"`
+		VsUnshare float64 `json:"speedup_vs_unshared"`
+		VsShared  float64 `json:"speedup_vs_shared"`
+	}
+	nFam := scaled(3, 2)
+	variants := scaled(2, 2)  // residual variants per (family, width)
+	childVar := scaled(3, 2)  // residual variants per family's 3-hop child
+	rounds := 12              // batches filling the widest (60 s) window
+	measure := scaled(24, 16) // timed instants (> rounds, so late steady state is reached)
+	perType := scaled(24, 4)  // edge pairs per family per batch
+	slide := 5 * time.Second
+	widths := []string{"PT10S", "PT15S", "PT20S", "PT25S", "PT30S", "PT35S",
+		"PT40S", "PT45S", "PT50S", "PT55S", "PT60S"}
+	if quick {
+		widths = []string{"PT20S", "PT40S", "PT60S"}
+	}
+
+	elems := b18Stream(rounds, measure, perType, nFam, slide)
+	startAt := elems[rounds-1].Time.Format("2006-01-02T15:04:05")
+	// Late queries are registered at elems[rounds-1].Time; their
+	// divergence-by-design horizon ends once every pre-registration
+	// element has expired from the widest (60 s) window.
+	lateSteady := elems[rounds-1].Time.Add(60 * time.Second)
+
+	bagSig := func(t *eval.Table) string {
+		rows := make([]string, len(t.Rows))
+		for i, row := range t.Rows {
+			var b strings.Builder
+			for _, c := range row {
+				b.WriteString(c.String())
+				b.WriteByte('\x1f')
+			}
+			rows[i] = b.String()
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, "\x1e")
+	}
+
+	// The family pattern is a dense 2-hop join through a small pool of
+	// Svc nodes, so match cost grows quadratically with window width
+	// while snapshot cost (paid identically by every shared mode) grows
+	// only linearly — the hierarchy's width and seeding savings are on
+	// the match side. The core conjunct r.v > s.v is shareable (two
+	// pattern vars) and selective (~1% of candidate pairs), keeping
+	// fan-out rows modest.
+	parentSrc := func(name string, fam int, width string) string {
+		return fmt.Sprintf(`REGISTER QUERY %s STARTING AT %s
+{
+  MATCH (u:User)-[r:T%d]->(d:Svc), (d)-[s:G%d]->(w:Ext)
+  WITHIN %s
+  WHERE r.v > s.v AND r.v > $x
+  EMIT u.uid AS uid, w.wid AS wid
+  ON ENTERING EVERY PT5S
+}`, name, startAt, fam, fam, width)
+	}
+	childSrc := func(name string, fam int) string {
+		return fmt.Sprintf(`REGISTER QUERY %s STARTING AT %s
+{
+  MATCH (u:User)-[r:T%d]->(d:Svc), (d)-[s:G%d]->(w:Ext), (w)-[x:H%d]->(z:Org)
+  WITHIN PT60S
+  WHERE r.v > s.v AND r.v > $x
+  EMIT u.uid AS uid, z.zid AS zid
+  ON ENTERING EVERY PT5S
+}`, name, startAt, fam, fam, fam)
+	}
+
+	legs := []struct {
+		name   string
+		groups int // expected shared groups before the late registrations
+		opts   []engine.Option
+	}{
+		{"unshared", 0, []engine.Option{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true)}},
+		{"shared", nFam*len(widths) + nFam, []engine.Option{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true),
+			engine.WithSharedEval(true), engine.WithSharedHierarchy(false)}},
+		{"hierarchical", 2 * nFam, []engine.Option{engine.WithParallelism(1), engine.WithIncrementalSnapshots(true),
+			engine.WithSharedEval(true)}},
+	}
+	header("mode", "queries", "families", "groups", "instants", "rows_total", "ms_per_instant", "vs_unshared", "vs_shared")
+	var out []b18Row
+	bags := make([]map[string]string, len(legs))
+	for i, leg := range legs {
+		e := engine.New(leg.opts...)
+		bag := make(map[string]string)
+		bags[i] = bag
+		rowsTotal := 0
+		var handles []*engine.Query
+		register := func(src string, threshold int) {
+			reg, err := parser.ParseRegistration(src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			q, err := e.RegisterWithParams(reg, func(r engine.Result) {
+				key := r.Query + "@" + r.At.Format(time.RFC3339)
+				if prev, dup := bag[key]; dup {
+					bag[key] = prev + "\x1d" + bagSig(r.Table)
+				} else {
+					bag[key] = bagSig(r.Table)
+				}
+				rowsTotal += r.Table.Len()
+			}, map[string]value.Value{"x": value.NewInt(int64(threshold))})
+			if err != nil {
+				log.Fatal(err)
+			}
+			handles = append(handles, q)
+		}
+		// Parent families first (their groups get the lower chassis ids,
+		// so the sequential scheduler evaluates seeding parents before
+		// their children), then the 2-hop children.
+		nQueries := 0
+		for fam := 0; fam < nFam; fam++ {
+			for wi, w := range widths {
+				for v := 0; v < variants; v++ {
+					register(parentSrc(fmt.Sprintf("q%d_w%d_v%02d", fam, wi, v), fam, w), v%8)
+					nQueries++
+				}
+			}
+		}
+		for fam := 0; fam < nFam; fam++ {
+			for v := 0; v < childVar; v++ {
+				register(childSrc(fmt.Sprintf("c%d_v%02d", fam, v), fam), v%8)
+				nQueries++
+			}
+		}
+		// Fill the widest window and absorb the first instant untimed.
+		for _, el := range elems[:rounds] {
+			if err := e.Push(el.Graph, el.Time); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := e.AdvanceTo(elems[rounds-1].Time); err != nil {
+			log.Fatal(err)
+		}
+		if groups := len(e.SharedGroups()); groups != leg.groups {
+			log.Fatalf("B18 %s: %d shared groups, want %d", leg.name, groups, leg.groups)
+		}
+		// Staggered mid-run registrations: one per family, against a
+		// group that has been running for a full window.
+		for fam := 0; fam < nFam; fam++ {
+			register(parentSrc(fmt.Sprintf("late%d", fam), fam, "PT60S"), fam%8)
+			nQueries++
+		}
+		d := replayTimed(e, elems[rounds:rounds+measure])
+		groups := len(e.SharedGroups())
+		for _, q := range handles {
+			if fb := q.Stats().DeltaFallbacks; fb != 0 {
+				log.Fatalf("B18 %s: query %s has %d delta fallbacks, want 0 (delta eval is off)", leg.name, q.Name(), fb)
+			}
+		}
+		wall := ms(d) / float64(measure)
+		vsUnshared, vsShared := 1.0, 0.0
+		if len(out) > 0 {
+			vsUnshared = out[0].MS / wall
+		}
+		if len(out) == 1 {
+			vsShared = 1.0
+		} else if len(out) > 1 {
+			vsShared = out[1].MS / wall
+		}
+		out = append(out, b18Row{
+			Mode: leg.name, Queries: nQueries, Families: nFam, Groups: groups,
+			Instants: measure, Rows: rowsTotal, MS: wall, VsUnshare: vsUnshared, VsShared: vsShared,
+		})
+		fmt.Printf("%s\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.1f\t%.1f\n",
+			leg.name, nQueries, nFam, groups, measure, rowsTotal, wall, vsUnshared, vsShared)
+	}
+	// Per-(query, instant) bag oracle across all three modes. Late
+	// queries are compared only at steady-state instants: a merged late
+	// joiner intentionally adopts the chassis history (it sees the
+	// pre-registration window an unshared late registrant's
+	// from-registration buffer lacks), so the modes agree only once
+	// every pre-registration element has expired from the widest
+	// window — instants strictly after lateSteady.
+	lateCompared := 0
+	filter := func(bag map[string]string) map[string]string {
+		f := make(map[string]string, len(bag))
+		for k, v := range bag {
+			if strings.HasPrefix(k, "late") {
+				at, err := time.Parse(time.RFC3339, k[strings.IndexByte(k, '@')+1:])
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !at.After(lateSteady) {
+					continue
+				}
+				lateCompared++
+			}
+			f[k] = v
+		}
+		return f
+	}
+	want := filter(bags[0])
+	if lateCompared == 0 {
+		log.Fatal("B18: no late-query steady-state instants compared; raise measure")
+	}
+	for i := 1; i < len(legs); i++ {
+		got := filter(bags[i])
+		if len(got) != len(want) {
+			log.Fatalf("B18 %s: %d result instants vs %d unshared", legs[i].name, len(got), len(want))
+		}
+		for key, w := range want {
+			g, ok := got[key]
+			if !ok {
+				log.Fatalf("B18 %s: missing result %s", legs[i].name, key)
+			}
+			if g != w {
+				log.Fatalf("B18 %s: result bag diverges from unshared at %s", legs[i].name, key)
+			}
+		}
+	}
+	fmt.Printf("oracle: %d (query, instant) bags identical across all modes (%d late steady-state); seraph_delta_fallback_total=0 in all modes\n",
+		len(want), lateCompared/len(legs))
+	if jsonOut != "" {
+		doc := map[string]any{
+			"experiment":  "B18",
+			"description": "MQO sharing hierarchy vs equality-only sharing: width super-groups, subpattern seeding, late-join merge; per-query result bags verified identical, delta fallbacks zero",
+			"command":     "go run ./cmd/seraph-bench -exp B18 -json " + jsonOut,
+			"rows":        out,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// b18Stream builds one batch per slide. Each batch holds, per family
+// p, perType chains User-[:T<p>]->Svc-[:G<p>]->Ext-[:H<p>]->Org where
+// the Svc endpoint is drawn from a fixed pool of svcPool nodes per
+// family — the in- and out-edges of a pool node combine across chains
+// (and across batches inside the window), so 2-hop candidate pairs
+// grow quadratically with window width. r.v cycles over 1..11 and s.v
+// over 10..20 (mod-11 cycles, coprime with the 6-id chain stride, so
+// both ranges are hit uniformly), making the core conjunct r.v > s.v
+// pass ~0.8% of candidate pairs.
+func b18Stream(rounds, extra, perType, nFam int, slide time.Duration) []stream.Element {
+	const svcPool = 6
+	start := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var elems []stream.Element
+	id := int64(1000) // fresh ids; pool Svc ids live below 1000
+	for b := 0; b < rounds+extra; b++ {
+		g := pg.New()
+		for p := 0; p < nFam; p++ {
+			for i := 0; i < perType; i++ {
+				did := int64(p*svcPool + (i+b)%svcPool) // pool node, stable id
+				uid, wid, zid, rid, sid, xid := id, id+1, id+2, id+3, id+4, id+5
+				id += 6
+				g.AddNode(&value.Node{ID: uid, Labels: []string{"User"}, Props: map[string]value.Value{
+					"uid": value.NewInt(uid)}})
+				g.AddNode(&value.Node{ID: did, Labels: []string{"Svc"}, Props: map[string]value.Value{
+					"did": value.NewInt(did)}})
+				g.AddNode(&value.Node{ID: wid, Labels: []string{"Ext"}, Props: map[string]value.Value{
+					"wid": value.NewInt(wid)}})
+				g.AddNode(&value.Node{ID: zid, Labels: []string{"Org"}, Props: map[string]value.Value{
+					"zid": value.NewInt(zid)}})
+				if err := g.AddRel(&value.Relationship{ID: rid, StartID: uid, EndID: did,
+					Type:  fmt.Sprintf("T%d", p),
+					Props: map[string]value.Value{"v": value.NewInt(1 + rid%11)}}); err != nil {
+					log.Fatal(err)
+				}
+				if err := g.AddRel(&value.Relationship{ID: sid, StartID: did, EndID: wid,
+					Type:  fmt.Sprintf("G%d", p),
+					Props: map[string]value.Value{"v": value.NewInt(10 + sid%11)}}); err != nil {
+					log.Fatal(err)
+				}
+				if err := g.AddRel(&value.Relationship{ID: xid, StartID: wid, EndID: zid,
+					Type:  fmt.Sprintf("H%d", p),
+					Props: map[string]value.Value{"v": value.NewInt(1 + xid%10)}}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		elems = append(elems, stream.Element{Graph: g, Time: start.Add(time.Duration(b) * slide)})
+	}
+	return elems
+}

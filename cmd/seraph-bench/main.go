@@ -18,6 +18,7 @@
 //	B15 workload scenarios + newly maintained shapes under delta eval
 //	B16 multi-query optimization: shared vs unshared evaluation
 //	B17 crash-recovery time vs durable log length (checkpoint cadences)
+//	B18 MQO sharing hierarchy vs equality-only shared evaluation
 //
 // Each experiment prints one table of rows/series.
 //
@@ -62,12 +63,12 @@ var (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id (B1..B17) or all")
+	expFlag := flag.String("exp", "all", "experiment id (B1..B18) or all")
 	flag.BoolVar(&quick, "quick", false, "reduced problem sizes")
 	flag.BoolVar(&showMetrics, "metrics", false, "print an engine metrics snapshot after each run")
 	flag.Float64Var(&selectivity, "selectivity", 0,
 		"B13: fraction of window nodes matching the pushed predicate (0 = built-in sweep)")
-	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15/B16: also write the sweep results as JSON to this file")
+	flag.StringVar(&jsonOut, "json", "", "B13/B14/B15/B16/B18: also write the sweep results as JSON to this file")
 	flag.StringVar(&allocGuard, "alloc-guard", "",
 		"B14: compare the 1%-churn delta/full allocs-per-instant ratio against this snapshot file and abort if it regressed more than 2x")
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		{"B15", "workload scenarios + new maintained shapes under delta eval", b15WorkloadDelta},
 		{"B16", "multi-query optimization: shared vs unshared evaluation", b16MQO},
 		{"B17", "crash-recovery time vs durable log length (checkpoint cadences)", b17Recovery},
+		{"B18", "MQO sharing hierarchy: width super-groups, subpattern seeding, late-join merge", b18Hierarchy},
 	}
 	ran := 0
 	for _, ex := range experiments {

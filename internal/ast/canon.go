@@ -57,6 +57,23 @@ type CanonQuery struct {
 	// Residual is the bridge's WHERE (nil when every conjunct was
 	// shareable). Exposed for introspection and tests.
 	Residual Expr
+
+	// BaseFingerprint is Fingerprint without the WITHIN component:
+	// queries that agree on it differ at most in window width.
+	BaseFingerprint string
+
+	// WidthSafe reports that this canonical query may share evaluation
+	// across window widths: a match found in a wider window restricts to
+	// a candidate match of every narrower window on the same stream, so
+	// narrow results can be derived from the wide binding table by
+	// re-validating each row against the narrow store. This holds when
+	// (a) every pattern position is named and fixed-length, so a binding
+	// row pins the whole match and can be re-bound by element id, and
+	// (b) the core WHERE and inline pattern properties are width-
+	// monotone: built only from null-strict operators, so a predicate
+	// that held on the narrow store's values (a subset of the wide
+	// store's, never conflicting) also holds on the wide store's.
+	WidthSafe bool
 }
 
 // Canonicalize decomposes a registered query body into a shared
@@ -207,9 +224,7 @@ func Canonicalize(q *Query) (*CanonQuery, bool) {
 	rest = append(rest, sq.Clauses[1:]...)
 
 	var fp strings.Builder
-	fp.WriteString("within=")
-	fp.WriteString(m.Within.String())
-	fp.WriteString(";match=")
+	fp.WriteString("match=")
 	for i := range canonPattern.Parts {
 		if i > 0 {
 			fp.WriteByte(',')
@@ -218,17 +233,287 @@ func Canonicalize(q *Query) (*CanonQuery, bool) {
 	}
 	fp.WriteString(";core=")
 	fp.WriteString(strings.Join(corePrints, " AND "))
+	base := fp.String()
+
+	widthSafe := rebindablePattern(canonPattern)
+	for _, c := range coreCanon {
+		widthSafe = widthSafe && widthMonotoneExpr(c)
+	}
+	for _, part := range canonPattern.Parts {
+		for _, np := range part.Nodes {
+			widthSafe = widthSafe && widthMonotoneProps(np.Props)
+		}
+		for _, rp := range part.Rels {
+			widthSafe = widthSafe && widthMonotoneProps(rp.Props)
+		}
+	}
 
 	return &CanonQuery{
-		Fingerprint: fp.String(),
-		Match:       canonMatch,
-		Vars:        namedPatternVars(canonPattern),
-		Rest:        rest,
+		Fingerprint:     "within=" + m.Within.String() + ";" + base,
+		BaseFingerprint: base,
+		WidthSafe:       widthSafe,
+		Match:           canonMatch,
+		Vars:            namedPatternVars(canonPattern),
+		Rest:            rest,
 		Rewritten: &Query{Parts: []*SingleQuery{{
 			Clauses: append([]Clause{canonMatch}, rest...),
 		}}},
 		Residual: bridge.Where,
 	}, true
+}
+
+// rebindablePattern reports that every node and relationship position of
+// the pattern carries a variable and every relationship is fixed-length,
+// so a binding row over the named variables determines the entire match
+// and can be re-established by element id against another store.
+func rebindablePattern(p Pattern) bool {
+	for _, part := range p.Parts {
+		for _, np := range part.Nodes {
+			if np.Var == "" {
+				return false
+			}
+		}
+		for _, rp := range part.Rels {
+			if rp.Var == "" || rp.VarLength {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// widthMonotoneExpr reports that e is built only from null-strict (and
+// monotone-combining AND/OR) constructs, so e evaluating to true over a
+// narrow window's property values implies e is true over any wider
+// window's on the same stream: within one stream the wider window sees a
+// superset of elements, property values never conflict across live
+// elements (the store rejects that), hence every value the narrow
+// evaluation read is present and equal in the wide store. Constructs
+// that can turn absence into truth — NOT, IS NULL, XOR, CASE, coalesce,
+// comprehensions, quantifiers — disqualify the expression.
+func widthMonotoneExpr(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *Literal, *Param:
+		return true
+	case *Var:
+		// win_start / win_end resolve to the active window's bounds,
+		// which differ between widths; a predicate over them is not
+		// width-monotone. now (= ω) is width-independent.
+		return x.Name != "win_start" && x.Name != "win_end"
+	case *Prop:
+		return widthMonotoneExpr(x.X)
+	case *ListLit:
+		for _, it := range x.Items {
+			if !widthMonotoneExpr(it) {
+				return false
+			}
+		}
+		return true
+	case *Unary:
+		return x.Op == OpNeg && widthMonotoneExpr(x.X)
+	case *Binary:
+		switch x.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpPow,
+			OpIn, OpStartsWith, OpEndsWith, OpContains, OpRegex,
+			OpAnd, OpOr:
+			return widthMonotoneExpr(x.L) && widthMonotoneExpr(x.R)
+		}
+		return false
+	case *Comparison:
+		if !widthMonotoneExpr(x.First) {
+			return false
+		}
+		for _, r := range x.Rest {
+			if !widthMonotoneExpr(r) {
+				return false
+			}
+		}
+		return true
+	case *Index:
+		return widthMonotoneExpr(x.X) && widthMonotoneExpr(x.I)
+	case *Slice:
+		return widthMonotoneExpr(x.X) && widthMonotoneExpr(x.From) && widthMonotoneExpr(x.To)
+	case *FuncCall:
+		if x.Distinct || !widthStrictFuncs[x.Name] {
+			return false
+		}
+		for _, a := range x.Args {
+			if !widthMonotoneExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// widthStrictFuncs are the built-ins known to be null-strict and to
+// depend only on their argument values — never on the store (labels,
+// keys, startNode, …, whose answers differ between window widths).
+var widthStrictFuncs = map[string]bool{
+	"abs": true, "ceil": true, "floor": true, "round": true, "sign": true,
+	"sqrt": true, "exp": true, "log": true, "log10": true,
+	"toInteger": true, "toFloat": true, "toBoolean": true, "toString": true,
+	"toLower": true, "toUpper": true, "trim": true, "ltrim": true,
+	"rtrim": true, "reverse": true, "substring": true, "left": true,
+	"right": true, "replace": true, "split": true, "size": true,
+	"length": true, "id": true, "type": true,
+}
+
+func widthMonotoneProps(m *MapLit) bool {
+	if m == nil {
+		return true
+	}
+	for _, v := range m.Vals {
+		if !widthMonotoneExpr(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Subpattern containment
+
+// SubpatternMap witnesses that a parent canonical pattern is a
+// sub-pattern of a child's: every parent part matches a distinct child
+// part of identical structure, and the variable correspondence carries
+// the parent's core WHERE into (a subset of) the child's. The child's
+// binding table can then be computed by pinning the mapped positions
+// from the parent's binding table and matching only the remaining parts.
+type SubpatternMap struct {
+	// PartOf[i] is the child part index realizing parent part i.
+	PartOf []int
+	// VarOf maps each parent canonical variable to the child canonical
+	// variable at the corresponding pattern position. It is total on the
+	// parent's variables and may be non-injective (two parent variables
+	// mapping onto one child variable restricts the seed rows to those
+	// with equal values, which the seeded matcher enforces).
+	VarOf map[string]string
+}
+
+// SubpatternOf reports whether parent's canonical pattern + core WHERE
+// is a strict sub-pattern of child's, returning the part and variable
+// correspondence, or nil. Soundness of seeding the child's join from
+// the parent's binding table requires exactly what is checked here:
+//
+//   - the parent pattern is fully named and fixed-length, so a parent
+//     row pins every mapped child position by element id;
+//   - parts correspond by structural key, injectively, with the keys
+//     unique on both sides (an ambiguous correspondence could pick a
+//     mapping whose variable constraints differ from the one the rows
+//     were filtered under);
+//   - mapped parts carry no variable references inside inline property
+//     maps (a property constraint reading another variable is not
+//     position-local, so key equality would not imply row coverage);
+//   - each parent variable maps to exactly one child variable, so the
+//     restriction of any child match assigns every parent variable a
+//     unique element and that assignment is a parent match the parent
+//     table is guaranteed to contain;
+//   - the parent's core WHERE, translated through the variable map, is
+//     a subset of the child's core conjuncts — the parent table's
+//     filtering never removes a row some child match restricts to;
+//   - the containment is strict (fewer parts, or equal parts and
+//     strictly fewer core conjuncts), which both guarantees a benefit
+//     and keeps the parent relation acyclic.
+func SubpatternOf(parent, child *CanonQuery) *SubpatternMap {
+	if parent == nil || child == nil {
+		return nil
+	}
+	pp, cp := parent.Match.Pattern.Parts, child.Match.Pattern.Parts
+	if len(pp) > len(cp) || !rebindablePattern(parent.Match.Pattern) {
+		return nil
+	}
+	blankKey := func(p PatternPart) string {
+		b := copyPart(p)
+		blankVars(&b)
+		return PatternPartString(b)
+	}
+	uniqueKeys := func(parts []PatternPart) (map[string]int, bool) {
+		keys := make(map[string]int, len(parts))
+		for i, p := range parts {
+			k := blankKey(p)
+			if _, dup := keys[k]; dup {
+				return nil, false
+			}
+			keys[k] = i
+		}
+		return keys, true
+	}
+	childByKey, ok := uniqueKeys(cp)
+	if !ok {
+		return nil
+	}
+	if _, ok := uniqueKeys(pp); !ok {
+		return nil
+	}
+
+	sm := &SubpatternMap{PartOf: make([]int, len(pp)), VarOf: map[string]string{}}
+	mapVar := func(from, to string) bool {
+		if prev, ok := sm.VarOf[from]; ok {
+			return prev == to
+		}
+		sm.VarOf[from] = to
+		return true
+	}
+	for i, p := range pp {
+		j, ok := childByKey[blankKey(p)]
+		if !ok {
+			return nil
+		}
+		sm.PartOf[i] = j
+		c := cp[j]
+		if len(p.Nodes) != len(c.Nodes) || len(p.Rels) != len(c.Rels) {
+			return nil // unreachable given key equality; defend anyway
+		}
+		for k, np := range p.Nodes {
+			if propsReferenceVars(np.Props) || !mapVar(np.Var, c.Nodes[k].Var) {
+				return nil
+			}
+		}
+		for k, rp := range p.Rels {
+			if propsReferenceVars(rp.Props) || !mapVar(rp.Var, c.Rels[k].Var) {
+				return nil
+			}
+		}
+	}
+
+	childCore := map[string]bool{}
+	for _, c := range conjuncts(child.Match.Where) {
+		childCore[ExprString(c)] = true
+	}
+	parentCore := conjuncts(parent.Match.Where)
+	for _, c := range parentCore {
+		t := copyExpr(c)
+		renameExprVars(t, sm.VarOf)
+		if !childCore[ExprString(t)] {
+			return nil
+		}
+	}
+	if len(pp) == len(cp) && len(parentCore) >= len(childCore) {
+		return nil // identical pattern and core: equality sharing's job
+	}
+	return sm
+}
+
+func propsReferenceVars(m *MapLit) bool {
+	if m == nil {
+		return false
+	}
+	for _, v := range m.Vals {
+		found := false
+		walkExprTree(v, func(x Expr) {
+			if _, ok := x.(*Var); ok {
+				found = true
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // byPrint sorts an expr slice and its prints together.

@@ -32,6 +32,7 @@ type checkpointFile struct {
 	Incremental bool              `json:"incremental"`
 	DeltaEval   bool              `json:"delta_eval,omitempty"`
 	SharedEval  bool              `json:"shared_eval,omitempty"`
+	HierOff     bool              `json:"shared_hier_off,omitempty"`
 	Now         time.Time         `json:"now"`
 	Static      json.RawMessage   `json:"static,omitempty"`
 	Queries     []checkpointQuery `json:"queries"`
@@ -78,6 +79,7 @@ func (e *Engine) checkpointState(since func(queryName string) time.Time) (*check
 		Incremental: e.incremental,
 		DeltaEval:   e.deltaEval,
 		SharedEval:  e.sharedEval,
+		HierOff:     !e.sharedHier,
 		Now:         e.now,
 	}
 	if e.static != nil {
@@ -186,6 +188,9 @@ func checkConfigConflict(cp *checkpointFile, extra []Option) error {
 	if probe.optsSet.shared && probe.sharedEval != cp.SharedEval {
 		return reject("shared evaluation", fmt.Sprint(cp.SharedEval), fmt.Sprint(probe.sharedEval))
 	}
+	if probe.optsSet.hier && probe.sharedHier == cp.HierOff {
+		return reject("shared hierarchy", fmt.Sprint(!cp.HierOff), fmt.Sprint(probe.sharedHier))
+	}
 	return nil
 }
 
@@ -199,7 +204,7 @@ func restoreDecoded(cp *checkpointFile, sinkFor func(queryName string) Sink, ext
 	if err := checkConfigConflict(cp, extra); err != nil {
 		return nil, err
 	}
-	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval), WithSharedEval(cp.SharedEval)}
+	opts := []Option{WithSnapshotCache(cp.Cache), WithIncrementalSnapshots(cp.Incremental), WithDeltaEval(cp.DeltaEval), WithSharedEval(cp.SharedEval), WithSharedHierarchy(!cp.HierOff)}
 	if cp.Bounds == window.BoundsStrict.String() {
 		opts = append(opts, WithBounds(window.BoundsStrict))
 	}
@@ -323,19 +328,33 @@ func (e *Engine) restoreSharedGroups(restored []*Query) {
 		}
 		q.canon = cq
 		q.canonProg = prog
-		baseKey := sharedGroupKey(cq, q, deltaOK)
+		widthSafe := e.sharedHier && cq.WidthSafe && !deltaOK
+		baseKey := sharedGroupKey(cq, q, deltaOK, widthSafe)
 		key := baseKey +
 			"|next=" + q.nextEval.Format(time.RFC3339Nano) +
 			"|hist=" + substreamKey(q.hist.Elements())
 		g := byKey[key]
 		if g == nil {
-			g = e.newSharedGroup(baseKey, q, cq, deltaOK)
+			g = e.newSharedGroup(baseKey, q, cq, deltaOK, widthSafe)
 			// The chassis inherits this member's restored history.
 			for _, el := range q.hist.Elements() {
 				_ = g.chassis.hist.Append(el.Graph, el.Time)
 			}
 			byKey[key] = g
 			e.groupList = append(e.groupList, g)
+			// Running generations stay joinable after a restore: a
+			// post-restore registrant with the same key may merge
+			// (latest restored generation wins the slot).
+			if e.groups == nil {
+				e.groups = map[string]*sharedGroup{}
+			}
+			e.groups[baseKey] = g
+			e.linkSubpattern(g)
+		} else if widthSafe && q.cfg.Width > g.chassis.cfg.Width {
+			// A width super-group restores member by member; the chassis
+			// adopts the widest window before any evaluation state
+			// exists (warm-up runs after regrouping).
+			e.widenChassis(g, q.cfg.Width)
 		}
 		q.memberOf = g
 		g.members = append(g.members, q)
@@ -378,19 +397,29 @@ func (e *Engine) warmUpGroup(g *sharedGroup) error {
 	if !needPrev {
 		return nil
 	}
-	bindings, iv, _, _, ok, err := e.computeResult(ch, lastEval)
+	bindings, iv, nodes, rels, ok, err := e.computeResult(ch, lastEval)
 	if err != nil {
 		return fmt.Errorf("engine: restore group %q warm-up: %w", ch.name, err)
 	}
 	if !ok {
 		return nil
 	}
-	storeFor := e.groupStoreFor(ch, iv)
+	// Cache the warm-up bindings so a post-restore late joiner can
+	// backfill from them without re-evaluating.
+	g.setLastFull(bindings, iv, lastEval)
+	wv := e.newWidthViews(g, ch, bindings, iv, nodes, rels, ch.stats.WindowElements, lastEval)
 	for _, m := range members {
 		if m.done || m.op() == ast.OpSnapshot {
 			continue
 		}
-		out, err := e.fanOutTable(m, bindings, storeFor, iv, lastEval)
+		v := wv.at(m.cfg.Width)
+		if v.err != nil {
+			return fmt.Errorf("engine: restore query %q warm-up: %w", m.name, v.err)
+		}
+		if !v.ok {
+			continue
+		}
+		out, err := e.fanOutTable(m, v.table, v.storeFor, v.iv, lastEval)
 		if err != nil {
 			return fmt.Errorf("engine: restore query %q warm-up: %w", m.name, err)
 		}

@@ -404,93 +404,103 @@ func TestRecoverDeltaStateEquivalence(t *testing.T) {
 }
 
 // TestRecoverSharedGroupEquivalence: multi-query groups re-form after
-// recovery with the same membership, and a query registered later (a
-// different generation with different history) stays in its own group
-// exactly as before the crash.
+// recovery with the same membership. With the sharing hierarchy on
+// (the default) a query registered mid-stream merges into the running
+// generation and recovery reunites all members on one chassis; with
+// the hierarchy off the later generation stays in its own group
+// exactly as before the crash — and the off switch itself round-trips
+// through the checkpoint.
 func TestRecoverSharedGroupEquivalence(t *testing.T) {
 	mk := func(name string) string {
 		return `REGISTER QUERY ` + name + ` STARTING AT 2026-07-06T10:00:00
 { MATCH (s:Sensor)-[r:READ]->(z:Zone) WITHIN PT20S WHERE r.v > 30
   EMIT s.name AS sensor, r.v AS v SNAPSHOT EVERY PT5S }`
 	}
-	dir := t.TempDir()
-	e := New(WithSharedEval(true))
-	for _, n := range []string{"qa", "qb"} {
-		if _, err := e.RegisterSource(mk(n), nil); err != nil {
-			t.Fatal(err)
-		}
-	}
-	pushTick(t, e, 1000, 0, 41)
-	pushTick(t, e, 1001, 5, 55)
-	// qc arrives mid-stream: same fingerprint, later generation, its
-	// window history differs from qa/qb's chassis.
-	if _, err := e.RegisterSource(mk("qc"), nil); err != nil {
-		t.Fatal(err)
-	}
-	pushTick(t, e, 1002, 10, 60)
-
-	groupsOf := func(eng *Engine) map[string][]string {
-		out := map[string][]string{}
-		for _, g := range eng.groupList {
-			var members []string
-			for _, m := range g.members {
-				members = append(members, m.name)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+		sets []string // expected member sets, before and after recovery
+	}{
+		{"hierarchical", []Option{WithSharedEval(true)}, []string{"qa,qb,qc"}},
+		{"equality_only", []Option{WithSharedEval(true), WithSharedHierarchy(false)},
+			[]string{"qa,qb", "qc"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			e := New(tc.opts...)
+			for _, n := range []string{"qa", "qb"} {
+				if _, err := e.RegisterSource(mk(n), nil); err != nil {
+					t.Fatal(err)
+				}
 			}
-			out[g.chassis.name] = members
-		}
-		return out
-	}
-	before := groupsOf(e)
+			pushTick(t, e, 1000, 0, 41)
+			pushTick(t, e, 1001, 5, 55)
+			// qc arrives mid-stream: same fingerprint, started chassis.
+			// Hierarchy on: merges into qa/qb's generation. Off: a later
+			// generation whose window history differs from the chassis.
+			if _, err := e.RegisterSource(mk("qc"), nil); err != nil {
+				t.Fatal(err)
+			}
+			pushTick(t, e, 1002, 10, 60)
 
-	ck, err := e.NewCheckpointer(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := ck.Save(nil); err != nil {
-		t.Fatal(err)
-	}
-	e2, _, err := Recover(dir, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	after := groupsOf(e2)
-	if len(after) != len(before) {
-		t.Fatalf("group count after recovery: %d, want %d (%v vs %v)", len(after), len(before), after, before)
-	}
-	memberSets := func(groups map[string][]string) map[string]int {
-		sets := map[string]int{}
-		for _, ms := range groups {
-			sets[strings.Join(ms, ",")]++
-		}
-		return sets
-	}
-	bs, as := memberSets(before), memberSets(after)
-	for set, n := range bs {
-		if as[set] != n {
-			t.Errorf("member set {%s}: %d groups recovered, want %d (all: %v)", set, as[set], n, after)
-		}
-	}
-	// qa/qb must share one chassis; qc must not have joined them.
-	if bs["qa,qb"] != 1 || as["qa,qb"] != 1 {
-		t.Errorf("qa,qb not grouped together: before=%v after=%v", before, after)
-	}
-	if bs["qc"] != 1 || as["qc"] != 1 {
-		t.Errorf("late-generation qc not isolated: before=%v after=%v", before, after)
-	}
+			groupsOf := func(eng *Engine) map[string][]string {
+				out := map[string][]string{}
+				for _, g := range eng.groupList {
+					var members []string
+					for _, m := range g.members {
+						members = append(members, m.name)
+					}
+					out[g.chassis.name] = members
+				}
+				return out
+			}
+			before := groupsOf(e)
 
-	// Post-recovery emissions match the surviving original.
-	colA, colB := &Collector{}, &Collector{}
-	e.queries["qc"].sink = colA.Sink()
-	e2.queries["qc"].sink = colB.Sink()
-	pushTick(t, e, 1003, 15, 70)
-	pushTick(t, e2, 1003, 15, 70)
-	if len(colA.Results) == 0 || len(colA.Results) != len(colB.Results) {
-		t.Fatalf("post-recovery results: %d vs %d", len(colA.Results), len(colB.Results))
-	}
-	for i := range colA.Results {
-		if !sameBag(colA.Results[i].Table, colB.Results[i].Table) {
-			t.Errorf("qc diverges at %s", colA.Results[i].At.Format("15:04:05"))
-		}
+			ck, err := e.NewCheckpointer(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ck.Save(nil); err != nil {
+				t.Fatal(err)
+			}
+			e2, _, err := Recover(dir, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := groupsOf(e2)
+			if len(before) != len(tc.sets) || len(after) != len(tc.sets) {
+				t.Fatalf("group count: before %d, after %d, want %d (%v vs %v)",
+					len(before), len(after), len(tc.sets), before, after)
+			}
+			memberSets := func(groups map[string][]string) map[string]int {
+				sets := map[string]int{}
+				for _, ms := range groups {
+					sets[strings.Join(ms, ",")]++
+				}
+				return sets
+			}
+			bs, as := memberSets(before), memberSets(after)
+			for _, set := range tc.sets {
+				if bs[set] != 1 || as[set] != 1 {
+					t.Errorf("member set {%s}: before=%v after=%v", set, before, after)
+				}
+			}
+
+			// Post-recovery emissions match the surviving original.
+			colA, colB := &Collector{}, &Collector{}
+			e.queries["qc"].sink = colA.Sink()
+			e2.queries["qc"].sink = colB.Sink()
+			pushTick(t, e, 1003, 15, 70)
+			pushTick(t, e2, 1003, 15, 70)
+			if len(colA.Results) == 0 || len(colA.Results) != len(colB.Results) {
+				t.Fatalf("post-recovery results: %d vs %d", len(colA.Results), len(colB.Results))
+			}
+			for i := range colA.Results {
+				if !sameBag(colA.Results[i].Table, colB.Results[i].Table) {
+					t.Errorf("qc diverges at %s", colA.Results[i].At.Format("15:04:05"))
+				}
+			}
+		})
 	}
 }
 

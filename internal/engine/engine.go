@@ -49,7 +49,7 @@ type Engine struct {
 	// configuration contradicts the checkpoint instead of silently
 	// restoring under different semantics (see checkConfigConflict).
 	optsSet struct {
-		bounds, cache, incremental, delta, shared bool
+		bounds, cache, incremental, delta, shared, hier bool
 	}
 
 	// parallelism bounds how many queries AdvanceTo evaluates
@@ -89,6 +89,14 @@ type Engine struct {
 	groups     map[string]*sharedGroup
 	groupList  []*sharedGroup
 	groupSeq   int
+
+	// sharedHier layers the sharing hierarchy over sharedEval:
+	// cross-window-width super-groups, subpattern seeding between
+	// groups, and late-join merging into running generations (see
+	// hierarchy.go and WithSharedHierarchy). groupGen numbers the
+	// generations spawned under each group key.
+	sharedHier bool
+	groupGen   map[string]int
 
 	// deltaBypass is the churn-ratio crossover guard for delta
 	// evaluation: when a round's delta exceeds this fraction of the
@@ -208,7 +216,7 @@ func WithHistoryRetention(n int) Option {
 
 // New returns an engine.
 func New(opts ...Option) *Engine {
-	e := &Engine{queries: make(map[string]*Query), deltaBypass: 0.3}
+	e := &Engine{queries: make(map[string]*Query), deltaBypass: 0.3, sharedHier: true}
 	for _, o := range opts {
 		o(e)
 	}
@@ -317,6 +325,14 @@ type Query struct {
 	group     *sharedGroup
 	canon     *ast.CanonQuery
 	canonProg *eval.DeltaProgram
+
+	// Late-join state (hierarchy.go): lateJoin marks a member that
+	// merged into a running generation (introspection, permanent);
+	// needBackfill requests the one-time catch-up evaluation that
+	// rebuilds its diff baseline before its first shared instant
+	// (guarded by the chassis lock during evaluation).
+	lateJoin     bool
+	needBackfill bool
 
 	// evalMu serializes this query's evaluation chain: whoever holds it
 	// owns the right to run evaluations, in instant order, until
@@ -513,6 +529,13 @@ func (e *Engine) Deregister(name string) error {
 				}
 			}
 			e.groupList = keep
+			// A retired group can no longer seed its children; they
+			// fall back to scratch evaluation.
+			for _, x := range e.groupList {
+				if x.parent == g {
+					x.parent, x.pmap = nil, nil
+				}
+			}
 		}
 		e.sched.mqoGroups.Set(int64(len(e.groupList)))
 	}

@@ -1,0 +1,425 @@
+package engine
+
+// hierarchy.go is the hierarchical layer of the multi-query
+// optimization (see sharedeval.go for the group machinery it extends).
+// Equality-keyed sharing collapses *identical* canonical queries into
+// one evaluation; the hierarchy also shares across queries that merely
+// overlap:
+//
+//   - cross-window-width super-groups: width-safe canonical queries
+//     (ast.CanonQuery.WidthSafe — fully named fixed-length pattern,
+//     width-monotone core WHERE and inline properties) group on a
+//     width-agnostic key. The chassis maintains the widest member
+//     window; a narrower member's binding table is derived by re-binding
+//     every wide row by element id against the narrow window's store and
+//     re-validating labels, inline properties and the core WHERE
+//     (eval.ForEachTableSeeded with a FullCover). Width monotonicity
+//     guarantees the wide table is a superset of every narrower one.
+//
+//   - subpattern seeding: when group A's canonical pattern is a strict
+//     sub-pattern of group B's (ast.SubpatternOf), B's per-instant
+//     evaluation pins the mapped positions from A's binding table and
+//     only matches the remaining parts, instead of matching B from
+//     scratch. Seeding is opportunistic: it applies when the parent
+//     evaluated the same instant first (sequential scheduling orders
+//     chassis by name, so earlier-registered parents win); otherwise B
+//     falls back to a scratch evaluation. Both give the same bag.
+//
+//   - late-join backfill: a registrant whose key matches a *running*
+//     full-mode generation merges into it instead of spawning a parallel
+//     chassis. The member adopts the chassis history (t0 semantics) and,
+//     before its first shared instant, one catch-up evaluation at the
+//     previous instant rebuilds its diff baseline, so its ON ENTERING /
+//     ON EXITING stream continues exactly as if it had been registered
+//     at t0 and replayed. Delta-maintained groups keep the PR-8 frozen
+//     generations (their maintained state cannot adopt members mid-run).
+//
+// Property-graph caveat, documented in DESIGN.md: a width super-group
+// evaluates the widest window, so a property inconsistency that only
+// the wide window exposes fails the whole group — the same blast-radius
+// rule as any shared failure.
+
+import (
+	"fmt"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/stream"
+	"seraph/internal/value"
+	"seraph/internal/window"
+)
+
+// WithSharedHierarchy toggles the hierarchical sharing mechanisms
+// layered over WithSharedEval: cross-window-width super-groups,
+// subpattern seeding between groups, and late-join merging into running
+// generations. On by default; WithSharedHierarchy(false) reverts to
+// equality-only groups (every group keyed by full fingerprint and
+// window width, generations frozen at first dispatch) — the PR-8
+// behavior, kept as the benchmark baseline.
+func WithSharedHierarchy(on bool) Option {
+	return func(e *Engine) { e.sharedHier = on; e.optsSet.hier = true }
+}
+
+// winBuiltins are the reserved per-window evaluation bindings.
+func winBuiltins(iv stream.Interval, ω time.Time) map[string]value.Value {
+	return map[string]value.Value{
+		"win_start": value.NewDateTime(iv.Start),
+		"win_end":   value.NewDateTime(iv.End),
+		"now":       value.NewDateTime(ω),
+	}
+}
+
+// linkSubpattern wires the new group into the subpattern seeding
+// hierarchy: it becomes the child of the first compatible group whose
+// canonical pattern strictly contains less, and the parent of any
+// compatible group it is itself a strict sub-pattern of. Compatibility
+// is same stream, slide grid and start; width equality is re-checked at
+// evaluation time (a pre-start super-group may still widen). The strict
+// sub-pattern relation keeps the parent graph acyclic. Caller holds
+// e.mu.
+func (e *Engine) linkSubpattern(g *sharedGroup) {
+	if !e.sharedHier || g.deltaOK || g.canon == nil {
+		return
+	}
+	for _, h := range e.groupList {
+		if h == g || h.deltaOK || h.canon == nil {
+			continue
+		}
+		gc, hc := g.chassis, h.chassis
+		if gc.streamName != hc.streamName || gc.cfg.Slide != hc.cfg.Slide || !gc.cfg.Start.Equal(hc.cfg.Start) {
+			continue
+		}
+		if g.parent == nil {
+			if sm := ast.SubpatternOf(h.canon, g.canon); sm != nil {
+				g.parent, g.pmap = h, sm
+			}
+		}
+		if h.parent == nil {
+			if sm := ast.SubpatternOf(g.canon, h.canon); sm != nil {
+				h.parent, h.pmap = g, sm
+			}
+		}
+	}
+}
+
+// widenChassis grows a pre-start width super-group's chassis to a new
+// widest member window. Caller holds e.mu and has checked the chassis
+// has neither evaluated nor buffered anything.
+func (e *Engine) widenChassis(g *sharedGroup, w time.Duration) {
+	g.chassis.cfg.Width = w
+	g.chMatch.Within = w
+}
+
+// mergeLateMember merges a late registrant into a running full-mode
+// generation. The member's schedule jumps to the chassis watermark and
+// its diff baseline is rebuilt lazily at the next shared instant
+// (backfillLateMember). Returns false when the member's window is wider
+// than the chassis (its history was pruned for the narrower width) or
+// the generation already failed. Caller holds e.mu.
+func (e *Engine) mergeLateMember(g *sharedGroup, q *Query) bool {
+	ch := g.chassis
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.done || ch.failErr != nil {
+		return false
+	}
+	if q.cfg.Width > ch.cfg.Width {
+		return false
+	}
+	q.nextEval = ch.nextEval
+	q.evalTarget = q.nextEval.Add(-time.Nanosecond)
+	q.lateJoin = true
+	q.needBackfill = !ch.pendingStart && ch.nextEval.After(ch.cfg.Start)
+	q.memberOf = g
+	g.members = append(g.members, q)
+	g.merged++
+	e.sched.mqoMerged.Inc()
+	return true
+}
+
+// groupBindings produces the chassis binding table at ω: seeded from a
+// fresh parent table when the hierarchy provides one, otherwise the
+// scratch evaluation through computeResult. Either way the table is
+// cached on the group for child seeding and late-join catch-up. Caller
+// holds ch.mu.
+func (e *Engine) groupBindings(ch *Query, g *sharedGroup, parent *sharedGroup, pmap *ast.SubpatternMap, ω time.Time) (*eval.Table, stream.Interval, int, int, bool, error) {
+	if parent != nil && pmap != nil {
+		if t, iv, nodes, rels, ok := e.seededBindings(ch, g, parent, pmap, ω); ok {
+			g.setLastFull(t, iv, ω)
+			return t, iv, nodes, rels, true, nil
+		}
+	}
+	bindings, iv, nodes, rels, ok, err := e.computeResult(ch, ω)
+	if err == nil && ok {
+		g.setLastFull(bindings, iv, ω)
+	}
+	return bindings, iv, nodes, rels, ok, err
+}
+
+// seededBindings evaluates the group's canonical pattern at ω by
+// pinning the parent group's binding-table rows onto the mapped pattern
+// positions and matching only the remainder. It applies only when the
+// parent evaluated the same instant over the same window width (then
+// both tables were computed over identical snapshot contents, so every
+// match of the child pattern projects to some parent row). Returns
+// ok=false to fall back to the scratch evaluation.
+func (e *Engine) seededBindings(ch *Query, g *sharedGroup, parent *sharedGroup, pmap *ast.SubpatternMap, ω time.Time) (*eval.Table, stream.Interval, int, int, bool) {
+	if parent.chassis.cfg.Width != ch.cfg.Width {
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	parent.fullMu.Lock()
+	seeds, seedsAt := parent.lastFull, parent.lastFullAt
+	parent.fullMu.Unlock()
+	if seeds == nil || !seedsAt.Equal(ω) {
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	iv, ok := ch.cfg.ActiveWindow(ω)
+	if !ok {
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	t0 := time.Now()
+	store, elems, _, wok, err := e.chassisStore(ch, ch.cfg.Width, ω, true)
+	if err != nil || !wok {
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	snapNanos := int64(time.Since(t0))
+	ctx := &eval.Ctx{
+		Store:               store,
+		GraphFor:            func(time.Duration) *graphstore.Store { return store },
+		Builtins:            winBuiltins(iv, ω),
+		Match:               ch.qm.match,
+		DisableMatchIndexes: e.scanMatcher,
+	}
+	t1 := time.Now()
+	sm := eval.NewSeededMatcher(ctx, g.canon.Match.Pattern, g.canon.Match.Where)
+	cover := sm.SubpatternCover(seeds.Cols, pmap.PartOf, pmap.VarOf)
+	if cover == nil {
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	out := &eval.Table{Cols: append([]string(nil), sm.Vars()...)}
+	scratch := eval.NewMatchScratch()
+	err = sm.ForEachTableSeeded(ctx, store, seeds, cover, scratch,
+		func(_ []byte, row []value.Value, _ func() []eval.Seed) error {
+			out.Rows = append(out.Rows, append([]value.Value(nil), row...))
+			return nil
+		})
+	if err != nil {
+		// A runtime evaluation error would recur in the scratch path;
+		// fall back so it is raised (and attributed) there.
+		return nil, stream.Interval{}, 0, 0, false
+	}
+	ch.stats.SnapshotNanos += snapNanos
+	ch.stats.CypherNanos += int64(time.Since(t1))
+	ch.stats.WindowElements = elems
+	ch.qm.windowElems.Set(int64(elems))
+	e.sched.mqoSeeded.Inc()
+	return out, iv, store.NumNodes(), store.NumRels(), true
+}
+
+// chassisStore builds the chassis's snapshot store for one window width
+// at ω: the per-width rolling store in incremental mode (when useRoller
+// allows advancing it to ω), otherwise a fresh snapshot of the active
+// substream unioned with the static graph. Caller holds ch.mu.
+func (e *Engine) chassisStore(ch *Query, width time.Duration, ω time.Time, useRoller bool) (*graphstore.Store, int, stream.Interval, bool, error) {
+	wiv, ok := window.ActiveWindowWidth(ch.cfg, width, ω)
+	if !ok {
+		return nil, 0, wiv, false, nil
+	}
+	elems := ch.hist.Substream(wiv)
+	if useRoller && e.incremental {
+		roller, err := ch.roller(width, e.static)
+		if err != nil {
+			return nil, 0, wiv, true, err
+		}
+		added, removed, err := roller.advance(elems)
+		ch.stats.IncrementalAdds += added
+		ch.stats.IncrementalRemoves += removed
+		ch.qm.incAdds.Add(int64(added))
+		ch.qm.incRemoves.Add(int64(removed))
+		if err != nil {
+			return nil, 0, wiv, true, err
+		}
+		return roller.store, len(elems), wiv, true, nil
+	}
+	store, err := e.snapshotStore(elems)
+	if err != nil {
+		return nil, 0, wiv, true, err
+	}
+	return store, len(elems), wiv, true, nil
+}
+
+// snapshotStore materializes a snapshot graph store from stream
+// elements, unioning in the engine's static background graph.
+func (e *Engine) snapshotStore(elems []stream.Element) (*graphstore.Store, error) {
+	g, err := stream.Snapshot(elems)
+	if err == nil && e.static != nil {
+		err = g.UnionInPlace(e.static)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return graphstore.FromGraph(g), nil
+}
+
+// widthView is one window width's slice of a shared instant: the
+// binding table valid for that width, its interval, and the store
+// member clauses read from.
+type widthView struct {
+	table    *eval.Table
+	iv       stream.Interval
+	storeFor func(time.Duration) *graphstore.Store
+	nodes    int
+	rels     int
+	elems    int
+	ok       bool
+	err      error
+}
+
+// widthViews caches, per evaluated instant, the per-width derivations
+// of the chassis binding table, so a super-group with k distinct member
+// widths pays one wide evaluation plus at most k-1 re-validation
+// passes.
+type widthViews struct {
+	e     *Engine
+	g     *sharedGroup
+	ch    *Query
+	ω     time.Time
+	views map[time.Duration]*widthView
+}
+
+func (e *Engine) newWidthViews(g *sharedGroup, ch *Query, bindings *eval.Table, iv stream.Interval, nodes, rels, elems int, ω time.Time) *widthViews {
+	base := &widthView{
+		table: bindings, iv: iv, storeFor: e.groupStoreFor(ch, iv),
+		nodes: nodes, rels: rels, elems: elems, ok: true,
+	}
+	return &widthViews{e: e, g: g, ch: ch, ω: ω,
+		views: map[time.Duration]*widthView{ch.cfg.Width: base}}
+}
+
+// at returns the view for one member width, deriving and caching it on
+// first use. Caller holds ch.mu.
+func (wv *widthViews) at(w time.Duration) *widthView {
+	if w == 0 {
+		w = wv.ch.cfg.Width
+	}
+	if v := wv.views[w]; v != nil {
+		return v
+	}
+	v := &widthView{}
+	if w > wv.ch.cfg.Width {
+		v.err = fmt.Errorf("engine: member window %s wider than group chassis %s", w, wv.ch.cfg.Width)
+	} else {
+		base := wv.views[wv.ch.cfg.Width]
+		t, wiv, store, elems, ok, err := wv.e.deriveWidth(wv.g, wv.ch, base.table, w, wv.ω, true)
+		v.table, v.iv, v.elems, v.ok, v.err = t, wiv, elems, ok, err
+		if store != nil {
+			v.storeFor = func(time.Duration) *graphstore.Store { return store }
+			v.nodes, v.rels = store.NumNodes(), store.NumRels()
+		}
+	}
+	wv.views[w] = v
+	return v
+}
+
+// deriveWidth derives a narrower width's binding table from the wide
+// one: build the narrow window's store, re-bind each wide row by
+// element id against it and re-validate labels, types, inline
+// properties and the core WHERE. Width safety makes the wide table a
+// superset of the narrow matches, so re-validation is exact. Caller
+// holds ch.mu.
+func (e *Engine) deriveWidth(g *sharedGroup, ch *Query, base *eval.Table, w time.Duration, ω time.Time, useRoller bool) (*eval.Table, stream.Interval, *graphstore.Store, int, bool, error) {
+	store, elems, wiv, ok, err := e.chassisStore(ch, w, ω, useRoller)
+	if err != nil || !ok {
+		return nil, wiv, nil, 0, ok, err
+	}
+	ctx := &eval.Ctx{
+		Store:               store,
+		GraphFor:            func(time.Duration) *graphstore.Store { return store },
+		Builtins:            winBuiltins(wiv, ω),
+		Match:               ch.qm.match,
+		DisableMatchIndexes: e.scanMatcher,
+	}
+	sm := eval.NewSeededMatcher(ctx, g.canon.Match.Pattern, g.canon.Match.Where)
+	var out *eval.Table
+	if cover := sm.FullCover(base.Cols); cover != nil {
+		out = &eval.Table{Cols: append([]string(nil), sm.Vars()...)}
+		scratch := eval.NewMatchScratch()
+		err = sm.ForEachTableSeeded(ctx, store, base, cover, scratch,
+			func(_ []byte, row []value.Value, _ func() []eval.Seed) error {
+				out.Rows = append(out.Rows, append([]value.Value(nil), row...))
+				return nil
+			})
+	} else {
+		// Defensive: width-safe groups always cover; anything else
+		// evaluates the canonical body from scratch on the narrow store.
+		out, err = eval.EvalQuery(ctx, ch.reg.Body)
+	}
+	if err != nil {
+		return nil, wiv, nil, 0, true, err
+	}
+	e.sched.mqoDerived.Inc()
+	return out, wiv, store, elems, true, nil
+}
+
+// backfillLateMember rebuilds a merged member's previous result at the
+// instant before ω, so its first shared diff continues the ON ENTERING
+// / ON EXITING stream a t0 registration would have produced. Runs at
+// most once per merged member. Caller holds ch.mu and m.mu.
+func (e *Engine) backfillLateMember(g *sharedGroup, ch *Query, m *Query, ω time.Time) error {
+	m.needBackfill = false
+	if m.op() == ast.OpSnapshot || m.prev != nil {
+		return nil
+	}
+	ωp := ω.Add(-ch.cfg.Slide)
+	piv, ok := ch.cfg.ActiveWindow(ωp)
+	if !ok {
+		return nil
+	}
+	var base *eval.Table
+	g.fullMu.Lock()
+	if g.lastFull != nil && g.lastFullAt.Equal(ωp) {
+		base, piv = g.lastFull, g.lastFullIv
+	}
+	g.fullMu.Unlock()
+	// The catch-up always evaluates over a fresh snapshot of the
+	// buffered history: the incremental rollers already advanced to ω
+	// and must not be rewound to a past instant.
+	store, err := e.snapshotStore(ch.hist.Substream(piv))
+	if err != nil {
+		return err
+	}
+	storeFor := func(time.Duration) *graphstore.Store { return store }
+	if base == nil {
+		ctx := &eval.Ctx{
+			Store:               store,
+			GraphFor:            storeFor,
+			Builtins:            winBuiltins(piv, ωp),
+			Match:               ch.qm.match,
+			DisableMatchIndexes: e.scanMatcher,
+		}
+		base, err = eval.EvalQuery(ctx, ch.reg.Body)
+		if err != nil {
+			return err
+		}
+	}
+	tbl, iv := base, piv
+	if m.cfg.Width != ch.cfg.Width {
+		t, wiv, nstore, _, ok, derr := e.deriveWidth(g, ch, base, m.cfg.Width, ωp, false)
+		if derr != nil {
+			return derr
+		}
+		if !ok {
+			return nil
+		}
+		tbl, iv = t, wiv
+		storeFor = func(time.Duration) *graphstore.Store { return nstore }
+	}
+	out, err := e.fanOutTable(m, tbl, storeFor, iv, ωp)
+	if err != nil {
+		return err
+	}
+	m.prev = out
+	return nil
+}

@@ -1,0 +1,505 @@
+package engine
+
+// hierarchy_test.go covers the hierarchical multi-query sharing layer
+// (hierarchy.go): cross-window-width super-groups, subpattern seeding
+// between groups, and late-join backfill — each against the unshared
+// engine (or a t0 twin) as the oracle.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"seraph/internal/ast"
+	"seraph/internal/eval"
+	"seraph/internal/graphstore"
+	"seraph/internal/parser"
+	"seraph/internal/pg"
+	"seraph/internal/value"
+)
+
+// hierRun registers the given (name, source, param) specs on one
+// engine — those with lateStep > 0 mid-stream — and drives it with the
+// seeded random stream used by the delta and MQO suites.
+type hierSpec struct {
+	name     string
+	src      string
+	pv       int64
+	lateStep int
+}
+
+func runHierStream(t *testing.T, specs []hierSpec, seed int64, steps int, opts ...Option) (map[string]*Collector, *Engine) {
+	t.Helper()
+	e := New(opts...)
+	cols := map[string]*Collector{}
+	register := func(s hierSpec) {
+		reg, err := parser.ParseRegistration(s.src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", s.name, err)
+		}
+		col := &Collector{}
+		if _, err := e.RegisterWithParams(reg, col.Sink(),
+			map[string]value.Value{"p": value.NewInt(s.pv)}); err != nil {
+			t.Fatalf("register %s: %v", s.name, err)
+		}
+		cols[s.name] = col
+	}
+	for _, s := range specs {
+		if s.lateStep == 0 {
+			register(s)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	now := base
+	for i := 0; i < steps; i++ {
+		for _, s := range specs {
+			if s.lateStep > 0 && s.lateStep == i {
+				register(s)
+			}
+		}
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		if err := e.Push(randDeltaEvent(r, i), now); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AdvanceTo(now.Add(25 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return cols, e
+}
+
+func flatWidthSrc(name, width, op string) string {
+	return fmt.Sprintf(`REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P)
+  WITHIN %s
+  WHERE r.v >= $p
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  %s EVERY PT7S
+}`, name, width, op)
+}
+
+// TestWidthSuperGroupEquivalence: queries identical except for window
+// width collapse into one super-group whose chassis maintains the
+// widest window; every member — across all three stream operators —
+// still emits exactly what an unshared engine produces. Registering
+// the narrowest first exercises pre-start chassis widening.
+func TestWidthSuperGroupEquivalence(t *testing.T) {
+	specs := []hierSpec{
+		{name: "w10_snap", src: flatWidthSrc("w10_snap", "PT10S", "SNAPSHOT"), pv: 0},
+		{name: "w15_ent", src: flatWidthSrc("w15_ent", "PT15S", "ON ENTERING"), pv: 1},
+		{name: "w20_exi", src: flatWidthSrc("w20_exi", "PT20S", "ON EXITING"), pv: 0},
+		{name: "w20_snap", src: flatWidthSrc("w20_snap", "PT20S", "SNAPSHOT"), pv: 2},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		full, _ := runHierStream(t, specs, seed, 30)
+		shared, se := runHierStream(t, specs, seed, 30, WithSharedEval(true))
+		for _, s := range specs {
+			sameResults(t, fmt.Sprintf("seed %d width", seed), s.name, full[s.name], shared[s.name])
+		}
+		groups := se.SharedGroups()
+		if len(groups) != 1 || !groups[0].WidthShared || groups[0].Width != "20s" {
+			t.Fatalf("seed %d: groups = %+v, want one 20s-wide super-group", seed, groups)
+		}
+		if len(groups[0].Members) != 4 {
+			t.Fatalf("seed %d: members = %v, want 4", seed, groups[0].Members)
+		}
+		if derived := se.sched.mqoDerived.Value(); derived == 0 {
+			t.Fatalf("seed %d: no width derivations in a mixed-width group", seed)
+		}
+	}
+}
+
+// TestSubpatternSeeding: a group whose canonical pattern strictly
+// contains another group's evaluates seeded from the parent's binding
+// table. Results must match the unshared engine exactly, and the
+// seeded path must actually have run (sequential scheduling orders the
+// earlier-registered parent chassis first at each shared instant).
+func TestSubpatternSeeding(t *testing.T) {
+	// The child's first pattern part is structurally identical to the
+	// parent group's whole pattern (containment is per comma-separated
+	// part), so the child's join can be seeded from the parent's rows.
+	child := func(name string) string {
+		return fmt.Sprintf(`REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P), (b)-[s:F]->(c:V)
+  WITHIN PT20S
+  WHERE c.k >= $p
+  EMIT a.k AS ak, c.k AS ck
+  SNAPSHOT EVERY PT7S
+}`, name)
+	}
+	specs := []hierSpec{
+		{name: "par0", src: flatWidthSrc("par0", "PT20S", "SNAPSHOT"), pv: 0},
+		{name: "par1", src: flatWidthSrc("par1", "PT20S", "ON ENTERING"), pv: 1},
+		{name: "kid0", src: child("kid0"), pv: 0},
+		{name: "kid1", src: child("kid1"), pv: 1},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		full, _ := runHierStream(t, specs, seed, 30, WithParallelism(1))
+		shared, se := runHierStream(t, specs, seed, 30,
+			WithSharedEval(true), WithParallelism(1))
+		for _, s := range specs {
+			sameResults(t, fmt.Sprintf("seed %d seeding", seed), s.name, full[s.name], shared[s.name])
+		}
+		groups := se.SharedGroups()
+		if len(groups) != 2 {
+			t.Fatalf("seed %d: groups = %+v, want parent and child", seed, groups)
+		}
+		parent, kid := groups[0], groups[1]
+		if kid.Parent != parent.ID || len(parent.Children) != 1 || parent.Children[0] != kid.ID {
+			t.Fatalf("seed %d: hierarchy edges wrong: %+v", seed, groups)
+		}
+		if seeded := se.sched.mqoSeeded.Value(); seeded == 0 {
+			t.Fatalf("seed %d: child group never evaluated seeded", seed)
+		}
+	}
+}
+
+// TestLateJoinBackfillExactlyOnce: a query registered mid-run with a
+// running generation's key merges into it, and its diff operators
+// continue exactly the stream its t0 twin produces — the backfilled
+// previous result makes the first shared diff neither re-emit rows the
+// twin already entered nor drop rows the twin would exit. A checkpoint
+// taken after the merge must recover the merged generation and
+// continue identically.
+func TestLateJoinBackfillExactlyOnce(t *testing.T) {
+	const steps = 24
+	for _, op := range []string{"ON ENTERING", "ON EXITING"} {
+		t.Run(strings.ReplaceAll(op, " ", "_"), func(t *testing.T) {
+			specs := []hierSpec{
+				{name: "twin", src: flatWidthSrc("twin", "PT20S", op), pv: 1},
+				{name: "late", src: flatWidthSrc("late", "PT20S", op), pv: 1, lateStep: steps / 2},
+			}
+			shared, se := runHierStream(t, specs, 3, steps, WithSharedEval(true))
+			lateTwinResults(t, "late-join "+op, shared["late"], shared["twin"])
+			if merged := se.sched.mqoMerged.Value(); merged != 1 {
+				t.Fatalf("late joins merged = %d, want 1", merged)
+			}
+			groups := se.SharedGroups()
+			if len(groups) != 1 || groups[0].MergedLateJoins != 1 {
+				t.Fatalf("groups = %+v, want one generation with one merge", groups)
+			}
+			for _, mi := range groups[0].MemberInfo {
+				if mi.Name == "late" && !mi.LateJoined {
+					t.Fatalf("late member not marked: %+v", groups[0].MemberInfo)
+				}
+			}
+		})
+	}
+}
+
+// TestLateJoinMergeSurvivesRecover: checkpoint a group holding a
+// merged late joiner, recover it, and drive original and recovered
+// engines with identical events: the merged generation re-forms (one
+// chassis, both members) and both members' emissions stay identical.
+func TestLateJoinMergeSurvivesRecover(t *testing.T) {
+	dir := t.TempDir()
+	e := New(WithSharedEval(true))
+	// Parameters are not checkpointable, so this leg inlines the
+	// residual threshold.
+	mkReg := func(eng *Engine, name string) *Collector {
+		t.Helper()
+		col := &Collector{}
+		src := fmt.Sprintf(`REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00
+{
+  MATCH (a:P)-[r:F]->(b:P)
+  WITHIN PT20S
+  WHERE r.v >= 1
+  EMIT a.k AS ak, b.k AS bk, r.v AS v
+  ON ENTERING EVERY PT7S
+}`, name)
+		if _, err := eng.RegisterSource(src, col.Sink()); err != nil {
+			t.Fatal(err)
+		}
+		return col
+	}
+	mkReg(e, "twin")
+	r := rand.New(rand.NewSource(11))
+	now := base
+	step := func(eng *Engine, ev *pg.Graph, at time.Time) {
+		t.Helper()
+		if err := eng.Push(ev, at); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.AdvanceTo(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		step(e, randDeltaEvent(r, i), now)
+	}
+	mkReg(e, "late") // merges into the running generation
+	for i := 10; i < 14; i++ {
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		step(e, randDeltaEvent(r, i), now)
+	}
+	if merged := e.sched.mqoMerged.Value(); merged != 1 {
+		t.Fatalf("merged = %d, want 1 before checkpoint", merged)
+	}
+
+	ck, err := e.NewCheckpointer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Save(nil); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := Recover(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := e2.SharedGroups()
+	if len(groups) != 1 || len(groups[0].Members) != 2 {
+		t.Fatalf("recovered groups = %+v, want one group of twin+late", groups)
+	}
+
+	colA, colB := &Collector{}, &Collector{}
+	e.queries["late"].sink = colA.Sink()
+	e2.queries["late"].sink = colB.Sink()
+	for i := 14; i < 20; i++ {
+		now = now.Add(time.Duration(1+r.Intn(6)) * time.Second)
+		ev := randDeltaEvent(r, i)
+		step(e, ev, now)
+		step(e2, ev, now)
+	}
+	if len(colA.Results) == 0 || len(colA.Results) != len(colB.Results) {
+		t.Fatalf("post-recovery results: %d vs %d", len(colA.Results), len(colB.Results))
+	}
+	for i := range colA.Results {
+		if !sameBag(colA.Results[i].Table, colB.Results[i].Table) {
+			t.Fatalf("late diverges after recovery at %s", colA.Results[i].At)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz legs
+
+// subpatternStore is the deterministic graph the subpattern fuzz
+// differential runs on: dense enough that most generated patterns
+// match something.
+func subpatternStore() *graphstore.Store {
+	g := pg.New()
+	for id := int64(1); id <= 5; id++ {
+		labels := []string{"P"}
+		if id%2 == 1 {
+			labels = append(labels, "V")
+		}
+		g.AddNode(&value.Node{ID: id, Labels: labels,
+			Props: map[string]value.Value{"k": value.NewInt(id % 3)}})
+	}
+	rid := int64(100)
+	for s := int64(1); s <= 5; s++ {
+		for d := int64(1); d <= 5; d++ {
+			if s == d {
+				continue
+			}
+			typ := "F"
+			if (s+d)%3 == 0 {
+				typ = "G"
+			}
+			rid++
+			_ = g.AddRel(&value.Relationship{ID: rid, StartID: s, EndID: d, Type: typ,
+				Props: map[string]value.Value{"v": value.NewInt((s * d) % 4)}})
+		}
+	}
+	return graphstore.FromGraph(g)
+}
+
+// fuzzPatternSrc generates a registration over 1-3 comma-separated
+// single-hop pattern parts drawn from a small shared vocabulary (so
+// part-subset relations between two generated patterns are common),
+// with a random core WHERE over the first part's variables.
+func fuzzPatternSrc(r *rand.Rand, name string) string {
+	labels := []string{":P", ":V", ""}
+	types := []string{":F", ":G"}
+	nodeLbl := make([]string, 4)
+	for i := range nodeLbl {
+		nodeLbl[i] = labels[r.Intn(len(labels))]
+	}
+	nparts := 1 + r.Intn(3)
+	var parts []string
+	var s0, d0 int
+	for i := 0; i < nparts; i++ {
+		s, d := r.Intn(4), r.Intn(4)
+		if s == d {
+			d = (d + 1) % 4
+		}
+		if i == 0 {
+			s0, d0 = s, d
+		}
+		parts = append(parts, fmt.Sprintf("(n%d%s)-[e%d%s]->(n%d%s)",
+			s, nodeLbl[s], i, types[r.Intn(len(types))], d, nodeLbl[d]))
+	}
+	var conjs []string
+	if r.Intn(2) == 0 {
+		conjs = append(conjs, fmt.Sprintf("n%d.k < n%d.k", s0, d0))
+	}
+	if r.Intn(2) == 0 {
+		conjs = append(conjs, "e0.v > 0")
+	}
+	if r.Intn(3) == 0 {
+		conjs = append(conjs, fmt.Sprintf("n%d.k >= 0", d0))
+	}
+	where := ""
+	if len(conjs) > 0 {
+		where = "\n  WHERE " + strings.Join(conjs, " AND ")
+	}
+	return fmt.Sprintf(
+		"REGISTER QUERY %s STARTING AT 2026-07-06T10:00:00\n{\n  MATCH %s\n  WITHIN PT20S%s\n  EMIT count(*) AS n\n  SNAPSHOT EVERY PT5S\n}",
+		name, strings.Join(parts, ", "), where)
+}
+
+// canonBody rebuilds the chassis body for a canonical query: the
+// canonical MATCH plus a projection of the canonical pattern variables.
+func canonBody(cq *ast.CanonQuery) *ast.Query {
+	items := make([]ast.ReturnItem, 0, len(cq.Vars))
+	for _, v := range cq.Vars {
+		items = append(items, ast.ReturnItem{X: &ast.Var{Name: v}, Alias: v})
+	}
+	return &ast.Query{Parts: []*ast.SingleQuery{{Clauses: []ast.Clause{
+		cq.Match,
+		&ast.Return{Projection: ast.Projection{Items: items}},
+	}}}}
+}
+
+// FuzzCanonSubpattern checks SubpatternOf on random pattern pairs:
+// strictness (never reflexive), antisymmetry, a total variable map —
+// and the soundness property seeding depends on, verified
+// differentially: every match of the child pattern, restricted through
+// the variable map, is a match of the parent pattern (no false subset
+// positives).
+func FuzzCanonSubpattern(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(3), int64(3))
+	f.Add(int64(7), int64(40))
+	f.Fuzz(func(t *testing.T, seedA, seedB int64) {
+		parse := func(seed int64, name string) *ast.CanonQuery {
+			reg, err := parser.ParseRegistration(fuzzPatternSrc(rand.New(rand.NewSource(seed)), name))
+			if err != nil {
+				t.Fatalf("generated source failed to parse: %v", err)
+			}
+			cq, ok := ast.Canonicalize(reg.Body)
+			if !ok {
+				return nil
+			}
+			return cq
+		}
+		ca, cb := parse(seedA, "qa"), parse(seedB, "qb")
+		if ca == nil || cb == nil {
+			t.Skip("not canonicalizable")
+		}
+		if sm := ast.SubpatternOf(ca, ca); sm != nil {
+			t.Fatal("SubpatternOf is not strict: query contains itself")
+		}
+		ab, ba := ast.SubpatternOf(ca, cb), ast.SubpatternOf(cb, ca)
+		if ab != nil && ba != nil {
+			t.Fatal("SubpatternOf is not antisymmetric")
+		}
+		store := subpatternStore()
+		check := func(sm *ast.SubpatternMap, parent, child *ast.CanonQuery) {
+			if sm == nil {
+				return
+			}
+			for _, v := range parent.Vars {
+				if sm.VarOf[v] == "" {
+					t.Fatalf("variable map not total: parent var %q unmapped (%v)", v, sm.VarOf)
+				}
+			}
+			ctx := &eval.Ctx{
+				Store:    store,
+				GraphFor: func(time.Duration) *graphstore.Store { return store },
+				Match:    &eval.MatchMetrics{},
+			}
+			pt, err := eval.EvalQuery(ctx, canonBody(parent))
+			if err != nil {
+				t.Fatalf("parent eval: %v", err)
+			}
+			kt, err := eval.EvalQuery(ctx, canonBody(child))
+			if err != nil {
+				t.Fatalf("child eval: %v", err)
+			}
+			seen := map[string]bool{}
+			for i := range pt.Rows {
+				seen[pt.RowKey(i)] = true
+			}
+			// Project each child row onto the parent's variables (in the
+			// parent's column order) through the variable map.
+			cols := make([]int, len(pt.Cols))
+			for i, v := range pt.Cols {
+				cols[i] = kt.Col(sm.VarOf[v])
+				if cols[i] < 0 {
+					t.Fatalf("mapped var %q -> %q missing from child table %v",
+						v, sm.VarOf[v], kt.Cols)
+				}
+			}
+			proj := make([]value.Value, len(cols))
+			for i := range kt.Rows {
+				for j, c := range cols {
+					proj[j] = kt.Rows[i][c]
+				}
+				if !seen[value.KeyOf(proj...)] {
+					t.Fatalf("false subset positive: child match %v restricts to a non-match of the parent", kt.Rows[i])
+				}
+			}
+		}
+		check(ab, ca, cb)
+		check(ba, cb, ca)
+	})
+}
+
+// FuzzSharedEvalHierarchy cross-checks the hierarchical shared engine
+// on fuzzer-chosen workloads mixing window widths and late
+// registrations: width-sharing members must match the unshared engine
+// exactly, and merged late joiners must match their t0 twin's suffix.
+func FuzzSharedEvalHierarchy(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(16), uint8(0x06))
+	f.Add(int64(9), uint8(6), uint8(10), uint8(0x1c))
+	f.Add(int64(42), uint8(2), uint8(20), uint8(0x00))
+	f.Fuzz(func(t *testing.T, seed int64, nq, nsteps, lateMask uint8) {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nq)%6 + 1
+		steps := int(nsteps)%16 + 8
+		widths := []string{"PT10S", "PT15S", "PT20S"}
+		// The anchor keeps the super-group's chassis at the widest
+		// window from t0, so every late registrant's window fits and
+		// merging is always possible.
+		specs := []hierSpec{{name: "anchor", src: flatWidthSrc("anchor", "PT20S", "SNAPSHOT")}}
+		for i := 0; i < n; i++ {
+			op := deltaOps[r.Intn(len(deltaOps))]
+			name := fmt.Sprintf("h%d_%s", i, op.short)
+			s := hierSpec{
+				name: name,
+				src:  flatWidthSrc(name, widths[r.Intn(len(widths))], op.kw),
+				pv:   int64(r.Intn(3)),
+			}
+			if lateMask&(1<<uint(i%8)) != 0 {
+				s.lateStep = steps / 2
+			}
+			specs = append(specs, s)
+		}
+		t0specs := make([]hierSpec, len(specs))
+		for i, s := range specs {
+			t0specs[i] = s
+			t0specs[i].lateStep = 0
+		}
+		full, _ := runHierStream(t, t0specs, seed, steps)
+		shared, _ := runHierStream(t, specs, seed, steps, WithSharedEval(true))
+		for _, s := range specs {
+			if s.lateStep == 0 {
+				sameResults(t, "fuzz hier", s.name, full[s.name], shared[s.name])
+			} else {
+				// Merged late joiners have t0 semantics: their output is
+				// the suffix of the same query registered at t0.
+				lateTwinResults(t, "fuzz hier late "+s.name, shared[s.name], full[s.name])
+			}
+		}
+	})
+}

@@ -40,6 +40,9 @@ const (
 	mMQOGroups       = "seraph_mqo_groups"
 	mMQOFanned       = "seraph_mqo_shared_rows_fanned_out"
 	mMQOSaved        = "seraph_mqo_evals_saved"
+	mMQOSeeded       = "seraph_mqo_seeded_evals_total"
+	mMQODerived      = "seraph_mqo_width_derivations_total"
+	mMQOMerged       = "seraph_mqo_late_joins_merged_total"
 	mSymtabSize      = "seraph_symtab_size"
 )
 
@@ -108,6 +111,9 @@ type schedMetrics struct {
 	mqoGroups    *metrics.Gauge     // live shared evaluation groups
 	mqoFanned    *metrics.Counter   // rows fanned out from shared evaluations
 	mqoSaved     *metrics.Counter   // per-instant pattern evaluations avoided
+	mqoSeeded    *metrics.Counter   // chassis instants seeded from a parent group
+	mqoDerived   *metrics.Counter   // narrow-width tables derived from wide ones
+	mqoMerged    *metrics.Counter   // late registrants merged into running generations
 	symtabSize   *metrics.Gauge     // interned symbols (process-global)
 }
 
@@ -122,6 +128,9 @@ func newSchedMetrics(reg *metrics.Registry) schedMetrics {
 		mqoGroups:    reg.Gauge(mMQOGroups, "Live shared evaluation groups (multi-query optimization)."),
 		mqoFanned:    reg.Counter(mMQOFanned, "Rows fanned out from shared group evaluations to subscribers."),
 		mqoSaved:     reg.Counter(mMQOSaved, "Per-instant pattern evaluations avoided by shared groups (members beyond the first, per evaluated instant)."),
+		mqoSeeded:    reg.Counter(mMQOSeeded, "Chassis instants answered by subpattern seeding from a parent group's binding table."),
+		mqoDerived:   reg.Counter(mMQODerived, "Narrow-window binding tables derived from a width super-group's wide table by re-validation."),
+		mqoMerged:    reg.Counter(mMQOMerged, "Late registrants merged into a running shared generation (late-join backfill)."),
 		symtabSize:   reg.Gauge(mSymtabSize, "Symbols interned in the process-global label/type/key table."),
 	}
 }

@@ -42,8 +42,13 @@ var mqoShapes = []struct{ name, body string }{
 }
 
 // mqoControls reuse the flat family's shape but perturb exactly one
-// grouping dimension — window width, pattern direction, slide — so
-// each must land in its own group rather than the flat family's.
+// grouping dimension — window width, pattern direction, slide. The
+// direction and slide controls must always land in their own groups.
+// The width control lands in its own group only under delta
+// maintenance (equality keys); in a full-mode hierarchical engine it
+// differs from the flat family only in window width, so it joins the
+// family's width super-group and its bindings are derived from the
+// wide table.
 var mqoControls = []struct{ name, body string }{
 	{"ctl_width", `MATCH (a:P)-[r:F]->(b:P)
   WITHIN PT15S
@@ -151,10 +156,13 @@ func runMQOStream(t *testing.T, opts []Option, seed int64, steps int) *mqoRun {
 	now := base
 	for i := 0; i < steps; i++ {
 		if i == steps/2 {
-			// Late arrival: in a shared engine the flat family's chassis
-			// has already evaluated, so this must start a new generation
-			// with an empty history — exactly the state a late query has
-			// on an unshared engine.
+			// Late arrival. Under delta maintenance the flat family's
+			// generation is frozen, so this starts a new generation with
+			// an empty history — exactly the state a late query has on an
+			// unshared engine. In a full-mode hierarchical engine it
+			// merges into the running generation instead, adopting the
+			// chassis history (t0 semantics: it emits what its t0 twin
+			// flat_snap_p1 emits from the merge onward).
 			m.registerParam(t, "late_flat", mqoShapes[0].body, "SNAPSHOT", 1)
 		}
 		if i == (2*steps)/3 {
@@ -194,25 +202,52 @@ func TestSharedEvalEquivalenceQuick(t *testing.T) {
 		guarded := runMQOStream(t,
 			[]Option{WithSharedEval(true), WithDeltaEval(true)}, seed, steps)
 		for name, fc := range full.cols {
-			sameResults(t, fmt.Sprintf("seed %d shared", seed), name, fc, shared.cols[name])
+			if name != "late_flat" {
+				// The full-mode hierarchical engine merges the late
+				// arrival into the running generation (t0 semantics, by
+				// design), so it intentionally diverges from an unshared
+				// late registration; it is checked against its t0 twin
+				// below. Delta groups keep frozen generations, so the
+				// unshared oracle still applies to them.
+				sameResults(t, fmt.Sprintf("seed %d shared", seed), name, fc, shared.cols[name])
+			}
 			sameResults(t, fmt.Sprintf("seed %d shared+delta", seed), name, fc, sharedDelta.cols[name])
 			sameResults(t, fmt.Sprintf("seed %d shared+guarded", seed), name, fc, guarded.cols[name])
 		}
+		lateTwinResults(t, fmt.Sprintf("seed %d shared late_flat", seed),
+			shared.cols["late_flat"], shared.cols["flat_snap_p1"])
 
-		// Grouping: flat, agg and topk share one pattern/window skeleton
-		// (their WHEREs are entirely residual), so their 27 variants —
-		// minus the mid-stream deregistration — form ONE group. label is
-		// a family of 9, the alpha pair (non-empty WHERE core) a group
-		// of 2, and 4 singletons: 3 controls + the late arrival's fresh
-		// generation.
-		for _, m := range []*mqoRun{shared, sharedDelta} {
+		// Grouping, full-mode hierarchical engine: flat, agg and topk
+		// share one pattern/window skeleton (their WHEREs are entirely
+		// residual), so their 27 variants — minus the mid-stream
+		// deregistration — form one group, which also absorbs the width
+		// control (same base fingerprint, narrower window) and the late
+		// arrival (merged into the running generation): 28 members.
+		// label is a family of 9, the alpha pair (non-empty WHERE core)
+		// a group of 2, and the direction and slide controls stay
+		// singletons.
+		{
 			sizes := map[int]int{}
-			groups := m.eng.SharedGroups()
+			groups := shared.eng.SharedGroups()
+			for _, g := range groups {
+				sizes[len(g.Members)]++
+			}
+			if len(groups) != 5 || sizes[28] != 1 || sizes[9] != 1 || sizes[2] != 1 || sizes[1] != 2 {
+				t.Fatalf("seed %d: hierarchical group sizes = %v in %d groups: %+v",
+					seed, sizes, len(groups), groups)
+			}
+		}
+		// Under delta maintenance the hierarchy does not apply: equality
+		// keys and frozen generations, so the width control and the late
+		// arrival's fresh generation join the controls as 4 singletons.
+		{
+			sizes := map[int]int{}
+			groups := sharedDelta.eng.SharedGroups()
 			for _, g := range groups {
 				sizes[len(g.Members)]++
 			}
 			if len(groups) != 7 || sizes[26] != 1 || sizes[9] != 1 || sizes[2] != 1 || sizes[1] != 4 {
-				t.Fatalf("seed %d: group sizes = %v in %d groups: %+v",
+				t.Fatalf("seed %d: delta group sizes = %v in %d groups: %+v",
 					seed, sizes, len(groups), groups)
 			}
 		}
@@ -240,14 +275,59 @@ func TestSharedEvalEquivalenceQuick(t *testing.T) {
 		if fanned := shared.eng.sched.mqoFanned.Value(); fanned == 0 {
 			t.Fatalf("seed %d: no rows fanned out", seed)
 		}
+		// So is the hierarchy: the width control's bindings were derived
+		// from the wide table, and the late arrival merged.
+		if derived := shared.eng.sched.mqoDerived.Value(); derived == 0 {
+			t.Fatalf("seed %d: no width derivations despite the width control", seed)
+		}
+		if merged := shared.eng.sched.mqoMerged.Value(); merged != 1 {
+			t.Fatalf("seed %d: late joins merged = %d, want 1", seed, merged)
+		}
+		if merged := sharedDelta.eng.sched.mqoMerged.Value(); merged != 0 {
+			t.Fatalf("seed %d: delta engine merged %d late joins, want 0", seed, merged)
+		}
+	}
+}
+
+// lateTwinResults asserts a merged late joiner emits exactly what its
+// t0-registered twin (same body, operator and parameter) emits at every
+// instant from the merge onward — the late-join backfill contract.
+func lateTwinResults(t *testing.T, label string, late, twin *Collector) {
+	t.Helper()
+	if len(late.Results) == 0 {
+		t.Fatalf("%s: merged late joiner emitted nothing", label)
+	}
+	for i := range late.Results {
+		lr := late.Results[i]
+		tr := twin.At(lr.At)
+		if tr == nil {
+			t.Fatalf("%s: twin has no result at %s", label, lr.At)
+		}
+		if !sameBag(lr.Table, tr.Table) {
+			t.Fatalf("%s at %s:\nlate: %v\ntwin: %v",
+				label, lr.At, lr.Table.Rows, tr.Table.Rows)
+		}
+	}
+	// And the late joiner caught every twin instant after its merge.
+	first := late.Results[0].At
+	n := 0
+	for _, r := range twin.Results {
+		if !r.At.Before(first) {
+			n++
+		}
+	}
+	if n != len(late.Results) {
+		t.Fatalf("%s: late joiner emitted %d results vs twin's %d from %s on",
+			label, len(late.Results), n, first)
 	}
 }
 
 // TestSharedGroupMembership covers the group lifecycle around
-// registration and deregistration: members join one generation until
-// its chassis starts, leave one at a time without disturbing the
-// survivors, and the group (with its chassis) retires when the last
-// member leaves.
+// registration and deregistration: members join one generation, a
+// compatible late registrant merges into the running generation
+// (full-mode hierarchy), members leave one at a time without
+// disturbing the survivors, and the group (with its chassis) retires
+// when the last member leaves.
 func TestSharedGroupMembership(t *testing.T) {
 	e := New(WithSharedEval(true))
 	src := func(name string) string { return deltaSource(name, mqoShapes[0].body, "SNAPSHOT") }
@@ -271,8 +351,9 @@ func TestSharedGroupMembership(t *testing.T) {
 		t.Fatalf("expected one 3-member group, got %q/%d %q %q", id1, n1, id2, id3)
 	}
 
-	// Start the generation, then register the same shape again: it must
-	// open a new group, not join the started chassis.
+	// Start the generation, then register the same shape again: in a
+	// full-mode hierarchical engine it merges into the running
+	// generation rather than opening a parallel one.
 	r := rand.New(rand.NewSource(1))
 	if err := e.Push(randDeltaEvent(r, 0), tick(5)); err != nil {
 		t.Fatal(err)
@@ -282,19 +363,32 @@ func TestSharedGroupMembership(t *testing.T) {
 	}
 	q4 := reg("q4", 0)
 	id4, n4 := q4.SharedGroup()
-	if id4 == "" || id4 == id1 || n4 != 1 {
-		t.Fatalf("late registration joined started group: %q (vs %q), size %d", id4, id1, n4)
+	if id4 != id1 || n4 != 4 {
+		t.Fatalf("late registration did not merge into running group: %q (vs %q), size %d", id4, id1, n4)
 	}
-	if got := len(e.SharedGroups()); got != 2 {
-		t.Fatalf("groups = %d, want 2", got)
+	groups := e.SharedGroups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	if gi := groups[0]; gi.MergedLateJoins != 1 || gi.Generations != 1 {
+		t.Fatalf("group info %+v: want 1 merged late join in 1 generation", gi)
+	}
+	marked := false
+	for _, mi := range groups[0].MemberInfo {
+		if mi.Name == "q4" {
+			marked = mi.LateJoined
+		}
+	}
+	if !marked {
+		t.Fatalf("q4 not marked late-joined: %+v", groups[0].MemberInfo)
 	}
 
 	// Members leave one at a time; the group survives until empty.
 	if err := e.Deregister("q1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, n := q2.SharedGroup(); n != 2 {
-		t.Fatalf("after one deregistration group size = %d, want 2", n)
+	if _, n := q2.SharedGroup(); n != 3 {
+		t.Fatalf("after one deregistration group size = %d, want 3", n)
 	}
 	if err := e.Deregister("q2"); err != nil {
 		t.Fatal(err)

@@ -18,18 +18,36 @@ package engine
 // clauses, and stream operator. Sinks observe exactly the results an
 // unshared engine would produce, in member-name order per instant.
 //
-// Group membership is decided at Register time and frozen per
-// generation: a query may join a group only while the group's chassis
-// has neither evaluated an instant nor buffered a stream element —
-// otherwise the late joiner would observe history an unshared query
-// registered at the same moment could not see. A late arrival with an
-// equal fingerprint simply starts a new generation (a fresh chassis)
-// under the same key.
+// Group membership is decided at Register time. Delta-maintained
+// groups are frozen per generation: a query may join only while the
+// group's chassis has neither evaluated an instant nor buffered a
+// stream element; a late arrival with an equal fingerprint starts a new
+// generation (a fresh chassis) under the same key.
+//
+// Full-mode groups participate in the sharing *hierarchy*
+// (hierarchy.go, WithSharedHierarchy), which adds three partial-sharing
+// mechanisms on top of fingerprint equality:
+//
+//   - cross-window-width super-groups: width-safe queries (see
+//     ast.CanonQuery.WidthSafe) group on a width-agnostic key; the
+//     chassis maintains the widest member window and each narrower
+//     member's bindings are derived by re-validating the wide rows
+//     against the narrow store;
+//   - subpattern seeding: when one group's canonical pattern is a
+//     strict sub-pattern of another's (ast.SubpatternOf), the child's
+//     per-instant evaluation is seeded from the parent's binding table
+//     instead of matching from scratch;
+//   - late-join backfill: a compatible late registrant merges into the
+//     running generation — it adopts the chassis history (t0 semantics)
+//     and one catch-up evaluation rebuilds its previous result so ON
+//     ENTERING / ON EXITING diffs continue exactly as if it had been
+//     registered at t0 and replayed.
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"seraph/internal/ast"
@@ -49,9 +67,10 @@ func WithSharedEval(on bool) Option {
 	return func(e *Engine) { e.sharedEval = on; e.optsSet.shared = true }
 }
 
-// sharedGroup is one shared evaluation group. members and started are
-// guarded by the engine lock; the chassis carries the group's
-// evaluation state under its own locks like any query.
+// sharedGroup is one shared evaluation group. members, started, parent,
+// pmap and merged are guarded by the engine lock; the chassis carries
+// the group's evaluation state under its own locks like any query; the
+// full-binding cache has its own leaf lock (fullMu).
 type sharedGroup struct {
 	e       *Engine
 	key     string // fingerprint | stream | start | width | slide | delta
@@ -61,66 +80,124 @@ type sharedGroup struct {
 	members []*Query
 	started bool // an instant was dispatched; the generation is frozen
 	deltaOK bool // every member's rewritten body is delta-maintainable
+
+	// Hierarchy state (see hierarchy.go). canon is the canonical
+	// decomposition the chassis was built from; chMatch is the chassis
+	// body's own Match clause (a copy, so widening its WITHIN never
+	// mutates a member's canon). gen numbers generations under key.
+	canon     *ast.CanonQuery
+	chMatch   *ast.Match
+	widthSafe bool // key is width-agnostic; chassis holds the widest window
+	gen       int
+	merged    int // late registrants merged into this generation
+
+	// parent, when non-nil, is a group whose canonical pattern is a
+	// strict sub-pattern of this one; pmap is the part/variable
+	// correspondence. Seeding from it is opportunistic per instant.
+	parent *sharedGroup
+	pmap   *ast.SubpatternMap
+
+	// fullMu guards the last shared-full binding table, kept for
+	// subpattern seeding of child groups and late-join catch-up.
+	fullMu     sync.Mutex
+	lastFull   *eval.Table
+	lastFullAt time.Time
+	lastFullIv stream.Interval
+}
+
+// setLastFull publishes the group's shared-full binding table at ω.
+func (g *sharedGroup) setLastFull(t *eval.Table, iv stream.Interval, ω time.Time) {
+	g.fullMu.Lock()
+	g.lastFull, g.lastFullIv, g.lastFullAt = t, iv, ω
+	g.fullMu.Unlock()
 }
 
 // joinSharedGroup canonicalizes a freshly registered query and attaches
 // it to a shared group, creating a new generation when none is
 // joinable. Caller holds e.mu; q is already in the registry.
 func (e *Engine) joinSharedGroup(q *Query) {
+	defer e.sched.symtabSize.Set(int64(symtab.Len()))
 	cq, ok := ast.Canonicalize(q.reg.Body)
-	if ok {
-		var prog *eval.DeltaProgram
-		deltaOK := false
-		if e.deltaEval {
-			// Partition groups by delta-maintainability so one member
-			// outside the fragment cannot drag delta-capable queries
-			// into shared-full evaluation.
-			prog = eval.CompileDelta(cq.Rewritten)
-			deltaOK = prog != nil
-		}
-		q.canon = cq
-		q.canonProg = prog
-		key := sharedGroupKey(cq, q, deltaOK)
-		g := e.groups[key]
-		if g == nil || g.started || g.chassis.hist.Len() > 0 {
-			g = e.newSharedGroup(key, q, cq, deltaOK)
-			if e.groups == nil {
-				e.groups = map[string]*sharedGroup{}
-			}
-			e.groups[key] = g
-			e.groupList = append(e.groupList, g)
-		}
-		q.memberOf = g
-		g.members = append(g.members, q)
-		e.sched.mqoGroups.Set(int64(len(e.groupList)))
+	if !ok {
+		return
 	}
-	e.sched.symtabSize.Set(int64(symtab.Len()))
+	var prog *eval.DeltaProgram
+	deltaOK := false
+	if e.deltaEval {
+		// Partition groups by delta-maintainability so one member
+		// outside the fragment cannot drag delta-capable queries
+		// into shared-full evaluation.
+		prog = eval.CompileDelta(cq.Rewritten)
+		deltaOK = prog != nil
+	}
+	q.canon = cq
+	q.canonProg = prog
+	widthSafe := e.sharedHier && cq.WidthSafe && !deltaOK
+	key := sharedGroupKey(cq, q, deltaOK, widthSafe)
+	g := e.groups[key]
+	if g != nil && (g.started || g.chassis.hist.Len() > 0) {
+		// Running generation. Delta groups stay frozen (a new chassis
+		// under the same key); full-mode groups merge the late
+		// registrant when the hierarchy is on and its window fits the
+		// chassis (hierarchy.go — the member adopts the chassis
+		// history and backfills its diff baseline at the next instant).
+		if e.sharedHier && !deltaOK && e.mergeLateMember(g, q) {
+			return
+		}
+		g = nil
+	}
+	if g == nil {
+		g = e.newSharedGroup(key, q, cq, deltaOK, widthSafe)
+		if e.groups == nil {
+			e.groups = map[string]*sharedGroup{}
+		}
+		e.groups[key] = g
+		e.groupList = append(e.groupList, g)
+		e.linkSubpattern(g)
+	} else if widthSafe && q.cfg.Width > g.chassis.cfg.Width {
+		// Pre-start width super-group join by a wider member: the
+		// chassis adopts the widest window (narrower members derive).
+		e.widenChassis(g, q.cfg.Width)
+	}
+	q.memberOf = g
+	g.members = append(g.members, q)
+	e.sched.mqoGroups.Set(int64(len(e.groupList)))
 }
 
 // sharedGroupKey extends the canonical fingerprint with everything else
 // two queries must agree on to evaluate as one unit: stream binding,
-// window grid (start, width, slide), and delta-maintainability.
-func sharedGroupKey(cq *ast.CanonQuery, q *Query, deltaOK bool) string {
+// window grid (start, width, slide), and delta-maintainability. A
+// width-safe hierarchical group drops the width components (base
+// fingerprint, width=*): queries differing only in window width share
+// one super-group whose chassis maintains the widest window.
+func sharedGroupKey(cq *ast.CanonQuery, q *Query, deltaOK, widthSafe bool) string {
 	start := "now-pending"
 	if !q.pendingStart {
 		start = q.cfg.Start.Format(time.RFC3339Nano)
 	}
+	fp, width := cq.Fingerprint, q.cfg.Width.String()
+	if widthSafe {
+		fp, width = cq.BaseFingerprint, "*"
+	}
 	return fmt.Sprintf("%s|stream=%s|start=%s|width=%s|slide=%s|delta=%t",
-		cq.Fingerprint, q.streamName, start, q.cfg.Width, q.cfg.Slide, deltaOK)
+		fp, q.streamName, start, width, q.cfg.Slide, deltaOK)
 }
 
 // newSharedGroup creates a generation's chassis from its first member:
 // same stream, same window grid, body = canonical MATCH + projection of
 // the canonical pattern variables (the shared binding table's columns).
-func (e *Engine) newSharedGroup(key string, q *Query, cq *ast.CanonQuery, deltaOK bool) *sharedGroup {
+// The chassis gets its own copy of the Match clause so a width
+// super-group can widen its WITHIN without mutating member state.
+func (e *Engine) newSharedGroup(key string, q *Query, cq *ast.CanonQuery, deltaOK, widthSafe bool) *sharedGroup {
 	e.groupSeq++
 	id := fmt.Sprintf("mqo:g%d", e.groupSeq)
 	items := make([]ast.ReturnItem, 0, len(cq.Vars))
 	for _, v := range cq.Vars {
 		items = append(items, ast.ReturnItem{X: &ast.Var{Name: v}, Alias: v})
 	}
+	chMatch := *cq.Match
 	body := &ast.Query{Parts: []*ast.SingleQuery{{Clauses: []ast.Clause{
-		cq.Match,
+		&chMatch,
 		&ast.Return{Projection: ast.Projection{Items: items}},
 	}}}}
 	ch := &Query{
@@ -139,38 +216,99 @@ func (e *Engine) newSharedGroup(key string, q *Query, cq *ast.CanonQuery, deltaO
 		evalTarget:   q.evalTarget,
 		qm:           newQueryMetrics(e.metrics, id),
 	}
-	g := &sharedGroup{e: e, key: key, fp: cq.Fingerprint, id: id, chassis: ch, deltaOK: deltaOK}
+	if e.groupGen == nil {
+		e.groupGen = map[string]int{}
+	}
+	e.groupGen[key]++
+	g := &sharedGroup{
+		e: e, key: key, fp: cq.Fingerprint, id: id, chassis: ch,
+		deltaOK: deltaOK, canon: cq, chMatch: &chMatch,
+		widthSafe: widthSafe, gen: e.groupGen[key],
+	}
 	ch.group = g
 	return g
 }
 
+// GroupMember describes one member of a shared evaluation group: its
+// window width, its evaluation watermark (the next instant it expects),
+// and whether it merged into a running generation after registration.
+type GroupMember struct {
+	Name       string    `json:"name"`
+	Width      string    `json:"width"`
+	NextEval   time.Time `json:"next_eval"`
+	LateJoined bool      `json:"late_joined,omitempty"`
+}
+
 // GroupInfo describes one shared evaluation group (see SharedGroups).
 type GroupInfo struct {
-	ID          string   `json:"id"`
-	Fingerprint string   `json:"fingerprint"`
-	Stream      string   `json:"stream,omitempty"`
-	Members     []string `json:"members"`
-	DeltaShared bool     `json:"delta_shared"`
-	Started     bool     `json:"started"`
+	ID          string        `json:"id"`
+	Fingerprint string        `json:"fingerprint"`
+	Stream      string        `json:"stream,omitempty"`
+	Members     []string      `json:"members"`
+	MemberInfo  []GroupMember `json:"member_info,omitempty"`
+	DeltaShared bool          `json:"delta_shared"`
+	Started     bool          `json:"started"`
+
+	// Hierarchy structure: Generation numbers this chassis under its
+	// group key, Generations counts the live generations of the key (a
+	// late joiner that could not merge spawns a parallel generation),
+	// MergedLateJoins counts registrants merged into this running
+	// generation. Width is the chassis window; WidthShared marks a
+	// width-agnostic super-group. Parent/Children are the subpattern
+	// seeding edges between groups.
+	Generation      int      `json:"generation"`
+	Generations     int      `json:"generations"`
+	MergedLateJoins int      `json:"merged_late_joins,omitempty"`
+	Width           string   `json:"width"`
+	WidthShared     bool     `json:"width_shared,omitempty"`
+	Parent          string   `json:"parent,omitempty"`
+	Children        []string `json:"children,omitempty"`
 }
 
 // SharedGroups returns the live shared evaluation groups sorted by id.
 func (e *Engine) SharedGroups() []GroupInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	gens := map[string]int{}
+	for _, g := range e.groupList {
+		gens[g.key]++
+	}
 	out := make([]GroupInfo, 0, len(e.groupList))
 	for _, g := range e.groupList {
 		gi := GroupInfo{
-			ID:          g.id,
-			Fingerprint: g.fp,
-			Stream:      g.chassis.streamName,
-			DeltaShared: g.deltaOK,
-			Started:     g.started,
+			ID:              g.id,
+			Fingerprint:     g.fp,
+			Stream:          g.chassis.streamName,
+			DeltaShared:     g.deltaOK,
+			Started:         g.started,
+			Generation:      g.gen,
+			Generations:     gens[g.key],
+			MergedLateJoins: g.merged,
+			Width:           g.chassis.cfg.Width.String(),
+			WidthShared:     g.widthSafe,
 		}
+		if g.parent != nil {
+			gi.Parent = g.parent.id
+		}
+		for _, h := range e.groupList {
+			if h.parent == g {
+				gi.Children = append(gi.Children, h.id)
+			}
+		}
+		sort.Strings(gi.Children)
 		for _, m := range g.members {
 			gi.Members = append(gi.Members, m.name)
+			m.mu.Lock()
+			gi.MemberInfo = append(gi.MemberInfo, GroupMember{
+				Name:       m.name,
+				Width:      m.cfg.Width.String(),
+				NextEval:   m.nextEval,
+				LateJoined: m.lateJoin,
+			})
+			m.mu.Unlock()
 		}
 		sort.Strings(gi.Members)
+		sort.Slice(gi.MemberInfo, func(i, j int) bool { return gi.MemberInfo[i].Name < gi.MemberInfo[j].Name })
 		out = append(out, gi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -231,6 +369,7 @@ func (e *Engine) evalGroupNext(ch *Query) error {
 	g := ch.group
 	e.mu.Lock()
 	members := append([]*Query(nil), g.members...)
+	parent, pmap := g.parent, g.pmap
 	e.mu.Unlock()
 	sort.Slice(members, func(i, j int) bool { return members[i].name < members[j].name })
 
@@ -273,7 +412,7 @@ func (e *Engine) evalGroupNext(ch *Query) error {
 		return nil
 	}
 
-	results, memberErrs, err := e.evaluateGroup(ch, g, members, ω)
+	results, memberErrs, err := e.evaluateGroup(ch, g, members, parent, pmap, ω)
 	e.sched.instants.Inc()
 	if err != nil {
 		err = fmt.Errorf("engine: shared group %q at %s: %w",
@@ -332,7 +471,7 @@ func (e *Engine) evalGroupNext(ch *Query) error {
 // over the shared binding table. The caller must hold ch.mu. The
 // returned error is a shared failure; member-level failures are
 // recorded on the member and returned in memberErrs.
-func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, ω time.Time) ([]memberResult, []error, error) {
+func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, parent *sharedGroup, pmap *ast.SubpatternMap, ω time.Time) ([]memberResult, []error, error) {
 	start := time.Now()
 
 	if e.deltaEval && g.deltaOK {
@@ -357,10 +496,11 @@ func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, ω t
 		}
 	}
 
-	// Shared-full path: one evaluation of the canonical pattern, then
-	// per-member fan-out over the binding table (never mutated by
-	// ApplyClauses, so all members share one table).
-	bindings, iv, nodes, rels, ok, err := e.computeResult(ch, ω)
+	// Shared-full path: one evaluation of the canonical pattern —
+	// seeded from the parent group's binding table when one is fresh at
+	// ω (hierarchy.go) — then per-member fan-out over the binding table
+	// (never mutated by ApplyClauses, so all members share one table).
+	bindings, iv, nodes, rels, ok, err := e.groupBindings(ch, g, parent, pmap, ω)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -368,27 +508,48 @@ func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, ω t
 		return nil, nil, nil
 	}
 	winElems := ch.stats.WindowElements
-	storeFor := e.groupStoreFor(ch, iv)
+	wv := e.newWidthViews(g, ch, bindings, iv, nodes, rels, winElems, ω)
 
 	var results []memberResult
 	var memberErrs []error
 	live := 0
+	fanned := 0
 	for _, m := range members {
 		m.mu.Lock()
 		if m.done {
 			m.mu.Unlock()
 			continue
 		}
-		live++
-		out, ferr := e.fanOutTable(m, bindings, storeFor, iv, ω)
+		// Width super-groups: a narrower member sees the wide rows
+		// re-validated against its own window's store.
+		v := wv.at(m.cfg.Width)
+		ferr := v.err
+		if ferr == nil && !v.ok {
+			// The member's own window does not contain ω: it skips this
+			// instant exactly as an unshared query would.
+			m.mu.Unlock()
+			continue
+		}
+		// A member merged into this running generation rebuilds its
+		// previous result once, so its first diff continues the stream
+		// a t0 registration would have produced.
+		if ferr == nil && m.needBackfill {
+			ferr = e.backfillLateMember(g, ch, m, ω)
+		}
 		var res *Result
 		if ferr == nil {
-			var final *eval.Table
-			final, ferr = e.memberDiff(m, out)
+			live++
+			fanned += v.table.Len()
+			var out *eval.Table
+			out, ferr = e.fanOutTable(m, v.table, v.storeFor, v.iv, ω)
 			if ferr == nil {
-				m.stats.WindowElements = winElems
-				m.qm.windowElems.Set(int64(winElems))
-				res, ferr = e.finishEval(m, ω, start, m.op(), final, iv, nodes, rels)
+				var final *eval.Table
+				final, ferr = e.memberDiff(m, out)
+				if ferr == nil {
+					m.stats.WindowElements = v.elems
+					m.qm.windowElems.Set(int64(v.elems))
+					res, ferr = e.finishEval(m, ω, start, m.op(), final, v.iv, v.nodes, v.rels)
+				}
 			}
 		}
 		if ferr != nil {
@@ -410,7 +571,7 @@ func (e *Engine) evaluateGroup(ch *Query, g *sharedGroup, members []*Query, ω t
 		m.mu.Unlock()
 		results = append(results, memberResult{sink: m.sink, res: res})
 	}
-	e.sched.mqoFanned.Add(int64(bindings.Len() * live))
+	e.sched.mqoFanned.Add(int64(fanned))
 	if live > 1 {
 		e.sched.mqoSaved.Add(int64(live - 1))
 	}

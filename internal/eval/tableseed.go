@@ -1,0 +1,294 @@
+package eval
+
+import (
+	"seraph/internal/ast"
+	"seraph/internal/graphstore"
+	"seraph/internal/value"
+)
+
+// Table-seeded pattern matching: enumerate the matches of a pattern
+// whose mapped positions are pinned, row by row, from an existing
+// binding table — the partial-sharing counterpart of the delta-element
+// anchoring in seeded.go. Two callers in the engine use it:
+//
+//   - subpattern seeding: a parent group's binding table covers a strict
+//     subset of the child pattern's parts; each parent row pins those
+//     parts by element id and only the remaining parts are matched;
+//   - cross-width derivation: a wider window's binding table covers the
+//     whole pattern; each row is re-bound by id against the narrower
+//     window's store and re-validated (labels, inline properties, WHERE),
+//     since the narrow store may lack elements, labels, or property
+//     values the wide store had.
+//
+// In both cases the emitted (key, row, touched) contract is exactly
+// ForEachSeededMatchBatch's, so downstream consumers are shared.
+
+// TableCover maps seed-table columns onto pattern positions. Parts with
+// Covered[i] true are pinned entirely from the row (NodeCols[i][k] /
+// RelCols[i][j] give the column of each position); the rest are matched
+// from the store. Covered parts must be fixed-length and must not carry
+// a path variable.
+type TableCover struct {
+	Covered  []bool
+	NodeCols [][]int
+	RelCols  [][]int
+}
+
+// FullCover returns the cover that pins every position of the matcher's
+// pattern from a table whose columns are named by cols — the
+// re-validation cover used for cross-width derivation. It returns nil
+// if any position's variable is missing from cols, any relationship is
+// variable-length, or a part carries a path variable.
+func (sm *SeededMatcher) FullCover(cols []string) *TableCover {
+	idx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		idx[c] = i
+	}
+	parts := sm.pattern.Parts
+	cover := &TableCover{
+		Covered:  make([]bool, len(parts)),
+		NodeCols: make([][]int, len(parts)),
+		RelCols:  make([][]int, len(parts)),
+	}
+	for pi := range parts {
+		part := &parts[pi]
+		if part.Var != "" {
+			return nil
+		}
+		cover.Covered[pi] = true
+		cover.NodeCols[pi] = make([]int, len(part.Nodes))
+		cover.RelCols[pi] = make([]int, len(part.Rels))
+		for i, np := range part.Nodes {
+			c, ok := idx[np.Var]
+			if !ok {
+				return nil
+			}
+			cover.NodeCols[pi][i] = c
+		}
+		for j, rp := range part.Rels {
+			c, ok := idx[rp.Var]
+			if !ok || rp.VarLength {
+				return nil
+			}
+			cover.RelCols[pi][j] = c
+		}
+	}
+	return cover
+}
+
+// SubpatternCover builds the cover for seeding this (child) matcher from
+// a parent binding table: parentVars are the seed table's columns,
+// partOf and varOf the correspondence from ast.SubpatternOf. Returns
+// nil when a mapped position cannot be pinned (defensive; SubpatternOf
+// guarantees pinnability for the patterns it accepts).
+func (sm *SeededMatcher) SubpatternCover(parentVars []string, partOf []int, varOf map[string]string) *TableCover {
+	col := make(map[string]int, len(parentVars))
+	for i, v := range parentVars {
+		// A child variable may be the image of several parent variables;
+		// the first column pins it, bindVar prunes rows whose other
+		// columns disagree.
+		if cv, ok := varOf[v]; ok {
+			if _, dup := col[cv]; !dup {
+				col[cv] = i
+			}
+		}
+	}
+	parts := sm.pattern.Parts
+	cover := &TableCover{
+		Covered:  make([]bool, len(parts)),
+		NodeCols: make([][]int, len(parts)),
+		RelCols:  make([][]int, len(parts)),
+	}
+	for _, ci := range partOf {
+		if ci < 0 || ci >= len(parts) {
+			return nil
+		}
+		part := &parts[ci]
+		if part.Var != "" {
+			return nil
+		}
+		cover.Covered[ci] = true
+		cover.NodeCols[ci] = make([]int, len(part.Nodes))
+		cover.RelCols[ci] = make([]int, len(part.Rels))
+		for i, np := range part.Nodes {
+			c, ok := col[np.Var]
+			if !ok {
+				return nil
+			}
+			cover.NodeCols[ci][i] = c
+		}
+		for j, rp := range part.Rels {
+			c, ok := col[rp.Var]
+			if !ok || rp.VarLength {
+				return nil
+			}
+			cover.RelCols[ci][j] = c
+		}
+	}
+	return cover
+}
+
+// pinnedPos is one pattern position to pin from a seed row.
+type pinnedPos struct {
+	rel  bool
+	part int
+	idx  int
+	col  int
+}
+
+// ForEachTableSeeded enumerates each distinct match of the pattern over
+// store whose covered positions are pinned by some seed-table row,
+// passing WHERE. Pinned elements are re-resolved by id against store
+// and re-validated against their pattern position (labels, types,
+// inline properties, endpoint orientation), so the seed table may come
+// from a different store over the same element-id space. emit's
+// contract is ForEachSeededMatchBatch's: key and row are views into
+// reused buffers; touched() materializes provenance on demand.
+func (sm *SeededMatcher) ForEachTableSeeded(ctx *Ctx, store *graphstore.Store, seeds *Table, cover *TableCover, scratch *MatchScratch,
+	emit func(key []byte, row []value.Value, touched func() []Seed) error) error {
+	if scratch == nil {
+		scratch = NewMatchScratch()
+	}
+	clear(scratch.seen)
+	e := newEnv(nil, nil)
+	m := &patternMatcher{
+		ctx: ctx, store: store, env: e,
+		used:   scratch.used,
+		plan:   sm.plan,
+		states: scratch.states,
+	}
+	if cap(scratch.row) < len(sm.vars) {
+		scratch.row = make([]value.Value, len(sm.vars))
+	}
+	row := scratch.row[:len(sm.vars)]
+	parts := sm.pattern.Parts
+	done := make([]bool, len(parts))
+	uncovered := len(parts)
+	var positions []pinnedPos
+	for pi := range parts {
+		if !cover.Covered[pi] {
+			continue
+		}
+		done[pi] = true
+		uncovered--
+		for i := range parts[pi].Nodes {
+			positions = append(positions, pinnedPos{part: pi, idx: i, col: cover.NodeCols[pi][i]})
+		}
+		for j := range parts[pi].Rels {
+			positions = append(positions, pinnedPos{rel: true, part: pi, idx: j, col: cover.RelCols[pi][j]})
+		}
+	}
+	touched := func() []Seed {
+		return m.matchTouched(parts, scratch.tseen)
+	}
+	emitMatch := func() error {
+		if sm.where != nil {
+			keep, err := evalExpr(ctx, e, sm.where)
+			if err != nil {
+				return err
+			}
+			if !(keep.IsBool() && keep.Bool()) {
+				return nil
+			}
+		}
+		scratch.keyBuf = m.appendMatchIdentity(scratch.keyBuf[:0], parts)
+		if scratch.seen[string(scratch.keyBuf)] {
+			return nil
+		}
+		scratch.seen[string(scratch.keyBuf)] = true
+		for i, v := range sm.vars {
+			row[i], _ = e.lookup(v)
+		}
+		return emit(scratch.keyBuf, row, touched)
+	}
+	rest := func() error { return m.matchRemaining(parts, done, uncovered, emitMatch) }
+
+	states := make([]*chainState, len(parts))
+	var seedRow []value.Value
+	// verify re-checks every pinned part against its pattern position on
+	// the target store, then matches the uncovered remainder.
+	verify := func() error {
+		for pi := range parts {
+			if !cover.Covered[pi] {
+				continue
+			}
+			part, st := &parts[pi], states[pi]
+			for i, n := range st.nodes {
+				ok, err := m.checkNode(n, part.Nodes[i])
+				if err != nil || !ok {
+					return err
+				}
+			}
+			for j, seg := range st.rels {
+				rp := part.Rels[j]
+				r := seg[0]
+				ok, err := m.checkRel(r, rp)
+				if err != nil || !ok {
+					return err
+				}
+				a, b := st.nodes[j].ID, st.nodes[j+1].ID
+				switch rp.Dir {
+				case ast.DirRight:
+					ok = r.StartID == a && r.EndID == b
+				case ast.DirLeft:
+					ok = r.StartID == b && r.EndID == a
+				default:
+					ok = (r.StartID == a && r.EndID == b) || (r.StartID == b && r.EndID == a)
+				}
+				if !ok {
+					return nil
+				}
+			}
+		}
+		return rest()
+	}
+	var bindAt func(k int) error
+	bindAt = func(k int) error {
+		if k == len(positions) {
+			return verify()
+		}
+		p := positions[k]
+		v := seedRow[p.col]
+		part, st := &parts[p.part], states[p.part]
+		if p.rel {
+			if v.Kind() != value.KindRelationship {
+				return nil
+			}
+			r := m.store.Rel(v.Relationship().ID)
+			if r == nil || m.used[r.ID] {
+				return nil
+			}
+			st.rels[p.idx] = []*value.Relationship{r}
+			m.used[r.ID] = true
+			err := m.bindVar(part.Rels[p.idx].Var, value.NewRelationship(r), func() error {
+				return bindAt(k + 1)
+			})
+			delete(m.used, r.ID)
+			return err
+		}
+		if v.Kind() != value.KindNode {
+			return nil
+		}
+		n := m.store.Node(v.Node().ID)
+		if n == nil {
+			return nil
+		}
+		st.nodes[p.idx] = n
+		return m.bindVar(part.Nodes[p.idx].Var, value.NewNode(n), func() error {
+			return bindAt(k + 1)
+		})
+	}
+
+	for ri := 0; ri < seeds.Len(); ri++ {
+		seedRow = seeds.Rows[ri]
+		for pi := range parts {
+			if cover.Covered[pi] {
+				states[pi] = m.newChainState(&parts[pi])
+			}
+		}
+		if err := bindAt(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,9 +9,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"seraph/internal/engine"
 	"seraph/internal/ingest"
+	"seraph/internal/pg"
+	"seraph/internal/value"
 	"seraph/internal/workload"
 )
 
@@ -47,6 +50,24 @@ func get(t *testing.T, url string, out any) *http.Response {
 		}
 	}
 	return resp
+}
+
+// pairEventNDJSON encodes one graph event carrying two :P nodes joined
+// by an :F relationship, for driving the shared-group queries over HTTP.
+func pairEventNDJSON(t *testing.T, relID, v int64, at time.Time) string {
+	t.Helper()
+	g := pg.New()
+	g.AddNode(&value.Node{ID: 1, Labels: []string{"P"}, Props: map[string]value.Value{"k": value.NewInt(1)}})
+	g.AddNode(&value.Node{ID: 2, Labels: []string{"P"}, Props: map[string]value.Value{"k": value.NewInt(2)}})
+	if err := g.AddRel(&value.Relationship{ID: relID, StartID: 1, EndID: 2, Type: "F",
+		Props: map[string]value.Value{"v": value.NewInt(v)}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ingest.Encode(g, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data) + "\n"
 }
 
 func figure1NDJSON(t *testing.T) string {
@@ -315,6 +336,58 @@ func TestSharedGroupsEndpoint(t *testing.T) {
 	for _, q := range queries {
 		if q.Group != groups[0].ID || q.GroupSize != 2 {
 			t.Fatalf("query %s group %q/%d, want %q/2", q.Name, q.Group, q.GroupSize, groups[0].ID)
+		}
+	}
+
+	// Hierarchy metadata: one generation of the key, and per-member
+	// watermarks (width + next evaluation instant) for both members.
+	g0 := groups[0]
+	if g0.Generation != 1 || g0.Generations != 1 || g0.MergedLateJoins != 0 {
+		t.Fatalf("generations = %d/%d merged=%d, want 1/1 merged=0",
+			g0.Generation, g0.Generations, g0.MergedLateJoins)
+	}
+	if len(g0.MemberInfo) != 2 {
+		t.Fatalf("member_info = %+v, want two entries", g0.MemberInfo)
+	}
+	for _, m := range g0.MemberInfo {
+		if m.Width != "20s" || m.NextEval.IsZero() || m.LateJoined {
+			t.Fatalf("member watermark %+v, want width 20s, non-zero next_eval, not late", m)
+		}
+	}
+
+	// Drive four instants past the start, then register a third query
+	// late: it merges into the running generation (one catch-up
+	// evaluation), and /groups reports the merge and the caught-up
+	// watermark.
+	base := time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	for i, sec := range []int{1, 6, 11, 16} {
+		b.WriteString(pairEventNDJSON(t, int64(100+i), int64(i), base.Add(time.Duration(sec)*time.Second)))
+	}
+	post(t, ts.URL+"/events", b.String())
+	if resp, m := post(t, ts.URL+"/queries", body("g3", 2)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("late register g3: %d %v", resp.StatusCode, m)
+	}
+	get(t, ts.URL+"/groups", &groups)
+	if len(groups) != 1 || len(groups[0].Members) != 3 {
+		t.Fatalf("groups after late join = %+v, want one group of three", groups)
+	}
+	g0 = groups[0]
+	if g0.Generations != 1 || g0.MergedLateJoins != 1 {
+		t.Fatalf("after late join: generations=%d merged=%d, want 1/1", g0.Generations, g0.MergedLateJoins)
+	}
+	var late *engine.GroupMember
+	for i := range g0.MemberInfo {
+		if g0.MemberInfo[i].Name == "g3" {
+			late = &g0.MemberInfo[i]
+		}
+	}
+	if late == nil || !late.LateJoined {
+		t.Fatalf("late member not flagged: %+v", g0.MemberInfo)
+	}
+	for _, m := range g0.MemberInfo {
+		if m.NextEval.IsZero() || !m.NextEval.Equal(late.NextEval) {
+			t.Fatalf("member watermarks diverge after catch-up: %+v", g0.MemberInfo)
 		}
 	}
 

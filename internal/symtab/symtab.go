@@ -14,9 +14,22 @@
 // allocates an ID: an unseen string maps to None, and None indexes an
 // empty bucket everywhere — exactly the semantics of looking up a label
 // no store has ever indexed.
+//
+// Because entries are never removed, an input stream with unbounded
+// label/type/key cardinality would grow the table without limit. The
+// table is therefore capped (DefaultLimit, tunable with SetLimit).
+// Overflow behavior is explicit, not silent: TryIntern reports the
+// overflow to callers that can degrade, Canon degrades by itself
+// (returning its argument un-canonicalized — correct, merely slower),
+// and Intern — whose callers key index buckets by the returned ID and
+// cannot tolerate aliasing — fails fast with a descriptive panic
+// rather than letting the process grow toward OOM.
 package symtab
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // ID is a dense interned-symbol identifier. The zero value None is
 // reserved: no string interns to it.
@@ -25,14 +38,53 @@ type ID uint32
 // None is the ID of strings never interned.
 const None ID = 0
 
+// DefaultLimit is the default cap on interned symbols. A million
+// distinct labels, types, property keys and variables is far beyond
+// any sane schema; reaching it almost always means identifier churn in
+// the input stream (e.g. per-event label values).
+const DefaultLimit = 1 << 20
+
 var (
 	mu    sync.RWMutex
 	ids   = map[string]ID{}
 	names = []string{""} // names[None] — keeps Name(None) total
+	limit = DefaultLimit
 )
+
+// SetLimit replaces the symbol cap and returns the previous value.
+// Lowering it below Len() evicts nothing (the table is append-only);
+// it only refuses new symbols. Intended for tests and for deployments
+// whose schemas legitimately exceed DefaultLimit.
+func SetLimit(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := limit
+	limit = n
+	return prev
+}
+
+// intern is the locked slow path shared by Intern and TryIntern.
+// Caller holds mu. Returns (None, false) when the table is full and s
+// is new.
+func intern(s string) (ID, bool) {
+	if id, ok := ids[s]; ok {
+		return id, true
+	}
+	if len(names)-1 >= limit {
+		return None, false
+	}
+	id := ID(len(names))
+	ids[s] = id
+	names = append(names, s)
+	return id, true
+}
 
 // Intern returns the ID of s, assigning the next dense ID on first
 // sight. The common already-interned case takes only a read lock.
+// When the table is at its cap and s is new, Intern panics: its
+// callers (graphstore index keys, AST label/type IDs) require distinct
+// IDs for distinct strings, so there is no aliasing fallback that
+// preserves correctness. Callers that can degrade use TryIntern.
 func Intern(s string) ID {
 	mu.RLock()
 	id, ok := ids[s]
@@ -42,13 +94,27 @@ func Intern(s string) ID {
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	if id, ok := ids[s]; ok {
-		return id
+	id, ok = intern(s)
+	if !ok {
+		panic(fmt.Sprintf(
+			"symtab: symbol table full (%d symbols): unbounded label/type/key cardinality in the input; raise the cap with symtab.SetLimit", limit))
 	}
-	id = ID(len(names))
-	ids[s] = id
-	names = append(names, s)
 	return id
+}
+
+// TryIntern is Intern with an explicit overflow signal: when the table
+// is at its cap and s is new it returns (None, false) without
+// extending the table, instead of panicking.
+func TryIntern(s string) (ID, bool) {
+	mu.RLock()
+	id, ok := ids[s]
+	mu.RUnlock()
+	if ok {
+		return id, true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return intern(s)
 }
 
 // Lookup returns the ID of s, or None if s was never interned. Lookup
@@ -73,9 +139,16 @@ func Name(id ID) string {
 
 // Canon interns s and returns the canonical string instance, so
 // identifiers canonicalized at parse time compare by the pointer
-// fast path of string equality.
+// fast path of string equality. When the table is full, Canon returns
+// s itself: un-canonicalized strings still compare correctly (string
+// equality falls back to a byte comparison), just without the pointer
+// fast path.
 func Canon(s string) string {
-	return Name(Intern(s))
+	id, ok := TryIntern(s)
+	if !ok {
+		return s
+	}
+	return Name(id)
 }
 
 // Len reports how many symbols are interned (excluding None).
